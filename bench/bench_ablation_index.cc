@@ -1,0 +1,141 @@
+// Ablation: what the paper's "free" in-memory index assumption hides.
+//
+// The paper's NSM+index and DASDBS-NSM results assume the address tables
+// cost no I/O ("we did not account for additional I/Os needed to ...
+// retrieve the tables with addresses"). This bench stores the same
+// root-key -> address mapping in a persistent B+-tree with metered I/O and
+// compares cold and warm probe costs, plus the memory footprint of the
+// in-memory variant.
+
+#include <cstdio>
+
+#include "benchmark/queries.h"
+#include "harness.h"
+#include "index/bplus_tree.h"
+#include "index/transformation_table.h"
+#include "models/nsm_model.h"
+
+namespace starfish::bench {
+namespace {
+
+int Run() {
+  PrintBanner("Ablation: index I/O",
+              "Persistent B+-tree vs the paper's uncounted in-memory "
+              "address table, for the NSM child-tuple fetch path.");
+
+  TablePrinter table({"objects", "tree height", "tree pages",
+                      "cold probe pages", "warm probe pages",
+                      "in-memory bytes", "fetch pages (tuples)"});
+
+  for (uint64_t n : {500, 1500, 5000, 15000}) {
+    GeneratorConfig config;
+    config.n_objects = n;
+    auto db = BenchmarkDatabase::Generate(config);
+    if (!db.ok()) return 1;
+
+    StorageEngine engine;
+    ModelConfig mc;
+    mc.schema = db->schema();
+    NsmModelOptions nsm_options;
+    nsm_options.with_index = true;
+    auto model = NsmModel::Create(&engine, mc, nsm_options);
+    if (!model.ok() || !db->LoadInto(model->get(), &engine).ok()) return 1;
+
+    // Build the persistent twin of the Connection-relation root-key index.
+    auto index_segment = engine.CreateSegment("btree_index");
+    if (!index_segment.ok()) return 1;
+    BPlusTree tree(index_segment.value());
+    TransformationTable in_memory;
+    const NsmDecomposition& decomp = model.value()->decomposition();
+    for (const auto& object : db->objects()) {
+      auto parts = decomp.Shred(object.tuple);
+      if (!parts.ok()) return 1;
+      for (size_t i = 0; i < (*parts)[2].size(); ++i) {
+        // Value payload: a fake TID-like token (the probe cost is what
+        // matters; both variants resolve to the same tuple fetches).
+        const Tid tid{static_cast<PageId>(object.ref), static_cast<uint16_t>(i)};
+        if (!tree.Insert(object.key, tid.Pack()).ok()) return 1;
+        in_memory.Append(object.key, tid);
+      }
+    }
+    if (!engine.Flush().ok()) return 1;
+
+    // Cold probe: drop the cache, look up one key.
+    if (!engine.DropCache().ok()) return 1;
+    engine.ResetStats();
+    if (!tree.Find(db->objects()[n / 2].key).ok()) return 1;
+    const double cold = static_cast<double>(engine.stats().io.pages_read);
+
+    // Warm probes: average over many lookups with the index cached.
+    engine.ResetStats();
+    constexpr int kProbes = 200;
+    for (int i = 0; i < kProbes; ++i) {
+      if (!tree.Find(db->objects()[(i * 37) % n].key).ok()) return 1;
+    }
+    const double warm =
+        static_cast<double>(engine.stats().io.pages_read) / kProbes;
+
+    // The actual tuple fetch both variants pay afterwards.
+    if (!engine.DropCache().ok()) return 1;
+    engine.ResetStats();
+    if (!model.value()->GetChildRefs(n / 2).ok()) return 1;
+    const double fetch = static_cast<double>(engine.stats().io.pages_read);
+
+    table.AddRow({std::to_string(n), std::to_string(tree.height()),
+                  std::to_string(tree.node_pages()), Cell(cold), Cell(warm),
+                  std::to_string(in_memory.EstimatedBytes()), Cell(fetch)});
+  }
+  table.Print();
+
+  // End-to-end: the full query suite with the honest (metered) index vs
+  // the paper's free in-memory index.
+  std::printf("\nNSM+index query suite, free vs metered index (1500 "
+              "objects, pages per object/loop):\n");
+  {
+    GeneratorConfig config;
+    config.n_objects = 1500;
+    auto db = BenchmarkDatabase::Generate(config);
+    if (!db.ok()) return 1;
+    TablePrinter suite({"index", "1a", "1b", "2a", "2b", "3b"});
+    for (bool persistent : {false, true}) {
+      StorageEngineOptions eo;
+      eo.buffer.frame_count = 1200;
+      StorageEngine engine(eo);
+      ModelConfig mc;
+      mc.schema = db->schema();
+      NsmModelOptions options;
+      options.with_index = true;
+      options.persistent_index = persistent;
+      auto model = NsmModel::Create(&engine, mc, options);
+      if (!model.ok() || !db->LoadInto(model->get(), &engine).ok()) return 1;
+      QueryConfig qc;
+      qc.loops = 300;
+      QueryRunner runner(model->get(), &engine, db.operator->(), qc);
+      auto q1a = runner.Query1a();
+      auto q1b = runner.Query1b();
+      auto q2a = runner.Query2a();
+      auto q2b = runner.Query2b();
+      auto q3b = runner.Query3b();
+      if (!q1a.ok() || !q1b.ok() || !q2a.ok() || !q2b.ok() || !q3b.ok()) {
+        return 1;
+      }
+      suite.AddRow({persistent ? "B+-tree (metered)" : "in-memory (free)",
+                    Cell(q1a->Pages()), Cell(q1b->Pages()), Cell(q2a->Pages()),
+                    Cell(q2b->Pages()), Cell(q3b->Pages())});
+    }
+    suite.Print();
+  }
+
+  std::printf(
+      "\nReading: a cold B+-tree probe costs `height` extra pages on top of "
+      "the tuple fetch the paper counts — noticeable for single-object "
+      "queries (1a roughly doubles), negligible once the hot index levels "
+      "are cached (query 2b barely moves). The in-memory table costs RAM "
+      "instead, growing linearly with the database.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace starfish::bench
+
+int main() { return starfish::bench::Run(); }

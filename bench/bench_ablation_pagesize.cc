@@ -1,0 +1,78 @@
+// Ablation: page size.
+//
+// The paper fixes the DASDBS page size (2 KiB). Sweeping it shows the
+// trade-off its cost model implies: small pages sharpen DASDBS-DSM's
+// partial-read advantage (finer retrieval granularity) but inflate call
+// counts; large pages help sequential scans and hurt selective access.
+// The Eq.-1 service-time model turns both into milliseconds.
+
+#include <cstdio>
+
+#include "disk/disk_timing.h"
+#include "harness.h"
+
+namespace starfish::bench {
+namespace {
+
+int Run() {
+  PrintBanner("Ablation: page size",
+              "Queries 1c (scan) and 2b (navigation) under page sizes from "
+              "512 B to 8 KiB; estimated times via Equation 1 "
+              "(d1 = 24 ms/call, d2 proportional to the page size).");
+
+  GeneratorConfig config;
+  config.n_objects = 1000;
+  auto db = BenchmarkDatabase::Generate(config);
+  if (!db.ok()) return 1;
+
+  QueryConfig query;
+  query.loops = 200;
+
+  for (StorageModelKind kind :
+       {StorageModelKind::kDsm, StorageModelKind::kDasdbsDsm,
+        StorageModelKind::kDasdbsNsm}) {
+    std::printf("\n%s:\n", ModelLabel(kind).c_str());
+    TablePrinter table({"page bytes", "1c pages/obj", "1c est. ms/obj",
+                        "2b pages/loop", "2b calls/loop", "2b est. ms/loop"});
+    for (uint32_t page_size : {512u, 1024u, 2048u, 4096u, 8192u}) {
+      // Scale the buffer to hold the same number of BYTES as the paper's
+      // 1200 x 2 KiB setup, so only the layout granularity varies.
+      BufferOptions buffer;
+      buffer.frame_count = 1200u * 2048u / page_size;
+      // Build the model on an engine with this page size.
+      StorageEngineOptions eo;
+      eo.disk.page_size = page_size;
+      eo.buffer = buffer;
+      StorageEngine engine(eo);
+      ModelConfig mc;
+      mc.schema = db->schema();
+      auto model = CreateStorageModel(kind, &engine, mc);
+      if (!model.ok() || !db->LoadInto(model->get(), &engine).ok()) return 1;
+      QueryRunner runner(model->get(), &engine, db.operator->(), query);
+      auto q1c = runner.Query1c();
+      auto q2b = runner.Query2b();
+      if (!q1c.ok() || !q2b.ok()) return 1;
+
+      PhysicalTimingModel physical;
+      physical.page_size_bytes = page_size;
+      const LinearTimingModel timing = physical.ToLinear();
+      table.AddRow({std::to_string(page_size), Cell(q1c->Pages()),
+                    Cell(timing.Cost(q1c->delta.io) / q1c->normalizer),
+                    Cell(q2b->Pages()), Cell(q2b->Calls()),
+                    Cell(timing.Cost(q2b->delta.io) / q2b->normalizer)});
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\nReading: page counts halve as pages double (same bytes moved), but "
+      "Eq.-1 time is dominated by calls — large pages win scans, while "
+      "selective navigation (DASDBS-NSM) is nearly size-insensitive once "
+      "its working set is cached.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace starfish::bench
+
+int main() { return starfish::bench::Run(); }

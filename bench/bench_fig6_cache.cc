@@ -1,0 +1,114 @@
+// Reproduces Figure 6: query 2b page I/Os per loop as a function of the
+// database size (log scale in the paper), with the analytic best case (Ab,
+// unbounded cache) and worst case (Aw ~ query 2a, no cache hits) alongside
+// the measured values. The direct models overflow the 1200-frame buffer
+// once the database outgrows it and drift toward their worst case;
+// DASDBS-NSM's working set stays cached.
+
+#include <cstdio>
+#include <vector>
+
+#include "cost/analytical_model.h"
+#include "harness.h"
+#include "models/dasdbs_nsm_model.h"
+#include "models/direct_model.h"
+
+namespace starfish::bench {
+namespace {
+
+struct SeriesPoint {
+  uint64_t n_objects;
+  double measured;
+  double best_case;
+  double worst_case;
+};
+
+int Run() {
+  PrintBanner("Figure 6",
+              "Query 2b page I/Os per loop vs database size (loops = n/5, "
+              "1200-frame buffer). 'Ab' = analytic best case (unbounded "
+              "cache), 'Aw' = analytic worst case (no cache hits).");
+
+  const std::vector<uint64_t> sizes = {100, 250, 500, 1000, 1500, 2250, 3000};
+  const StorageModelKind kinds[] = {StorageModelKind::kDsm,
+                                    StorageModelKind::kDasdbsDsm,
+                                    StorageModelKind::kDasdbsNsm};
+
+  std::vector<std::vector<SeriesPoint>> series(3);
+  for (uint64_t n : sizes) {
+    GeneratorConfig config;
+    config.n_objects = n;
+    auto db = BenchmarkDatabase::Generate(config);
+    if (!db.ok()) return 1;
+    const uint32_t loops = static_cast<uint32_t>(n / 5);
+    auto workload = DeriveWorkloadParams(*db, loops, 2012);
+    if (!workload.ok()) return 1;
+
+    BufferOptions buffer;
+    buffer.frame_count = 1200;
+    QueryConfig query;
+    query.loops = loops;
+
+    for (size_t ki = 0; ki < 3; ++ki) {
+      auto result = BenchmarkRunner::RunOne(kinds[ki], *db, buffer, query);
+      if (!result.ok()) return 1;
+
+      // Analytic bounds from a freshly calibrated model.
+      double best = 0, worst = 0;
+      StorageEngine engine;
+      ModelConfig mc;
+      mc.schema = db->schema();
+      if (kinds[ki] == StorageModelKind::kDasdbsNsm) {
+        auto model = DasdbsNsmModel::Create(&engine, mc);
+        if (!model.ok() || !db->LoadInto(model->get(), &engine).ok()) return 1;
+        auto rels = CalibrateDasdbsNsm(model->get(), *db);
+        if (!rels.ok()) return 1;
+        const auto layout =
+            DeriveNormalizedLayout(model->get()->decomposition());
+        const auto est =
+            cost::EstimateDasdbsNsm(rels.value(), layout, *workload);
+        best = est.q2b;
+        worst = est.q2a;
+      } else {
+        DirectModelOptions options;
+        options.partial_reads = kinds[ki] == StorageModelKind::kDasdbsDsm;
+        options.change_attr_updates = options.partial_reads;
+        auto model = DirectModel::Create(&engine, mc, options);
+        if (!model.ok() || !db->LoadInto(model->get(), &engine).ok()) return 1;
+        auto rel = CalibrateDirect(model->get(), *db);
+        if (!rel.ok()) return 1;
+        const auto est = options.partial_reads
+                             ? cost::EstimateDasdbsDsm(rel.value(), *workload)
+                             : cost::EstimateDsm(rel.value(), *workload);
+        best = est.q2b;
+        worst = est.q2a;
+      }
+      series[ki].push_back(SeriesPoint{n, result->queries.q2b.Pages(), best,
+                                       worst});
+    }
+  }
+
+  for (size_t ki = 0; ki < 3; ++ki) {
+    std::printf("\n%s — query 2b pages per loop:\n",
+                ModelLabel(kinds[ki]).c_str());
+    TablePrinter table({"objects", "measured", "Ab (best)", "Aw (worst)"});
+    for (const SeriesPoint& p : series[ki]) {
+      table.AddRow({std::to_string(p.n_objects), Cell(p.measured),
+                    Cell(p.best_case), Cell(p.worst_case)});
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\nPaper anchors (Fig. 6, 1500 objects): DSM ~16.5 pages/loop without "
+      "overflow climbing toward ~65 with it; DASDBS-DSM ~8.5; DASDBS-NSM "
+      "~2.1 throughout. Shape to check: measured ~= Ab for small databases, "
+      "the direct models drift toward Aw once the database outgrows the "
+      "buffer, DASDBS-NSM stays near Ab at every size.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace starfish::bench
+
+int main() { return starfish::bench::Run(); }

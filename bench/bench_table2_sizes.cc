@@ -1,0 +1,107 @@
+// Reproduces Table 2: "Average DASDBS-sizes of benchmark tuples" — the
+// placement parameters (S_tuple, k, p, m) of every relation of every
+// storage model, derived by analyzing our storage structures exactly the
+// way the paper analyzed DASDBS's.
+
+#include <cstdio>
+
+#include "harness.h"
+#include "models/dasdbs_nsm_model.h"
+#include "models/direct_model.h"
+#include "models/nsm_model.h"
+
+namespace starfish::bench {
+namespace {
+
+void AddRelationRow(TablePrinter* table, const cost::RelationParams& rel,
+                    const std::string& paper_anchor) {
+  table->AddRow({rel.name, Cell(rel.tuples_per_object),
+                 Cell(rel.total_tuples), Cell(rel.tuple_bytes),
+                 rel.is_large ? "-" : Cell(rel.k),
+                 rel.is_large ? Cell(rel.p) : "-", Cell(rel.m),
+                 paper_anchor});
+}
+
+int Run() {
+  PrintBanner("Table 2",
+              "Average sizes of the benchmark tuples: tuples per Station, "
+              "tuples in total, stored tuple bytes (S_tuple), tuples per "
+              "page (k), pages per tuple (p), pages per relation (m).");
+
+  auto db = BenchmarkDatabase::Generate(GeneratorConfig{});
+  if (!db.ok()) {
+    std::fprintf(stderr, "generate: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Generated database: %zu Stations, drawn averages %.2f "
+              "Platforms / %.2f Connections / %.2f Sightseeings per object "
+              "(paper: 1.60 / 4.10 / 7.50 expected; 1.59 / 4.04 / 7.64 "
+              "drawn).\n\n",
+              db->objects().size(), db->stats().avg_platforms,
+              db->stats().avg_connections, db->stats().avg_sightseeings);
+
+  TablePrinter table({"RELATION", "TUPLES/OBJ", "TUPLES TOTAL", "S_tuple",
+                      "k", "p", "m", "paper (S,k|p,m)"});
+
+  // Direct models (one relation each; identical layout for both).
+  {
+    StorageEngine engine;
+    ModelConfig mc;
+    mc.schema = db->schema();
+    auto model = DirectModel::Create(&engine, mc, DirectModelOptions{});
+    if (!model.ok() || !db->LoadInto(model->get(), &engine).ok()) return 1;
+    auto rel = CalibrateDirect(model->get(), *db);
+    if (!rel.ok()) return 1;
+    rel->name = "(DASDBS-)DSM_Station";
+    AddRelationRow(&table, rel.value(), "6078, p=4, m=6000");
+    std::printf("Direct model: avg %.2f header + %.2f data pages per object "
+                "(paper: \"a header page and 2.02 data pages\").\n",
+                rel->header_pages, rel->data_pages);
+  }
+  table.AddSeparator();
+
+  // NSM relations.
+  {
+    StorageEngine engine;
+    ModelConfig mc;
+    mc.schema = db->schema();
+    auto model = NsmModel::Create(&engine, mc, NsmModelOptions{});
+    if (!model.ok() || !db->LoadInto(model->get(), &engine).ok()) return 1;
+    auto rels = CalibrateNsm(model->get(), *db);
+    if (!rels.ok()) return 1;
+    const char* anchors[] = {"m=116", "-", "170, k=11, m=559",
+                             "456, k=4, m=2813"};
+    for (size_t i = 0; i < rels->size(); ++i) {
+      AddRelationRow(&table, (*rels)[i], anchors[i]);
+    }
+  }
+  table.AddSeparator();
+
+  // DASDBS-NSM relations.
+  {
+    StorageEngine engine;
+    ModelConfig mc;
+    mc.schema = db->schema();
+    auto model = DasdbsNsmModel::Create(&engine, mc);
+    if (!model.ok() || !db->LoadInto(model->get(), &engine).ok()) return 1;
+    auto rels = CalibrateDasdbsNsm(model->get(), *db);
+    if (!rels.ok()) return 1;
+    const char* anchors[] = {"m=116", "-", "m=500", "p=3, m=4500"};
+    for (size_t i = 0; i < rels->size(); ++i) {
+      AddRelationRow(&table, (*rels)[i], anchors[i]);
+    }
+  }
+
+  table.Print();
+  std::printf(
+      "\nNotes: S_tuple of page-spanning tuples counts occupied bytes "
+      "including internal waste, as the paper does (6078 ~= 3.02 pages x "
+      "2012 usable bytes). Absolute sizes differ a few %% from DASDBS's "
+      "(different record admin bytes); the derived k/p/m drive Table 3.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace starfish::bench
+
+int main() { return starfish::bench::Run(); }

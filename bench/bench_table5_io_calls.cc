@@ -1,0 +1,48 @@
+// Reproduces Table 5: "Measurements of the number of I/O calls" — one call
+// can move a run of pages (DASDBS issued separate calls for the root page,
+// remaining header pages and data pages; write-back is batched).
+
+#include <cstdio>
+
+#include "harness.h"
+
+namespace starfish::bench {
+namespace {
+
+int Run() {
+  PrintBanner("Table 5",
+              "Measured I/O calls per query (one chained call may move many "
+              "pages): query 1 per object, queries 2/3 per loop.");
+
+  const RunnerOptions options = PaperRunnerOptions();
+  BenchmarkRunner runner(options);
+  auto results = runner.Run();
+  if (!results.ok()) {
+    std::fprintf(stderr, "run: %s\n", results.status().ToString().c_str());
+    return 1;
+  }
+  PrintQueryTable(results.value(), &QueryMeasurement::Calls);
+
+  // Pages-per-call, the ratio the paper discusses in §5.2 ("With DSM we
+  // retrieve the largest number of pages per call... NSM even reads only a
+  // single page per retrieval call").
+  std::printf("\nPages per I/O call (query 1c / query 3b):\n");
+  TablePrinter ratio({"STORAGE MODEL", "1c pages/call", "3b pages/call"});
+  for (const ModelRunResult& r : results.value()) {
+    const double c1 = r.queries.q1c.Calls();
+    const double c3 = r.queries.q3b.Calls();
+    ratio.AddRow({ModelLabel(r.kind),
+                  Cell(c1 > 0 ? r.queries.q1c.Pages() / c1 : 0),
+                  Cell(c3 > 0 ? r.queries.q3b.Pages() / c3 : 0)});
+  }
+  ratio.Print();
+  std::printf(
+      "\nPaper anchors: NSM reads ~1 page per call; DSM about 2; write-back "
+      "batches 20-30 pages per call for the direct models in query 3.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace starfish::bench
+
+int main() { return starfish::bench::Run(); }

@@ -1,0 +1,68 @@
+// Reproduces Table 6: "the number of pages that have been fixed in the
+// buffer" — the paper's CPU-load proxy; NSM's join-by-scan execution fixes
+// hundreds of thousands of pages ("more than 370,000 page fixes" for
+// query 2b; ~2.5 h on the Sun 3/60 against <0.5 h for the others).
+
+#include <cstdio>
+
+#include "disk/disk_timing.h"
+#include "harness.h"
+
+namespace starfish::bench {
+namespace {
+
+int Run() {
+  PrintBanner("Table 6",
+              "Measured buffer page fixes per query (CPU-load indicator): "
+              "query 1 per object, queries 2/3 per loop.");
+
+  const RunnerOptions options = PaperRunnerOptions();
+  BenchmarkRunner runner(options);
+  auto results = runner.Run();
+  if (!results.ok()) {
+    std::fprintf(stderr, "run: %s\n", results.status().ToString().c_str());
+    return 1;
+  }
+  PrintQueryTable(results.value(), &QueryMeasurement::Fixes);
+
+  for (const ModelRunResult& r : results.value()) {
+    if (r.kind == StorageModelKind::kNsm) {
+      std::printf("\nNSM query 2b total fixes: %.0f (paper: \"more than "
+                  "370,000 page fixes\"; 300 loops x %.0f fixes/loop).\n",
+                  r.queries.q2b.Fixes() * options.query.loops,
+                  r.queries.q2b.Fixes());
+    }
+  }
+
+  // The paper's response-time anecdote: "On a Sun 3/60 workstation this
+  // [NSM query 2b] program took about 2.5 hours, whereas the same query was
+  // executed within at most 0.5 hour for the other storage models."
+  // Estimated here as CPU (fix cost on a ~3-MIPS machine, ~20 ms per fix
+  // incl. decode) + disk (Eq. 1 with period-disk coefficients).
+  std::printf("\nEstimated query-2b response time (Sun-3/60-scale model):\n");
+  constexpr double kMsPerFix = 20.0;
+  const LinearTimingModel disk_model{24.0, 1.3};
+  TablePrinter rt({"STORAGE MODEL", "CPU (min)", "disk (min)", "total (min)"});
+  for (const ModelRunResult& r : results.value()) {
+    const double total_fixes = r.queries.q2b.Fixes() * options.query.loops;
+    const double cpu_min = total_fixes * kMsPerFix / 60000.0;
+    const double disk_min =
+        disk_model.Cost(r.queries.q2b.Calls() * options.query.loops,
+                        r.queries.q2b.Pages() * options.query.loops) /
+        60000.0;
+    rt.AddRow({ModelLabel(r.kind), Cell(cpu_min), Cell(disk_min),
+               Cell(cpu_min + disk_min)});
+  }
+  rt.Print();
+  std::printf(
+      "Shape to check: NSM lands in hours, everything else well under half "
+      "an hour — the paper's 2.5 h vs <0.5 h anecdote.\n"
+      "Paper anchors: NSM ~1,240 fixes/loop for query 2b; DASDBS-NSM the "
+      "fewest; the direct models in between.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace starfish::bench
+
+int main() { return starfish::bench::Run(); }

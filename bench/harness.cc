@@ -1,0 +1,63 @@
+#include "harness.h"
+
+#include <cstdio>
+
+namespace starfish::bench {
+
+void PrintBanner(const std::string& experiment, const std::string& what) {
+  std::printf("\n=== %s ===\n", experiment.c_str());
+  std::printf("%s\n", what.c_str());
+  std::printf("Paper: Teeuw, Rich, Scholl, Blanken — \"An Evaluation of "
+              "Physical Disk I/Os for Complex Object Processing\", ICDE "
+              "1993.\n\n");
+}
+
+RunnerOptions PaperRunnerOptions() {
+  RunnerOptions options;
+  options.generator.n_objects = 1500;
+  options.buffer.frame_count = 1200;
+  options.query.loops = 300;
+  options.query.q1a_samples = 50;
+  options.query.q2a_samples = 20;
+  return options;
+}
+
+std::string Cell(double value) {
+  return TablePrinter::FormatValue(value);
+}
+
+std::string Cell(const std::optional<QueryMeasurement>& m,
+                 double (QueryMeasurement::*metric)() const) {
+  if (!m.has_value()) return "-";
+  return Cell(((*m).*metric)());
+}
+
+std::string ModelLabel(StorageModelKind kind) { return ToString(kind); }
+
+Result<std::vector<ModelRunResult>> RunAllModels(const BenchmarkDatabase& db,
+                                                 const BufferOptions& buffer,
+                                                 const QueryConfig& query) {
+  std::vector<ModelRunResult> results;
+  for (StorageModelKind kind : AllStorageModelKinds()) {
+    STARFISH_ASSIGN_OR_RETURN(ModelRunResult result,
+                              BenchmarkRunner::RunOne(kind, db, buffer, query));
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+void PrintQueryTable(const std::vector<ModelRunResult>& results,
+                     double (QueryMeasurement::*metric)() const) {
+  TablePrinter table({"STORAGE MODEL", "1a (A)", "1b (B)", "1c (C)", "2a (A)",
+                      "2b (B)", "3a (A)", "3b (B)"});
+  for (const ModelRunResult& r : results) {
+    const QuerySuiteResults& q = r.queries;
+    table.AddRow({ModelLabel(r.kind), Cell(q.q1a, metric),
+                  Cell((q.q1b.*metric)()), Cell((q.q1c.*metric)()),
+                  Cell((q.q2a.*metric)()), Cell((q.q2b.*metric)()),
+                  Cell((q.q3a.*metric)()), Cell((q.q3b.*metric)())});
+  }
+  table.Print();
+}
+
+}  // namespace starfish::bench

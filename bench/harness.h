@@ -1,0 +1,46 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "benchmark/calibration.h"
+#include "benchmark/runner.h"
+#include "util/table_printer.h"
+
+/// \file harness.h
+/// Shared plumbing for the table/figure reproduction binaries.
+///
+/// Every `bench_table*` / `bench_fig*` binary reproduces one experiment of
+/// the paper and prints the same rows/series the paper reports, plus the
+/// paper's legible anchor values for side-by-side comparison. All binaries
+/// run without arguments in a few seconds.
+
+namespace starfish::bench {
+
+/// Prints the experiment banner.
+void PrintBanner(const std::string& experiment, const std::string& what);
+
+/// The paper's measurement configuration: 1500 objects, 1200-frame buffer,
+/// 300 loops.
+RunnerOptions PaperRunnerOptions();
+
+/// Formats a measurement value the way the paper prints them, "-" for n/a.
+std::string Cell(double value);
+std::string Cell(const std::optional<QueryMeasurement>& m,
+                 double (QueryMeasurement::*metric)() const);
+
+/// Row label per model, in the paper's table order.
+std::string ModelLabel(StorageModelKind kind);
+
+/// Runs the full suite for all five models over one database.
+Result<std::vector<ModelRunResult>> RunAllModels(const BenchmarkDatabase& db,
+                                                 const BufferOptions& buffer,
+                                                 const QueryConfig& query);
+
+/// Prints one metric (pages / calls / fixes) of a full run as the paper's
+/// 7-query table.
+void PrintQueryTable(const std::vector<ModelRunResult>& results,
+                     double (QueryMeasurement::*metric)() const);
+
+}  // namespace starfish::bench

@@ -1,0 +1,171 @@
+// Microbenchmarks of the substrate (google-benchmark): slotted-page ops,
+// buffer fixes, complex-record reads, serializer, B+-tree and the Yao
+// formula. These measure the simulator itself, not the paper's metrics —
+// useful when extending the library.
+
+#include <benchmark/benchmark.h>
+
+#include "benchmark/generator.h"
+#include "benchmark/station_schema.h"
+#include "cost/formulas.h"
+#include "index/bplus_tree.h"
+#include "nf2/serializer.h"
+#include "storage/complex_record.h"
+#include "storage/storage_engine.h"
+#include "util/random.h"
+
+namespace starfish {
+namespace {
+
+void BM_SlottedPageInsert(benchmark::State& state) {
+  std::vector<char> data(kDefaultPageSize);
+  const std::string record(100, 'x');
+  for (auto _ : state) {
+    SlottedPage page(data.data(), kDefaultPageSize);
+    page.Init(0, PageType::kSlotted);
+    for (int i = 0; i < 19; ++i) {
+      benchmark::DoNotOptimize(page.Insert(record));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 19);
+}
+BENCHMARK(BM_SlottedPageInsert);
+
+void BM_SlottedPageRead(benchmark::State& state) {
+  std::vector<char> data(kDefaultPageSize);
+  SlottedPage page(data.data(), kDefaultPageSize);
+  page.Init(0, PageType::kSlotted);
+  for (int i = 0; i < 19; ++i) (void)page.Insert(std::string(100, 'x'));
+  for (auto _ : state) {
+    for (uint16_t s = 0; s < 19; ++s) {
+      benchmark::DoNotOptimize(page.Read(s));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 19);
+}
+BENCHMARK(BM_SlottedPageRead);
+
+void BM_BufferFixHit(benchmark::State& state) {
+  StorageEngine engine;
+  auto segment = engine.CreateSegment("s").value();
+  const PageId page = segment->AllocatePage(PageType::kSlotted).value();
+  for (auto _ : state) {
+    auto guard = engine.buffer()->Fix(page);
+    benchmark::DoNotOptimize(guard);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferFixHit);
+
+void BM_BufferFixMissEvict(benchmark::State& state) {
+  StorageEngineOptions options;
+  options.buffer.frame_count = 64;
+  StorageEngine engine(options);
+  auto segment = engine.CreateSegment("s").value();
+  (void)segment->AllocateRun(512, PageType::kSlotted);
+  (void)engine.Flush();
+  PageId next = 0;
+  for (auto _ : state) {
+    auto guard = engine.buffer()->Fix(next % 512);
+    benchmark::DoNotOptimize(guard);
+    next += 7;  // stride larger than the pool: mostly misses
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferFixMissEvict);
+
+void BM_SerializeStation(benchmark::State& state) {
+  bench::GeneratorConfig config;
+  config.n_objects = 64;
+  auto db = bench::BenchmarkDatabase::Generate(config).value();
+  ObjectSerializer serializer(db.schema());
+  size_t i = 0;
+  for (auto _ : state) {
+    auto regions = serializer.ToRegions(db.objects()[i++ % 64].tuple);
+    benchmark::DoNotOptimize(regions);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SerializeStation);
+
+void BM_DeserializeStation(benchmark::State& state) {
+  bench::GeneratorConfig config;
+  config.n_objects = 64;
+  auto db = bench::BenchmarkDatabase::Generate(config).value();
+  ObjectSerializer serializer(db.schema());
+  std::vector<std::vector<RecordRegion>> serialized;
+  for (const auto& object : db.objects()) {
+    serialized.push_back(serializer.ToRegions(object.tuple).value());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto tuple = serializer.FromRegionsAll(serialized[i++ % 64]);
+    benchmark::DoNotOptimize(tuple);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeserializeStation);
+
+void BM_ComplexRecordReadAll(benchmark::State& state) {
+  StorageEngine engine;
+  auto segment = engine.CreateSegment("objs").value();
+  ComplexRecordStore store(segment);
+  std::vector<RecordRegion> regions;
+  for (uint32_t i = 0; i < 12; ++i) {
+    regions.push_back(RecordRegion{i, std::string(300, 'r')});
+  }
+  const Tid tid = store.Insert(regions).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.ReadAll(tid));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ComplexRecordReadAll);
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  StorageEngine engine;
+  auto segment = engine.CreateSegment("idx").value();
+  BPlusTree tree(segment);
+  int64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Insert(key++ % 100000, 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPlusTreeInsert);
+
+void BM_BPlusTreeFind(benchmark::State& state) {
+  StorageEngine engine;
+  auto segment = engine.CreateSegment("idx").value();
+  BPlusTree tree(segment);
+  for (int64_t k = 0; k < 50000; ++k) (void)tree.Insert(k, k);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Find(rng.Uniform(50000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPlusTreeFind);
+
+void BM_YaoFormula(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cost::YaoPages(167, 2813, 4));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_YaoFormula);
+
+void BM_GenerateDatabase(benchmark::State& state) {
+  for (auto _ : state) {
+    bench::GeneratorConfig config;
+    config.n_objects = static_cast<uint64_t>(state.range(0));
+    benchmark::DoNotOptimize(bench::BenchmarkDatabase::Generate(config));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GenerateDatabase)->Arg(100)->Arg(1500);
+
+}  // namespace
+}  // namespace starfish
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// The library is schema-generic: nothing is hard-wired to the railway
+// benchmark. This example stores a CAD-flavoured assembly hierarchy
+// (three levels of nesting, cross-references between assemblies) and shows
+// projections, navigation and the effect of swapping the storage model.
+//
+//   $ ./build/examples/document_store
+
+#include <cstdio>
+
+#include "core/complex_object_store.h"
+#include "util/random.h"
+
+using namespace starfish;  // NOLINT — example brevity
+
+namespace {
+
+std::shared_ptr<const Schema> MakeAssemblySchema() {
+  // Assembly -> Part -> Feature, plus a DependsOn link on Part.
+  auto feature = SchemaBuilder("Feature")
+                     .AddInt32("FeatureNr")
+                     .AddString("Kind")
+                     .AddString("Parameters")
+                     .Build();
+  auto part = SchemaBuilder("Part")
+                  .AddInt32("PartNr")
+                  .AddString("Material")
+                  .AddLink("DependsOn")
+                  .AddRelation("Features", feature)
+                  .Build();
+  return SchemaBuilder("Assembly")
+      .AddInt32("AssemblyId")
+      .AddString("Name")
+      .AddString("Revision")
+      .AddRelation("Parts", part)
+      .Build();
+}
+
+Tuple MakeAssembly(Rng* rng, int32_t id, uint64_t n_assemblies) {
+  std::vector<Tuple> parts;
+  const uint64_t n_parts = 1 + rng->Uniform(5);
+  for (uint64_t p = 0; p < n_parts; ++p) {
+    std::vector<Tuple> features;
+    const uint64_t n_features = rng->Uniform(4);
+    for (uint64_t f = 0; f < n_features; ++f) {
+      features.push_back(Tuple{{Value::Int32(static_cast<int32_t>(f)),
+                                Value::Str("hole"),
+                                Value::Str(rng->RandomString(40))}});
+    }
+    parts.push_back(Tuple{{Value::Int32(static_cast<int32_t>(p)),
+                           Value::Str("steel"),
+                           Value::Link(rng->Uniform(n_assemblies)),
+                           Value::Relation(std::move(features))}});
+  }
+  return Tuple{{Value::Int32(id), Value::Str("asm-" + std::to_string(id)),
+                Value::Str("rev-A"), Value::Relation(std::move(parts))}};
+}
+
+}  // namespace
+
+int main() {
+  auto schema = MakeAssemblySchema();
+  std::printf("schema paths:\n");
+  for (PathId p = 0; p < schema->path_count(); ++p) {
+    std::printf("  path %u = %s\n", p, schema->path(p).qualified_name.c_str());
+  }
+
+  constexpr uint64_t kAssemblies = 400;
+  for (StorageModelKind kind :
+       {StorageModelKind::kDasdbsDsm, StorageModelKind::kDasdbsNsm}) {
+    StoreOptions options;
+    options.model = kind;
+    options.buffer_frames = 256;
+    auto store_or = ComplexObjectStore::Open(schema, options);
+    if (!store_or.ok()) return 1;
+    auto& store = *store_or.value();
+
+    Rng rng(7);
+    for (uint64_t i = 0; i < kAssemblies; ++i) {
+      if (!store.Put(i, MakeAssembly(&rng, static_cast<int32_t>(i),
+                                     kAssemblies)).ok()) {
+        return 1;
+      }
+    }
+    (void)store.Flush();
+    (void)store.engine()->DropCache();
+    store.ResetStats();
+
+    // Where-used query: walk the dependency links two levels deep from a
+    // few assemblies, reading only the Part level (projection pushes the
+    // Feature sub-tuples out of the I/O path).
+    size_t visited = 0;
+    for (ObjectRef start : {3u, 99u, 250u}) {
+      auto deps = store.Children(start);
+      if (!deps.ok()) return 1;
+      for (ObjectRef dep : deps.value()) {
+        auto second = store.Children(dep);
+        if (!second.ok()) return 1;
+        visited += second->size();
+      }
+    }
+    const EngineStats stats = store.stats();
+    std::printf(
+        "\n%s: where-used walk visited %zu second-level dependencies\n"
+        "  pages=%llu calls=%llu fixes=%llu\n",
+        ToString(kind).c_str(), visited,
+        static_cast<unsigned long long>(stats.io.TotalPages()),
+        static_cast<unsigned long long>(stats.io.TotalCalls()),
+        static_cast<unsigned long long>(stats.buffer.fixes));
+  }
+
+  std::printf(
+      "\nThe same decomposition machinery that split Station into 4 "
+      "relations derives 3 relations for Assembly/Part/Feature — including "
+      "the RootKey/ParentKey/OwnKey bookkeeping — entirely from the "
+      "schema.\n");
+  return 0;
+}

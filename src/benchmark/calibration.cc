@@ -1,0 +1,177 @@
+#include "benchmark/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nf2/serializer.h"
+
+namespace starfish::bench {
+
+Result<cost::RelationParams> CalibrateDirect(DirectModel* model,
+                                             const BenchmarkDatabase& db) {
+  cost::RelationParams rel;
+  rel.name = model->name() + "_" + db.schema()->name();
+  rel.tuples_per_object = 1.0;
+  rel.total_tuples = static_cast<double>(db.objects().size());
+
+  double sum_payload = 0, sum_stored = 0, sum_header = 0, sum_data = 0;
+  double sum_private = 0;
+  uint64_t large = 0;
+  for (const BenchmarkObject& object : db.objects()) {
+    STARFISH_ASSIGN_OR_RETURN(ComplexRecordInfo info,
+                              model->RecordInfo(object.ref));
+    sum_payload += info.payload_bytes;
+    sum_stored += info.stored_bytes;
+    sum_header += info.header_pages;
+    sum_data += info.data_pages;
+    sum_private += info.private_pages();
+    large += info.is_small ? 0 : 1;
+  }
+  const double n = rel.total_tuples;
+  rel.payload_bytes = sum_payload / n;
+  rel.tuple_bytes = sum_stored / n;
+  rel.is_large = large * 2 > db.objects().size();  // majority placement
+  rel.header_pages = sum_header / n;
+  rel.data_pages = sum_data / n;
+  rel.p = rel.is_large ? sum_private / n : 0.0;
+  rel.m = static_cast<double>(model->segment()->pages().size());
+  if (!rel.is_large) {
+    rel.k = std::max(1.0, rel.total_tuples / std::max(1.0, rel.m));
+  }
+  return rel;
+}
+
+namespace {
+
+/// Shared flat-relation calibration: sizes from the shredded database,
+/// page counts from the segment.
+Result<cost::RelationParams> CalibrateFlatRelation(
+    const NsmDecomposition& decomp, PathId path, Segment* segment,
+    const BenchmarkDatabase& db) {
+  const DecomposedRelation& rel_meta = decomp.relation(path);
+  cost::RelationParams rel;
+  rel.name = segment->name();
+  double tuples = 0, bytes = 0;
+  for (const BenchmarkObject& object : db.objects()) {
+    STARFISH_ASSIGN_OR_RETURN(ShreddedObject parts, decomp.Shred(object.tuple));
+    tuples += static_cast<double>(parts[path].size());
+    for (const Tuple& flat : parts[path]) {
+      bytes += ObjectSerializer::FlatSize(*rel_meta.flat_schema, flat);
+    }
+  }
+  rel.total_tuples = tuples;
+  rel.tuples_per_object = tuples / static_cast<double>(db.objects().size());
+  rel.payload_bytes = tuples > 0 ? bytes / tuples : 0.0;
+  rel.tuple_bytes = rel.payload_bytes + 5.0;  // frame byte + slot entry
+  rel.m = static_cast<double>(segment->pages().size());
+  rel.is_large = false;
+  rel.k = rel.m > 0 ? std::max(1.0, tuples / rel.m) : 0.0;
+  return rel;
+}
+
+}  // namespace
+
+Result<std::vector<cost::RelationParams>> CalibrateNsm(
+    NsmModel* model, const BenchmarkDatabase& db) {
+  std::vector<cost::RelationParams> rels;
+  const NsmDecomposition& decomp = model->decomposition();
+  for (PathId p = 0; p < decomp.relations().size(); ++p) {
+    STARFISH_ASSIGN_OR_RETURN(
+        cost::RelationParams rel,
+        CalibrateFlatRelation(decomp, p, model->segment(p), db));
+    rels.push_back(std::move(rel));
+  }
+  return rels;
+}
+
+Result<std::vector<cost::RelationParams>> CalibrateDasdbsNsm(
+    DasdbsNsmModel* model, const BenchmarkDatabase& db) {
+  std::vector<cost::RelationParams> rels;
+  const NsmDecomposition& decomp = model->decomposition();
+  for (PathId p = 0; p < decomp.relations().size(); ++p) {
+    cost::RelationParams rel;
+    rel.name = model->segment(p)->name();
+    rel.tuples_per_object = 1.0;  // one nested tuple per object per relation
+    rel.total_tuples = static_cast<double>(db.objects().size());
+
+    double sum_payload = 0, sum_stored = 0, sum_header = 0, sum_data = 0;
+    double sum_private = 0;
+    uint64_t large = 0;
+    for (const BenchmarkObject& object : db.objects()) {
+      STARFISH_ASSIGN_OR_RETURN(ComplexRecordInfo info,
+                                model->RecordInfo(p, object.key));
+      sum_payload += info.payload_bytes;
+      sum_stored += info.stored_bytes;
+      sum_header += info.header_pages;
+      sum_data += info.data_pages;
+      sum_private += info.private_pages();
+      large += info.is_small ? 0 : 1;
+    }
+    const double n = rel.total_tuples;
+    rel.payload_bytes = sum_payload / n;
+    rel.tuple_bytes = sum_stored / n;
+    rel.is_large = large * 2 > db.objects().size();
+    rel.header_pages = sum_header / n;
+    rel.data_pages = sum_data / n;
+    rel.p = rel.is_large ? sum_private / n : 0.0;
+    rel.m = static_cast<double>(model->segment(p)->pages().size());
+    if (!rel.is_large) {
+      rel.k = std::max(1.0, rel.total_tuples / std::max(1.0, rel.m));
+    }
+    rels.push_back(std::move(rel));
+  }
+  return rels;
+}
+
+Result<cost::WorkloadParams> DeriveWorkloadParams(const BenchmarkDatabase& db,
+                                                  double loops,
+                                                  double page_bytes) {
+  cost::WorkloadParams w;
+  w.n_objects = static_cast<double>(db.objects().size());
+  w.loops = loops;
+  w.page_bytes = page_bytes;
+  // Drawn (not nominal) averages, like the paper reports.
+  w.avg_children = db.stats().avg_connections;
+  w.avg_grandchildren = w.avg_children * w.avg_children;
+
+  // Bytes of the navigation projection (root + link paths + their
+  // ancestors) and of the root record, averaged over the generated objects.
+  const Schema& root_schema = *db.schema();
+  std::vector<bool> nav_path(root_schema.path_count(), false);
+  nav_path[kRootPath] = true;
+  for (PathId p = 0; p < root_schema.path_count(); ++p) {
+    bool has_link = false;
+    for (const Attribute& attr : root_schema.path(p).schema->attributes()) {
+      if (attr.type == AttrType::kLink) has_link = true;
+    }
+    for (PathId cur = p; has_link && !nav_path[cur];
+         cur = root_schema.path(cur).parent) {
+      nav_path[cur] = true;
+    }
+  }
+  ObjectSerializer serializer(db.schema());
+  double nav_bytes = 0, root_bytes = 0;
+  for (const BenchmarkObject& object : db.objects()) {
+    STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
+                              serializer.ToRegions(object.tuple));
+    for (const RecordRegion& region : regions) {
+      const PathId path = ObjectSerializer::TagPath(region.tag);
+      if (path == kRootPath) root_bytes += region.bytes.size();
+      if (nav_path[path]) nav_bytes += region.bytes.size();
+    }
+  }
+  w.nav_bytes = nav_bytes / w.n_objects;
+  w.root_bytes = root_bytes / w.n_objects;
+  return w;
+}
+
+cost::NormalizedLayout DeriveNormalizedLayout(const NsmDecomposition& decomp) {
+  cost::NormalizedLayout layout;
+  layout.root_index = kRootPath;
+  for (PathId p = 0; p < decomp.relations().size(); ++p) {
+    if (decomp.relation(p).has_links) layout.link_indexes.push_back(p);
+  }
+  return layout;
+}
+
+}  // namespace starfish::bench

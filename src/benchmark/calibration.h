@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "benchmark/generator.h"
+#include "cost/analytical_model.h"
+#include "models/dasdbs_nsm_model.h"
+#include "models/direct_model.h"
+#include "models/nsm_model.h"
+
+/// \file calibration.h
+/// Derives the analytical-model inputs (Table 2: S_tuple, k, p, m per
+/// relation) from a loaded database — "these sizes were found by analyzing
+/// the DASDBS storage structures" is reproduced by analyzing *our* storage
+/// structures the same way.
+
+namespace starfish::bench {
+
+/// Relation parameters of a loaded direct model (one relation).
+Result<cost::RelationParams> CalibrateDirect(DirectModel* model,
+                                             const BenchmarkDatabase& db);
+
+/// Relation parameters of a loaded NSM model (one entry per path).
+Result<std::vector<cost::RelationParams>> CalibrateNsm(
+    NsmModel* model, const BenchmarkDatabase& db);
+
+/// Relation parameters of a loaded DASDBS-NSM model (one entry per path).
+Result<std::vector<cost::RelationParams>> CalibrateDasdbsNsm(
+    DasdbsNsmModel* model, const BenchmarkDatabase& db);
+
+/// Workload parameters for the analytical model, derived from the database
+/// (drawn averages, serialized byte sizes of the navigation projection).
+Result<cost::WorkloadParams> DeriveWorkloadParams(const BenchmarkDatabase& db,
+                                                  double loops,
+                                                  double page_bytes);
+
+/// Role assignment of the decomposed relations (root / link-bearing).
+cost::NormalizedLayout DeriveNormalizedLayout(const NsmDecomposition& decomp);
+
+}  // namespace starfish::bench

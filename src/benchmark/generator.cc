@@ -1,0 +1,129 @@
+#include "benchmark/generator.h"
+
+#include <algorithm>
+
+#include "nf2/serializer.h"
+#include "util/random.h"
+
+namespace starfish::bench {
+
+Result<BenchmarkDatabase> BenchmarkDatabase::Generate(
+    const GeneratorConfig& config) {
+  if (config.n_objects == 0) {
+    return Status::InvalidArgument("database needs at least one object");
+  }
+  BenchmarkDatabase db;
+  db.config_ = config;
+  db.schema_ = MakeStationSchema();
+  db.objects_.reserve(config.n_objects);
+
+  Rng rng(config.seed);
+  uint64_t total_platforms = 0, total_connections = 0, total_sightseeings = 0;
+  double total_bytes = 0;
+
+  ObjectSerializer serializer(db.schema_);
+
+  for (uint64_t i = 0; i < config.n_objects; ++i) {
+    BenchmarkObject object;
+    object.ref = i;
+    object.key = static_cast<int64_t>(i) + 1;
+
+    // Platforms: `fanout` slots, each created with creation_probability.
+    std::vector<Tuple> platforms;
+    uint32_t connections_here = 0;
+    for (uint32_t slot = 0; slot < config.fanout; ++slot) {
+      if (!rng.Bernoulli(config.creation_probability)) continue;
+      // Railroads per platform: `fanout` slots; each existing railroad
+      // offers `fanout` connection slots, again Bernoulli-created.
+      std::vector<Tuple> connections;
+      uint32_t railroads = 0;
+      for (uint32_t rail = 0; rail < config.fanout; ++rail) {
+        if (!rng.Bernoulli(config.creation_probability)) continue;
+        ++railroads;
+        for (uint32_t c = 0; c < config.fanout; ++c) {
+          if (!rng.Bernoulli(config.creation_probability)) continue;
+          const uint64_t target = rng.Uniform(config.n_objects);
+          Tuple connection;
+          connection.values.push_back(Value::Int32(static_cast<int32_t>(rail)));
+          connection.values.push_back(
+              Value::Int32(static_cast<int32_t>(target) + 1));  // KeyConnection
+          connection.values.push_back(Value::Link(target));     // OidConnection
+          connection.values.push_back(
+              Value::Str(rng.RandomString(config.string_bytes)));
+          connections.push_back(std::move(connection));
+        }
+      }
+      connections_here += static_cast<uint32_t>(connections.size());
+      Tuple platform;
+      platform.values.push_back(Value::Int32(static_cast<int32_t>(slot)));
+      platform.values.push_back(Value::Int32(static_cast<int32_t>(railroads)));
+      platform.values.push_back(
+          Value::Int32(static_cast<int32_t>(rng.Uniform(100000))));
+      platform.values.push_back(
+          Value::Str(rng.RandomString(config.string_bytes)));
+      platform.values.push_back(Value::Relation(std::move(connections)));
+      platforms.push_back(std::move(platform));
+    }
+
+    // Sightseeings: uniform count in [0, max_sightseeings].
+    const uint32_t n_sights = static_cast<uint32_t>(
+        rng.Uniform(static_cast<uint64_t>(config.max_sightseeings) + 1));
+    std::vector<Tuple> sightseeings;
+    sightseeings.reserve(n_sights);
+    for (uint32_t s = 0; s < n_sights; ++s) {
+      Tuple sight;
+      sight.values.push_back(Value::Int32(static_cast<int32_t>(s)));
+      for (int str = 0; str < 4; ++str) {
+        sight.values.push_back(Value::Str(rng.RandomString(config.string_bytes)));
+      }
+      sightseeings.push_back(std::move(sight));
+    }
+
+    total_platforms += platforms.size();
+    total_connections += connections_here;
+    total_sightseeings += n_sights;
+    db.stats_.max_platforms = std::max(
+        db.stats_.max_platforms, static_cast<uint32_t>(platforms.size()));
+    db.stats_.max_connections =
+        std::max(db.stats_.max_connections, connections_here);
+
+    Tuple station;
+    station.values.push_back(Value::Int32(static_cast<int32_t>(object.key)));
+    station.values.push_back(
+        Value::Int32(static_cast<int32_t>(platforms.size())));
+    station.values.push_back(Value::Int32(static_cast<int32_t>(n_sights)));
+    station.values.push_back(Value::Str(rng.RandomString(config.string_bytes)));
+    station.values.push_back(Value::Relation(std::move(platforms)));
+    station.values.push_back(Value::Relation(std::move(sightseeings)));
+    object.tuple = std::move(station);
+
+    STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
+                              serializer.ToRegions(object.tuple));
+    for (const RecordRegion& region : regions) {
+      total_bytes += static_cast<double>(region.bytes.size());
+    }
+    db.objects_.push_back(std::move(object));
+  }
+
+  const double n = static_cast<double>(config.n_objects);
+  db.stats_.avg_platforms = static_cast<double>(total_platforms) / n;
+  db.stats_.avg_connections = static_cast<double>(total_connections) / n;
+  db.stats_.avg_sightseeings = static_cast<double>(total_sightseeings) / n;
+  db.stats_.avg_object_bytes = total_bytes / n;
+  return db;
+}
+
+Status BenchmarkDatabase::LoadInto(StorageModel* model,
+                                   StorageEngine* engine) const {
+  for (const BenchmarkObject& object : objects_) {
+    STARFISH_RETURN_NOT_OK(model->Insert(object.ref, object.tuple));
+  }
+  // "Pages are written to the database relations only ... at disconnect":
+  // the load ends with a flush, and measurements start cold.
+  STARFISH_RETURN_NOT_OK(engine->Flush());
+  STARFISH_RETURN_NOT_OK(engine->DropCache());
+  engine->ResetStats();
+  return Status::OK();
+}
+
+}  // namespace starfish::bench

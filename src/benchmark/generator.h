@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "benchmark/station_schema.h"
+#include "models/storage_model.h"
+#include "nf2/value.h"
+#include "util/status.h"
+
+/// \file generator.h
+/// Deterministic generation of the benchmark database (§2.1).
+
+namespace starfish::bench {
+
+/// One generated object with its identities.
+struct BenchmarkObject {
+  ObjectRef ref = 0;  ///< logical object number (also the LINK payload)
+  int64_t key = 0;    ///< Station.Key
+  Tuple tuple;
+};
+
+/// Distribution statistics of a generated database — the paper reports the
+/// drawn averages (e.g. "1.59 Platforms, 4.04 Connections, 7.64
+/// Sightseeings") next to the expectations.
+struct DatabaseStats {
+  double avg_platforms = 0;
+  double avg_connections = 0;
+  double avg_sightseeings = 0;
+  uint32_t max_platforms = 0;
+  uint32_t max_connections = 0;
+  double avg_object_bytes = 0;  ///< serialized payload bytes per object
+};
+
+/// The generated benchmark database (logical objects; models load it).
+class BenchmarkDatabase {
+ public:
+  /// Generates `config.n_objects` Station objects. Deterministic in the
+  /// seed; inter-object references are uniform over all objects.
+  static Result<BenchmarkDatabase> Generate(const GeneratorConfig& config);
+
+  const GeneratorConfig& config() const { return config_; }
+  const std::shared_ptr<const Schema>& schema() const { return schema_; }
+  const std::vector<BenchmarkObject>& objects() const { return objects_; }
+  const DatabaseStats& stats() const { return stats_; }
+
+  /// Loads every object into `model` (in ref order) and flushes the engine.
+  Status LoadInto(StorageModel* model, StorageEngine* engine) const;
+
+ private:
+  GeneratorConfig config_;
+  std::shared_ptr<const Schema> schema_;
+  std::vector<BenchmarkObject> objects_;
+  DatabaseStats stats_;
+};
+
+}  // namespace starfish::bench

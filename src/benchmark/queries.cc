@@ -1,0 +1,167 @@
+#include "benchmark/queries.h"
+
+#include "nf2/projection.h"
+
+namespace starfish::bench {
+
+QueryRunner::QueryRunner(StorageModel* model, StorageEngine* engine,
+                         const BenchmarkDatabase* db, QueryConfig config)
+    : model_(model), engine_(engine), db_(db), config_(config),
+      rng_(config.seed) {}
+
+Status QueryRunner::ColdStart() {
+  STARFISH_RETURN_NOT_OK(engine_->Flush());
+  STARFISH_RETURN_NOT_OK(engine_->DropCache());
+  engine_->ResetStats();
+  return Status::OK();
+}
+
+Result<QueryMeasurement> QueryRunner::Query1a() {
+  if (!model_->SupportsGetByRef()) {
+    return Status::NotSupported("model has no object identifiers");
+  }
+  const Projection all = Projection::All(*db_->schema());
+  QueryMeasurement m;
+  m.normalizer = config_.q1a_samples;
+  EngineStats sum;
+  for (uint32_t s = 0; s < config_.q1a_samples; ++s) {
+    STARFISH_RETURN_NOT_OK(ColdStart());  // resets counters
+    STARFISH_RETURN_NOT_OK(model_->GetByRef(RandomRef(), all).status());
+    sum.io += engine_->stats().io;
+    sum.buffer.fixes += engine_->stats().buffer.fixes;
+  }
+  m.delta = sum;
+  return m;
+}
+
+Result<QueryMeasurement> QueryRunner::Query1b() {
+  const Projection all = Projection::All(*db_->schema());
+  STARFISH_RETURN_NOT_OK(ColdStart());
+  const int64_t key = db_->objects()[RandomRef()].key;
+  STARFISH_RETURN_NOT_OK(model_->GetByKey(key, all).status());
+  QueryMeasurement m;
+  m.delta = engine_->stats();
+  m.normalizer = 1.0;
+  return m;
+}
+
+Result<QueryMeasurement> QueryRunner::Query1c() {
+  const Projection all = Projection::All(*db_->schema());
+  STARFISH_RETURN_NOT_OK(ColdStart());
+  uint64_t seen = 0;
+  STARFISH_RETURN_NOT_OK(model_->ScanAll(all, [&](int64_t, const Tuple&) {
+    ++seen;
+    return Status::OK();
+  }));
+  if (seen != db_->objects().size()) {
+    return Status::Internal("scan returned " + std::to_string(seen) +
+                            " of " + std::to_string(db_->objects().size()) +
+                            " objects");
+  }
+  QueryMeasurement m;
+  m.delta = engine_->stats();
+  m.normalizer = static_cast<double>(db_->objects().size());
+  return m;
+}
+
+Status QueryRunner::NavigationLoop(ObjectRef root, bool update) {
+  // Wave 1: the root object's child references.
+  STARFISH_ASSIGN_OR_RETURN(std::vector<std::vector<ObjectRef>> root_children,
+                            model_->GetChildRefsBatch({root}));
+  const std::vector<ObjectRef>& children = root_children[0];
+
+  // Wave 2: the children's child references (the grand-children).
+  STARFISH_ASSIGN_OR_RETURN(std::vector<std::vector<ObjectRef>> grand_lists,
+                            model_->GetChildRefsBatch(children));
+  std::vector<ObjectRef> grands;
+  for (const auto& list : grand_lists) {
+    grands.insert(grands.end(), list.begin(), list.end());
+  }
+
+  // Wave 3: the grand-children's root records.
+  STARFISH_ASSIGN_OR_RETURN(std::vector<Tuple> roots,
+                            model_->GetRootRecordsBatch(grands));
+
+  if (update) {
+    // "The root record of the 0-64 grand-children is modified. We update
+    // atomic attributes, that is, the object structure is not changed."
+    for (size_t i = 0; i < grands.size(); ++i) {
+      Tuple new_root = roots[i];
+      const int32_t old_value =
+          new_root.values[config_.update_attr_index].as_int32();
+      new_root.values[config_.update_attr_index] = Value::Int32(old_value + 1);
+      STARFISH_RETURN_NOT_OK(model_->UpdateRootRecord(grands[i], new_root));
+    }
+  }
+  return Status::OK();
+}
+
+Result<QueryMeasurement> QueryRunner::Query2a() {
+  QueryMeasurement m;
+  m.normalizer = config_.q2a_samples;
+  EngineStats sum;
+  for (uint32_t s = 0; s < config_.q2a_samples; ++s) {
+    STARFISH_RETURN_NOT_OK(ColdStart());
+    STARFISH_RETURN_NOT_OK(NavigationLoop(RandomRef(), /*update=*/false));
+    sum.io += engine_->stats().io;
+    sum.buffer.fixes += engine_->stats().buffer.fixes;
+  }
+  m.delta = sum;
+  return m;
+}
+
+Result<QueryMeasurement> QueryRunner::Query2b() {
+  STARFISH_RETURN_NOT_OK(ColdStart());
+  for (uint32_t loop = 0; loop < config_.loops; ++loop) {
+    STARFISH_RETURN_NOT_OK(NavigationLoop(RandomRef(), /*update=*/false));
+  }
+  QueryMeasurement m;
+  m.delta = engine_->stats();
+  m.normalizer = config_.loops;
+  return m;
+}
+
+Result<QueryMeasurement> QueryRunner::Query3a() {
+  QueryMeasurement m;
+  m.normalizer = config_.q2a_samples;
+  EngineStats sum;
+  for (uint32_t s = 0; s < config_.q2a_samples; ++s) {
+    STARFISH_RETURN_NOT_OK(ColdStart());
+    STARFISH_RETURN_NOT_OK(NavigationLoop(RandomRef(), /*update=*/true));
+    // Query ends with the database disconnect: dirty pages reach disk.
+    STARFISH_RETURN_NOT_OK(engine_->Flush());
+    sum.io += engine_->stats().io;
+    sum.buffer.fixes += engine_->stats().buffer.fixes;
+  }
+  m.delta = sum;
+  return m;
+}
+
+Result<QueryMeasurement> QueryRunner::Query3b() {
+  STARFISH_RETURN_NOT_OK(ColdStart());
+  for (uint32_t loop = 0; loop < config_.loops; ++loop) {
+    STARFISH_RETURN_NOT_OK(NavigationLoop(RandomRef(), /*update=*/true));
+  }
+  STARFISH_RETURN_NOT_OK(engine_->Flush());
+  QueryMeasurement m;
+  m.delta = engine_->stats();
+  m.normalizer = config_.loops;
+  return m;
+}
+
+Result<QuerySuiteResults> QueryRunner::RunAll() {
+  QuerySuiteResults results;
+  if (model_->SupportsGetByRef()) {
+    STARFISH_ASSIGN_OR_RETURN(QueryMeasurement q1a, Query1a());
+    results.q1a = q1a;
+  }
+  STARFISH_ASSIGN_OR_RETURN(results.q1b, Query1b());
+  STARFISH_ASSIGN_OR_RETURN(results.q1c, Query1c());
+  STARFISH_ASSIGN_OR_RETURN(results.q2a, Query2a());
+  STARFISH_ASSIGN_OR_RETURN(results.q2b, Query2b());
+  STARFISH_ASSIGN_OR_RETURN(results.q3a, Query3a());
+  STARFISH_ASSIGN_OR_RETURN(results.q3b, Query3b());
+  return results;
+}
+
+}  // namespace starfish::bench

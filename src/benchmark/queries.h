@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "benchmark/generator.h"
+#include "models/storage_model.h"
+#include "util/random.h"
+
+/// \file queries.h
+/// The benchmark queries of §2.2, written once against the StorageModel
+/// interface.
+///
+///   1a — retrieve one object by reference (address/OID)
+///   1b — retrieve one object by key value
+///   1c — retrieve every object; values normalized per object
+///   2a — one navigation loop: a random object, its children (avg 4.1),
+///        their children's root records (avg 16.7); projections push down
+///        ("only the attribute tuples that are needed will be projected")
+///   2b — `loops` navigation loops back to back; values per loop
+///   3a/3b — as 2a/2b plus an update of each grand-child's root record,
+///        ending with the database disconnect (flush)
+///
+/// Navigation is set-oriented: each wave of objects is resolved with one
+/// batch call, so models without addresses answer a wave with one relation
+/// scan (this is what the paper's NSM fix counts imply: ~1,240 fixes per
+/// loop = two Connection-relation scans plus one Station scan).
+
+namespace starfish::bench {
+
+/// Counter deltas of one query, plus the normalizer the paper divides by.
+struct QueryMeasurement {
+  EngineStats delta;
+  double normalizer = 1.0;
+
+  double PagesRead() const {
+    return static_cast<double>(delta.io.pages_read) / normalizer;
+  }
+  double PagesWritten() const {
+    return static_cast<double>(delta.io.pages_written) / normalizer;
+  }
+  /// The paper's X_IO_pages (reads + writes).
+  double Pages() const {
+    return static_cast<double>(delta.io.TotalPages()) / normalizer;
+  }
+  /// The paper's X_IO_calls.
+  double Calls() const {
+    return static_cast<double>(delta.io.TotalCalls()) / normalizer;
+  }
+  /// The paper's buffer fixes (Table 6).
+  double Fixes() const {
+    return static_cast<double>(delta.buffer.fixes) / normalizer;
+  }
+};
+
+/// Execution parameters of the query suite.
+struct QueryConfig {
+  uint64_t seed = 42424201;
+
+  /// Objects sampled (cold buffer each) for query 1a.
+  uint32_t q1a_samples = 50;
+
+  /// Navigation roots sampled (cold buffer each) for queries 2a/3a.
+  uint32_t q2a_samples = 20;
+
+  /// Consecutive loops for queries 2b/3b (300 in the paper).
+  uint32_t loops = 300;
+
+  /// Root attribute updated by query 3 (must be Int32 and not the key).
+  size_t update_attr_index = 1;
+};
+
+/// Results of the full suite; q1a is absent for plain NSM.
+struct QuerySuiteResults {
+  std::optional<QueryMeasurement> q1a;
+  QueryMeasurement q1b, q1c, q2a, q2b, q3a, q3b;
+};
+
+/// Runs the benchmark queries against one loaded model.
+class QueryRunner {
+ public:
+  QueryRunner(StorageModel* model, StorageEngine* engine,
+              const BenchmarkDatabase* db, QueryConfig config);
+
+  Result<QueryMeasurement> Query1a();
+  Result<QueryMeasurement> Query1b();
+  Result<QueryMeasurement> Query1c();
+  Result<QueryMeasurement> Query2a();
+  Result<QueryMeasurement> Query2b();
+  Result<QueryMeasurement> Query3a();
+  Result<QueryMeasurement> Query3b();
+
+  /// Runs the whole suite in table order.
+  Result<QuerySuiteResults> RunAll();
+
+ private:
+  /// One navigation loop from `root`; updates grand-children when `update`.
+  Status NavigationLoop(ObjectRef root, bool update);
+
+  /// Uniform random object.
+  ObjectRef RandomRef() {
+    return rng_.Uniform(db_->objects().size());
+  }
+
+  Status ColdStart();
+
+  StorageModel* model_;
+  StorageEngine* engine_;
+  const BenchmarkDatabase* db_;
+  QueryConfig config_;
+  Rng rng_;
+};
+
+}  // namespace starfish::bench

@@ -1,0 +1,39 @@
+#include "benchmark/runner.h"
+
+namespace starfish::bench {
+
+Result<ModelRunResult> BenchmarkRunner::RunOne(StorageModelKind kind,
+                                               const BenchmarkDatabase& db,
+                                               const BufferOptions& buffer,
+                                               const QueryConfig& query) {
+  StorageEngineOptions engine_options;
+  engine_options.buffer = buffer;
+  StorageEngine engine(engine_options);
+
+  ModelConfig config;
+  config.schema = db.schema();
+  config.key_attr_index = 0;
+  STARFISH_ASSIGN_OR_RETURN(std::unique_ptr<StorageModel> model,
+                            CreateStorageModel(kind, &engine, config));
+  STARFISH_RETURN_NOT_OK(db.LoadInto(model.get(), &engine));
+
+  QueryRunner runner(model.get(), &engine, &db, query);
+  ModelRunResult result;
+  result.kind = kind;
+  STARFISH_ASSIGN_OR_RETURN(result.queries, runner.RunAll());
+  return result;
+}
+
+Result<std::vector<ModelRunResult>> BenchmarkRunner::Run() {
+  STARFISH_ASSIGN_OR_RETURN(db_, BenchmarkDatabase::Generate(options_.generator));
+  std::vector<ModelRunResult> results;
+  for (StorageModelKind kind : options_.kinds) {
+    STARFISH_ASSIGN_OR_RETURN(
+        ModelRunResult result,
+        RunOne(kind, db_, options_.buffer, options_.query));
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace starfish::bench

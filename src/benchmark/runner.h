@@ -1,0 +1,58 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "benchmark/calibration.h"
+#include "benchmark/queries.h"
+#include "models/model_factory.h"
+
+/// \file runner.h
+/// End-to-end benchmark execution: generate → load → run the query suite,
+/// once per storage model, each model in its own engine so measurements are
+/// independent (the paper ran the models as separate DASDBS databases).
+
+namespace starfish::bench {
+
+/// Everything a single benchmark run needs.
+struct RunnerOptions {
+  GeneratorConfig generator;
+
+  /// Buffer configuration — the paper measured with 1200 frames.
+  BufferOptions buffer;
+
+  QueryConfig query;
+
+  /// Models to run, in table order.
+  std::vector<StorageModelKind> kinds = AllStorageModelKinds();
+};
+
+/// Results of one model's full suite.
+struct ModelRunResult {
+  StorageModelKind kind = StorageModelKind::kDsm;
+  QuerySuiteResults queries;
+};
+
+/// Runs the suite for every requested model over one generated database.
+class BenchmarkRunner {
+ public:
+  explicit BenchmarkRunner(RunnerOptions options) : options_(std::move(options)) {}
+
+  /// Generates (or reuses) the database and runs all models.
+  Result<std::vector<ModelRunResult>> Run();
+
+  /// The database of the last Run() (valid afterwards).
+  const BenchmarkDatabase& database() const { return db_; }
+
+  /// Runs the suite for a single kind over `db` with fresh storage.
+  static Result<ModelRunResult> RunOne(StorageModelKind kind,
+                                       const BenchmarkDatabase& db,
+                                       const BufferOptions& buffer,
+                                       const QueryConfig& query);
+
+ private:
+  RunnerOptions options_;
+  BenchmarkDatabase db_;
+};
+
+}  // namespace starfish::bench

@@ -1,0 +1,36 @@
+#include "benchmark/station_schema.h"
+
+namespace starfish::bench {
+
+std::shared_ptr<const Schema> MakeStationSchema() {
+  auto connection = SchemaBuilder("Connection")
+                        .AddInt32("LineNr")
+                        .AddInt32("KeyConnection")
+                        .AddLink("OidConnection")
+                        .AddString("DepartureTimes")
+                        .Build();
+  auto platform = SchemaBuilder("Platform")
+                      .AddInt32("PlatformNr")
+                      .AddInt32("NoLine")
+                      .AddInt32("TicketCode")
+                      .AddString("Information")
+                      .AddRelation("Connection", connection)
+                      .Build();
+  auto sightseeing = SchemaBuilder("Sightseeing")
+                         .AddInt32("SeeingNr")
+                         .AddString("Description")
+                         .AddString("Location")
+                         .AddString("History")
+                         .AddString("Remarks")
+                         .Build();
+  return SchemaBuilder("Station")
+      .AddInt32("Key")
+      .AddInt32("NoPlatform")
+      .AddInt32("NoSeeing")
+      .AddString("Name")
+      .AddRelation("Platform", platform)
+      .AddRelation("Sightseeing", sightseeing)
+      .Build();
+}
+
+}  // namespace starfish::bench

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "nf2/schema.h"
+
+/// \file station_schema.h
+/// The benchmark complex object of §2 (Figure 1) and its generation
+/// parameters.
+///
+///   COMPLEX OBJECT Station = {(            % 1500 tuples
+///     Key: INT, NoPlatform: INT, NoSeeing: INT, Name: STR,   % 100 bytes
+///     Platform: {(                         % 0-2 tuples, p = 80% each
+///       PlatformNr: INT, NoLine: INT, TicketCode: INT, Information: STR,
+///       Connection: {(                     % 0-4 tuples, p = 64% each
+///         LineNr: INT, KeyConnection: INT, OidConnection: LINK,
+///         DepartureTimes: STR )} )},
+///     Sightseeing: {(                      % 0-15 tuples, uniform
+///       SeeingNr: INT, Description: STR, Location: STR, History: STR,
+///       Remarks: STR )} )}
+///
+/// Path ids: Station = 0, Platform = 1, Connection = 2, Sightseeing = 3.
+
+namespace starfish::bench {
+
+/// Generation parameters. Defaults reproduce the paper's database; the
+/// variations of §5.3 (object size) and §5.5 (data skew) are single-field
+/// changes.
+struct GeneratorConfig {
+  /// Number of Station objects (1500 in the paper; §5.4 varies it).
+  uint64_t n_objects = 1500;
+
+  /// Creation probability of platform/railroad/connection slots (§5.5
+  /// changes it to 0.2).
+  double creation_probability = 0.8;
+
+  /// Fan-out: platform slots per station, railroads per platform and
+  /// connections per railroad (§5.5 changes it to 8).
+  uint32_t fanout = 2;
+
+  /// Sightseeing count is uniform in [0, max_sightseeings] (§5.3 uses 0,
+  /// 15 and 30).
+  uint32_t max_sightseeings = 15;
+
+  /// Length of every STR attribute (the paper uses 100-byte strings).
+  uint32_t string_bytes = 100;
+
+  /// PRNG seed — identical seeds generate identical databases.
+  uint64_t seed = 19931;
+
+  /// Expected children per station: (fanout * probability)^3 — platforms
+  /// x railroads x connections, each a Bernoulli(probability) slot.
+  double ExpectedChildren() const {
+    const double fp = fanout * creation_probability;
+    return fp * fp * fp;
+  }
+
+  /// Expected grand-children per navigation loop.
+  double ExpectedGrandChildren() const {
+    return ExpectedChildren() * ExpectedChildren();
+  }
+};
+
+/// Builds the Station root schema (paths as documented above).
+std::shared_ptr<const Schema> MakeStationSchema();
+
+/// Attribute indexes of the Station schema, for readable query code.
+struct StationAttrs {
+  static constexpr size_t kKey = 0;
+  static constexpr size_t kNoPlatform = 1;
+  static constexpr size_t kNoSeeing = 2;
+  static constexpr size_t kName = 3;
+  static constexpr size_t kPlatforms = 4;
+  static constexpr size_t kSightseeings = 5;
+};
+
+/// Path ids of the Station schema.
+struct StationPaths {
+  static constexpr PathId kStation = 0;
+  static constexpr PathId kPlatform = 1;
+  static constexpr PathId kConnection = 2;
+  static constexpr PathId kSightseeing = 3;
+};
+
+}  // namespace starfish::bench

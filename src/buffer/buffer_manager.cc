@@ -1,0 +1,340 @@
+#include "buffer/buffer_manager.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace starfish {
+
+std::string BufferStats::ToString() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "BufferStats{fixes=%llu, hits=%llu, misses=%llu, "
+                "prefetched=%llu, evictions=%llu, write_backs=%llu}",
+                static_cast<unsigned long long>(fixes),
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses),
+                static_cast<unsigned long long>(prefetched_pages),
+                static_cast<unsigned long long>(evictions),
+                static_cast<unsigned long long>(write_backs));
+  return buf;
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    bm_ = other.bm_;
+    id_ = other.id_;
+    data_ = other.data_;
+    dirty_ = other.dirty_;
+    other.bm_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+void PageGuard::Release() {
+  if (bm_ != nullptr) {
+    // Unfix of a held guard cannot fail: the page is pinned by us.
+    (void)bm_->Unfix(id_, dirty_);
+    bm_ = nullptr;
+    data_ = nullptr;
+    dirty_ = false;
+  }
+}
+
+BufferManager::BufferManager(SimDisk* disk, BufferOptions options)
+    : disk_(disk), options_(options) {
+  if (options_.frame_count == 0) options_.frame_count = 1;
+  if (options_.write_batch_size == 0) options_.write_batch_size = 1;
+  frames_.resize(options_.frame_count);
+  for (auto& frame : frames_) {
+    frame.data.resize(disk_->page_size());
+  }
+  free_frames_.reserve(options_.frame_count);
+  for (uint32_t i = options_.frame_count; i > 0; --i) {
+    free_frames_.push_back(i - 1);
+  }
+}
+
+BufferManager::~BufferManager() {
+  // Best effort: persist dirty pages so a dropped manager does not silently
+  // lose updates in examples/tests.
+  (void)FlushAll();
+}
+
+Result<PageGuard> BufferManager::Fix(PageId id) {
+  ++stats_.fixes;
+  auto it = frame_of_.find(id);
+  uint32_t frame_idx;
+  if (it != frame_of_.end()) {
+    ++stats_.hits;
+    frame_idx = it->second;
+  } else {
+    ++stats_.misses;
+    STARFISH_ASSIGN_OR_RETURN(frame_idx, Load(id, nullptr));
+  }
+  Frame& frame = frames_[frame_idx];
+  ++frame.pins;
+  TouchFrame(frame_idx);
+  return PageGuard(this, id, frame.data.data());
+}
+
+Status BufferManager::Unfix(PageId id, bool dirty) {
+  auto it = frame_of_.find(id);
+  if (it == frame_of_.end()) {
+    return Status::InvalidArgument("unfix of non-resident page " +
+                                   std::to_string(id));
+  }
+  Frame& frame = frames_[it->second];
+  if (frame.pins == 0) {
+    return Status::InvalidArgument("unfix of unpinned page " +
+                                   std::to_string(id));
+  }
+  --frame.pins;
+  frame.dirty = frame.dirty || dirty;
+  return Status::OK();
+}
+
+Status BufferManager::Prefetch(const std::vector<PageId>& ids,
+                               PrefetchMode mode) {
+  // Collect distinct missing pages, preserving order.
+  std::vector<PageId> missing;
+  missing.reserve(ids.size());
+  for (PageId id : ids) {
+    if (!IsCached(id) &&
+        std::find(missing.begin(), missing.end(), id) == missing.end()) {
+      missing.push_back(id);
+    }
+  }
+  if (missing.empty()) return Status::OK();
+
+  const uint32_t page_size = disk_->page_size();
+  if (mode == PrefetchMode::kChained) {
+    std::vector<char> scratch(static_cast<size_t>(missing.size()) * page_size);
+    std::vector<char*> outs;
+    outs.reserve(missing.size());
+    for (size_t i = 0; i < missing.size(); ++i) {
+      outs.push_back(scratch.data() + i * page_size);
+    }
+    STARFISH_RETURN_NOT_OK(disk_->ReadChained(missing, outs));
+    for (size_t i = 0; i < missing.size(); ++i) {
+      // Pages might collide with loads triggered by eviction write-backs;
+      // Load() tolerates that via the cache check below.
+      if (!IsCached(missing[i])) {
+        STARFISH_RETURN_NOT_OK(Load(missing[i], outs[i]).status());
+      }
+      ++stats_.prefetched_pages;
+    }
+    return Status::OK();
+  }
+
+  // kContiguousRuns: group maximal runs of consecutive page ids.
+  std::sort(missing.begin(), missing.end());
+  size_t start = 0;
+  while (start < missing.size()) {
+    size_t end = start + 1;
+    while (end < missing.size() && missing[end] == missing[end - 1] + 1) {
+      ++end;
+    }
+    const uint32_t count = static_cast<uint32_t>(end - start);
+    std::vector<char> scratch(static_cast<size_t>(count) * page_size);
+    STARFISH_RETURN_NOT_OK(disk_->ReadRun(missing[start], count, scratch.data()));
+    for (uint32_t i = 0; i < count; ++i) {
+      if (!IsCached(missing[start + i])) {
+        STARFISH_RETURN_NOT_OK(
+            Load(missing[start + i], scratch.data() + static_cast<size_t>(i) * page_size)
+                .status());
+      }
+      ++stats_.prefetched_pages;
+    }
+    start = end;
+  }
+  return Status::OK();
+}
+
+Status BufferManager::FlushAll() {
+  std::vector<uint32_t> dirty_frames;
+  for (uint32_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].page_id != kInvalidPageId && frames_[i].dirty) {
+      dirty_frames.push_back(i);
+    }
+  }
+  // Write in page-id order, chained in batches: disconnect-time write-back.
+  std::sort(dirty_frames.begin(), dirty_frames.end(),
+            [this](uint32_t a, uint32_t b) {
+              return frames_[a].page_id < frames_[b].page_id;
+            });
+  size_t pos = 0;
+  while (pos < dirty_frames.size()) {
+    const size_t batch_end =
+        std::min(dirty_frames.size(), pos + options_.write_batch_size);
+    std::vector<PageId> ids;
+    std::vector<const char*> srcs;
+    for (size_t i = pos; i < batch_end; ++i) {
+      Frame& frame = frames_[dirty_frames[i]];
+      ids.push_back(frame.page_id);
+      srcs.push_back(frame.data.data());
+    }
+    STARFISH_RETURN_NOT_OK(disk_->WriteChained(ids, srcs));
+    for (size_t i = pos; i < batch_end; ++i) {
+      frames_[dirty_frames[i]].dirty = false;
+      ++stats_.write_backs;
+    }
+    pos = batch_end;
+  }
+  return Status::OK();
+}
+
+Status BufferManager::DropAll() {
+  for (const Frame& frame : frames_) {
+    if (frame.page_id != kInvalidPageId && frame.pins > 0) {
+      return Status::InvalidArgument("DropAll with pinned page " +
+                                     std::to_string(frame.page_id));
+    }
+  }
+  STARFISH_RETURN_NOT_OK(FlushAll());
+  for (uint32_t i = 0; i < frames_.size(); ++i) {
+    Frame& frame = frames_[i];
+    if (frame.page_id != kInvalidPageId) {
+      RemoveFromOrder(i);
+      frame_of_.erase(frame.page_id);
+      frame.page_id = kInvalidPageId;
+      frame.referenced = false;
+      free_frames_.push_back(i);
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> BufferManager::Load(PageId id, const char* already_read) {
+  STARFISH_ASSIGN_OR_RETURN(uint32_t frame_idx, GrabFrame());
+  Frame& frame = frames_[frame_idx];
+  if (already_read != nullptr) {
+    std::memcpy(frame.data.data(), already_read, disk_->page_size());
+  } else {
+    STARFISH_RETURN_NOT_OK(disk_->ReadRun(id, 1, frame.data.data()));
+  }
+  frame.page_id = id;
+  frame.pins = 0;
+  frame.dirty = false;
+  frame.referenced = true;
+  frame_of_[id] = frame_idx;
+  EnqueueFrame(frame_idx);
+  return frame_idx;
+}
+
+Result<uint32_t> BufferManager::GrabFrame() {
+  if (!free_frames_.empty()) {
+    const uint32_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  STARFISH_ASSIGN_OR_RETURN(uint32_t victim, PickVictim());
+  Frame& frame = frames_[victim];
+  if (frame.dirty) {
+    // Buffer overflow: clean a batch of cold dirty pages in one chained
+    // write (the DASDBS write-at-overflow behaviour).
+    STARFISH_RETURN_NOT_OK(WriteBackBatch(victim));
+  }
+  RemoveFromOrder(victim);
+  frame_of_.erase(frame.page_id);
+  frame.page_id = kInvalidPageId;
+  frame.referenced = false;
+  ++stats_.evictions;
+  return victim;
+}
+
+Result<uint32_t> BufferManager::PickVictim() {
+  switch (options_.policy) {
+    case ReplacementPolicy::kLru:
+    case ReplacementPolicy::kFifo: {
+      for (uint32_t idx : order_) {
+        if (frames_[idx].pins == 0) return idx;
+      }
+      return Status::ResourceExhausted("all buffer frames pinned");
+    }
+    case ReplacementPolicy::kClock: {
+      const uint32_t n = static_cast<uint32_t>(frames_.size());
+      for (uint32_t sweep = 0; sweep < 2 * n; ++sweep) {
+        const uint32_t idx = clock_hand_;
+        clock_hand_ = (clock_hand_ + 1) % n;
+        Frame& frame = frames_[idx];
+        if (frame.page_id == kInvalidPageId || frame.pins > 0) continue;
+        if (frame.referenced) {
+          frame.referenced = false;
+          continue;
+        }
+        return idx;
+      }
+      return Status::ResourceExhausted("all buffer frames pinned");
+    }
+  }
+  return Status::Internal("unknown replacement policy");
+}
+
+Status BufferManager::WriteBackBatch(uint32_t must_include) {
+  std::vector<uint32_t> batch;
+  batch.push_back(must_include);
+  // Walk the eviction order from cold to hot collecting dirty unpinned
+  // frames. For CLOCK there is no order list; fall back to frame order.
+  if (options_.policy == ReplacementPolicy::kClock) {
+    for (uint32_t i = 0; i < frames_.size() && batch.size() < options_.write_batch_size; ++i) {
+      const Frame& frame = frames_[i];
+      if (i != must_include && frame.page_id != kInvalidPageId && frame.dirty &&
+          frame.pins == 0) {
+        batch.push_back(i);
+      }
+    }
+  } else {
+    for (uint32_t idx : order_) {
+      if (batch.size() >= options_.write_batch_size) break;
+      const Frame& frame = frames_[idx];
+      if (idx != must_include && frame.dirty && frame.pins == 0) {
+        batch.push_back(idx);
+      }
+    }
+  }
+  std::sort(batch.begin(), batch.end(), [this](uint32_t a, uint32_t b) {
+    return frames_[a].page_id < frames_[b].page_id;
+  });
+  std::vector<PageId> ids;
+  std::vector<const char*> srcs;
+  ids.reserve(batch.size());
+  for (uint32_t idx : batch) {
+    ids.push_back(frames_[idx].page_id);
+    srcs.push_back(frames_[idx].data.data());
+  }
+  STARFISH_RETURN_NOT_OK(disk_->WriteChained(ids, srcs));
+  for (uint32_t idx : batch) {
+    frames_[idx].dirty = false;
+    ++stats_.write_backs;
+  }
+  return Status::OK();
+}
+
+void BufferManager::TouchFrame(uint32_t frame_idx) {
+  Frame& frame = frames_[frame_idx];
+  frame.referenced = true;
+  if (options_.policy == ReplacementPolicy::kLru && frame.in_order) {
+    order_.erase(frame.order_pos);
+    frame.order_pos = order_.insert(order_.end(), frame_idx);
+  }
+  // FIFO: position fixed at load time. CLOCK: referenced bit is enough.
+}
+
+void BufferManager::EnqueueFrame(uint32_t frame_idx) {
+  Frame& frame = frames_[frame_idx];
+  frame.order_pos = order_.insert(order_.end(), frame_idx);
+  frame.in_order = true;
+}
+
+void BufferManager::RemoveFromOrder(uint32_t frame_idx) {
+  Frame& frame = frames_[frame_idx];
+  if (frame.in_order) {
+    order_.erase(frame.order_pos);
+    frame.in_order = false;
+  }
+}
+
+}  // namespace starfish

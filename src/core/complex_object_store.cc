@@ -1,0 +1,76 @@
+#include "core/complex_object_store.h"
+
+namespace starfish {
+
+Result<std::unique_ptr<ComplexObjectStore>> ComplexObjectStore::Open(
+    std::shared_ptr<const Schema> schema, StoreOptions options) {
+  if (schema == nullptr || schema->path_count() == 0) {
+    return Status::InvalidArgument("Open requires a finalized root schema");
+  }
+  auto store = std::unique_ptr<ComplexObjectStore>(new ComplexObjectStore());
+  store->options_ = options;
+  store->schema_ = schema;
+
+  StorageEngineOptions engine_options;
+  engine_options.disk.page_size = options.page_size;
+  engine_options.buffer.frame_count = options.buffer_frames;
+  engine_options.buffer.policy = options.replacement;
+  engine_options.buffer.write_batch_size = options.write_batch_size;
+  store->engine_ = std::make_unique<StorageEngine>(engine_options);
+
+  ModelConfig config;
+  config.schema = std::move(schema);
+  config.key_attr_index = options.key_attr_index;
+  STARFISH_ASSIGN_OR_RETURN(
+      store->model_,
+      CreateStorageModel(options.model, store->engine_.get(), config));
+  return store;
+}
+
+Status ComplexObjectStore::Put(ObjectRef ref, const Tuple& object) {
+  return model_->Insert(ref, object);
+}
+
+Result<Tuple> ComplexObjectStore::Get(ObjectRef ref,
+                                      const Projection& projection) {
+  return model_->GetByRef(ref, projection);
+}
+
+Result<Tuple> ComplexObjectStore::Get(ObjectRef ref) {
+  return model_->GetByRef(ref, Projection::All(*schema_));
+}
+
+Result<Tuple> ComplexObjectStore::GetByKey(int64_t key,
+                                           const Projection& projection) {
+  return model_->GetByKey(key, projection);
+}
+
+Status ComplexObjectStore::Scan(const Projection& projection,
+                                const ScanCallback& fn) {
+  return model_->ScanAll(projection, fn);
+}
+
+Result<std::vector<ObjectRef>> ComplexObjectStore::Children(ObjectRef ref) {
+  return model_->GetChildRefs(ref);
+}
+
+Result<Tuple> ComplexObjectStore::RootRecord(ObjectRef ref) {
+  return model_->GetRootRecord(ref);
+}
+
+Status ComplexObjectStore::UpdateRootRecord(ObjectRef ref,
+                                            const Tuple& new_root) {
+  return model_->UpdateRootRecord(ref, new_root);
+}
+
+Status ComplexObjectStore::Replace(ObjectRef ref, const Tuple& new_object) {
+  return model_->ReplaceObject(ref, new_object);
+}
+
+Status ComplexObjectStore::Remove(ObjectRef ref) {
+  return model_->Remove(ref);
+}
+
+Status ComplexObjectStore::Flush() { return engine_->Flush(); }
+
+}  // namespace starfish

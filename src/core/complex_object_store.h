@@ -1,0 +1,120 @@
+#pragma once
+
+#include <memory>
+
+#include "disk/disk_timing.h"
+#include "models/model_factory.h"
+#include "nf2/projection.h"
+#include "nf2/schema.h"
+#include "nf2/value.h"
+
+/// \file complex_object_store.h
+/// The library's front door: a complex-object store with a selectable
+/// physical storage model and full I/O accounting.
+///
+/// Typical use (see examples/quickstart.cc):
+///
+///   auto schema = SchemaBuilder("Doc").AddInt32("Id")...Build();
+///   StoreOptions options;
+///   options.model = StorageModelKind::kDasdbsNsm;
+///   auto store = ComplexObjectStore::Open(schema, options).value();
+///   store->Put(0, doc);
+///   Tuple back = store->Get(0, Projection::All(*schema)).value();
+///   printf("%s\n", store->stats().io.ToString().c_str());
+///
+/// The store owns a simulated volume and buffer pool; every operation's
+/// physical page I/Os, I/O calls and buffer fixes are metered, and the
+/// Eq.-1 timing model converts them to estimated service time. Swap
+/// `options.model` to compare how the paper's four storage models behave on
+/// *your* object schema and workload — the question the paper answers for
+/// its railway benchmark.
+
+namespace starfish {
+
+/// Store configuration.
+struct StoreOptions {
+  /// Physical storage model (the paper's recommendation: DASDBS-NSM).
+  StorageModelKind model = StorageModelKind::kDasdbsNsm;
+
+  /// Root attribute holding the unique Int32 object key.
+  size_t key_attr_index = 0;
+
+  /// Page size in bytes (DASDBS: 2048).
+  uint32_t page_size = kDefaultPageSize;
+
+  /// Buffer pool frames (DASDBS testbed: 1200).
+  uint32_t buffer_frames = 1200;
+
+  /// Buffer replacement policy.
+  ReplacementPolicy replacement = ReplacementPolicy::kLru;
+
+  /// Pages per chained write-back call.
+  uint32_t write_batch_size = 32;
+
+  /// Equation-1 service-time coefficients (defaults model a period disk).
+  LinearTimingModel timing;
+};
+
+/// A complex-object store over one schema.
+class ComplexObjectStore {
+ public:
+  /// Opens a fresh store for objects of `schema`.
+  static Result<std::unique_ptr<ComplexObjectStore>> Open(
+      std::shared_ptr<const Schema> schema, StoreOptions options = {});
+
+  /// Stores a new object under `ref`. Keys must be unique.
+  Status Put(ObjectRef ref, const Tuple& object);
+
+  /// Retrieves an object (or the projected part of it) by reference.
+  Result<Tuple> Get(ObjectRef ref, const Projection& projection);
+  Result<Tuple> Get(ObjectRef ref);
+
+  /// Retrieves an object by key value.
+  Result<Tuple> GetByKey(int64_t key, const Projection& projection);
+
+  /// Visits every object.
+  Status Scan(const Projection& projection, const ScanCallback& fn);
+
+  /// References this object makes to other objects.
+  Result<std::vector<ObjectRef>> Children(ObjectRef ref);
+
+  /// The object's root record (atomic/link attributes only).
+  Result<Tuple> RootRecord(ObjectRef ref);
+
+  /// Replaces the root record's atomic/link attributes.
+  Status UpdateRootRecord(ObjectRef ref, const Tuple& new_root);
+
+  /// Replaces the whole object (structure changes allowed; key immutable).
+  Status Replace(ObjectRef ref, const Tuple& new_object);
+
+  /// Removes the object and releases its pages.
+  Status Remove(ObjectRef ref);
+
+  /// Write-back of all dirty pages ("disconnect").
+  Status Flush();
+
+  /// Counter snapshot (physical I/O + buffer).
+  EngineStats stats() const { return engine_->stats(); }
+  void ResetStats() { engine_->ResetStats(); }
+
+  /// Estimated I/O service time of the work since the last ResetStats,
+  /// under the configured Equation-1 timing model.
+  double EstimatedIoMillis() const {
+    return options_.timing.Cost(engine_->stats().io);
+  }
+
+  const StoreOptions& options() const { return options_; }
+  const std::shared_ptr<const Schema>& schema() const { return schema_; }
+  StorageModel* model() { return model_.get(); }
+  StorageEngine* engine() { return engine_.get(); }
+
+ private:
+  ComplexObjectStore() = default;
+
+  StoreOptions options_;
+  std::shared_ptr<const Schema> schema_;
+  std::unique_ptr<StorageEngine> engine_;
+  std::unique_ptr<StorageModel> model_;
+};
+
+}  // namespace starfish

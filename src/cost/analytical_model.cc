@@ -1,0 +1,198 @@
+#include "cost/analytical_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cost/formulas.h"
+
+namespace starfish::cost {
+
+namespace {
+
+/// Expected pages to fetch the relation tuples of one object by address.
+double PerObjectFetchPages(const RelationParams& rel) {
+  if (rel.is_large) return rel.header_pages + rel.data_pages;
+  // Tuples of one object are stored consecutively (insert clustering).
+  return ClusterPages(rel.tuples_per_object, static_cast<int64_t>(rel.m),
+                      std::max<int64_t>(1, static_cast<int64_t>(rel.k)));
+}
+
+int64_t I64(double v) { return static_cast<int64_t>(std::llround(v)); }
+
+}  // namespace
+
+RelationParams StripWaste(const RelationParams& rel, double page_bytes) {
+  RelationParams out = rel;
+  out.tuple_bytes = rel.payload_bytes;
+  if (rel.is_large) {
+    out.header_pages = 0.0;
+    out.data_pages = rel.payload_bytes / page_bytes;  // fractional, packed
+    out.p = out.data_pages;
+    out.m = rel.total_tuples * out.p;
+  } else {
+    out.k = std::floor(page_bytes / std::max(1.0, rel.payload_bytes));
+    out.m = std::ceil(rel.total_tuples / std::max(1.0, out.k));
+  }
+  return out;
+}
+
+QueryEstimates EstimateDsm(const RelationParams& rel, const WorkloadParams& w) {
+  QueryEstimates e;
+  const double visits = w.VisitsPerLoop();
+  if (rel.is_large) {
+    // Equation 3: every access fetches all p pages of the object.
+    e.q1a = rel.p;
+    e.q1b = rel.m;              // value selection scans the whole relation
+    e.q1c = rel.m / w.n_objects;
+    e.q2a = visits * rel.p;
+    const double distinct =
+        ExpectedDistinct(w.n_objects, w.loops * visits);
+    e.q2b = distinct * rel.p / w.loops;
+    e.q3a = e.q2a + w.avg_grandchildren * rel.p;  // whole-tuple rewrites
+    const double distinct_g =
+        ExpectedDistinct(w.n_objects, w.loops * w.avg_grandchildren);
+    e.q3b = e.q2b + distinct_g * rel.p / w.loops;
+    return e;
+  }
+  // Small objects share pages: Equation 4 situations.
+  const int64_t m = I64(rel.m);
+  const int64_t k = std::max<int64_t>(1, I64(rel.k));
+  e.q1a = 1.0;
+  e.q1b = rel.m;
+  e.q1c = rel.m / w.n_objects;
+  e.q2a = YaoPagesFrac(visits, m, k);
+  const double distinct = ExpectedDistinct(w.n_objects, w.loops * visits);
+  e.q2b = YaoPagesFrac(distinct, m, k) / w.loops;
+  e.q3a = e.q2a + YaoPagesFrac(w.avg_grandchildren, m, k);
+  const double distinct_g =
+      ExpectedDistinct(w.n_objects, w.loops * w.avg_grandchildren);
+  e.q3b = e.q2b + YaoPagesFrac(distinct_g, m, k) / w.loops;
+  return e;
+}
+
+QueryEstimates EstimateDasdbsDsm(const RelationParams& rel,
+                                 const WorkloadParams& w, double pool_pages) {
+  QueryEstimates e;
+  const double visits = w.VisitsPerLoop();
+  if (!rel.is_large) {
+    // Small objects: the header brings no benefit; reads behave like DSM,
+    // but updates still follow the change-attribute protocol (page pool).
+    e = EstimateDsm(rel, w);
+    const int64_t m = I64(rel.m);
+    const int64_t k = std::max<int64_t>(1, I64(rel.k));
+    e.q3a = e.q2a + w.avg_grandchildren * pool_pages +
+            YaoPagesFrac(w.avg_grandchildren, m, k);
+    const double distinct_g =
+        ExpectedDistinct(w.n_objects, w.loops * w.avg_grandchildren);
+    e.q3b = e.q2b + w.avg_grandchildren * pool_pages +
+            YaoPagesFrac(distinct_g, m, k) / w.loops;
+    return e;
+  }
+
+  const double full = rel.header_pages + rel.data_pages;
+  // Equation 5: partial reads fetch the headers plus only the used data.
+  const double nav_pages = PartialLargePages(w.nav_bytes, rel.header_pages,
+                                             rel.data_pages, w.page_bytes);
+  const double root_pages = PartialLargePages(w.root_bytes, rel.header_pages,
+                                              rel.data_pages, w.page_bytes);
+  e.q1a = full;
+  e.q1b = rel.m;
+  e.q1c = rel.m / w.n_objects;
+  e.q2a = (1.0 + w.avg_children) * nav_pages +
+          w.avg_grandchildren * root_pages;
+  const double per_visit =
+      e.q2a / w.VisitsPerLoop();  // average pages per visited object
+  const double distinct = ExpectedDistinct(w.n_objects, w.loops * visits);
+  e.q2b = distinct * per_visit / w.loops;
+  // Change-attribute updates: one page-pool write per updated tuple plus
+  // the (eventually written back) dirty root data page.
+  e.q3a = e.q2a + w.avg_grandchildren * pool_pages + w.avg_grandchildren;
+  const double distinct_g =
+      ExpectedDistinct(w.n_objects, w.loops * w.avg_grandchildren);
+  e.q3b = e.q2b + w.avg_grandchildren * pool_pages +
+          distinct_g * 1.0 / w.loops;
+  return e;
+}
+
+QueryEstimates EstimateNsm(const std::vector<RelationParams>& rels,
+                           const NormalizedLayout& layout,
+                           const WorkloadParams& w, bool with_index) {
+  QueryEstimates e;
+  const RelationParams& root = rels[layout.root_index];
+  const int64_t m_root = I64(root.m);
+  const int64_t k_root = std::max<int64_t>(1, I64(root.k));
+
+  double m_all = 0.0;
+  for (const RelationParams& rel : rels) m_all += rel.m;
+  double m_links = 0.0;
+  for (size_t idx : layout.link_indexes) m_links += rels[idx].m;
+
+  // Per-object addressed fetch of all non-root relations (index case):
+  // each object's tuples form one cluster per relation (Equation 6).
+  double fetch_children_rels = 0.0;
+  for (size_t i = 0; i < rels.size(); ++i) {
+    if (i == layout.root_index) continue;
+    fetch_children_rels += ClusterPages(
+        rels[i].tuples_per_object, I64(rels[i].m),
+        std::max<int64_t>(1, I64(rels[i].k)));
+  }
+  // Link-relation tuples of one object (one navigation step).
+  double link_fetch = 0.0;
+  for (size_t idx : layout.link_indexes) {
+    link_fetch += ClusterPages(rels[idx].tuples_per_object, I64(rels[idx].m),
+                               std::max<int64_t>(1, I64(rels[idx].k)));
+  }
+
+  e.q1c = m_all / w.n_objects;
+  if (with_index) {
+    e.q1a = 1.0 + fetch_children_rels;
+    e.q1b = root.m + fetch_children_rels;  // key selection still scans root
+    e.q2a = (1.0 + w.avg_children) * link_fetch +
+            YaoPagesFrac(w.avg_grandchildren, m_root, k_root);
+    // Best case across loops: the touched relations end up fully cached.
+    e.q2b = (m_links + root.m) / w.loops;
+  } else {
+    e.q1a = -1;  // "With NSM we have no identifiers" — not relevant
+    e.q1b = m_all;
+    // Navigation = full scans of the link relations (+ root relation for
+    // the grand-children's records), all cached within the query.
+    e.q2a = m_links + root.m;
+    e.q2b = (m_links + root.m) / w.loops;
+  }
+  e.q3a = e.q2a + YaoPagesFrac(w.avg_grandchildren, m_root, k_root);
+  e.q3b = e.q2b + root.m / w.loops;  // every root page dirty once, flushed
+  return e;
+}
+
+QueryEstimates EstimateDasdbsNsm(const std::vector<RelationParams>& rels,
+                                 const NormalizedLayout& layout,
+                                 const WorkloadParams& w) {
+  QueryEstimates e;
+  const RelationParams& root = rels[layout.root_index];
+  const int64_t m_root = I64(root.m);
+  const int64_t k_root = std::max<int64_t>(1, I64(root.k));
+
+  double m_all = 0.0;
+  for (const RelationParams& rel : rels) m_all += rel.m;
+  double m_links = 0.0, link_fetch = 0.0;
+  for (size_t idx : layout.link_indexes) {
+    m_links += rels[idx].m;
+    link_fetch += PerObjectFetchPages(rels[idx]);
+  }
+  double fetch_all = 0.0;
+  for (size_t i = 0; i < rels.size(); ++i) {
+    fetch_all += i == layout.root_index ? 1.0 : PerObjectFetchPages(rels[i]);
+  }
+
+  e.q1a = fetch_all;
+  e.q1b = root.m + (fetch_all - 1.0);  // root scan + addressed fetches
+  e.q1c = m_all / w.n_objects;
+  e.q2a = (1.0 + w.avg_children) * link_fetch +
+          YaoPagesFrac(w.avg_grandchildren, m_root, k_root);
+  e.q2b = (m_links + root.m) / w.loops;
+  e.q3a = e.q2a + YaoPagesFrac(w.avg_grandchildren, m_root, k_root);
+  e.q3b = e.q2b + root.m / w.loops;
+  return e;
+}
+
+}  // namespace starfish::cost

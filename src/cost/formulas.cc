@@ -1,0 +1,64 @@
+#include "cost/formulas.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace starfish::cost {
+
+int64_t PagesPerLargeTuple(double tuple_bytes, double page_bytes) {
+  if (tuple_bytes <= 0) return 0;
+  return static_cast<int64_t>(std::ceil(tuple_bytes / page_bytes));
+}
+
+double LargeTuplePages(double t, double p) { return t * p; }
+
+double YaoPages(int64_t t, int64_t m, int64_t k) {
+  if (t <= 0 || m <= 0 || k <= 0) return 0.0;
+  const int64_t total = m * k;
+  if (t >= total) return static_cast<double>(m);
+  // P(one page untouched) = C(total - k, t) / C(total, t).
+  const double untouched = BinomialRatio(total - k, total, t);
+  return static_cast<double>(m) * (1.0 - untouched);
+}
+
+double YaoPagesFrac(double t, int64_t m, int64_t k) {
+  const int64_t lo = static_cast<int64_t>(std::floor(t));
+  const int64_t hi = static_cast<int64_t>(std::ceil(t));
+  if (lo == hi) return YaoPages(lo, m, k);
+  const double frac = t - static_cast<double>(lo);
+  return (1.0 - frac) * YaoPages(lo, m, k) + frac * YaoPages(hi, m, k);
+}
+
+double ClusterPages(double t, int64_t m, int64_t k) {
+  if (t <= 0 || m <= 0 || k <= 0) return 0.0;
+  const double limit = static_cast<double>(m) * k - k + 1;
+  if (t > limit) return static_cast<double>(m);
+  return std::min(static_cast<double>(m),
+                  1.0 + (t - 1.0) / static_cast<double>(k));
+}
+
+double ClusterGroupPages(double clusters, double g, int64_t m, int64_t k) {
+  if (clusters <= 0 || g <= 0 || m <= 0 || k <= 0) return 0.0;
+  const double e1 = ClusterPages(g, m, k);
+  const double miss = 1.0 - e1 / static_cast<double>(m);
+  if (miss <= 0.0) return static_cast<double>(m);
+  return static_cast<double>(m) * (1.0 - std::pow(miss, clusters));
+}
+
+double PartialLargePages(double used_bytes, double header_pages,
+                         double data_pages, double page_bytes) {
+  if (used_bytes <= 0) return header_pages;
+  const double used_data =
+      std::min(data_pages, 1.0 + (used_bytes - 1.0) / page_bytes);
+  return header_pages + used_data;
+}
+
+double ExpectedDistinct(double n_total, double draws) {
+  if (n_total <= 0 || draws <= 0) return 0.0;
+  const double miss = (n_total - 1.0) / n_total;
+  return n_total * (1.0 - std::pow(miss, draws));
+}
+
+}  // namespace starfish::cost

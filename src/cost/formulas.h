@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file formulas.h
+/// The analytical cost formulas of §3 (Equations 2-8).
+///
+/// All formulas estimate X_IO_pages — expected physical page accesses —
+/// for the placement situations of the paper:
+///
+///   * Eq. 2/3 — page-spanning ("large") tuples fetched by address;
+///   * Eq. 4   — small tuples randomly distributed over a relation's pages
+///               (Bernstein/Yao formula);
+///   * Eq. 5   — partial retrieval of a large tuple through its object
+///               header (DASDBS-DSM);
+///   * Eq. 6   — one cluster of consecutively stored small tuples;
+///   * Eq. 7   — several clusters of consecutive tuples, randomly located;
+///   * Eq. 8   — number of distinct objects hit by random draws with
+///               replacement (database-cache model for the query loops).
+///
+/// Equations 5 and 7 are partially illegible in the available scan of the
+/// paper and are reconstructed from first principles; tests validate them
+/// against Monte-Carlo simulation (see monte_carlo.h) and the benches
+/// against the storage simulator itself.
+
+namespace starfish::cost {
+
+/// Equation 2: pages p spanned by a single large tuple of `tuple_bytes` on
+/// pages with `page_bytes` usable bytes (ceiling division).
+int64_t PagesPerLargeTuple(double tuple_bytes, double page_bytes);
+
+/// Equation 3: page accesses for t large tuples fetched by address,
+/// p pages each.
+double LargeTuplePages(double t, double p);
+
+/// Equation 4 (Yao/Bernstein), integer form: expected pages touched when t
+/// specific tuples are randomly distributed over m pages holding k tuples
+/// each:  m * (1 - C(mk - k, t) / C(mk, t)).
+double YaoPages(int64_t t, int64_t m, int64_t k);
+
+/// Equation 4 with fractional t (the workload averages are fractional,
+/// e.g. 16.7 grand-children): linear interpolation between floor(t) and
+/// ceil(t).
+double YaoPagesFrac(double t, int64_t m, int64_t k);
+
+/// Equation 6: expected pages touched by one run of t consecutively stored
+/// tuples, k per page, uniformly random start alignment:
+///   1 + (t - 1) / k, saturating at m (t > m*k - k + 1 touches every page).
+double ClusterPages(double t, int64_t m, int64_t k);
+
+/// Equation 7 (reconstructed): expected distinct pages touched by
+/// `clusters` independently placed runs of `g` consecutive tuples each:
+///   m * (1 - (1 - E1/m)^clusters),   E1 = ClusterPages(g, m, k)
+/// — the collision-aware composition of Eq. 6; reduces to Eq. 4 behaviour
+/// for g = 1 and saturates at m.
+double ClusterGroupPages(double clusters, double g, int64_t m, int64_t k);
+
+/// Equation 5 (reconstructed): expected pages for a partial read of a large
+/// tuple through its header: all `header_pages` plus the data pages holding
+/// the used fraction. Used bytes are assumed contiguous in document order
+/// (the benchmark's navigation reads a prefix: root + Platform +
+/// Connection), so data pages = ClusterPages over bytes:
+///   header_pages + min(data_pages, 1 + (used_bytes - 1) / page_bytes).
+double PartialLargePages(double used_bytes, double header_pages,
+                         double data_pages, double page_bytes);
+
+/// Equation 8: expected number of distinct objects selected when drawing
+/// `draws` times uniformly with replacement from `n_total` objects:
+///   N_tot * (1 - ((N_tot - 1) / N_tot)^draws).
+double ExpectedDistinct(double n_total, double draws);
+
+}  // namespace starfish::cost

@@ -1,0 +1,70 @@
+#include "cost/monte_carlo.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace starfish::cost {
+
+double McYaoPages(int64_t t, int64_t m, int64_t k, int trials, uint64_t seed) {
+  Rng rng(seed);
+  const int64_t total = m * k;
+  if (t >= total) return static_cast<double>(m);
+  double sum = 0.0;
+  std::vector<uint64_t> tuples(static_cast<size_t>(total));
+  for (int64_t i = 0; i < total; ++i) tuples[static_cast<size_t>(i)] = i;
+  for (int trial = 0; trial < trials; ++trial) {
+    // Partial Fisher-Yates: the first t entries are a uniform t-subset.
+    for (int64_t i = 0; i < t; ++i) {
+      const uint64_t j = i + rng.Uniform(static_cast<uint64_t>(total - i));
+      std::swap(tuples[static_cast<size_t>(i)], tuples[static_cast<size_t>(j)]);
+    }
+    std::unordered_set<int64_t> pages;
+    for (int64_t i = 0; i < t; ++i) {
+      pages.insert(static_cast<int64_t>(tuples[static_cast<size_t>(i)]) / k);
+    }
+    sum += static_cast<double>(pages.size());
+  }
+  return sum / trials;
+}
+
+double McClusterGroupPages(int64_t clusters, int64_t g, int64_t m, int64_t k,
+                           int trials, uint64_t seed) {
+  Rng rng(seed);
+  const int64_t total = m * k;
+  double sum = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::unordered_set<int64_t> pages;
+    for (int64_t c = 0; c < clusters; ++c) {
+      const int64_t max_start = total - g;
+      const int64_t start =
+          max_start > 0 ? static_cast<int64_t>(
+                              rng.Uniform(static_cast<uint64_t>(max_start + 1)))
+                        : 0;
+      const int64_t first_page = start / k;
+      const int64_t last_page = (start + g - 1) / k;
+      for (int64_t p = first_page; p <= last_page && p < m; ++p) {
+        pages.insert(p);
+      }
+    }
+    sum += static_cast<double>(pages.size());
+  }
+  return sum / trials;
+}
+
+double McExpectedDistinct(int64_t n_total, int64_t draws, int trials,
+                          uint64_t seed) {
+  Rng rng(seed);
+  double sum = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::unordered_set<uint64_t> seen;
+    for (int64_t d = 0; d < draws; ++d) {
+      seen.insert(rng.Uniform(static_cast<uint64_t>(n_total)));
+    }
+    sum += static_cast<double>(seen.size());
+  }
+  return sum / trials;
+}
+
+}  // namespace starfish::cost

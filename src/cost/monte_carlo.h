@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file monte_carlo.h
+/// Monte-Carlo oracles for the analytical formulas.
+///
+/// Equations 5 and 7 of the paper are reconstructed (the available scan is
+/// partially illegible); these simulators provide an independent ground
+/// truth the property tests compare the closed forms against. They are also
+/// used by `bench_table3_analytic` to annotate the reconstructed columns.
+
+namespace starfish::cost {
+
+/// Simulates Equation 4: draws `t` distinct tuples uniformly from `m*k`
+/// tuples packed k-per-page; returns the mean number of distinct pages over
+/// `trials` experiments.
+double McYaoPages(int64_t t, int64_t m, int64_t k, int trials, uint64_t seed);
+
+/// Simulates Equation 6/7: places `clusters` runs of `g` consecutive tuples
+/// at uniformly random start offsets in a relation of `m*k` tuple slots;
+/// returns the mean number of distinct pages touched.
+double McClusterGroupPages(int64_t clusters, int64_t g, int64_t m, int64_t k,
+                           int trials, uint64_t seed);
+
+/// Simulates Equation 8: `draws` uniform draws with replacement from
+/// `n_total` objects; returns the mean number of distinct objects.
+double McExpectedDistinct(int64_t n_total, int64_t draws, int trials,
+                          uint64_t seed);
+
+}  // namespace starfish::cost

@@ -1,0 +1,63 @@
+#pragma once
+
+#include "disk/io_stats.h"
+
+/// \file disk_timing.h
+/// Disk service-time models.
+///
+/// Equation 1 of the paper estimates disk cost as
+///
+///     C_diskIO = d1 * X_IO_calls + d2 * X_IO_pages
+///
+/// i.e. a fixed positioning cost per I/O request plus a transfer cost per
+/// page. LinearTimingModel implements exactly that. PhysicalTimingModel
+/// derives d1/d2 from the mechanical parameters of a period disk drive
+/// (average seek + half-rotation per call, track transfer rate per page) so
+/// the benches can also report estimated milliseconds.
+
+namespace starfish {
+
+/// Equation 1: cost = d1 * calls + d2 * pages. The unit of d1/d2 is up to
+/// the caller (milliseconds in the benches).
+struct LinearTimingModel {
+  double d1_per_call = 24.0;  ///< positioning cost per I/O request
+  double d2_per_page = 1.3;   ///< transfer cost per page moved
+
+  /// Cost of the given number of calls and pages.
+  double Cost(uint64_t calls, uint64_t pages) const {
+    return d1_per_call * static_cast<double>(calls) +
+           d2_per_page * static_cast<double>(pages);
+  }
+
+  /// Cost of a measured statistics delta.
+  double Cost(const IoStats& stats) const {
+    return Cost(stats.TotalCalls(), stats.TotalPages());
+  }
+};
+
+/// Mechanical model of a period SCSI drive (circa 1992, e.g. a 1-GB 5400 rpm
+/// unit). Produces the d1/d2 of a LinearTimingModel.
+struct PhysicalTimingModel {
+  double average_seek_ms = 12.0;       ///< average head movement
+  double rpm = 5400.0;                 ///< spindle speed
+  double transfer_mb_per_s = 2.5;      ///< sustained media rate
+  double controller_overhead_ms = 1.0; ///< per-request software/controller
+  uint32_t page_size_bytes = 2048;
+
+  /// Rotational latency: half a revolution on average.
+  double RotationalLatencyMs() const { return 0.5 * 60000.0 / rpm; }
+
+  /// Per-page transfer time at the sustained rate.
+  double TransferMsPerPage() const {
+    return static_cast<double>(page_size_bytes) / (transfer_mb_per_s * 1e6) * 1e3;
+  }
+
+  /// Collapses the mechanical parameters into Equation-1 coefficients.
+  LinearTimingModel ToLinear() const {
+    return LinearTimingModel{
+        average_seek_ms + RotationalLatencyMs() + controller_overhead_ms,
+        TransferMsPerPage()};
+  }
+};
+
+}  // namespace starfish

@@ -1,0 +1,19 @@
+#include "disk/io_stats.h"
+
+#include <cstdio>
+
+namespace starfish {
+
+std::string IoStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "IoStats{pages_read=%llu, pages_written=%llu, read_calls=%llu, "
+                "write_calls=%llu}",
+                static_cast<unsigned long long>(pages_read),
+                static_cast<unsigned long long>(pages_written),
+                static_cast<unsigned long long>(read_calls),
+                static_cast<unsigned long long>(write_calls));
+  return buf;
+}
+
+}  // namespace starfish

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file io_stats.h
+/// Counters for the quantities the paper measures.
+///
+/// The evaluation of the paper is entirely in terms of
+///   * X_IO_pages  — physical pages transferred (Tables 3, 4, Figs. 5, 6),
+///   * X_IO_calls  — I/O requests issued, where one request may move a run
+///                   of several pages (Table 5),
+/// plus buffer fixes as a CPU proxy (Table 6). IoStats carries the disk-side
+/// pair; buffer statistics live in BufferStats.
+
+namespace starfish {
+
+/// Monotonic disk-level counters. Snapshot-and-subtract to measure a query.
+struct IoStats {
+  uint64_t pages_read = 0;    ///< physical pages transferred disk -> memory
+  uint64_t pages_written = 0; ///< physical pages transferred memory -> disk
+  uint64_t read_calls = 0;    ///< read requests (>= 1 page each)
+  uint64_t write_calls = 0;   ///< write requests (>= 1 page each)
+
+  /// Total pages transferred in either direction (the paper's X_IO_pages).
+  uint64_t TotalPages() const { return pages_read + pages_written; }
+
+  /// Total I/O requests in either direction (the paper's X_IO_calls).
+  uint64_t TotalCalls() const { return read_calls + write_calls; }
+
+  /// Component-wise difference (this - earlier). Counters are monotonic, so
+  /// the result is well defined whenever `earlier` was taken first.
+  IoStats Since(const IoStats& earlier) const {
+    IoStats d;
+    d.pages_read = pages_read - earlier.pages_read;
+    d.pages_written = pages_written - earlier.pages_written;
+    d.read_calls = read_calls - earlier.read_calls;
+    d.write_calls = write_calls - earlier.write_calls;
+    return d;
+  }
+
+  IoStats& operator+=(const IoStats& other) {
+    pages_read += other.pages_read;
+    pages_written += other.pages_written;
+    read_calls += other.read_calls;
+    write_calls += other.write_calls;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace starfish

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// \file page.h
+/// Page identifiers and the default page geometry.
+///
+/// The paper's experiments ran on DASDBS with 2048-byte pages of which a
+/// 36-byte page header leaves 2012 effective bytes. Those are the library
+/// defaults; both are configurable (see DiskOptions / the page-size ablation
+/// bench).
+
+namespace starfish {
+
+/// Identifier of a physical page on the simulated disk. Page ids are dense:
+/// the disk allocates them in increasing order, so consecutive ids are
+/// physically adjacent (this is what makes multi-page I/O calls and
+/// clustering meaningful).
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+
+/// Default physical page size in bytes (DASDBS used 2 KiB pages).
+inline constexpr uint32_t kDefaultPageSize = 2048;
+
+/// Bytes reserved at the start of every page for the page header
+/// (page id, type tag, slot count, free-space pointer, checksum).
+/// DASDBS reserved 36 bytes; so do we.
+inline constexpr uint32_t kPageHeaderSize = 36;
+
+}  // namespace starfish

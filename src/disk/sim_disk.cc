@@ -1,0 +1,97 @@
+#include "disk/sim_disk.h"
+
+#include <cstring>
+#include <string>
+
+namespace starfish {
+
+SimDisk::SimDisk(DiskOptions options) : options_(options) {}
+
+PageId SimDisk::Allocate() { return AllocateRun(1); }
+
+PageId SimDisk::AllocateRun(uint32_t n) {
+  const PageId first = static_cast<PageId>(pages_.size());
+  for (uint32_t i = 0; i < n; ++i) {
+    pages_.emplace_back(options_.page_size, '\0');
+    freed_.push_back(false);
+  }
+  live_pages_ += n;
+  return first;
+}
+
+Status SimDisk::Free(PageId id) {
+  STARFISH_RETURN_NOT_OK(CheckRange(id, 1));
+  if (freed_[id]) {
+    return Status::InvalidArgument("page " + std::to_string(id) +
+                                   " already freed");
+  }
+  freed_[id] = true;
+  --live_pages_;
+  return Status::OK();
+}
+
+Status SimDisk::CheckRange(PageId first, uint32_t count) const {
+  if (count == 0) return Status::InvalidArgument("empty page run");
+  const uint64_t end = static_cast<uint64_t>(first) + count;
+  if (first == kInvalidPageId || end > pages_.size()) {
+    return Status::OutOfRange("page run [" + std::to_string(first) + ", " +
+                              std::to_string(end) + ") outside volume of " +
+                              std::to_string(pages_.size()) + " pages");
+  }
+  return Status::OK();
+}
+
+Status SimDisk::ReadRun(PageId first, uint32_t count, char* out) {
+  STARFISH_RETURN_NOT_OK(CheckRange(first, count));
+  for (uint32_t i = 0; i < count; ++i) {
+    std::memcpy(out + static_cast<size_t>(i) * options_.page_size,
+                pages_[first + i].data(), options_.page_size);
+  }
+  stats_.read_calls += 1;
+  stats_.pages_read += count;
+  return Status::OK();
+}
+
+Status SimDisk::WriteRun(PageId first, uint32_t count, const char* src) {
+  STARFISH_RETURN_NOT_OK(CheckRange(first, count));
+  for (uint32_t i = 0; i < count; ++i) {
+    std::memcpy(pages_[first + i].data(),
+                src + static_cast<size_t>(i) * options_.page_size,
+                options_.page_size);
+  }
+  stats_.write_calls += 1;
+  stats_.pages_written += count;
+  return Status::OK();
+}
+
+Status SimDisk::ReadChained(const std::vector<PageId>& ids,
+                            const std::vector<char*>& outs) {
+  if (ids.empty()) return Status::InvalidArgument("empty chained read");
+  if (ids.size() != outs.size()) {
+    return Status::InvalidArgument("chained read: ids/outs size mismatch");
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    STARFISH_RETURN_NOT_OK(CheckRange(ids[i], 1));
+    std::memcpy(outs[i], pages_[ids[i]].data(), options_.page_size);
+  }
+  stats_.read_calls += 1;
+  stats_.pages_read += ids.size();
+  return Status::OK();
+}
+
+Status SimDisk::WriteChained(const std::vector<PageId>& ids,
+                             const std::vector<const char*>& srcs) {
+  if (ids.empty()) return Status::InvalidArgument("empty chained write");
+  if (ids.size() != srcs.size()) {
+    return Status::InvalidArgument("chained write: ids/srcs size mismatch");
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    STARFISH_RETURN_NOT_OK(CheckRange(ids[i], 1));
+    std::memcpy(pages_[ids[i]].data(), srcs[i], options_.page_size);
+  }
+  stats_.write_calls += 1;
+  stats_.pages_written += ids.size();
+  return Status::OK();
+}
+
+}  // namespace starfish

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "disk/io_stats.h"
+#include "disk/page.h"
+#include "util/status.h"
+
+/// \file sim_disk.h
+/// The simulated disk volume.
+///
+/// SimDisk stands in for the physical disk of the DASDBS testbed. It stores
+/// page images in memory and meters every transfer. The unit of metering
+/// follows the paper: a *run* of consecutive pages moved by one request is a
+/// single I/O call; each page in the run is one page I/O. DASDBS issued
+/// separate calls for the root page, the remaining header pages and the data
+/// pages of a complex record — the storage layer reproduces that call
+/// pattern on top of ReadRun/WriteRun.
+///
+/// Page ids are dense and increase in allocation order; AllocateRun yields
+/// physically contiguous pages, which is how segments implement clustering.
+
+namespace starfish {
+
+/// Geometry options for a simulated volume.
+struct DiskOptions {
+  /// Physical page size in bytes. DASDBS default: 2048.
+  uint32_t page_size = kDefaultPageSize;
+};
+
+/// An in-memory disk volume with I/O accounting.
+///
+/// Not thread-safe: the reproduction is single-user, like the paper's
+/// experiments.
+class SimDisk {
+ public:
+  explicit SimDisk(DiskOptions options = {});
+
+  /// Usable page size of this volume.
+  uint32_t page_size() const { return options_.page_size; }
+
+  /// Number of pages ever allocated (including freed ones).
+  uint64_t page_count() const { return pages_.size(); }
+
+  /// Number of currently allocated (not freed) pages.
+  uint64_t live_page_count() const { return live_pages_; }
+
+  /// Allocates one zero-filled page and returns its id.
+  PageId Allocate();
+
+  /// Allocates `n` physically contiguous zero-filled pages; returns the id of
+  /// the first (ids first .. first+n-1 are all valid).
+  PageId AllocateRun(uint32_t n);
+
+  /// Returns a page to the allocator. Freed pages keep their id (ids are
+  /// never reused: simplifies reasoning about clustering and is harmless for
+  /// experiment-scale volumes).
+  Status Free(PageId id);
+
+  /// Reads `count` consecutive pages starting at `first` into `out`
+  /// (`count * page_size` bytes). Counts one read call and `count` page reads.
+  Status ReadRun(PageId first, uint32_t count, char* out);
+
+  /// Writes `count` consecutive pages starting at `first` from `src`.
+  /// Counts one write call and `count` page writes.
+  Status WriteRun(PageId first, uint32_t count, const char* src);
+
+  /// Reads a batch of (not necessarily contiguous) pages as a single chained
+  /// I/O call, e.g. DASDBS fetching all data pages of one object in one
+  /// request. Counts one read call and `ids.size()` page reads.
+  Status ReadChained(const std::vector<PageId>& ids,
+                     const std::vector<char*>& outs);
+
+  /// Writes a batch of (not necessarily contiguous) pages as a single chained
+  /// I/O call (DASDBS batches write-back at buffer overflow / disconnect).
+  /// Counts one write call and `ids.size()` page writes.
+  Status WriteChained(const std::vector<PageId>& ids,
+                      const std::vector<const char*>& srcs);
+
+  /// Cumulative transfer counters.
+  const IoStats& stats() const { return stats_; }
+
+  /// Zeroes the counters (page contents are unaffected).
+  void ResetStats() { stats_ = IoStats{}; }
+
+ private:
+  Status CheckRange(PageId first, uint32_t count) const;
+
+  DiskOptions options_;
+  std::vector<std::vector<char>> pages_;
+  std::vector<bool> freed_;
+  uint64_t live_pages_ = 0;
+  IoStats stats_;
+};
+
+}  // namespace starfish

@@ -1,0 +1,334 @@
+#include "index/bplus_tree.h"
+
+#include <cstring>
+
+#include "storage/slotted_page.h"
+#include "util/coding.h"
+
+namespace starfish {
+
+namespace {
+
+constexpr uint32_t kNodeTypeOff = kPageHeaderSize + 0;  // u16: 1 leaf, 2 inner
+constexpr uint32_t kCountOff = kPageHeaderSize + 2;     // u16
+constexpr uint32_t kNextLeafOff = kPageHeaderSize + 4;  // u32
+constexpr uint32_t kEntriesOff = kPageHeaderSize + 8;
+
+constexpr uint16_t kLeaf = 1;
+constexpr uint16_t kInner = 2;
+
+constexpr uint32_t kLeafEntrySize = 16;  // i64 key + u64 value
+constexpr uint32_t kInnerEntrySize = 12; // i64 key + u32 child
+
+uint16_t NodeType(const char* page) { return DecodeFixed16(page + kNodeTypeOff); }
+uint16_t Count(const char* page) { return DecodeFixed16(page + kCountOff); }
+void SetCount(char* page, uint16_t n) { EncodeFixed16(page + kCountOff, n); }
+PageId NextLeaf(const char* page) { return DecodeFixed32(page + kNextLeafOff); }
+void SetNextLeaf(char* page, PageId id) { EncodeFixed32(page + kNextLeafOff, id); }
+
+int64_t LeafKey(const char* page, uint32_t i) {
+  return static_cast<int64_t>(DecodeFixed64(page + kEntriesOff + i * kLeafEntrySize));
+}
+uint64_t LeafValue(const char* page, uint32_t i) {
+  return DecodeFixed64(page + kEntriesOff + i * kLeafEntrySize + 8);
+}
+void SetLeafEntry(char* page, uint32_t i, int64_t key, uint64_t value) {
+  EncodeFixed64(page + kEntriesOff + i * kLeafEntrySize, static_cast<uint64_t>(key));
+  EncodeFixed64(page + kEntriesOff + i * kLeafEntrySize + 8, value);
+}
+void MoveLeafEntries(char* dst, uint32_t di, const char* src, uint32_t si,
+                     uint32_t n) {
+  std::memmove(dst + kEntriesOff + di * kLeafEntrySize,
+               src + kEntriesOff + si * kLeafEntrySize, n * kLeafEntrySize);
+}
+
+// Inner node: child0 at kEntriesOff, entries after it.
+PageId InnerChild0(const char* page) { return DecodeFixed32(page + kEntriesOff); }
+void SetInnerChild0(char* page, PageId id) { EncodeFixed32(page + kEntriesOff, id); }
+int64_t InnerKey(const char* page, uint32_t i) {
+  return static_cast<int64_t>(
+      DecodeFixed64(page + kEntriesOff + 4 + i * kInnerEntrySize));
+}
+PageId InnerChild(const char* page, uint32_t i) {
+  return DecodeFixed32(page + kEntriesOff + 4 + i * kInnerEntrySize + 8);
+}
+void SetInnerEntry(char* page, uint32_t i, int64_t key, PageId child) {
+  EncodeFixed64(page + kEntriesOff + 4 + i * kInnerEntrySize,
+                static_cast<uint64_t>(key));
+  EncodeFixed32(page + kEntriesOff + 4 + i * kInnerEntrySize + 8, child);
+}
+void MoveInnerEntries(char* dst, uint32_t di, const char* src, uint32_t si,
+                      uint32_t n) {
+  std::memmove(dst + kEntriesOff + 4 + di * kInnerEntrySize,
+               src + kEntriesOff + 4 + si * kInnerEntrySize,
+               n * kInnerEntrySize);
+}
+
+/// First index i in the leaf with key(i) >= key (lower bound).
+uint32_t LeafLowerBound(const char* page, int64_t key) {
+  uint32_t lo = 0, hi = Count(page);
+  while (lo < hi) {
+    const uint32_t mid = (lo + hi) / 2;
+    if (LeafKey(page, mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Child to descend into when INSERTING `key` (right-biased: equal keys go
+/// right of the separator, the classic rule).
+uint32_t InnerChildIndexFor(const char* page, int64_t key) {
+  // Returns 0 for child0, i+1 for entry i's child.
+  uint32_t lo = 0, hi = Count(page);
+  while (lo < hi) {
+    const uint32_t mid = (lo + hi) / 2;
+    if (InnerKey(page, mid) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Child to descend into when SEARCHING `key` (left-biased): duplicates of a
+/// key can straddle a split, so lookups start at the leftmost leaf that may
+/// hold the key and then walk right along the leaf chain.
+uint32_t InnerChildIndexForFind(const char* page, int64_t key) {
+  uint32_t lo = 0, hi = Count(page);
+  while (lo < hi) {
+    const uint32_t mid = (lo + hi) / 2;
+    if (InnerKey(page, mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+PageId ChildAt(const char* page, uint32_t idx) {
+  return idx == 0 ? InnerChild0(page) : InnerChild(page, idx - 1);
+}
+
+}  // namespace
+
+uint32_t BPlusTree::LeafCapacity() const {
+  return (page_size() - kEntriesOff) / kLeafEntrySize;
+}
+
+uint32_t BPlusTree::InnerCapacity() const {
+  return (page_size() - kEntriesOff - 4) / kInnerEntrySize;
+}
+
+Result<PageId> BPlusTree::NewNode(bool leaf) {
+  STARFISH_ASSIGN_OR_RETURN(PageId id,
+                            segment_->AllocatePage(PageType::kIndex));
+  STARFISH_ASSIGN_OR_RETURN(PageGuard guard, segment_->buffer()->Fix(id));
+  EncodeFixed16(guard.data() + kNodeTypeOff, leaf ? kLeaf : kInner);
+  SetCount(guard.data(), 0);
+  SetNextLeaf(guard.data(), kInvalidPageId);
+  guard.MarkDirty();
+  ++node_pages_;
+  return id;
+}
+
+Status BPlusTree::Insert(int64_t key, uint64_t value) {
+  if (root_ == kInvalidPageId) {
+    STARFISH_ASSIGN_OR_RETURN(root_, NewNode(/*leaf=*/true));
+    height_ = 1;
+  }
+  SplitResult split;
+  STARFISH_RETURN_NOT_OK(InsertRec(root_, key, value, &split));
+  if (split.split) {
+    STARFISH_ASSIGN_OR_RETURN(PageId new_root, NewNode(/*leaf=*/false));
+    STARFISH_ASSIGN_OR_RETURN(PageGuard guard,
+                              segment_->buffer()->Fix(new_root));
+    SetInnerChild0(guard.data(), root_);
+    SetInnerEntry(guard.data(), 0, split.separator, split.right);
+    SetCount(guard.data(), 1);
+    guard.MarkDirty();
+    root_ = new_root;
+    ++height_;
+  }
+  ++size_;
+  return Status::OK();
+}
+
+Status BPlusTree::InsertRec(PageId node, int64_t key, uint64_t value,
+                            SplitResult* out) {
+  out->split = false;
+  STARFISH_ASSIGN_OR_RETURN(PageGuard guard, segment_->buffer()->Fix(node));
+  char* page = guard.data();
+
+  if (NodeType(page) == kLeaf) {
+    const uint32_t n = Count(page);
+    const uint32_t pos = LeafLowerBound(page, key);
+    if (n < LeafCapacity()) {
+      MoveLeafEntries(page, pos + 1, page, pos, n - pos);
+      SetLeafEntry(page, pos, key, value);
+      SetCount(page, static_cast<uint16_t>(n + 1));
+      guard.MarkDirty();
+      return Status::OK();
+    }
+    // Split the leaf; then insert into the proper half.
+    STARFISH_ASSIGN_OR_RETURN(PageId right_id, NewNode(/*leaf=*/true));
+    STARFISH_ASSIGN_OR_RETURN(PageGuard rguard,
+                              segment_->buffer()->Fix(right_id));
+    char* right = rguard.data();
+    const uint32_t keep = n / 2;
+    MoveLeafEntries(right, 0, page, keep, n - keep);
+    SetCount(right, static_cast<uint16_t>(n - keep));
+    SetCount(page, static_cast<uint16_t>(keep));
+    SetNextLeaf(right, NextLeaf(page));
+    SetNextLeaf(page, right_id);
+    const int64_t sep = LeafKey(right, 0);
+    char* target = key < sep ? page : right;
+    const uint32_t tn = Count(target);
+    const uint32_t tpos = LeafLowerBound(target, key);
+    MoveLeafEntries(target, tpos + 1, target, tpos, tn - tpos);
+    SetLeafEntry(target, tpos, key, value);
+    SetCount(target, static_cast<uint16_t>(tn + 1));
+    guard.MarkDirty();
+    rguard.MarkDirty();
+    out->split = true;
+    out->separator = sep;
+    out->right = right_id;
+    return Status::OK();
+  }
+
+  // Inner node.
+  const uint32_t idx = InnerChildIndexFor(page, key);
+  const PageId child = ChildAt(page, idx);
+  SplitResult child_split;
+  // Release our pin while descending? Keep it: height <= 4, pool >= 50.
+  STARFISH_RETURN_NOT_OK(InsertRec(child, key, value, &child_split));
+  if (!child_split.split) return Status::OK();
+
+  const uint32_t n = Count(page);
+  if (n < InnerCapacity()) {
+    MoveInnerEntries(page, idx + 1, page, idx, n - idx);
+    SetInnerEntry(page, idx, child_split.separator, child_split.right);
+    SetCount(page, static_cast<uint16_t>(n + 1));
+    guard.MarkDirty();
+    return Status::OK();
+  }
+  // Split the inner node. Middle key moves up.
+  STARFISH_ASSIGN_OR_RETURN(PageId right_id, NewNode(/*leaf=*/false));
+  STARFISH_ASSIGN_OR_RETURN(PageGuard rguard, segment_->buffer()->Fix(right_id));
+  char* right = rguard.data();
+  const uint32_t mid = n / 2;
+  const int64_t up_key = InnerKey(page, mid);
+  SetInnerChild0(right, InnerChild(page, mid));
+  MoveInnerEntries(right, 0, page, mid + 1, n - mid - 1);
+  SetCount(right, static_cast<uint16_t>(n - mid - 1));
+  SetCount(page, static_cast<uint16_t>(mid));
+  // Insert the pending separator into the proper half.
+  char* target = child_split.separator < up_key ? page : right;
+  const uint32_t tn = Count(target);
+  uint32_t tidx = InnerChildIndexFor(target, child_split.separator);
+  MoveInnerEntries(target, tidx + 1, target, tidx, tn - tidx);
+  SetInnerEntry(target, tidx, child_split.separator, child_split.right);
+  SetCount(target, static_cast<uint16_t>(tn + 1));
+  guard.MarkDirty();
+  rguard.MarkDirty();
+  out->split = true;
+  out->separator = up_key;
+  out->right = right_id;
+  return Status::OK();
+}
+
+Result<std::vector<uint64_t>> BPlusTree::Find(int64_t key) const {
+  std::vector<uint64_t> out;
+  if (root_ == kInvalidPageId) return out;
+  PageId node = root_;
+  for (;;) {
+    STARFISH_ASSIGN_OR_RETURN(PageGuard guard, segment_->buffer()->Fix(node));
+    const char* page = guard.data();
+    if (NodeType(page) == kLeaf) break;
+    node = ChildAt(page, InnerChildIndexForFind(page, key));
+  }
+  // Walk leaves right while keys match (duplicates may spill over).
+  while (node != kInvalidPageId) {
+    STARFISH_ASSIGN_OR_RETURN(PageGuard guard, segment_->buffer()->Fix(node));
+    const char* page = guard.data();
+    const uint32_t n = Count(page);
+    uint32_t i = LeafLowerBound(page, key);
+    if (i == n) {
+      node = NextLeaf(page);
+      continue;
+    }
+    bool past = false;
+    for (; i < n; ++i) {
+      if (LeafKey(page, i) != key) {
+        past = true;
+        break;
+      }
+      out.push_back(LeafValue(page, i));
+    }
+    if (past) break;
+    node = NextLeaf(page);
+  }
+  return out;
+}
+
+Status BPlusTree::Delete(int64_t key, uint64_t value) {
+  if (root_ == kInvalidPageId) return Status::NotFound("empty tree");
+  PageId node = root_;
+  for (;;) {
+    STARFISH_ASSIGN_OR_RETURN(PageGuard guard, segment_->buffer()->Fix(node));
+    const char* page = guard.data();
+    if (NodeType(page) == kLeaf) break;
+    node = ChildAt(page, InnerChildIndexForFind(page, key));
+  }
+  while (node != kInvalidPageId) {
+    STARFISH_ASSIGN_OR_RETURN(PageGuard guard, segment_->buffer()->Fix(node));
+    char* page = guard.data();
+    const uint32_t n = Count(page);
+    uint32_t i = LeafLowerBound(page, key);
+    if (i == n) {
+      node = NextLeaf(page);
+      continue;
+    }
+    for (; i < n && LeafKey(page, i) == key; ++i) {
+      if (LeafValue(page, i) == value) {
+        MoveLeafEntries(page, i, page, i + 1, n - i - 1);
+        SetCount(page, static_cast<uint16_t>(n - 1));
+        guard.MarkDirty();
+        --size_;
+        return Status::OK();
+      }
+    }
+    if (i < n) return Status::NotFound("(key, value) pair not in tree");
+    node = NextLeaf(page);
+  }
+  return Status::NotFound("(key, value) pair not in tree");
+}
+
+Status BPlusTree::Scan(
+    const std::function<Status(int64_t, uint64_t)>& fn) const {
+  if (root_ == kInvalidPageId) return Status::OK();
+  // Descend to the leftmost leaf.
+  PageId node = root_;
+  for (;;) {
+    STARFISH_ASSIGN_OR_RETURN(PageGuard guard, segment_->buffer()->Fix(node));
+    const char* page = guard.data();
+    if (NodeType(page) == kLeaf) break;
+    node = ChildAt(page, 0);
+  }
+  while (node != kInvalidPageId) {
+    STARFISH_ASSIGN_OR_RETURN(PageGuard guard, segment_->buffer()->Fix(node));
+    const char* page = guard.data();
+    const uint32_t n = Count(page);
+    for (uint32_t i = 0; i < n; ++i) {
+      STARFISH_RETURN_NOT_OK(fn(LeafKey(page, i), LeafValue(page, i)));
+    }
+    node = NextLeaf(page);
+  }
+  return Status::OK();
+}
+
+}  // namespace starfish

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "storage/segment.h"
+#include "util/status.h"
+
+/// \file bplus_tree.h
+/// A page-based B+-tree with metered I/O.
+///
+/// The paper assumes index accesses are free (in-memory tables). This tree
+/// stores its nodes in ordinary pages of a segment, so probing it costs
+/// buffer fixes and, on cold pages, physical reads — the ablation bench
+/// `bench_ablation_index` uses it to quantify what the paper's assumption
+/// hides.
+///
+/// Design: fixed-size entries (i64 key, u64 value), duplicate keys allowed;
+/// leaves are chained for in-order scans; deletes are lazy (no rebalancing;
+/// underfull nodes are tolerated — the classic engineering simplification,
+/// fine for the workloads here, which are insert-then-read).
+///
+/// Node layout after the 36-byte page header:
+///   u16 node_type (1 = leaf, 2 = inner), u16 count, u32 next_leaf
+///   leaf entries:  (i64 key, u64 value) pairs, sorted by key
+///   inner layout:  u32 child0, then (i64 key, u32 child) pairs;
+///                  child_i holds keys >= key_i (and < key_{i+1})
+
+namespace starfish {
+
+/// Persistent B+-tree index over one segment.
+class BPlusTree {
+ public:
+  explicit BPlusTree(Segment* segment) : segment_(segment) {}
+
+  /// Inserts a (key, value) pair. Duplicate keys are allowed; duplicate
+  /// (key, value) pairs are stored twice.
+  Status Insert(int64_t key, uint64_t value);
+
+  /// All values stored under `key` (empty vector if none).
+  Result<std::vector<uint64_t>> Find(int64_t key) const;
+
+  /// Removes one occurrence of (key, value). NotFound if absent.
+  Status Delete(int64_t key, uint64_t value);
+
+  /// In-order traversal of all entries.
+  Status Scan(const std::function<Status(int64_t, uint64_t)>& fn) const;
+
+  /// Number of live entries.
+  uint64_t size() const { return size_; }
+
+  /// Tree height (0 = empty, 1 = single leaf, ...).
+  uint32_t height() const { return height_; }
+
+  /// Pages currently used by nodes.
+  uint64_t node_pages() const { return node_pages_; }
+
+ private:
+  struct SplitResult {
+    bool split = false;
+    int64_t separator = 0;
+    PageId right = kInvalidPageId;
+  };
+
+  uint32_t page_size() const { return segment_->buffer()->disk()->page_size(); }
+  uint32_t LeafCapacity() const;
+  uint32_t InnerCapacity() const;
+
+  Result<PageId> NewNode(bool leaf);
+  Status InsertRec(PageId node, int64_t key, uint64_t value, SplitResult* out);
+
+  Segment* segment_;
+  PageId root_ = kInvalidPageId;  // kept in memory, like a catalog entry
+  uint64_t size_ = 0;
+  uint32_t height_ = 0;
+  uint64_t node_pages_ = 0;
+};
+
+}  // namespace starfish

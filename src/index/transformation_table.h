@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/tid.h"
+#include "util/status.h"
+
+/// \file transformation_table.h
+/// The paper's in-memory "table with addresses".
+///
+/// DASDBS-NSM keeps, per object key, the addresses of the (four) relation
+/// tuples that together store the object; NSM+index keeps, per key, the
+/// addresses of all tuples with that root key. The paper deliberately does
+/// not count the I/O of maintaining or probing this table ("we did not
+/// account for additional I/Os needed to ... retrieve the tables with
+/// addresses"), so it is a plain in-memory map here. The persistent
+/// BPlusTree (bplus_tree.h) exists to quantify that hidden cost in the
+/// ablation bench.
+
+namespace starfish {
+
+/// key -> ordered list of record addresses. No I/O is metered.
+class TransformationTable {
+ public:
+  /// Replaces the address list of `key`.
+  void Put(int64_t key, std::vector<Tid> addresses) {
+    map_[key] = std::move(addresses);
+  }
+
+  /// Appends one address to `key`'s list.
+  void Append(int64_t key, const Tid& address) {
+    map_[key].push_back(address);
+  }
+
+  /// Address list for `key`, or NotFound.
+  Result<std::vector<Tid>> Get(int64_t key) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      return Status::NotFound("key " + std::to_string(key) +
+                              " not in transformation table");
+    }
+    return it->second;
+  }
+
+  /// Replaces one address in `key`'s list (old -> new), e.g. after a record
+  /// moved. NotFound if the pair is absent.
+  Status Replace(int64_t key, const Tid& old_addr, const Tid& new_addr) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      for (Tid& tid : it->second) {
+        if (tid == old_addr) {
+          tid = new_addr;
+          return Status::OK();
+        }
+      }
+    }
+    return Status::NotFound("address " + old_addr.ToString() +
+                            " not registered for key " + std::to_string(key));
+  }
+
+  Status Erase(int64_t key) {
+    return map_.erase(key) > 0
+               ? Status::OK()
+               : Status::NotFound("key " + std::to_string(key));
+  }
+
+  bool Contains(int64_t key) const { return map_.count(key) > 0; }
+  size_t size() const { return map_.size(); }
+
+  /// Estimated resident bytes (for the ablation discussion: what the
+  /// "free" index actually costs in memory).
+  size_t EstimatedBytes() const {
+    size_t bytes = 0;
+    for (const auto& [key, addrs] : map_) {
+      bytes += sizeof(key) + sizeof(addrs) + addrs.size() * sizeof(Tid);
+    }
+    return bytes;
+  }
+
+ private:
+  std::unordered_map<int64_t, std::vector<Tid>> map_;
+};
+
+}  // namespace starfish

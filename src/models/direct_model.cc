@@ -1,0 +1,275 @@
+#include "models/direct_model.h"
+
+#include <algorithm>
+
+namespace starfish {
+
+DirectModel::DirectModel(ModelConfig config, Segment* segment,
+                         DirectModelOptions options)
+    : StorageModel(std::move(config)),
+      segment_(segment),
+      store_(segment,
+             ComplexStoreOptions{
+                 options.change_attr_updates ? options.page_pool_pages : 0,
+                 /*force_large=*/false}),
+      serializer_(config_.schema),
+      options_(options),
+      link_projection_(LinkProjection()) {}
+
+Result<std::unique_ptr<DirectModel>> DirectModel::Create(
+    StorageEngine* engine, ModelConfig config, DirectModelOptions options) {
+  if (config.schema == nullptr) {
+    return Status::InvalidArgument("model requires a schema");
+  }
+  const std::string segment_name =
+      (options.partial_reads ? std::string("DASDBS-DSM_") : std::string("DSM_")) +
+      config.schema->name();
+  STARFISH_ASSIGN_OR_RETURN(Segment * segment,
+                            engine->CreateSegment(segment_name));
+  return std::unique_ptr<DirectModel>(
+      new DirectModel(std::move(config), segment, options));
+}
+
+Status DirectModel::Insert(ObjectRef ref, const Tuple& object) {
+  STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
+                            serializer_.ToRegions(object));
+  STARFISH_ASSIGN_OR_RETURN(Tid tid, store_.Insert(regions));
+  if (ref >= address_of_.size()) address_of_.resize(ref + 1, kInvalidTid);
+  if (address_of_[ref].valid()) {
+    return Status::AlreadyExists("object " + std::to_string(ref) +
+                                 " already stored");
+  }
+  address_of_[ref] = tid;
+  ++live_count_;
+  return Status::OK();
+}
+
+Result<Tid> DirectModel::AddressOf(ObjectRef ref) const {
+  if (ref >= address_of_.size() || !address_of_[ref].valid()) {
+    return Status::NotFound("no object with ref " + std::to_string(ref));
+  }
+  return address_of_[ref];
+}
+
+Result<ComplexRecordInfo> DirectModel::RecordInfo(ObjectRef ref) const {
+  STARFISH_ASSIGN_OR_RETURN(Tid tid, AddressOf(ref));
+  return store_.GetInfo(tid);
+}
+
+Status DirectModel::ReplaceObject(ObjectRef ref, const Tuple& new_object) {
+  STARFISH_ASSIGN_OR_RETURN(Tid tid, AddressOf(ref));
+  // Keys are immutable: the root region feeds value scans.
+  {
+    STARFISH_ASSIGN_OR_RETURN(
+        std::vector<RecordRegion> root_regions,
+        store_.ReadPartial(tid, [](uint32_t tag) {
+          return ObjectSerializer::TagPath(tag) == kRootPath;
+        }));
+    if (root_regions.empty()) {
+      return Status::Corruption("object without root region");
+    }
+    STARFISH_ASSIGN_OR_RETURN(
+        Tuple stored_root,
+        ObjectSerializer::DecodeFlat(*config_.schema, root_regions[0].bytes));
+    STARFISH_ASSIGN_OR_RETURN(int64_t old_key, KeyOf(stored_root));
+    STARFISH_ASSIGN_OR_RETURN(int64_t new_key, KeyOf(new_object));
+    if (old_key != new_key) {
+      return Status::InvalidArgument("object keys are immutable");
+    }
+  }
+  STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
+                            serializer_.ToRegions(new_object));
+  STARFISH_ASSIGN_OR_RETURN(Tid new_tid, store_.Replace(tid, regions));
+  address_of_[ref] = new_tid;
+  return Status::OK();
+}
+
+Status DirectModel::Remove(ObjectRef ref) {
+  STARFISH_ASSIGN_OR_RETURN(Tid tid, AddressOf(ref));
+  STARFISH_RETURN_NOT_OK(store_.Delete(tid));
+  address_of_[ref] = kInvalidTid;
+  --live_count_;
+  return Status::OK();
+}
+
+Result<std::vector<RecordRegion>> DirectModel::ReadRegions(
+    const Tid& tid, const Projection& proj) const {
+  if (options_.partial_reads && !proj.IsAll()) {
+    // DASDBS-DSM: the object header routes us to just the needed pages.
+    return store_.ReadPartial(tid, [&proj](uint32_t tag) {
+      return proj.Includes(ObjectSerializer::TagPath(tag));
+    });
+  }
+  // DSM: all pages of the object are fetched; projection is logical only.
+  STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> all, store_.ReadAll(tid));
+  if (proj.IsAll()) return all;
+  std::vector<RecordRegion> filtered;
+  for (auto& region : all) {
+    if (proj.Includes(ObjectSerializer::TagPath(region.tag))) {
+      filtered.push_back(std::move(region));
+    }
+  }
+  return filtered;
+}
+
+Result<Tuple> DirectModel::GetByRef(ObjectRef ref, const Projection& proj) {
+  STARFISH_ASSIGN_OR_RETURN(Tid tid, AddressOf(ref));
+  STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
+                            ReadRegions(tid, proj));
+  return serializer_.FromRegions(regions, proj);
+}
+
+Result<Tuple> DirectModel::GetByKey(int64_t key, const Projection& proj) {
+  // Value-based selection: no access path, the whole relation is scanned
+  // (set-oriented — the scan runs to the end even after a match).
+  Result<Tuple> found = Status::NotFound("no object with key " +
+                                         std::to_string(key));
+  if (options_.partial_reads && options_.scan_pushdown) {
+    // Pushdown: test the key on root regions only; fetch the one match.
+    Tid match = kInvalidTid;
+    STARFISH_RETURN_NOT_OK(store_.ScanPartial(
+        [](uint32_t tag) {
+          return ObjectSerializer::TagPath(tag) == kRootPath;
+        },
+        [&](Tid tid, const std::vector<RecordRegion>& regions) -> Status {
+          if (regions.empty()) return Status::Corruption("no root region");
+          STARFISH_ASSIGN_OR_RETURN(
+              Tuple root_flat,
+              ObjectSerializer::DecodeFlat(*config_.schema, regions[0].bytes));
+          STARFISH_ASSIGN_OR_RETURN(int64_t k, KeyOf(root_flat));
+          if (k == key) match = tid;
+          return Status::OK();
+        }));
+    if (!match.valid()) return found;
+    STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
+                              ReadRegions(match, proj));
+    return serializer_.FromRegions(regions, proj);
+  }
+  Status scan_status = store_.ScanObjects(
+      [&](Tid, const std::vector<RecordRegion>& regions) -> Status {
+        if (regions.empty()) return Status::Corruption("object with no regions");
+        STARFISH_ASSIGN_OR_RETURN(
+            Tuple root_flat,
+            ObjectSerializer::DecodeFlat(*config_.schema, regions[0].bytes));
+        STARFISH_ASSIGN_OR_RETURN(int64_t k, KeyOf(root_flat));
+        if (k != key) return Status::OK();
+        std::vector<RecordRegion> kept;
+        for (const auto& region : regions) {
+          if (proj.Includes(ObjectSerializer::TagPath(region.tag))) {
+            kept.push_back(region);
+          }
+        }
+        STARFISH_ASSIGN_OR_RETURN(Tuple object,
+                                  serializer_.FromRegions(kept, proj));
+        found = std::move(object);
+        return Status::OK();
+      });
+  STARFISH_RETURN_NOT_OK(scan_status);
+  return found;
+}
+
+Status DirectModel::ScanAll(const Projection& proj, const ScanCallback& fn) {
+  if (options_.partial_reads && options_.scan_pushdown && !proj.IsAll()) {
+    // Pushdown: data pages holding only unselected sub-tuples are skipped.
+    return store_.ScanPartial(
+        [&proj](uint32_t tag) {
+          return proj.Includes(ObjectSerializer::TagPath(tag));
+        },
+        [&](Tid, const std::vector<RecordRegion>& regions) -> Status {
+          STARFISH_ASSIGN_OR_RETURN(Tuple object,
+                                    serializer_.FromRegions(regions, proj));
+          STARFISH_ASSIGN_OR_RETURN(int64_t key, KeyOf(object));
+          return fn(key, object);
+        });
+  }
+  return store_.ScanObjects(
+      [&](Tid, const std::vector<RecordRegion>& regions) -> Status {
+        std::vector<RecordRegion> kept;
+        for (const auto& region : regions) {
+          if (proj.Includes(ObjectSerializer::TagPath(region.tag))) {
+            kept.push_back(region);
+          }
+        }
+        STARFISH_ASSIGN_OR_RETURN(Tuple object,
+                                  serializer_.FromRegions(kept, proj));
+        STARFISH_ASSIGN_OR_RETURN(int64_t key, KeyOf(object));
+        return fn(key, object);
+      });
+}
+
+Result<std::vector<ObjectRef>> DirectModel::GetChildRefs(ObjectRef ref) {
+  STARFISH_ASSIGN_OR_RETURN(Tid tid, AddressOf(ref));
+  STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
+                            ReadRegions(tid, link_projection_));
+  STARFISH_ASSIGN_OR_RETURN(Tuple object,
+                            serializer_.FromRegions(regions, link_projection_));
+  std::vector<ObjectRef> refs;
+  CollectLinks(object, &refs);
+  return refs;
+}
+
+Result<Tuple> DirectModel::GetRootRecord(ObjectRef ref) {
+  STARFISH_ASSIGN_OR_RETURN(Tid tid, AddressOf(ref));
+  const Projection root_only = Projection::RootOnly(*config_.schema);
+  STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
+                            ReadRegions(tid, root_only));
+  return serializer_.FromRegions(regions, root_only);
+}
+
+Status DirectModel::UpdateRootRecord(ObjectRef ref, const Tuple& new_root) {
+  STARFISH_ASSIGN_OR_RETURN(Tid tid, AddressOf(ref));
+
+  if (options_.change_attr_updates) {
+    // DASDBS-DSM §5.3: the object was only partially retrieved, so a
+    // whole-tuple replace is impossible — patch the root region in place
+    // with a change-attribute operation (page pool written inside).
+    STARFISH_ASSIGN_OR_RETURN(
+        std::vector<RecordRegion> root_regions,
+        store_.ReadPartial(tid, [](uint32_t tag) {
+          return ObjectSerializer::TagPath(tag) == kRootPath;
+        }));
+    if (root_regions.empty()) {
+      return Status::Corruption("object without root region");
+    }
+    std::vector<uint32_t> counts;
+    STARFISH_ASSIGN_OR_RETURN(
+        Tuple stored_root,
+        ObjectSerializer::DecodeFlat(*config_.schema, root_regions[0].bytes,
+                                     &counts));
+    STARFISH_ASSIGN_OR_RETURN(int64_t old_key, KeyOf(stored_root));
+    STARFISH_ASSIGN_OR_RETURN(int64_t new_key, KeyOf(new_root));
+    if (old_key != new_key) {
+      return Status::InvalidArgument("object keys are immutable");
+    }
+    const std::string bytes = ObjectSerializer::EncodeFlatWithCounts(
+        *config_.schema, new_root, counts);
+    STARFISH_ASSIGN_OR_RETURN(Tid new_tid,
+                              store_.UpdateRegion(tid, root_regions[0].tag, 0,
+                                                  bytes));
+    address_of_[ref] = new_tid;
+    return Status::OK();
+  }
+
+  // DSM: replace the entire nested tuple (the paper's update protocol for
+  // the non-partial models) — read it all, swap the root atomics, rewrite.
+  STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
+                            store_.ReadAll(tid));
+  STARFISH_ASSIGN_OR_RETURN(Tuple object, serializer_.FromRegionsAll(regions));
+  STARFISH_ASSIGN_OR_RETURN(int64_t old_key, KeyOf(object));
+  STARFISH_ASSIGN_OR_RETURN(int64_t new_key, KeyOf(new_root));
+  if (old_key != new_key) {
+    return Status::InvalidArgument("object keys are immutable");
+  }
+  for (size_t i = 0; i < config_.schema->attributes().size(); ++i) {
+    if (config_.schema->attributes()[i].type != AttrType::kRelation) {
+      object.values[i] = new_root.values[i];
+    }
+  }
+  STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> new_regions,
+                            serializer_.ToRegions(object));
+  STARFISH_ASSIGN_OR_RETURN(Tid new_tid, store_.Replace(tid, new_regions));
+  address_of_[ref] = new_tid;
+  return Status::OK();
+}
+
+}  // namespace starfish

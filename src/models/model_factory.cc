@@ -1,0 +1,55 @@
+#include "models/model_factory.h"
+
+#include "models/dasdbs_nsm_model.h"
+#include "models/direct_model.h"
+#include "models/nsm_model.h"
+
+namespace starfish {
+
+Result<std::unique_ptr<StorageModel>> CreateStorageModel(
+    StorageModelKind kind, StorageEngine* engine, ModelConfig config) {
+  switch (kind) {
+    case StorageModelKind::kDsm: {
+      STARFISH_ASSIGN_OR_RETURN(
+          auto model,
+          DirectModel::Create(engine, std::move(config), DirectModelOptions{}));
+      return std::unique_ptr<StorageModel>(std::move(model));
+    }
+    case StorageModelKind::kDasdbsDsm: {
+      DirectModelOptions options;
+      options.partial_reads = true;
+      options.change_attr_updates = true;
+      options.page_pool_pages = 1;
+      STARFISH_ASSIGN_OR_RETURN(
+          auto model, DirectModel::Create(engine, std::move(config), options));
+      return std::unique_ptr<StorageModel>(std::move(model));
+    }
+    case StorageModelKind::kNsm: {
+      STARFISH_ASSIGN_OR_RETURN(
+          auto model,
+          NsmModel::Create(engine, std::move(config), NsmModelOptions{}));
+      return std::unique_ptr<StorageModel>(std::move(model));
+    }
+    case StorageModelKind::kNsmIndexed: {
+      NsmModelOptions options;
+      options.with_index = true;
+      STARFISH_ASSIGN_OR_RETURN(
+          auto model, NsmModel::Create(engine, std::move(config), options));
+      return std::unique_ptr<StorageModel>(std::move(model));
+    }
+    case StorageModelKind::kDasdbsNsm: {
+      STARFISH_ASSIGN_OR_RETURN(
+          auto model, DasdbsNsmModel::Create(engine, std::move(config)));
+      return std::unique_ptr<StorageModel>(std::move(model));
+    }
+  }
+  return Status::InvalidArgument("unknown storage model kind");
+}
+
+std::vector<StorageModelKind> AllStorageModelKinds() {
+  return {StorageModelKind::kDsm, StorageModelKind::kDasdbsDsm,
+          StorageModelKind::kNsm, StorageModelKind::kNsmIndexed,
+          StorageModelKind::kDasdbsNsm};
+}
+
+}  // namespace starfish

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "models/storage_model.h"
+
+/// \file model_factory.h
+/// Constructs any of the paper's storage models over a storage engine.
+
+namespace starfish {
+
+/// Creates the storage model of the given kind. Each model creates its own
+/// segment(s) inside `engine`; multiple models can coexist in one engine
+/// (they share the disk, buffer and counters — the benchmark runner uses
+/// one engine per model to keep measurements independent).
+Result<std::unique_ptr<StorageModel>> CreateStorageModel(
+    StorageModelKind kind, StorageEngine* engine, ModelConfig config);
+
+/// All model kinds in the paper's table order.
+std::vector<StorageModelKind> AllStorageModelKinds();
+
+}  // namespace starfish

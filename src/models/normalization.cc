@@ -1,0 +1,345 @@
+#include "models/normalization.h"
+
+#include <algorithm>
+#include <map>
+
+namespace starfish {
+
+namespace {
+
+/// Depth of `path` in the schema tree (root = 0).
+uint32_t DepthOf(const Schema& root, PathId path) {
+  uint32_t depth = 0;
+  while (path != kRootPath) {
+    path = root.path(path).parent;
+    ++depth;
+  }
+  return depth;
+}
+
+/// True if any path has `path` as its parent.
+bool HasChildPaths(const Schema& root, PathId path) {
+  for (PathId q = 1; q < root.path_count(); ++q) {
+    if (root.path(q).parent == path) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<NsmDecomposition> NsmDecomposition::Derive(
+    std::shared_ptr<const Schema> root, size_t key_attr_index,
+    DecompositionOptions options) {
+  if (root == nullptr || root->path_count() == 0) {
+    return Status::InvalidArgument("schema must be a finalized root schema");
+  }
+  if (key_attr_index >= root->attributes().size() ||
+      root->attributes()[key_attr_index].type != AttrType::kInt32) {
+    return Status::InvalidArgument(
+        "key attribute must be an Int32 root attribute");
+  }
+
+  NsmDecomposition out;
+  out.root_ = root;
+  out.key_attr_index_ = key_attr_index;
+
+  for (PathId p = 0; p < root->path_count(); ++p) {
+    const Schema& node = *root->path(p).schema;
+    DecomposedRelation rel;
+    rel.path = p;
+    rel.depth = DepthOf(*root, p);
+    rel.has_root_key = p != kRootPath;
+    rel.has_parent_key = rel.depth >= 2;
+    // The root relation's own key is its existing key attribute. Leaf
+    // paths keep an own key unless the paper's omission rule is requested
+    // (see DecompositionOptions::omit_leaf_own_keys).
+    rel.has_own_key =
+        p != kRootPath &&
+        (HasChildPaths(*root, p) || !options.omit_leaf_own_keys);
+
+    SchemaBuilder flat("NSM_" + root->path(p).qualified_name);
+    if (rel.has_root_key) flat.AddInt32("RootKey");
+    if (rel.has_parent_key) flat.AddInt32("ParentKey");
+    if (rel.has_own_key) flat.AddInt32("OwnKey");
+    rel.data_offset = static_cast<size_t>(rel.has_root_key) +
+                      static_cast<size_t>(rel.has_parent_key) +
+                      static_cast<size_t>(rel.has_own_key);
+    for (size_t i = 0; i < node.attributes().size(); ++i) {
+      const Attribute& attr = node.attributes()[i];
+      if (attr.type == AttrType::kRelation) continue;
+      switch (attr.type) {
+        case AttrType::kInt32:
+          flat.AddInt32(attr.name);
+          break;
+        case AttrType::kString:
+          flat.AddString(attr.name);
+          break;
+        case AttrType::kLink:
+          flat.AddLink(attr.name);
+          rel.has_links = true;
+          break;
+        case AttrType::kRelation:
+          break;
+      }
+      rel.data_source.push_back(i);
+    }
+    rel.flat_schema = flat.Build();
+
+    if (p != kRootPath) {
+      // Leaf tuple type of the nested layout: [OwnKey,] data attrs.
+      SchemaBuilder leaf("DNSM_leaf_" + root->path(p).qualified_name);
+      if (rel.has_own_key) leaf.AddInt32("OwnKey");
+      for (size_t src : rel.data_source) {
+        const Attribute& attr = node.attributes()[src];
+        switch (attr.type) {
+          case AttrType::kInt32:
+            leaf.AddInt32(attr.name);
+            break;
+          case AttrType::kString:
+            leaf.AddString(attr.name);
+            break;
+          case AttrType::kLink:
+            leaf.AddLink(attr.name);
+            break;
+          case AttrType::kRelation:
+            break;
+        }
+      }
+      auto leaf_schema = leaf.Build();
+
+      SchemaBuilder nested("DASDBS-NSM_" + root->path(p).qualified_name);
+      nested.AddInt32("RootKey");
+      if (rel.depth >= 2) {
+        auto group_schema = SchemaBuilder("DNSM_group_" +
+                                          root->path(p).qualified_name)
+                                .AddInt32("ParentKey")
+                                .AddRelation("Tuples", leaf_schema)
+                                .Build();
+        nested.AddRelation("Groups", group_schema);
+      } else {
+        nested.AddRelation("Tuples", leaf_schema);
+      }
+      rel.nested_schema = nested.Build();
+    }
+
+    out.relations_.push_back(std::move(rel));
+  }
+  return out;
+}
+
+Result<ShreddedObject> NsmDecomposition::Shred(const Tuple& object) const {
+  STARFISH_RETURN_NOT_OK(ValidateTuple(*root_, object));
+  const Value& key_value = object.values[key_attr_index_];
+  const int64_t root_key = key_value.as_int32();
+  ShreddedObject out(root_->path_count());
+  std::vector<uint32_t> ordinals(root_->path_count(), 0);
+  STARFISH_RETURN_NOT_OK(ShredRec(*root_, kRootPath, object, root_key,
+                                  /*parent_key=*/0, &ordinals, &out));
+  return out;
+}
+
+Status NsmDecomposition::ShredRec(const Schema& schema, PathId path,
+                                  const Tuple& tuple, int64_t root_key,
+                                  int64_t parent_key,
+                                  std::vector<uint32_t>* ordinals,
+                                  ShreddedObject* out) const {
+  const DecomposedRelation& rel = relations_[path];
+  const int64_t own_key = (*ordinals)[path]++;
+
+  Tuple flat;
+  if (rel.has_root_key) {
+    flat.values.push_back(Value::Int32(static_cast<int32_t>(root_key)));
+  }
+  if (rel.has_parent_key) {
+    flat.values.push_back(Value::Int32(static_cast<int32_t>(parent_key)));
+  }
+  if (rel.has_own_key) {
+    flat.values.push_back(Value::Int32(static_cast<int32_t>(own_key)));
+  }
+  for (size_t src : rel.data_source) {
+    flat.values.push_back(tuple.values[src]);
+  }
+  (*out)[path].push_back(std::move(flat));
+
+  for (size_t i = 0; i < schema.attributes().size(); ++i) {
+    const Attribute& attr = schema.attributes()[i];
+    if (attr.type != AttrType::kRelation) continue;
+    STARFISH_ASSIGN_OR_RETURN(PathId child, root_->ChildPath(path, i));
+    for (const Tuple& sub : tuple.values[i].as_relation()) {
+      STARFISH_RETURN_NOT_OK(
+          ShredRec(*attr.relation, child, sub, root_key, own_key, ordinals, out));
+    }
+  }
+  return Status::OK();
+}
+
+Result<Tuple> NsmDecomposition::Assemble(const ShreddedObject& parts,
+                                         const Projection& projection) const {
+  if (parts.size() != root_->path_count()) {
+    return Status::InvalidArgument("parts must have one entry per path");
+  }
+  if (parts[kRootPath].size() != 1) {
+    return Status::InvalidArgument("expected exactly one root tuple, got " +
+                                   std::to_string(parts[kRootPath].size()));
+  }
+  Tuple out;
+  STARFISH_RETURN_NOT_OK(
+      AssembleRec(kRootPath, parts[kRootPath][0], parts, projection, &out));
+  return out;
+}
+
+Status NsmDecomposition::AssembleRec(PathId path, const Tuple& flat,
+                                     const ShreddedObject& parts,
+                                     const Projection& projection,
+                                     Tuple* out) const {
+  const DecomposedRelation& rel = relations_[path];
+  const Schema& node = *root_->path(path).schema;
+  if (flat.values.size() != rel.flat_schema->attributes().size()) {
+    return Status::Corruption("flat tuple arity mismatch for path " +
+                              std::to_string(path));
+  }
+
+  // Own key of this tuple (used to claim children at depth >= 2).
+  int64_t own_key = 0;
+  if (rel.has_own_key) {
+    const size_t idx = static_cast<size_t>(rel.has_root_key) +
+                       static_cast<size_t>(rel.has_parent_key);
+    own_key = flat.values[idx].as_int32();
+  }
+
+  out->values.assign(node.attributes().size(), Value());
+  // Data attributes back into their original positions.
+  for (size_t d = 0; d < rel.data_source.size(); ++d) {
+    out->values[rel.data_source[d]] = flat.values[rel.data_offset + d];
+  }
+
+  // Relation attributes: collect and order matching child tuples.
+  for (size_t i = 0; i < node.attributes().size(); ++i) {
+    const Attribute& attr = node.attributes()[i];
+    if (attr.type != AttrType::kRelation) continue;
+    STARFISH_ASSIGN_OR_RETURN(PathId child, root_->ChildPath(path, i));
+    if (!projection.Includes(child)) {
+      out->values[i] = Value::Relation({});
+      continue;
+    }
+    const DecomposedRelation& crel = relations_[child];
+    std::vector<const Tuple*> mine;
+    for (const Tuple& cand : parts[child]) {
+      if (crel.has_parent_key) {
+        if (cand.values[1].as_int32() != own_key) continue;
+      }
+      // Depth-1 children: every tuple of the path belongs to this (root)
+      // object — parts are per-object already.
+      mine.push_back(&cand);
+    }
+    if (crel.has_own_key) {
+      const size_t own_idx = static_cast<size_t>(crel.has_root_key) +
+                             static_cast<size_t>(crel.has_parent_key);
+      std::stable_sort(mine.begin(), mine.end(),
+                       [own_idx](const Tuple* a, const Tuple* b) {
+                         return a->values[own_idx].as_int32() <
+                                b->values[own_idx].as_int32();
+                       });
+    }
+    std::vector<Tuple> subs;
+    subs.reserve(mine.size());
+    for (const Tuple* cand : mine) {
+      Tuple sub;
+      STARFISH_RETURN_NOT_OK(AssembleRec(child, *cand, parts, projection, &sub));
+      subs.push_back(std::move(sub));
+    }
+    out->values[i] = Value::Relation(std::move(subs));
+  }
+  return Status::OK();
+}
+
+Result<Tuple> NsmDecomposition::Nest(PathId path, int64_t key,
+                                     const std::vector<Tuple>& flat_tuples) const {
+  if (path == kRootPath) {
+    return Status::InvalidArgument("root relation is not nested");
+  }
+  const DecomposedRelation& rel = relations_[path];
+
+  auto strip = [&rel](const Tuple& flat) {
+    Tuple leaf;
+    const size_t skip = static_cast<size_t>(rel.has_root_key) +
+                        static_cast<size_t>(rel.has_parent_key);
+    leaf.values.assign(flat.values.begin() + static_cast<long>(skip),
+                       flat.values.end());
+    return leaf;  // [OwnKey,] data...
+  };
+
+  Tuple nested;
+  nested.values.push_back(Value::Int32(static_cast<int32_t>(key)));
+  if (rel.depth < 2) {
+    std::vector<Tuple> leaves;
+    leaves.reserve(flat_tuples.size());
+    for (const Tuple& flat : flat_tuples) leaves.push_back(strip(flat));
+    nested.values.push_back(Value::Relation(std::move(leaves)));
+    return nested;
+  }
+
+  // Group by ParentKey, groups ordered by first appearance.
+  std::vector<int32_t> group_order;
+  std::map<int32_t, std::vector<Tuple>> groups;
+  for (const Tuple& flat : flat_tuples) {
+    const int32_t parent = flat.values[1].as_int32();
+    if (groups.find(parent) == groups.end()) group_order.push_back(parent);
+    groups[parent].push_back(strip(flat));
+  }
+  std::vector<Tuple> group_tuples;
+  group_tuples.reserve(group_order.size());
+  for (int32_t parent : group_order) {
+    Tuple group;
+    group.values.push_back(Value::Int32(parent));
+    group.values.push_back(Value::Relation(std::move(groups[parent])));
+    group_tuples.push_back(std::move(group));
+  }
+  nested.values.push_back(Value::Relation(std::move(group_tuples)));
+  return nested;
+}
+
+Result<std::vector<Tuple>> NsmDecomposition::Unnest(PathId path,
+                                                    const Tuple& nested) const {
+  if (path == kRootPath) {
+    return Status::InvalidArgument("root relation is not nested");
+  }
+  const DecomposedRelation& rel = relations_[path];
+  if (nested.values.size() != 2 || !nested.values[0].is_int32() ||
+      !nested.values[1].is_relation()) {
+    return Status::Corruption("malformed nested relation tuple for path " +
+                              std::to_string(path));
+  }
+  const int32_t root_key = nested.values[0].as_int32();
+
+  auto unstrip = [&](int32_t parent_key, const Tuple& leaf) {
+    Tuple flat;
+    if (rel.has_root_key) flat.values.push_back(Value::Int32(root_key));
+    if (rel.has_parent_key) flat.values.push_back(Value::Int32(parent_key));
+    flat.values.insert(flat.values.end(), leaf.values.begin(),
+                       leaf.values.end());
+    return flat;  // RootKey [ParentKey] [OwnKey] data...
+  };
+
+  std::vector<Tuple> out;
+  if (rel.depth < 2) {
+    for (const Tuple& leaf : nested.values[1].as_relation()) {
+      out.push_back(unstrip(0, leaf));
+    }
+    return out;
+  }
+  for (const Tuple& group : nested.values[1].as_relation()) {
+    if (group.values.size() != 2 || !group.values[0].is_int32() ||
+        !group.values[1].is_relation()) {
+      return Status::Corruption("malformed nested group for path " +
+                                std::to_string(path));
+    }
+    const int32_t parent_key = group.values[0].as_int32();
+    for (const Tuple& leaf : group.values[1].as_relation()) {
+      out.push_back(unstrip(parent_key, leaf));
+    }
+  }
+  return out;
+}
+
+}  // namespace starfish

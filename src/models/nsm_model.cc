@@ -1,0 +1,534 @@
+#include "models/nsm_model.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "buffer/buffer_manager.h"
+#include "nf2/serializer.h"
+
+namespace starfish {
+
+namespace {
+// key_of_ref_ sentinel for "ref not in use" (keys may legitimately be 0).
+constexpr int64_t kNoKey = std::numeric_limits<int64_t>::min();
+}  // namespace
+
+NsmModel::NsmModel(ModelConfig config, NsmDecomposition decomp,
+                   NsmModelOptions options)
+    : StorageModel(std::move(config)),
+      decomp_(std::move(decomp)),
+      options_(options) {}
+
+Result<std::unique_ptr<NsmModel>> NsmModel::Create(StorageEngine* engine,
+                                                   ModelConfig config,
+                                                   NsmModelOptions options) {
+  if (config.schema == nullptr) {
+    return Status::InvalidArgument("model requires a schema");
+  }
+  STARFISH_ASSIGN_OR_RETURN(
+      NsmDecomposition decomp,
+      NsmDecomposition::Derive(config.schema, config.key_attr_index));
+  if (options.persistent_index) options.with_index = true;
+  auto model = std::unique_ptr<NsmModel>(
+      new NsmModel(std::move(config), std::move(decomp), options));
+  const std::string prefix = options.with_index ? "NSMx_" : "NSM_";
+  for (const DecomposedRelation& rel : model->decomp_.relations()) {
+    const std::string relation_name =
+        model->config().schema->path(rel.path).qualified_name;
+    STARFISH_ASSIGN_OR_RETURN(Segment * segment,
+                              engine->CreateSegment(prefix + relation_name));
+    model->segments_.push_back(segment);
+    model->records_.push_back(std::make_unique<RecordManager>(segment));
+    model->index_.emplace_back();
+    if (options.persistent_index && rel.path != kRootPath) {
+      STARFISH_ASSIGN_OR_RETURN(
+          Segment * index_segment,
+          engine->CreateSegment(prefix + "idx_" + relation_name));
+      model->trees_.push_back(std::make_unique<BPlusTree>(index_segment));
+    } else {
+      model->trees_.push_back(nullptr);
+    }
+  }
+  return model;
+}
+
+Result<int64_t> NsmModel::RefToKey(ObjectRef ref) const {
+  if (ref >= key_of_ref_.size() || key_of_ref_[ref] == kNoKey) {
+    return Status::NotFound("no object with ref " + std::to_string(ref));
+  }
+  return key_of_ref_[ref];
+}
+
+Status NsmModel::Insert(ObjectRef ref, const Tuple& object) {
+  STARFISH_ASSIGN_OR_RETURN(ShreddedObject parts, decomp_.Shred(object));
+  STARFISH_ASSIGN_OR_RETURN(int64_t key, KeyOf(object));
+  if (ref_of_key_.count(key) > 0) {
+    return Status::AlreadyExists("key " + std::to_string(key) +
+                                 " already stored");
+  }
+  if (ref < root_tid_of_ref_.size() && root_tid_of_ref_[ref].valid()) {
+    return Status::AlreadyExists("ref " + std::to_string(ref) +
+                                 " already stored");
+  }
+  Tid root_tid = kInvalidTid;
+  for (PathId p = 0; p < parts.size(); ++p) {
+    const DecomposedRelation& rel = decomp_.relation(p);
+    for (const Tuple& flat : parts[p]) {
+      const std::string bytes =
+          ObjectSerializer::EncodeFlat(*rel.flat_schema, flat);
+      STARFISH_ASSIGN_OR_RETURN(Tid tid, records_[p]->Insert(bytes));
+      if (p == kRootPath) {
+        root_tid = tid;
+      } else {
+        STARFISH_RETURN_NOT_OK(IndexAdd(p, key, tid));
+      }
+    }
+  }
+  if (ref >= key_of_ref_.size()) {
+    key_of_ref_.resize(ref + 1, kNoKey);
+    root_tid_of_ref_.resize(ref + 1, kInvalidTid);
+  }
+  key_of_ref_[ref] = key;
+  root_tid_of_ref_[ref] = root_tid;
+  ref_of_key_[key] = ref;
+  ++live_count_;
+  return Status::OK();
+}
+
+Status NsmModel::ReplaceObject(ObjectRef ref, const Tuple& new_object) {
+  STARFISH_ASSIGN_OR_RETURN(int64_t key, RefToKey(ref));
+  STARFISH_ASSIGN_OR_RETURN(int64_t new_key, KeyOf(new_object));
+  if (key != new_key) {
+    return Status::InvalidArgument("object keys are immutable");
+  }
+  STARFISH_ASSIGN_OR_RETURN(ShreddedObject parts, decomp_.Shred(new_object));
+  // Root row: update in place (the TID stays valid via forwarding).
+  {
+    const DecomposedRelation& rel = decomp_.relation(kRootPath);
+    const std::string bytes =
+        ObjectSerializer::EncodeFlat(*rel.flat_schema, parts[kRootPath][0]);
+    STARFISH_RETURN_NOT_OK(records_[kRootPath]->Update(root_tid_of_ref_[ref],
+                                                       bytes));
+  }
+  // Child rows: drop the old set, insert the new one, refresh the index.
+  for (PathId p = 1; p < decomp_.relations().size(); ++p) {
+    STARFISH_ASSIGN_OR_RETURN(std::vector<Tid> old_tids, ChildTids(p, key));
+    for (const Tid& tid : old_tids) {
+      STARFISH_RETURN_NOT_OK(records_[p]->Delete(tid));
+    }
+    STARFISH_RETURN_NOT_OK(IndexDropKey(p, key));
+    const DecomposedRelation& rel = decomp_.relation(p);
+    for (const Tuple& flat : parts[p]) {
+      const std::string bytes =
+          ObjectSerializer::EncodeFlat(*rel.flat_schema, flat);
+      STARFISH_ASSIGN_OR_RETURN(Tid tid, records_[p]->Insert(bytes));
+      STARFISH_RETURN_NOT_OK(IndexAdd(p, key, tid));
+    }
+  }
+  return Status::OK();
+}
+
+Status NsmModel::Remove(ObjectRef ref) {
+  STARFISH_ASSIGN_OR_RETURN(int64_t key, RefToKey(ref));
+  for (PathId p = 1; p < decomp_.relations().size(); ++p) {
+    STARFISH_ASSIGN_OR_RETURN(std::vector<Tid> tids, ChildTids(p, key));
+    for (const Tid& tid : tids) {
+      STARFISH_RETURN_NOT_OK(records_[p]->Delete(tid));
+    }
+    STARFISH_RETURN_NOT_OK(IndexDropKey(p, key));
+  }
+  STARFISH_RETURN_NOT_OK(records_[kRootPath]->Delete(root_tid_of_ref_[ref]));
+  key_of_ref_[ref] = kNoKey;
+  root_tid_of_ref_[ref] = kInvalidTid;
+  ref_of_key_.erase(key);
+  --live_count_;
+  return Status::OK();
+}
+
+Result<std::vector<Tid>> NsmModel::ChildTids(PathId path, int64_t key) {
+  if (options_.persistent_index) {
+    STARFISH_ASSIGN_OR_RETURN(std::vector<uint64_t> packed,
+                              trees_[path]->Find(key));
+    std::vector<Tid> tids;
+    tids.reserve(packed.size());
+    for (uint64_t p : packed) tids.push_back(Tid::Unpack(p));
+    return tids;
+  }
+  auto tids = index_[path].Get(key);
+  if (!tids.ok()) return std::vector<Tid>{};
+  return tids.value();
+}
+
+Status NsmModel::IndexAdd(PathId path, int64_t key, const Tid& tid) {
+  if (options_.persistent_index) {
+    return trees_[path]->Insert(key, tid.Pack());
+  }
+  index_[path].Append(key, tid);
+  return Status::OK();
+}
+
+Status NsmModel::IndexDropKey(PathId path, int64_t key) {
+  if (options_.persistent_index) {
+    STARFISH_ASSIGN_OR_RETURN(std::vector<uint64_t> packed,
+                              trees_[path]->Find(key));
+    for (uint64_t p : packed) {
+      STARFISH_RETURN_NOT_OK(trees_[path]->Delete(key, p));
+    }
+    return Status::OK();
+  }
+  if (index_[path].Contains(key)) {
+    STARFISH_RETURN_NOT_OK(index_[path].Erase(key));
+  }
+  return Status::OK();
+}
+
+Status NsmModel::ScanRelation(
+    PathId path, const std::function<Status(Tid, const Tuple&)>& fn) {
+  const DecomposedRelation& rel = decomp_.relation(path);
+  Segment* segment = segments_[path];
+  const std::vector<PageId> pages = segment->pages();
+  constexpr uint32_t kWindow = 64;
+  size_t window_end = 0;
+  for (size_t i = 0; i < pages.size(); ++i) {
+    if (i >= window_end) {
+      const size_t end = std::min(pages.size(), i + kWindow);
+      std::vector<PageId> window(pages.begin() + static_cast<long>(i),
+                                 pages.begin() + static_cast<long>(end));
+      STARFISH_RETURN_NOT_OK(segment->buffer()->Prefetch(
+          window, PrefetchMode::kContiguousRuns));
+      window_end = end;
+    }
+    STARFISH_RETURN_NOT_OK(records_[path]->ForEachOnPage(
+        pages[i], [&](Tid tid, std::string_view bytes) -> Status {
+          STARFISH_ASSIGN_OR_RETURN(
+              Tuple flat, ObjectSerializer::DecodeFlat(*rel.flat_schema, bytes));
+          return fn(tid, flat);
+        }));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Tuple>> NsmModel::FetchTuples(PathId path,
+                                                 const std::vector<Tid>& tids) {
+  const DecomposedRelation& rel = decomp_.relation(path);
+  std::vector<Tuple> out;
+  out.reserve(tids.size());
+  for (const Tid& tid : tids) {
+    STARFISH_ASSIGN_OR_RETURN(std::string bytes, records_[path]->Read(tid));
+    STARFISH_ASSIGN_OR_RETURN(Tuple flat,
+                              ObjectSerializer::DecodeFlat(*rel.flat_schema, bytes));
+    out.push_back(std::move(flat));
+  }
+  return out;
+}
+
+Result<ShreddedObject> NsmModel::CollectObject(int64_t key,
+                                               const Projection& proj) {
+  ShreddedObject parts(decomp_.relations().size());
+  // Root relation: value selection on the key — always a scan (the index
+  // covers child root-keys only).
+  STARFISH_RETURN_NOT_OK(
+      ScanRelation(kRootPath, [&](Tid, const Tuple& flat) -> Status {
+        if (flat.values[config_.key_attr_index].as_int32() == key) {
+          parts[kRootPath].push_back(flat);
+        }
+        return Status::OK();
+      }));
+  if (parts[kRootPath].empty()) {
+    return Status::NotFound("no object with key " + std::to_string(key));
+  }
+  for (PathId p = 1; p < decomp_.relations().size(); ++p) {
+    if (!proj.Includes(p)) continue;
+    if (options_.with_index) {
+      STARFISH_ASSIGN_OR_RETURN(std::vector<Tid> tids, ChildTids(p, key));
+      STARFISH_ASSIGN_OR_RETURN(parts[p], FetchTuples(p, tids));
+    } else {
+      STARFISH_RETURN_NOT_OK(ScanRelation(p, [&](Tid, const Tuple& flat) {
+        if (flat.values[0].as_int32() == key) parts[p].push_back(flat);
+        return Status::OK();
+      }));
+    }
+  }
+  return parts;
+}
+
+Result<Tuple> NsmModel::GetByRef(ObjectRef ref, const Projection& proj) {
+  if (!options_.with_index) {
+    return Status::NotSupported(
+        "plain NSM has no object identifiers (paper: query 1a not relevant)");
+  }
+  // With the index, the object table yields the root tuple's address and
+  // the root key selects the child tuples.
+  STARFISH_ASSIGN_OR_RETURN(int64_t key, RefToKey(ref));
+  ShreddedObject parts(decomp_.relations().size());
+  STARFISH_ASSIGN_OR_RETURN(std::string bytes,
+                            records_[kRootPath]->Read(root_tid_of_ref_[ref]));
+  STARFISH_ASSIGN_OR_RETURN(
+      Tuple root_flat,
+      ObjectSerializer::DecodeFlat(*decomp_.relation(kRootPath).flat_schema,
+                                   bytes));
+  parts[kRootPath].push_back(std::move(root_flat));
+  for (PathId p = 1; p < decomp_.relations().size(); ++p) {
+    if (!proj.Includes(p)) continue;
+    STARFISH_ASSIGN_OR_RETURN(std::vector<Tid> tids, ChildTids(p, key));
+    STARFISH_ASSIGN_OR_RETURN(parts[p], FetchTuples(p, tids));
+  }
+  return decomp_.Assemble(parts, proj);
+}
+
+Result<Tuple> NsmModel::GetByKey(int64_t key, const Projection& proj) {
+  STARFISH_ASSIGN_OR_RETURN(ShreddedObject parts, CollectObject(key, proj));
+  return decomp_.Assemble(parts, proj);
+}
+
+Status NsmModel::ScanAll(const Projection& proj, const ScanCallback& fn) {
+  // Scan every projected relation once; join in memory (the paper's
+  // explicit best-case assumption for NSM).
+  std::vector<int64_t> key_order;
+  std::unordered_map<int64_t, ShreddedObject> by_key;
+  STARFISH_RETURN_NOT_OK(
+      ScanRelation(kRootPath, [&](Tid, const Tuple& flat) {
+        const int64_t key = flat.values[config_.key_attr_index].as_int32();
+        key_order.push_back(key);
+        auto& parts = by_key[key];
+        parts.resize(decomp_.relations().size());
+        parts[kRootPath].push_back(flat);
+        return Status::OK();
+      }));
+  for (PathId p = 1; p < decomp_.relations().size(); ++p) {
+    if (!proj.Includes(p)) continue;
+    STARFISH_RETURN_NOT_OK(ScanRelation(p, [&](Tid, const Tuple& flat) {
+      const int64_t key = flat.values[0].as_int32();
+      auto it = by_key.find(key);
+      if (it == by_key.end()) {
+        return Status::Corruption("orphan tuple with root key " +
+                                  std::to_string(key));
+      }
+      it->second[p].push_back(flat);
+      return Status::OK();
+    }));
+  }
+  for (int64_t key : key_order) {
+    STARFISH_ASSIGN_OR_RETURN(Tuple object,
+                              decomp_.Assemble(by_key[key], proj));
+    STARFISH_RETURN_NOT_OK(fn(key, object));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// True when link extraction can bypass object assembly: links live in at
+/// most one non-root path and never in the root tuple, so document order
+/// is recoverable from that path's rows alone (by OwnKey when present).
+bool SingleLinkPath(const NsmDecomposition& decomp, PathId* link_path) {
+  if (decomp.relation(kRootPath).has_links) return false;
+  *link_path = kRootPath;  // "none" marker
+  for (PathId p = 1; p < decomp.relations().size(); ++p) {
+    if (!decomp.relation(p).has_links) continue;
+    if (*link_path != kRootPath) return false;  // second link path
+    *link_path = p;
+  }
+  return true;
+}
+
+/// Orders an object's rows of one path by OwnKey (document order) when the
+/// decomposition stores own keys; otherwise keeps arrival order.
+void SortByOwnKey(const DecomposedRelation& rel, std::vector<Tuple>* rows) {
+  if (!rel.has_own_key) return;
+  const size_t idx = static_cast<size_t>(rel.has_root_key) +
+                     static_cast<size_t>(rel.has_parent_key);
+  std::stable_sort(rows->begin(), rows->end(),
+                   [idx](const Tuple& a, const Tuple& b) {
+                     return a.values[idx].as_int32() < b.values[idx].as_int32();
+                   });
+}
+
+/// Appends the link attribute values of one flat row, in attribute order.
+void ExtractRowLinks(const DecomposedRelation& rel, const Tuple& row,
+                     std::vector<ObjectRef>* out) {
+  for (size_t a = rel.data_offset; a < row.values.size(); ++a) {
+    if (row.values[a].is_link()) out->push_back(row.values[a].as_link());
+  }
+}
+
+}  // namespace
+
+Result<std::vector<ObjectRef>> NsmModel::GetChildRefs(ObjectRef ref) {
+  STARFISH_ASSIGN_OR_RETURN(int64_t key, RefToKey(ref));
+  PathId link_path = kRootPath;
+  if (SingleLinkPath(decomp_, &link_path)) {
+    if (link_path == kRootPath) return std::vector<ObjectRef>{};  // no links
+    const DecomposedRelation& rel = decomp_.relation(link_path);
+    std::vector<Tuple> mine;
+    if (options_.with_index) {
+      STARFISH_ASSIGN_OR_RETURN(std::vector<Tid> tids, ChildTids(link_path, key));
+      STARFISH_ASSIGN_OR_RETURN(mine, FetchTuples(link_path, tids));
+    } else {
+      STARFISH_RETURN_NOT_OK(
+          ScanRelation(link_path, [&](Tid, const Tuple& flat) {
+            if (flat.values[0].as_int32() == key) mine.push_back(flat);
+            return Status::OK();
+          }));
+    }
+    SortByOwnKey(rel, &mine);
+    std::vector<ObjectRef> refs;
+    for (const Tuple& row : mine) ExtractRowLinks(rel, row, &refs);
+    return refs;
+  }
+  // General case (root links or several link paths): assemble the
+  // link-projected object, which preserves global document order.
+  const Projection proj = LinkProjection();
+  Tuple object;
+  if (options_.with_index) {
+    STARFISH_ASSIGN_OR_RETURN(object, GetByRef(ref, proj));
+  } else {
+    STARFISH_ASSIGN_OR_RETURN(ShreddedObject parts, CollectObject(key, proj));
+    STARFISH_ASSIGN_OR_RETURN(object, decomp_.Assemble(parts, proj));
+  }
+  std::vector<ObjectRef> refs;
+  CollectLinks(object, &refs);
+  return refs;
+}
+
+Result<std::vector<std::vector<ObjectRef>>> NsmModel::GetChildRefsBatch(
+    const std::vector<ObjectRef>& refs) {
+  if (options_.with_index) return StorageModel::GetChildRefsBatch(refs);
+  std::vector<std::vector<ObjectRef>> out(refs.size());
+  if (refs.empty()) return out;
+  std::unordered_map<int64_t, std::vector<size_t>> want;  // key -> batch slots
+  for (size_t i = 0; i < refs.size(); ++i) {
+    STARFISH_ASSIGN_OR_RETURN(int64_t key, RefToKey(refs[i]));
+    want[key].push_back(i);
+  }
+
+  PathId link_path = kRootPath;
+  if (SingleLinkPath(decomp_, &link_path)) {
+    if (link_path == kRootPath) return out;  // no links anywhere
+    // One scan of the single link relation answers the whole batch.
+    const DecomposedRelation& rel = decomp_.relation(link_path);
+    std::unordered_map<int64_t, std::vector<Tuple>> rows;
+    STARFISH_RETURN_NOT_OK(
+        ScanRelation(link_path, [&](Tid, const Tuple& flat) {
+          if (want.count(flat.values[0].as_int32()) > 0) {
+            rows[flat.values[0].as_int32()].push_back(flat);
+          }
+          return Status::OK();
+        }));
+    for (auto& [key, mine] : rows) {
+      SortByOwnKey(rel, &mine);
+      std::vector<ObjectRef> links;
+      for (const Tuple& row : mine) ExtractRowLinks(rel, row, &links);
+      for (size_t slot : want[key]) out[slot] = links;
+    }
+    return out;
+  }
+
+  // General case: one scan per link-projected relation, then assemble.
+  const Projection proj = LinkProjection();
+  std::unordered_map<int64_t, ShreddedObject> parts_by_key;
+  for (const auto& [key, slots] : want) {
+    parts_by_key[key].resize(decomp_.relations().size());
+  }
+  STARFISH_RETURN_NOT_OK(
+      ScanRelation(kRootPath, [&](Tid, const Tuple& flat) {
+        auto it = parts_by_key.find(
+            flat.values[config_.key_attr_index].as_int32());
+        if (it != parts_by_key.end()) it->second[kRootPath].push_back(flat);
+        return Status::OK();
+      }));
+  for (PathId p = 1; p < decomp_.relations().size(); ++p) {
+    if (!proj.Includes(p)) continue;
+    STARFISH_RETURN_NOT_OK(ScanRelation(p, [&](Tid, const Tuple& flat) {
+      auto it = parts_by_key.find(flat.values[0].as_int32());
+      if (it != parts_by_key.end()) it->second[p].push_back(flat);
+      return Status::OK();
+    }));
+  }
+  for (auto& [key, parts] : parts_by_key) {
+    STARFISH_ASSIGN_OR_RETURN(Tuple object, decomp_.Assemble(parts, proj));
+    std::vector<ObjectRef> links;
+    CollectLinks(object, &links);
+    for (size_t slot : want[key]) out[slot] = links;
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> NsmModel::GetRootRecordsBatch(
+    const std::vector<ObjectRef>& refs) {
+  if (options_.with_index) return StorageModel::GetRootRecordsBatch(refs);
+  // One scan of the root relation answers the whole batch.
+  std::unordered_map<int64_t, std::vector<size_t>> want;
+  for (size_t i = 0; i < refs.size(); ++i) {
+    STARFISH_ASSIGN_OR_RETURN(int64_t key, RefToKey(refs[i]));
+    want[key].push_back(i);
+  }
+  const Projection root_only = Projection::RootOnly(*config_.schema);
+  std::vector<Tuple> out(refs.size());
+  std::vector<bool> filled(refs.size(), false);
+  STARFISH_RETURN_NOT_OK(
+      ScanRelation(kRootPath, [&](Tid, const Tuple& flat) -> Status {
+        auto it = want.find(flat.values[config_.key_attr_index].as_int32());
+        if (it == want.end()) return Status::OK();
+        ShreddedObject parts(decomp_.relations().size());
+        parts[kRootPath].push_back(flat);
+        STARFISH_ASSIGN_OR_RETURN(Tuple root,
+                                  decomp_.Assemble(parts, root_only));
+        for (size_t slot : it->second) {
+          out[slot] = root;
+          filled[slot] = true;
+        }
+        return Status::OK();
+      }));
+  for (size_t i = 0; i < refs.size(); ++i) {
+    if (!filled[i]) {
+      return Status::NotFound("no object with ref " + std::to_string(refs[i]));
+    }
+  }
+  return out;
+}
+
+Result<Tuple> NsmModel::GetRootRecord(ObjectRef ref) {
+  STARFISH_ASSIGN_OR_RETURN(int64_t key, RefToKey(ref));
+  const Projection root_only = Projection::RootOnly(*config_.schema);
+  ShreddedObject parts(decomp_.relations().size());
+  if (options_.with_index) {
+    STARFISH_ASSIGN_OR_RETURN(std::string bytes,
+                              records_[kRootPath]->Read(root_tid_of_ref_[ref]));
+    STARFISH_ASSIGN_OR_RETURN(
+        Tuple flat,
+        ObjectSerializer::DecodeFlat(*decomp_.relation(kRootPath).flat_schema,
+                                     bytes));
+    parts[kRootPath].push_back(std::move(flat));
+  } else {
+    // Value selection: scan the root relation (cached across a query loop).
+    STARFISH_RETURN_NOT_OK(
+        ScanRelation(kRootPath, [&](Tid, const Tuple& flat) {
+          if (flat.values[config_.key_attr_index].as_int32() == key) {
+            parts[kRootPath].push_back(flat);
+          }
+          return Status::OK();
+        }));
+    if (parts[kRootPath].empty()) {
+      return Status::NotFound("no object with key " + std::to_string(key));
+    }
+  }
+  return decomp_.Assemble(parts, root_only);
+}
+
+Status NsmModel::UpdateRootRecord(ObjectRef ref, const Tuple& new_root) {
+  STARFISH_ASSIGN_OR_RETURN(int64_t key, RefToKey(ref));
+  STARFISH_ASSIGN_OR_RETURN(int64_t new_key, KeyOf(new_root));
+  if (key != new_key) {
+    return Status::InvalidArgument("object keys are immutable");
+  }
+  const DecomposedRelation& rel = decomp_.relation(kRootPath);
+  Tuple flat;
+  for (size_t src : rel.data_source) {
+    flat.values.push_back(new_root.values[src]);
+  }
+  const std::string bytes = ObjectSerializer::EncodeFlat(*rel.flat_schema, flat);
+  return records_[kRootPath]->Update(root_tid_of_ref_[ref], bytes);
+}
+
+}  // namespace starfish

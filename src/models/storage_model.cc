@@ -1,0 +1,105 @@
+#include "models/storage_model.h"
+
+#include <vector>
+
+namespace starfish {
+
+std::string ToString(StorageModelKind kind) {
+  switch (kind) {
+    case StorageModelKind::kDsm:
+      return "DSM";
+    case StorageModelKind::kDasdbsDsm:
+      return "DASDBS-DSM";
+    case StorageModelKind::kNsm:
+      return "NSM";
+    case StorageModelKind::kNsmIndexed:
+      return "NSM+index";
+    case StorageModelKind::kDasdbsNsm:
+      return "DASDBS-NSM";
+  }
+  return "?";
+}
+
+Result<std::vector<std::vector<ObjectRef>>> StorageModel::GetChildRefsBatch(
+    const std::vector<ObjectRef>& refs) {
+  std::vector<std::vector<ObjectRef>> out;
+  out.reserve(refs.size());
+  for (ObjectRef ref : refs) {
+    STARFISH_ASSIGN_OR_RETURN(std::vector<ObjectRef> children,
+                              GetChildRefs(ref));
+    out.push_back(std::move(children));
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> StorageModel::GetRootRecordsBatch(
+    const std::vector<ObjectRef>& refs) {
+  std::vector<Tuple> out;
+  out.reserve(refs.size());
+  for (ObjectRef ref : refs) {
+    STARFISH_ASSIGN_OR_RETURN(Tuple root, GetRootRecord(ref));
+    out.push_back(std::move(root));
+  }
+  return out;
+}
+
+Result<int64_t> StorageModel::KeyOf(const Tuple& object) const {
+  if (config_.key_attr_index >= object.values.size()) {
+    return Status::InvalidArgument("key attribute index out of range");
+  }
+  const Value& v = object.values[config_.key_attr_index];
+  if (!v.is_int32()) {
+    return Status::InvalidArgument("key attribute is not an Int32");
+  }
+  return static_cast<int64_t>(v.as_int32());
+}
+
+Projection StorageModel::LinkProjection() const {
+  const Schema& root = *config_.schema;
+  std::vector<bool> keep(root.path_count(), false);
+  keep[kRootPath] = true;
+  for (PathId p = 0; p < root.path_count(); ++p) {
+    bool has_link = false;
+    for (const Attribute& attr : root.path(p).schema->attributes()) {
+      if (attr.type == AttrType::kLink) has_link = true;
+    }
+    if (has_link) {
+      // Mark the path and all its ancestors.
+      PathId cur = p;
+      while (!keep[cur]) {
+        keep[cur] = true;
+        cur = root.path(cur).parent;
+      }
+      keep[kRootPath] = true;
+    }
+  }
+  std::vector<PathId> paths;
+  for (PathId p = 0; p < keep.size(); ++p) {
+    if (keep[p]) paths.push_back(p);
+  }
+  auto proj = Projection::OfPaths(root, paths);
+  // Cannot fail: the set is ancestor-closed by construction.
+  return proj.value();
+}
+
+void StorageModel::CollectLinks(const Tuple& object,
+                                std::vector<ObjectRef>* out) const {
+  CollectLinksRec(*config_.schema, object, out);
+}
+
+void StorageModel::CollectLinksRec(const Schema& schema, const Tuple& tuple,
+                                   std::vector<ObjectRef>* out) const {
+  for (size_t i = 0; i < schema.attributes().size() && i < tuple.values.size();
+       ++i) {
+    const Attribute& attr = schema.attributes()[i];
+    if (attr.type == AttrType::kLink) {
+      out->push_back(tuple.values[i].as_link());
+    } else if (attr.type == AttrType::kRelation) {
+      for (const Tuple& sub : tuple.values[i].as_relation()) {
+        CollectLinksRec(*attr.relation, sub, out);
+      }
+    }
+  }
+}
+
+}  // namespace starfish

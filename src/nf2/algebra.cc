@@ -1,0 +1,225 @@
+#include "nf2/algebra.h"
+
+#include <unordered_map>
+
+#include "util/coding.h"
+
+namespace starfish {
+
+namespace {
+
+/// Appends one attribute declaration of `source` to `builder`.
+void CopyAttribute(SchemaBuilder* builder, const Attribute& attr) {
+  switch (attr.type) {
+    case AttrType::kInt32:
+      builder->AddInt32(attr.name);
+      break;
+    case AttrType::kString:
+      builder->AddString(attr.name);
+      break;
+    case AttrType::kLink:
+      builder->AddLink(attr.name);
+      break;
+    case AttrType::kRelation:
+      builder->AddRelation(attr.name, attr.relation);
+      break;
+  }
+}
+
+/// Canonical byte encoding of a value, injective per type, used as a
+/// grouping key (deep: recurses into relation values).
+void CanonicalKey(const Value& value, std::string* out) {
+  out->push_back(static_cast<char>(value.type()));
+  switch (value.type()) {
+    case AttrType::kInt32:
+      PutFixed32(out, static_cast<uint32_t>(value.as_int32()));
+      break;
+    case AttrType::kString:
+      PutFixed32(out, static_cast<uint32_t>(value.as_string().size()));
+      out->append(value.as_string());
+      break;
+    case AttrType::kLink:
+      PutFixed64(out, value.as_link());
+      break;
+    case AttrType::kRelation: {
+      PutFixed32(out, static_cast<uint32_t>(value.as_relation().size()));
+      for (const Tuple& sub : value.as_relation()) {
+        PutFixed32(out, static_cast<uint32_t>(sub.values.size()));
+        for (const Value& v : sub.values) CanonicalKey(v, out);
+      }
+      break;
+    }
+  }
+}
+
+Status CheckArity(const Relation& input) {
+  if (input.schema == nullptr) {
+    return Status::InvalidArgument("relation has no schema");
+  }
+  for (const Tuple& tuple : input.tuples) {
+    if (tuple.values.size() != input.schema->attributes().size()) {
+      return Status::InvalidArgument("tuple arity does not match schema");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Relation> Project(const Relation& input,
+                         const std::vector<size_t>& attr_indexes) {
+  STARFISH_RETURN_NOT_OK(CheckArity(input));
+  SchemaBuilder builder(input.schema->name() + "_proj");
+  for (size_t idx : attr_indexes) {
+    if (idx >= input.schema->attributes().size()) {
+      return Status::InvalidArgument("projection index out of range");
+    }
+    CopyAttribute(&builder, input.schema->attributes()[idx]);
+  }
+  Relation out;
+  out.schema = builder.Build();
+  out.tuples.reserve(input.tuples.size());
+  for (const Tuple& tuple : input.tuples) {
+    Tuple projected;
+    projected.values.reserve(attr_indexes.size());
+    for (size_t idx : attr_indexes) projected.values.push_back(tuple.values[idx]);
+    out.tuples.push_back(std::move(projected));
+  }
+  return out;
+}
+
+Result<Relation> Select(const Relation& input,
+                        const std::function<bool(const Tuple&)>& predicate) {
+  STARFISH_RETURN_NOT_OK(CheckArity(input));
+  Relation out;
+  out.schema = input.schema;
+  for (const Tuple& tuple : input.tuples) {
+    if (predicate(tuple)) out.tuples.push_back(tuple);
+  }
+  return out;
+}
+
+Result<Relation> Nest(const Relation& input,
+                      const std::vector<size_t>& nest_attr_indexes,
+                      const std::string& as_name) {
+  STARFISH_RETURN_NOT_OK(CheckArity(input));
+  const size_t arity = input.schema->attributes().size();
+  std::vector<bool> nested(arity, false);
+  for (size_t idx : nest_attr_indexes) {
+    if (idx >= arity) return Status::InvalidArgument("nest index out of range");
+    nested[idx] = true;
+  }
+  std::vector<size_t> group_attrs, inner_attrs;
+  for (size_t i = 0; i < arity; ++i) {
+    (nested[i] ? inner_attrs : group_attrs).push_back(i);
+  }
+  if (inner_attrs.empty()) {
+    return Status::InvalidArgument("nest needs at least one attribute");
+  }
+
+  SchemaBuilder inner_builder(input.schema->name() + "_" + as_name);
+  for (size_t idx : inner_attrs) {
+    CopyAttribute(&inner_builder, input.schema->attributes()[idx]);
+  }
+  auto inner_schema = inner_builder.Build();
+  SchemaBuilder outer_builder(input.schema->name() + "_nested");
+  for (size_t idx : group_attrs) {
+    CopyAttribute(&outer_builder, input.schema->attributes()[idx]);
+  }
+  outer_builder.AddRelation(as_name, inner_schema);
+
+  Relation out;
+  out.schema = outer_builder.Build();
+  std::unordered_map<std::string, size_t> group_of;  // key -> out index
+  for (const Tuple& tuple : input.tuples) {
+    std::string key;
+    for (size_t idx : group_attrs) CanonicalKey(tuple.values[idx], &key);
+    auto [it, inserted] = group_of.try_emplace(key, out.tuples.size());
+    if (inserted) {
+      Tuple group;
+      for (size_t idx : group_attrs) group.values.push_back(tuple.values[idx]);
+      group.values.push_back(Value::Relation({}));
+      out.tuples.push_back(std::move(group));
+    }
+    Tuple inner;
+    for (size_t idx : inner_attrs) inner.values.push_back(tuple.values[idx]);
+    out.tuples[it->second].values.back().as_relation().push_back(
+        std::move(inner));
+  }
+  return out;
+}
+
+Result<Relation> Unnest(const Relation& input, size_t rel_attr_index) {
+  STARFISH_RETURN_NOT_OK(CheckArity(input));
+  const auto& attrs = input.schema->attributes();
+  if (rel_attr_index >= attrs.size() ||
+      attrs[rel_attr_index].type != AttrType::kRelation) {
+    return Status::InvalidArgument(
+        "unnest needs a relation-valued attribute index");
+  }
+  const Schema& inner = *attrs[rel_attr_index].relation;
+  SchemaBuilder builder(input.schema->name() + "_unnested");
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i == rel_attr_index) {
+      for (const Attribute& in : inner.attributes()) CopyAttribute(&builder, in);
+    } else {
+      CopyAttribute(&builder, attrs[i]);
+    }
+  }
+  Relation out;
+  out.schema = builder.Build();
+  for (const Tuple& tuple : input.tuples) {
+    for (const Tuple& sub : tuple.values[rel_attr_index].as_relation()) {
+      Tuple flat;
+      for (size_t i = 0; i < attrs.size(); ++i) {
+        if (i == rel_attr_index) {
+          for (const Value& v : sub.values) flat.values.push_back(v);
+        } else {
+          flat.values.push_back(tuple.values[i]);
+        }
+      }
+      out.tuples.push_back(std::move(flat));
+    }
+  }
+  return out;
+}
+
+Result<Relation> JoinOn(const Relation& left, size_t left_attr,
+                        const Relation& right, size_t right_attr) {
+  STARFISH_RETURN_NOT_OK(CheckArity(left));
+  STARFISH_RETURN_NOT_OK(CheckArity(right));
+  if (left_attr >= left.schema->attributes().size() ||
+      right_attr >= right.schema->attributes().size()) {
+    return Status::InvalidArgument("join attribute out of range");
+  }
+  SchemaBuilder builder(left.schema->name() + "_join_" + right.schema->name());
+  for (const Attribute& attr : left.schema->attributes()) {
+    CopyAttribute(&builder, attr);
+  }
+  for (const Attribute& attr : right.schema->attributes()) {
+    CopyAttribute(&builder, attr);
+  }
+  Relation out;
+  out.schema = builder.Build();
+
+  std::unordered_map<std::string, std::vector<size_t>> hash;
+  for (size_t r = 0; r < right.tuples.size(); ++r) {
+    std::string key;
+    CanonicalKey(right.tuples[r].values[right_attr], &key);
+    hash[key].push_back(r);
+  }
+  for (const Tuple& lt : left.tuples) {
+    std::string key;
+    CanonicalKey(lt.values[left_attr], &key);
+    auto it = hash.find(key);
+    if (it == hash.end()) continue;
+    for (size_t r : it->second) {
+      Tuple joined = lt;
+      for (const Value& v : right.tuples[r].values) joined.values.push_back(v);
+      out.tuples.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+}  // namespace starfish

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nf2/schema.h"
+#include "nf2/value.h"
+#include "util/status.h"
+
+/// \file algebra.h
+/// In-memory NF² algebra.
+///
+/// The paper's storage transformations are algebraic: DASDBS-NSM is the NSM
+/// relations *nested* on the root/parent foreign keys ("We can force such a
+/// clustering by means of nesting on these attributes", §3.4), and object
+/// reassembly is unnest + join. This module provides those operators over
+/// in-memory relations — the NF² model of Schek & Scholl the paper builds
+/// on — so applications can reshape retrieved data without round-tripping
+/// through storage.
+///
+/// All operators are pure: they build fresh schemas/tuples and never mutate
+/// their inputs.
+
+namespace starfish {
+
+/// An in-memory NF² relation: a schema plus its tuples.
+struct Relation {
+  std::shared_ptr<const Schema> schema;
+  std::vector<Tuple> tuples;
+};
+
+/// π — keeps the attributes at `attr_indexes` (in the given order,
+/// duplicates allowed). Nested relation values are kept whole.
+Result<Relation> Project(const Relation& input,
+                         const std::vector<size_t>& attr_indexes);
+
+/// σ — keeps the tuples satisfying `predicate`.
+Result<Relation> Select(const Relation& input,
+                        const std::function<bool(const Tuple&)>& predicate);
+
+/// ν — nests: groups tuples by all attributes NOT in `nest_attr_indexes`;
+/// each group becomes one tuple whose grouping attributes are kept and
+/// whose nested attributes are collapsed into a relation-valued attribute
+/// named `as_name` (appended last). Group order is first-appearance;
+/// within-group order is input order.
+Result<Relation> Nest(const Relation& input,
+                      const std::vector<size_t>& nest_attr_indexes,
+                      const std::string& as_name);
+
+/// μ — unnests: replaces the relation-valued attribute at `rel_attr_index`
+/// by its sub-tuples' attributes (inlined in place); one output tuple per
+/// sub-tuple. Tuples with an empty sub-relation produce no output (the
+/// classic information-losing property of unnest — nest(unnest(r)) == r
+/// only when every sub-relation is non-empty).
+Result<Relation> Unnest(const Relation& input, size_t rel_attr_index);
+
+/// Natural-join-like helper used for object reassembly: pairs every tuple
+/// of `left` with the tuples of `right` whose attribute `right_attr` equals
+/// the left tuple's `left_attr` (hash join on one attribute). Output schema
+/// is left's attributes followed by right's (names may repeat).
+Result<Relation> JoinOn(const Relation& left, size_t left_attr,
+                        const Relation& right, size_t right_attr);
+
+}  // namespace starfish

@@ -1,0 +1,72 @@
+#include "nf2/projection.h"
+
+namespace starfish {
+
+Projection Projection::All(const Schema& root) {
+  Projection p;
+  p.included_.assign(root.path_count(), true);
+  p.all_ = true;
+  return p;
+}
+
+Projection Projection::RootOnly(const Schema& root) {
+  Projection p;
+  p.included_.assign(root.path_count(), false);
+  p.included_[kRootPath] = true;
+  p.all_ = root.path_count() == 1;
+  return p;
+}
+
+Result<Projection> Projection::OfPaths(const Schema& root,
+                                       const std::vector<PathId>& paths) {
+  Projection p;
+  p.included_.assign(root.path_count(), false);
+  for (PathId path : paths) {
+    if (path >= root.path_count()) {
+      return Status::InvalidArgument("path " + std::to_string(path) +
+                                     " out of range");
+    }
+    p.included_[path] = true;
+  }
+  if (!p.included_[kRootPath]) {
+    return Status::InvalidArgument("projection must include the root path");
+  }
+  for (PathId path = 1; path < root.path_count(); ++path) {
+    if (p.included_[path] && !p.included_[root.path(path).parent]) {
+      return Status::InvalidArgument(
+          "projection not ancestor-closed: path " + std::to_string(path) +
+          " selected without its parent");
+    }
+  }
+  p.all_ = true;
+  for (bool inc : p.included_) p.all_ = p.all_ && inc;
+  return p;
+}
+
+size_t Projection::count() const {
+  size_t n = 0;
+  for (bool inc : included_) n += inc ? 1 : 0;
+  return n;
+}
+
+std::vector<PathId> Projection::paths() const {
+  std::vector<PathId> out;
+  for (PathId p = 0; p < included_.size(); ++p) {
+    if (included_[p]) out.push_back(p);
+  }
+  return out;
+}
+
+std::string Projection::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (PathId p = 0; p < included_.size(); ++p) {
+    if (!included_[p]) continue;
+    if (!first) out += ",";
+    out += std::to_string(p);
+    first = false;
+  }
+  return out + "}";
+}
+
+}  // namespace starfish

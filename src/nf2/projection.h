@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nf2/schema.h"
+#include "util/status.h"
+
+/// \file projection.h
+/// Sub-object projections.
+///
+/// The benchmark queries retrieve *parts* of objects: query 2 navigates via
+/// root attributes and Connection sub-tuples without touching Sightseeing
+/// data ("only the attribute tuples that are needed will be
+/// projected/selected"). A Projection names the set of tuple-type paths a
+/// query needs. The set must be ancestor-closed — a sub-tuple cannot be
+/// interpreted without the parent tuples that carry the nesting counts.
+
+namespace starfish {
+
+/// A set of path ids to retrieve. Immutable once built.
+class Projection {
+ public:
+  /// All paths of the schema (whole-object retrieval).
+  static Projection All(const Schema& root);
+
+  /// Only the root tuple's atomic/link attributes.
+  static Projection RootOnly(const Schema& root);
+
+  /// Selected paths; validates ancestor-closure against `root`.
+  static Result<Projection> OfPaths(const Schema& root,
+                                    const std::vector<PathId>& paths);
+
+  /// True if the path is selected.
+  bool Includes(PathId path) const {
+    return path < included_.size() && included_[path];
+  }
+
+  /// True if the whole schema tree is selected.
+  bool IsAll() const { return all_; }
+
+  /// Number of selected paths.
+  size_t count() const;
+
+  /// Selected paths in ascending order.
+  std::vector<PathId> paths() const;
+
+  std::string ToString() const;
+
+ private:
+  Projection() = default;
+  std::vector<bool> included_;
+  bool all_ = false;
+};
+
+}  // namespace starfish

@@ -1,0 +1,97 @@
+#include "nf2/schema.h"
+
+namespace starfish {
+
+Result<size_t> Schema::IndexOf(const std::string& attr_name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == attr_name) return i;
+  }
+  return Status::NotFound("no attribute '" + attr_name + "' in schema " +
+                          name_);
+}
+
+Result<PathId> Schema::ChildPath(PathId parent_path, size_t attr_index) const {
+  for (PathId p = 0; p < paths_.size(); ++p) {
+    if (p != kRootPath && paths_[p].parent == parent_path &&
+        paths_[p].attr_index == attr_index) {
+      return p;
+    }
+  }
+  return Status::NotFound("no relation attribute " +
+                          std::to_string(attr_index) + " under path " +
+                          std::to_string(parent_path));
+}
+
+Result<PathId> Schema::PathByName(const std::string& qualified_name) const {
+  for (PathId p = 0; p < paths_.size(); ++p) {
+    if (paths_[p].qualified_name == qualified_name) return p;
+  }
+  return Status::NotFound("no path named '" + qualified_name + "'");
+}
+
+void Schema::BuildPathTable() {
+  paths_.clear();
+  // DFS pre-order over relation attributes.
+  struct Frame {
+    const Schema* schema;
+    PathId parent;
+    size_t attr_index;
+    std::string qualified;
+  };
+  paths_.push_back(PathInfo{kRootPath, 0, this, name_});
+  std::vector<Frame> stack;
+  auto push_children = [&stack](const Schema* s, PathId path,
+                                const std::string& prefix) {
+    // Push in reverse so DFS visits attributes in declaration order.
+    for (size_t i = s->attributes_.size(); i > 0; --i) {
+      const Attribute& attr = s->attributes_[i - 1];
+      if (attr.type == AttrType::kRelation) {
+        stack.push_back(Frame{attr.relation.get(), path, i - 1,
+                              prefix + "." + attr.name});
+      }
+    }
+  };
+  push_children(this, kRootPath, name_);
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    const PathId path = static_cast<PathId>(paths_.size());
+    paths_.push_back(
+        PathInfo{frame.parent, frame.attr_index, frame.schema, frame.qualified});
+    push_children(frame.schema, path, frame.qualified);
+  }
+}
+
+SchemaBuilder::SchemaBuilder(std::string name)
+    : schema_(std::shared_ptr<Schema>(new Schema())) {
+  schema_->name_ = std::move(name);
+}
+
+SchemaBuilder& SchemaBuilder::AddInt32(std::string name) {
+  schema_->attributes_.push_back(Attribute{std::move(name), AttrType::kInt32, nullptr});
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::AddString(std::string name) {
+  schema_->attributes_.push_back(Attribute{std::move(name), AttrType::kString, nullptr});
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::AddLink(std::string name) {
+  schema_->attributes_.push_back(Attribute{std::move(name), AttrType::kLink, nullptr});
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::AddRelation(
+    std::string name, std::shared_ptr<const Schema> sub_schema) {
+  schema_->attributes_.push_back(
+      Attribute{std::move(name), AttrType::kRelation, std::move(sub_schema)});
+  return *this;
+}
+
+std::shared_ptr<const Schema> SchemaBuilder::Build() {
+  schema_->BuildPathTable();
+  return schema_;
+}
+
+}  // namespace starfish

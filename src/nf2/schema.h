@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file schema.h
+/// NF² (nested relational) schemas.
+///
+/// The paper's complex objects are NF² tuples: tuples whose attributes are
+/// atomic values (INT, STR), references to other objects (LINK), or whole
+/// relations of sub-tuples. A Schema describes one tuple type; relation
+/// attributes nest further Schemas, e.g. the benchmark's
+///
+///   Station(Key, NoPlatform, NoSeeing, Name,
+///           Platform{(PlatformNr, NoLine, TicketCode, Information,
+///                     Connection{(LineNr, KeyConnection, OidConnection,
+///                                 DepartureTimes)})},
+///           Sightseeing{(SeeingNr, Description, Location, History, Remarks)})
+///
+/// Every tuple type reachable from the root gets a *path id* in depth-first
+/// pre-order: Station = 0, Platform = 1, Connection = 2, Sightseeing = 3.
+/// Path ids identify sub-object classes in projections and region tags.
+
+namespace starfish {
+
+/// Attribute domain.
+enum class AttrType : uint8_t {
+  kInt32 = 0,
+  kString = 1,
+  kLink = 2,      ///< reference to another complex object
+  kRelation = 3,  ///< set of sub-tuples (relation-valued attribute)
+};
+
+class Schema;
+
+/// One attribute of a tuple type.
+struct Attribute {
+  std::string name;
+  AttrType type = AttrType::kInt32;
+  std::shared_ptr<const Schema> relation;  ///< set for kRelation only
+};
+
+/// Path id — index of a tuple type in the DFS pre-order of the schema tree.
+using PathId = uint16_t;
+
+/// Root tuple type's path id.
+inline constexpr PathId kRootPath = 0;
+
+/// Descriptor of one path (tuple type) of a root schema.
+struct PathInfo {
+  PathId parent = kRootPath;      ///< parent path (root's parent is itself)
+  size_t attr_index = 0;          ///< relation attribute index in the parent
+  const Schema* schema = nullptr; ///< tuple type at this path
+  std::string qualified_name;     ///< e.g. "Station.Platform.Connection"
+};
+
+/// An immutable NF² tuple type. Build with SchemaBuilder.
+class Schema : public std::enable_shared_from_this<Schema> {
+ public:
+  const std::string& name() const { return name_; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the named attribute, or NotFound.
+  Result<size_t> IndexOf(const std::string& attr_name) const;
+
+  /// Number of tuple types in the tree rooted here (>= 1). Only meaningful
+  /// on a root schema after Finalize (SchemaBuilder::Build does this).
+  size_t path_count() const { return paths_.size(); }
+
+  /// Path table entry. Requires path < path_count().
+  const PathInfo& path(PathId path) const { return paths_[path]; }
+
+  /// Path id of the tuple type reached from `parent_path` through its
+  /// relation attribute `attr_index`.
+  Result<PathId> ChildPath(PathId parent_path, size_t attr_index) const;
+
+  /// Path id whose qualified name matches (e.g. "Station.Platform").
+  Result<PathId> PathByName(const std::string& qualified_name) const;
+
+ private:
+  friend class SchemaBuilder;
+  Schema() = default;
+
+  void BuildPathTable();
+
+  std::string name_;
+  std::vector<Attribute> attributes_;
+  std::vector<PathInfo> paths_;  // populated on the root schema only
+};
+
+/// Fluent builder for Schema. Sub-schemas are built first and passed to
+/// AddRelation; Build() assigns the path table of the resulting root.
+/// A built sub-schema must appear at most once in a schema tree.
+class SchemaBuilder {
+ public:
+  explicit SchemaBuilder(std::string name);
+
+  SchemaBuilder& AddInt32(std::string name);
+  SchemaBuilder& AddString(std::string name);
+  SchemaBuilder& AddLink(std::string name);
+  SchemaBuilder& AddRelation(std::string name,
+                             std::shared_ptr<const Schema> sub_schema);
+
+  /// Finalizes the schema and computes its path table.
+  std::shared_ptr<const Schema> Build();
+
+ private:
+  std::shared_ptr<Schema> schema_;
+};
+
+}  // namespace starfish

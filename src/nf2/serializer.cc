@@ -1,0 +1,216 @@
+#include "nf2/serializer.h"
+
+#include "util/coding.h"
+
+namespace starfish {
+
+std::string ObjectSerializer::EncodeFlat(const Schema& schema,
+                                         const Tuple& tuple) {
+  std::string out;
+  for (size_t i = 0; i < schema.attributes().size(); ++i) {
+    const Attribute& attr = schema.attributes()[i];
+    const Value& value = tuple.values[i];
+    switch (attr.type) {
+      case AttrType::kInt32:
+        PutFixed32(&out, static_cast<uint32_t>(value.as_int32()));
+        break;
+      case AttrType::kString:
+        PutLengthPrefixed(&out, value.as_string());
+        break;
+      case AttrType::kLink:
+        PutFixed64(&out, value.as_link());
+        break;
+      case AttrType::kRelation:
+        PutFixed16(&out, static_cast<uint16_t>(value.as_relation().size()));
+        break;
+    }
+  }
+  return out;
+}
+
+std::string ObjectSerializer::EncodeFlatWithCounts(
+    const Schema& schema, const Tuple& tuple,
+    const std::vector<uint32_t>& counts) {
+  std::string out;
+  size_t rel_idx = 0;
+  for (size_t i = 0; i < schema.attributes().size(); ++i) {
+    const Attribute& attr = schema.attributes()[i];
+    const Value& value = tuple.values[i];
+    switch (attr.type) {
+      case AttrType::kInt32:
+        PutFixed32(&out, static_cast<uint32_t>(value.as_int32()));
+        break;
+      case AttrType::kString:
+        PutLengthPrefixed(&out, value.as_string());
+        break;
+      case AttrType::kLink:
+        PutFixed64(&out, value.as_link());
+        break;
+      case AttrType::kRelation:
+        PutFixed16(&out, static_cast<uint16_t>(counts[rel_idx++]));
+        break;
+    }
+  }
+  return out;
+}
+
+uint32_t ObjectSerializer::FlatSize(const Schema& schema, const Tuple& tuple) {
+  uint32_t size = 0;
+  for (size_t i = 0; i < schema.attributes().size(); ++i) {
+    const Attribute& attr = schema.attributes()[i];
+    switch (attr.type) {
+      case AttrType::kInt32:
+        size += 4;
+        break;
+      case AttrType::kString:
+        size += 2 + static_cast<uint32_t>(tuple.values[i].as_string().size());
+        break;
+      case AttrType::kLink:
+        size += 8;
+        break;
+      case AttrType::kRelation:
+        size += 2;
+        break;
+    }
+  }
+  return size;
+}
+
+Result<Tuple> ObjectSerializer::DecodeFlat(const Schema& schema,
+                                           std::string_view bytes,
+                                           std::vector<uint32_t>* counts) {
+  Tuple tuple;
+  tuple.values.reserve(schema.attributes().size());
+  if (counts != nullptr) counts->clear();
+  size_t off = 0;
+  auto need = [&](size_t n) -> Status {
+    if (off + n > bytes.size()) {
+      return Status::Corruption("flat tuple of schema " + schema.name() +
+                                " truncated");
+    }
+    return Status::OK();
+  };
+  for (const Attribute& attr : schema.attributes()) {
+    switch (attr.type) {
+      case AttrType::kInt32: {
+        STARFISH_RETURN_NOT_OK(need(4));
+        tuple.values.push_back(Value::Int32(
+            static_cast<int32_t>(DecodeFixed32(bytes.data() + off))));
+        off += 4;
+        break;
+      }
+      case AttrType::kString: {
+        STARFISH_RETURN_NOT_OK(need(2));
+        const uint16_t len = DecodeFixed16(bytes.data() + off);
+        off += 2;
+        STARFISH_RETURN_NOT_OK(need(len));
+        tuple.values.push_back(
+            Value::Str(std::string(bytes.substr(off, len))));
+        off += len;
+        break;
+      }
+      case AttrType::kLink: {
+        STARFISH_RETURN_NOT_OK(need(8));
+        tuple.values.push_back(Value::Link(DecodeFixed64(bytes.data() + off)));
+        off += 8;
+        break;
+      }
+      case AttrType::kRelation: {
+        STARFISH_RETURN_NOT_OK(need(2));
+        const uint16_t count = DecodeFixed16(bytes.data() + off);
+        off += 2;
+        if (counts != nullptr) counts->push_back(count);
+        tuple.values.push_back(Value::Relation({}));
+        break;
+      }
+    }
+  }
+  if (off != bytes.size()) {
+    return Status::Corruption("flat tuple of schema " + schema.name() +
+                              " has trailing bytes");
+  }
+  return tuple;
+}
+
+Result<std::vector<RecordRegion>> ObjectSerializer::ToRegions(
+    const Tuple& object) const {
+  STARFISH_RETURN_NOT_OK(ValidateTuple(*root_, object));
+  std::vector<RecordRegion> out;
+  std::vector<uint32_t> ordinals(root_->path_count(), 0);
+  STARFISH_RETURN_NOT_OK(
+      AppendTuple(*root_, kRootPath, object, &ordinals, &out));
+  return out;
+}
+
+Status ObjectSerializer::AppendTuple(const Schema& schema, PathId path,
+                                     const Tuple& tuple,
+                                     std::vector<uint32_t>* ordinals,
+                                     std::vector<RecordRegion>* out) const {
+  out->push_back(
+      RecordRegion{MakeTag(path, (*ordinals)[path]++), EncodeFlat(schema, tuple)});
+  for (size_t i = 0; i < schema.attributes().size(); ++i) {
+    const Attribute& attr = schema.attributes()[i];
+    if (attr.type != AttrType::kRelation) continue;
+    STARFISH_ASSIGN_OR_RETURN(PathId child, root_->ChildPath(path, i));
+    for (const Tuple& sub : tuple.values[i].as_relation()) {
+      STARFISH_RETURN_NOT_OK(AppendTuple(*attr.relation, child, sub, ordinals, out));
+    }
+  }
+  return Status::OK();
+}
+
+Result<Tuple> ObjectSerializer::FromRegions(
+    const std::vector<RecordRegion>& regions,
+    const Projection& projection) const {
+  size_t cursor = 0;
+  Tuple object;
+  STARFISH_RETURN_NOT_OK(ConsumeTuple(*root_, kRootPath, regions, &cursor,
+                                      projection, &object));
+  if (cursor != regions.size()) {
+    return Status::Corruption("object has " +
+                              std::to_string(regions.size() - cursor) +
+                              " unconsumed regions");
+  }
+  return object;
+}
+
+Status ObjectSerializer::ConsumeTuple(const Schema& schema, PathId path,
+                                      const std::vector<RecordRegion>& regions,
+                                      size_t* cursor,
+                                      const Projection& projection,
+                                      Tuple* out) const {
+  if (*cursor >= regions.size()) {
+    return Status::Corruption("object truncated at path " +
+                              std::to_string(path));
+  }
+  const RecordRegion& region = regions[*cursor];
+  if (TagPath(region.tag) != path) {
+    return Status::Corruption(
+        "expected region of path " + std::to_string(path) + ", found " +
+        std::to_string(TagPath(region.tag)));
+  }
+  ++*cursor;
+  std::vector<uint32_t> counts;
+  STARFISH_ASSIGN_OR_RETURN(*out, DecodeFlat(schema, region.bytes, &counts));
+
+  size_t rel_idx = 0;
+  for (size_t i = 0; i < schema.attributes().size(); ++i) {
+    const Attribute& attr = schema.attributes()[i];
+    if (attr.type != AttrType::kRelation) continue;
+    const uint32_t count = counts[rel_idx++];
+    STARFISH_ASSIGN_OR_RETURN(PathId child, root_->ChildPath(path, i));
+    if (!projection.Includes(child)) continue;  // regions absent by design
+    std::vector<Tuple> subs;
+    subs.reserve(count);
+    for (uint32_t j = 0; j < count; ++j) {
+      Tuple sub;
+      STARFISH_RETURN_NOT_OK(ConsumeTuple(*attr.relation, child, regions,
+                                          cursor, projection, &sub));
+      subs.push_back(std::move(sub));
+    }
+    out->values[i] = Value::Relation(std::move(subs));
+  }
+  return Status::OK();
+}
+
+}  // namespace starfish

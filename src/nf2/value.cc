@@ -1,0 +1,64 @@
+#include "nf2/value.h"
+
+namespace starfish {
+
+bool Tuple::operator==(const Tuple& other) const {
+  return values == other.values;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case AttrType::kInt32:
+      return std::to_string(as_int32());
+    case AttrType::kString:
+      return "\"" + as_string() + "\"";
+    case AttrType::kLink:
+      return "->" + std::to_string(as_link());
+    case AttrType::kRelation: {
+      std::string out = "{";
+      const auto& tuples = as_relation();
+      for (size_t i = 0; i < tuples.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += TupleToString(tuples[i]);
+      }
+      out += "}";
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string TupleToString(const Tuple& tuple) {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tuple.values[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+Status ValidateTuple(const Schema& schema, const Tuple& tuple) {
+  if (tuple.values.size() != schema.attributes().size()) {
+    return Status::InvalidArgument(
+        "tuple has " + std::to_string(tuple.values.size()) +
+        " values, schema " + schema.name() + " has " +
+        std::to_string(schema.attributes().size()) + " attributes");
+  }
+  for (size_t i = 0; i < tuple.values.size(); ++i) {
+    const Attribute& attr = schema.attributes()[i];
+    const Value& value = tuple.values[i];
+    if (value.type() != attr.type) {
+      return Status::InvalidArgument("attribute '" + attr.name +
+                                     "' has mismatched type");
+    }
+    if (attr.type == AttrType::kRelation) {
+      for (const Tuple& sub : value.as_relation()) {
+        STARFISH_RETURN_NOT_OK(ValidateTuple(*attr.relation, sub));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace starfish

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "nf2/schema.h"
+#include "util/status.h"
+
+/// \file value.h
+/// Runtime values of NF² tuples.
+///
+/// A Tuple holds one Value per attribute of its Schema. Relation-valued
+/// attributes hold a vector of sub-Tuples; LINK attributes hold an opaque
+/// 64-bit object reference that the storage models resolve (the paper's
+/// OidConnection — the "physical reference [that] is the address of the
+/// referred Station").
+
+namespace starfish {
+
+class Value;
+
+/// One NF² tuple: values in schema attribute order.
+struct Tuple {
+  std::vector<Value> values;
+
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> vals) : values(std::move(vals)) {}
+
+  bool operator==(const Tuple& other) const;
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+};
+
+/// Reference to another complex object. The generator stores logical object
+/// numbers; the direct storage models may additionally map them to physical
+/// addresses via their (uncounted, in-memory) object tables.
+struct LinkRef {
+  uint64_t ref = 0;
+  bool operator==(const LinkRef& other) const { return ref == other.ref; }
+};
+
+/// A single attribute value: int, string, link or nested relation.
+class Value {
+ public:
+  Value() : repr_(int32_t{0}) {}
+
+  static Value Int32(int32_t v) { return Value(Repr(v)); }
+  static Value Str(std::string v) { return Value(Repr(std::move(v))); }
+  static Value Link(uint64_t ref) { return Value(Repr(LinkRef{ref})); }
+  static Value Relation(std::vector<Tuple> tuples) {
+    return Value(Repr(std::move(tuples)));
+  }
+
+  AttrType type() const {
+    switch (repr_.index()) {
+      case 0: return AttrType::kInt32;
+      case 1: return AttrType::kString;
+      case 2: return AttrType::kLink;
+      default: return AttrType::kRelation;
+    }
+  }
+
+  bool is_int32() const { return repr_.index() == 0; }
+  bool is_string() const { return repr_.index() == 1; }
+  bool is_link() const { return repr_.index() == 2; }
+  bool is_relation() const { return repr_.index() == 3; }
+
+  int32_t as_int32() const { return std::get<int32_t>(repr_); }
+  const std::string& as_string() const { return std::get<std::string>(repr_); }
+  uint64_t as_link() const { return std::get<LinkRef>(repr_).ref; }
+  const std::vector<Tuple>& as_relation() const {
+    return std::get<std::vector<Tuple>>(repr_);
+  }
+  std::vector<Tuple>& as_relation() {
+    return std::get<std::vector<Tuple>>(repr_);
+  }
+
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Debug rendering ("42", "\"abc\"", "->7", "{3 tuples}").
+  std::string ToString() const;
+
+ private:
+  using Repr = std::variant<int32_t, std::string, LinkRef, std::vector<Tuple>>;
+  explicit Value(Repr repr) : repr_(std::move(repr)) {}
+  Repr repr_;
+};
+
+/// Checks that `tuple` conforms to `schema` (attribute count and types,
+/// recursively).
+Status ValidateTuple(const Schema& schema, const Tuple& tuple);
+
+/// Renders a tuple for debugging: "(1, \"x\", {(...)})".
+std::string TupleToString(const Tuple& tuple);
+
+}  // namespace starfish

@@ -1,0 +1,593 @@
+#include "storage/complex_record.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "util/coding.h"
+#include "util/math_util.h"
+
+namespace starfish {
+
+namespace {
+
+// Fixed large-record header, laid out after the 36-byte page header.
+constexpr uint32_t kRegionCountOff = kPageHeaderSize + 0;   // u16
+constexpr uint32_t kHeaderPagesOff = kPageHeaderSize + 2;   // u16
+constexpr uint32_t kDataPagesOff = kPageHeaderSize + 4;     // u16
+constexpr uint32_t kAuxAllocOff = kPageHeaderSize + 6;      // u16
+constexpr uint32_t kAuxFirstOff = kPageHeaderSize + 8;      // u32
+constexpr uint32_t kStreamBytesOff = kPageHeaderSize + 12;  // u32
+constexpr uint32_t kRootDirOff = kPageHeaderSize + 16;
+
+constexpr uint32_t kDirEntrySize = 12;  // u32 tag + u32 offset + u32 length
+
+}  // namespace
+
+void ComplexRecordStore::LayoutStream(const std::vector<RecordRegion>& regions,
+                                      std::vector<DirEntry>* dir,
+                                      uint32_t* stream_len) const {
+  const uint32_t chunk = ChunkSize();
+  uint32_t cursor = 0;
+  dir->clear();
+  dir->reserve(regions.size());
+  for (const RecordRegion& region : regions) {
+    const uint32_t len = static_cast<uint32_t>(region.bytes.size());
+    const uint32_t rem = chunk - (cursor % chunk);
+    // Regions that fit one page never straddle a page boundary (sub-tuples
+    // do not span pages); the skipped tail is internal waste.
+    if (len <= chunk && len > rem) cursor += rem;
+    dir->push_back(DirEntry{region.tag, cursor, len});
+    cursor += len;
+  }
+  *stream_len = cursor;
+}
+
+uint32_t ComplexRecordStore::HeaderPagesFor(uint32_t n) const {
+  const uint32_t root_cap = (page_size() - kRootDirOff) / kDirEntrySize;
+  if (n <= root_cap) return 1;
+  const uint32_t ext_cap = ChunkSize() / kDirEntrySize;
+  return 1 + (n - root_cap + ext_cap - 1) / ext_cap;
+}
+
+std::string ComplexRecordStore::EncodeSmall(
+    const std::vector<RecordRegion>& regions) {
+  std::string out;
+  PutFixed16(&out, static_cast<uint16_t>(regions.size()));
+  for (const RecordRegion& region : regions) {
+    PutFixed32(&out, region.tag);
+    PutFixed16(&out, static_cast<uint16_t>(region.bytes.size()));
+  }
+  for (const RecordRegion& region : regions) {
+    out.append(region.bytes);
+  }
+  return out;
+}
+
+Status ComplexRecordStore::DecodeSmall(std::string_view payload,
+                                       std::vector<RecordRegion>* regions) {
+  regions->clear();
+  if (payload.size() < 2) return Status::Corruption("small record truncated");
+  const uint16_t n = DecodeFixed16(payload.data());
+  size_t dir_off = 2;
+  size_t data_off = 2 + static_cast<size_t>(n) * 6;
+  if (payload.size() < data_off) {
+    return Status::Corruption("small record directory truncated");
+  }
+  regions->reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    const uint32_t tag = DecodeFixed32(payload.data() + dir_off);
+    const uint16_t len = DecodeFixed16(payload.data() + dir_off + 4);
+    dir_off += 6;
+    if (payload.size() < data_off + len) {
+      return Status::Corruption("small record data truncated");
+    }
+    regions->push_back(RecordRegion{tag, std::string(payload.substr(data_off, len))});
+    data_off += len;
+  }
+  return Status::OK();
+}
+
+uint32_t ComplexRecordStore::SmallEncodedSize(
+    const std::vector<RecordRegion>& regions) const {
+  uint32_t size = 2;
+  for (const RecordRegion& region : regions) {
+    size += 6 + static_cast<uint32_t>(region.bytes.size());
+  }
+  return size;
+}
+
+Result<Tid> ComplexRecordStore::Insert(const std::vector<RecordRegion>& regions) {
+  const uint32_t small_size = SmallEncodedSize(regions);
+  if (!options_.force_large && small_size <= records_.MaxRecordSize()) {
+    return records_.Insert(EncodeSmall(regions));
+  }
+
+  std::vector<DirEntry> dir;
+  uint32_t stream_len = 0;
+  LayoutStream(regions, &dir, &stream_len);
+
+  LargeHeader hdr;
+  hdr.region_count = static_cast<uint16_t>(regions.size());
+  hdr.header_pages = static_cast<uint16_t>(HeaderPagesFor(hdr.region_count));
+  hdr.data_pages =
+      static_cast<uint16_t>(std::max<uint32_t>(1, CeilDiv(stream_len, ChunkSize())));
+  hdr.aux_alloc = static_cast<uint16_t>((hdr.header_pages - 1) + hdr.data_pages);
+  hdr.stream_bytes = stream_len;
+
+  STARFISH_ASSIGN_OR_RETURN(PageId root,
+                            segment_->AllocatePage(PageType::kComplexHeader));
+  STARFISH_ASSIGN_OR_RETURN(hdr.aux_first,
+                            segment_->AllocateRun(hdr.aux_alloc,
+                                                  PageType::kComplexData));
+  STARFISH_RETURN_NOT_OK(WriteLarge(root, hdr, dir, regions));
+  return Tid{root, kComplexRecordSlot};
+}
+
+Status ComplexRecordStore::WriteLarge(PageId root, const LargeHeader& hdr,
+                                      const std::vector<DirEntry>& dir,
+                                      const std::vector<RecordRegion>& regions) {
+  const uint32_t psize = page_size();
+  const uint32_t chunk = ChunkSize();
+  const uint32_t root_cap = (psize - kRootDirOff) / kDirEntrySize;
+  const uint32_t ext_cap = chunk / kDirEntrySize;
+
+  auto encode_entry = [](char* dst, const DirEntry& e) {
+    EncodeFixed32(dst, e.tag);
+    EncodeFixed32(dst + 4, e.stream_offset);
+    EncodeFixed32(dst + 8, e.length);
+  };
+
+  // Root header page.
+  {
+    STARFISH_ASSIGN_OR_RETURN(PageGuard guard, segment_->buffer()->Fix(root));
+    SlottedPage view(guard.data(), psize);
+    view.Init(segment_->id(), PageType::kComplexHeader);
+    EncodeFixed16(guard.data() + kRegionCountOff, hdr.region_count);
+    EncodeFixed16(guard.data() + kHeaderPagesOff, hdr.header_pages);
+    EncodeFixed16(guard.data() + kDataPagesOff, hdr.data_pages);
+    EncodeFixed16(guard.data() + kAuxAllocOff, hdr.aux_alloc);
+    EncodeFixed32(guard.data() + kAuxFirstOff, hdr.aux_first);
+    EncodeFixed32(guard.data() + kStreamBytesOff, hdr.stream_bytes);
+    const uint32_t n_root = std::min<uint32_t>(root_cap, hdr.region_count);
+    for (uint32_t i = 0; i < n_root; ++i) {
+      encode_entry(guard.data() + kRootDirOff + i * kDirEntrySize, dir[i]);
+    }
+    guard.MarkDirty();
+  }
+
+  // Continuation header pages.
+  for (uint32_t hp = 0; hp + 1 < hdr.header_pages; ++hp) {
+    const PageId page = hdr.aux_first + hp;
+    STARFISH_ASSIGN_OR_RETURN(PageGuard guard, segment_->buffer()->Fix(page));
+    SlottedPage view(guard.data(), psize);
+    view.Init(segment_->id(), PageType::kComplexHeaderExt);
+    segment_->SetTypeHint(page, PageType::kComplexHeaderExt);
+    const uint32_t begin = root_cap + hp * ext_cap;
+    const uint32_t end =
+        std::min<uint32_t>(hdr.region_count, begin + ext_cap);
+    for (uint32_t i = begin; i < end; ++i) {
+      encode_entry(guard.data() + kPageHeaderSize + (i - begin) * kDirEntrySize,
+                   dir[i]);
+    }
+    guard.MarkDirty();
+  }
+
+  // Assemble the data stream, then write it chunk by chunk.
+  std::string stream(hdr.stream_bytes, '\0');
+  for (size_t i = 0; i < dir.size(); ++i) {
+    std::memcpy(stream.data() + dir[i].stream_offset, regions[i].bytes.data(),
+                regions[i].bytes.size());
+  }
+  for (uint32_t dp = 0; dp < hdr.data_pages; ++dp) {
+    const PageId page = hdr.aux_first + (hdr.header_pages - 1) + dp;
+    STARFISH_ASSIGN_OR_RETURN(PageGuard guard, segment_->buffer()->Fix(page));
+    SlottedPage view(guard.data(), psize);
+    view.Init(segment_->id(), PageType::kComplexData);
+    segment_->SetTypeHint(page, PageType::kComplexData);
+    const uint32_t begin = dp * chunk;
+    const uint32_t end = std::min<uint32_t>(hdr.stream_bytes, begin + chunk);
+    if (end > begin) {
+      std::memcpy(guard.data() + kPageHeaderSize, stream.data() + begin,
+                  end - begin);
+    }
+    guard.MarkDirty();
+  }
+  return Status::OK();
+}
+
+Status ComplexRecordStore::ReadHeader(PageId root, LargeHeader* hdr,
+                                      std::vector<DirEntry>* dir) const {
+  const uint32_t psize = page_size();
+  const uint32_t root_cap = (psize - kRootDirOff) / kDirEntrySize;
+  const uint32_t ext_cap = ChunkSize() / kDirEntrySize;
+
+  auto decode_entry = [](const char* src) {
+    DirEntry e;
+    e.tag = DecodeFixed32(src);
+    e.stream_offset = DecodeFixed32(src + 4);
+    e.length = DecodeFixed32(src + 8);
+    return e;
+  };
+
+  // DASDBS call pattern, part 1: a dedicated read call for the root page.
+  {
+    STARFISH_ASSIGN_OR_RETURN(PageGuard guard,
+                              segment_->buffer()->Fix(root));
+    SlottedPage view(guard.data(), psize);
+    if (view.type() != PageType::kComplexHeader) {
+      return Status::InvalidArgument("page " + std::to_string(root) +
+                                     " is not a complex record root");
+    }
+    hdr->region_count = DecodeFixed16(guard.data() + kRegionCountOff);
+    hdr->header_pages = DecodeFixed16(guard.data() + kHeaderPagesOff);
+    hdr->data_pages = DecodeFixed16(guard.data() + kDataPagesOff);
+    hdr->aux_alloc = DecodeFixed16(guard.data() + kAuxAllocOff);
+    hdr->aux_first = DecodeFixed32(guard.data() + kAuxFirstOff);
+    hdr->stream_bytes = DecodeFixed32(guard.data() + kStreamBytesOff);
+    dir->clear();
+    dir->reserve(hdr->region_count);
+    const uint32_t n_root = std::min<uint32_t>(root_cap, hdr->region_count);
+    for (uint32_t i = 0; i < n_root; ++i) {
+      dir->push_back(decode_entry(guard.data() + kRootDirOff + i * kDirEntrySize));
+    }
+  }
+
+  // Part 2: the remaining header pages in one chained call.
+  if (hdr->header_pages > 1) {
+    std::vector<PageId> ext_pages;
+    for (uint32_t hp = 0; hp + 1 < hdr->header_pages; ++hp) {
+      ext_pages.push_back(hdr->aux_first + hp);
+    }
+    STARFISH_RETURN_NOT_OK(
+        segment_->buffer()->Prefetch(ext_pages, PrefetchMode::kChained));
+    for (uint32_t hp = 0; hp + 1 < hdr->header_pages; ++hp) {
+      STARFISH_ASSIGN_OR_RETURN(PageGuard guard,
+                                segment_->buffer()->Fix(ext_pages[hp]));
+      const uint32_t begin = root_cap + hp * ext_cap;
+      const uint32_t end =
+          std::min<uint32_t>(hdr->region_count, begin + ext_cap);
+      for (uint32_t i = begin; i < end; ++i) {
+        dir->push_back(decode_entry(guard.data() + kPageHeaderSize +
+                                    (i - begin) * kDirEntrySize));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+PageId ComplexRecordStore::DataPage(const LargeHeader& hdr,
+                                    uint32_t chunk) const {
+  return hdr.aux_first + (hdr.header_pages - 1) + chunk;
+}
+
+Result<std::vector<RecordRegion>> ComplexRecordStore::ReadAll(
+    const Tid& tid) const {
+  return ReadPartial(tid, [](uint32_t) { return true; });
+}
+
+Result<std::vector<RecordRegion>> ComplexRecordStore::ReadPartial(
+    const Tid& tid, const std::function<bool(uint32_t)>& want) const {
+  if (!tid.is_complex()) {
+    STARFISH_ASSIGN_OR_RETURN(std::string payload, records_.Read(tid));
+    std::vector<RecordRegion> all;
+    STARFISH_RETURN_NOT_OK(DecodeSmall(payload, &all));
+    std::vector<RecordRegion> out;
+    for (auto& region : all) {
+      if (want(region.tag)) out.push_back(std::move(region));
+    }
+    return out;
+  }
+
+  LargeHeader hdr;
+  std::vector<DirEntry> dir;
+  STARFISH_RETURN_NOT_OK(ReadHeader(tid.page, &hdr, &dir));
+
+  const uint32_t chunk = ChunkSize();
+  std::vector<size_t> selected;
+  for (size_t i = 0; i < dir.size(); ++i) {
+    if (want(dir[i].tag)) selected.push_back(i);
+  }
+
+  // Chunk -> list of (selected index) overlapping it.
+  std::map<uint32_t, std::vector<size_t>> by_chunk;
+  for (size_t sel : selected) {
+    const DirEntry& e = dir[sel];
+    if (e.length == 0) continue;
+    const uint32_t first = e.stream_offset / chunk;
+    const uint32_t last = (e.stream_offset + e.length - 1) / chunk;
+    for (uint32_t c = first; c <= last; ++c) by_chunk[c].push_back(sel);
+  }
+
+  // DASDBS call pattern, part 3: the needed data pages in one chained call.
+  std::vector<PageId> needed_pages;
+  needed_pages.reserve(by_chunk.size());
+  for (const auto& [c, _] : by_chunk) needed_pages.push_back(DataPage(hdr, c));
+  if (!needed_pages.empty()) {
+    STARFISH_RETURN_NOT_OK(
+        segment_->buffer()->Prefetch(needed_pages, PrefetchMode::kChained));
+  }
+
+  std::vector<RecordRegion> out(selected.size());
+  std::vector<size_t> pos_of(dir.size(), 0);
+  for (size_t i = 0; i < selected.size(); ++i) {
+    out[i].tag = dir[selected[i]].tag;
+    out[i].bytes.resize(dir[selected[i]].length);
+    pos_of[selected[i]] = i;
+  }
+
+  for (const auto& [c, sels] : by_chunk) {
+    STARFISH_ASSIGN_OR_RETURN(PageGuard guard,
+                              segment_->buffer()->Fix(DataPage(hdr, c)));
+    const uint32_t chunk_begin = c * chunk;
+    for (size_t sel : sels) {
+      const DirEntry& e = dir[sel];
+      const uint32_t lo = std::max(e.stream_offset, chunk_begin);
+      const uint32_t hi = std::min(e.stream_offset + e.length,
+                                   chunk_begin + chunk);
+      std::memcpy(out[pos_of[sel]].bytes.data() + (lo - e.stream_offset),
+                  guard.data() + kPageHeaderSize + (lo - chunk_begin),
+                  hi - lo);
+    }
+  }
+  return out;
+}
+
+Result<Tid> ComplexRecordStore::Replace(const Tid& tid,
+                                        const std::vector<RecordRegion>& regions) {
+  if (!tid.is_complex()) {
+    const uint32_t small_size = SmallEncodedSize(regions);
+    if (!options_.force_large && small_size <= records_.MaxRecordSize()) {
+      STARFISH_RETURN_NOT_OK(records_.Update(tid, EncodeSmall(regions)));
+      return tid;
+    }
+    // Small -> large transition: the record gets a new address.
+    STARFISH_RETURN_NOT_OK(records_.Delete(tid));
+    return Insert(regions);
+  }
+
+  LargeHeader old_hdr;
+  std::vector<DirEntry> old_dir;
+  STARFISH_RETURN_NOT_OK(ReadHeader(tid.page, &old_hdr, &old_dir));
+
+  std::vector<DirEntry> dir;
+  uint32_t stream_len = 0;
+  LayoutStream(regions, &dir, &stream_len);
+
+  LargeHeader hdr;
+  hdr.region_count = static_cast<uint16_t>(regions.size());
+  hdr.header_pages = static_cast<uint16_t>(HeaderPagesFor(hdr.region_count));
+  hdr.data_pages =
+      static_cast<uint16_t>(std::max<uint32_t>(1, CeilDiv(stream_len, ChunkSize())));
+  hdr.stream_bytes = stream_len;
+
+  const uint32_t need_aux = (hdr.header_pages - 1) + hdr.data_pages;
+  if (need_aux <= old_hdr.aux_alloc) {
+    // Rewrite in place; keep the allocated run (slack pages stay reserved).
+    hdr.aux_alloc = old_hdr.aux_alloc;
+    hdr.aux_first = old_hdr.aux_first;
+  } else {
+    // Outgrew the run: reallocate aux pages, root page (and TID) stay put.
+    std::vector<PageId> old_aux;
+    for (uint32_t i = 0; i < old_hdr.aux_alloc; ++i) {
+      old_aux.push_back(old_hdr.aux_first + i);
+    }
+    STARFISH_RETURN_NOT_OK(segment_->FreePages(old_aux));
+    hdr.aux_alloc = static_cast<uint16_t>(need_aux);
+    STARFISH_ASSIGN_OR_RETURN(
+        hdr.aux_first, segment_->AllocateRun(need_aux, PageType::kComplexData));
+  }
+  STARFISH_RETURN_NOT_OK(WriteLarge(tid.page, hdr, dir, regions));
+  return tid;
+}
+
+Result<Tid> ComplexRecordStore::UpdateRegion(const Tid& tid, uint32_t tag,
+                                             uint32_t ordinal,
+                                             std::string_view bytes) {
+  // The DASDBS change-attribute protocol writes its page pool on every
+  // operation (§5.3) — model that cost first.
+  STARFISH_RETURN_NOT_OK(WritePagePool());
+
+  if (!tid.is_complex()) {
+    STARFISH_ASSIGN_OR_RETURN(std::string payload, records_.Read(tid));
+    std::vector<RecordRegion> regions;
+    STARFISH_RETURN_NOT_OK(DecodeSmall(payload, &regions));
+    uint32_t seen = 0;
+    for (auto& region : regions) {
+      if (region.tag == tag && seen++ == ordinal) {
+        region.bytes.assign(bytes);
+        const std::string encoded = EncodeSmall(regions);
+        if (encoded.size() <= records_.MaxRecordSize()) {
+          STARFISH_RETURN_NOT_OK(records_.Update(tid, encoded));
+          return tid;
+        }
+        // The record outgrew the small representation: full replace.
+        return Replace(tid, regions);
+      }
+    }
+    return Status::NotFound("no region with tag " + std::to_string(tag));
+  }
+
+  LargeHeader hdr;
+  std::vector<DirEntry> dir;
+  STARFISH_RETURN_NOT_OK(ReadHeader(tid.page, &hdr, &dir));
+  uint32_t seen = 0;
+  for (const DirEntry& e : dir) {
+    if (e.tag != tag || seen++ != ordinal) continue;
+    if (e.length != bytes.size()) {
+      // Length change: rebuild the whole record (structure rewrite).
+      STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions, ReadAll(tid));
+      uint32_t seen2 = 0;
+      for (auto& region : regions) {
+        if (region.tag == tag && seen2++ == ordinal) {
+          region.bytes.assign(bytes);
+          break;
+        }
+      }
+      return Replace(tid, regions);
+    }
+    // Same-length fast path: patch the data page(s) in place.
+    const uint32_t chunk = ChunkSize();
+    if (e.length == 0) return tid;
+    const uint32_t first = e.stream_offset / chunk;
+    const uint32_t last = (e.stream_offset + e.length - 1) / chunk;
+    std::vector<PageId> pages;
+    for (uint32_t c = first; c <= last; ++c) pages.push_back(DataPage(hdr, c));
+    STARFISH_RETURN_NOT_OK(
+        segment_->buffer()->Prefetch(pages, PrefetchMode::kChained));
+    for (uint32_t c = first; c <= last; ++c) {
+      STARFISH_ASSIGN_OR_RETURN(PageGuard guard,
+                                segment_->buffer()->Fix(DataPage(hdr, c)));
+      const uint32_t chunk_begin = c * chunk;
+      const uint32_t lo = std::max(e.stream_offset, chunk_begin);
+      const uint32_t hi =
+          std::min(e.stream_offset + e.length, chunk_begin + chunk);
+      std::memcpy(guard.data() + kPageHeaderSize + (lo - chunk_begin),
+                  bytes.data() + (lo - e.stream_offset), hi - lo);
+      guard.MarkDirty();
+    }
+    return tid;
+  }
+  return Status::NotFound("no region with tag " + std::to_string(tag));
+}
+
+Status ComplexRecordStore::Delete(const Tid& tid) {
+  if (!tid.is_complex()) return records_.Delete(tid);
+  LargeHeader hdr;
+  std::vector<DirEntry> dir;
+  STARFISH_RETURN_NOT_OK(ReadHeader(tid.page, &hdr, &dir));
+  std::vector<PageId> pages{tid.page};
+  for (uint32_t i = 0; i < hdr.aux_alloc; ++i) {
+    pages.push_back(hdr.aux_first + i);
+  }
+  return segment_->FreePages(pages);
+}
+
+Status ComplexRecordStore::ScanObjects(
+    const std::function<Status(Tid, const std::vector<RecordRegion>&)>& fn,
+    uint32_t prefetch_window) const {
+  const std::vector<PageId> pages = segment_->pages();  // snapshot
+  size_t window_end = 0;
+  for (size_t i = 0; i < pages.size(); ++i) {
+    if (i >= window_end) {
+      const size_t end = std::min(pages.size(), i + prefetch_window);
+      std::vector<PageId> window(pages.begin() + static_cast<long>(i),
+                                 pages.begin() + static_cast<long>(end));
+      STARFISH_RETURN_NOT_OK(segment_->buffer()->Prefetch(
+          window, PrefetchMode::kContiguousRuns));
+      window_end = end;
+    }
+    PageType type;
+    {
+      STARFISH_ASSIGN_OR_RETURN(PageGuard guard,
+                                segment_->buffer()->Fix(pages[i]));
+      SlottedPage view(guard.data(), page_size());
+      type = view.type();
+    }
+    if (type == PageType::kSlotted) {
+      STARFISH_RETURN_NOT_OK(records_.ForEachOnPage(
+          pages[i], [&](Tid tid, std::string_view payload) {
+            std::vector<RecordRegion> regions;
+            STARFISH_RETURN_NOT_OK(DecodeSmall(payload, &regions));
+            return fn(tid, regions);
+          }));
+    } else if (type == PageType::kComplexHeader) {
+      const Tid tid{pages[i], kComplexRecordSlot};
+      STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions, ReadAll(tid));
+      STARFISH_RETURN_NOT_OK(fn(tid, regions));
+    }
+    // Ext-header / data / pool pages are reached via their root pages.
+  }
+  return Status::OK();
+}
+
+Status ComplexRecordStore::ScanPartial(
+    const std::function<bool(uint32_t)>& want,
+    const std::function<Status(Tid, const std::vector<RecordRegion>&)>& fn,
+    uint32_t prefetch_window) const {
+  // Walk the catalog: slotted pages and root header pages are touched,
+  // continuation/data/pool pages only when a selected region lives there
+  // (ReadPartial fetches those itself with chained calls).
+  const std::vector<PageId> pages = segment_->pages();  // snapshot
+  std::vector<PageId> touchable;
+  touchable.reserve(pages.size());
+  for (PageId id : pages) {
+    const PageType type = segment_->TypeHint(id);
+    if (type == PageType::kSlotted || type == PageType::kComplexHeader) {
+      touchable.push_back(id);
+    }
+  }
+  size_t window_end = 0;
+  for (size_t i = 0; i < touchable.size(); ++i) {
+    if (i >= window_end) {
+      const size_t end = std::min(touchable.size(), i + prefetch_window);
+      std::vector<PageId> window(touchable.begin() + static_cast<long>(i),
+                                 touchable.begin() + static_cast<long>(end));
+      STARFISH_RETURN_NOT_OK(segment_->buffer()->Prefetch(
+          window, PrefetchMode::kContiguousRuns));
+      window_end = end;
+    }
+    if (segment_->TypeHint(touchable[i]) == PageType::kSlotted) {
+      STARFISH_RETURN_NOT_OK(records_.ForEachOnPage(
+          touchable[i], [&](Tid tid, std::string_view payload) -> Status {
+            std::vector<RecordRegion> regions;
+            STARFISH_RETURN_NOT_OK(DecodeSmall(payload, &regions));
+            std::vector<RecordRegion> kept;
+            for (auto& region : regions) {
+              if (want(region.tag)) kept.push_back(std::move(region));
+            }
+            return fn(tid, kept);
+          }));
+    } else {
+      const Tid tid{touchable[i], kComplexRecordSlot};
+      STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
+                                ReadPartial(tid, want));
+      STARFISH_RETURN_NOT_OK(fn(tid, regions));
+    }
+  }
+  return Status::OK();
+}
+
+Result<ComplexRecordInfo> ComplexRecordStore::GetInfo(const Tid& tid) const {
+  ComplexRecordInfo info;
+  if (!tid.is_complex()) {
+    STARFISH_ASSIGN_OR_RETURN(std::string payload, records_.Read(tid));
+    std::vector<RecordRegion> regions;
+    STARFISH_RETURN_NOT_OK(DecodeSmall(payload, &regions));
+    info.is_small = true;
+    for (const auto& region : regions) {
+      info.payload_bytes += static_cast<uint32_t>(region.bytes.size());
+    }
+    // +1 framing byte, +4 slot entry: the shared-page footprint.
+    info.stored_bytes = static_cast<uint32_t>(payload.size()) + 1 + 4;
+    return info;
+  }
+  LargeHeader hdr;
+  std::vector<DirEntry> dir;
+  STARFISH_RETURN_NOT_OK(ReadHeader(tid.page, &hdr, &dir));
+  info.is_small = false;
+  info.header_pages = hdr.header_pages;
+  info.data_pages = hdr.data_pages;
+  for (const DirEntry& e : dir) info.payload_bytes += e.length;
+  // Occupied bytes including internal waste — what the paper's S_tuple
+  // column reports for page-spanning tuples (e.g. 6078 ~= 3.02 * 2012).
+  info.stored_bytes = info.private_pages() * ChunkSize();
+  return info;
+}
+
+Status ComplexRecordStore::WritePagePool() {
+  if (options_.change_attr_page_pool == 0) return Status::OK();
+  if (pool_first_ == kInvalidPageId) {
+    STARFISH_ASSIGN_OR_RETURN(
+        pool_first_,
+        segment_->AllocateRun(options_.change_attr_page_pool, PageType::kPool));
+  }
+  // The pool is written through, bypassing the buffer: DASDBS flushed the
+  // pool pages as part of every change-attribute operation.
+  std::vector<char> zeros(static_cast<size_t>(options_.change_attr_page_pool) *
+                          page_size());
+  return segment_->buffer()->disk()->WriteRun(
+      pool_first_, options_.change_attr_page_pool, zeros.data());
+}
+
+}  // namespace starfish

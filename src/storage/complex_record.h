@@ -1,0 +1,200 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/record_manager.h"
+#include "storage/segment.h"
+#include "storage/tid.h"
+#include "util/status.h"
+
+/// \file complex_record.h
+/// Multi-page complex records with the DASDBS header/data page split.
+///
+/// A complex record is an ordered list of *regions* — opaque byte strings
+/// tagged by the object layer (root attributes, each sub-tuple, ...). The
+/// store keeps small records (whole record fits a shared slotted page) and
+/// large records (private pages) transparently behind one TID:
+///
+///   * **Small**: regions are concatenated with a mini-directory into one
+///     slotted-page record. Several objects share a page; `k` objects per
+///     page, exactly the situation of Equation 4.
+///   * **Large**: a *root header page* (+ continuation header pages when the
+///     directory overflows) holds the region directory; the region bytes
+///     live on separate *data pages*. Retrieval issues DASDBS's call
+///     pattern: one read call for the root page, one for the remaining
+///     header pages, one chained call for the touched data pages. A partial
+///     read (projection) touches only the data pages its regions live on —
+///     this is what distinguishes DASDBS-DSM from plain DSM.
+///
+/// Data pages form a byte stream of (page_size - 36)-byte chunks. A region
+/// that fits one chunk never straddles a chunk boundary (sub-tuples do not
+/// span pages); oversized regions span. The unused tail of the last header
+/// page and of chunks is the "internal wasted space" the paper's primed
+/// (no-waste) model variants remove.
+///
+/// Updates:
+///   * Replace() rewrites the whole record (the paper's 'replace set of
+///     tuples' protocol used by DSM/NSM/DASDBS-NSM updates); all record
+///     pages become dirty.
+///   * UpdateRegion() patches one region in place (the 'change attribute'
+///     protocol DASDBS-DSM is forced into, §5.3). When
+///     `change_attr_page_pool > 0`, every call writes that many page-pool
+///     pages immediately — the DASDBS behaviour that makes DASDBS-DSM
+///     updates expensive.
+
+namespace starfish {
+
+/// One tagged byte region of a complex record. Tags are assigned by the
+/// object layer; the store treats them opaquely (uniqueness not required,
+/// order is preserved).
+struct RecordRegion {
+  uint32_t tag = 0;
+  std::string bytes;
+
+  bool operator==(const RecordRegion& other) const {
+    return tag == other.tag && bytes == other.bytes;
+  }
+};
+
+/// Store configuration.
+struct ComplexStoreOptions {
+  /// Pages written (one chained call) by every UpdateRegion invocation,
+  /// emulating the DASDBS change-attribute page pool. 0 disables.
+  uint32_t change_attr_page_pool = 0;
+
+  /// Force the multi-page representation even for records that would fit a
+  /// shared page (used by tests/ablations; the paper's models always prefer
+  /// the small representation).
+  bool force_large = false;
+};
+
+/// Storage placement details of one record (for the cost-model calibration
+/// and Table 2 reproduction).
+struct ComplexRecordInfo {
+  bool is_small = false;
+  uint32_t header_pages = 0;  ///< root + continuation header pages (0 if small)
+  uint32_t data_pages = 0;    ///< data pages (0 if small)
+  uint32_t payload_bytes = 0; ///< sum of region sizes
+  uint32_t stored_bytes = 0;  ///< payload + directory/admin bytes
+  /// Total pages the record occupies exclusively (0 for small records,
+  /// which share their page).
+  uint32_t private_pages() const { return header_pages + data_pages; }
+};
+
+/// TID-addressed store of complex records over one segment.
+class ComplexRecordStore {
+ public:
+  ComplexRecordStore(Segment* segment, ComplexStoreOptions options = {})
+      : segment_(segment), records_(segment), options_(options) {}
+
+  /// Stores a record; returns its TID. The TID addresses the shared page
+  /// slot (small) or the root header page (large, slot ==
+  /// kComplexRecordSlot).
+  Result<Tid> Insert(const std::vector<RecordRegion>& regions);
+
+  /// Reads the whole record.
+  Result<std::vector<RecordRegion>> ReadAll(const Tid& tid) const;
+
+  /// Reads only the regions whose tag satisfies `want`. For large records
+  /// only the data pages containing selected regions are read.
+  Result<std::vector<RecordRegion>> ReadPartial(
+      const Tid& tid, const std::function<bool(uint32_t)>& want) const;
+
+  /// Replaces the whole record. Returns the (possibly new) TID: large
+  /// records keep their TID; a small record that outgrows its page keeps its
+  /// TID via forwarding; a small record that becomes large gets a new TID.
+  Result<Tid> Replace(const Tid& tid, const std::vector<RecordRegion>& regions);
+
+  /// Patches the `ordinal`-th region with tag `tag` in place (same-length
+  /// fast path); falls back to Replace when the length changes, so — like
+  /// Replace — it returns the possibly-new TID (a small record that outgrows
+  /// its page representation moves). Writes the page pool if configured.
+  Result<Tid> UpdateRegion(const Tid& tid, uint32_t tag, uint32_t ordinal,
+                           std::string_view bytes);
+
+  /// Removes the record and releases its private pages.
+  Status Delete(const Tid& tid);
+
+  /// Visits every record in the segment in physical order. Pages are
+  /// prefetched in contiguous runs of up to `prefetch_window` pages.
+  Status ScanObjects(
+      const std::function<Status(Tid, const std::vector<RecordRegion>&)>& fn,
+      uint32_t prefetch_window = 64) const;
+
+  /// Projection-pushdown scan: visits every record but reads, for large
+  /// records, only the header pages and the data pages whose regions
+  /// satisfy `want` — unneeded data pages are skipped using the segment's
+  /// page-type catalog, without touching them. `fn` receives just the
+  /// selected regions. (Small shared-page records are read whole — there
+  /// is nothing to skip within one page.)
+  Status ScanPartial(
+      const std::function<bool(uint32_t)>& want,
+      const std::function<Status(Tid, const std::vector<RecordRegion>&)>& fn,
+      uint32_t prefetch_window = 64) const;
+
+  /// Placement details for calibration/statistics.
+  Result<ComplexRecordInfo> GetInfo(const Tid& tid) const;
+
+  Segment* segment() { return segment_; }
+  const ComplexStoreOptions& options() const { return options_; }
+
+ private:
+  struct DirEntry {
+    uint32_t tag = 0;
+    uint32_t stream_offset = 0;
+    uint32_t length = 0;
+  };
+  struct LargeHeader {
+    uint16_t region_count = 0;
+    uint16_t header_pages = 0;  // incl. root
+    uint16_t data_pages = 0;
+    uint16_t aux_alloc = 0;     // pages in the aux run (ext headers + data)
+    PageId aux_first = kInvalidPageId;
+    uint32_t stream_bytes = 0;
+  };
+
+  uint32_t page_size() const { return segment_->buffer()->disk()->page_size(); }
+  /// Usable bytes per page ("chunk") after the page header.
+  uint32_t ChunkSize() const { return page_size() - kPageHeaderSize; }
+
+  /// Lays regions out into the data stream (chunk-aligned packing).
+  /// Returns directory entries and the total stream length.
+  void LayoutStream(const std::vector<RecordRegion>& regions,
+                    std::vector<DirEntry>* dir, uint32_t* stream_len) const;
+
+  /// Number of header pages needed for `n` directory entries.
+  uint32_t HeaderPagesFor(uint32_t n) const;
+
+  /// Encodes the small (single slotted record) representation.
+  static std::string EncodeSmall(const std::vector<RecordRegion>& regions);
+  static Status DecodeSmall(std::string_view payload,
+                            std::vector<RecordRegion>* regions);
+  uint32_t SmallEncodedSize(const std::vector<RecordRegion>& regions) const;
+
+  /// Writes a large record into the given root page + aux run. All touched
+  /// pages are fixed, rewritten and marked dirty.
+  Status WriteLarge(PageId root, const LargeHeader& hdr,
+                    const std::vector<DirEntry>& dir,
+                    const std::vector<RecordRegion>& regions);
+
+  /// Reads the fixed header + directory; issues the DASDBS call pattern
+  /// (root page, then remaining header pages in one chained call).
+  Status ReadHeader(PageId root, LargeHeader* hdr,
+                    std::vector<DirEntry>* dir) const;
+
+  /// Data page id for chunk index `i` under header `hdr`.
+  PageId DataPage(const LargeHeader& hdr, uint32_t chunk) const;
+
+  Status WritePagePool();
+
+  Segment* segment_;
+  RecordManager records_;
+  ComplexStoreOptions options_;
+  PageId pool_first_ = kInvalidPageId;
+};
+
+}  // namespace starfish

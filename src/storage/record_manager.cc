@@ -1,0 +1,200 @@
+#include "storage/record_manager.h"
+
+#include "util/coding.h"
+
+namespace starfish {
+
+namespace {
+
+// A forwarding stub is the kind byte plus the packed target TID.
+constexpr size_t kStubSize = 1 + 8;
+
+std::string MakeStub(const Tid& target) {
+  std::string stub;
+  stub.push_back(1);  // kForwardStub
+  PutFixed64(&stub, target.Pack());
+  return stub;
+}
+
+}  // namespace
+
+uint32_t RecordManager::MaxRecordSize() const {
+  return SlottedPage::MaxRecordSize(segment_->buffer()->disk()->page_size()) - 1;
+}
+
+Result<Tid> RecordManager::Insert(std::string_view record) {
+  return InsertWithKind(record, kPlain);
+}
+
+Result<Tid> RecordManager::InsertWithKind(std::string_view record, char kind) {
+  if (record.size() > MaxRecordSize()) {
+    return Status::InvalidArgument("record too large for RecordManager: " +
+                                   std::to_string(record.size()) + " bytes");
+  }
+  std::string framed;
+  framed.reserve(record.size() + 1);
+  framed.push_back(kind);
+  framed.append(record);
+
+  const uint32_t needed =
+      static_cast<uint32_t>(framed.size()) + 4;  // + slot entry
+  PageId page = segment_->FindSlottedPageWithSpace(needed);
+  if (page == kInvalidPageId) {
+    STARFISH_ASSIGN_OR_RETURN(page, segment_->AllocatePage(PageType::kSlotted));
+  }
+  STARFISH_ASSIGN_OR_RETURN(PageGuard guard, segment_->buffer()->Fix(page));
+  SlottedPage view(guard.data(), segment_->buffer()->disk()->page_size());
+  STARFISH_ASSIGN_OR_RETURN(uint16_t slot, view.Insert(framed));
+  guard.MarkDirty();
+  segment_->SetFreeHint(page, view.FreeSpaceForNewRecord());
+  return Tid{page, slot};
+}
+
+Result<std::string> RecordManager::Read(const Tid& tid) const {
+  STARFISH_ASSIGN_OR_RETURN(PageGuard guard, segment_->buffer()->Fix(tid.page));
+  SlottedPage view(guard.data(), segment_->buffer()->disk()->page_size());
+  STARFISH_ASSIGN_OR_RETURN(std::string_view framed, view.Read(tid.slot));
+  if (framed.empty()) return Status::Corruption("empty framed record");
+  if (framed[0] == kForwardStub) {
+    if (framed.size() != kStubSize) {
+      return Status::Corruption("malformed forwarding stub at " + tid.ToString());
+    }
+    const Tid target = Tid::Unpack(DecodeFixed64(framed.data() + 1));
+    STARFISH_ASSIGN_OR_RETURN(PageGuard tguard,
+                              segment_->buffer()->Fix(target.page));
+    SlottedPage tview(tguard.data(), segment_->buffer()->disk()->page_size());
+    STARFISH_ASSIGN_OR_RETURN(std::string_view tframed, tview.Read(target.slot));
+    if (tframed.empty() || tframed[0] != kMovedPayload) {
+      return Status::Corruption("stub at " + tid.ToString() +
+                                " points to non-moved record");
+    }
+    return std::string(tframed.substr(1));
+  }
+  return std::string(framed.substr(1));
+}
+
+Status RecordManager::Update(const Tid& tid, std::string_view record) {
+  if (record.size() > MaxRecordSize()) {
+    return Status::InvalidArgument("updated record too large");
+  }
+  STARFISH_ASSIGN_OR_RETURN(PageGuard guard, segment_->buffer()->Fix(tid.page));
+  SlottedPage view(guard.data(), segment_->buffer()->disk()->page_size());
+  STARFISH_ASSIGN_OR_RETURN(std::string_view framed, view.Read(tid.slot));
+  if (framed.empty()) return Status::Corruption("empty framed record");
+
+  if (framed[0] == kForwardStub) {
+    // Update the moved copy; if it no longer fits there, move it again and
+    // repoint the home stub. A failed page update is non-destructive, so
+    // the old copy survives until the new one is in place.
+    const Tid target = Tid::Unpack(DecodeFixed64(framed.data() + 1));
+    std::string moved;
+    moved.push_back(kMovedPayload);
+    moved.append(record);
+    {
+      STARFISH_ASSIGN_OR_RETURN(PageGuard tguard,
+                                segment_->buffer()->Fix(target.page));
+      SlottedPage tview(tguard.data(), segment_->buffer()->disk()->page_size());
+      Status st = tview.Update(target.slot, moved);
+      if (st.ok()) {
+        tguard.MarkDirty();
+        segment_->SetFreeHint(target.page, tview.FreeSpaceForNewRecord());
+        return Status::OK();
+      }
+      if (!st.IsResourceExhausted()) return st;
+    }
+    STARFISH_ASSIGN_OR_RETURN(Tid new_target,
+                              InsertWithKind(record, kMovedPayload));
+    const std::string stub = MakeStub(new_target);
+    STARFISH_RETURN_NOT_OK(view.Update(tid.slot, stub));
+    guard.MarkDirty();
+    // Drop the superseded copy.
+    STARFISH_ASSIGN_OR_RETURN(PageGuard tguard,
+                              segment_->buffer()->Fix(target.page));
+    SlottedPage tview(tguard.data(), segment_->buffer()->disk()->page_size());
+    STARFISH_RETURN_NOT_OK(tview.Delete(target.slot));
+    tguard.MarkDirty();
+    segment_->SetFreeHint(target.page, tview.FreeSpaceForNewRecord());
+    return Status::OK();
+  }
+
+  // Plain record: try in place.
+  std::string framed_new;
+  framed_new.push_back(framed[0]);  // keep kind
+  framed_new.append(record);
+  Status st = view.Update(tid.slot, framed_new);
+  if (st.ok()) {
+    guard.MarkDirty();
+    segment_->SetFreeHint(tid.page, view.FreeSpaceForNewRecord());
+    return Status::OK();
+  }
+  if (!st.IsResourceExhausted()) return st;
+
+  // Did not fit: move the payload elsewhere and shrink the home slot to a
+  // forwarding stub (always fits when the old record was at least stub
+  // sized; otherwise report the page as full).
+  STARFISH_ASSIGN_OR_RETURN(Tid target, InsertWithKind(record, kMovedPayload));
+  const std::string stub = MakeStub(target);
+  Status stub_st = view.Update(tid.slot, stub);
+  if (!stub_st.ok()) {
+    return Status::ResourceExhausted(
+        "no room for forwarding stub on page " + std::to_string(tid.page));
+  }
+  guard.MarkDirty();
+  segment_->SetFreeHint(tid.page, view.FreeSpaceForNewRecord());
+  return Status::OK();
+}
+
+Status RecordManager::Delete(const Tid& tid) {
+  STARFISH_ASSIGN_OR_RETURN(PageGuard guard, segment_->buffer()->Fix(tid.page));
+  SlottedPage view(guard.data(), segment_->buffer()->disk()->page_size());
+  STARFISH_ASSIGN_OR_RETURN(std::string_view framed, view.Read(tid.slot));
+  if (!framed.empty() && framed[0] == kForwardStub) {
+    const Tid target = Tid::Unpack(DecodeFixed64(framed.data() + 1));
+    STARFISH_ASSIGN_OR_RETURN(PageGuard tguard,
+                              segment_->buffer()->Fix(target.page));
+    SlottedPage tview(tguard.data(), segment_->buffer()->disk()->page_size());
+    STARFISH_RETURN_NOT_OK(tview.Delete(target.slot));
+    tguard.MarkDirty();
+    segment_->SetFreeHint(target.page, tview.FreeSpaceForNewRecord());
+  }
+  STARFISH_RETURN_NOT_OK(view.Delete(tid.slot));
+  guard.MarkDirty();
+  segment_->SetFreeHint(tid.page, view.FreeSpaceForNewRecord());
+  return Status::OK();
+}
+
+Status RecordManager::ForEachOnPage(
+    PageId page,
+    const std::function<Status(Tid, std::string_view)>& fn) const {
+  STARFISH_ASSIGN_OR_RETURN(PageGuard guard, segment_->buffer()->Fix(page));
+  SlottedPage view(guard.data(), segment_->buffer()->disk()->page_size());
+  if (view.type() != PageType::kSlotted) return Status::OK();
+  const uint16_t n = view.slot_count();
+  for (uint16_t s = 0; s < n; ++s) {
+    auto rec = view.Read(s);
+    if (!rec.ok()) continue;  // free slot
+    const std::string_view framed = rec.value();
+    if (framed.empty()) continue;
+    if (framed[0] == kMovedPayload) continue;  // visited via its home stub
+    if (framed[0] == kForwardStub) {
+      // Follow the stub so every record is visited exactly once, at its
+      // home TID (costs one extra page fix, as real TID forwarding does).
+      const Tid target = Tid::Unpack(DecodeFixed64(framed.data() + 1));
+      STARFISH_ASSIGN_OR_RETURN(PageGuard tguard,
+                                segment_->buffer()->Fix(target.page));
+      SlottedPage tview(tguard.data(), segment_->buffer()->disk()->page_size());
+      STARFISH_ASSIGN_OR_RETURN(std::string_view tframed,
+                                tview.Read(target.slot));
+      if (tframed.empty() || tframed[0] != kMovedPayload) {
+        return Status::Corruption("dangling forwarding stub at " +
+                                  Tid{page, s}.ToString());
+      }
+      STARFISH_RETURN_NOT_OK(fn(Tid{page, s}, tframed.substr(1)));
+      continue;
+    }
+    STARFISH_RETURN_NOT_OK(fn(Tid{page, s}, framed.substr(1)));
+  }
+  return Status::OK();
+}
+
+}  // namespace starfish

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "storage/segment.h"
+#include "storage/tid.h"
+#include "util/status.h"
+
+/// \file record_manager.h
+/// TID-addressed storage of small (single-page) records in a segment.
+///
+/// Records are placed append-style: the current fill page is used until a
+/// record no longer fits, then a new page is opened. Consecutively inserted
+/// records therefore end up physically clustered — the paper's normalized
+/// models rely on this ("tuples that belong to the same root or parent are
+/// likely to be stored clustered together", §3.3).
+///
+/// Updates keep TIDs stable. When an update outgrows its page the record
+/// moves and leaves a forwarding stub behind, so later reads pay one extra
+/// page access — the classic TID forwarding scheme.
+
+namespace starfish {
+
+/// Heap-file manager for small records over one segment.
+class RecordManager {
+ public:
+  explicit RecordManager(Segment* segment) : segment_(segment) {}
+
+  /// Maximum payload size (one page minus headers and the stub tag byte).
+  uint32_t MaxRecordSize() const;
+
+  /// Inserts a record, returns its stable TID.
+  Result<Tid> Insert(std::string_view record);
+
+  /// Reads a record (follows at most one forwarding hop).
+  Result<std::string> Read(const Tid& tid) const;
+
+  /// Replaces the record's payload. The TID stays valid even if the record
+  /// has to move to another page.
+  Status Update(const Tid& tid, std::string_view record);
+
+  /// Deletes the record (and its forwarded copy, if any).
+  Status Delete(const Tid& tid);
+
+  /// Calls `fn` for every live record on `page` (forwarding stubs skipped;
+  /// each record is visited exactly once at its home TID). The record view
+  /// is only valid during the callback.
+  Status ForEachOnPage(PageId page,
+                       const std::function<Status(Tid, std::string_view)>& fn) const;
+
+  Segment* segment() { return segment_; }
+
+ private:
+  // Record kinds on the page: a plain payload, a stub pointing to the
+  // record's current home, or a moved payload (target of a stub).
+  enum RecordKind : char { kPlain = 0, kForwardStub = 1, kMovedPayload = 2 };
+
+  Result<Tid> InsertWithKind(std::string_view record, char kind);
+
+  Segment* segment_;
+};
+
+}  // namespace starfish

@@ -1,0 +1,85 @@
+#include "storage/segment.h"
+
+#include <algorithm>
+
+namespace starfish {
+
+namespace {
+constexpr uint32_t kNotSlotted = ~0u;
+}
+
+Result<PageId> Segment::AllocatePage(PageType type) {
+  return AllocateRun(1, type);
+}
+
+Result<PageId> Segment::AllocateRun(uint32_t n, PageType type) {
+  if (n == 0) return Status::InvalidArgument("empty run");
+  const PageId first = buffer_->disk()->AllocateRun(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const PageId id = first + i;
+    // Fresh pages are zero-filled on disk; format the in-buffer copy.
+    STARFISH_ASSIGN_OR_RETURN(PageGuard guard, buffer_->Fix(id));
+    SlottedPage view(guard.data(), buffer_->disk()->page_size());
+    view.Init(id_, type);
+    guard.MarkDirty();
+    page_index_[id] = pages_.size();
+    pages_.push_back(id);
+    free_hints_.push_back(type == PageType::kSlotted
+                              ? view.FreeSpaceForNewRecord()
+                              : kNotSlotted);
+    type_hints_.push_back(type);
+  }
+  return first;
+}
+
+Status Segment::FreePages(const std::vector<PageId>& ids) {
+  for (PageId id : ids) {
+    auto it = page_index_.find(id);
+    if (it == page_index_.end()) {
+      return Status::NotFound("page " + std::to_string(id) +
+                              " not in segment " + name_);
+    }
+    const size_t idx = it->second;
+    pages_.erase(pages_.begin() + static_cast<long>(idx));
+    free_hints_.erase(free_hints_.begin() + static_cast<long>(idx));
+    type_hints_.erase(type_hints_.begin() + static_cast<long>(idx));
+    page_index_.erase(it);
+    for (auto& [pid, i] : page_index_) {
+      if (i > idx) --i;
+    }
+    STARFISH_RETURN_NOT_OK(buffer_->disk()->Free(id));
+  }
+  return Status::OK();
+}
+
+uint32_t Segment::FreeHint(PageId id) const {
+  auto it = page_index_.find(id);
+  return it == page_index_.end() ? 0 : free_hints_[it->second];
+}
+
+void Segment::SetFreeHint(PageId id, uint32_t free_bytes) {
+  auto it = page_index_.find(id);
+  if (it != page_index_.end()) free_hints_[it->second] = free_bytes;
+}
+
+PageType Segment::TypeHint(PageId id) const {
+  auto it = page_index_.find(id);
+  return it == page_index_.end() ? PageType::kFree : type_hints_[it->second];
+}
+
+void Segment::SetTypeHint(PageId id, PageType type) {
+  auto it = page_index_.find(id);
+  if (it != page_index_.end()) type_hints_[it->second] = type;
+}
+
+PageId Segment::FindSlottedPageWithSpace(uint32_t bytes) const {
+  // Check the most recent slotted pages first: the insert pattern is
+  // append-mostly, so the current fill page is almost always at the back.
+  for (size_t i = pages_.size(); i > 0; --i) {
+    const uint32_t hint = free_hints_[i - 1];
+    if (hint != kNotSlotted && hint >= bytes) return pages_[i - 1];
+  }
+  return kInvalidPageId;
+}
+
+}  // namespace starfish

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "disk/page.h"
+#include "util/status.h"
+
+/// \file slotted_page.h
+/// In-page record organization for small records.
+///
+/// Small records (at most one page) live in slotted pages and share pages
+/// with other records — the paper's `k` (tuples per page) falls out of this
+/// layout. Records never span slotted pages, matching the DASDBS rule that
+/// small tuples do not cross page boundaries.
+///
+/// Physical layout (page size P, header H = 36 bytes):
+///
+///   [0,  H)                     page header (magic, type, counts, ...)
+///   [H,  H + 4*slot_count)      slot directory, 4 bytes per slot
+///   [heap_start, P)             record heap, grows downward
+///
+/// The page is compacted eagerly on delete/shrink, so free space is always
+/// the single gap between the slot directory and the heap.
+
+namespace starfish {
+
+/// Tag stored in the page header identifying how a page is used.
+enum class PageType : uint16_t {
+  kFree = 0,
+  kSlotted = 1,           ///< shared page of small records
+  kComplexHeader = 2,     ///< root header page of a multi-page complex record
+  kComplexHeaderExt = 3,  ///< continuation header page (directory overflow)
+  kComplexData = 4,       ///< data page of a multi-page complex record
+  kPool = 5,              ///< page-pool page of the change-attribute protocol
+  kIndex = 6,             ///< persistent B+-tree node
+};
+
+/// A non-owning view over one page image that interprets it as a slotted
+/// page. All mutators require the caller to hold the page fixed for write
+/// and to mark it dirty afterwards.
+class SlottedPage {
+ public:
+  /// Wraps an existing page image. `data` must point at `page_size` bytes.
+  SlottedPage(char* data, uint32_t page_size)
+      : data_(data), page_size_(page_size) {}
+
+  /// Formats a fresh page: writes the header, zero slots, empty heap.
+  void Init(uint32_t segment_id, PageType type);
+
+  /// True if the header magic marks this page as formatted by starfish.
+  bool IsFormatted() const;
+
+  PageType type() const;
+  uint32_t segment_id() const;
+
+  /// Number of slot directory entries (free slots included).
+  uint16_t slot_count() const;
+
+  /// Number of live (non-empty) records.
+  uint16_t live_count() const;
+
+  /// Bytes available for a new record, accounting for a possibly needed new
+  /// slot directory entry.
+  uint32_t FreeSpaceForNewRecord() const;
+
+  /// Maximum record payload an empty page can hold.
+  static uint32_t MaxRecordSize(uint32_t page_size);
+
+  /// Inserts a record; returns its slot. Fails with ResourceExhausted when
+  /// the record does not fit.
+  Result<uint16_t> Insert(std::string_view record);
+
+  /// Reads a live record. The view is valid while the page stays fixed.
+  Result<std::string_view> Read(uint16_t slot) const;
+
+  /// Replaces the record in `slot`, keeping the slot id stable.
+  /// Fails with ResourceExhausted when the new record does not fit.
+  Status Update(uint16_t slot, std::string_view record);
+
+  /// Removes the record and compacts the heap. The slot becomes reusable.
+  Status Delete(uint16_t slot);
+
+ private:
+  uint16_t heap_start() const;
+  void set_heap_start(uint16_t value);
+  void set_slot_count(uint16_t value);
+  uint16_t slot_offset(uint16_t slot) const;
+  uint16_t slot_length(uint16_t slot) const;
+  void set_slot(uint16_t slot, uint16_t offset, uint16_t length);
+  Status CheckLiveSlot(uint16_t slot) const;
+
+  /// Removes the byte range of a record from the heap, shifting records that
+  /// live below it and fixing their slots.
+  void EraseFromHeap(uint16_t offset, uint16_t length);
+
+  char* data_;
+  uint32_t page_size_;
+};
+
+}  // namespace starfish

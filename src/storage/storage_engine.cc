@@ -1,0 +1,40 @@
+#include "storage/storage_engine.h"
+
+namespace starfish {
+
+StorageEngine::StorageEngine(StorageEngineOptions options)
+    : disk_(options.disk), buffer_(&disk_, options.buffer) {}
+
+Result<Segment*> StorageEngine::CreateSegment(const std::string& name) {
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("segment '" + name + "' already exists");
+  }
+  const uint32_t id = static_cast<uint32_t>(segments_.size());
+  segments_.push_back(std::make_unique<Segment>(id, name, &buffer_));
+  Segment* segment = segments_.back().get();
+  by_name_[name] = segment;
+  return segment;
+}
+
+Segment* StorageEngine::GetSegment(const std::string& name) {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+std::vector<Segment*> StorageEngine::segments() {
+  std::vector<Segment*> out;
+  out.reserve(segments_.size());
+  for (const auto& segment : segments_) out.push_back(segment.get());
+  return out;
+}
+
+EngineStats StorageEngine::stats() const {
+  return EngineStats{disk_.stats(), buffer_.stats()};
+}
+
+void StorageEngine::ResetStats() {
+  disk_.ResetStats();
+  buffer_.ResetStats();
+}
+
+}  // namespace starfish

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "buffer/buffer_manager.h"
+#include "disk/sim_disk.h"
+#include "storage/segment.h"
+#include "util/status.h"
+
+/// \file storage_engine.h
+/// Owns the simulated volume, the buffer pool and the segment catalog —
+/// one "database instance" in the sense of the paper's DASDBS testbed.
+
+namespace starfish {
+
+/// Engine configuration: geometry + buffering.
+struct StorageEngineOptions {
+  DiskOptions disk;
+  BufferOptions buffer;
+};
+
+/// Combined counter snapshot used by the benchmark runner to delta-measure
+/// individual queries.
+struct EngineStats {
+  IoStats io;
+  BufferStats buffer;
+
+  EngineStats Since(const EngineStats& earlier) const {
+    return EngineStats{io.Since(earlier.io), buffer.Since(earlier.buffer)};
+  }
+};
+
+/// The storage substrate: disk + buffer + segments.
+class StorageEngine {
+ public:
+  explicit StorageEngine(StorageEngineOptions options = {});
+
+  /// Creates a new, empty segment. Fails if the name exists.
+  Result<Segment*> CreateSegment(const std::string& name);
+
+  /// Looks up a segment by name (nullptr if absent).
+  Segment* GetSegment(const std::string& name);
+
+  /// All segments in creation order.
+  std::vector<Segment*> segments();
+
+  BufferManager* buffer() { return &buffer_; }
+  SimDisk* disk() { return &disk_; }
+
+  /// Write-back of all dirty pages — the paper's "database disconnect".
+  Status Flush() { return buffer_.FlushAll(); }
+
+  /// Flushes and empties the buffer: the next query starts cold.
+  Status DropCache() { return buffer_.DropAll(); }
+
+  /// Snapshot of all counters.
+  EngineStats stats() const;
+
+  /// Zeroes all counters (page contents unaffected).
+  void ResetStats();
+
+ private:
+  SimDisk disk_;
+  BufferManager buffer_;
+  std::vector<std::unique_ptr<Segment>> segments_;
+  std::unordered_map<std::string, Segment*> by_name_;
+};
+
+}  // namespace starfish

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "disk/page.h"
+
+/// \file tid.h
+/// Tuple/record identifiers — the "physical addresses" of the paper.
+///
+/// The paper's OIDs and LINK attributes are physical addresses of stored
+/// records. A Tid names either a slot in a shared slotted page (small
+/// records) or, with slot == kComplexRecordSlot, the root header page of a
+/// multi-page complex record.
+
+namespace starfish {
+
+/// Slot number marking a Tid that points at the root page of a multi-page
+/// complex record rather than at a slot in a shared page.
+inline constexpr uint16_t kComplexRecordSlot = 0xFFFE;
+
+/// Sentinel slot for "no record".
+inline constexpr uint16_t kInvalidSlot = 0xFFFF;
+
+/// Physical record address: page + slot.
+struct Tid {
+  PageId page = kInvalidPageId;
+  uint16_t slot = kInvalidSlot;
+
+  bool valid() const { return page != kInvalidPageId && slot != kInvalidSlot; }
+  bool is_complex() const { return slot == kComplexRecordSlot; }
+
+  bool operator==(const Tid& other) const {
+    return page == other.page && slot == other.slot;
+  }
+  bool operator!=(const Tid& other) const { return !(*this == other); }
+  bool operator<(const Tid& other) const {
+    return page != other.page ? page < other.page : slot < other.slot;
+  }
+
+  /// Packs the address into 48 bits inside a uint64 (page:32, slot:16).
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(page) << 16) | slot;
+  }
+  static Tid Unpack(uint64_t packed) {
+    Tid t;
+    t.page = static_cast<PageId>(packed >> 16);
+    t.slot = static_cast<uint16_t>(packed & 0xFFFF);
+    return t;
+  }
+
+  std::string ToString() const {
+    return "(" + std::to_string(page) + "," + std::to_string(slot) + ")";
+  }
+};
+
+/// Invalid address constant.
+inline constexpr Tid kInvalidTid{};
+
+}  // namespace starfish
+
+template <>
+struct std::hash<starfish::Tid> {
+  size_t operator()(const starfish::Tid& tid) const noexcept {
+    return std::hash<uint64_t>()(tid.Pack());
+  }
+};

@@ -1,0 +1,25 @@
+#include "util/math_util.h"
+
+#include <cmath>
+#include <limits>
+
+namespace starfish {
+
+double LogFactorial(int64_t n) {
+  if (n <= 1) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogBinomial(int64_t n, int64_t k) {
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  if (k == 0 || k == n) return 0.0;
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double BinomialRatio(int64_t a, int64_t b, int64_t t) {
+  if (t > a) return 0.0;  // C(a, t) == 0
+  const double log_ratio = LogBinomial(a, t) - LogBinomial(b, t);
+  return std::exp(log_ratio);
+}
+
+}  // namespace starfish

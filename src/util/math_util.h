@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file math_util.h
+/// Numerically stable combinatorics for the analytical cost model.
+///
+/// The Yao/Bernstein page-access formula (Equation 4 of the paper) evaluates
+/// ratios of binomial coefficients with arguments in the tens of thousands
+/// (e.g. m*k = 11,250 tuples of the Sightseeing relation). Computing those
+/// coefficients directly overflows; we work with log-gamma instead.
+
+namespace starfish {
+
+/// Natural logarithm of n! (via lgamma). Requires n >= 0.
+double LogFactorial(int64_t n);
+
+/// Natural logarithm of the binomial coefficient C(n, k).
+/// Returns -infinity when k < 0 or k > n (the coefficient is zero).
+double LogBinomial(int64_t n, int64_t k);
+
+/// Ratio C(a, t) / C(b, t) computed in log space. Requires b >= a >= 0.
+/// Used by the Yao formula; the ratio is the probability that t draws
+/// without replacement from b items all avoid a designated (b - a)-subset.
+double BinomialRatio(int64_t a, int64_t b, int64_t t);
+
+/// Integer division rounding up. Requires b > 0, a >= 0.
+constexpr int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+}  // namespace starfish

@@ -1,0 +1,83 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace starfish {
+
+namespace {
+
+// splitmix64: seed expander recommended by the xoshiro authors.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  if (n == 0) return 0;
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = (0 - n) % n;  // == 2^64 mod n
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Uniform(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1) double.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::string Rng::RandomString(size_t length) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ";
+  static constexpr size_t kAlphabetSize = sizeof(kAlphabet) - 1;  // 64
+  std::string out;
+  out.resize(length);
+  for (size_t i = 0; i < length; ++i) {
+    out[i] = kAlphabet[Next() & (kAlphabetSize - 1)];
+  }
+  return out;
+}
+
+void Rng::Shuffle(std::vector<uint64_t>* values) {
+  for (size_t i = values->size(); i > 1; --i) {
+    const size_t j = Uniform(i);
+    std::swap((*values)[i - 1], (*values)[j]);
+  }
+}
+
+}  // namespace starfish

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file random.h
+/// Deterministic pseudo-random number generation.
+///
+/// The benchmark databases of the paper are randomly generated (creation
+/// probabilities, fan-outs, random inter-object references). To make every
+/// experiment reproducible bit-for-bit across platforms and standard library
+/// implementations, starfish ships its own generator (xoshiro256**) and its
+/// own distribution transforms instead of relying on <random>'s
+/// implementation-defined distributions.
+
+namespace starfish {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm):
+/// a small, fast, high-quality 64-bit PRNG with 256 bits of state.
+class Rng {
+ public:
+  /// Seeds the state from a single 64-bit seed via splitmix64, which is the
+  /// recommended seeding procedure for xoshiro generators.
+  explicit Rng(uint64_t seed = 0x5742c0de) { Seed(seed); }
+
+  /// Re-seeds the generator; identical seeds yield identical sequences.
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). Requires n > 0. Unbiased (rejection method).
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Random printable ASCII string of exactly `length` bytes. The paper fills
+  /// its 100-byte STR attributes with dummy data; realistic-looking text
+  /// keeps page dumps debuggable.
+  std::string RandomString(size_t length);
+
+  /// Fisher-Yates shuffle of `values` (deterministic given the seed).
+  void Shuffle(std::vector<uint64_t>* values);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace starfish

@@ -1,0 +1,165 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+/// \file status.h
+/// Error handling primitives for the starfish library.
+///
+/// The library does not throw exceptions. Fallible operations return a
+/// starfish::Status, or a starfish::Result<T> when they also produce a value
+/// (the RocksDB / Apache Arrow idiom). Helper macros propagate errors up the
+/// call stack.
+
+namespace starfish {
+
+/// Machine-readable category of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kResourceExhausted = 5,
+  kIOError = 6,
+  kCorruption = 7,
+  kNotSupported = 8,
+  kInternal = 9,
+};
+
+/// Returns a stable, human-readable name for a status code ("OK", "IOError"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// The outcome of a fallible operation: a code plus an optional message.
+///
+/// A default-constructed Status is OK. Status is cheap to copy for the OK
+/// case and carries a heap-allocated message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const { return code_ == StatusCode::kResourceExhausted; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+/// A value of type T or the Status explaining why it could not be produced.
+///
+/// Access the value only after checking ok(); accessing the value of a failed
+/// Result is undefined (checked by assert in debug builds via std::get).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Status of the operation; OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+namespace internal {
+// Token pasting helpers so the macros below create unique temporaries.
+#define STARFISH_CONCAT_IMPL(a, b) a##b
+#define STARFISH_CONCAT(a, b) STARFISH_CONCAT_IMPL(a, b)
+}  // namespace internal
+
+/// Propagates a non-OK Status to the caller.
+#define STARFISH_RETURN_NOT_OK(expr)                      \
+  do {                                                    \
+    ::starfish::Status _st = (expr);                      \
+    if (!_st.ok()) return _st;                            \
+  } while (false)
+
+/// Evaluates a Result<T> expression; assigns the value to `lhs` on success,
+/// returns the error Status otherwise. `lhs` may include a declaration.
+#define STARFISH_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  STARFISH_ASSIGN_OR_RETURN_IMPL(                                      \
+      STARFISH_CONCAT(_starfish_result_, __LINE__), lhs, rexpr)
+
+#define STARFISH_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+}  // namespace starfish

@@ -1,0 +1,89 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace starfish {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  is_separator_.push_back(false);
+}
+
+void TablePrinter::AddSeparator() {
+  rows_.emplace_back();
+  is_separator_.push_back(true);
+}
+
+std::string TablePrinter::ToString() const {
+  size_t ncols = headers_.size();
+  for (const auto& row : rows_) ncols = std::max(ncols, row.size());
+
+  std::vector<size_t> widths(ncols, 0);
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << "|";
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+    return os.str();
+  };
+  auto render_separator = [&]() {
+    std::ostringstream os;
+    os << "+";
+    for (size_t c = 0; c < ncols; ++c) {
+      os << std::string(widths[c] + 2, '-') << '+';
+    }
+    os << '\n';
+    return os.str();
+  };
+
+  std::string out;
+  out += render_separator();
+  out += render_line(headers_);
+  out += render_separator();
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    out += is_separator_[r] ? render_separator() : render_line(rows_[r]);
+  }
+  out += render_separator();
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string TablePrinter::FormatValue(double value, int precision) {
+  if (!std::isfinite(value)) return "-";
+  // Integers >= 100 print without decimals (paper style: "6000", "154").
+  if (std::abs(value) >= 100.0 || value == std::floor(value)) {
+    if (std::abs(value) >= 100.0) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.0f", value);
+      return buf;
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision - 1, value);
+  // Trim to ~3 significant digits like the paper ("4.00", "86.9", "19.7").
+  if (std::abs(value) >= 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", value);
+  }
+  return buf;
+}
+
+}  // namespace starfish

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file table_printer.h
+/// Fixed-width ASCII table rendering for the benchmark harnesses.
+///
+/// Every table/figure reproduction prints rows in the layout of the paper;
+/// this helper keeps the formatting consistent across the bench binaries.
+
+namespace starfish {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row; missing trailing cells render empty, extra cells
+  /// widen the table.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator line at the current position.
+  void AddSeparator();
+
+  /// Renders the full table (headers, separator, rows) as a string.
+  std::string ToString() const;
+
+  /// Convenience: render and write to stdout.
+  void Print() const;
+
+  /// Formats a double with `precision` significant decimal digits, trimming
+  /// the representation the way the paper prints values (e.g. "4.00", "86.9",
+  /// "6000").
+  static std::string FormatValue(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // separator == empty row tag
+  std::vector<bool> is_separator_;
+};
+
+}  // namespace starfish

@@ -1,0 +1,111 @@
+#include "benchmark/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmark/station_schema.h"
+
+namespace starfish::bench {
+namespace {
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorConfig config;
+    config.n_objects = 200;
+    config.seed = 91;
+    auto db = BenchmarkDatabase::Generate(config);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<BenchmarkDatabase>(std::move(db).value());
+  }
+  std::unique_ptr<BenchmarkDatabase> db_;
+};
+
+TEST_F(CalibrationTest, DirectModelParameters) {
+  StorageEngine engine;
+  ModelConfig mc;
+  mc.schema = db_->schema();
+  auto model = DirectModel::Create(&engine, mc, DirectModelOptions{});
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(db_->LoadInto(model->get(), &engine).ok());
+  auto rel = CalibrateDirect(model->get(), *db_);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_DOUBLE_EQ(rel->tuples_per_object, 1.0);
+  EXPECT_DOUBLE_EQ(rel->total_tuples, 200.0);
+  EXPECT_TRUE(rel->is_large);  // the average Station spans pages
+  EXPECT_GT(rel->header_pages, 0.5);
+  EXPECT_GT(rel->data_pages, 1.5);
+  EXPECT_GT(rel->p, 2.5);
+  EXPECT_LT(rel->p, 4.0);
+  // m equals the segment's real page count.
+  EXPECT_DOUBLE_EQ(rel->m,
+                   static_cast<double>(model->get()->segment()->pages().size()));
+  // S_tuple counts occupied bytes (>= payload).
+  EXPECT_GE(rel->tuple_bytes, rel->payload_bytes);
+}
+
+TEST_F(CalibrationTest, NsmParametersPerPath) {
+  StorageEngine engine;
+  ModelConfig mc;
+  mc.schema = db_->schema();
+  auto model = NsmModel::Create(&engine, mc, NsmModelOptions{});
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(db_->LoadInto(model->get(), &engine).ok());
+  auto rels = CalibrateNsm(model->get(), *db_);
+  ASSERT_TRUE(rels.ok());
+  ASSERT_EQ(rels->size(), 4u);
+  // Station: exactly one tuple per object.
+  EXPECT_DOUBLE_EQ((*rels)[0].tuples_per_object, 1.0);
+  // Connection: the generated average (~4.1).
+  EXPECT_NEAR((*rels)[2].tuples_per_object, 4.1, 0.8);
+  // Sightseeing tuples are the biggest flat tuples.
+  EXPECT_GT((*rels)[3].payload_bytes, (*rels)[0].payload_bytes);
+  for (const auto& rel : rels.value()) {
+    EXPECT_FALSE(rel.is_large);
+    EXPECT_GE(rel.k, 1.0);
+    EXPECT_GT(rel.m, 0.0);
+  }
+}
+
+TEST_F(CalibrationTest, DasdbsNsmOneTuplePerObjectPerRelation) {
+  StorageEngine engine;
+  ModelConfig mc;
+  mc.schema = db_->schema();
+  auto model = DasdbsNsmModel::Create(&engine, mc);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(db_->LoadInto(model->get(), &engine).ok());
+  auto rels = CalibrateDasdbsNsm(model->get(), *db_);
+  ASSERT_TRUE(rels.ok());
+  ASSERT_EQ(rels->size(), 4u);
+  for (const auto& rel : rels.value()) {
+    EXPECT_DOUBLE_EQ(rel.tuples_per_object, 1.0);
+    EXPECT_DOUBLE_EQ(rel.total_tuples, 200.0);
+  }
+  // The nested sightseeing tuples span pages.
+  EXPECT_TRUE((*rels)[3].is_large);
+  EXPECT_FALSE((*rels)[2].is_large);
+}
+
+TEST_F(CalibrationTest, WorkloadParamsFromDatabase) {
+  auto workload = DeriveWorkloadParams(*db_, /*loops=*/40, 2012);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_DOUBLE_EQ(workload->n_objects, 200.0);
+  EXPECT_DOUBLE_EQ(workload->loops, 40.0);
+  EXPECT_NEAR(workload->avg_children, db_->stats().avg_connections, 1e-9);
+  // Navigation projection bytes: root + platforms + connections, well
+  // below a whole object but above the root record.
+  EXPECT_GT(workload->nav_bytes, workload->root_bytes);
+  EXPECT_LT(workload->nav_bytes, db_->stats().avg_object_bytes);
+  EXPECT_NEAR(workload->root_bytes, 120, 15);
+}
+
+TEST_F(CalibrationTest, NormalizedLayoutFindsLinkRelation) {
+  auto decomp = NsmDecomposition::Derive(db_->schema(), 0);
+  ASSERT_TRUE(decomp.ok());
+  const cost::NormalizedLayout layout = DeriveNormalizedLayout(decomp.value());
+  EXPECT_EQ(layout.root_index, 0u);
+  ASSERT_EQ(layout.link_indexes.size(), 1u);
+  EXPECT_EQ(layout.link_indexes[0], StationPaths::kConnection);
+}
+
+}  // namespace
+}  // namespace starfish::bench

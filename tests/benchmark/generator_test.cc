@@ -1,0 +1,169 @@
+#include "benchmark/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmark/station_schema.h"
+
+namespace starfish::bench {
+namespace {
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  GeneratorConfig config;
+  config.n_objects = 30;
+  config.seed = 5;
+  auto a = BenchmarkDatabase::Generate(config);
+  auto b = BenchmarkDatabase::Generate(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->objects().size(), b->objects().size());
+  for (size_t i = 0; i < a->objects().size(); ++i) {
+    EXPECT_EQ(a->objects()[i].tuple, b->objects()[i].tuple);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorConfig config;
+  config.n_objects = 10;
+  config.seed = 1;
+  auto a = BenchmarkDatabase::Generate(config);
+  config.seed = 2;
+  auto b = BenchmarkDatabase::Generate(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  int differing = 0;
+  for (size_t i = 0; i < 10; ++i) {
+    differing += a->objects()[i].tuple == b->objects()[i].tuple ? 0 : 1;
+  }
+  EXPECT_GT(differing, 5);
+}
+
+TEST(GeneratorTest, KeysAreUniqueAndDense) {
+  GeneratorConfig config;
+  config.n_objects = 25;
+  auto db = BenchmarkDatabase::Generate(config);
+  ASSERT_TRUE(db.ok());
+  for (size_t i = 0; i < db->objects().size(); ++i) {
+    EXPECT_EQ(db->objects()[i].ref, i);
+    EXPECT_EQ(db->objects()[i].key, static_cast<int64_t>(i) + 1);
+    EXPECT_EQ(db->objects()[i].tuple.values[StationAttrs::kKey].as_int32(),
+              static_cast<int32_t>(i) + 1);
+  }
+}
+
+TEST(GeneratorTest, ObjectsConformToSchema) {
+  GeneratorConfig config;
+  config.n_objects = 20;
+  auto db = BenchmarkDatabase::Generate(config);
+  ASSERT_TRUE(db.ok());
+  for (const auto& object : db->objects()) {
+    EXPECT_TRUE(ValidateTuple(*db->schema(), object.tuple).ok());
+  }
+}
+
+TEST(GeneratorTest, DistributionMatchesPaperExpectations) {
+  // 1500 objects, defaults: expected 1.6 platforms, 4.10 connections, 7.5
+  // sightseeings per station (paper drew 1.59 / 4.04 / 7.64).
+  GeneratorConfig config;
+  config.n_objects = 1500;
+  auto db = BenchmarkDatabase::Generate(config);
+  ASSERT_TRUE(db.ok());
+  EXPECT_NEAR(db->stats().avg_platforms, 1.6, 0.1);
+  EXPECT_NEAR(db->stats().avg_connections, config.ExpectedChildren(), 0.25);
+  EXPECT_NEAR(db->stats().avg_sightseeings, 7.5, 0.35);
+  EXPECT_LE(db->stats().max_platforms, config.fanout);
+  EXPECT_LE(db->stats().max_connections, config.fanout * config.fanout *
+                                             config.fanout);
+}
+
+TEST(GeneratorTest, ExpectedChildrenFormula) {
+  GeneratorConfig config;  // fanout 2, p 0.8
+  EXPECT_NEAR(config.ExpectedChildren(), 4.096, 1e-9);
+  EXPECT_NEAR(config.ExpectedGrandChildren(), 4.096 * 4.096, 1e-9);
+  config.fanout = 8;
+  config.creation_probability = 0.2;
+  // The skewed configuration of §5.5 keeps the same expectation.
+  EXPECT_NEAR(config.ExpectedChildren(), 4.096, 1e-9);
+}
+
+TEST(GeneratorTest, SkewedConfigHasWiderSpread) {
+  GeneratorConfig base;
+  base.n_objects = 1000;
+  auto normal = BenchmarkDatabase::Generate(base);
+  ASSERT_TRUE(normal.ok());
+
+  GeneratorConfig skew = base;
+  skew.fanout = 8;
+  skew.creation_probability = 0.2;
+  auto skewed = BenchmarkDatabase::Generate(skew);
+  ASSERT_TRUE(skewed.ok());
+
+  // Similar averages, much larger maxima (paper: max 6 platforms, 34
+  // connections in the skewed extension).
+  EXPECT_NEAR(skewed->stats().avg_connections,
+              normal->stats().avg_connections, 0.6);
+  EXPECT_GT(skewed->stats().max_platforms, normal->stats().max_platforms);
+  EXPECT_GT(skewed->stats().max_connections,
+            normal->stats().max_connections);
+}
+
+TEST(GeneratorTest, MaxSightseeingsRespected) {
+  GeneratorConfig config;
+  config.n_objects = 300;
+  config.max_sightseeings = 0;
+  auto db = BenchmarkDatabase::Generate(config);
+  ASSERT_TRUE(db.ok());
+  EXPECT_DOUBLE_EQ(db->stats().avg_sightseeings, 0.0);
+  config.max_sightseeings = 30;
+  auto big = BenchmarkDatabase::Generate(config);
+  ASSERT_TRUE(big.ok());
+  EXPECT_NEAR(big->stats().avg_sightseeings, 15.0, 1.5);
+  EXPECT_GT(big->stats().avg_object_bytes, db->stats().avg_object_bytes);
+}
+
+TEST(GeneratorTest, LinksPointAtValidObjects) {
+  GeneratorConfig config;
+  config.n_objects = 40;
+  auto db = BenchmarkDatabase::Generate(config);
+  ASSERT_TRUE(db.ok());
+  for (const auto& object : db->objects()) {
+    for (const Tuple& platform :
+         object.tuple.values[StationAttrs::kPlatforms].as_relation()) {
+      for (const Tuple& conn : platform.values[4].as_relation()) {
+        const uint64_t target = conn.values[2].as_link();
+        EXPECT_LT(target, config.n_objects);
+        // KeyConnection mirrors the target's key.
+        EXPECT_EQ(conn.values[1].as_int32(), static_cast<int32_t>(target) + 1);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, StringAttributesHaveConfiguredLength) {
+  GeneratorConfig config;
+  config.n_objects = 5;
+  config.string_bytes = 64;
+  auto db = BenchmarkDatabase::Generate(config);
+  ASSERT_TRUE(db.ok());
+  for (const auto& object : db->objects()) {
+    EXPECT_EQ(object.tuple.values[StationAttrs::kName].as_string().size(), 64u);
+  }
+}
+
+TEST(GeneratorTest, AverageObjectBytesNearPaperScale) {
+  // With the default parameters the serialized object payload is close to
+  // the paper's data volume (~4 KB per Station).
+  GeneratorConfig config;
+  config.n_objects = 500;
+  auto db = BenchmarkDatabase::Generate(config);
+  ASSERT_TRUE(db.ok());
+  EXPECT_GT(db->stats().avg_object_bytes, 3000);
+  EXPECT_LT(db->stats().avg_object_bytes, 5000);
+}
+
+TEST(GeneratorTest, RejectsEmptyDatabase) {
+  GeneratorConfig config;
+  config.n_objects = 0;
+  EXPECT_TRUE(BenchmarkDatabase::Generate(config).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace starfish::bench

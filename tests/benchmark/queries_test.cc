@@ -1,0 +1,139 @@
+// The query suite itself: measurements are populated, normalized correctly,
+// and reproduce the paper's qualitative relations on a small database.
+
+#include "benchmark/queries.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmark/runner.h"
+
+namespace starfish::bench {
+namespace {
+
+class QueriesTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kObjects = 120;
+
+  void SetUp() override {
+    GeneratorConfig config;
+    config.n_objects = kObjects;
+    config.seed = 21;
+    auto db = BenchmarkDatabase::Generate(config);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<BenchmarkDatabase>(std::move(db).value());
+  }
+
+  QuerySuiteResults RunSuite(StorageModelKind kind, uint32_t buffer_frames,
+                             uint32_t loops = 60) {
+    BufferOptions buffer;
+    buffer.frame_count = buffer_frames;
+    QueryConfig query;
+    query.loops = loops;
+    query.q1a_samples = 10;
+    query.q2a_samples = 5;
+    auto result = BenchmarkRunner::RunOne(kind, *db_, buffer, query);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result->queries;
+  }
+
+  std::unique_ptr<BenchmarkDatabase> db_;
+};
+
+TEST_F(QueriesTest, AllMeasurementsPopulated) {
+  const QuerySuiteResults r = RunSuite(StorageModelKind::kDasdbsNsm, 600);
+  ASSERT_TRUE(r.q1a.has_value());
+  EXPECT_GT(r.q1a->Pages(), 0);
+  EXPECT_GT(r.q1b.Pages(), 0);
+  EXPECT_GT(r.q1c.Pages(), 0);
+  EXPECT_GT(r.q2a.Pages(), 0);
+  EXPECT_GT(r.q2b.Pages(), 0);
+  EXPECT_GT(r.q3a.Pages(), 0);
+  EXPECT_GT(r.q3b.Pages(), 0);
+  EXPECT_GT(r.q1c.Fixes(), 0);
+  EXPECT_GT(r.q2b.Calls(), 0);
+}
+
+TEST_F(QueriesTest, PlainNsmSkipsQuery1a) {
+  const QuerySuiteResults r = RunSuite(StorageModelKind::kNsm, 600);
+  EXPECT_FALSE(r.q1a.has_value());
+}
+
+TEST_F(QueriesTest, ReadQueriesWriteNothing) {
+  const QuerySuiteResults r = RunSuite(StorageModelKind::kDsm, 600);
+  EXPECT_DOUBLE_EQ(r.q1b.PagesWritten(), 0);
+  EXPECT_DOUBLE_EQ(r.q1c.PagesWritten(), 0);
+  EXPECT_DOUBLE_EQ(r.q2a.PagesWritten(), 0);
+  EXPECT_DOUBLE_EQ(r.q2b.PagesWritten(), 0);
+}
+
+TEST_F(QueriesTest, UpdateQueriesCostMoreThanTheirReadTwins) {
+  for (StorageModelKind kind :
+       {StorageModelKind::kDsm, StorageModelKind::kDasdbsNsm}) {
+    const QuerySuiteResults r = RunSuite(kind, 600);
+    EXPECT_GT(r.q3a.Pages(), r.q2a.Pages() * 0.99) << ToString(kind);
+    EXPECT_GT(r.q3b.PagesWritten(), 0) << ToString(kind);
+  }
+}
+
+TEST_F(QueriesTest, LoopAmortizationLowersPerLoopCost) {
+  const QuerySuiteResults r = RunSuite(StorageModelKind::kDasdbsNsm, 600);
+  // 2b amortizes the working set across loops; 2a pays it per loop.
+  EXPECT_LT(r.q2b.Pages(), r.q2a.Pages());
+}
+
+TEST_F(QueriesTest, SmallBufferHurtsDirectModelMost) {
+  // Fig. 6 in miniature: shrinking the buffer inflates DSM's query-2b cost
+  // far more than DASDBS-NSM's.
+  const double dsm_big = RunSuite(StorageModelKind::kDsm, 2000).q2b.Pages();
+  const double dsm_small = RunSuite(StorageModelKind::kDsm, 40).q2b.Pages();
+  const double dnsm_big =
+      RunSuite(StorageModelKind::kDasdbsNsm, 2000).q2b.Pages();
+  const double dnsm_small =
+      RunSuite(StorageModelKind::kDasdbsNsm, 40).q2b.Pages();
+  EXPECT_GT(dsm_small, dsm_big * 1.5);
+  EXPECT_LT(dnsm_small / std::max(dnsm_big, 1e-9),
+            dsm_small / std::max(dsm_big, 1e-9));
+}
+
+TEST_F(QueriesTest, PaperOrderingOnNavigation) {
+  const double dsm = RunSuite(StorageModelKind::kDsm, 600).q2b.Pages();
+  const double ddsm = RunSuite(StorageModelKind::kDasdbsDsm, 600).q2b.Pages();
+  const double dnsm = RunSuite(StorageModelKind::kDasdbsNsm, 600).q2b.Pages();
+  EXPECT_LE(dnsm, ddsm * 1.05);
+  EXPECT_LE(ddsm, dsm * 1.05);
+}
+
+TEST_F(QueriesTest, NsmFixCountsDwarfEveryoneElse) {
+  const double nsm = RunSuite(StorageModelKind::kNsm, 600).q2b.Fixes();
+  const double dnsm =
+      RunSuite(StorageModelKind::kDasdbsNsm, 600).q2b.Fixes();
+  // At full scale the paper saw 370k vs ~7k fixes; at this reduced scale
+  // the relations are small, but NSM must still clearly dominate.
+  EXPECT_GT(nsm, dnsm * 2.5);
+}
+
+TEST_F(QueriesTest, DeterministicAcrossRuns) {
+  const QuerySuiteResults a = RunSuite(StorageModelKind::kDasdbsDsm, 600);
+  const QuerySuiteResults b = RunSuite(StorageModelKind::kDasdbsDsm, 600);
+  EXPECT_DOUBLE_EQ(a.q2b.Pages(), b.q2b.Pages());
+  EXPECT_DOUBLE_EQ(a.q3b.Pages(), b.q3b.Pages());
+  EXPECT_DOUBLE_EQ(a.q1c.Fixes(), b.q1c.Fixes());
+}
+
+TEST_F(QueriesTest, MeasurementNormalization) {
+  QueryMeasurement m;
+  m.delta.io.pages_read = 30;
+  m.delta.io.pages_written = 10;
+  m.delta.io.read_calls = 5;
+  m.delta.io.write_calls = 1;
+  m.delta.buffer.fixes = 100;
+  m.normalizer = 10;
+  EXPECT_DOUBLE_EQ(m.Pages(), 4.0);
+  EXPECT_DOUBLE_EQ(m.PagesRead(), 3.0);
+  EXPECT_DOUBLE_EQ(m.PagesWritten(), 1.0);
+  EXPECT_DOUBLE_EQ(m.Calls(), 0.6);
+  EXPECT_DOUBLE_EQ(m.Fixes(), 10.0);
+}
+
+}  // namespace
+}  // namespace starfish::bench

@@ -1,0 +1,286 @@
+#include "buffer/buffer_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace starfish {
+namespace {
+
+class BufferManagerTest : public ::testing::Test {
+ protected:
+  SimDisk disk_;
+};
+
+BufferOptions SmallPool(uint32_t frames, uint32_t batch = 1) {
+  BufferOptions o;
+  o.frame_count = frames;
+  o.write_batch_size = batch;
+  return o;
+}
+
+TEST_F(BufferManagerTest, FixMissReadsOnePage) {
+  const PageId id = disk_.Allocate();
+  BufferManager bm(&disk_, SmallPool(4));
+  auto guard = bm.Fix(id);
+  ASSERT_TRUE(guard.ok());
+  EXPECT_EQ(bm.stats().fixes, 1u);
+  EXPECT_EQ(bm.stats().misses, 1u);
+  EXPECT_EQ(disk_.stats().pages_read, 1u);
+  EXPECT_EQ(disk_.stats().read_calls, 1u);
+}
+
+TEST_F(BufferManagerTest, SecondFixIsAHit) {
+  const PageId id = disk_.Allocate();
+  BufferManager bm(&disk_, SmallPool(4));
+  { auto g = bm.Fix(id); ASSERT_TRUE(g.ok()); }
+  { auto g = bm.Fix(id); ASSERT_TRUE(g.ok()); }
+  EXPECT_EQ(bm.stats().hits, 1u);
+  EXPECT_EQ(disk_.stats().pages_read, 1u);
+}
+
+TEST_F(BufferManagerTest, DirtyPageWrittenOnFlush) {
+  const PageId id = disk_.Allocate();
+  BufferManager bm(&disk_, SmallPool(4));
+  {
+    auto g = bm.Fix(id);
+    ASSERT_TRUE(g.ok());
+    g->data()[100] = 'Z';
+    g->MarkDirty();
+  }
+  EXPECT_EQ(disk_.stats().pages_written, 0u);  // write-back, not through
+  ASSERT_TRUE(bm.FlushAll().ok());
+  EXPECT_EQ(disk_.stats().pages_written, 1u);
+  std::vector<char> buf(disk_.page_size());
+  ASSERT_TRUE(disk_.ReadRun(id, 1, buf.data()).ok());
+  EXPECT_EQ(buf[100], 'Z');
+}
+
+TEST_F(BufferManagerTest, CleanEvictionDoesNotWrite) {
+  disk_.AllocateRun(5);
+  BufferManager bm(&disk_, SmallPool(2));
+  for (PageId id = 0; id < 5; ++id) {
+    auto g = bm.Fix(id);
+    ASSERT_TRUE(g.ok());
+  }
+  EXPECT_EQ(disk_.stats().pages_written, 0u);
+  EXPECT_EQ(bm.stats().evictions, 3u);
+}
+
+TEST_F(BufferManagerTest, DirtyEvictionWritesBack) {
+  disk_.AllocateRun(4);
+  BufferManager bm(&disk_, SmallPool(2));
+  {
+    auto g = bm.Fix(0);
+    ASSERT_TRUE(g.ok());
+    g->data()[0] = 'q';
+    g->MarkDirty();
+  }
+  { auto g = bm.Fix(1); ASSERT_TRUE(g.ok()); }
+  { auto g = bm.Fix(2); ASSERT_TRUE(g.ok()); }  // evicts page 0 (LRU)
+  EXPECT_GE(disk_.stats().pages_written, 1u);
+  std::vector<char> buf(disk_.page_size());
+  ASSERT_TRUE(disk_.ReadRun(0, 1, buf.data()).ok());
+  EXPECT_EQ(buf[0], 'q');
+}
+
+TEST_F(BufferManagerTest, LruEvictsColdestUnpinned) {
+  disk_.AllocateRun(4);
+  BufferManager bm(&disk_, SmallPool(2));
+  { auto g = bm.Fix(0); ASSERT_TRUE(g.ok()); }
+  { auto g = bm.Fix(1); ASSERT_TRUE(g.ok()); }
+  { auto g = bm.Fix(0); ASSERT_TRUE(g.ok()); }  // 0 is now hottest
+  { auto g = bm.Fix(2); ASSERT_TRUE(g.ok()); }  // must evict 1
+  EXPECT_TRUE(bm.IsCached(0));
+  EXPECT_FALSE(bm.IsCached(1));
+  EXPECT_TRUE(bm.IsCached(2));
+}
+
+TEST_F(BufferManagerTest, PinnedPagesAreNotEvicted) {
+  disk_.AllocateRun(4);
+  BufferManager bm(&disk_, SmallPool(2));
+  auto pinned = bm.Fix(0);
+  ASSERT_TRUE(pinned.ok());
+  { auto g = bm.Fix(1); ASSERT_TRUE(g.ok()); }
+  { auto g = bm.Fix(2); ASSERT_TRUE(g.ok()); }  // evicts 1, not pinned 0
+  EXPECT_TRUE(bm.IsCached(0));
+  EXPECT_FALSE(bm.IsCached(1));
+}
+
+TEST_F(BufferManagerTest, AllPinnedGivesResourceExhausted) {
+  disk_.AllocateRun(3);
+  BufferManager bm(&disk_, SmallPool(2));
+  auto g0 = bm.Fix(0);
+  auto g1 = bm.Fix(1);
+  ASSERT_TRUE(g0.ok());
+  ASSERT_TRUE(g1.ok());
+  auto g2 = bm.Fix(2);
+  EXPECT_TRUE(g2.status().IsResourceExhausted());
+}
+
+TEST_F(BufferManagerTest, UnfixErrors) {
+  disk_.Allocate();
+  BufferManager bm(&disk_, SmallPool(2));
+  EXPECT_TRUE(bm.Unfix(0, false).IsInvalidArgument());  // not resident
+  { auto g = bm.Fix(0); ASSERT_TRUE(g.ok()); }
+  EXPECT_TRUE(bm.Unfix(0, false).IsInvalidArgument());  // already unpinned
+}
+
+TEST_F(BufferManagerTest, PrefetchChainedIsOneCall) {
+  disk_.AllocateRun(8);
+  BufferManager bm(&disk_, SmallPool(8));
+  ASSERT_TRUE(bm.Prefetch({1, 3, 5}, PrefetchMode::kChained).ok());
+  EXPECT_EQ(disk_.stats().read_calls, 1u);
+  EXPECT_EQ(disk_.stats().pages_read, 3u);
+  EXPECT_TRUE(bm.IsCached(1));
+  EXPECT_TRUE(bm.IsCached(3));
+  EXPECT_TRUE(bm.IsCached(5));
+  // Follow-up fixes are hits.
+  { auto g = bm.Fix(3); ASSERT_TRUE(g.ok()); }
+  EXPECT_EQ(bm.stats().hits, 1u);
+}
+
+TEST_F(BufferManagerTest, PrefetchRunsGroupsContiguousPages) {
+  disk_.AllocateRun(10);
+  BufferManager bm(&disk_, SmallPool(10));
+  // {2,3,4} and {7,8} -> two calls, five pages.
+  ASSERT_TRUE(
+      bm.Prefetch({2, 3, 4, 7, 8}, PrefetchMode::kContiguousRuns).ok());
+  EXPECT_EQ(disk_.stats().read_calls, 2u);
+  EXPECT_EQ(disk_.stats().pages_read, 5u);
+}
+
+TEST_F(BufferManagerTest, PrefetchSkipsCachedAndDuplicates) {
+  disk_.AllocateRun(4);
+  BufferManager bm(&disk_, SmallPool(4));
+  { auto g = bm.Fix(1); ASSERT_TRUE(g.ok()); }
+  disk_.ResetStats();
+  ASSERT_TRUE(bm.Prefetch({1, 2, 2, 1}, PrefetchMode::kChained).ok());
+  EXPECT_EQ(disk_.stats().pages_read, 1u);  // only page 2
+}
+
+TEST_F(BufferManagerTest, BatchedWriteBackCleansColdDirtyPages) {
+  disk_.AllocateRun(6);
+  BufferManager bm(&disk_, SmallPool(4, /*batch=*/4));
+  for (PageId id = 0; id < 4; ++id) {
+    auto g = bm.Fix(id);
+    ASSERT_TRUE(g.ok());
+    g->MarkDirty();
+  }
+  // Next fix evicts one page; the write-back batch cleans several dirty
+  // pages with ONE chained call.
+  { auto g = bm.Fix(4); ASSERT_TRUE(g.ok()); }
+  EXPECT_EQ(disk_.stats().write_calls, 1u);
+  EXPECT_GE(disk_.stats().pages_written, 2u);
+}
+
+TEST_F(BufferManagerTest, FlushAllBatchesWrites) {
+  disk_.AllocateRun(10);
+  BufferManager bm(&disk_, SmallPool(10, /*batch=*/4));
+  for (PageId id = 0; id < 10; ++id) {
+    auto g = bm.Fix(id);
+    ASSERT_TRUE(g.ok());
+    g->MarkDirty();
+  }
+  ASSERT_TRUE(bm.FlushAll().ok());
+  EXPECT_EQ(disk_.stats().pages_written, 10u);
+  EXPECT_EQ(disk_.stats().write_calls, 3u);  // ceil(10 / 4)
+}
+
+TEST_F(BufferManagerTest, FlushAllIsIdempotent) {
+  disk_.Allocate();
+  BufferManager bm(&disk_, SmallPool(2));
+  {
+    auto g = bm.Fix(0);
+    ASSERT_TRUE(g.ok());
+    g->MarkDirty();
+  }
+  ASSERT_TRUE(bm.FlushAll().ok());
+  const uint64_t written = disk_.stats().pages_written;
+  ASSERT_TRUE(bm.FlushAll().ok());
+  EXPECT_EQ(disk_.stats().pages_written, written);
+}
+
+TEST_F(BufferManagerTest, DropAllEmptiesPoolAndRefusesPinned) {
+  disk_.AllocateRun(3);
+  BufferManager bm(&disk_, SmallPool(3));
+  auto g = bm.Fix(0);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(bm.DropAll().ok());
+  g->Release();
+  ASSERT_TRUE(bm.DropAll().ok());
+  EXPECT_EQ(bm.resident_count(), 0u);
+  EXPECT_FALSE(bm.IsCached(0));
+}
+
+TEST_F(BufferManagerTest, PageGuardMoveTransfersOwnership) {
+  disk_.Allocate();
+  BufferManager bm(&disk_, SmallPool(2));
+  auto g = bm.Fix(0);
+  ASSERT_TRUE(g.ok());
+  PageGuard moved = std::move(g.value());
+  EXPECT_TRUE(moved.valid());
+  EXPECT_FALSE(g->valid());
+  moved.Release();
+  EXPECT_FALSE(moved.valid());
+  // Releasing twice is harmless.
+  moved.Release();
+}
+
+class PolicyTest : public ::testing::TestWithParam<ReplacementPolicy> {};
+
+TEST_P(PolicyTest, EvictionKeepsWorkingUnderPressure) {
+  SimDisk disk;
+  disk.AllocateRun(64);
+  BufferOptions o;
+  o.frame_count = 8;
+  o.policy = GetParam();
+  BufferManager bm(&disk, o);
+  // Touch all pages twice; every fix must succeed and data must be intact.
+  for (int round = 0; round < 2; ++round) {
+    for (PageId id = 0; id < 64; ++id) {
+      auto g = bm.Fix(id);
+      ASSERT_TRUE(g.ok()) << "page " << id;
+    }
+  }
+  EXPECT_EQ(bm.stats().fixes, 128u);
+  EXPECT_LE(bm.resident_count(), 8u);
+}
+
+TEST_P(PolicyTest, DirtyDataSurvivesEvictionStorm) {
+  SimDisk disk;
+  disk.AllocateRun(32);
+  BufferOptions o;
+  o.frame_count = 4;
+  o.policy = GetParam();
+  o.write_batch_size = 3;
+  BufferManager bm(&disk, o);
+  for (PageId id = 0; id < 32; ++id) {
+    auto g = bm.Fix(id);
+    ASSERT_TRUE(g.ok());
+    g->data()[7] = static_cast<char>('a' + id % 26);
+    g->MarkDirty();
+  }
+  ASSERT_TRUE(bm.FlushAll().ok());
+  for (PageId id = 0; id < 32; ++id) {
+    std::vector<char> buf(disk.page_size());
+    ASSERT_TRUE(disk.ReadRun(id, 1, buf.data()).ok());
+    EXPECT_EQ(buf[7], static_cast<char>('a' + id % 26)) << "page " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyTest,
+                         ::testing::Values(ReplacementPolicy::kLru,
+                                           ReplacementPolicy::kClock,
+                                           ReplacementPolicy::kFifo),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ReplacementPolicy::kLru: return "Lru";
+                             case ReplacementPolicy::kClock: return "Clock";
+                             case ReplacementPolicy::kFifo: return "Fifo";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace starfish

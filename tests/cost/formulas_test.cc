@@ -1,0 +1,184 @@
+// Property tests of the analytical formulas (Equations 2-8), including the
+// Monte-Carlo cross-checks of the reconstructed Equations 6/7.
+
+#include "cost/formulas.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cost/monte_carlo.h"
+
+namespace starfish::cost {
+namespace {
+
+TEST(Eq2Test, PagesPerLargeTuple) {
+  EXPECT_EQ(PagesPerLargeTuple(6078, 2012), 4);  // the paper's DSM Station
+  EXPECT_EQ(PagesPerLargeTuple(2012, 2012), 1);
+  EXPECT_EQ(PagesPerLargeTuple(2013, 2012), 2);
+  EXPECT_EQ(PagesPerLargeTuple(0, 2012), 0);
+}
+
+TEST(Eq3Test, LargeTuplePages) {
+  EXPECT_DOUBLE_EQ(LargeTuplePages(1500, 4), 6000.0);  // Table 3: DSM q1b
+  EXPECT_DOUBLE_EQ(LargeTuplePages(21.8, 4), 87.2);    // ~ DSM q2a estimate
+}
+
+TEST(Eq4Test, YaoBoundaryCases) {
+  EXPECT_DOUBLE_EQ(YaoPages(0, 10, 5), 0.0);
+  EXPECT_NEAR(YaoPages(1, 10, 5), 1.0, 1e-9);    // one tuple: one page
+  EXPECT_DOUBLE_EQ(YaoPages(50, 10, 5), 10.0);   // all tuples: all pages
+  EXPECT_DOUBLE_EQ(YaoPages(60, 10, 5), 10.0);   // saturation
+}
+
+TEST(Eq4Test, YaoIsMonotonicInT) {
+  double prev = 0.0;
+  for (int64_t t = 0; t <= 200; t += 5) {
+    const double pages = YaoPages(t, 116, 13);
+    EXPECT_GE(pages, prev - 1e-9);
+    EXPECT_LE(pages, 116.0);
+    prev = pages;
+  }
+}
+
+TEST(Eq4Test, YaoUpperBoundedByT) {
+  for (int64_t t = 1; t <= 50; t += 7) {
+    EXPECT_LE(YaoPages(t, 1000, 4), static_cast<double>(t));
+  }
+}
+
+TEST(Eq4Test, PaperScaleValue) {
+  // 16.7 grand-children root records over the Station relation
+  // (m = 116 pages, k = 13): about 15.5 pages (the q2a estimates).
+  const double pages = YaoPagesFrac(16.7, 116, 13);
+  EXPECT_NEAR(pages, 15.5, 0.5);
+}
+
+TEST(Eq4Test, FractionalInterpolation) {
+  const double lo = YaoPages(4, 100, 10);
+  const double hi = YaoPages(5, 100, 10);
+  const double mid = YaoPagesFrac(4.5, 100, 10);
+  EXPECT_NEAR(mid, (lo + hi) / 2, 1e-12);
+  EXPECT_DOUBLE_EQ(YaoPagesFrac(4.0, 100, 10), lo);
+}
+
+TEST(Eq4Test, MatchesMonteCarlo) {
+  for (int64_t t : {2, 8, 25, 60}) {
+    const double analytic = YaoPages(t, 50, 7);
+    const double simulated = McYaoPages(t, 50, 7, 4000, /*seed=*/9);
+    EXPECT_NEAR(analytic, simulated, 0.35) << "t = " << t;
+  }
+}
+
+TEST(Eq6Test, ClusterPagesBasics) {
+  EXPECT_DOUBLE_EQ(ClusterPages(0, 10, 5), 0.0);
+  EXPECT_DOUBLE_EQ(ClusterPages(1, 10, 5), 1.0);
+  // t consecutive tuples: 1 + (t-1)/k expected pages.
+  EXPECT_DOUBLE_EQ(ClusterPages(6, 10, 5), 2.0);
+  EXPECT_DOUBLE_EQ(ClusterPages(11, 10, 5), 3.0);
+  // Covering run: all pages.
+  EXPECT_DOUBLE_EQ(ClusterPages(46, 10, 5), 10.0);
+}
+
+TEST(Eq6Test, ClusterNeverExceedsYaoEquivalentSpread) {
+  // A clustered run touches at most as many pages as the same number of
+  // randomly placed tuples (expected values).
+  for (int64_t t : {3, 10, 30}) {
+    EXPECT_LE(ClusterPages(t, 100, 5), YaoPages(t, 100, 5) + 1e-9);
+  }
+}
+
+TEST(Eq6Test, MatchesMonteCarloSingleCluster) {
+  for (int64_t g : {2, 5, 12, 40}) {
+    const double analytic = ClusterPages(g, 80, 6);
+    const double simulated = McClusterGroupPages(1, g, 80, 6, 4000, 11);
+    EXPECT_NEAR(analytic, simulated, 0.25) << "g = " << g;
+  }
+}
+
+TEST(Eq7Test, ReducesToEq6ForOneCluster) {
+  for (int64_t g : {1, 4, 9}) {
+    // With many pages, collision probability ~0: Eq.7(1 cluster) == Eq.6.
+    EXPECT_NEAR(ClusterGroupPages(1, g, 5000, 5), ClusterPages(g, 5000, 5),
+                0.05);
+  }
+}
+
+TEST(Eq7Test, SaturatesAtM) {
+  EXPECT_NEAR(ClusterGroupPages(1e9, 3, 40, 5), 40.0, 1e-6);
+  EXPECT_LE(ClusterGroupPages(17, 10, 25, 4), 25.0);
+}
+
+TEST(Eq7Test, MonotonicInClusterCount) {
+  double prev = 0;
+  for (int i = 1; i < 40; ++i) {
+    const double pages = ClusterGroupPages(i, 4, 60, 8);
+    EXPECT_GE(pages, prev - 1e-9);
+    prev = pages;
+  }
+}
+
+TEST(Eq7Test, MatchesMonteCarloWithinTolerance) {
+  // The reconstruction is an independence approximation; agreement within a
+  // few percent of m validates it for cost-model purposes.
+  struct Case { int64_t clusters, g, m, k; };
+  for (const Case& c : {Case{4, 3, 60, 8}, Case{10, 6, 100, 5},
+                        Case{25, 2, 40, 10}, Case{8, 15, 120, 7}}) {
+    const double analytic = ClusterGroupPages(c.clusters, c.g, c.m, c.k);
+    const double simulated =
+        McClusterGroupPages(c.clusters, c.g, c.m, c.k, 4000, 13);
+    EXPECT_NEAR(analytic, simulated, 0.05 * c.m)
+        << c.clusters << " clusters of " << c.g << " over " << c.m << "x"
+        << c.k;
+  }
+}
+
+TEST(Eq5Test, PartialLargePages) {
+  // Navigation projection of the benchmark: ~800 bytes used out of a
+  // header + 2.02-data-page object -> header + ~1.4 data pages expected.
+  EXPECT_NEAR(PartialLargePages(800, 1, 2.02, 2012),
+              1.0 + 1.0 + (800.0 - 1.0) / 2012.0, 1e-9);
+}
+
+TEST(Eq5Test, PartialLargePagesProperties) {
+  const double nav = PartialLargePages(800, 1, 2.02, 2012);
+  EXPECT_GE(nav, 1.0);            // headers always read
+  EXPECT_LE(nav, 1.0 + 2.02);     // at most the full object
+  // Zero used bytes: just the headers.
+  EXPECT_DOUBLE_EQ(PartialLargePages(0, 1.5, 3, 2012), 1.5);
+  // Using everything: the whole object.
+  EXPECT_DOUBLE_EQ(PartialLargePages(1e9, 1, 2.5, 2012), 3.5);
+  // Monotonic in used bytes.
+  double prev = 0;
+  for (double used = 0; used < 9000; used += 500) {
+    const double pages = PartialLargePages(used, 1, 4, 2012);
+    EXPECT_GE(pages, prev - 1e-9);
+    prev = pages;
+  }
+}
+
+TEST(Eq8Test, ExpectedDistinctBasics) {
+  EXPECT_DOUBLE_EQ(ExpectedDistinct(100, 0), 0.0);
+  EXPECT_NEAR(ExpectedDistinct(100, 1), 1.0, 1e-9);
+  // Many draws: approaches the population.
+  EXPECT_NEAR(ExpectedDistinct(100, 100000), 100.0, 1e-6);
+}
+
+TEST(Eq8Test, PaperScaleValue) {
+  // 300 loops x 21.8 objects from 1500: ~1480 distinct (drives the DSM
+  // q2b estimate of 19.7 pages/loop).
+  const double distinct = ExpectedDistinct(1500, 300 * 21.8);
+  EXPECT_NEAR(distinct, 1481, 5);
+  EXPECT_NEAR(distinct * 4 / 300, 19.7, 0.3);
+}
+
+TEST(Eq8Test, MatchesMonteCarlo) {
+  for (int64_t draws : {10, 100, 1000}) {
+    const double analytic = ExpectedDistinct(200, draws);
+    const double simulated = McExpectedDistinct(200, draws, 2000, 17);
+    EXPECT_NEAR(analytic, simulated, 1.5) << "draws = " << draws;
+  }
+}
+
+}  // namespace
+}  // namespace starfish::cost

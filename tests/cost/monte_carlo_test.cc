@@ -1,0 +1,48 @@
+#include "cost/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+namespace starfish::cost {
+namespace {
+
+TEST(McYaoTest, DeterministicForSeed) {
+  EXPECT_DOUBLE_EQ(McYaoPages(10, 20, 5, 500, 1),
+                   McYaoPages(10, 20, 5, 500, 1));
+  EXPECT_NE(McYaoPages(10, 20, 5, 500, 1), McYaoPages(10, 20, 5, 500, 2));
+}
+
+TEST(McYaoTest, Bounds) {
+  const double pages = McYaoPages(13, 30, 4, 800, 3);
+  EXPECT_GE(pages, 1.0);
+  EXPECT_LE(pages, 13.0);  // at most one page per tuple
+  EXPECT_LE(pages, 30.0);  // at most the relation
+}
+
+TEST(McYaoTest, AllTuplesTouchEverything) {
+  EXPECT_DOUBLE_EQ(McYaoPages(100, 10, 10, 50, 5), 10.0);
+  EXPECT_DOUBLE_EQ(McYaoPages(150, 10, 10, 50, 5), 10.0);  // t > total
+}
+
+TEST(McClusterTest, SingleTupleTouchesOnePage) {
+  EXPECT_DOUBLE_EQ(McClusterGroupPages(1, 1, 50, 8, 300, 7), 1.0);
+}
+
+TEST(McClusterTest, CoveringRunTouchesEverything) {
+  EXPECT_DOUBLE_EQ(McClusterGroupPages(1, 400, 50, 8, 100, 7), 50.0);
+}
+
+TEST(McClusterTest, MoreClustersTouchMorePages) {
+  const double few = McClusterGroupPages(2, 4, 60, 6, 1000, 9);
+  const double many = McClusterGroupPages(20, 4, 60, 6, 1000, 9);
+  EXPECT_LT(few, many);
+}
+
+TEST(McDistinctTest, BoundsAndSaturation) {
+  const double d = McExpectedDistinct(50, 30, 500, 11);
+  EXPECT_GT(d, 1.0);
+  EXPECT_LE(d, 30.0);
+  EXPECT_NEAR(McExpectedDistinct(20, 5000, 200, 11), 20.0, 0.05);
+}
+
+}  // namespace
+}  // namespace starfish::cost

@@ -1,0 +1,54 @@
+#include "disk/disk_timing.h"
+
+#include <gtest/gtest.h>
+
+namespace starfish {
+namespace {
+
+TEST(LinearTimingModelTest, EquationOne) {
+  // C_diskIO = d1 * X_IO_calls + d2 * X_IO_pages.
+  LinearTimingModel m{10.0, 2.0};
+  EXPECT_DOUBLE_EQ(m.Cost(3, 7), 10.0 * 3 + 2.0 * 7);
+  EXPECT_DOUBLE_EQ(m.Cost(0, 0), 0.0);
+}
+
+TEST(LinearTimingModelTest, CostOfStatsUsesTotals) {
+  LinearTimingModel m{1.0, 1.0};
+  IoStats s{5, 5, 2, 1};  // 10 pages, 3 calls
+  EXPECT_DOUBLE_EQ(m.Cost(s), 13.0);
+}
+
+TEST(LinearTimingModelTest, BatchingRewardsFewerCalls) {
+  // Same pages moved, fewer calls -> cheaper. This is why chained I/O and
+  // write batching matter.
+  LinearTimingModel m{24.0, 1.3};
+  const double chatty = m.Cost(/*calls=*/100, /*pages=*/100);
+  const double batched = m.Cost(/*calls=*/10, /*pages=*/100);
+  EXPECT_LT(batched, chatty);
+}
+
+TEST(PhysicalTimingModelTest, RotationalLatencyFromRpm) {
+  PhysicalTimingModel p;
+  p.rpm = 6000.0;  // 100 rev/s -> 10 ms/rev -> 5 ms half-rev
+  EXPECT_NEAR(p.RotationalLatencyMs(), 5.0, 1e-9);
+}
+
+TEST(PhysicalTimingModelTest, TransferTimeFromRate) {
+  PhysicalTimingModel p;
+  p.transfer_mb_per_s = 2.0;
+  p.page_size_bytes = 2048;
+  EXPECT_NEAR(p.TransferMsPerPage(), 2048.0 / 2e6 * 1e3, 1e-9);
+}
+
+TEST(PhysicalTimingModelTest, ToLinearCombinesComponents) {
+  PhysicalTimingModel p;
+  const LinearTimingModel lin = p.ToLinear();
+  EXPECT_NEAR(lin.d1_per_call, p.average_seek_ms + p.RotationalLatencyMs() +
+                                   p.controller_overhead_ms,
+              1e-9);
+  EXPECT_GT(lin.d2_per_page, 0.0);
+  EXPECT_LT(lin.d2_per_page, lin.d1_per_call);
+}
+
+}  // namespace
+}  // namespace starfish

@@ -1,0 +1,158 @@
+#include "disk/sim_disk.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace starfish {
+namespace {
+
+std::vector<char> Pattern(uint32_t page_size, char fill) {
+  return std::vector<char>(page_size, fill);
+}
+
+TEST(SimDiskTest, AllocateGrowsVolume) {
+  SimDisk disk;
+  EXPECT_EQ(disk.page_count(), 0u);
+  const PageId a = disk.Allocate();
+  const PageId b = disk.Allocate();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(disk.page_count(), 2u);
+  EXPECT_EQ(disk.live_page_count(), 2u);
+}
+
+TEST(SimDiskTest, AllocateRunIsContiguous) {
+  SimDisk disk;
+  disk.Allocate();
+  const PageId first = disk.AllocateRun(5);
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(disk.page_count(), 6u);
+}
+
+TEST(SimDiskTest, FreshPagesAreZeroFilled) {
+  SimDisk disk;
+  const PageId id = disk.Allocate();
+  std::vector<char> buf(disk.page_size(), 'x');
+  ASSERT_TRUE(disk.ReadRun(id, 1, buf.data()).ok());
+  for (char c : buf) EXPECT_EQ(c, '\0');
+}
+
+TEST(SimDiskTest, WriteReadRoundTrip) {
+  SimDisk disk;
+  const PageId id = disk.Allocate();
+  auto data = Pattern(disk.page_size(), 'A');
+  ASSERT_TRUE(disk.WriteRun(id, 1, data.data()).ok());
+  std::vector<char> buf(disk.page_size());
+  ASSERT_TRUE(disk.ReadRun(id, 1, buf.data()).ok());
+  EXPECT_EQ(std::memcmp(buf.data(), data.data(), disk.page_size()), 0);
+}
+
+TEST(SimDiskTest, RunCountsOneCallManyPages) {
+  SimDisk disk;
+  const PageId first = disk.AllocateRun(4);
+  std::vector<char> buf(4 * disk.page_size());
+  ASSERT_TRUE(disk.ReadRun(first, 4, buf.data()).ok());
+  EXPECT_EQ(disk.stats().read_calls, 1u);
+  EXPECT_EQ(disk.stats().pages_read, 4u);
+  ASSERT_TRUE(disk.WriteRun(first, 4, buf.data()).ok());
+  EXPECT_EQ(disk.stats().write_calls, 1u);
+  EXPECT_EQ(disk.stats().pages_written, 4u);
+}
+
+TEST(SimDiskTest, ChainedIoCountsOneCall) {
+  SimDisk disk;
+  disk.AllocateRun(10);
+  std::vector<char> b0(disk.page_size()), b1(disk.page_size()),
+      b2(disk.page_size());
+  ASSERT_TRUE(disk.ReadChained({2, 7, 9}, {b0.data(), b1.data(), b2.data()})
+                  .ok());
+  EXPECT_EQ(disk.stats().read_calls, 1u);
+  EXPECT_EQ(disk.stats().pages_read, 3u);
+}
+
+TEST(SimDiskTest, ChainedWriteRoundTrip) {
+  SimDisk disk;
+  disk.AllocateRun(5);
+  auto a = Pattern(disk.page_size(), 'a');
+  auto b = Pattern(disk.page_size(), 'b');
+  ASSERT_TRUE(disk.WriteChained({1, 4}, {a.data(), b.data()}).ok());
+  EXPECT_EQ(disk.stats().write_calls, 1u);
+  std::vector<char> buf(disk.page_size());
+  ASSERT_TRUE(disk.ReadRun(4, 1, buf.data()).ok());
+  EXPECT_EQ(buf[0], 'b');
+}
+
+TEST(SimDiskTest, OutOfRangeAccessRejected) {
+  SimDisk disk;
+  disk.Allocate();
+  std::vector<char> buf(disk.page_size());
+  EXPECT_TRUE(disk.ReadRun(1, 1, buf.data()).IsOutOfRange());
+  EXPECT_TRUE(disk.ReadRun(0, 2, buf.data()).IsOutOfRange());
+  EXPECT_TRUE(disk.ReadRun(kInvalidPageId, 1, buf.data()).IsOutOfRange());
+}
+
+TEST(SimDiskTest, EmptyRunRejected) {
+  SimDisk disk;
+  disk.Allocate();
+  std::vector<char> buf(disk.page_size());
+  EXPECT_TRUE(disk.ReadRun(0, 0, buf.data()).IsInvalidArgument());
+  EXPECT_TRUE(disk.ReadChained({}, {}).IsInvalidArgument());
+}
+
+TEST(SimDiskTest, ChainedSizeMismatchRejected) {
+  SimDisk disk;
+  disk.Allocate();
+  std::vector<char> buf(disk.page_size());
+  EXPECT_TRUE(
+      disk.ReadChained({0}, {buf.data(), buf.data()}).IsInvalidArgument());
+}
+
+TEST(SimDiskTest, DoubleFreeRejected) {
+  SimDisk disk;
+  const PageId id = disk.Allocate();
+  EXPECT_TRUE(disk.Free(id).ok());
+  EXPECT_EQ(disk.live_page_count(), 0u);
+  EXPECT_TRUE(disk.Free(id).IsInvalidArgument());
+}
+
+TEST(SimDiskTest, CustomPageSize) {
+  SimDisk disk(DiskOptions{512});
+  EXPECT_EQ(disk.page_size(), 512u);
+  const PageId id = disk.Allocate();
+  auto data = Pattern(512, 'z');
+  ASSERT_TRUE(disk.WriteRun(id, 1, data.data()).ok());
+}
+
+TEST(SimDiskTest, ResetStatsZeroesCounters) {
+  SimDisk disk;
+  disk.AllocateRun(2);
+  std::vector<char> buf(disk.page_size());
+  ASSERT_TRUE(disk.ReadRun(0, 1, buf.data()).ok());
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().TotalCalls(), 0u);
+  EXPECT_EQ(disk.stats().TotalPages(), 0u);
+}
+
+TEST(IoStatsTest, SinceComputesDelta) {
+  IoStats a{10, 4, 3, 2};
+  IoStats b{25, 9, 8, 4};
+  const IoStats d = b.Since(a);
+  EXPECT_EQ(d.pages_read, 15u);
+  EXPECT_EQ(d.pages_written, 5u);
+  EXPECT_EQ(d.read_calls, 5u);
+  EXPECT_EQ(d.write_calls, 2u);
+  EXPECT_EQ(d.TotalPages(), 20u);
+  EXPECT_EQ(d.TotalCalls(), 7u);
+}
+
+TEST(IoStatsTest, ToStringMentionsCounters) {
+  IoStats s{1, 2, 3, 4};
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("pages_read=1"), std::string::npos);
+  EXPECT_NE(str.find("write_calls=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace starfish

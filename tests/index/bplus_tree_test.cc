@@ -1,0 +1,181 @@
+#include "index/bplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "storage/storage_engine.h"
+#include "util/random.h"
+
+namespace starfish {
+namespace {
+
+class BPlusTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto seg = engine_.CreateSegment("index");
+    ASSERT_TRUE(seg.ok());
+    tree_ = std::make_unique<BPlusTree>(seg.value());
+  }
+
+  StorageEngine engine_;
+  std::unique_ptr<BPlusTree> tree_;
+};
+
+TEST_F(BPlusTreeTest, EmptyTreeFindsNothing) {
+  auto found = tree_->Find(42);
+  ASSERT_TRUE(found.ok());
+  EXPECT_TRUE(found->empty());
+  EXPECT_EQ(tree_->size(), 0u);
+  EXPECT_EQ(tree_->height(), 0u);
+}
+
+TEST_F(BPlusTreeTest, InsertAndFindSingle) {
+  ASSERT_TRUE(tree_->Insert(5, 500).ok());
+  auto found = tree_->Find(5);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), (std::vector<uint64_t>{500}));
+  EXPECT_EQ(tree_->size(), 1u);
+  EXPECT_EQ(tree_->height(), 1u);
+}
+
+TEST_F(BPlusTreeTest, DuplicateKeysAllFound) {
+  for (uint64_t v = 0; v < 5; ++v) {
+    ASSERT_TRUE(tree_->Insert(7, 100 + v).ok());
+  }
+  auto found = tree_->Find(7);
+  ASSERT_TRUE(found.ok());
+  std::sort(found->begin(), found->end());
+  EXPECT_EQ(found.value(), (std::vector<uint64_t>{100, 101, 102, 103, 104}));
+}
+
+TEST_F(BPlusTreeTest, ManyInsertsSplitLeaves) {
+  for (int64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, static_cast<uint64_t>(k * 2)).ok());
+  }
+  EXPECT_GT(tree_->height(), 1u);
+  EXPECT_EQ(tree_->size(), 1000u);
+  for (int64_t k = 0; k < 1000; ++k) {
+    auto found = tree_->Find(k);
+    ASSERT_TRUE(found.ok());
+    ASSERT_EQ(found->size(), 1u) << "key " << k;
+    EXPECT_EQ((*found)[0], static_cast<uint64_t>(k * 2));
+  }
+}
+
+TEST_F(BPlusTreeTest, ReverseInsertOrder) {
+  for (int64_t k = 500; k > 0; --k) {
+    ASSERT_TRUE(tree_->Insert(k, static_cast<uint64_t>(k)).ok());
+  }
+  for (int64_t k = 1; k <= 500; ++k) {
+    auto found = tree_->Find(k);
+    ASSERT_TRUE(found.ok());
+    ASSERT_EQ(found->size(), 1u) << "key " << k;
+  }
+}
+
+TEST_F(BPlusTreeTest, NegativeKeys) {
+  for (int64_t k = -100; k <= 100; k += 10) {
+    ASSERT_TRUE(tree_->Insert(k, static_cast<uint64_t>(k + 1000)).ok());
+  }
+  auto found = tree_->Find(-100);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*found)[0], 900u);
+}
+
+TEST_F(BPlusTreeTest, ScanVisitsAllInKeyOrder) {
+  Rng rng(8);
+  std::vector<uint64_t> keys(400);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = i;
+  rng.Shuffle(&keys);
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(tree_->Insert(static_cast<int64_t>(k), k * 3).ok());
+  }
+  int64_t prev = -1;
+  uint64_t count = 0;
+  ASSERT_TRUE(tree_->Scan([&](int64_t key, uint64_t value) {
+    EXPECT_GT(key, prev);
+    EXPECT_EQ(value, static_cast<uint64_t>(key) * 3);
+    prev = key;
+    ++count;
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(count, keys.size());
+}
+
+TEST_F(BPlusTreeTest, DeleteRemovesSpecificPair) {
+  ASSERT_TRUE(tree_->Insert(1, 10).ok());
+  ASSERT_TRUE(tree_->Insert(1, 11).ok());
+  ASSERT_TRUE(tree_->Delete(1, 10).ok());
+  auto found = tree_->Find(1);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), (std::vector<uint64_t>{11}));
+  EXPECT_EQ(tree_->size(), 1u);
+}
+
+TEST_F(BPlusTreeTest, DeleteMissingPairFails) {
+  ASSERT_TRUE(tree_->Insert(1, 10).ok());
+  EXPECT_TRUE(tree_->Delete(1, 99).IsNotFound());
+  EXPECT_TRUE(tree_->Delete(2, 10).IsNotFound());
+  BPlusTree empty_tree(engine_.GetSegment("index"));
+  EXPECT_TRUE(empty_tree.Delete(1, 1).IsNotFound());
+}
+
+TEST_F(BPlusTreeTest, DuplicatesSpillingAcrossLeavesAreAllFound) {
+  // More duplicates of one key than fit one leaf (capacity ~125).
+  for (uint64_t v = 0; v < 300; ++v) {
+    ASSERT_TRUE(tree_->Insert(50, v).ok());
+  }
+  // Neighbours on both sides.
+  ASSERT_TRUE(tree_->Insert(49, 1).ok());
+  ASSERT_TRUE(tree_->Insert(51, 1).ok());
+  auto found = tree_->Find(50);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->size(), 300u);
+}
+
+TEST_F(BPlusTreeTest, ProbeCostsMeteredIo) {
+  for (int64_t k = 0; k < 2000; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, static_cast<uint64_t>(k)).ok());
+  }
+  ASSERT_TRUE(engine_.Flush().ok());
+  ASSERT_TRUE(engine_.DropCache().ok());
+  engine_.ResetStats();
+  ASSERT_TRUE(tree_->Find(1234).ok());
+  // A cold probe reads height pages — the I/O the paper's in-memory index
+  // assumption hides.
+  EXPECT_EQ(engine_.stats().io.pages_read, tree_->height());
+}
+
+TEST_F(BPlusTreeTest, RandomizedAgainstReferenceMultimap) {
+  Rng rng(333);
+  std::multimap<int64_t, uint64_t> reference;
+  for (int op = 0; op < 5000; ++op) {
+    const int64_t key = static_cast<int64_t>(rng.Uniform(200));
+    if (rng.Uniform(100) < 70 || reference.empty()) {
+      const uint64_t value = rng.Next() % 100000;
+      ASSERT_TRUE(tree_->Insert(key, value).ok());
+      reference.emplace(key, value);
+    } else {
+      auto it = reference.begin();
+      std::advance(it, rng.Uniform(reference.size()));
+      ASSERT_TRUE(tree_->Delete(it->first, it->second).ok());
+      reference.erase(it);
+    }
+  }
+  EXPECT_EQ(tree_->size(), reference.size());
+  for (int64_t key = 0; key < 200; ++key) {
+    auto found = tree_->Find(key);
+    ASSERT_TRUE(found.ok());
+    std::vector<uint64_t> expected;
+    auto [lo, hi] = reference.equal_range(key);
+    for (auto it = lo; it != hi; ++it) expected.push_back(it->second);
+    std::sort(found->begin(), found->end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(found.value(), expected) << "key " << key;
+  }
+}
+
+}  // namespace
+}  // namespace starfish

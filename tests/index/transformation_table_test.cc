@@ -1,0 +1,90 @@
+#include "index/transformation_table.h"
+
+#include <gtest/gtest.h>
+
+namespace starfish {
+namespace {
+
+TEST(TransformationTableTest, PutGetRoundTrip) {
+  TransformationTable table;
+  table.Put(1, {Tid{10, 0}, Tid{20, 1}});
+  auto got = table.Get(1);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), 2u);
+  EXPECT_EQ((*got)[0], (Tid{10, 0}));
+  EXPECT_EQ((*got)[1], (Tid{20, 1}));
+}
+
+TEST(TransformationTableTest, GetMissingKeyFails) {
+  TransformationTable table;
+  EXPECT_TRUE(table.Get(7).status().IsNotFound());
+}
+
+TEST(TransformationTableTest, AppendGrowsList) {
+  TransformationTable table;
+  table.Append(3, Tid{1, 1});
+  table.Append(3, Tid{2, 2});
+  auto got = table.Get(3);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 2u);
+}
+
+TEST(TransformationTableTest, PutReplacesList) {
+  TransformationTable table;
+  table.Put(5, {Tid{1, 1}});
+  table.Put(5, {Tid{9, 9}});
+  auto got = table.Get(5);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), 1u);
+  EXPECT_EQ((*got)[0], (Tid{9, 9}));
+}
+
+TEST(TransformationTableTest, ReplaceSwapsOneAddress) {
+  TransformationTable table;
+  table.Put(5, {Tid{1, 1}, Tid{2, 2}});
+  ASSERT_TRUE(table.Replace(5, Tid{2, 2}, Tid{3, 3}).ok());
+  auto got = table.Get(5);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)[1], (Tid{3, 3}));
+  EXPECT_TRUE(table.Replace(5, Tid{8, 8}, Tid{9, 9}).IsNotFound());
+  EXPECT_TRUE(table.Replace(6, Tid{1, 1}, Tid{9, 9}).IsNotFound());
+}
+
+TEST(TransformationTableTest, EraseAndContains) {
+  TransformationTable table;
+  table.Put(5, {Tid{1, 1}});
+  EXPECT_TRUE(table.Contains(5));
+  ASSERT_TRUE(table.Erase(5).ok());
+  EXPECT_FALSE(table.Contains(5));
+  EXPECT_TRUE(table.Erase(5).IsNotFound());
+}
+
+TEST(TransformationTableTest, SizeAndMemoryEstimate) {
+  TransformationTable table;
+  EXPECT_EQ(table.size(), 0u);
+  table.Put(1, {Tid{1, 1}, Tid{2, 2}, Tid{3, 3}, Tid{4, 4}});
+  table.Put(2, {Tid{5, 5}});
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_GT(table.EstimatedBytes(), 5 * sizeof(Tid));
+}
+
+TEST(TidTest, PackUnpackRoundTrip) {
+  const Tid tid{123456, 42};
+  EXPECT_EQ(Tid::Unpack(tid.Pack()), tid);
+  EXPECT_EQ(Tid::Unpack(kInvalidTid.Pack()), kInvalidTid);
+}
+
+TEST(TidTest, ValidityAndKinds) {
+  EXPECT_FALSE(kInvalidTid.valid());
+  EXPECT_TRUE((Tid{1, 2}).valid());
+  EXPECT_TRUE((Tid{1, kComplexRecordSlot}).is_complex());
+  EXPECT_FALSE((Tid{1, 2}).is_complex());
+}
+
+TEST(TidTest, Ordering) {
+  EXPECT_LT((Tid{1, 5}), (Tid{2, 0}));
+  EXPECT_LT((Tid{1, 0}), (Tid{1, 1}));
+}
+
+}  // namespace
+}  // namespace starfish

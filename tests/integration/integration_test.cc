@@ -1,0 +1,182 @@
+// End-to-end checks: analytic estimates vs simulator measurements must agree
+// where the paper's assumptions hold (no cache overflow), and the paper's
+// headline findings must reproduce on a mid-sized database.
+
+#include <gtest/gtest.h>
+
+#include "benchmark/calibration.h"
+#include "benchmark/runner.h"
+#include "models/dasdbs_nsm_model.h"
+#include "models/direct_model.h"
+#include "models/nsm_model.h"
+
+namespace starfish {
+namespace {
+
+using namespace starfish::bench;  // NOLINT
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorConfig config;
+    config.n_objects = 400;
+    config.seed = 71;
+    auto db = BenchmarkDatabase::Generate(config);
+    ASSERT_TRUE(db.ok());
+    db_ = new BenchmarkDatabase(std::move(db).value());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static QuerySuiteResults Run(StorageModelKind kind, uint32_t frames) {
+    BufferOptions buffer;
+    buffer.frame_count = frames;
+    QueryConfig query;
+    query.loops = 80;  // n/5, like Fig. 6
+    query.q1a_samples = 15;
+    query.q2a_samples = 8;
+    auto result = BenchmarkRunner::RunOne(kind, *db_, buffer, query);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result->queries;
+  }
+
+  static BenchmarkDatabase* db_;
+};
+
+BenchmarkDatabase* IntegrationTest::db_ = nullptr;
+
+TEST_F(IntegrationTest, AnalyticMatchesMeasuredForDirectModelNoOverflow) {
+  // Big buffer: the analytical best case should be close to the measured
+  // values (this is the paper's own validation method).
+  StorageEngineOptions eo;
+  eo.buffer.frame_count = 4000;
+  StorageEngine engine(eo);
+  ModelConfig mc;
+  mc.schema = db_->schema();
+  auto model = DirectModel::Create(&engine, mc, DirectModelOptions{});
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(db_->LoadInto(model->get(), &engine).ok());
+
+  auto rel = CalibrateDirect(model->get(), *db_);
+  ASSERT_TRUE(rel.ok());
+  auto workload = DeriveWorkloadParams(*db_, /*loops=*/80, 2012);
+  ASSERT_TRUE(workload.ok());
+  const cost::QueryEstimates est = cost::EstimateDsm(rel.value(), *workload);
+
+  QueryConfig qc;
+  qc.loops = 80;
+  qc.q1a_samples = 15;
+  qc.q2a_samples = 8;
+  QueryRunner runner(model->get(), &engine, db_, qc);
+  auto q1c = runner.Query1c();
+  ASSERT_TRUE(q1c.ok());
+  EXPECT_NEAR(q1c->Pages(), est.q1c, est.q1c * 0.25);
+  auto q2b = runner.Query2b();
+  ASSERT_TRUE(q2b.ok());
+  EXPECT_NEAR(q2b->Pages(), est.q2b, est.q2b * 0.35);
+}
+
+TEST_F(IntegrationTest, AnalyticMatchesMeasuredForDasdbsNsm) {
+  StorageEngineOptions eo;
+  eo.buffer.frame_count = 4000;
+  StorageEngine engine(eo);
+  ModelConfig mc;
+  mc.schema = db_->schema();
+  auto model = DasdbsNsmModel::Create(&engine, mc);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(db_->LoadInto(model->get(), &engine).ok());
+
+  auto rels = CalibrateDasdbsNsm(model->get(), *db_);
+  ASSERT_TRUE(rels.ok());
+  auto workload = DeriveWorkloadParams(*db_, 80, 2012);
+  ASSERT_TRUE(workload.ok());
+  const auto layout = DeriveNormalizedLayout(model->get()->decomposition());
+  const cost::QueryEstimates est =
+      cost::EstimateDasdbsNsm(rels.value(), layout, *workload);
+
+  QueryConfig qc;
+  qc.loops = 80;
+  QueryRunner runner(model->get(), &engine, db_, qc);
+  auto q2b = runner.Query2b();
+  ASSERT_TRUE(q2b.ok());
+  EXPECT_NEAR(q2b->Pages(), est.q2b, std::max(0.8, est.q2b * 0.4));
+  auto q3b = runner.Query3b();
+  ASSERT_TRUE(q3b.ok());
+  EXPECT_NEAR(q3b->Pages(), est.q3b, std::max(1.0, est.q3b * 0.4));
+}
+
+TEST_F(IntegrationTest, PaperHeadlineOrderingHolds) {
+  const auto dsm = Run(StorageModelKind::kDsm, 320);
+  const auto ddsm = Run(StorageModelKind::kDasdbsDsm, 320);
+  const auto nsm = Run(StorageModelKind::kNsm, 320);
+  const auto nsmx = Run(StorageModelKind::kNsmIndexed, 320);
+  const auto dnsm = Run(StorageModelKind::kDasdbsNsm, 320);
+
+  // Query 1 by key: NSM catastrophic, normalized+addressed models cheap.
+  EXPECT_GT(nsm.q1b.Pages(), dnsm.q1b.Pages() * 5);
+  EXPECT_GT(dsm.q1b.Pages(), dnsm.q1b.Pages() * 3);
+  EXPECT_LT(nsmx.q1b.Pages(), nsm.q1b.Pages());
+
+  // Query 2 loops: DASDBS-NSM <= DASDBS-DSM <= DSM (the paper's Fig. 6).
+  EXPECT_LE(dnsm.q2b.Pages(), ddsm.q2b.Pages() * 1.1);
+  EXPECT_LT(ddsm.q2b.Pages(), dsm.q2b.Pages());
+
+  // Query 3 loops: DASDBS-DSM pays the page pool; DASDBS-NSM stays cheap.
+  EXPECT_GT(ddsm.q3b.Pages(), dnsm.q3b.Pages() * 2);
+  EXPECT_LT(dnsm.q3b.Pages(), dsm.q3b.Pages());
+
+  // CPU proxy: NSM burns the most buffer fixes (paper §5.2).
+  EXPECT_GT(nsm.q2b.Fixes(), dnsm.q2b.Fixes() * 5);
+}
+
+TEST_F(IntegrationTest, ObjectSizeSweepShape) {
+  // Fig. 5's mechanism: growing unused Sightseeing data hurts DSM's
+  // navigation but leaves DASDBS-NSM's untouched.
+  auto run_with_sights = [](uint32_t max_sights, StorageModelKind kind) {
+    GeneratorConfig config;
+    config.n_objects = 250;
+    config.seed = 73;
+    config.max_sightseeings = max_sights;
+    auto db = BenchmarkDatabase::Generate(config);
+    EXPECT_TRUE(db.ok());
+    BufferOptions buffer;
+    buffer.frame_count = 1200;
+    QueryConfig query;
+    query.loops = 50;
+    auto result = BenchmarkRunner::RunOne(kind, *db, buffer, query);
+    EXPECT_TRUE(result.ok());
+    return result->queries.q2b.Pages();
+  };
+  const double dsm_0 = run_with_sights(0, StorageModelKind::kDsm);
+  const double dsm_30 = run_with_sights(30, StorageModelKind::kDsm);
+  EXPECT_GT(dsm_30, dsm_0 * 1.5);
+
+  const double dnsm_0 = run_with_sights(0, StorageModelKind::kDasdbsNsm);
+  const double dnsm_30 = run_with_sights(30, StorageModelKind::kDasdbsNsm);
+  // DASDBS-NSM's query 2b never touches the Sightseeing relation.
+  EXPECT_NEAR(dnsm_30, dnsm_0, std::max(0.8, dnsm_0 * 0.35));
+}
+
+TEST_F(IntegrationTest, CalibrationMatchesPaperShapes) {
+  StorageEngine engine;
+  ModelConfig mc;
+  mc.schema = db_->schema();
+  auto nsm = NsmModel::Create(&engine, mc, NsmModelOptions{});
+  ASSERT_TRUE(nsm.ok());
+  ASSERT_TRUE(db_->LoadInto(nsm->get(), &engine).ok());
+  auto rels = CalibrateNsm(nsm->get(), *db_);
+  ASSERT_TRUE(rels.ok());
+  ASSERT_EQ(rels->size(), 4u);
+  // Sightseeing is the bulk of the data (paper: m = 2813 of ~3700 pages).
+  EXPECT_GT((*rels)[3].m, (*rels)[0].m);
+  EXPECT_GT((*rels)[3].m, (*rels)[2].m);
+  // k values near the paper's (13 / 11 / 4 for station/connection/sights).
+  EXPECT_NEAR((*rels)[0].k, 13, 4);
+  EXPECT_NEAR((*rels)[2].k, 11, 4);
+  EXPECT_NEAR((*rels)[3].k, 4, 1.5);
+}
+
+}  // namespace
+}  // namespace starfish

@@ -1,0 +1,155 @@
+// DASDBS-NSM-specific behaviour: one nested tuple per relation per object,
+// transformation-table addressing, cheap root updates.
+
+#include "models/dasdbs_nsm_model.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmark/generator.h"
+#include "benchmark/station_schema.h"
+
+namespace starfish {
+namespace {
+
+using bench::BenchmarkDatabase;
+using bench::GeneratorConfig;
+using bench::StationPaths;
+
+class DasdbsNsmModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorConfig config;
+    config.n_objects = 80;
+    config.seed = 17;
+    auto db = BenchmarkDatabase::Generate(config);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<BenchmarkDatabase>(std::move(db).value());
+
+    engine_ = std::make_unique<StorageEngine>();
+    ModelConfig mc;
+    mc.schema = db_->schema();
+    mc.key_attr_index = 0;
+    auto model = DasdbsNsmModel::Create(engine_.get(), mc);
+    ASSERT_TRUE(model.ok());
+    model_ = std::move(model).value();
+    ASSERT_TRUE(db_->LoadInto(model_.get(), engine_.get()).ok());
+  }
+
+  std::unique_ptr<BenchmarkDatabase> db_;
+  std::unique_ptr<StorageEngine> engine_;
+  std::unique_ptr<DasdbsNsmModel> model_;
+};
+
+TEST_F(DasdbsNsmModelTest, TransformationTableHasOneEntryPerObjectPerRelation) {
+  for (const auto& object : db_->objects()) {
+    auto tids = model_->AddressesOf(object.key);
+    ASSERT_TRUE(tids.ok()) << "key " << object.key;
+    ASSERT_EQ(tids->size(), 4u);  // "fixed and limited number of addresses"
+    for (const Tid& tid : tids.value()) EXPECT_TRUE(tid.valid());
+  }
+}
+
+TEST_F(DasdbsNsmModelTest, GetByRefFetchesOnePagePerSmallRelationTuple) {
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  auto got = model_->GetByRef(3, Projection::All(*db_->schema()));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), db_->objects()[3].tuple);
+  // Station, Platform, Connection tuples: 1 page each; the nested
+  // Sightseeing tuple may span header + data pages. Paper: ~5-9 pages.
+  EXPECT_GE(engine_->stats().io.pages_read, 3u);
+  EXPECT_LE(engine_->stats().io.pages_read, 10u);
+}
+
+TEST_F(DasdbsNsmModelTest, NavigationProjectionSkipsSightseeingRelation) {
+  auto proj = Projection::OfPaths(*db_->schema(),
+                                  {StationPaths::kStation,
+                                   StationPaths::kPlatform,
+                                   StationPaths::kConnection});
+  ASSERT_TRUE(proj.ok());
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  ASSERT_TRUE(model_->GetByRef(3, proj.value()).ok());
+  const uint64_t nav_pages = engine_->stats().io.pages_read;
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  ASSERT_TRUE(model_->GetByRef(3, Projection::All(*db_->schema())).ok());
+  const uint64_t all_pages = engine_->stats().io.pages_read;
+  EXPECT_LT(nav_pages, all_pages);
+  EXPECT_LE(nav_pages, 3u);  // one page per needed relation
+}
+
+TEST_F(DasdbsNsmModelTest, GetChildRefsReadsOnlyLinkRelation) {
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  auto children = model_->GetChildRefs(9);
+  ASSERT_TRUE(children.ok());
+  // One small nested Connection tuple: a single page.
+  EXPECT_LE(engine_->stats().io.pages_read, 2u);
+}
+
+TEST_F(DasdbsNsmModelTest, GetByKeyScansRootThenFetchesByAddress) {
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  ASSERT_TRUE(model_->GetByKey(db_->objects()[11].key,
+                               Projection::All(*db_->schema())).ok());
+  const uint64_t root_pages = model_->segment(0)->pages().size();
+  EXPECT_GE(engine_->stats().io.pages_read, root_pages);
+  EXPECT_LE(engine_->stats().io.pages_read, root_pages + 10);
+}
+
+TEST_F(DasdbsNsmModelTest, UpdateRootRecordTouchesOneSmallTuple) {
+  auto root = model_->GetRootRecord(21);
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE(engine_->Flush().ok());
+  engine_->ResetStats();
+  Tuple updated = root.value();
+  updated.values[1] = Value::Int32(updated.values[1].as_int32() + 1);
+  ASSERT_TRUE(model_->UpdateRootRecord(21, updated).ok());
+  ASSERT_TRUE(engine_->Flush().ok());
+  EXPECT_EQ(engine_->stats().io.pages_written, 1u);
+}
+
+TEST_F(DasdbsNsmModelTest, SightseeingRelationTuplesSpanPages) {
+  // Objects with many sightseeings make DASDBS-NSM_Sightseeing tuples span
+  // pages (Table 2 of the paper).
+  bool found_large = false;
+  for (const auto& object : db_->objects()) {
+    auto info = model_->RecordInfo(StationPaths::kSightseeing, object.key);
+    ASSERT_TRUE(info.ok());
+    if (!info->is_small) {
+      found_large = true;
+      EXPECT_GE(info->header_pages, 1u);
+      EXPECT_GE(info->data_pages, 1u);
+    }
+  }
+  EXPECT_TRUE(found_large);
+}
+
+TEST_F(DasdbsNsmModelTest, ConnectionRelationTuplesStaySmall) {
+  // The nested Connection tuple of an average object is well under a page —
+  // the reason DASDBS-NSM navigation costs ~1 page per object.
+  size_t small = 0;
+  for (const auto& object : db_->objects()) {
+    auto info = model_->RecordInfo(StationPaths::kConnection, object.key);
+    ASSERT_TRUE(info.ok());
+    small += info->is_small ? 1 : 0;
+  }
+  EXPECT_EQ(small, db_->objects().size());
+}
+
+TEST_F(DasdbsNsmModelTest, DuplicateInsertsRejected) {
+  EXPECT_TRUE(model_->Insert(0, db_->objects()[0].tuple).IsAlreadyExists());
+  EXPECT_TRUE(model_->Insert(999, db_->objects()[0].tuple).IsAlreadyExists());
+}
+
+TEST_F(DasdbsNsmModelTest, UnknownRefAndKeyAreNotFound) {
+  EXPECT_TRUE(model_->GetByRef(5555, Projection::All(*db_->schema()))
+                  .status().IsNotFound());
+  EXPECT_TRUE(model_->GetByKey(-1, Projection::All(*db_->schema()))
+                  .status().IsNotFound());
+  EXPECT_TRUE(model_->GetChildRefs(5555).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace starfish

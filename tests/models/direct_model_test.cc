@@ -1,0 +1,318 @@
+// Physical I/O behaviour specific to the direct models: DSM reads whole
+// objects, DASDBS-DSM reads only projected pages and pays the page pool on
+// updates. (Logical correctness is covered by model_equivalence_test.)
+
+#include "models/direct_model.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "benchmark/generator.h"
+#include "benchmark/station_schema.h"
+
+namespace starfish {
+namespace {
+
+using bench::BenchmarkDatabase;
+using bench::GeneratorConfig;
+using bench::StationPaths;
+
+class DirectModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorConfig config;
+    config.n_objects = 40;
+    config.seed = 3;
+    auto db = BenchmarkDatabase::Generate(config);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<BenchmarkDatabase>(std::move(db).value());
+  }
+
+  std::unique_ptr<DirectModel> MakeModel(bool dasdbs) {
+    engine_ = std::make_unique<StorageEngine>();
+    ModelConfig mc;
+    mc.schema = db_->schema();
+    mc.key_attr_index = 0;
+    DirectModelOptions options;
+    options.partial_reads = dasdbs;
+    options.change_attr_updates = dasdbs;
+    auto model = DirectModel::Create(engine_.get(), mc, options);
+    EXPECT_TRUE(model.ok());
+    EXPECT_TRUE(db_->LoadInto(model.value().get(), engine_.get()).ok());
+    return std::move(model).value();
+  }
+
+  /// Ref of an object that is stored page-spanning (large).
+  ObjectRef LargeObjectRef(DirectModel* model) {
+    for (const auto& object : db_->objects()) {
+      auto info = model->RecordInfo(object.ref);
+      if (info.ok() && !info->is_small) return object.ref;
+    }
+    ADD_FAILURE() << "no large object in database";
+    return 0;
+  }
+
+  std::unique_ptr<BenchmarkDatabase> db_;
+  std::unique_ptr<StorageEngine> engine_;
+};
+
+TEST_F(DirectModelTest, KindsAndSegmentNames) {
+  auto dsm = MakeModel(false);
+  EXPECT_EQ(dsm->kind(), StorageModelKind::kDsm);
+  EXPECT_EQ(dsm->segment()->name(), "DSM_Station");
+  auto ddsm = MakeModel(true);
+  EXPECT_EQ(ddsm->kind(), StorageModelKind::kDasdbsDsm);
+  EXPECT_EQ(ddsm->segment()->name(), "DASDBS-DSM_Station");
+}
+
+TEST_F(DirectModelTest, DsmReadsAllPagesEvenForProjection) {
+  auto model = MakeModel(false);
+  const ObjectRef ref = LargeObjectRef(model.get());
+  auto info = model->RecordInfo(ref);
+  ASSERT_TRUE(info.ok());
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  auto root = model->GetRootRecord(ref);
+  ASSERT_TRUE(root.ok());
+  // DSM cannot read part of an object: all private pages are fetched.
+  EXPECT_EQ(engine_->stats().io.pages_read, info->private_pages());
+}
+
+TEST_F(DirectModelTest, DasdbsDsmReadsOnlyHeaderAndNeededData) {
+  auto model = MakeModel(true);
+  const ObjectRef ref = LargeObjectRef(model.get());
+  auto info = model->RecordInfo(ref);
+  ASSERT_TRUE(info.ok());
+  ASSERT_GT(info->data_pages, 1u);  // otherwise nothing to save
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  auto root = model->GetRootRecord(ref);
+  ASSERT_TRUE(root.ok());
+  // Header page(s) + the single data page holding the root region.
+  EXPECT_EQ(engine_->stats().io.pages_read, info->header_pages + 1);
+  EXPECT_LT(engine_->stats().io.pages_read, info->private_pages());
+}
+
+TEST_F(DirectModelTest, NavigationProjectionSkipsSightseeingPages) {
+  auto dsm = MakeModel(false);
+  const ObjectRef ref = LargeObjectRef(dsm.get());
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  ASSERT_TRUE(dsm->GetChildRefs(ref).ok());
+  const uint64_t dsm_pages = engine_->stats().io.pages_read;
+
+  auto ddsm = MakeModel(true);
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  ASSERT_TRUE(ddsm->GetChildRefs(ref).ok());
+  const uint64_t ddsm_pages = engine_->stats().io.pages_read;
+  EXPECT_LT(ddsm_pages, dsm_pages);
+}
+
+TEST_F(DirectModelTest, DsmUpdateDirtiesWholeObject) {
+  auto model = MakeModel(false);
+  const ObjectRef ref = LargeObjectRef(model.get());
+  auto info = model->RecordInfo(ref);
+  ASSERT_TRUE(info.ok());
+  auto root = model->GetRootRecord(ref);
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE(engine_->Flush().ok());
+  engine_->ResetStats();
+  Tuple updated = root.value();
+  updated.values[1] = Value::Int32(123);
+  ASSERT_TRUE(model->UpdateRootRecord(ref, updated).ok());
+  ASSERT_TRUE(engine_->Flush().ok());
+  // Whole-tuple replace: every private page of the object is rewritten.
+  EXPECT_GE(engine_->stats().io.pages_written, info->private_pages());
+}
+
+TEST_F(DirectModelTest, DasdbsDsmUpdateWritesPagePoolPerOperation) {
+  auto model = MakeModel(true);
+  const ObjectRef ref = LargeObjectRef(model.get());
+  auto root = model->GetRootRecord(ref);
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE(engine_->Flush().ok());
+  engine_->ResetStats();
+  Tuple updated = root.value();
+  for (int i = 0; i < 4; ++i) {
+    updated.values[1] = Value::Int32(1000 + i);
+    ASSERT_TRUE(model->UpdateRootRecord(ref, updated).ok());
+  }
+  // Four change-attribute ops -> at least four immediate pool-page writes
+  // (§5.3: "each update operation allocates a page pool, of which all pages
+  // are written").
+  EXPECT_GE(engine_->stats().io.write_calls, 4u);
+  EXPECT_GE(engine_->stats().io.pages_written, 4u);
+}
+
+TEST_F(DirectModelTest, DasdbsDsmUpdateDirtiesOnlyRootDataPage) {
+  auto model = MakeModel(true);
+  const ObjectRef ref = LargeObjectRef(model.get());
+  auto info = model->RecordInfo(ref);
+  ASSERT_TRUE(info.ok());
+  auto root = model->GetRootRecord(ref);
+  ASSERT_TRUE(root.ok());
+  // Warm-up update so the lazy page-pool allocation is not measured.
+  Tuple updated = root.value();
+  updated.values[1] = Value::Int32(6);
+  ASSERT_TRUE(model->UpdateRootRecord(ref, updated).ok());
+  ASSERT_TRUE(engine_->Flush().ok());
+  engine_->ResetStats();
+  updated.values[1] = Value::Int32(7);
+  ASSERT_TRUE(model->UpdateRootRecord(ref, updated).ok());
+  ASSERT_TRUE(engine_->Flush().ok());
+  // Pool page + the single dirty data page — far less than the whole record.
+  EXPECT_LE(engine_->stats().io.pages_written, 2u);
+}
+
+TEST_F(DirectModelTest, AddressOfUnknownRefFails) {
+  auto model = MakeModel(false);
+  EXPECT_TRUE(model->AddressOf(9999).status().IsNotFound());
+  EXPECT_TRUE(model->GetByRef(9999, Projection::All(*db_->schema()))
+                  .status().IsNotFound());
+}
+
+TEST_F(DirectModelTest, DuplicateInsertRejected) {
+  auto model = MakeModel(false);
+  EXPECT_TRUE(model->Insert(0, db_->objects()[0].tuple)
+                  .IsAlreadyExists());
+}
+
+TEST_F(DirectModelTest, GetByKeyScansWholeRelation) {
+  auto model = MakeModel(false);
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  ASSERT_TRUE(model->GetByKey(db_->objects()[5].key,
+                              Projection::All(*db_->schema())).ok());
+  // Value selection reads the entire relation (no early exit).
+  EXPECT_EQ(engine_->stats().io.pages_read, model->segment()->pages().size());
+}
+
+TEST_F(DirectModelTest, GetByKeyMissingKeyIsNotFound) {
+  auto model = MakeModel(false);
+  EXPECT_TRUE(model->GetByKey(123456, Projection::All(*db_->schema()))
+                  .status().IsNotFound());
+}
+
+TEST_F(DirectModelTest, ObjectCount) {
+  auto model = MakeModel(false);
+  EXPECT_EQ(model->object_count(), db_->objects().size());
+}
+
+class ScanPushdownTest : public DirectModelTest {
+ protected:
+  std::unique_ptr<DirectModel> MakePushdownModel() {
+    engine_ = std::make_unique<StorageEngine>();
+    ModelConfig mc;
+    mc.schema = db_->schema();
+    DirectModelOptions options;
+    options.partial_reads = true;
+    options.change_attr_updates = true;
+    options.scan_pushdown = true;
+    auto model = DirectModel::Create(engine_.get(), mc, options);
+    EXPECT_TRUE(model.ok());
+    EXPECT_TRUE(db_->LoadInto(model.value().get(), engine_.get()).ok());
+    return std::move(model).value();
+  }
+};
+
+TEST_F(ScanPushdownTest, GetByKeyReadsFewerPagesSameResult) {
+  auto plain = MakeModel(true);
+  const Projection all = Projection::All(*db_->schema());
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  auto expected = plain->GetByKey(db_->objects()[9].key, all);
+  ASSERT_TRUE(expected.ok());
+  const uint64_t plain_pages = engine_->stats().io.pages_read;
+
+  auto pushdown = MakePushdownModel();
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  auto got = pushdown->GetByKey(db_->objects()[9].key, all);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), expected.value());
+  EXPECT_LT(engine_->stats().io.pages_read, plain_pages);
+}
+
+TEST_F(ScanPushdownTest, GetByKeyMissingKeyStillNotFound) {
+  auto pushdown = MakePushdownModel();
+  EXPECT_TRUE(pushdown->GetByKey(999999, Projection::All(*db_->schema()))
+                  .status().IsNotFound());
+}
+
+TEST_F(ScanPushdownTest, ProjectedScanSkipsSightseeingPagesAndAgrees) {
+  auto proj = Projection::OfPaths(*db_->schema(),
+                                  {bench::StationPaths::kStation,
+                                   bench::StationPaths::kPlatform,
+                                   bench::StationPaths::kConnection});
+  ASSERT_TRUE(proj.ok());
+
+  auto plain = MakeModel(true);
+  std::map<int64_t, Tuple> expected;
+  ASSERT_TRUE(plain->ScanAll(proj.value(), [&](int64_t key, const Tuple& t) {
+    expected[key] = t;
+    return Status::OK();
+  }).ok());
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  ASSERT_TRUE(plain->ScanAll(proj.value(), [&](int64_t, const Tuple&) {
+    return Status::OK();
+  }).ok());
+  const uint64_t plain_pages = engine_->stats().io.pages_read;
+
+  auto pushdown = MakePushdownModel();
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  std::map<int64_t, Tuple> got;
+  ASSERT_TRUE(pushdown->ScanAll(proj.value(), [&](int64_t key, const Tuple& t) {
+    got[key] = t;
+    return Status::OK();
+  }).ok());
+  EXPECT_LT(engine_->stats().io.pages_read, plain_pages);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(ScanPushdownTest, FullProjectionScanUnchanged) {
+  auto pushdown = MakePushdownModel();
+  const Projection all = Projection::All(*db_->schema());
+  size_t count = 0;
+  ASSERT_TRUE(pushdown->ScanAll(all, [&](int64_t, const Tuple& t) {
+    EXPECT_FALSE(t.values.empty());
+    ++count;
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(count, db_->objects().size());
+}
+
+TEST_F(ScanPushdownTest, SurvivesStructuralUpdates) {
+  auto pushdown = MakePushdownModel();
+  // Replace an object so its aux run is reallocated, then pushdown-scan:
+  // the page-type catalog must have followed the move.
+  Tuple modified = db_->objects()[6].tuple;
+  auto& sights =
+      modified.values[bench::StationAttrs::kSightseeings].as_relation();
+  for (int s = 0; s < 20; ++s) {
+    sights.push_back(Tuple{{Value::Int32(500 + s), Value::Str(std::string(100, 'a')),
+                            Value::Str(std::string(100, 'b')),
+                            Value::Str(std::string(100, 'c')),
+                            Value::Str(std::string(100, 'd'))}});
+  }
+  modified.values[bench::StationAttrs::kNoSeeing] =
+      Value::Int32(static_cast<int32_t>(sights.size()));
+  ASSERT_TRUE(pushdown->ReplaceObject(6, modified).ok());
+  auto got = pushdown->GetByKey(db_->objects()[6].key,
+                                Projection::All(*db_->schema()));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), modified);
+  size_t count = 0;
+  ASSERT_TRUE(pushdown->ScanAll(Projection::RootOnly(*db_->schema()),
+                                [&](int64_t, const Tuple&) {
+                                  ++count;
+                                  return Status::OK();
+                                }).ok());
+  EXPECT_EQ(count, db_->objects().size());
+}
+
+}  // namespace
+}  // namespace starfish

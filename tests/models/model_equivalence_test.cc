@@ -1,0 +1,277 @@
+// Cross-model equivalence: all four storage models must return identical
+// logical results for every benchmark query — they differ only in physical
+// I/O. This is the strongest integration check in the suite.
+
+#include <gtest/gtest.h>
+
+#include "benchmark/generator.h"
+#include "benchmark/station_schema.h"
+#include "models/model_factory.h"
+#include "nf2/projection.h"
+
+namespace starfish {
+namespace {
+
+using bench::BenchmarkDatabase;
+using bench::BenchmarkObject;
+using bench::GeneratorConfig;
+
+class ModelEquivalenceTest : public ::testing::TestWithParam<StorageModelKind> {
+ protected:
+  void SetUp() override {
+    GeneratorConfig config;
+    config.n_objects = 60;
+    config.seed = 7;
+    auto db = BenchmarkDatabase::Generate(config);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::make_unique<BenchmarkDatabase>(std::move(db).value());
+
+    engine_ = std::make_unique<StorageEngine>();
+    ModelConfig mc;
+    mc.schema = db_->schema();
+    mc.key_attr_index = 0;
+    auto model = CreateStorageModel(GetParam(), engine_.get(), mc);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    model_ = std::move(model).value();
+    ASSERT_TRUE(db_->LoadInto(model_.get(), engine_.get()).ok());
+  }
+
+  std::unique_ptr<BenchmarkDatabase> db_;
+  std::unique_ptr<StorageEngine> engine_;
+  std::unique_ptr<StorageModel> model_;
+};
+
+TEST_P(ModelEquivalenceTest, GetByRefRoundTrips) {
+  if (!model_->SupportsGetByRef()) GTEST_SKIP();
+  const Projection all = Projection::All(*db_->schema());
+  for (const BenchmarkObject& object : db_->objects()) {
+    auto got = model_->GetByRef(object.ref, all);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got.value(), object.tuple)
+        << "object " << object.ref << " mismatch under " << model_->name();
+  }
+}
+
+TEST_P(ModelEquivalenceTest, GetByKeyRoundTrips) {
+  const Projection all = Projection::All(*db_->schema());
+  for (size_t i = 0; i < db_->objects().size(); i += 7) {
+    const BenchmarkObject& object = db_->objects()[i];
+    auto got = model_->GetByKey(object.key, all);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got.value(), object.tuple);
+  }
+}
+
+TEST_P(ModelEquivalenceTest, ScanAllReturnsEveryObjectExactlyOnce) {
+  const Projection all = Projection::All(*db_->schema());
+  std::map<int64_t, Tuple> seen;
+  ASSERT_TRUE(model_->ScanAll(all, [&](int64_t key, const Tuple& tuple) {
+    EXPECT_EQ(seen.count(key), 0u) << "duplicate key " << key;
+    seen[key] = tuple;
+    return Status::OK();
+  }).ok());
+  ASSERT_EQ(seen.size(), db_->objects().size());
+  for (const BenchmarkObject& object : db_->objects()) {
+    EXPECT_EQ(seen.at(object.key), object.tuple);
+  }
+}
+
+TEST_P(ModelEquivalenceTest, ProjectedGetDropsUnselectedPaths) {
+  if (!model_->SupportsGetByRef()) GTEST_SKIP();
+  auto proj = Projection::OfPaths(
+      *db_->schema(), {bench::StationPaths::kStation,
+                       bench::StationPaths::kPlatform,
+                       bench::StationPaths::kConnection});
+  ASSERT_TRUE(proj.ok());
+  for (size_t i = 0; i < db_->objects().size(); i += 11) {
+    const BenchmarkObject& object = db_->objects()[i];
+    auto got = model_->GetByRef(object.ref, proj.value());
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    Tuple expected = object.tuple;
+    expected.values[bench::StationAttrs::kSightseeings] = Value::Relation({});
+    EXPECT_EQ(got.value(), expected);
+  }
+}
+
+TEST_P(ModelEquivalenceTest, ChildRefsMatchTheGeneratedLinks) {
+  for (size_t i = 0; i < db_->objects().size(); i += 5) {
+    const BenchmarkObject& object = db_->objects()[i];
+    auto children = model_->GetChildRefs(object.ref);
+    ASSERT_TRUE(children.ok()) << children.status().ToString();
+    // Ground truth from the in-memory tuple.
+    std::vector<ObjectRef> expected;
+    for (const Tuple& platform :
+         object.tuple.values[bench::StationAttrs::kPlatforms].as_relation()) {
+      for (const Tuple& conn : platform.values[4].as_relation()) {
+        expected.push_back(conn.values[2].as_link());
+      }
+    }
+    EXPECT_EQ(children.value(), expected);
+  }
+}
+
+TEST_P(ModelEquivalenceTest, BatchNavigationAgreesWithSingleCalls) {
+  std::vector<ObjectRef> refs{0, 3, 9, 12, 0};
+  auto batch = model_->GetChildRefsBatch(refs);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch.value().size(), refs.size());
+  for (size_t i = 0; i < refs.size(); ++i) {
+    auto single = model_->GetChildRefs(refs[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(batch.value()[i], single.value());
+  }
+  auto roots = model_->GetRootRecordsBatch(refs);
+  ASSERT_TRUE(roots.ok()) << roots.status().ToString();
+  for (size_t i = 0; i < refs.size(); ++i) {
+    auto single = model_->GetRootRecord(refs[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(roots.value()[i], single.value());
+  }
+}
+
+TEST_P(ModelEquivalenceTest, RootRecordHasAtomicsAndEmptyRelations) {
+  for (size_t i = 0; i < db_->objects().size(); i += 13) {
+    const BenchmarkObject& object = db_->objects()[i];
+    auto root = model_->GetRootRecord(object.ref);
+    ASSERT_TRUE(root.ok()) << root.status().ToString();
+    EXPECT_EQ(root->values[0], object.tuple.values[0]);
+    EXPECT_EQ(root->values[3], object.tuple.values[3]);
+    EXPECT_TRUE(root->values[bench::StationAttrs::kPlatforms]
+                    .as_relation().empty());
+  }
+}
+
+TEST_P(ModelEquivalenceTest, UpdateRootRecordPersists) {
+  const ObjectRef ref = 17;
+  auto before = model_->GetRootRecord(ref);
+  ASSERT_TRUE(before.ok());
+  Tuple updated = before.value();
+  updated.values[1] = Value::Int32(updated.values[1].as_int32() + 41);
+  ASSERT_TRUE(model_->UpdateRootRecord(ref, updated).ok());
+  auto after = model_->GetRootRecord(ref);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->values[1], updated.values[1]);
+  // Sub-objects are untouched.
+  const Projection all = Projection::All(*db_->schema());
+  auto full = model_->GetByKey(db_->objects()[ref].key, all);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->values[bench::StationAttrs::kPlatforms],
+            db_->objects()[ref].tuple.values[bench::StationAttrs::kPlatforms]);
+}
+
+TEST_P(ModelEquivalenceTest, RemoveMakesObjectUnreachable) {
+  const BenchmarkObject& victim = db_->objects()[23];
+  ASSERT_TRUE(model_->Remove(victim.ref).ok());
+  EXPECT_EQ(model_->object_count(), db_->objects().size() - 1);
+  EXPECT_TRUE(model_->GetByKey(victim.key, Projection::All(*db_->schema()))
+                  .status().IsNotFound());
+  if (model_->SupportsGetByRef()) {
+    EXPECT_FALSE(model_->GetByRef(victim.ref,
+                                  Projection::All(*db_->schema())).ok());
+  }
+  EXPECT_FALSE(model_->GetChildRefs(victim.ref).ok());
+  // A scan no longer sees it, and everything else is intact.
+  size_t count = 0;
+  ASSERT_TRUE(model_->ScanAll(Projection::All(*db_->schema()),
+                              [&](int64_t key, const Tuple&) {
+                                EXPECT_NE(key, victim.key);
+                                ++count;
+                                return Status::OK();
+                              }).ok());
+  EXPECT_EQ(count, db_->objects().size() - 1);
+  // Removing twice fails.
+  EXPECT_TRUE(model_->Remove(victim.ref).IsNotFound());
+}
+
+TEST_P(ModelEquivalenceTest, RemoveUnknownRefFails) {
+  EXPECT_TRUE(model_->Remove(987654).IsNotFound());
+}
+
+TEST_P(ModelEquivalenceTest, ReplaceObjectChangesStructure) {
+  const BenchmarkObject& original = db_->objects()[8];
+  Tuple modified = original.tuple;
+  // Structural change: drop all sightseeings, add a platform with one
+  // connection, and rewrite the name.
+  modified.values[bench::StationAttrs::kSightseeings] = Value::Relation({});
+  auto& platforms =
+      modified.values[bench::StationAttrs::kPlatforms].as_relation();
+  platforms.push_back(Tuple{{Value::Int32(99), Value::Int32(1),
+                             Value::Int32(7), Value::Str("new platform"),
+                             Value::Relation({Tuple{{Value::Int32(0),
+                                                     Value::Int32(3),
+                                                     Value::Link(2),
+                                                     Value::Str("at noon")}}})}});
+  modified.values[bench::StationAttrs::kNoPlatform] =
+      Value::Int32(static_cast<int32_t>(platforms.size()));
+  ASSERT_TRUE(model_->ReplaceObject(original.ref, modified).ok());
+
+  auto back = model_->GetByKey(original.key, Projection::All(*db_->schema()));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value(), modified);
+  // Navigation sees the new link set.
+  auto children = model_->GetChildRefs(original.ref);
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(children->back(), 2u);
+  // Neighbours untouched.
+  auto other = model_->GetByKey(db_->objects()[9].key,
+                                Projection::All(*db_->schema()));
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(other.value(), db_->objects()[9].tuple);
+}
+
+TEST_P(ModelEquivalenceTest, ReplaceObjectGrowingMuchLarger) {
+  const BenchmarkObject& original = db_->objects()[31];
+  Tuple modified = original.tuple;
+  auto& sights =
+      modified.values[bench::StationAttrs::kSightseeings].as_relation();
+  for (int s = 0; s < 25; ++s) {
+    sights.push_back(Tuple{{Value::Int32(100 + s), Value::Str(std::string(100, 'd')),
+                            Value::Str(std::string(100, 'l')),
+                            Value::Str(std::string(100, 'h')),
+                            Value::Str(std::string(100, 'r'))}});
+  }
+  modified.values[bench::StationAttrs::kNoSeeing] =
+      Value::Int32(static_cast<int32_t>(sights.size()));
+  ASSERT_TRUE(model_->ReplaceObject(original.ref, modified).ok());
+  auto back = model_->GetByKey(original.key, Projection::All(*db_->schema()));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), modified);
+}
+
+TEST_P(ModelEquivalenceTest, ReplaceObjectRejectsKeyChange) {
+  Tuple modified = db_->objects()[4].tuple;
+  modified.values[0] = Value::Int32(424242);
+  EXPECT_TRUE(model_->ReplaceObject(4, modified).IsInvalidArgument());
+}
+
+TEST_P(ModelEquivalenceTest, RemoveThenReinsertRef) {
+  const BenchmarkObject& victim = db_->objects()[40];
+  ASSERT_TRUE(model_->Remove(victim.ref).ok());
+  ASSERT_TRUE(model_->Insert(victim.ref, victim.tuple).ok());
+  auto back = model_->GetByKey(victim.key, Projection::All(*db_->schema()));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), victim.tuple);
+  EXPECT_EQ(model_->object_count(), db_->objects().size());
+}
+
+TEST_P(ModelEquivalenceTest, KeysAreImmutable) {
+  auto root = model_->GetRootRecord(5);
+  ASSERT_TRUE(root.ok());
+  Tuple updated = root.value();
+  updated.values[0] = Value::Int32(999999);
+  EXPECT_FALSE(model_->UpdateRootRecord(5, updated).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelEquivalenceTest,
+    ::testing::ValuesIn(AllStorageModelKinds()),
+    [](const ::testing::TestParamInfo<StorageModelKind>& info) {
+      std::string name = ToString(info.param);
+      for (char& c : name) {
+        if (c == '-' || c == '+') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace starfish

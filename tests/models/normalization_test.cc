@@ -1,0 +1,262 @@
+#include "models/normalization.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmark/generator.h"
+#include "benchmark/station_schema.h"
+
+namespace starfish {
+namespace {
+
+using bench::MakeStationSchema;
+using bench::StationAttrs;
+using bench::StationPaths;
+
+class NormalizationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto decomp = NsmDecomposition::Derive(MakeStationSchema(), 0);
+    ASSERT_TRUE(decomp.ok());
+    decomp_ = std::make_unique<NsmDecomposition>(std::move(decomp).value());
+  }
+  std::unique_ptr<NsmDecomposition> decomp_;
+};
+
+TEST_F(NormalizationTest, DefaultKeepsOwnKeysOnLeafPaths) {
+  // Robust default: every non-root path carries an OwnKey so document
+  // order survives structural updates.
+  EXPECT_TRUE(decomp_->relation(StationPaths::kConnection).has_own_key);
+  EXPECT_TRUE(decomp_->relation(StationPaths::kSightseeing).has_own_key);
+  EXPECT_FALSE(decomp_->relation(StationPaths::kStation).has_own_key);
+}
+
+TEST_F(NormalizationTest, PaperFigure3KeyAttributes) {
+  // The paper's exact layout, with the "superfluous keys omitted" rule.
+  DecompositionOptions options;
+  options.omit_leaf_own_keys = true;
+  auto derived = NsmDecomposition::Derive(MakeStationSchema(), 0, options);
+  ASSERT_TRUE(derived.ok());
+  decomp_ = std::make_unique<NsmDecomposition>(std::move(derived).value());
+  // NSM_Station: no added keys (the root's own key is its Key attribute).
+  const DecomposedRelation& station = decomp_->relation(StationPaths::kStation);
+  EXPECT_FALSE(station.has_root_key);
+  EXPECT_FALSE(station.has_parent_key);
+  EXPECT_FALSE(station.has_own_key);
+  EXPECT_EQ(station.flat_schema->attributes().size(), 4u);
+
+  // NSM_Platform: RootKey + OwnKey (it has Connection children).
+  const DecomposedRelation& platform = decomp_->relation(StationPaths::kPlatform);
+  EXPECT_TRUE(platform.has_root_key);
+  EXPECT_FALSE(platform.has_parent_key);  // depth 1: equals RootKey
+  EXPECT_TRUE(platform.has_own_key);
+  EXPECT_EQ(platform.flat_schema->attributes()[0].name, "RootKey");
+  EXPECT_EQ(platform.flat_schema->attributes()[1].name, "OwnKey");
+  EXPECT_EQ(platform.flat_schema->attributes().size(), 2u + 4u);
+
+  // NSM_Connection: RootKey + ParentKey, no OwnKey (leaf path).
+  const DecomposedRelation& conn = decomp_->relation(StationPaths::kConnection);
+  EXPECT_TRUE(conn.has_root_key);
+  EXPECT_TRUE(conn.has_parent_key);
+  EXPECT_FALSE(conn.has_own_key);
+  EXPECT_EQ(conn.flat_schema->attributes().size(), 2u + 4u);
+  EXPECT_TRUE(conn.has_links);
+
+  // NSM_Sightseeing: RootKey only.
+  const DecomposedRelation& sight = decomp_->relation(StationPaths::kSightseeing);
+  EXPECT_TRUE(sight.has_root_key);
+  EXPECT_FALSE(sight.has_parent_key);
+  EXPECT_FALSE(sight.has_own_key);
+  EXPECT_EQ(sight.flat_schema->attributes().size(), 1u + 5u);
+  EXPECT_FALSE(sight.has_links);
+}
+
+TEST_F(NormalizationTest, PaperFigure4NestedSchemas) {
+  // DASDBS-NSM_Platform: (RootKey, {(OwnKey, data...)}).
+  const DecomposedRelation& platform = decomp_->relation(StationPaths::kPlatform);
+  ASSERT_NE(platform.nested_schema, nullptr);
+  ASSERT_EQ(platform.nested_schema->attributes().size(), 2u);
+  EXPECT_EQ(platform.nested_schema->attributes()[0].name, "RootKey");
+  EXPECT_EQ(platform.nested_schema->attributes()[1].type, AttrType::kRelation);
+
+  // DASDBS-NSM_Connection: (RootKey, {(ParentKey, {(data...)})}).
+  const DecomposedRelation& conn = decomp_->relation(StationPaths::kConnection);
+  ASSERT_NE(conn.nested_schema, nullptr);
+  const auto& groups = conn.nested_schema->attributes()[1];
+  ASSERT_EQ(groups.type, AttrType::kRelation);
+  EXPECT_EQ(groups.relation->attributes()[0].name, "ParentKey");
+  EXPECT_EQ(groups.relation->attributes()[1].type, AttrType::kRelation);
+
+  // Root relation stays flat.
+  EXPECT_EQ(decomp_->relation(StationPaths::kStation).nested_schema, nullptr);
+}
+
+TEST_F(NormalizationTest, DeriveRejectsBadKeyAttribute) {
+  auto schema = MakeStationSchema();
+  EXPECT_TRUE(NsmDecomposition::Derive(schema, 3).status().IsInvalidArgument());
+  EXPECT_TRUE(NsmDecomposition::Derive(schema, 99).status().IsInvalidArgument());
+  EXPECT_TRUE(NsmDecomposition::Derive(nullptr, 0).status().IsInvalidArgument());
+}
+
+TEST_F(NormalizationTest, ShredProducesDocumentOrderRows) {
+  bench::GeneratorConfig config;
+  config.n_objects = 3;
+  config.seed = 11;
+  auto db = bench::BenchmarkDatabase::Generate(config);
+  ASSERT_TRUE(db.ok());
+  const auto& object = db->objects()[0];
+  auto parts = decomp_->Shred(object.tuple);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ((*parts)[StationPaths::kStation].size(), 1u);
+  const auto& platforms =
+      object.tuple.values[StationAttrs::kPlatforms].as_relation();
+  EXPECT_EQ((*parts)[StationPaths::kPlatform].size(), platforms.size());
+  // Every non-root row carries the object key as RootKey.
+  for (PathId p = 1; p < 4; ++p) {
+    for (const Tuple& flat : (*parts)[p]) {
+      EXPECT_EQ(flat.values[0].as_int32(), object.key);
+    }
+  }
+  // Own keys of platforms are 0, 1, ... in order.
+  for (size_t i = 0; i < (*parts)[StationPaths::kPlatform].size(); ++i) {
+    EXPECT_EQ((*parts)[StationPaths::kPlatform][i].values[1].as_int32(),
+              static_cast<int32_t>(i));
+  }
+}
+
+TEST_F(NormalizationTest, ShredAssembleRoundTripsGeneratedObjects) {
+  bench::GeneratorConfig config;
+  config.n_objects = 50;
+  config.seed = 23;
+  auto db = bench::BenchmarkDatabase::Generate(config);
+  ASSERT_TRUE(db.ok());
+  const Projection all = Projection::All(*db->schema());
+  for (const auto& object : db->objects()) {
+    auto parts = decomp_->Shred(object.tuple);
+    ASSERT_TRUE(parts.ok());
+    auto back = decomp_->Assemble(parts.value(), all);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back.value(), object.tuple);
+  }
+}
+
+TEST_F(NormalizationTest, AssembleToleratesShuffledRows) {
+  bench::GeneratorConfig config;
+  config.n_objects = 10;
+  config.seed = 31;
+  auto db = bench::BenchmarkDatabase::Generate(config);
+  ASSERT_TRUE(db.ok());
+  // Pick an object with at least two platforms so ordering matters.
+  for (const auto& object : db->objects()) {
+    auto parts = decomp_->Shred(object.tuple);
+    ASSERT_TRUE(parts.ok());
+    auto& platforms = (*parts)[StationPaths::kPlatform];
+    if (platforms.size() < 2) continue;
+    std::reverse(platforms.begin(), platforms.end());  // re-sorted by OwnKey
+    auto back = decomp_->Assemble(parts.value(), Projection::All(*db->schema()));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), object.tuple);
+    return;
+  }
+  GTEST_SKIP() << "no object with 2 platforms in sample";
+}
+
+TEST_F(NormalizationTest, ProjectedAssembleOmitsPaths) {
+  bench::GeneratorConfig config;
+  config.n_objects = 5;
+  config.seed = 41;
+  auto db = bench::BenchmarkDatabase::Generate(config);
+  ASSERT_TRUE(db.ok());
+  const auto& object = db->objects()[1];
+  auto parts = decomp_->Shred(object.tuple);
+  ASSERT_TRUE(parts.ok());
+  auto proj = Projection::OfPaths(*db->schema(),
+                                  {StationPaths::kStation,
+                                   StationPaths::kSightseeing});
+  ASSERT_TRUE(proj.ok());
+  // Remove the unselected parts, as a projected read would.
+  (*parts)[StationPaths::kPlatform].clear();
+  (*parts)[StationPaths::kConnection].clear();
+  auto back = decomp_->Assemble(parts.value(), proj.value());
+  ASSERT_TRUE(back.ok());
+  Tuple expected = object.tuple;
+  expected.values[StationAttrs::kPlatforms] = Value::Relation({});
+  EXPECT_EQ(back.value(), expected);
+}
+
+TEST_F(NormalizationTest, NestUnnestRoundTrip) {
+  bench::GeneratorConfig config;
+  config.n_objects = 30;
+  config.seed = 53;
+  auto db = bench::BenchmarkDatabase::Generate(config);
+  ASSERT_TRUE(db.ok());
+  for (const auto& object : db->objects()) {
+    auto parts = decomp_->Shred(object.tuple);
+    ASSERT_TRUE(parts.ok());
+    for (PathId p = 1; p < 4; ++p) {
+      auto nested = decomp_->Nest(p, object.key, (*parts)[p]);
+      ASSERT_TRUE(nested.ok());
+      // One tuple per relation per object; RootKey not replicated.
+      EXPECT_EQ(nested->values[0].as_int32(), object.key);
+      auto flats = decomp_->Unnest(p, nested.value());
+      ASSERT_TRUE(flats.ok());
+      EXPECT_EQ(flats.value(), (*parts)[p]) << "path " << p;
+    }
+  }
+}
+
+TEST_F(NormalizationTest, NestEmptyPathStillOneTuple) {
+  auto nested = decomp_->Nest(StationPaths::kSightseeing, 42, {});
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(nested->values[0].as_int32(), 42);
+  EXPECT_TRUE(nested->values[1].as_relation().empty());
+  auto flats = decomp_->Unnest(StationPaths::kSightseeing, nested.value());
+  ASSERT_TRUE(flats.ok());
+  EXPECT_TRUE(flats->empty());
+}
+
+TEST_F(NormalizationTest, NestRejectsRootPath) {
+  EXPECT_TRUE(decomp_->Nest(0, 1, {}).status().IsInvalidArgument());
+  Tuple dummy;
+  EXPECT_TRUE(decomp_->Unnest(0, dummy).status().IsInvalidArgument());
+}
+
+TEST_F(NormalizationTest, DepthThreeSchemaRoundTrips) {
+  // L0(key) -> L1 -> L2 -> L3: exercises ParentKey at depth 3.
+  auto l3 = SchemaBuilder("L3").AddInt32("v").Build();
+  auto l2 = SchemaBuilder("L2").AddInt32("v").AddRelation("r", l3).Build();
+  auto l1 = SchemaBuilder("L1").AddInt32("v").AddRelation("r", l2).Build();
+  auto l0 = SchemaBuilder("L0").AddInt32("key").AddRelation("r", l1).Build();
+  auto decomp = NsmDecomposition::Derive(l0, 0);
+  ASSERT_TRUE(decomp.ok());
+
+  // Build an object: 2 L1s, each 2 L2s, each 2 L3s.
+  auto mk_l3 = [](int v) { return Tuple{{Value::Int32(v)}}; };
+  auto mk_l2 = [&](int v) {
+    return Tuple{{Value::Int32(v),
+                  Value::Relation({mk_l3(v * 10), mk_l3(v * 10 + 1)})}};
+  };
+  auto mk_l1 = [&](int v) {
+    return Tuple{{Value::Int32(v),
+                  Value::Relation({mk_l2(v * 10), mk_l2(v * 10 + 1)})}};
+  };
+  Tuple object{{Value::Int32(99),
+                Value::Relation({mk_l1(1), mk_l1(2)})}};
+
+  auto parts = decomp->Shred(object);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ((*parts)[3].size(), 8u);  // 8 L3 rows
+  auto back = decomp->Assemble(parts.value(), Projection::All(*l0));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), object);
+
+  // Nested form at depth 3 groups by the immediate parent (L2) ordinal.
+  auto nested = decomp->Nest(3, 99, (*parts)[3]);
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(nested->values[1].as_relation().size(), 4u);  // 4 L2 parents
+  auto flats = decomp->Unnest(3, nested.value());
+  ASSERT_TRUE(flats.ok());
+  EXPECT_EQ(flats.value(), (*parts)[3]);
+}
+
+}  // namespace
+}  // namespace starfish

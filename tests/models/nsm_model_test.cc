@@ -1,0 +1,240 @@
+// NSM-specific physical behaviour: value selections scan relations, the
+// index variant fetches by address, batched navigation scans once per wave.
+
+#include "models/nsm_model.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmark/generator.h"
+#include "benchmark/station_schema.h"
+
+namespace starfish {
+namespace {
+
+using bench::BenchmarkDatabase;
+using bench::GeneratorConfig;
+using bench::StationPaths;
+
+class NsmModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorConfig config;
+    config.n_objects = 80;
+    config.seed = 13;
+    auto db = BenchmarkDatabase::Generate(config);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<BenchmarkDatabase>(std::move(db).value());
+  }
+
+  std::unique_ptr<NsmModel> MakeModel(bool with_index) {
+    engine_ = std::make_unique<StorageEngine>();
+    ModelConfig mc;
+    mc.schema = db_->schema();
+    mc.key_attr_index = 0;
+    NsmModelOptions options;
+    options.with_index = with_index;
+    auto model = NsmModel::Create(engine_.get(), mc, options);
+    EXPECT_TRUE(model.ok());
+    EXPECT_TRUE(db_->LoadInto(model.value().get(), engine_.get()).ok());
+    return std::move(model).value();
+  }
+
+  uint64_t TotalRelationPages(NsmModel* model) {
+    uint64_t total = 0;
+    for (PathId p = 0; p < 4; ++p) total += model->segment(p)->pages().size();
+    return total;
+  }
+
+  std::unique_ptr<BenchmarkDatabase> db_;
+  std::unique_ptr<StorageEngine> engine_;
+};
+
+TEST_F(NsmModelTest, FourRelationSegments) {
+  auto model = MakeModel(false);
+  EXPECT_EQ(model->segment(0)->name(), "NSM_Station");
+  EXPECT_EQ(model->segment(1)->name(), "NSM_Station.Platform");
+  EXPECT_EQ(model->segment(2)->name(), "NSM_Station.Platform.Connection");
+  EXPECT_EQ(model->segment(3)->name(), "NSM_Station.Sightseeing");
+  for (PathId p = 0; p < 4; ++p) {
+    EXPECT_GT(model->segment(p)->pages().size(), 0u) << "path " << p;
+  }
+}
+
+TEST_F(NsmModelTest, PlainModeHasNoIdentifiers) {
+  auto model = MakeModel(false);
+  EXPECT_FALSE(model->SupportsGetByRef());
+  EXPECT_TRUE(model->GetByRef(0, Projection::All(*db_->schema()))
+                  .status().IsNotSupported());
+}
+
+TEST_F(NsmModelTest, PlainGetByKeyScansEveryProjectedRelation) {
+  auto model = MakeModel(false);
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  ASSERT_TRUE(model->GetByKey(db_->objects()[7].key,
+                              Projection::All(*db_->schema())).ok());
+  // The paper's worst case: all four relations are scanned in full.
+  EXPECT_EQ(engine_->stats().io.pages_read, TotalRelationPages(model.get()));
+}
+
+TEST_F(NsmModelTest, IndexedGetByKeyScansOnlyRootRelation) {
+  auto model = MakeModel(true);
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  ASSERT_TRUE(model->GetByKey(db_->objects()[7].key,
+                              Projection::All(*db_->schema())).ok());
+  const uint64_t root_pages = model->segment(0)->pages().size();
+  // Root scan + a handful of addressed fetches (paper: 121 vs 3,820 pages).
+  EXPECT_GE(engine_->stats().io.pages_read, root_pages);
+  EXPECT_LT(engine_->stats().io.pages_read, root_pages + 12);
+}
+
+TEST_F(NsmModelTest, IndexedGetByRefTouchesFewPages) {
+  auto model = MakeModel(true);
+  ASSERT_TRUE(model->SupportsGetByRef());
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  auto got = model->GetByRef(5, Projection::All(*db_->schema()));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), db_->objects()[5].tuple);
+  // "a page is read from disk then and only then if a tuple it stores is
+  // requested" — an object's tuples sit on a handful of pages.
+  EXPECT_LE(engine_->stats().io.pages_read, 10u);
+}
+
+TEST_F(NsmModelTest, ProjectionSkipsUnselectedRelationScans) {
+  auto model = MakeModel(false);
+  auto proj = Projection::OfPaths(*db_->schema(),
+                                  {StationPaths::kStation,
+                                   StationPaths::kSightseeing});
+  ASSERT_TRUE(proj.ok());
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  ASSERT_TRUE(model->GetByKey(db_->objects()[3].key, proj.value()).ok());
+  const uint64_t expected = model->segment(0)->pages().size() +
+                            model->segment(3)->pages().size();
+  EXPECT_EQ(engine_->stats().io.pages_read, expected);
+}
+
+TEST_F(NsmModelTest, BatchNavigationScansLinkRelationOncePerWave) {
+  auto model = MakeModel(false);
+  std::vector<ObjectRef> wave{1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  ASSERT_TRUE(model->GetChildRefsBatch(wave).ok());
+  // One scan of the Connection relation — not one per object.
+  const uint64_t conn_pages = model->segment(2)->pages().size();
+  EXPECT_EQ(engine_->stats().io.pages_read, conn_pages);
+}
+
+TEST_F(NsmModelTest, BatchRootRecordsScansRootRelationOnce) {
+  auto model = MakeModel(false);
+  std::vector<ObjectRef> wave{0, 9, 18, 27};
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  auto roots = model->GetRootRecordsBatch(wave);
+  ASSERT_TRUE(roots.ok());
+  EXPECT_EQ(engine_->stats().io.pages_read,
+            model->segment(0)->pages().size());
+  for (size_t i = 0; i < wave.size(); ++i) {
+    EXPECT_EQ((*roots)[i].values[0].as_int32(),
+              static_cast<int32_t>(db_->objects()[wave[i]].key));
+  }
+}
+
+TEST_F(NsmModelTest, IndexedBatchFallsBackToPerObjectFetches) {
+  auto model = MakeModel(true);
+  std::vector<ObjectRef> wave{1, 2, 3};
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  ASSERT_TRUE(model->GetChildRefsBatch(wave).ok());
+  // Far below a relation scan.
+  EXPECT_LT(engine_->stats().io.pages_read,
+            model->segment(2)->pages().size());
+}
+
+TEST_F(NsmModelTest, UpdateRootRecordDirtiesOneSharedPage) {
+  auto model = MakeModel(false);
+  auto root = model->GetRootRecord(4);
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE(engine_->Flush().ok());
+  engine_->ResetStats();
+  Tuple updated = root.value();
+  updated.values[2] = Value::Int32(555);
+  ASSERT_TRUE(model->UpdateRootRecord(4, updated).ok());
+  ASSERT_TRUE(engine_->Flush().ok());
+  // One small shared-page tuple rewritten in place: a single page write.
+  EXPECT_EQ(engine_->stats().io.pages_written, 1u);
+}
+
+TEST_F(NsmModelTest, DuplicateKeyRejected) {
+  auto model = MakeModel(false);
+  Tuple copy = db_->objects()[0].tuple;
+  EXPECT_TRUE(model->Insert(999, copy).IsAlreadyExists());
+}
+
+TEST_F(NsmModelTest, UnknownRefIsNotFound) {
+  auto model = MakeModel(false);
+  EXPECT_TRUE(model->GetChildRefs(12345).status().IsNotFound());
+  EXPECT_TRUE(model->GetRootRecord(12345).status().IsNotFound());
+}
+
+class PersistentIndexTest : public NsmModelTest {
+ protected:
+  std::unique_ptr<NsmModel> MakePersistentModel() {
+    engine_ = std::make_unique<StorageEngine>();
+    ModelConfig mc;
+    mc.schema = db_->schema();
+    NsmModelOptions options;
+    options.persistent_index = true;  // implies with_index
+    auto model = NsmModel::Create(engine_.get(), mc, options);
+    EXPECT_TRUE(model.ok());
+    EXPECT_TRUE(db_->LoadInto(model.value().get(), engine_.get()).ok());
+    return std::move(model).value();
+  }
+};
+
+TEST_F(PersistentIndexTest, RoundTripsLikeInMemoryIndex) {
+  auto model = MakePersistentModel();
+  const Projection all = Projection::All(*db_->schema());
+  for (size_t i = 0; i < db_->objects().size(); i += 9) {
+    auto got = model->GetByRef(db_->objects()[i].ref, all);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got.value(), db_->objects()[i].tuple);
+  }
+}
+
+TEST_F(PersistentIndexTest, ColdProbePaysTreePages) {
+  auto metered = MakePersistentModel();
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  ASSERT_TRUE(metered->GetChildRefs(7).ok());
+  const uint64_t metered_pages = engine_->stats().io.pages_read;
+
+  auto free_index = MakeModel(true);
+  ASSERT_TRUE(engine_->DropCache().ok());
+  engine_->ResetStats();
+  ASSERT_TRUE(free_index->GetChildRefs(7).ok());
+  const uint64_t free_pages = engine_->stats().io.pages_read;
+  // The honest index costs extra (tree height) pages when cold.
+  EXPECT_GT(metered_pages, free_pages);
+}
+
+TEST_F(PersistentIndexTest, SurvivesReplaceAndRemove) {
+  auto model = MakePersistentModel();
+  const auto& object = db_->objects()[12];
+  Tuple modified = object.tuple;
+  modified.values[bench::StationAttrs::kSightseeings] = Value::Relation({});
+  modified.values[bench::StationAttrs::kNoSeeing] = Value::Int32(0);
+  ASSERT_TRUE(model->ReplaceObject(object.ref, modified).ok());
+  auto got = model->GetByRef(object.ref, Projection::All(*db_->schema()));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), modified);
+  ASSERT_TRUE(model->Remove(object.ref).ok());
+  EXPECT_FALSE(model->GetByRef(object.ref,
+                               Projection::All(*db_->schema())).ok());
+  EXPECT_EQ(model->object_count(), db_->objects().size() - 1);
+}
+
+}  // namespace
+}  // namespace starfish

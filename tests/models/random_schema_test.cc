@@ -1,0 +1,176 @@
+// Property test: the storage models and the decomposition machinery are
+// schema-generic. Random NF² schemas (random nesting, links anywhere) and
+// random objects must round-trip through every storage model.
+
+#include <gtest/gtest.h>
+
+#include "models/model_factory.h"
+#include "util/random.h"
+
+namespace starfish {
+namespace {
+
+/// Builds a random NF² schema: attribute 0 is the Int32 key; up to
+/// `max_depth` levels of nesting; links sprinkled anywhere.
+std::shared_ptr<const Schema> RandomSchema(Rng* rng, int depth,
+                                           int max_depth,
+                                           const std::string& name) {
+  SchemaBuilder builder(name);
+  if (depth == 0) builder.AddInt32("Key");
+  const uint64_t n_attrs = 1 + rng->Uniform(4);
+  for (uint64_t a = 0; a < n_attrs; ++a) {
+    const std::string attr_name = "a" + std::to_string(depth) + "_" +
+                                  std::to_string(a);
+    switch (rng->Uniform(depth < max_depth ? 4 : 3)) {
+      case 0:
+        builder.AddInt32(attr_name);
+        break;
+      case 1:
+        builder.AddString(attr_name);
+        break;
+      case 2:
+        builder.AddLink(attr_name);
+        break;
+      default:
+        builder.AddRelation(
+            attr_name, RandomSchema(rng, depth + 1, max_depth,
+                                    name + "_" + attr_name));
+        break;
+    }
+  }
+  return builder.Build();
+}
+
+/// Builds a random tuple conforming to `schema`.
+Tuple RandomTuple(Rng* rng, const Schema& schema, int32_t key,
+                  uint64_t n_objects, bool is_root) {
+  Tuple tuple;
+  bool first = true;
+  for (const Attribute& attr : schema.attributes()) {
+    if (first && is_root) {
+      tuple.values.push_back(Value::Int32(key));
+      first = false;
+      continue;
+    }
+    first = false;
+    switch (attr.type) {
+      case AttrType::kInt32:
+        tuple.values.push_back(
+            Value::Int32(static_cast<int32_t>(rng->UniformInt(-1000, 1000))));
+        break;
+      case AttrType::kString:
+        tuple.values.push_back(Value::Str(rng->RandomString(rng->Uniform(150))));
+        break;
+      case AttrType::kLink:
+        tuple.values.push_back(Value::Link(rng->Uniform(n_objects)));
+        break;
+      case AttrType::kRelation: {
+        std::vector<Tuple> subs;
+        const uint64_t n = rng->Uniform(4);
+        for (uint64_t s = 0; s < n; ++s) {
+          subs.push_back(RandomTuple(rng, *attr.relation, 0, n_objects,
+                                     /*is_root=*/false));
+        }
+        tuple.values.push_back(Value::Relation(std::move(subs)));
+        break;
+      }
+    }
+  }
+  return tuple;
+}
+
+/// Ground-truth link collection (document order).
+void Links(const Schema& schema, const Tuple& tuple,
+           std::vector<ObjectRef>* out) {
+  for (size_t i = 0; i < schema.attributes().size(); ++i) {
+    const Attribute& attr = schema.attributes()[i];
+    if (attr.type == AttrType::kLink) {
+      out->push_back(tuple.values[i].as_link());
+    } else if (attr.type == AttrType::kRelation) {
+      for (const Tuple& sub : tuple.values[i].as_relation()) {
+        Links(*attr.relation, sub, out);
+      }
+    }
+  }
+}
+
+struct RandomSchemaCase {
+  uint64_t seed;
+  int max_depth;
+};
+
+class RandomSchemaTest : public ::testing::TestWithParam<RandomSchemaCase> {};
+
+TEST_P(RandomSchemaTest, AllModelsRoundTripRandomSchemas) {
+  Rng rng(GetParam().seed);
+  auto schema = RandomSchema(&rng, 0, GetParam().max_depth, "T");
+  constexpr uint64_t kObjects = 12;
+  std::vector<Tuple> objects;
+  for (uint64_t i = 0; i < kObjects; ++i) {
+    objects.push_back(RandomTuple(&rng, *schema, static_cast<int32_t>(i) + 1,
+                                  kObjects, /*is_root=*/true));
+  }
+
+  for (StorageModelKind kind : AllStorageModelKinds()) {
+    SCOPED_TRACE("seed " + std::to_string(GetParam().seed) + " model " +
+                 ToString(kind));
+    StorageEngine engine;
+    ModelConfig mc;
+    mc.schema = schema;
+    mc.key_attr_index = 0;
+    auto model = CreateStorageModel(kind, &engine, mc);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    for (uint64_t i = 0; i < kObjects; ++i) {
+      ASSERT_TRUE((*model)->Insert(i, objects[i]).ok());
+    }
+
+    const Projection all = Projection::All(*schema);
+    for (uint64_t i = 0; i < kObjects; ++i) {
+      auto got = (*model)->GetByKey(static_cast<int64_t>(i) + 1, all);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got.value(), objects[i]) << "object " << i;
+
+      auto children = (*model)->GetChildRefs(i);
+      ASSERT_TRUE(children.ok());
+      std::vector<ObjectRef> expected;
+      Links(*schema, objects[i], &expected);
+      EXPECT_EQ(children.value(), expected) << "object " << i;
+    }
+
+    // Structural replace of a third of the objects with fresh random data.
+    for (uint64_t i = 0; i < kObjects; i += 3) {
+      Tuple replacement = RandomTuple(&rng, *schema, static_cast<int32_t>(i) + 1,
+                                      kObjects, /*is_root=*/true);
+      ASSERT_TRUE((*model)->ReplaceObject(i, replacement).ok());
+      auto got = (*model)->GetByKey(static_cast<int64_t>(i) + 1, all);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got.value(), replacement);
+      objects[i] = std::move(replacement);
+    }
+
+    // Remove a couple and verify the scan shrinks accordingly.
+    ASSERT_TRUE((*model)->Remove(1).ok());
+    ASSERT_TRUE((*model)->Remove(5).ok());
+    size_t count = 0;
+    ASSERT_TRUE((*model)->ScanAll(all, [&](int64_t key, const Tuple& t) {
+      EXPECT_EQ(t, objects[static_cast<size_t>(key - 1)]);
+      ++count;
+      return Status::OK();
+    }).ok());
+    EXPECT_EQ(count, kObjects - 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomSchemaTest,
+    ::testing::Values(RandomSchemaCase{101, 1}, RandomSchemaCase{102, 2},
+                      RandomSchemaCase{103, 2}, RandomSchemaCase{104, 3},
+                      RandomSchemaCase{105, 3}, RandomSchemaCase{106, 3},
+                      RandomSchemaCase{107, 2}, RandomSchemaCase{108, 1}),
+    [](const ::testing::TestParamInfo<RandomSchemaCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_depth" +
+             std::to_string(info.param.max_depth);
+    });
+
+}  // namespace
+}  // namespace starfish

@@ -1,0 +1,187 @@
+#include "nf2/algebra.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmark/generator.h"
+#include "models/normalization.h"
+
+namespace starfish {
+namespace {
+
+Relation MakeFlatRelation() {
+  Relation rel;
+  rel.schema = SchemaBuilder("R")
+                   .AddInt32("a")
+                   .AddInt32("b")
+                   .AddString("s")
+                   .Build();
+  auto t = [](int a, int b, const char* s) {
+    return Tuple{{Value::Int32(a), Value::Int32(b), Value::Str(s)}};
+  };
+  rel.tuples = {t(1, 10, "x"), t(1, 20, "y"), t(2, 10, "z"), t(1, 30, "x")};
+  return rel;
+}
+
+TEST(AlgebraProjectTest, KeepsRequestedAttributes) {
+  auto out = Project(MakeFlatRelation(), {2, 0});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->schema->attributes().size(), 2u);
+  EXPECT_EQ(out->schema->attributes()[0].name, "s");
+  EXPECT_EQ(out->schema->attributes()[1].name, "a");
+  ASSERT_EQ(out->tuples.size(), 4u);
+  EXPECT_EQ(out->tuples[0].values[0], Value::Str("x"));
+  EXPECT_EQ(out->tuples[0].values[1], Value::Int32(1));
+}
+
+TEST(AlgebraProjectTest, OutOfRangeRejected) {
+  EXPECT_TRUE(Project(MakeFlatRelation(), {5}).status().IsInvalidArgument());
+}
+
+TEST(AlgebraSelectTest, FiltersTuples) {
+  auto out = Select(MakeFlatRelation(), [](const Tuple& t) {
+    return t.values[0].as_int32() == 1;
+  });
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->tuples.size(), 3u);
+  for (const Tuple& t : out->tuples) {
+    EXPECT_EQ(t.values[0].as_int32(), 1);
+  }
+}
+
+TEST(AlgebraNestTest, GroupsByRemainingAttributes) {
+  // Nest (b, s) by a: groups a=1 (3 tuples) and a=2 (1 tuple).
+  auto out = Nest(MakeFlatRelation(), {1, 2}, "Group");
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->schema->attributes().size(), 2u);
+  EXPECT_EQ(out->schema->attributes()[0].name, "a");
+  EXPECT_EQ(out->schema->attributes()[1].name, "Group");
+  ASSERT_EQ(out->tuples.size(), 2u);
+  EXPECT_EQ(out->tuples[0].values[0].as_int32(), 1);  // first appearance
+  EXPECT_EQ(out->tuples[0].values[1].as_relation().size(), 3u);
+  EXPECT_EQ(out->tuples[1].values[0].as_int32(), 2);
+  EXPECT_EQ(out->tuples[1].values[1].as_relation().size(), 1u);
+  // Within-group order is input order.
+  EXPECT_EQ(out->tuples[0].values[1].as_relation()[1].values[0],
+            Value::Int32(20));
+}
+
+TEST(AlgebraNestTest, NeedsAtLeastOneNestedAttribute) {
+  EXPECT_TRUE(Nest(MakeFlatRelation(), {}, "G").status().IsInvalidArgument());
+  EXPECT_TRUE(Nest(MakeFlatRelation(), {9}, "G").status().IsInvalidArgument());
+}
+
+TEST(AlgebraUnnestTest, InlinesSubTuples) {
+  auto nested = Nest(MakeFlatRelation(), {1, 2}, "Group");
+  ASSERT_TRUE(nested.ok());
+  auto flat = Unnest(nested.value(), 1);
+  ASSERT_TRUE(flat.ok());
+  ASSERT_EQ(flat->schema->attributes().size(), 3u);
+  EXPECT_EQ(flat->schema->attributes()[0].name, "a");
+  EXPECT_EQ(flat->schema->attributes()[1].name, "b");
+  EXPECT_EQ(flat->schema->attributes()[2].name, "s");
+  // nest ; unnest == identity up to grouping order (all groups non-empty).
+  ASSERT_EQ(flat->tuples.size(), 4u);
+  EXPECT_EQ(flat->tuples[0].values[1].as_int32(), 10);
+  EXPECT_EQ(flat->tuples[2].values[1].as_int32(), 30);  // a=1 group first
+  EXPECT_EQ(flat->tuples[3].values[0].as_int32(), 2);
+}
+
+TEST(AlgebraUnnestTest, EmptySubRelationsDropTuples) {
+  Relation rel;
+  auto inner = SchemaBuilder("I").AddInt32("v").Build();
+  rel.schema = SchemaBuilder("R").AddInt32("k").AddRelation("r", inner).Build();
+  rel.tuples = {Tuple{{Value::Int32(1), Value::Relation({})}},
+                Tuple{{Value::Int32(2),
+                       Value::Relation({Tuple{{Value::Int32(9)}}})}}};
+  auto out = Unnest(rel, 1);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->tuples.size(), 1u);  // the empty group vanished
+  EXPECT_EQ(out->tuples[0].values[0].as_int32(), 2);
+}
+
+TEST(AlgebraUnnestTest, NonRelationAttributeRejected) {
+  EXPECT_TRUE(Unnest(MakeFlatRelation(), 0).status().IsInvalidArgument());
+}
+
+TEST(AlgebraJoinTest, HashJoinOnOneAttribute) {
+  Relation left = MakeFlatRelation();
+  Relation right;
+  right.schema = SchemaBuilder("S").AddInt32("a2").AddString("tag").Build();
+  right.tuples = {Tuple{{Value::Int32(1), Value::Str("one")}},
+                  Tuple{{Value::Int32(3), Value::Str("three")}}};
+  auto out = JoinOn(left, 0, right, 0);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->schema->attributes().size(), 5u);
+  ASSERT_EQ(out->tuples.size(), 3u);  // the three a=1 tuples match
+  for (const Tuple& t : out->tuples) {
+    EXPECT_EQ(t.values[4], Value::Str("one"));
+  }
+}
+
+TEST(AlgebraIntegrationTest, NestReproducesDasdbsNsmGrouping) {
+  // §3.4 in algebra: nesting the flat NSM_Connection rows on RootKey
+  // produces one tuple per object, exactly like the storage-level Nest.
+  bench::GeneratorConfig config;
+  config.n_objects = 25;
+  config.seed = 77;
+  auto db = bench::BenchmarkDatabase::Generate(config);
+  ASSERT_TRUE(db.ok());
+  auto decomp = NsmDecomposition::Derive(db->schema(), 0);
+  ASSERT_TRUE(decomp.ok());
+
+  // Build the flat NSM_Connection relation for the whole database.
+  Relation conn;
+  conn.schema = decomp->relation(2).flat_schema;
+  size_t objects_with_connections = 0;
+  for (const auto& object : db->objects()) {
+    auto parts = decomp->Shred(object.tuple);
+    ASSERT_TRUE(parts.ok());
+    objects_with_connections += (*parts)[2].empty() ? 0 : 1;
+    for (const Tuple& flat : (*parts)[2]) conn.tuples.push_back(flat);
+  }
+
+  // Nest everything except RootKey (attribute 0).
+  std::vector<size_t> nest_attrs;
+  for (size_t i = 1; i < conn.schema->attributes().size(); ++i) {
+    nest_attrs.push_back(i);
+  }
+  auto nested = Nest(conn, nest_attrs, "Connections");
+  ASSERT_TRUE(nested.ok());
+  // "After this nesting only a single tuple per relation per object is
+  // left" — per object that has connections at all.
+  EXPECT_EQ(nested->tuples.size(), objects_with_connections);
+
+  // Round-trip back to the flat rows.
+  auto flat_again = Unnest(nested.value(), 1);
+  ASSERT_TRUE(flat_again.ok());
+  EXPECT_EQ(flat_again->tuples.size(), conn.tuples.size());
+}
+
+TEST(AlgebraIntegrationTest, JoinReassemblesRootAndChildren) {
+  bench::GeneratorConfig config;
+  config.n_objects = 10;
+  config.seed = 78;
+  auto db = bench::BenchmarkDatabase::Generate(config);
+  ASSERT_TRUE(db.ok());
+  auto decomp = NsmDecomposition::Derive(db->schema(), 0);
+  ASSERT_TRUE(decomp.ok());
+
+  Relation stations, sights;
+  stations.schema = decomp->relation(0).flat_schema;
+  sights.schema = decomp->relation(3).flat_schema;
+  size_t total_sights = 0;
+  for (const auto& object : db->objects()) {
+    auto parts = decomp->Shred(object.tuple);
+    ASSERT_TRUE(parts.ok());
+    stations.tuples.push_back((*parts)[0][0]);
+    total_sights += (*parts)[3].size();
+    for (const Tuple& flat : (*parts)[3]) sights.tuples.push_back(flat);
+  }
+  // Station.Key (attr 0) == Sightseeing.RootKey (attr 0).
+  auto joined = JoinOn(stations, 0, sights, 0);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->tuples.size(), total_sights);
+}
+
+}  // namespace
+}  // namespace starfish

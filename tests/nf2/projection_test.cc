@@ -1,0 +1,81 @@
+#include "nf2/projection.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmark/station_schema.h"
+
+namespace starfish {
+namespace {
+
+class ProjectionTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const Schema> station_ = bench::MakeStationSchema();
+};
+
+TEST_F(ProjectionTest, AllIncludesEveryPath) {
+  const Projection all = Projection::All(*station_);
+  EXPECT_TRUE(all.IsAll());
+  for (PathId p = 0; p < station_->path_count(); ++p) {
+    EXPECT_TRUE(all.Includes(p));
+  }
+  EXPECT_EQ(all.count(), 4u);
+}
+
+TEST_F(ProjectionTest, RootOnly) {
+  const Projection root = Projection::RootOnly(*station_);
+  EXPECT_FALSE(root.IsAll());
+  EXPECT_TRUE(root.Includes(0));
+  EXPECT_FALSE(root.Includes(1));
+  EXPECT_FALSE(root.Includes(3));
+  EXPECT_EQ(root.count(), 1u);
+}
+
+TEST_F(ProjectionTest, OfPathsValid) {
+  auto proj = Projection::OfPaths(*station_, {0, 1, 2});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_TRUE(proj->Includes(2));
+  EXPECT_FALSE(proj->Includes(3));
+  EXPECT_FALSE(proj->IsAll());
+  EXPECT_EQ(proj->paths(), (std::vector<PathId>{0, 1, 2}));
+}
+
+TEST_F(ProjectionTest, OfPathsAllPathsIsAll) {
+  auto proj = Projection::OfPaths(*station_, {0, 1, 2, 3});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_TRUE(proj->IsAll());
+}
+
+TEST_F(ProjectionTest, RejectsMissingRoot) {
+  EXPECT_TRUE(Projection::OfPaths(*station_, {1}).status().IsInvalidArgument());
+}
+
+TEST_F(ProjectionTest, RejectsNonAncestorClosedSet) {
+  // Connection (2) without Platform (1).
+  EXPECT_TRUE(
+      Projection::OfPaths(*station_, {0, 2}).status().IsInvalidArgument());
+}
+
+TEST_F(ProjectionTest, RejectsOutOfRangePath) {
+  EXPECT_TRUE(
+      Projection::OfPaths(*station_, {0, 9}).status().IsInvalidArgument());
+}
+
+TEST_F(ProjectionTest, DuplicatesAreHarmless) {
+  auto proj = Projection::OfPaths(*station_, {0, 1, 1, 0});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->count(), 2u);
+}
+
+TEST_F(ProjectionTest, ToStringListsPaths) {
+  auto proj = Projection::OfPaths(*station_, {0, 3});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->ToString(), "{0,3}");
+}
+
+TEST_F(ProjectionTest, SingletonSchemaRootOnlyIsAll) {
+  auto flat = SchemaBuilder("F").AddInt32("x").Build();
+  EXPECT_TRUE(Projection::RootOnly(*flat).IsAll());
+}
+
+}  // namespace
+}  // namespace starfish

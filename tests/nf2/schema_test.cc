@@ -1,0 +1,89 @@
+#include "nf2/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmark/station_schema.h"
+
+namespace starfish {
+namespace {
+
+TEST(SchemaTest, BuilderCollectsAttributes) {
+  auto schema = SchemaBuilder("T")
+                    .AddInt32("a")
+                    .AddString("b")
+                    .AddLink("c")
+                    .Build();
+  ASSERT_EQ(schema->attributes().size(), 3u);
+  EXPECT_EQ(schema->attributes()[0].type, AttrType::kInt32);
+  EXPECT_EQ(schema->attributes()[1].type, AttrType::kString);
+  EXPECT_EQ(schema->attributes()[2].type, AttrType::kLink);
+  EXPECT_EQ(schema->name(), "T");
+}
+
+TEST(SchemaTest, IndexOfFindsAttribute) {
+  auto schema = SchemaBuilder("T").AddInt32("x").AddString("y").Build();
+  EXPECT_EQ(schema->IndexOf("x").value(), 0u);
+  EXPECT_EQ(schema->IndexOf("y").value(), 1u);
+  EXPECT_TRUE(schema->IndexOf("z").status().IsNotFound());
+}
+
+TEST(SchemaTest, FlatSchemaHasSinglePath) {
+  auto schema = SchemaBuilder("Flat").AddInt32("x").Build();
+  EXPECT_EQ(schema->path_count(), 1u);
+  EXPECT_EQ(schema->path(kRootPath).schema, schema.get());
+  EXPECT_EQ(schema->path(kRootPath).qualified_name, "Flat");
+}
+
+TEST(SchemaTest, StationPathsInDfsPreOrder) {
+  auto station = bench::MakeStationSchema();
+  ASSERT_EQ(station->path_count(), 4u);
+  EXPECT_EQ(station->path(0).qualified_name, "Station");
+  EXPECT_EQ(station->path(1).qualified_name, "Station.Platform");
+  EXPECT_EQ(station->path(2).qualified_name, "Station.Platform.Connection");
+  EXPECT_EQ(station->path(3).qualified_name, "Station.Sightseeing");
+  EXPECT_EQ(station->path(1).parent, 0u);
+  EXPECT_EQ(station->path(2).parent, 1u);
+  EXPECT_EQ(station->path(3).parent, 0u);
+}
+
+TEST(SchemaTest, ChildPathResolvesRelationAttrs) {
+  auto station = bench::MakeStationSchema();
+  EXPECT_EQ(station->ChildPath(0, bench::StationAttrs::kPlatforms).value(), 1);
+  EXPECT_EQ(station->ChildPath(0, bench::StationAttrs::kSightseeings).value(), 3);
+  EXPECT_EQ(station->ChildPath(1, 4).value(), 2);  // Platform.Connection
+  EXPECT_TRUE(station->ChildPath(0, 0).status().IsNotFound());  // Key: atomic
+}
+
+TEST(SchemaTest, PathByName) {
+  auto station = bench::MakeStationSchema();
+  EXPECT_EQ(station->PathByName("Station.Platform.Connection").value(), 2);
+  EXPECT_TRUE(station->PathByName("Nope").status().IsNotFound());
+}
+
+TEST(SchemaTest, DeeplyNestedSchema) {
+  auto d3 = SchemaBuilder("L3").AddInt32("v").Build();
+  auto d2 = SchemaBuilder("L2").AddInt32("v").AddRelation("r3", d3).Build();
+  auto d1 = SchemaBuilder("L1").AddInt32("v").AddRelation("r2", d2).Build();
+  auto root = SchemaBuilder("L0").AddInt32("v").AddRelation("r1", d1).Build();
+  ASSERT_EQ(root->path_count(), 4u);
+  EXPECT_EQ(root->path(3).qualified_name, "L0.r1.r2.r3");
+  EXPECT_EQ(root->path(3).parent, 2u);
+}
+
+TEST(SchemaTest, SiblingRelationsOrderedByDeclaration) {
+  auto sub = SchemaBuilder("Sub").AddInt32("v").Build();
+  auto sub2 = SchemaBuilder("Sub2").AddInt32("v").Build();
+  auto sub3 = SchemaBuilder("Sub3").AddInt32("v").Build();
+  auto root = SchemaBuilder("R")
+                  .AddRelation("a", sub)
+                  .AddRelation("b", sub2)
+                  .AddRelation("c", sub3)
+                  .Build();
+  ASSERT_EQ(root->path_count(), 4u);
+  EXPECT_EQ(root->path(1).qualified_name, "R.a");
+  EXPECT_EQ(root->path(2).qualified_name, "R.b");
+  EXPECT_EQ(root->path(3).qualified_name, "R.c");
+}
+
+}  // namespace
+}  // namespace starfish

@@ -1,0 +1,215 @@
+#include "nf2/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmark/generator.h"
+#include "benchmark/station_schema.h"
+
+namespace starfish {
+namespace {
+
+Tuple MakeStation(int32_t key, int platforms, int conns_per_platform,
+                  int sights) {
+  std::vector<Tuple> platform_tuples;
+  for (int p = 0; p < platforms; ++p) {
+    std::vector<Tuple> conns;
+    for (int c = 0; c < conns_per_platform; ++c) {
+      conns.push_back(Tuple{{Value::Int32(c), Value::Int32(key + c),
+                             Value::Link(static_cast<uint64_t>(c)),
+                             Value::Str("times-" + std::to_string(c))}});
+    }
+    platform_tuples.push_back(Tuple{{Value::Int32(p), Value::Int32(2),
+                                     Value::Int32(p * 10),
+                                     Value::Str("info"),
+                                     Value::Relation(std::move(conns))}});
+  }
+  std::vector<Tuple> sight_tuples;
+  for (int s = 0; s < sights; ++s) {
+    sight_tuples.push_back(Tuple{{Value::Int32(s), Value::Str("d"),
+                                  Value::Str("l"), Value::Str("h"),
+                                  Value::Str("r")}});
+  }
+  return Tuple{{Value::Int32(key), Value::Int32(platforms),
+                Value::Int32(sights), Value::Str("name"),
+                Value::Relation(std::move(platform_tuples)),
+                Value::Relation(std::move(sight_tuples))}};
+}
+
+class SerializerTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const Schema> schema_ = bench::MakeStationSchema();
+  ObjectSerializer serializer_{schema_};
+};
+
+TEST_F(SerializerTest, RegionsInDocumentOrder) {
+  const Tuple station = MakeStation(1, 2, 2, 1);
+  auto regions = serializer_.ToRegions(station);
+  ASSERT_TRUE(regions.ok());
+  // station, p0, c, c, p1, c, c, sight = 8 regions.
+  ASSERT_EQ(regions->size(), 8u);
+  std::vector<PathId> paths;
+  for (const auto& region : regions.value()) {
+    paths.push_back(ObjectSerializer::TagPath(region.tag));
+  }
+  EXPECT_EQ(paths, (std::vector<PathId>{0, 1, 2, 2, 1, 2, 2, 3}));
+}
+
+TEST_F(SerializerTest, OrdinalsCountPerPath) {
+  const Tuple station = MakeStation(1, 2, 1, 2);
+  auto regions = serializer_.ToRegions(station);
+  ASSERT_TRUE(regions.ok());
+  std::vector<uint32_t> connection_ordinals;
+  for (const auto& region : regions.value()) {
+    if (ObjectSerializer::TagPath(region.tag) == 2) {
+      connection_ordinals.push_back(ObjectSerializer::TagOrdinal(region.tag));
+    }
+  }
+  EXPECT_EQ(connection_ordinals, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST_F(SerializerTest, FullRoundTrip) {
+  const Tuple station = MakeStation(7, 2, 2, 3);
+  auto regions = serializer_.ToRegions(station);
+  ASSERT_TRUE(regions.ok());
+  auto back = serializer_.FromRegionsAll(regions.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), station);
+}
+
+TEST_F(SerializerTest, EmptySubrelationsRoundTrip) {
+  const Tuple station = MakeStation(7, 0, 0, 0);
+  auto regions = serializer_.ToRegions(station);
+  ASSERT_TRUE(regions.ok());
+  ASSERT_EQ(regions->size(), 1u);
+  auto back = serializer_.FromRegionsAll(regions.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), station);
+}
+
+TEST_F(SerializerTest, ProjectedRoundTripDropsUnselected) {
+  const Tuple station = MakeStation(7, 2, 2, 3);
+  auto regions = serializer_.ToRegions(station);
+  ASSERT_TRUE(regions.ok());
+  auto proj = Projection::OfPaths(*schema_, {0, 1, 2});
+  ASSERT_TRUE(proj.ok());
+  // Filter regions as a partial read would.
+  std::vector<RecordRegion> filtered;
+  for (const auto& region : regions.value()) {
+    if (proj->Includes(ObjectSerializer::TagPath(region.tag))) {
+      filtered.push_back(region);
+    }
+  }
+  auto back = serializer_.FromRegions(filtered, proj.value());
+  ASSERT_TRUE(back.ok());
+  Tuple expected = station;
+  expected.values[bench::StationAttrs::kSightseeings] = Value::Relation({});
+  EXPECT_EQ(back.value(), expected);
+}
+
+TEST_F(SerializerTest, RootOnlyProjection) {
+  const Tuple station = MakeStation(9, 2, 1, 2);
+  auto regions = serializer_.ToRegions(station);
+  ASSERT_TRUE(regions.ok());
+  std::vector<RecordRegion> root_only{regions.value()[0]};
+  auto back = serializer_.FromRegions(root_only,
+                                      Projection::RootOnly(*schema_));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->values[0], station.values[0]);
+  EXPECT_EQ(back->values[3], station.values[3]);
+  EXPECT_TRUE(back->values[4].as_relation().empty());
+}
+
+TEST_F(SerializerTest, CorruptRegionOrderDetected) {
+  const Tuple station = MakeStation(1, 1, 1, 1);
+  auto regions = serializer_.ToRegions(station);
+  ASSERT_TRUE(regions.ok());
+  std::swap(regions.value()[1], regions.value()[2]);  // platform <-> conn
+  EXPECT_TRUE(serializer_.FromRegionsAll(regions.value())
+                  .status().IsCorruption());
+}
+
+TEST_F(SerializerTest, TruncatedRegionsDetected) {
+  const Tuple station = MakeStation(1, 1, 2, 0);
+  auto regions = serializer_.ToRegions(station);
+  ASSERT_TRUE(regions.ok());
+  regions->pop_back();  // drop last connection
+  EXPECT_TRUE(serializer_.FromRegionsAll(regions.value())
+                  .status().IsCorruption());
+}
+
+TEST_F(SerializerTest, TrailingRegionsDetected) {
+  const Tuple station = MakeStation(1, 0, 0, 0);
+  auto regions = serializer_.ToRegions(station);
+  ASSERT_TRUE(regions.ok());
+  regions->push_back(RecordRegion{ObjectSerializer::MakeTag(3, 0), "junk"});
+  EXPECT_TRUE(serializer_.FromRegionsAll(regions.value())
+                  .status().IsCorruption());
+}
+
+TEST_F(SerializerTest, FlatEncodeDecodeWithCounts) {
+  const Tuple station = MakeStation(5, 2, 1, 3);
+  const std::string flat = ObjectSerializer::EncodeFlat(*schema_, station);
+  std::vector<uint32_t> counts;
+  auto back = ObjectSerializer::DecodeFlat(*schema_, flat, &counts);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->values[0], station.values[0]);
+  EXPECT_EQ(counts, (std::vector<uint32_t>{2, 3}));  // platforms, sights
+  EXPECT_TRUE(back->values[4].as_relation().empty());
+}
+
+TEST_F(SerializerTest, EncodeFlatWithCountsOverridesRelationSizes) {
+  Tuple root = MakeStation(5, 0, 0, 0);
+  const std::string bytes =
+      ObjectSerializer::EncodeFlatWithCounts(*schema_, root, {7, 9});
+  std::vector<uint32_t> counts;
+  auto back = ObjectSerializer::DecodeFlat(*schema_, bytes, &counts);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(counts, (std::vector<uint32_t>{7, 9}));
+}
+
+TEST_F(SerializerTest, FlatSizeMatchesEncodedLength) {
+  const Tuple station = MakeStation(5, 2, 1, 3);
+  EXPECT_EQ(ObjectSerializer::FlatSize(*schema_, station),
+            ObjectSerializer::EncodeFlat(*schema_, station).size());
+}
+
+TEST_F(SerializerTest, DecodeFlatRejectsTruncation) {
+  const Tuple station = MakeStation(5, 0, 0, 0);
+  std::string flat = ObjectSerializer::EncodeFlat(*schema_, station);
+  flat.resize(flat.size() - 1);
+  EXPECT_TRUE(ObjectSerializer::DecodeFlat(*schema_, flat)
+                  .status().IsCorruption());
+}
+
+TEST_F(SerializerTest, DecodeFlatRejectsTrailingBytes) {
+  const Tuple station = MakeStation(5, 0, 0, 0);
+  std::string flat = ObjectSerializer::EncodeFlat(*schema_, station);
+  flat += "extra";
+  EXPECT_TRUE(ObjectSerializer::DecodeFlat(*schema_, flat)
+                  .status().IsCorruption());
+}
+
+TEST_F(SerializerTest, TagHelpers) {
+  const uint32_t tag = ObjectSerializer::MakeTag(3, 17);
+  EXPECT_EQ(ObjectSerializer::TagPath(tag), 3u);
+  EXPECT_EQ(ObjectSerializer::TagOrdinal(tag), 17u);
+}
+
+TEST_F(SerializerTest, RandomizedRoundTripsOverGeneratedObjects) {
+  bench::GeneratorConfig config;
+  config.n_objects = 40;
+  config.seed = 99;
+  auto db = bench::BenchmarkDatabase::Generate(config);
+  ASSERT_TRUE(db.ok());
+  ObjectSerializer serializer(db->schema());
+  for (const auto& object : db->objects()) {
+    auto regions = serializer.ToRegions(object.tuple);
+    ASSERT_TRUE(regions.ok());
+    auto back = serializer.FromRegionsAll(regions.value());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), object.tuple);
+  }
+}
+
+}  // namespace
+}  // namespace starfish

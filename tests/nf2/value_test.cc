@@ -1,0 +1,75 @@
+#include "nf2/value.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmark/station_schema.h"
+
+namespace starfish {
+namespace {
+
+TEST(ValueTest, TypeTagsAndAccessors) {
+  EXPECT_TRUE(Value::Int32(5).is_int32());
+  EXPECT_EQ(Value::Int32(5).as_int32(), 5);
+  EXPECT_TRUE(Value::Str("x").is_string());
+  EXPECT_EQ(Value::Str("x").as_string(), "x");
+  EXPECT_TRUE(Value::Link(7).is_link());
+  EXPECT_EQ(Value::Link(7).as_link(), 7u);
+  EXPECT_TRUE(Value::Relation({}).is_relation());
+  EXPECT_TRUE(Value::Relation({}).as_relation().empty());
+}
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_TRUE(v.is_int32());
+  EXPECT_EQ(v.as_int32(), 0);
+}
+
+TEST(ValueTest, EqualityIsDeepAndTypeAware) {
+  EXPECT_EQ(Value::Int32(1), Value::Int32(1));
+  EXPECT_NE(Value::Int32(1), Value::Int32(2));
+  EXPECT_NE(Value::Int32(1), Value::Link(1));  // same bits, other type
+  Tuple t1{{Value::Int32(1), Value::Str("a")}};
+  Tuple t2{{Value::Int32(1), Value::Str("a")}};
+  EXPECT_EQ(Value::Relation({t1}), Value::Relation({t2}));
+  t2.values[1] = Value::Str("b");
+  EXPECT_NE(Value::Relation({t1}), Value::Relation({t2}));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Int32(42).ToString(), "42");
+  EXPECT_EQ(Value::Str("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value::Link(9).ToString(), "->9");
+  Tuple t{{Value::Int32(1)}};
+  EXPECT_EQ(Value::Relation({t}).ToString(), "{(1)}");
+  EXPECT_EQ(TupleToString(t), "(1)");
+}
+
+TEST(ValidateTupleTest, AcceptsConformingTuple) {
+  auto schema = SchemaBuilder("T").AddInt32("a").AddString("b").Build();
+  Tuple ok{{Value::Int32(1), Value::Str("x")}};
+  EXPECT_TRUE(ValidateTuple(*schema, ok).ok());
+}
+
+TEST(ValidateTupleTest, RejectsArityMismatch) {
+  auto schema = SchemaBuilder("T").AddInt32("a").AddString("b").Build();
+  Tuple bad{{Value::Int32(1)}};
+  EXPECT_TRUE(ValidateTuple(*schema, bad).IsInvalidArgument());
+}
+
+TEST(ValidateTupleTest, RejectsTypeMismatch) {
+  auto schema = SchemaBuilder("T").AddInt32("a").Build();
+  Tuple bad{{Value::Str("not an int")}};
+  EXPECT_TRUE(ValidateTuple(*schema, bad).IsInvalidArgument());
+}
+
+TEST(ValidateTupleTest, RecursesIntoRelations) {
+  auto sub = SchemaBuilder("S").AddInt32("v").Build();
+  auto schema = SchemaBuilder("T").AddRelation("subs", sub).Build();
+  Tuple good{{Value::Relation({Tuple{{Value::Int32(1)}}})}};
+  EXPECT_TRUE(ValidateTuple(*schema, good).ok());
+  Tuple bad{{Value::Relation({Tuple{{Value::Str("x")}}})}};
+  EXPECT_TRUE(ValidateTuple(*schema, bad).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace starfish

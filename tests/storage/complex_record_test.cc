@@ -1,0 +1,346 @@
+#include "storage/complex_record.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "storage/storage_engine.h"
+#include "util/random.h"
+
+namespace starfish {
+namespace {
+
+std::vector<RecordRegion> MakeRegions(std::initializer_list<size_t> sizes,
+                                      char fill = 'r') {
+  std::vector<RecordRegion> regions;
+  uint32_t tag = 0;
+  for (size_t size : sizes) {
+    regions.push_back(RecordRegion{tag++, std::string(size, fill)});
+  }
+  return regions;
+}
+
+class ComplexRecordTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto seg = engine_.CreateSegment("objects");
+    ASSERT_TRUE(seg.ok());
+    segment_ = seg.value();
+    store_ = std::make_unique<ComplexRecordStore>(segment_);
+  }
+
+  StorageEngine engine_;
+  Segment* segment_ = nullptr;
+  std::unique_ptr<ComplexRecordStore> store_;
+};
+
+TEST_F(ComplexRecordTest, SmallRecordRoundTrip) {
+  const auto regions = MakeRegions({50, 120, 7});
+  auto tid = store_->Insert(regions);
+  ASSERT_TRUE(tid.ok());
+  EXPECT_FALSE(tid->is_complex());
+  auto back = store_->ReadAll(tid.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), regions);
+}
+
+TEST_F(ComplexRecordTest, SmallRecordsSharePages) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store_->Insert(MakeRegions({100})).ok());
+  }
+  EXPECT_EQ(segment_->pages().size(), 1u);
+}
+
+TEST_F(ComplexRecordTest, LargeRecordGetsHeaderAndDataPages) {
+  const auto regions = MakeRegions({112, 116, 118, 118, 404, 404, 404, 404,
+                                    404, 404, 404, 404});  // ~3.7 KB
+  auto tid = store_->Insert(regions);
+  ASSERT_TRUE(tid.ok());
+  EXPECT_TRUE(tid->is_complex());
+  auto info = store_->GetInfo(tid.value());
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->is_small);
+  EXPECT_EQ(info->header_pages, 1u);
+  // 464-byte prefix + 8 x 404 bytes with no-straddle padding -> 3 chunks.
+  EXPECT_EQ(info->data_pages, 3u);
+  auto back = store_->ReadAll(tid.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), regions);
+}
+
+TEST_F(ComplexRecordTest, RegionsDoNotStraddlePages) {
+  // Two regions of 1100 bytes each: each must start on its own chunk.
+  const auto regions = MakeRegions({1100, 1100});
+  auto tid = store_->Insert(regions);
+  ASSERT_TRUE(tid.ok());
+  auto info = store_->GetInfo(tid.value());
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->data_pages, 2u);  // 1100 + pad + 1100
+  auto back = store_->ReadAll(tid.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), regions);
+}
+
+TEST_F(ComplexRecordTest, OversizedRegionSpansPages) {
+  const auto regions = MakeRegions({5000});
+  auto tid = store_->Insert(regions);
+  ASSERT_TRUE(tid.ok());
+  auto info = store_->GetInfo(tid.value());
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->data_pages, 3u);  // ceil(5000 / 2012)
+  auto back = store_->ReadAll(tid.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), regions);
+}
+
+TEST_F(ComplexRecordTest, ReadPartialSelectsByTag) {
+  auto regions = MakeRegions({100, 600, 600, 600});
+  regions[0].tag = 0;
+  regions[1].tag = 1;
+  regions[2].tag = 1;
+  regions[3].tag = 2;
+  auto tid = store_->Insert(regions);
+  ASSERT_TRUE(tid.ok());
+  auto part = store_->ReadPartial(tid.value(),
+                                  [](uint32_t tag) { return tag == 1; });
+  ASSERT_TRUE(part.ok());
+  ASSERT_EQ(part->size(), 2u);
+  EXPECT_EQ((*part)[0], regions[1]);
+  EXPECT_EQ((*part)[1], regions[2]);
+}
+
+TEST_F(ComplexRecordTest, PartialReadTouchesFewerPagesThanFullRead) {
+  // Root region on data page 0, big tail regions on pages 1..3.
+  auto regions = MakeRegions({100, 1800, 1800, 1800});
+  for (uint32_t i = 0; i < regions.size(); ++i) regions[i].tag = i;
+  auto tid = store_->Insert(regions);
+  ASSERT_TRUE(tid.ok());
+  ASSERT_TRUE(engine_.DropCache().ok());
+  engine_.ResetStats();
+  ASSERT_TRUE(store_
+                  ->ReadPartial(tid.value(),
+                                [](uint32_t tag) { return tag == 0; })
+                  .ok());
+  const uint64_t partial_pages = engine_.stats().io.pages_read;
+  ASSERT_TRUE(engine_.DropCache().ok());
+  engine_.ResetStats();
+  ASSERT_TRUE(store_->ReadAll(tid.value()).ok());
+  const uint64_t full_pages = engine_.stats().io.pages_read;
+  EXPECT_EQ(partial_pages, 2u);  // header + first data page
+  EXPECT_EQ(full_pages, 4u);     // header + 3 data pages (100+1800 share)
+}
+
+TEST_F(ComplexRecordTest, DasdbsCallPattern) {
+  // Root page, then data pages: full cold read of a 1-header record costs
+  // exactly two read calls (root, chained data).
+  auto tid = store_->Insert(MakeRegions({1800, 1800, 1800}));
+  ASSERT_TRUE(tid.ok());
+  ASSERT_TRUE(engine_.DropCache().ok());
+  engine_.ResetStats();
+  ASSERT_TRUE(store_->ReadAll(tid.value()).ok());
+  EXPECT_EQ(engine_.stats().io.read_calls, 2u);
+  EXPECT_EQ(engine_.stats().io.pages_read, 4u);
+}
+
+TEST_F(ComplexRecordTest, ManyRegionsSpillIntoExtensionHeaders) {
+  // 200 regions -> directory > root page capacity (166 entries).
+  std::vector<RecordRegion> regions;
+  for (uint32_t i = 0; i < 200; ++i) {
+    regions.push_back(RecordRegion{i, std::string(20, 'x')});
+  }
+  auto tid = store_->Insert(regions);
+  ASSERT_TRUE(tid.ok());
+  auto info = store_->GetInfo(tid.value());
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->header_pages, 2u);
+  auto back = store_->ReadAll(tid.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), regions);
+}
+
+TEST_F(ComplexRecordTest, ReplaceInPlaceKeepsTid) {
+  auto tid = store_->Insert(MakeRegions({1800, 1800}));
+  ASSERT_TRUE(tid.ok());
+  const auto regions2 = MakeRegions({1700, 1900}, 'n');
+  auto tid2 = store_->Replace(tid.value(), regions2);
+  ASSERT_TRUE(tid2.ok());
+  EXPECT_EQ(tid2.value(), tid.value());
+  EXPECT_EQ(store_->ReadAll(tid.value()).value(), regions2);
+}
+
+TEST_F(ComplexRecordTest, ReplaceGrowingRecordKeepsTid) {
+  auto tid = store_->Insert(MakeRegions({1800, 1800}));
+  ASSERT_TRUE(tid.ok());
+  const auto bigger = MakeRegions({1800, 1800, 1800, 1800, 1800}, 'g');
+  auto tid2 = store_->Replace(tid.value(), bigger);
+  ASSERT_TRUE(tid2.ok());
+  EXPECT_EQ(tid2.value(), tid.value());  // root page is the stable anchor
+  EXPECT_EQ(store_->ReadAll(tid.value()).value(), bigger);
+}
+
+TEST_F(ComplexRecordTest, ReplaceSmallInPlace) {
+  auto tid = store_->Insert(MakeRegions({50, 50}));
+  ASSERT_TRUE(tid.ok());
+  const auto regions2 = MakeRegions({60, 40}, 'w');
+  auto tid2 = store_->Replace(tid.value(), regions2);
+  ASSERT_TRUE(tid2.ok());
+  EXPECT_EQ(tid2.value(), tid.value());
+  EXPECT_EQ(store_->ReadAll(tid.value()).value(), regions2);
+}
+
+TEST_F(ComplexRecordTest, ReplaceSmallToLargeChangesTid) {
+  auto tid = store_->Insert(MakeRegions({50}));
+  ASSERT_TRUE(tid.ok());
+  const auto big = MakeRegions({1500, 1500}, 'L');
+  auto tid2 = store_->Replace(tid.value(), big);
+  ASSERT_TRUE(tid2.ok());
+  EXPECT_NE(tid2.value(), tid.value());
+  EXPECT_TRUE(tid2->is_complex());
+  EXPECT_EQ(store_->ReadAll(tid2.value()).value(), big);
+  EXPECT_FALSE(store_->ReadAll(tid.value()).ok());
+}
+
+TEST_F(ComplexRecordTest, UpdateRegionSameLengthInPlace) {
+  auto regions = MakeRegions({100, 1800, 1800});
+  auto tid = store_->Insert(regions);
+  ASSERT_TRUE(tid.ok());
+  const std::string patch(100, 'P');
+  auto same_tid = store_->UpdateRegion(tid.value(), 0, 0, patch);
+  ASSERT_TRUE(same_tid.ok());
+  EXPECT_EQ(same_tid.value(), tid.value());
+  auto back = store_->ReadAll(tid.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)[0].bytes, patch);
+  EXPECT_EQ((*back)[1], regions[1]);
+}
+
+TEST_F(ComplexRecordTest, UpdateRegionDifferentLengthRebuilds) {
+  auto regions = MakeRegions({100, 1800});
+  auto tid = store_->Insert(regions);
+  ASSERT_TRUE(tid.ok());
+  const std::string patch(250, 'Q');
+  auto new_tid = store_->UpdateRegion(tid.value(), 0, 0, patch);
+  ASSERT_TRUE(new_tid.ok()) << new_tid.status().ToString();
+  auto back = store_->ReadAll(new_tid.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)[0].bytes, patch);
+}
+
+TEST_F(ComplexRecordTest, UpdateRegionOnSmallRecord) {
+  auto regions = MakeRegions({40, 40});
+  auto tid = store_->Insert(regions);
+  ASSERT_TRUE(tid.ok());
+  ASSERT_TRUE(store_->UpdateRegion(tid.value(), 1, 0, std::string(40, 'U')).ok());
+
+  auto back = store_->ReadAll(tid.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)[1].bytes, std::string(40, 'U'));
+}
+
+TEST_F(ComplexRecordTest, UpdateRegionUnknownTagFails) {
+  auto tid = store_->Insert(MakeRegions({40}));
+  ASSERT_TRUE(tid.ok());
+  EXPECT_TRUE(store_->UpdateRegion(tid.value(), 99, 0, "x").status().IsNotFound());
+}
+
+TEST_F(ComplexRecordTest, PagePoolWritesOnEveryChangeAttribute) {
+  ComplexStoreOptions options;
+  options.change_attr_page_pool = 1;
+  auto seg = engine_.CreateSegment("pooled");
+  ASSERT_TRUE(seg.ok());
+  ComplexRecordStore pooled(seg.value(), options);
+  auto tid = pooled.Insert(MakeRegions({100, 1800}));
+  ASSERT_TRUE(tid.ok());
+  ASSERT_TRUE(engine_.Flush().ok());
+  engine_.ResetStats();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(pooled.UpdateRegion(tid.value(), 0, 0,
+                                    std::string(100, 'a' + i)).ok());
+  }
+  // Each change-attribute op writes the one-page pool immediately (§5.3).
+  EXPECT_GE(engine_.stats().io.pages_written, 5u);
+  EXPECT_GE(engine_.stats().io.write_calls, 5u);
+}
+
+TEST_F(ComplexRecordTest, DeleteSmallRecord) {
+  auto tid = store_->Insert(MakeRegions({30}));
+  ASSERT_TRUE(tid.ok());
+  ASSERT_TRUE(store_->Delete(tid.value()).ok());
+  EXPECT_FALSE(store_->ReadAll(tid.value()).ok());
+}
+
+TEST_F(ComplexRecordTest, DeleteLargeRecordFreesPages) {
+  auto tid = store_->Insert(MakeRegions({1800, 1800, 1800}));
+  ASSERT_TRUE(tid.ok());
+  const uint64_t live_before = engine_.disk()->live_page_count();
+  ASSERT_TRUE(store_->Delete(tid.value()).ok());
+  EXPECT_EQ(engine_.disk()->live_page_count(), live_before - 4);
+}
+
+TEST_F(ComplexRecordTest, ScanVisitsEveryRecordInOrder) {
+  std::vector<Tid> tids;
+  for (int i = 0; i < 8; ++i) {
+    // Mix small and large records.
+    auto tid = store_->Insert(i % 2 == 0 ? MakeRegions({100})
+                                         : MakeRegions({1800, 1800}));
+    ASSERT_TRUE(tid.ok());
+    tids.push_back(tid.value());
+  }
+  std::vector<Tid> seen;
+  ASSERT_TRUE(store_->ScanObjects(
+      [&](Tid tid, const std::vector<RecordRegion>& regions) {
+        EXPECT_FALSE(regions.empty());
+        seen.push_back(tid);
+        return Status::OK();
+      }).ok());
+  // Scans visit records in physical order (page, then slot).
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(seen, tids);
+}
+
+TEST_F(ComplexRecordTest, ForceLargeOption) {
+  ComplexStoreOptions options;
+  options.force_large = true;
+  auto seg = engine_.CreateSegment("forced");
+  ASSERT_TRUE(seg.ok());
+  ComplexRecordStore forced(seg.value(), options);
+  auto tid = forced.Insert(MakeRegions({10}));
+  ASSERT_TRUE(tid.ok());
+  EXPECT_TRUE(tid->is_complex());
+}
+
+TEST_F(ComplexRecordTest, RandomizedRoundTrips) {
+  Rng rng(4242);
+  std::vector<std::pair<Tid, std::vector<RecordRegion>>> stored;
+  for (int i = 0; i < 120; ++i) {
+    std::vector<RecordRegion> regions;
+    const uint32_t n = 1 + rng.Uniform(12);
+    for (uint32_t r = 0; r < n; ++r) {
+      regions.push_back(RecordRegion{
+          static_cast<uint32_t>(rng.Uniform(4)),
+          rng.RandomString(rng.Uniform(900))});
+    }
+    auto tid = store_->Insert(regions);
+    ASSERT_TRUE(tid.ok());
+    stored.emplace_back(tid.value(), std::move(regions));
+  }
+  // Replace a third of them.
+  for (size_t i = 0; i < stored.size(); i += 3) {
+    std::vector<RecordRegion> regions;
+    const uint32_t n = 1 + rng.Uniform(8);
+    for (uint32_t r = 0; r < n; ++r) {
+      regions.push_back(RecordRegion{r, rng.RandomString(rng.Uniform(1200))});
+    }
+    auto tid = store_->Replace(stored[i].first, regions);
+    ASSERT_TRUE(tid.ok());
+    stored[i] = {tid.value(), std::move(regions)};
+  }
+  for (const auto& [tid, regions] : stored) {
+    auto back = store_->ReadAll(tid);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), regions);
+  }
+}
+
+}  // namespace
+}  // namespace starfish

@@ -1,0 +1,118 @@
+// Parameterized sweep: the record layouts and models must be correct for
+// any page geometry, not just the DASDBS 2 KiB (the page-size ablation
+// bench relies on this).
+
+#include <gtest/gtest.h>
+
+#include "benchmark/generator.h"
+#include "benchmark/station_schema.h"
+#include "models/model_factory.h"
+#include "storage/complex_record.h"
+#include "util/random.h"
+
+namespace starfish {
+namespace {
+
+class PageSizeSweepTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  StorageEngineOptions Options() {
+    StorageEngineOptions options;
+    options.disk.page_size = GetParam();
+    options.buffer.frame_count = 4096u * 1024u / GetParam();  // ~4 MiB pool
+    return options;
+  }
+};
+
+TEST_P(PageSizeSweepTest, ComplexRecordsRoundTrip) {
+  StorageEngine engine(Options());
+  auto segment = engine.CreateSegment("objs");
+  ASSERT_TRUE(segment.ok());
+  ComplexRecordStore store(segment.value());
+  Rng rng(GetParam());
+  std::vector<std::pair<Tid, std::vector<RecordRegion>>> stored;
+  for (int i = 0; i < 60; ++i) {
+    std::vector<RecordRegion> regions;
+    const uint32_t n = 1 + rng.Uniform(10);
+    for (uint32_t r = 0; r < n; ++r) {
+      regions.push_back(RecordRegion{r, rng.RandomString(rng.Uniform(1200))});
+    }
+    auto tid = store.Insert(regions);
+    ASSERT_TRUE(tid.ok()) << tid.status().ToString();
+    stored.emplace_back(tid.value(), std::move(regions));
+  }
+  for (const auto& [tid, regions] : stored) {
+    auto back = store.ReadAll(tid);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), regions);
+  }
+}
+
+TEST_P(PageSizeSweepTest, RegionsRespectChunkGeometry) {
+  StorageEngine engine(Options());
+  auto segment = engine.CreateSegment("objs");
+  ASSERT_TRUE(segment.ok());
+  ComplexRecordStore store(segment.value());
+  const uint32_t chunk = GetParam() - kPageHeaderSize;
+  // Two regions of 60% chunk size each must land on separate data pages.
+  const size_t region = chunk * 3 / 5;
+  auto tid = store.Insert({RecordRegion{0, std::string(region, 'a')},
+                           RecordRegion{1, std::string(region, 'b')},
+                           RecordRegion{2, std::string(region, 'c')}});
+  ASSERT_TRUE(tid.ok());
+  auto info = store.GetInfo(tid.value());
+  ASSERT_TRUE(info.ok());
+  ASSERT_FALSE(info->is_small);
+  EXPECT_EQ(info->data_pages, 3u);
+}
+
+TEST_P(PageSizeSweepTest, ModelsRoundTripTheBenchmark) {
+  bench::GeneratorConfig config;
+  config.n_objects = 25;
+  config.seed = GetParam();
+  auto db = bench::BenchmarkDatabase::Generate(config);
+  ASSERT_TRUE(db.ok());
+  for (StorageModelKind kind :
+       {StorageModelKind::kDsm, StorageModelKind::kDasdbsNsm}) {
+    StorageEngine engine(Options());
+    ModelConfig mc;
+    mc.schema = db->schema();
+    auto model = CreateStorageModel(kind, &engine, mc);
+    ASSERT_TRUE(model.ok());
+    ASSERT_TRUE(db->LoadInto(model->get(), &engine).ok());
+    const Projection all = Projection::All(*db->schema());
+    for (const auto& object : db->objects()) {
+      auto got = (*model)->GetByRef(object.ref, all);
+      ASSERT_TRUE(got.ok()) << ToString(kind) << " page " << GetParam();
+      EXPECT_EQ(got.value(), object.tuple);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, PageSizeSweepTest,
+                         ::testing::Values(512u, 1024u, 2048u, 4096u, 8192u),
+                         [](const auto& info) {
+                           return "page" + std::to_string(info.param);
+                         });
+
+TEST(ModelFactoryTest, CreatesEveryKind) {
+  auto schema = bench::MakeStationSchema();
+  for (StorageModelKind kind : AllStorageModelKinds()) {
+    StorageEngine engine;
+    ModelConfig mc;
+    mc.schema = schema;
+    auto model = CreateStorageModel(kind, &engine, mc);
+    ASSERT_TRUE(model.ok()) << ToString(kind);
+    EXPECT_EQ((*model)->kind(), kind);
+    EXPECT_EQ((*model)->object_count(), 0u);
+  }
+  EXPECT_EQ(AllStorageModelKinds().size(), 5u);
+}
+
+TEST(ModelFactoryTest, RejectsMissingSchema) {
+  StorageEngine engine;
+  EXPECT_FALSE(CreateStorageModel(StorageModelKind::kDsm, &engine,
+                                  ModelConfig{}).ok());
+}
+
+}  // namespace
+}  // namespace starfish

@@ -1,0 +1,95 @@
+#include "storage/storage_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace starfish {
+namespace {
+
+TEST(StorageEngineTest, CreateAndLookupSegments) {
+  StorageEngine engine;
+  auto a = engine.CreateSegment("alpha");
+  auto b = engine.CreateSegment("beta");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(engine.GetSegment("alpha"), a.value());
+  EXPECT_EQ(engine.GetSegment("beta"), b.value());
+  EXPECT_EQ(engine.GetSegment("gamma"), nullptr);
+  EXPECT_EQ(engine.segments().size(), 2u);
+  EXPECT_NE(a.value()->id(), b.value()->id());
+}
+
+TEST(StorageEngineTest, DuplicateSegmentNameRejected) {
+  StorageEngine engine;
+  ASSERT_TRUE(engine.CreateSegment("dup").ok());
+  EXPECT_TRUE(engine.CreateSegment("dup").status().IsAlreadyExists());
+}
+
+TEST(StorageEngineTest, StatsCombineDiskAndBuffer) {
+  StorageEngine engine;
+  auto seg = engine.CreateSegment("s");
+  ASSERT_TRUE(seg.ok());
+  auto page = seg.value()->AllocatePage(PageType::kSlotted);
+  ASSERT_TRUE(page.ok());
+  ASSERT_TRUE(engine.Flush().ok());
+  ASSERT_TRUE(engine.DropCache().ok());
+  engine.ResetStats();
+  { auto g = engine.buffer()->Fix(page.value()); ASSERT_TRUE(g.ok()); }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.buffer.fixes, 1u);
+  EXPECT_EQ(stats.io.pages_read, 1u);
+}
+
+TEST(StorageEngineTest, DropCacheMakesNextAccessCold) {
+  StorageEngine engine;
+  auto seg = engine.CreateSegment("s");
+  ASSERT_TRUE(seg.ok());
+  auto page = seg.value()->AllocatePage(PageType::kSlotted);
+  ASSERT_TRUE(page.ok());
+  ASSERT_TRUE(engine.DropCache().ok());
+  engine.ResetStats();
+  { auto g = engine.buffer()->Fix(page.value()); ASSERT_TRUE(g.ok()); }
+  EXPECT_EQ(engine.stats().io.pages_read, 1u);
+  engine.ResetStats();
+  { auto g = engine.buffer()->Fix(page.value()); ASSERT_TRUE(g.ok()); }
+  EXPECT_EQ(engine.stats().io.pages_read, 0u);  // warm now
+}
+
+TEST(StorageEngineTest, SegmentFreeHintsTrackInserts) {
+  StorageEngine engine;
+  auto seg_result = engine.CreateSegment("hints");
+  ASSERT_TRUE(seg_result.ok());
+  Segment* seg = seg_result.value();
+  auto page = seg->AllocatePage(PageType::kSlotted);
+  ASSERT_TRUE(page.ok());
+  const uint32_t initial = seg->FreeHint(page.value());
+  EXPECT_GT(initial, 1900u);
+  seg->SetFreeHint(page.value(), 10);
+  EXPECT_EQ(seg->FreeHint(page.value()), 10u);
+  EXPECT_EQ(seg->FindSlottedPageWithSpace(11), kInvalidPageId);
+  EXPECT_EQ(seg->FindSlottedPageWithSpace(10), page.value());
+}
+
+TEST(StorageEngineTest, FreePagesRemovesFromSegment) {
+  StorageEngine engine;
+  auto seg_result = engine.CreateSegment("free");
+  ASSERT_TRUE(seg_result.ok());
+  Segment* seg = seg_result.value();
+  auto first = seg->AllocateRun(3, PageType::kComplexData);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(seg->pages().size(), 3u);
+  ASSERT_TRUE(seg->FreePages({first.value() + 1}).ok());
+  EXPECT_EQ(seg->pages().size(), 2u);
+  EXPECT_TRUE(seg->FreePages({999}).IsNotFound());
+}
+
+TEST(StorageEngineTest, CustomGeometry) {
+  StorageEngineOptions options;
+  options.disk.page_size = 1024;
+  options.buffer.frame_count = 8;
+  StorageEngine engine(options);
+  EXPECT_EQ(engine.disk()->page_size(), 1024u);
+  EXPECT_EQ(engine.buffer()->frame_count(), 8u);
+}
+
+}  // namespace
+}  // namespace starfish

@@ -1,0 +1,67 @@
+#include "util/coding.h"
+
+#include <gtest/gtest.h>
+
+namespace starfish {
+namespace {
+
+TEST(CodingTest, Fixed16RoundTrip) {
+  char buf[2];
+  for (uint32_t v : {0u, 1u, 255u, 256u, 0xFFFFu}) {
+    EncodeFixed16(buf, static_cast<uint16_t>(v));
+    EXPECT_EQ(DecodeFixed16(buf), v);
+  }
+}
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  char buf[4];
+  for (uint32_t v : {0u, 1u, 0xDEADBEEFu, 0xFFFFFFFFu}) {
+    EncodeFixed32(buf, v);
+    EXPECT_EQ(DecodeFixed32(buf), v);
+  }
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  char buf[8];
+  for (uint64_t v : {0ull, 1ull, 0xDEADBEEFCAFEBABEull, ~0ull}) {
+    EncodeFixed64(buf, v);
+    EXPECT_EQ(DecodeFixed64(buf), v);
+  }
+}
+
+TEST(CodingTest, EncodingIsLittleEndian) {
+  char buf[4];
+  EncodeFixed32(buf, 0x01020304u);
+  EXPECT_EQ(static_cast<unsigned char>(buf[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(buf[3]), 0x01);
+}
+
+TEST(CodingTest, PutAppendsToString) {
+  std::string s = "prefix";
+  PutFixed16(&s, 0xABCD);
+  PutFixed32(&s, 0x12345678u);
+  PutFixed64(&s, 42);
+  EXPECT_EQ(s.size(), 6u + 2 + 4 + 8);
+  EXPECT_EQ(DecodeFixed16(s.data() + 6), 0xABCD);
+  EXPECT_EQ(DecodeFixed32(s.data() + 8), 0x12345678u);
+  EXPECT_EQ(DecodeFixed64(s.data() + 12), 42u);
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string s;
+  PutLengthPrefixed(&s, "hello");
+  PutLengthPrefixed(&s, "");
+  ASSERT_EQ(s.size(), 2u + 5 + 2);
+  EXPECT_EQ(DecodeFixed16(s.data()), 5u);
+  EXPECT_EQ(s.substr(2, 5), "hello");
+  EXPECT_EQ(DecodeFixed16(s.data() + 7), 0u);
+}
+
+TEST(CodingTest, NegativeIntsSurviveViaTwosComplement) {
+  char buf[4];
+  EncodeFixed32(buf, static_cast<uint32_t>(-12345));
+  EXPECT_EQ(static_cast<int32_t>(DecodeFixed32(buf)), -12345);
+}
+
+}  // namespace
+}  // namespace starfish

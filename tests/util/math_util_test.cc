@@ -1,0 +1,71 @@
+#include "util/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace starfish {
+namespace {
+
+TEST(MathUtilTest, LogFactorialSmallValues) {
+  EXPECT_DOUBLE_EQ(LogFactorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(LogFactorial(1), 0.0);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-12);
+  EXPECT_NEAR(LogFactorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(MathUtilTest, LogBinomialMatchesDirectComputation) {
+  EXPECT_NEAR(std::exp(LogBinomial(10, 3)), 120.0, 1e-6);
+  EXPECT_NEAR(std::exp(LogBinomial(52, 5)), 2598960.0, 1e-3);
+  EXPECT_DOUBLE_EQ(LogBinomial(7, 0), 0.0);
+  EXPECT_DOUBLE_EQ(LogBinomial(7, 7), 0.0);
+}
+
+TEST(MathUtilTest, LogBinomialOutOfRangeIsMinusInfinity) {
+  EXPECT_TRUE(std::isinf(LogBinomial(5, 6)));
+  EXPECT_TRUE(std::isinf(LogBinomial(5, -1)));
+}
+
+TEST(MathUtilTest, LargeArgumentsDoNotOverflow) {
+  // C(22500, 100) overflows doubles directly; log space must stay finite.
+  const double lb = LogBinomial(22500, 100);
+  EXPECT_TRUE(std::isfinite(lb));
+  EXPECT_GT(lb, 0.0);
+}
+
+TEST(MathUtilTest, BinomialRatioBasics) {
+  // C(4,2)/C(6,2) = 6/15.
+  EXPECT_NEAR(BinomialRatio(4, 6, 2), 6.0 / 15.0, 1e-12);
+  // Drawing more than `a` items: ratio is zero.
+  EXPECT_DOUBLE_EQ(BinomialRatio(3, 10, 5), 0.0);
+  // t = 0 draws: probability 1.
+  EXPECT_DOUBLE_EQ(BinomialRatio(5, 9, 0), 1.0);
+}
+
+TEST(MathUtilTest, BinomialRatioIsAProbability) {
+  for (int64_t t = 0; t <= 50; t += 5) {
+    const double r = BinomialRatio(1000, 1100, t);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(MathUtilTest, BinomialRatioMonotonicInT) {
+  double prev = 1.0;
+  for (int64_t t = 1; t < 40; ++t) {
+    const double r = BinomialRatio(500, 550, t);
+    EXPECT_LE(r, prev + 1e-12);
+    prev = r;
+  }
+}
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0);
+  EXPECT_EQ(CeilDiv(1, 4), 1);
+  EXPECT_EQ(CeilDiv(4, 4), 1);
+  EXPECT_EQ(CeilDiv(5, 4), 2);
+  EXPECT_EQ(CeilDiv(6078, 2012), 4);  // the paper's DSM Station example
+}
+
+}  // namespace
+}  // namespace starfish

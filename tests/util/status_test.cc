@@ -1,0 +1,113 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace starfish {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_FALSE(Status::NotFound("x").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  EXPECT_EQ(Status::IOError("disk gone").ToString(), "IOError: disk gone");
+  EXPECT_EQ(Status::NotFound("").ToString(), "NotFound");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueOnSuccess) {
+  Result<std::string> r(std::string("hi"));
+  EXPECT_EQ(r.value_or("fallback"), "hi");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+namespace helpers {
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Outer(int x) {
+  STARFISH_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+Result<int> Double(int x) {
+  if (x > 100) return Status::OutOfRange("too big");
+  return 2 * x;
+}
+
+Result<int> Chain(int x) {
+  STARFISH_ASSIGN_OR_RETURN(int doubled, Double(x));
+  STARFISH_ASSIGN_OR_RETURN(int quadrupled, Double(doubled));
+  return quadrupled;
+}
+
+}  // namespace helpers
+
+TEST(StatusMacroTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(helpers::Outer(1).ok());
+  EXPECT_TRUE(helpers::Outer(-1).IsInvalidArgument());
+}
+
+TEST(StatusMacroTest, AssignOrReturnChains) {
+  auto ok = helpers::Chain(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 40);
+  // Second Double fails (20 * 2 = 40... 60 > 100 fails on second call).
+  auto fail = helpers::Chain(60);
+  EXPECT_TRUE(fail.status().IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace starfish

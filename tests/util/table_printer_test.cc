@@ -1,0 +1,77 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace starfish {
+namespace {
+
+TEST(TablePrinterTest, RendersHeadersAndRows) {
+  TablePrinter t({"MODEL", "Q1"});
+  t.AddRow({"DSM", "4.00"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("MODEL"), std::string::npos);
+  EXPECT_NE(out.find("DSM"), std::string::npos);
+  EXPECT_NE(out.find("4.00"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAligned) {
+  TablePrinter t({"A", "B"});
+  t.AddRow({"short", "x"});
+  t.AddRow({"a-much-longer-cell", "y"});
+  const std::string out = t.ToString();
+  // All lines have equal length.
+  size_t line_len = std::string::npos;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    const size_t nl = out.find('\n', pos);
+    const size_t len = nl - pos;
+    if (line_len == std::string::npos) line_len = len;
+    EXPECT_EQ(len, line_len);
+    pos = nl + 1;
+  }
+}
+
+TEST(TablePrinterTest, MissingTrailingCellsRenderEmpty) {
+  TablePrinter t({"A", "B", "C"});
+  t.AddRow({"only-one"});
+  EXPECT_NE(t.ToString().find("only-one"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ExtraCellsWidenTable) {
+  TablePrinter t({"A"});
+  t.AddRow({"x", "extra"});
+  EXPECT_NE(t.ToString().find("extra"), std::string::npos);
+}
+
+TEST(TablePrinterTest, SeparatorProducesRule) {
+  TablePrinter t({"A"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  const std::string out = t.ToString();
+  // header rule + top + bottom + the explicit one = 4 dashes lines.
+  size_t rules = 0, pos = 0;
+  while ((pos = out.find("+--", pos)) != std::string::npos) {
+    ++rules;
+    pos = out.find('\n', pos);
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TablePrinterTest, FormatValuePaperStyle) {
+  EXPECT_EQ(TablePrinter::FormatValue(4.0), "4.00");
+  EXPECT_EQ(TablePrinter::FormatValue(86.94), "86.9");
+  EXPECT_EQ(TablePrinter::FormatValue(19.7), "19.7");
+  EXPECT_EQ(TablePrinter::FormatValue(6000.0), "6000");
+  EXPECT_EQ(TablePrinter::FormatValue(153.7), "154");
+  EXPECT_EQ(TablePrinter::FormatValue(2.254), "2.25");
+}
+
+TEST(TablePrinterTest, FormatValueNonFinite) {
+  EXPECT_EQ(TablePrinter::FormatValue(std::nan("")), "-");
+}
+
+}  // namespace
+}  // namespace starfish
