@@ -1,0 +1,293 @@
+// Wall-clock microbenchmark of the disk->buffer hot path.
+//
+// Unlike the bench_table*/bench_fig* binaries, which reproduce the paper's
+// *counted* I/O metrics, this bench measures how fast the simulator itself
+// executes the hot loops: buffer fix-hit, fix-miss/evict, chained prefetch,
+// sequential run prefetch into the buffer, and raw sequential
+// ReadRun/WriteRun. It writes BENCH_hotpath.json to the working directory so
+// successive PRs can track the perf trajectory.
+//
+// Methodology: each loop is calibrated to a fixed iteration count, then run
+// several times and the FASTEST run is reported (best-of-N rejects scheduler
+// noise on shared machines; the minimum is the closest observable to the
+// true cost of the loop).
+//
+// Run without arguments; finishes in a few seconds.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_manager.h"
+#include "disk/sim_disk.h"
+
+namespace starfish {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kRepetitions = 7;
+constexpr double kTargetRunSeconds = 0.12;
+
+struct BenchResult {
+  std::string name;
+  double ops_per_sec = 0;
+  double ns_per_op = 0;
+  uint64_t iterations = 0;
+  std::string unit;  // what one "op" is
+};
+
+/// Calibrates the iteration count so one run of `body(iters)` lasts about
+/// kTargetRunSeconds, then reports the fastest of kRepetitions runs.
+/// `body` must perform exactly `iters` operations.
+template <typename Body>
+BenchResult Measure(const std::string& name, const std::string& unit,
+                    Body&& body) {
+  uint64_t iters = 1024;
+  for (;;) {
+    const auto start = Clock::now();
+    body(iters);
+    const std::chrono::duration<double> elapsed = Clock::now() - start;
+    if (elapsed.count() >= kTargetRunSeconds / 4 || iters >= (1ull << 30)) {
+      const double scale =
+          elapsed.count() > 0 ? kTargetRunSeconds / elapsed.count() : 4.0;
+      if (scale > 1.0) {
+        iters = static_cast<uint64_t>(static_cast<double>(iters) * scale);
+      }
+      break;
+    }
+    iters *= 8;
+  }
+
+  double best_seconds = 1e30;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    const auto start = Clock::now();
+    body(iters);
+    const std::chrono::duration<double> elapsed = Clock::now() - start;
+    if (elapsed.count() < best_seconds) best_seconds = elapsed.count();
+  }
+
+  BenchResult r;
+  r.name = name;
+  r.unit = unit;
+  r.iterations = iters;
+  r.ops_per_sec = static_cast<double>(iters) / best_seconds;
+  r.ns_per_op = best_seconds * 1e9 / static_cast<double>(iters);
+  return r;
+}
+
+void Fatal(const char* what, const Status& st) {
+  std::fprintf(stderr, "bench_hotpath_buffer: %s: %s\n", what,
+               st.ToString().c_str());
+  std::exit(1);
+}
+
+// One hot page fixed over and over: the pure lookup + pin + LRU-touch path
+// (same shape as micro_substrate's BM_BufferFixHit).
+BenchResult BenchFixHit() {
+  SimDisk disk;
+  const PageId id = disk.Allocate();
+  BufferOptions options;
+  options.frame_count = 128;
+  BufferManager bm(&disk, options);
+  {
+    auto g = bm.Fix(id);
+    if (!g.ok()) Fatal("warm-up fix", g.status());
+  }
+  return Measure("buffer_fix_hit", "fix", [&](uint64_t iters) {
+    for (uint64_t i = 0; i < iters; ++i) {
+      auto g = bm.Fix(id);
+      if (!g.ok()) Fatal("fix", g.status());
+    }
+  });
+}
+
+// A 64-page working set cycled in order: every hit reorders the LRU list.
+BenchResult BenchFixHitCycle() {
+  SimDisk disk;
+  const PageId first = disk.AllocateRun(64);
+  BufferOptions options;
+  options.frame_count = 128;
+  BufferManager bm(&disk, options);
+  for (uint32_t i = 0; i < 64; ++i) {
+    auto g = bm.Fix(first + i);
+    if (!g.ok()) Fatal("warm-up fix", g.status());
+  }
+  return Measure("buffer_fix_hit_cycle64", "fix", [&](uint64_t iters) {
+    for (uint64_t i = 0; i < iters; ++i) {
+      auto g = bm.Fix(first + static_cast<PageId>(i & 63));
+      if (!g.ok()) Fatal("fix", g.status());
+    }
+  });
+}
+
+// Working set twice the pool: every fix misses, reads one page and evicts a
+// victim (clean — the page is never dirtied).
+BenchResult BenchFixMissEvict() {
+  SimDisk disk;
+  constexpr uint32_t kPool = 256;
+  constexpr uint32_t kPages = 2 * kPool;
+  const PageId first = disk.AllocateRun(kPages);
+  BufferOptions options;
+  options.frame_count = kPool;
+  BufferManager bm(&disk, options);
+  return Measure("buffer_fix_miss_evict", "fix", [&](uint64_t iters) {
+    for (uint64_t i = 0; i < iters; ++i) {
+      auto g = bm.Fix(first + static_cast<PageId>(i % kPages));
+      if (!g.ok()) Fatal("fix", g.status());
+    }
+  });
+}
+
+// One chained prefetch of a complex object's pages into a cold-ish buffer;
+// DropAll between rounds so every prefetch really reads.
+BenchResult BenchPrefetchChained() {
+  SimDisk disk;
+  constexpr uint32_t kObjectPages = 32;
+  const PageId first = disk.AllocateRun(kObjectPages);
+  BufferOptions options;
+  options.frame_count = 64;
+  BufferManager bm(&disk, options);
+  std::vector<PageId> ids;
+  for (uint32_t i = 0; i < kObjectPages; ++i) ids.push_back(first + i);
+  return Measure("prefetch_chained", "page", [&](uint64_t iters) {
+    for (uint64_t done = 0; done < iters; done += kObjectPages) {
+      Status st = bm.Prefetch(ids, PrefetchMode::kChained);
+      if (!st.ok()) Fatal("prefetch", st);
+      st = bm.DropAll();
+      if (!st.ok()) Fatal("drop", st);
+    }
+  });
+}
+
+// Sequential scan through the buffer: 64-page contiguous runs prefetched
+// with kContiguousRuns (the segment-scan read path — disk ReadRun feeding
+// buffer frames), dropped between rounds so every run really reads.
+BenchResult BenchBufferReadRunSeq() {
+  SimDisk disk;
+  constexpr uint32_t kRun = 64;
+  const PageId first = disk.AllocateRun(kRun);
+  BufferOptions options;
+  options.frame_count = 128;
+  BufferManager bm(&disk, options);
+  std::vector<PageId> ids;
+  for (uint32_t i = 0; i < kRun; ++i) ids.push_back(first + i);
+  return Measure("buffer_read_run_seq", "page", [&](uint64_t iters) {
+    for (uint64_t done = 0; done < iters; done += kRun) {
+      Status st = bm.Prefetch(ids, PrefetchMode::kContiguousRuns);
+      if (!st.ok()) Fatal("prefetch", st);
+      st = bm.DropAll();
+      if (!st.ok()) Fatal("drop", st);
+    }
+  });
+}
+
+// Raw sequential disk read into a private buffer, 64 pages per call, over a
+// 16 MiB volume. Dominated by memcpy/memory bandwidth by design — this is
+// the floor the copying API cannot go below.
+BenchResult BenchReadRunSequential() {
+  SimDisk disk;
+  constexpr uint32_t kRun = 64;
+  constexpr uint32_t kVolumePages = 8192;  // 16 MiB at 2 KiB pages
+  const PageId first = disk.AllocateRun(kVolumePages);
+  std::vector<char> buf(static_cast<size_t>(kRun) * disk.page_size());
+  return Measure("disk_read_run_seq", "page", [&](uint64_t iters) {
+    PageId at = first;
+    for (uint64_t done = 0; done < iters; done += kRun) {
+      Status st = disk.ReadRun(at, kRun, buf.data());
+      if (!st.ok()) Fatal("read", st);
+      at += kRun;
+      if (at + kRun > first + kVolumePages) at = first;
+    }
+  });
+}
+
+#ifndef STARFISH_BENCH_NO_ZEROCOPY
+// The zero-copy read path: same accounting as ReadRun, no copy at all.
+BenchResult BenchReadRunZeroCopy() {
+  SimDisk disk;
+  constexpr uint32_t kRun = 64;
+  constexpr uint32_t kVolumePages = 8192;
+  const PageId first = disk.AllocateRun(kVolumePages);
+  std::vector<const char*> views;
+  return Measure("disk_read_run_seq_zerocopy", "page", [&](uint64_t iters) {
+    PageId at = first;
+    for (uint64_t done = 0; done < iters; done += kRun) {
+      Status st = disk.ReadRunZeroCopy(at, kRun, &views);
+      if (!st.ok()) Fatal("read", st);
+      at += kRun;
+      if (at + kRun > first + kVolumePages) at = first;
+    }
+  });
+}
+#endif
+
+// Raw sequential disk write, 64 pages per call.
+BenchResult BenchWriteRunSequential() {
+  SimDisk disk;
+  constexpr uint32_t kRun = 64;
+  constexpr uint32_t kVolumePages = 8192;
+  const PageId first = disk.AllocateRun(kVolumePages);
+  std::vector<char> buf(static_cast<size_t>(kRun) * disk.page_size(), 'w');
+  return Measure("disk_write_run_seq", "page", [&](uint64_t iters) {
+    PageId at = first;
+    for (uint64_t done = 0; done < iters; done += kRun) {
+      Status st = disk.WriteRun(at, kRun, buf.data());
+      if (!st.ok()) Fatal("write", st);
+      at += kRun;
+      if (at + kRun > first + kVolumePages) at = first;
+    }
+  });
+}
+
+void WriteJson(const std::vector<BenchResult>& results, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_hotpath_buffer: cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"unit\": \"%s\", "
+                 "\"ops_per_sec\": %.0f, \"ns_per_op\": %.2f, "
+                 "\"iterations\": %llu}%s\n",
+                 r.name.c_str(), r.unit.c_str(), r.ops_per_sec, r.ns_per_op,
+                 static_cast<unsigned long long>(r.iterations),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace starfish
+
+int main() {
+  using namespace starfish;
+  std::vector<BenchResult> results;
+  results.push_back(BenchFixHit());
+  results.push_back(BenchFixHitCycle());
+  results.push_back(BenchFixMissEvict());
+  results.push_back(BenchPrefetchChained());
+  results.push_back(BenchBufferReadRunSeq());
+  results.push_back(BenchReadRunSequential());
+#ifndef STARFISH_BENCH_NO_ZEROCOPY
+  results.push_back(BenchReadRunZeroCopy());
+#endif
+  results.push_back(BenchWriteRunSequential());
+
+  std::printf("%-26s %14s %12s   per-op unit\n", "benchmark", "ops/sec",
+              "ns/op");
+  for (const BenchResult& r : results) {
+    std::printf("%-26s %14.0f %12.2f   %s\n", r.name.c_str(), r.ops_per_sec,
+                r.ns_per_op, r.unit.c_str());
+  }
+  WriteJson(results, "BENCH_hotpath.json");
+  std::printf("\nwrote BENCH_hotpath.json\n");
+  return 0;
+}

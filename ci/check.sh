@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build, test, and run the hot-path bench.
+#
+# Usage: ci/check.sh [build-dir]     (default: build)
+#
+# This is exactly the ROADMAP tier-1 command plus the perf-trajectory bench;
+# run it locally before pushing.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "== test =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== hot-path bench =="
+# Emits BENCH_hotpath.json into the build dir; archive it from CI to watch
+# the perf trajectory across PRs.
+(cd "$BUILD_DIR" && ./bench_hotpath_buffer)
+
+echo "== OK =="

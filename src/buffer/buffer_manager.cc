@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <utility>
 
 namespace starfish {
 
@@ -21,40 +22,58 @@ std::string BufferStats::ToString() const {
 }
 
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
-  if (this != &other) {
-    Release();
-    bm_ = other.bm_;
-    id_ = other.id_;
-    data_ = other.data_;
-    dirty_ = other.dirty_;
-    other.bm_ = nullptr;
-    other.data_ = nullptr;
-  }
+  if (this == &other) return *this;
+  // Drop our own pin first so a guard that is assigned over never leaks it.
+  Release();
+  bm_ = std::exchange(other.bm_, nullptr);
+  id_ = std::exchange(other.id_, kInvalidPageId);
+  data_ = std::exchange(other.data_, nullptr);
+  frame_idx_ = std::exchange(other.frame_idx_, 0);
+  dirty_ = std::exchange(other.dirty_, false);
   return *this;
 }
 
 void PageGuard::Release() {
   if (bm_ != nullptr) {
     // Unfix of a held guard cannot fail: the page is pinned by us.
-    (void)bm_->Unfix(id_, dirty_);
+    (void)bm_->UnfixFrame(frame_idx_, dirty_);
     bm_ = nullptr;
+    id_ = kInvalidPageId;
     data_ = nullptr;
     dirty_ = false;
   }
 }
 
+PageGuard::~PageGuard() {
+  if (bm_ != nullptr) {
+    (void)bm_->UnfixFrame(frame_idx_, dirty_);
+  }
+}
+
 BufferManager::BufferManager(SimDisk* disk, BufferOptions options)
-    : disk_(disk), options_(options) {
+    : disk_(disk), options_(options), page_size_(disk->page_size()) {
   if (options_.frame_count == 0) options_.frame_count = 1;
   if (options_.write_batch_size == 0) options_.write_batch_size = 1;
+
+  pool_ = std::make_unique<char[]>(static_cast<size_t>(options_.frame_count) *
+                                   page_size_);
   frames_.resize(options_.frame_count);
-  for (auto& frame : frames_) {
-    frame.data.resize(disk_->page_size());
-  }
   free_frames_.reserve(options_.frame_count);
   for (uint32_t i = options_.frame_count; i > 0; --i) {
     free_frames_.push_back(i - 1);
   }
+
+  // Power-of-two table capacity >= 2 * frame_count keeps the linear-probing
+  // load factor at or below one half even with every frame resident.
+  size_t capacity = 8;
+  unsigned bits = 3;
+  while (capacity < 2 * static_cast<size_t>(options_.frame_count)) {
+    capacity <<= 1;
+    ++bits;
+  }
+  table_.resize(capacity);
+  table_mask_ = capacity - 1;
+  table_shift_ = 64 - bits;
 }
 
 BufferManager::~BufferManager() {
@@ -63,13 +82,44 @@ BufferManager::~BufferManager() {
   (void)FlushAll();
 }
 
+void BufferManager::TableInsert(PageId id, uint32_t frame_idx) {
+  size_t slot = HomeSlot(id);
+  while (table_[slot].page_id != kInvalidPageId) {
+    slot = (slot + 1) & table_mask_;
+  }
+  table_[slot].page_id = id;
+  table_[slot].frame = frame_idx;
+  ++resident_count_;
+}
+
+void BufferManager::TableErase(PageId id) {
+  size_t hole = FindSlot(id);
+  if (hole == kNotFound) return;
+  // Backward-shift deletion: pull displaced entries over the hole so every
+  // remaining key stays on its probe path (no tombstones to scan past).
+  size_t probe = hole;
+  for (;;) {
+    probe = (probe + 1) & table_mask_;
+    if (table_[probe].page_id == kInvalidPageId) break;
+    const size_t home = HomeSlot(table_[probe].page_id);
+    const bool home_between_hole_and_probe =
+        ((probe - home) & table_mask_) < ((probe - hole) & table_mask_);
+    if (!home_between_hole_and_probe) {
+      table_[hole] = table_[probe];
+      hole = probe;
+    }
+  }
+  table_[hole].page_id = kInvalidPageId;
+  --resident_count_;
+}
+
 Result<PageGuard> BufferManager::Fix(PageId id) {
   ++stats_.fixes;
-  auto it = frame_of_.find(id);
+  const size_t slot = FindSlot(id);
   uint32_t frame_idx;
-  if (it != frame_of_.end()) {
+  if (slot != kNotFound) {
     ++stats_.hits;
-    frame_idx = it->second;
+    frame_idx = table_[slot].frame;
   } else {
     ++stats_.misses;
     STARFISH_ASSIGN_OR_RETURN(frame_idx, Load(id, nullptr));
@@ -77,16 +127,29 @@ Result<PageGuard> BufferManager::Fix(PageId id) {
   Frame& frame = frames_[frame_idx];
   ++frame.pins;
   TouchFrame(frame_idx);
-  return PageGuard(this, id, frame.data.data());
+  return PageGuard(this, id, FrameData(frame_idx), frame_idx);
+}
+
+Status BufferManager::UnfixFrame(uint32_t frame_idx, bool dirty) {
+  // frame_idx always comes from a live guard, so it is in range; a pinned
+  // page cannot be evicted, so pins > 0 holds whenever the guard is valid.
+  Frame& frame = frames_[frame_idx];
+  if (frame.pins == 0) {
+    return Status::InvalidArgument("unfix of unpinned frame " +
+                                   std::to_string(frame_idx));
+  }
+  --frame.pins;
+  frame.dirty = frame.dirty || dirty;
+  return Status::OK();
 }
 
 Status BufferManager::Unfix(PageId id, bool dirty) {
-  auto it = frame_of_.find(id);
-  if (it == frame_of_.end()) {
+  const size_t slot = FindSlot(id);
+  if (slot == kNotFound) {
     return Status::InvalidArgument("unfix of non-resident page " +
                                    std::to_string(id));
   }
-  Frame& frame = frames_[it->second];
+  Frame& frame = frames_[table_[slot].frame];
   if (frame.pins == 0) {
     return Status::InvalidArgument("unfix of unpinned page " +
                                    std::to_string(id));
@@ -99,8 +162,8 @@ Status BufferManager::Unfix(PageId id, bool dirty) {
 Status BufferManager::Prefetch(const std::vector<PageId>& ids,
                                PrefetchMode mode) {
   // Collect distinct missing pages, preserving order.
-  std::vector<PageId> missing;
-  missing.reserve(ids.size());
+  std::vector<PageId>& missing = scratch_missing_;
+  missing.clear();
   for (PageId id : ids) {
     if (!IsCached(id) &&
         std::find(missing.begin(), missing.end(), id) == missing.end()) {
@@ -109,20 +172,16 @@ Status BufferManager::Prefetch(const std::vector<PageId>& ids,
   }
   if (missing.empty()) return Status::OK();
 
-  const uint32_t page_size = disk_->page_size();
   if (mode == PrefetchMode::kChained) {
-    std::vector<char> scratch(static_cast<size_t>(missing.size()) * page_size);
-    std::vector<char*> outs;
-    outs.reserve(missing.size());
+    // Zero-copy views into the disk arena: pages go arena -> frame in one
+    // memcpy each, with no staging buffer.
+    STARFISH_RETURN_NOT_OK(disk_->ReadChainedZeroCopy(missing, &scratch_views_));
     for (size_t i = 0; i < missing.size(); ++i) {
-      outs.push_back(scratch.data() + i * page_size);
-    }
-    STARFISH_RETURN_NOT_OK(disk_->ReadChained(missing, outs));
-    for (size_t i = 0; i < missing.size(); ++i) {
-      // Pages might collide with loads triggered by eviction write-backs;
-      // Load() tolerates that via the cache check below.
+      // Evictions triggered by earlier Load()s only write back resident
+      // pages, which are disjoint from `missing` by construction — the
+      // IsCached re-check is purely defensive.
       if (!IsCached(missing[i])) {
-        STARFISH_RETURN_NOT_OK(Load(missing[i], outs[i]).status());
+        STARFISH_RETURN_NOT_OK(Load(missing[i], scratch_views_[i]).status());
       }
       ++stats_.prefetched_pages;
     }
@@ -138,13 +197,12 @@ Status BufferManager::Prefetch(const std::vector<PageId>& ids,
       ++end;
     }
     const uint32_t count = static_cast<uint32_t>(end - start);
-    std::vector<char> scratch(static_cast<size_t>(count) * page_size);
-    STARFISH_RETURN_NOT_OK(disk_->ReadRun(missing[start], count, scratch.data()));
+    STARFISH_RETURN_NOT_OK(
+        disk_->ReadRunZeroCopy(missing[start], count, &scratch_views_));
     for (uint32_t i = 0; i < count; ++i) {
       if (!IsCached(missing[start + i])) {
         STARFISH_RETURN_NOT_OK(
-            Load(missing[start + i], scratch.data() + static_cast<size_t>(i) * page_size)
-                .status());
+            Load(missing[start + i], scratch_views_[i]).status());
       }
       ++stats_.prefetched_pages;
     }
@@ -153,37 +211,40 @@ Status BufferManager::Prefetch(const std::vector<PageId>& ids,
   return Status::OK();
 }
 
-Status BufferManager::FlushAll() {
-  std::vector<uint32_t> dirty_frames;
-  for (uint32_t i = 0; i < frames_.size(); ++i) {
-    if (frames_[i].page_id != kInvalidPageId && frames_[i].dirty) {
-      dirty_frames.push_back(i);
-    }
-  }
-  // Write in page-id order, chained in batches: disconnect-time write-back.
-  std::sort(dirty_frames.begin(), dirty_frames.end(),
+Status BufferManager::WriteFrameBatchSorted(size_t batch_limit) {
+  std::sort(scratch_frames_.begin(), scratch_frames_.end(),
             [this](uint32_t a, uint32_t b) {
               return frames_[a].page_id < frames_[b].page_id;
             });
   size_t pos = 0;
-  while (pos < dirty_frames.size()) {
-    const size_t batch_end =
-        std::min(dirty_frames.size(), pos + options_.write_batch_size);
-    std::vector<PageId> ids;
-    std::vector<const char*> srcs;
+  while (pos < scratch_frames_.size()) {
+    const size_t batch_end = std::min(scratch_frames_.size(), pos + batch_limit);
+    scratch_ids_.clear();
+    scratch_srcs_.clear();
     for (size_t i = pos; i < batch_end; ++i) {
-      Frame& frame = frames_[dirty_frames[i]];
-      ids.push_back(frame.page_id);
-      srcs.push_back(frame.data.data());
+      const uint32_t idx = scratch_frames_[i];
+      scratch_ids_.push_back(frames_[idx].page_id);
+      scratch_srcs_.push_back(FrameData(idx));
     }
-    STARFISH_RETURN_NOT_OK(disk_->WriteChained(ids, srcs));
+    STARFISH_RETURN_NOT_OK(disk_->WriteChained(scratch_ids_, scratch_srcs_));
     for (size_t i = pos; i < batch_end; ++i) {
-      frames_[dirty_frames[i]].dirty = false;
+      frames_[scratch_frames_[i]].dirty = false;
       ++stats_.write_backs;
     }
     pos = batch_end;
   }
   return Status::OK();
+}
+
+Status BufferManager::FlushAll() {
+  scratch_frames_.clear();
+  for (uint32_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].page_id != kInvalidPageId && frames_[i].dirty) {
+      scratch_frames_.push_back(i);
+    }
+  }
+  // Write in page-id order, chained in batches: disconnect-time write-back.
+  return WriteFrameBatchSorted(options_.write_batch_size);
 }
 
 Status BufferManager::DropAll() {
@@ -198,12 +259,13 @@ Status BufferManager::DropAll() {
     Frame& frame = frames_[i];
     if (frame.page_id != kInvalidPageId) {
       RemoveFromOrder(i);
-      frame_of_.erase(frame.page_id);
       frame.page_id = kInvalidPageId;
       frame.referenced = false;
       free_frames_.push_back(i);
     }
   }
+  std::fill(table_.begin(), table_.end(), TableSlot{});
+  resident_count_ = 0;
   return Status::OK();
 }
 
@@ -211,15 +273,15 @@ Result<uint32_t> BufferManager::Load(PageId id, const char* already_read) {
   STARFISH_ASSIGN_OR_RETURN(uint32_t frame_idx, GrabFrame());
   Frame& frame = frames_[frame_idx];
   if (already_read != nullptr) {
-    std::memcpy(frame.data.data(), already_read, disk_->page_size());
+    std::memcpy(FrameData(frame_idx), already_read, page_size_);
   } else {
-    STARFISH_RETURN_NOT_OK(disk_->ReadRun(id, 1, frame.data.data()));
+    STARFISH_RETURN_NOT_OK(disk_->ReadRun(id, 1, FrameData(frame_idx)));
   }
   frame.page_id = id;
   frame.pins = 0;
   frame.dirty = false;
   frame.referenced = true;
-  frame_of_[id] = frame_idx;
+  TableInsert(id, frame_idx);
   EnqueueFrame(frame_idx);
   return frame_idx;
 }
@@ -238,7 +300,7 @@ Result<uint32_t> BufferManager::GrabFrame() {
     STARFISH_RETURN_NOT_OK(WriteBackBatch(victim));
   }
   RemoveFromOrder(victim);
-  frame_of_.erase(frame.page_id);
+  TableErase(frame.page_id);
   frame.page_id = kInvalidPageId;
   frame.referenced = false;
   ++stats_.evictions;
@@ -249,7 +311,8 @@ Result<uint32_t> BufferManager::PickVictim() {
   switch (options_.policy) {
     case ReplacementPolicy::kLru:
     case ReplacementPolicy::kFifo: {
-      for (uint32_t idx : order_) {
+      for (uint32_t idx = order_head_; idx != kNullFrame;
+           idx = frames_[idx].next) {
         if (frames_[idx].pins == 0) return idx;
       }
       return Status::ResourceExhausted("all buffer frames pinned");
@@ -274,67 +337,73 @@ Result<uint32_t> BufferManager::PickVictim() {
 }
 
 Status BufferManager::WriteBackBatch(uint32_t must_include) {
-  std::vector<uint32_t> batch;
-  batch.push_back(must_include);
+  scratch_frames_.clear();
+  scratch_frames_.push_back(must_include);
   // Walk the eviction order from cold to hot collecting dirty unpinned
   // frames. For CLOCK there is no order list; fall back to frame order.
   if (options_.policy == ReplacementPolicy::kClock) {
-    for (uint32_t i = 0; i < frames_.size() && batch.size() < options_.write_batch_size; ++i) {
+    for (uint32_t i = 0; i < frames_.size() &&
+                         scratch_frames_.size() < options_.write_batch_size;
+         ++i) {
       const Frame& frame = frames_[i];
       if (i != must_include && frame.page_id != kInvalidPageId && frame.dirty &&
           frame.pins == 0) {
-        batch.push_back(i);
+        scratch_frames_.push_back(i);
       }
     }
   } else {
-    for (uint32_t idx : order_) {
-      if (batch.size() >= options_.write_batch_size) break;
+    for (uint32_t idx = order_head_; idx != kNullFrame;
+         idx = frames_[idx].next) {
+      if (scratch_frames_.size() >= options_.write_batch_size) break;
       const Frame& frame = frames_[idx];
       if (idx != must_include && frame.dirty && frame.pins == 0) {
-        batch.push_back(idx);
+        scratch_frames_.push_back(idx);
       }
     }
   }
-  std::sort(batch.begin(), batch.end(), [this](uint32_t a, uint32_t b) {
-    return frames_[a].page_id < frames_[b].page_id;
-  });
-  std::vector<PageId> ids;
-  std::vector<const char*> srcs;
-  ids.reserve(batch.size());
-  for (uint32_t idx : batch) {
-    ids.push_back(frames_[idx].page_id);
-    srcs.push_back(frames_[idx].data.data());
-  }
-  STARFISH_RETURN_NOT_OK(disk_->WriteChained(ids, srcs));
-  for (uint32_t idx : batch) {
-    frames_[idx].dirty = false;
-    ++stats_.write_backs;
-  }
-  return Status::OK();
+  return WriteFrameBatchSorted(scratch_frames_.size());
 }
 
 void BufferManager::TouchFrame(uint32_t frame_idx) {
   Frame& frame = frames_[frame_idx];
   frame.referenced = true;
-  if (options_.policy == ReplacementPolicy::kLru && frame.in_order) {
-    order_.erase(frame.order_pos);
-    frame.order_pos = order_.insert(order_.end(), frame_idx);
+  if (options_.policy == ReplacementPolicy::kLru && frame.in_order &&
+      order_tail_ != frame_idx) {
+    RemoveFromOrder(frame_idx);
+    EnqueueFrame(frame_idx);
   }
   // FIFO: position fixed at load time. CLOCK: referenced bit is enough.
 }
 
 void BufferManager::EnqueueFrame(uint32_t frame_idx) {
   Frame& frame = frames_[frame_idx];
-  frame.order_pos = order_.insert(order_.end(), frame_idx);
+  frame.prev = order_tail_;
+  frame.next = kNullFrame;
+  if (order_tail_ != kNullFrame) {
+    frames_[order_tail_].next = frame_idx;
+  } else {
+    order_head_ = frame_idx;
+  }
+  order_tail_ = frame_idx;
   frame.in_order = true;
 }
 
 void BufferManager::RemoveFromOrder(uint32_t frame_idx) {
   Frame& frame = frames_[frame_idx];
-  if (frame.in_order) {
-    order_.erase(frame.order_pos);
-    frame.in_order = false;
+  if (!frame.in_order) return;
+  if (frame.prev != kNullFrame) {
+    frames_[frame.prev].next = frame.next;
+  } else {
+    order_head_ = frame.next;
   }
+  if (frame.next != kNullFrame) {
+    frames_[frame.next].prev = frame.prev;
+  } else {
+    order_tail_ = frame.prev;
+  }
+  frame.prev = kNullFrame;
+  frame.next = kNullFrame;
+  frame.in_order = false;
 }
 
 }  // namespace starfish

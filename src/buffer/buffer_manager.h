@@ -1,9 +1,8 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "disk/page.h"
@@ -27,6 +26,16 @@
 ///
 /// Replacement is LRU by default; CLOCK and FIFO are provided for the
 /// buffer-policy ablation bench.
+///
+/// Implementation notes (the zero-copy hot path): all frame data lives in
+/// one contiguous pool allocation (frame i at `pool + i * page_size`); the
+/// LRU/FIFO eviction order is an intrusive doubly-linked list threaded
+/// through prev/next frame indices (no per-touch heap traffic); the
+/// page->frame map is a flat open-addressing table with linear probing.
+/// Prefetch copies pages from the disk arena straight into frames via
+/// SimDisk's zero-copy read views, and write-back hands frame pointers
+/// straight to WriteChained — steady state does no heap allocation and one
+/// memcpy per page moved.
 
 namespace starfish {
 
@@ -89,13 +98,14 @@ class BufferManager;
 class PageGuard {
  public:
   PageGuard() = default;
-  PageGuard(BufferManager* bm, PageId id, char* data)
-      : bm_(bm), id_(id), data_(data) {}
+  PageGuard(BufferManager* bm, PageId id, char* data, uint32_t frame_idx)
+      : bm_(bm), id_(id), data_(data), frame_idx_(frame_idx) {}
   PageGuard(const PageGuard&) = delete;
   PageGuard& operator=(const PageGuard&) = delete;
   PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
   PageGuard& operator=(PageGuard&& other) noexcept;
-  ~PageGuard() { Release(); }
+  // Dying guards skip Release()'s member resets (nobody can observe them).
+  ~PageGuard();
 
   /// True when this guard holds a pinned page.
   bool valid() const { return bm_ != nullptr; }
@@ -116,6 +126,7 @@ class PageGuard {
   BufferManager* bm_ = nullptr;
   PageId id_ = kInvalidPageId;
   char* data_ = nullptr;
+  uint32_t frame_idx_ = 0;
   bool dirty_ = false;
 };
 
@@ -147,10 +158,10 @@ class BufferManager {
   Status DropAll();
 
   /// True if `id` currently occupies a frame.
-  bool IsCached(PageId id) const { return frame_of_.count(id) > 0; }
+  bool IsCached(PageId id) const { return FindSlot(id) != kNotFound; }
 
   /// Number of resident pages.
-  uint32_t resident_count() const { return static_cast<uint32_t>(frame_of_.size()); }
+  uint32_t resident_count() const { return resident_count_; }
 
   uint32_t frame_count() const { return options_.frame_count; }
 
@@ -160,19 +171,64 @@ class BufferManager {
   SimDisk* disk() { return disk_; }
 
  private:
+  static constexpr uint32_t kNullFrame = 0xFFFFFFFFu;
+  static constexpr size_t kNotFound = ~static_cast<size_t>(0);
+
+  /// Frame metadata only — the page bytes live in the contiguous pool_ at
+  /// `pool_ + index * page_size`. prev/next thread the LRU/FIFO eviction
+  /// order through the frame array itself (front = coldest).
   struct Frame {
     PageId page_id = kInvalidPageId;
-    std::vector<char> data;
     uint32_t pins = 0;
+    uint32_t prev = kNullFrame;
+    uint32_t next = kNullFrame;
     bool dirty = false;
     bool referenced = false;  // CLOCK second-chance bit
-    std::list<uint32_t>::iterator order_pos;  // position in order_ (LRU/FIFO)
     bool in_order = false;
   };
 
+  /// One slot of the open-addressing page table.
+  struct TableSlot {
+    PageId page_id = kInvalidPageId;  // kInvalidPageId = empty
+    uint32_t frame = 0;
+  };
+
+  char* FrameData(uint32_t frame_idx) {
+    return pool_.get() + static_cast<size_t>(frame_idx) * page_size_;
+  }
+  const char* FrameData(uint32_t frame_idx) const {
+    return pool_.get() + static_cast<size_t>(frame_idx) * page_size_;
+  }
+
+  /// Fibonacci-hash home slot for a page id.
+  size_t HomeSlot(PageId id) const {
+    return static_cast<size_t>(
+        (static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ull) >> table_shift_);
+  }
+
+  /// Table slot holding `id`, or kNotFound.
+  size_t FindSlot(PageId id) const {
+    size_t slot = HomeSlot(id);
+    while (table_[slot].page_id != kInvalidPageId) {
+      if (table_[slot].page_id == id) return slot;
+      slot = (slot + 1) & table_mask_;
+    }
+    return kNotFound;
+  }
+
+  void TableInsert(PageId id, uint32_t frame_idx);
+  void TableErase(PageId id);
+
+  /// Unpin via the frame index a PageGuard carries — skips the page-table
+  /// lookup the public Unfix needs. Safe because a pinned page cannot be
+  /// evicted, so the page->frame binding is stable while the guard lives.
+  Status UnfixFrame(uint32_t frame_idx, bool dirty);
+  friend class PageGuard;
+
   /// Loads `id` into a frame (evicting if needed) without counting a fix.
-  /// `already_read` supplies page bytes read by a chained call, nullptr to
-  /// read from disk (single-page call).
+  /// `already_read` supplies page bytes read by a chained call (a zero-copy
+  /// view into the disk arena), nullptr to read from disk (single-page
+  /// call, straight into the frame).
   Result<uint32_t> Load(PageId id, const char* already_read);
 
   /// Returns a free frame index, evicting a victim if the pool is full.
@@ -186,6 +242,10 @@ class BufferManager {
   /// including `must_include`) with one chained write call.
   Status WriteBackBatch(uint32_t must_include);
 
+  /// Writes the dirty frames listed in `scratch_frames_` (chained, batched,
+  /// page-id order) and marks them clean. Shared by FlushAll/WriteBackBatch.
+  Status WriteFrameBatchSorted(size_t batch_limit);
+
   /// Policy bookkeeping on access / load.
   void TouchFrame(uint32_t frame_idx);
   void EnqueueFrame(uint32_t frame_idx);
@@ -193,12 +253,26 @@ class BufferManager {
 
   SimDisk* disk_;
   BufferOptions options_;
+  uint32_t page_size_;
+  std::unique_ptr<char[]> pool_;  ///< frame_count * page_size bytes
   std::vector<Frame> frames_;
   std::vector<uint32_t> free_frames_;
-  std::unordered_map<PageId, uint32_t> frame_of_;
-  std::list<uint32_t> order_;  // eviction order for LRU/FIFO (front = coldest)
+  /// Open-addressing page table: power-of-two capacity >= 2 * frame_count
+  /// (load factor <= 0.5), linear probing, backward-shift deletion.
+  std::vector<TableSlot> table_;
+  size_t table_mask_ = 0;
+  unsigned table_shift_ = 0;
+  uint32_t resident_count_ = 0;
+  uint32_t order_head_ = kNullFrame;  ///< coldest (eviction candidate)
+  uint32_t order_tail_ = kNullFrame;  ///< hottest
   uint32_t clock_hand_ = 0;
   BufferStats stats_;
+  /// Reused per-call scratch (steady state allocates nothing).
+  std::vector<PageId> scratch_missing_;
+  std::vector<const char*> scratch_views_;
+  std::vector<uint32_t> scratch_frames_;
+  std::vector<PageId> scratch_ids_;
+  std::vector<const char*> scratch_srcs_;
 };
 
 }  // namespace starfish

@@ -1,20 +1,30 @@
 #include "disk/sim_disk.h"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 
 namespace starfish {
 
-SimDisk::SimDisk(DiskOptions options) : options_(options) {}
+SimDisk::SimDisk(DiskOptions options) : options_(options) {
+  if (options_.page_size == 0) options_.page_size = kDefaultPageSize;
+  pages_per_extent_ = std::max(1u, options_.extent_bytes / options_.page_size);
+}
 
 PageId SimDisk::Allocate() { return AllocateRun(1); }
 
 PageId SimDisk::AllocateRun(uint32_t n) {
-  const PageId first = static_cast<PageId>(pages_.size());
-  for (uint32_t i = 0; i < n; ++i) {
-    pages_.emplace_back(options_.page_size, '\0');
-    freed_.push_back(false);
+  const PageId first = static_cast<PageId>(page_count_);
+  page_count_ += n;
+  const uint64_t extents_needed =
+      (page_count_ + pages_per_extent_ - 1) / pages_per_extent_;
+  while (extents_.size() < extents_needed) {
+    // make_unique value-initializes: fresh extents (and thus fresh pages)
+    // are zero-filled. Ids are never reused, so no page is handed out twice.
+    extents_.push_back(std::make_unique<char[]>(
+        static_cast<size_t>(pages_per_extent_) * options_.page_size));
   }
+  freed_.resize(page_count_, false);
   live_pages_ += n;
   return first;
 }
@@ -33,19 +43,26 @@ Status SimDisk::Free(PageId id) {
 Status SimDisk::CheckRange(PageId first, uint32_t count) const {
   if (count == 0) return Status::InvalidArgument("empty page run");
   const uint64_t end = static_cast<uint64_t>(first) + count;
-  if (first == kInvalidPageId || end > pages_.size()) {
+  if (first == kInvalidPageId || end > page_count_) {
     return Status::OutOfRange("page run [" + std::to_string(first) + ", " +
                               std::to_string(end) + ") outside volume of " +
-                              std::to_string(pages_.size()) + " pages");
+                              std::to_string(page_count_) + " pages");
   }
   return Status::OK();
 }
 
 Status SimDisk::ReadRun(PageId first, uint32_t count, char* out) {
   STARFISH_RETURN_NOT_OK(CheckRange(first, count));
-  for (uint32_t i = 0; i < count; ++i) {
-    std::memcpy(out + static_cast<size_t>(i) * options_.page_size,
-                pages_[first + i].data(), options_.page_size);
+  const uint32_t page_size = options_.page_size;
+  // One memcpy per extent touched; a run inside one extent is one memcpy.
+  uint32_t done = 0;
+  while (done < count) {
+    const PageId id = first + done;
+    const uint32_t left_in_extent = pages_per_extent_ - id % pages_per_extent_;
+    const uint32_t n = std::min(count - done, left_in_extent);
+    std::memcpy(out + static_cast<size_t>(done) * page_size, PagePtr(id),
+                static_cast<size_t>(n) * page_size);
+    done += n;
   }
   stats_.read_calls += 1;
   stats_.pages_read += count;
@@ -54,13 +71,31 @@ Status SimDisk::ReadRun(PageId first, uint32_t count, char* out) {
 
 Status SimDisk::WriteRun(PageId first, uint32_t count, const char* src) {
   STARFISH_RETURN_NOT_OK(CheckRange(first, count));
-  for (uint32_t i = 0; i < count; ++i) {
-    std::memcpy(pages_[first + i].data(),
-                src + static_cast<size_t>(i) * options_.page_size,
-                options_.page_size);
+  const uint32_t page_size = options_.page_size;
+  uint32_t done = 0;
+  while (done < count) {
+    const PageId id = first + done;
+    const uint32_t left_in_extent = pages_per_extent_ - id % pages_per_extent_;
+    const uint32_t n = std::min(count - done, left_in_extent);
+    std::memcpy(PagePtr(id), src + static_cast<size_t>(done) * page_size,
+                static_cast<size_t>(n) * page_size);
+    done += n;
   }
   stats_.write_calls += 1;
   stats_.pages_written += count;
+  return Status::OK();
+}
+
+Status SimDisk::ReadRunZeroCopy(PageId first, uint32_t count,
+                                std::vector<const char*>* views) {
+  STARFISH_RETURN_NOT_OK(CheckRange(first, count));
+  views->clear();
+  views->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    views->push_back(PagePtr(first + i));
+  }
+  stats_.read_calls += 1;
+  stats_.pages_read += count;
   return Status::OK();
 }
 
@@ -72,7 +107,21 @@ Status SimDisk::ReadChained(const std::vector<PageId>& ids,
   }
   for (size_t i = 0; i < ids.size(); ++i) {
     STARFISH_RETURN_NOT_OK(CheckRange(ids[i], 1));
-    std::memcpy(outs[i], pages_[ids[i]].data(), options_.page_size);
+    std::memcpy(outs[i], PagePtr(ids[i]), options_.page_size);
+  }
+  stats_.read_calls += 1;
+  stats_.pages_read += ids.size();
+  return Status::OK();
+}
+
+Status SimDisk::ReadChainedZeroCopy(const std::vector<PageId>& ids,
+                                    std::vector<const char*>* views) {
+  if (ids.empty()) return Status::InvalidArgument("empty chained read");
+  views->clear();
+  views->reserve(ids.size());
+  for (PageId id : ids) {
+    STARFISH_RETURN_NOT_OK(CheckRange(id, 1));
+    views->push_back(PagePtr(id));
   }
   stats_.read_calls += 1;
   stats_.pages_read += ids.size();
@@ -87,11 +136,16 @@ Status SimDisk::WriteChained(const std::vector<PageId>& ids,
   }
   for (size_t i = 0; i < ids.size(); ++i) {
     STARFISH_RETURN_NOT_OK(CheckRange(ids[i], 1));
-    std::memcpy(pages_[ids[i]].data(), srcs[i], options_.page_size);
+    std::memcpy(PagePtr(ids[i]), srcs[i], options_.page_size);
   }
   stats_.write_calls += 1;
   stats_.pages_written += ids.size();
   return Status::OK();
+}
+
+const char* SimDisk::PeekPage(PageId id) const {
+  if (id == kInvalidPageId || id >= page_count_) return nullptr;
+  return PagePtr(id);
 }
 
 }  // namespace starfish

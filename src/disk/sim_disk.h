@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "disk/io_stats.h"
@@ -20,6 +21,14 @@
 ///
 /// Page ids are dense and increase in allocation order; AllocateRun yields
 /// physically contiguous pages, which is how segments implement clustering.
+///
+/// Storage layout: pages live in a chunked flat arena — fixed-size extents
+/// (DiskOptions::extent_bytes, default 4 MiB) each holding a contiguous run
+/// of pages. Consecutive page ids are physically adjacent within an extent,
+/// so a ReadRun/WriteRun is a bounds check plus one memcpy per extent
+/// touched (one for any run that fits in an extent). Extents are never
+/// moved or freed while the volume lives, which is what makes the zero-copy
+/// accessors below safe.
 
 namespace starfish {
 
@@ -27,6 +36,10 @@ namespace starfish {
 struct DiskOptions {
   /// Physical page size in bytes. DASDBS default: 2048.
   uint32_t page_size = kDefaultPageSize;
+
+  /// Arena extent size in bytes; each extent stores
+  /// max(1, extent_bytes / page_size) contiguous pages.
+  uint32_t extent_bytes = 4u << 20;
 };
 
 /// An in-memory disk volume with I/O accounting.
@@ -40,8 +53,11 @@ class SimDisk {
   /// Usable page size of this volume.
   uint32_t page_size() const { return options_.page_size; }
 
+  /// Pages per arena extent (geometry detail, exposed for tests).
+  uint32_t pages_per_extent() const { return pages_per_extent_; }
+
   /// Number of pages ever allocated (including freed ones).
-  uint64_t page_count() const { return pages_.size(); }
+  uint64_t page_count() const { return page_count_; }
 
   /// Number of currently allocated (not freed) pages.
   uint64_t live_page_count() const { return live_pages_; }
@@ -66,17 +82,36 @@ class SimDisk {
   /// Counts one write call and `count` page writes.
   Status WriteRun(PageId first, uint32_t count, const char* src);
 
+  /// Zero-copy variant of ReadRun: instead of copying into a caller buffer,
+  /// appends one stable arena pointer per page to `views` (cleared first).
+  /// Same accounting as ReadRun (one read call, `count` page reads). The
+  /// pointers remain valid for the lifetime of the volume; the buffer
+  /// manager uses this to copy straight into its frames with no staging
+  /// buffer in between.
+  Status ReadRunZeroCopy(PageId first, uint32_t count,
+                         std::vector<const char*>* views);
+
   /// Reads a batch of (not necessarily contiguous) pages as a single chained
   /// I/O call, e.g. DASDBS fetching all data pages of one object in one
   /// request. Counts one read call and `ids.size()` page reads.
   Status ReadChained(const std::vector<PageId>& ids,
                      const std::vector<char*>& outs);
 
+  /// Zero-copy variant of ReadChained: appends one stable arena pointer per
+  /// page to `views` (cleared first). Same accounting as ReadChained.
+  Status ReadChainedZeroCopy(const std::vector<PageId>& ids,
+                             std::vector<const char*>* views);
+
   /// Writes a batch of (not necessarily contiguous) pages as a single chained
   /// I/O call (DASDBS batches write-back at buffer overflow / disconnect).
   /// Counts one write call and `ids.size()` page writes.
   Status WriteChained(const std::vector<PageId>& ids,
                       const std::vector<const char*>& srcs);
+
+  /// Unmetered read-only view of a page's bytes, or nullptr when `id` is out
+  /// of range. Debug/test accessor: it deliberately bypasses the I/O
+  /// counters, so production paths must go through the metered calls above.
+  const char* PeekPage(PageId id) const;
 
   /// Cumulative transfer counters.
   const IoStats& stats() const { return stats_; }
@@ -87,8 +122,22 @@ class SimDisk {
  private:
   Status CheckRange(PageId first, uint32_t count) const;
 
+  char* PagePtr(PageId id) {
+    return extents_[id / pages_per_extent_].get() +
+           static_cast<size_t>(id % pages_per_extent_) * options_.page_size;
+  }
+  const char* PagePtr(PageId id) const {
+    return extents_[id / pages_per_extent_].get() +
+           static_cast<size_t>(id % pages_per_extent_) * options_.page_size;
+  }
+
   DiskOptions options_;
-  std::vector<std::vector<char>> pages_;
+  uint32_t pages_per_extent_;
+  /// Extent arrays never move once allocated (the vector of owners may
+  /// reallocate, the arrays it owns do not) — PeekPage/ZeroCopy views stay
+  /// valid across later allocations.
+  std::vector<std::unique_ptr<char[]>> extents_;
+  uint64_t page_count_ = 0;
   std::vector<bool> freed_;
   uint64_t live_pages_ = 0;
   IoStats stats_;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <list>
 #include <vector>
 
 namespace starfish {
@@ -226,6 +228,182 @@ TEST_F(BufferManagerTest, PageGuardMoveTransfersOwnership) {
   // Releasing twice is harmless.
   moved.Release();
 }
+
+TEST_F(BufferManagerTest, PageGuardMoveAssignReleasesHeldPin) {
+  disk_.AllocateRun(2);
+  BufferManager bm(&disk_, SmallPool(4));
+  auto g0 = bm.Fix(0);
+  auto g1 = bm.Fix(1);
+  ASSERT_TRUE(g0.ok());
+  ASSERT_TRUE(g1.ok());
+  // Assigning over a held guard must release page 0's pin...
+  g0.value() = std::move(g1.value());
+  EXPECT_TRUE(bm.Unfix(0, false).IsInvalidArgument());  // already unpinned
+  // ...and the target now owns page 1's pin.
+  EXPECT_EQ(g0->page_id(), 1u);
+  EXPECT_TRUE(g0->valid());
+  EXPECT_FALSE(g1->valid());
+  g0->Release();
+  ASSERT_TRUE(bm.DropAll().ok());  // nothing pinned anymore
+}
+
+TEST_F(BufferManagerTest, PageGuardSelfMoveIsSafe) {
+  disk_.Allocate();
+  BufferManager bm(&disk_, SmallPool(2));
+  auto g = bm.Fix(0);
+  ASSERT_TRUE(g.ok());
+  PageGuard& guard = g.value();
+  guard = std::move(guard);  // must not release or corrupt the pin
+  EXPECT_TRUE(guard.valid());
+  EXPECT_EQ(guard.page_id(), 0u);
+  guard.Release();
+  ASSERT_TRUE(bm.DropAll().ok());
+}
+
+TEST_F(BufferManagerTest, PageGuardMoveCarriesDirtyFlag) {
+  disk_.Allocate();
+  BufferManager bm(&disk_, SmallPool(2));
+  {
+    auto g = bm.Fix(0);
+    ASSERT_TRUE(g.ok());
+    g->data()[5] = 'D';
+    g->MarkDirty();
+    PageGuard moved = std::move(g.value());
+    // The moved-from guard must not mark anything dirty when destroyed, and
+    // the moved-to guard must deliver the dirty bit on release.
+  }
+  ASSERT_TRUE(bm.FlushAll().ok());
+  EXPECT_EQ(disk_.stats().pages_written, 1u);
+  std::vector<char> buf(disk_.page_size());
+  ASSERT_TRUE(disk_.ReadRun(0, 1, buf.data()).ok());
+  EXPECT_EQ(buf[5], 'D');
+}
+
+TEST_F(BufferManagerTest, PageGuardMovedFromGuardDropsDirtyState) {
+  disk_.AllocateRun(2);
+  BufferManager bm(&disk_, SmallPool(4));
+  auto g = bm.Fix(0);
+  ASSERT_TRUE(g.ok());
+  g->MarkDirty();
+  PageGuard sink = std::move(g.value());
+  sink.Release();
+  // Re-using the moved-from guard as an assignment target must not leak the
+  // old dirty flag into the new pin.
+  auto clean = bm.Fix(1);
+  ASSERT_TRUE(clean.ok());
+  g.value() = std::move(clean.value());
+  g->Release();
+  disk_.ResetStats();
+  ASSERT_TRUE(bm.FlushAll().ok());  // page 1 was never dirtied via g
+  EXPECT_EQ(disk_.stats().pages_written, 1u);  // only page 0
+}
+
+TEST_F(BufferManagerTest, PrefetchRunsDeduplicatesIds) {
+  disk_.AllocateRun(8);
+  BufferManager bm(&disk_, SmallPool(8));
+  // {3,4,5} with duplicates -> one run, one call, three pages.
+  ASSERT_TRUE(
+      bm.Prefetch({5, 3, 3, 4, 5, 4}, PrefetchMode::kContiguousRuns).ok());
+  EXPECT_EQ(disk_.stats().read_calls, 1u);
+  EXPECT_EQ(disk_.stats().pages_read, 3u);
+  EXPECT_EQ(bm.stats().prefetched_pages, 3u);
+}
+
+TEST_F(BufferManagerTest, PrefetchedDataMatchesDisk) {
+  const PageId first = disk_.AllocateRun(6);
+  std::vector<char> data(disk_.page_size());
+  for (PageId id = first; id < first + 6; ++id) {
+    std::fill(data.begin(), data.end(), static_cast<char>('0' + id));
+    ASSERT_TRUE(disk_.WriteRun(id, 1, data.data()).ok());
+  }
+  BufferManager bm(&disk_, SmallPool(8));
+  ASSERT_TRUE(bm.Prefetch({0, 2, 4}, PrefetchMode::kChained).ok());
+  ASSERT_TRUE(bm.Prefetch({1, 3}, PrefetchMode::kContiguousRuns).ok());
+  for (PageId id = 0; id < 5; ++id) {
+    auto g = bm.Fix(id);
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(g->data()[0], static_cast<char>('0' + id)) << "page " << id;
+  }
+}
+
+// ---- eviction-order equivalence against a reference model ----------------
+//
+// The intrusive prev/next list must evict in exactly the order the old
+// std::list-based implementation did. The reference below *is* that old
+// behaviour: LRU moves a page to the hot end on every fix, FIFO leaves the
+// load position untouched; eviction takes the coldest unpinned page.
+
+class ReferenceLruFifo {
+ public:
+  ReferenceLruFifo(uint32_t capacity, bool lru)
+      : capacity_(capacity), lru_(lru) {}
+
+  // Returns the page evicted by this access, or kInvalidPageId.
+  PageId Access(PageId id) {
+    auto it = std::find(order_.begin(), order_.end(), id);
+    if (it != order_.end()) {
+      if (lru_) {
+        order_.erase(it);
+        order_.push_back(id);
+      }
+      return kInvalidPageId;
+    }
+    PageId victim = kInvalidPageId;
+    if (order_.size() == capacity_) {
+      victim = order_.front();
+      order_.pop_front();
+    }
+    order_.push_back(id);
+    return victim;
+  }
+
+  const std::list<PageId>& order() const { return order_; }
+
+ private:
+  uint32_t capacity_;
+  bool lru_;
+  std::list<PageId> order_;
+};
+
+class EvictionEquivalenceTest
+    : public ::testing::TestWithParam<ReplacementPolicy> {};
+
+TEST_P(EvictionEquivalenceTest, MatchesListBasedReferenceModel) {
+  const bool lru = GetParam() == ReplacementPolicy::kLru;
+  constexpr uint32_t kFrames = 7;
+  constexpr uint32_t kPages = 23;
+  SimDisk disk;
+  disk.AllocateRun(kPages);
+  BufferOptions o;
+  o.frame_count = kFrames;
+  o.policy = GetParam();
+  BufferManager bm(&disk, o);
+  ReferenceLruFifo ref(kFrames, lru);
+
+  // Deterministic pseudo-random access pattern (LCG).
+  uint64_t state = 0x2545F4914F6CDD1Dull;
+  for (int step = 0; step < 4000; ++step) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const PageId id = static_cast<PageId>((state >> 33) % kPages);
+    ref.Access(id);
+    auto g = bm.Fix(id);
+    ASSERT_TRUE(g.ok()) << "step " << step;
+  }
+  // Same residency set, same eviction order => same survivors.
+  ASSERT_EQ(bm.resident_count(), ref.order().size());
+  for (PageId id : ref.order()) {
+    EXPECT_TRUE(bm.IsCached(id)) << "page " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LruAndFifo, EvictionEquivalenceTest,
+                         ::testing::Values(ReplacementPolicy::kLru,
+                                           ReplacementPolicy::kFifo),
+                         [](const auto& info) {
+                           return info.param == ReplacementPolicy::kLru
+                                      ? "Lru"
+                                      : "Fifo";
+                         });
 
 class PolicyTest : public ::testing::TestWithParam<ReplacementPolicy> {};
 

@@ -135,6 +135,142 @@ TEST(SimDiskTest, ResetStatsZeroesCounters) {
   EXPECT_EQ(disk.stats().TotalPages(), 0u);
 }
 
+// --- arena / extent-boundary coverage -------------------------------------
+
+// A tiny geometry (4 pages per extent) so runs cross extents cheaply.
+DiskOptions TinyExtents() {
+  DiskOptions o;
+  o.page_size = 256;
+  o.extent_bytes = 1024;
+  return o;
+}
+
+TEST(SimDiskArenaTest, GeometryFollowsOptions) {
+  SimDisk disk(TinyExtents());
+  EXPECT_EQ(disk.pages_per_extent(), 4u);
+  // An extent smaller than one page still holds one page.
+  DiskOptions big;
+  big.page_size = 4096;
+  big.extent_bytes = 1024;
+  EXPECT_EQ(SimDisk(big).pages_per_extent(), 1u);
+}
+
+TEST(SimDiskArenaTest, RunSpanningExtentsRoundTrips) {
+  SimDisk disk(TinyExtents());
+  const uint32_t n = 11;  // crosses two extent boundaries
+  const PageId first = disk.AllocateRun(n);
+  std::vector<char> data(n * disk.page_size());
+  for (uint32_t i = 0; i < n; ++i) {
+    std::fill_n(data.begin() + i * disk.page_size(), disk.page_size(),
+                static_cast<char>('a' + i));
+  }
+  ASSERT_TRUE(disk.WriteRun(first, n, data.data()).ok());
+  EXPECT_EQ(disk.stats().write_calls, 1u);
+  EXPECT_EQ(disk.stats().pages_written, n);
+  std::vector<char> buf(n * disk.page_size());
+  ASSERT_TRUE(disk.ReadRun(first, n, buf.data()).ok());
+  EXPECT_EQ(disk.stats().read_calls, 1u);
+  EXPECT_EQ(disk.stats().pages_read, n);
+  EXPECT_EQ(std::memcmp(buf.data(), data.data(), buf.size()), 0);
+}
+
+TEST(SimDiskArenaTest, RunStartingMidExtentSpansBoundary) {
+  SimDisk disk(TinyExtents());
+  disk.AllocateRun(3);                       // pages 0..2
+  const PageId first = disk.AllocateRun(4);  // pages 3..6: extents 0 and 1
+  EXPECT_EQ(first, 3u);
+  std::vector<char> data(4 * disk.page_size(), 'S');
+  ASSERT_TRUE(disk.WriteRun(first, 4, data.data()).ok());
+  std::vector<char> buf(disk.page_size());
+  for (PageId id = first; id < first + 4; ++id) {
+    ASSERT_TRUE(disk.ReadRun(id, 1, buf.data()).ok());
+    EXPECT_EQ(buf[0], 'S') << "page " << id;
+  }
+}
+
+TEST(SimDiskArenaTest, FreshPagesZeroFilledAcrossManyExtents) {
+  SimDisk disk(TinyExtents());
+  const uint32_t n = 4 * disk.pages_per_extent() + 2;
+  const PageId first = disk.AllocateRun(n);
+  std::vector<char> buf(n * disk.page_size(), 'x');
+  ASSERT_TRUE(disk.ReadRun(first, n, buf.data()).ok());
+  for (char c : buf) ASSERT_EQ(c, '\0');
+}
+
+TEST(SimDiskArenaTest, PeekPageIsUnmeteredAndStable) {
+  SimDisk disk(TinyExtents());
+  const PageId id = disk.AllocateRun(6) + 5;
+  auto data = Pattern(disk.page_size(), 'P');
+  ASSERT_TRUE(disk.WriteRun(id, 1, data.data()).ok());
+  disk.ResetStats();
+  const char* view = disk.PeekPage(id);
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view[0], 'P');
+  EXPECT_EQ(disk.stats().TotalCalls(), 0u);  // peeking is not an I/O
+  // Growing the volume must not move existing pages.
+  disk.AllocateRun(64);
+  EXPECT_EQ(disk.PeekPage(id), view);
+  // Out of range -> nullptr.
+  EXPECT_EQ(disk.PeekPage(disk.page_count()), nullptr);
+  EXPECT_EQ(disk.PeekPage(kInvalidPageId), nullptr);
+}
+
+TEST(SimDiskArenaTest, ReadRunZeroCopyViewsAndAccounting) {
+  SimDisk disk(TinyExtents());
+  const uint32_t n = 9;  // spans three extents
+  const PageId first = disk.AllocateRun(n);
+  std::vector<char> data(n * disk.page_size());
+  for (uint32_t i = 0; i < n; ++i) {
+    std::fill_n(data.begin() + i * disk.page_size(), disk.page_size(),
+                static_cast<char>('0' + i));
+  }
+  ASSERT_TRUE(disk.WriteRun(first, n, data.data()).ok());
+  disk.ResetStats();
+  std::vector<const char*> views;
+  ASSERT_TRUE(disk.ReadRunZeroCopy(first, n, &views).ok());
+  EXPECT_EQ(disk.stats().read_calls, 1u);
+  EXPECT_EQ(disk.stats().pages_read, n);
+  ASSERT_EQ(views.size(), n);
+  for (uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(views[i][0], static_cast<char>('0' + i)) << "page " << i;
+  }
+  EXPECT_TRUE(disk.ReadRunZeroCopy(first + n, 1, &views).IsOutOfRange());
+  EXPECT_TRUE(disk.ReadRunZeroCopy(first, 0, &views).IsInvalidArgument());
+}
+
+TEST(SimDiskArenaTest, ReadChainedZeroCopyViewsAndAccounting) {
+  SimDisk disk(TinyExtents());
+  disk.AllocateRun(12);
+  auto a = Pattern(disk.page_size(), 'a');
+  auto b = Pattern(disk.page_size(), 'b');
+  ASSERT_TRUE(disk.WriteChained({2, 11}, {a.data(), b.data()}).ok());
+  disk.ResetStats();
+  std::vector<const char*> views;
+  ASSERT_TRUE(disk.ReadChainedZeroCopy({2, 11, 0}, &views).ok());
+  EXPECT_EQ(disk.stats().read_calls, 1u);
+  EXPECT_EQ(disk.stats().pages_read, 3u);
+  ASSERT_EQ(views.size(), 3u);
+  EXPECT_EQ(views[0][0], 'a');
+  EXPECT_EQ(views[1][0], 'b');
+  EXPECT_EQ(views[2][0], '\0');
+  EXPECT_TRUE(disk.ReadChainedZeroCopy({}, &views).IsInvalidArgument());
+  EXPECT_TRUE(disk.ReadChainedZeroCopy({99}, &views).IsOutOfRange());
+}
+
+TEST(SimDiskArenaTest, DefaultGeometryLargeVolumeRoundTrips) {
+  SimDisk disk;  // 2 KiB pages, 4 MiB extents -> 2048 pages per extent
+  const uint32_t n = disk.pages_per_extent() + 3;  // forces a second extent
+  const PageId first = disk.AllocateRun(n);
+  // Last page of extent 0 and first page of extent 1.
+  const PageId boundary = first + disk.pages_per_extent() - 1;
+  std::vector<char> two(2 * disk.page_size(), 'E');
+  ASSERT_TRUE(disk.WriteRun(boundary, 2, two.data()).ok());
+  std::vector<char> buf(2 * disk.page_size());
+  ASSERT_TRUE(disk.ReadRun(boundary, 2, buf.data()).ok());
+  EXPECT_EQ(buf[0], 'E');
+  EXPECT_EQ(buf[2 * disk.page_size() - 1], 'E');
+}
+
 TEST(IoStatsTest, SinceComputesDelta) {
   IoStats a{10, 4, 3, 2};
   IoStats b{25, 9, 8, 4};
