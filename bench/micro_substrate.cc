@@ -106,6 +106,23 @@ void BM_DeserializeStation(benchmark::State& state) {
 }
 BENCHMARK(BM_DeserializeStation);
 
+void BM_SegmentAllocatePage(benchmark::State& state) {
+  // The bulk-load allocate+format path (ROADMAP "batched allocation"):
+  // fresh pages are materialized as zero-filled frames with no metered
+  // read. Write-back of the dirty formatted pages is part of the loop cost,
+  // as it is in a real load.
+  StorageEngineOptions options;
+  options.buffer.frame_count = 4096;
+  StorageEngine engine(options);
+  auto segment = engine.CreateSegment("alloc").value();
+  for (auto _ : state) {
+    auto id = segment->AllocatePage(PageType::kSlotted);
+    benchmark::DoNotOptimize(id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SegmentAllocatePage);
+
 void BM_ComplexRecordReadAll(benchmark::State& state) {
   StorageEngine engine;
   auto segment = engine.CreateSegment("objs").value();

@@ -1,14 +1,23 @@
 #!/usr/bin/env bash
-# CI entry point: configure, build, test, and run the hot-path bench.
+# CI entry point: configure, build, test, and run the hot-path bench over
+# both volume backends, gating on ns/op regressions.
 #
 # Usage: ci/check.sh [build-dir]     (default: build)
 #
 # This is exactly the ROADMAP tier-1 command plus the perf-trajectory bench;
 # run it locally before pushing.
+#
+# Perf gate: the mem-backend run is compared against the committed reference
+# BENCH_hotpath.json at the repo root and FAILS when any benchmark regresses
+# by more than STARFISH_MAX_REGRESS_PCT (default 25) percent ns/op. Set
+# STARFISH_SKIP_PERF_GATE=1 to measure without gating (e.g. on a machine
+# unrelated to the one the reference was recorded on — refresh the reference
+# by copying build/BENCH_hotpath.json over the repo-root file).
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
+MAX_REGRESS="${STARFISH_MAX_REGRESS_PCT:-25}"
 
 echo "== configure =="
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
@@ -19,9 +28,20 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 echo "== test =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-echo "== hot-path bench =="
+echo "== hot-path bench (mem backend) =="
 # Emits BENCH_hotpath.json into the build dir; archive it from CI to watch
 # the perf trajectory across PRs.
-(cd "$BUILD_DIR" && ./bench_hotpath_buffer)
+if [[ "${STARFISH_SKIP_PERF_GATE:-0}" == "1" ]]; then
+  (cd "$BUILD_DIR" && ./bench_hotpath_buffer --backend mem)
+else
+  (cd "$BUILD_DIR" && ./bench_hotpath_buffer --backend mem \
+      --compare "$REPO_ROOT/BENCH_hotpath.json" --max-regress "$MAX_REGRESS")
+fi
+
+echo "== hot-path bench (mmap backend) =="
+# The mmap backend runs the same loops over memory-mapped extent files
+# (emits BENCH_hotpath_mmap.json). Not gated: kernel page-cache behaviour
+# is machine-dependent; the numbers are archived for trend-watching.
+(cd "$BUILD_DIR" && ./bench_hotpath_buffer --backend mmap)
 
 echo "== OK =="

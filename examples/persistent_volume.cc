@@ -1,0 +1,94 @@
+// Persistent volumes and timed I/O: the pluggable Volume backends.
+//
+//   $ ./build/example_persistent_volume [dir]
+//
+// Run it twice with the same directory: the first run creates an
+// mmap-backed store and loads it; the second run finds the data already
+// there and skips the load. The store also wraps its volume in a
+// TimedVolume, so the I/O meter prints estimated milliseconds (Equation 1,
+// charged per I/O call) next to the call/page counts.
+
+#include <cstdio>
+#include <string>
+
+#include "core/complex_object_store.h"
+
+using namespace starfish;  // NOLINT — example brevity
+
+int main(int argc, char** argv) {
+  const std::string dir =
+      argc > 1 ? argv[1] : "/tmp/starfish_persistent_example";
+
+  auto item = SchemaBuilder("Measurement")
+                  .AddInt32("SensorId")
+                  .AddString("Payload")
+                  .Build();
+  auto reading = SchemaBuilder("Reading")
+                     .AddInt32("ReadingId")  // the object key (attribute 0)
+                     .AddString("Station")
+                     .AddRelation("Measurements", item)
+                     .Build();
+
+  // The backend is a knob: kMem (default) simulates, kMmap persists.
+  StoreOptions options;
+  options.model = StorageModelKind::kDasdbsNsm;
+  options.backend = VolumeKind::kMmap;
+  options.path = dir;
+  // Charge Equation-1 service time per I/O call, using the mechanical
+  // parameters of a period drive.
+  options.timed_volume = true;
+  options.timing = PhysicalTimingModel{}.ToLinear();
+
+  auto store_or = ComplexObjectStore::Open(reading, options);
+  if (!store_or.ok()) {
+    std::fprintf(stderr, "open %s: %s\n", dir.c_str(),
+                 store_or.status().ToString().c_str());
+    return 1;
+  }
+  auto& store = *store_or.value();
+
+  if (store.model()->object_count() == 0) {
+    std::printf("fresh store at %s — loading 500 readings...\n", dir.c_str());
+    for (int i = 0; i < 500; ++i) {
+      Tuple obj{{Value::Int32(i), Value::Str("station-" + std::to_string(i % 7)),
+                 Value::Relation({
+                     Tuple{{Value::Int32(1), Value::Str("t=21.5C")}},
+                     Tuple{{Value::Int32(2), Value::Str("rh=40%")}},
+                 })}};
+      if (auto st = store.Put(i, obj); !st.ok()) {
+        std::fprintf(stderr, "put: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    if (auto st = store.Flush(); !st.ok()) {  // durable checkpoint
+      std::fprintf(stderr, "flush: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded. Run me again: the data will still be there.\n\n");
+  } else {
+    std::printf("reopened store at %s — %llu readings survived the last "
+                "process.\n\n",
+                dir.c_str(),
+                static_cast<unsigned long long>(store.model()->object_count()));
+  }
+
+  // Start cold so the meter shows real volume traffic in both runs.
+  (void)store.engine()->DropCache();
+  store.ResetStats();
+  auto back = store.GetByKey(42, Projection::All(*reading));
+  if (!back.ok()) {
+    std::fprintf(stderr, "get: %s\n", back.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("reading 42: %s\n\n", TupleToString(back.value()).c_str());
+
+  const EngineStats stats = store.stats();
+  std::printf("I/O meter:  %s\n", stats.io.ToString().c_str());
+  std::printf("timed cost: %.2f ms charged by the TimedVolume "
+              "(Eq. 1 per call)\n",
+              store.timed_millis());
+  std::printf("            %.2f ms from the counter snapshot — same "
+              "equation, same answer\n",
+              store.EstimatedIoMillis());
+  return 0;
+}

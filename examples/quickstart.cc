@@ -26,6 +26,11 @@ int main() {
 
   // 2. Open a store. The storage model is a knob: DASDBS-NSM is the
   //    paper's overall winner; try kDsm or kNsm and watch the stats change.
+  //    The disk backend is a knob too — the default is the in-memory
+  //    volume; for a store that exceeds RAM and survives restarts, set
+  //        options.backend = VolumeKind::kMmap;
+  //        options.path = "/tmp/my_store";
+  //    (see examples/persistent_volume.cc for the full tour).
   StoreOptions options;
   options.model = StorageModelKind::kDasdbsNsm;
   auto store_or = ComplexObjectStore::Open(order, options);

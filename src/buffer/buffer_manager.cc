@@ -50,7 +50,7 @@ PageGuard::~PageGuard() {
   }
 }
 
-BufferManager::BufferManager(SimDisk* disk, BufferOptions options)
+BufferManager::BufferManager(Volume* disk, BufferOptions options)
     : disk_(disk), options_(options), page_size_(disk->page_size()) {
   if (options_.frame_count == 0) options_.frame_count = 1;
   if (options_.write_batch_size == 0) options_.write_batch_size = 1;
@@ -123,6 +123,27 @@ Result<PageGuard> BufferManager::Fix(PageId id) {
   } else {
     ++stats_.misses;
     STARFISH_ASSIGN_OR_RETURN(frame_idx, Load(id, nullptr));
+  }
+  Frame& frame = frames_[frame_idx];
+  ++frame.pins;
+  TouchFrame(frame_idx);
+  return PageGuard(this, id, FrameData(frame_idx), frame_idx);
+}
+
+Result<PageGuard> BufferManager::FixFresh(PageId id) {
+  ++stats_.fixes;
+  const size_t slot = FindSlot(id);
+  uint32_t frame_idx;
+  if (slot != kNotFound) {
+    ++stats_.hits;
+    frame_idx = table_[slot].frame;
+  } else {
+    ++stats_.misses;
+    if (id == kInvalidPageId || id >= disk_->page_count()) {
+      return Status::OutOfRange("FixFresh of unallocated page " +
+                                std::to_string(id));
+    }
+    STARFISH_ASSIGN_OR_RETURN(frame_idx, LoadFresh(id));
   }
   Frame& frame = frames_[frame_idx];
   ++frame.pins;
@@ -277,6 +298,19 @@ Result<uint32_t> BufferManager::Load(PageId id, const char* already_read) {
   } else {
     STARFISH_RETURN_NOT_OK(disk_->ReadRun(id, 1, FrameData(frame_idx)));
   }
+  frame.page_id = id;
+  frame.pins = 0;
+  frame.dirty = false;
+  frame.referenced = true;
+  TableInsert(id, frame_idx);
+  EnqueueFrame(frame_idx);
+  return frame_idx;
+}
+
+Result<uint32_t> BufferManager::LoadFresh(PageId id) {
+  STARFISH_ASSIGN_OR_RETURN(uint32_t frame_idx, GrabFrame());
+  Frame& frame = frames_[frame_idx];
+  std::memset(FrameData(frame_idx), 0, page_size_);
   frame.page_id = id;
   frame.pins = 0;
   frame.dirty = false;

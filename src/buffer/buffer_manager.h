@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "disk/page.h"
-#include "disk/sim_disk.h"
+#include "disk/volume.h"
 #include "util/status.h"
 
 /// \file buffer_manager.h
@@ -32,10 +32,11 @@
 /// LRU/FIFO eviction order is an intrusive doubly-linked list threaded
 /// through prev/next frame indices (no per-touch heap traffic); the
 /// page->frame map is a flat open-addressing table with linear probing.
-/// Prefetch copies pages from the disk arena straight into frames via
-/// SimDisk's zero-copy read views, and write-back hands frame pointers
+/// Prefetch copies pages from the volume's extents straight into frames via
+/// the Volume zero-copy read views, and write-back hands frame pointers
 /// straight to WriteChained — steady state does no heap allocation and one
-/// memcpy per page moved.
+/// memcpy per page moved. The manager programs against the abstract Volume
+/// interface, so any backend (in-memory, mmap, timed) plugs in underneath.
 
 namespace starfish {
 
@@ -60,7 +61,7 @@ struct BufferOptions {
   uint32_t write_batch_size = 32;
 };
 
-/// Buffer-side counters (disk-side counters live in SimDisk::stats()).
+/// Buffer-side counters (disk-side counters live in Volume::stats()).
 struct BufferStats {
   uint64_t fixes = 0;            ///< Fix calls (the paper's "page fixes")
   uint64_t hits = 0;             ///< fixes satisfied without disk access
@@ -133,12 +134,21 @@ class PageGuard {
 /// The buffer pool. Not thread-safe (single-user evaluation, like the paper).
 class BufferManager {
  public:
-  BufferManager(SimDisk* disk, BufferOptions options = {});
+  BufferManager(Volume* disk, BufferOptions options = {});
   ~BufferManager();
 
   /// Pins `id` in the pool, reading it from disk if absent (one single-page
   /// read call on miss). Multiple concurrent pins on one page are allowed.
   Result<PageGuard> Fix(PageId id);
+
+  /// Fix variant for pages known to be freshly allocated and still
+  /// all-zero on disk: on miss the frame is zero-filled in place instead of
+  /// issuing a metered read call for bytes the caller is about to format.
+  /// Counted as a normal fix/miss; only the pointless disk read disappears.
+  /// Using it on a page with real on-disk contents would hand out a zeroed
+  /// frame and clobber the page at write-back — callers must only pass page
+  /// ids straight out of Volume::AllocateRun.
+  Result<PageGuard> FixFresh(PageId id);
 
   /// Unpins a page; `dirty` marks it modified. Called by PageGuard.
   Status Unfix(PageId id, bool dirty);
@@ -168,7 +178,7 @@ class BufferManager {
   const BufferStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferStats{}; }
 
-  SimDisk* disk() { return disk_; }
+  Volume* disk() { return disk_; }
 
  private:
   static constexpr uint32_t kNullFrame = 0xFFFFFFFFu;
@@ -227,9 +237,13 @@ class BufferManager {
 
   /// Loads `id` into a frame (evicting if needed) without counting a fix.
   /// `already_read` supplies page bytes read by a chained call (a zero-copy
-  /// view into the disk arena), nullptr to read from disk (single-page
-  /// call, straight into the frame).
+  /// view into the volume's extents), nullptr to read from disk
+  /// (single-page call, straight into the frame).
   Result<uint32_t> Load(PageId id, const char* already_read);
+
+  /// Load variant for FixFresh: installs a zero-filled frame with no disk
+  /// read (the page is fresh, its on-disk image is all zeros).
+  Result<uint32_t> LoadFresh(PageId id);
 
   /// Returns a free frame index, evicting a victim if the pool is full.
   Result<uint32_t> GrabFrame();
@@ -251,7 +265,7 @@ class BufferManager {
   void EnqueueFrame(uint32_t frame_idx);
   void RemoveFromOrder(uint32_t frame_idx);
 
-  SimDisk* disk_;
+  Volume* disk_;
   BufferOptions options_;
   uint32_t page_size_;
   std::unique_ptr<char[]> pool_;  ///< frame_count * page_size bytes

@@ -1,6 +1,22 @@
 #include "core/complex_object_store.h"
 
+#include "util/coding.h"
+#include "util/file_io.h"
+
 namespace starfish {
+
+namespace {
+
+/// catalog.sf layout (little-endian):
+///   u32 magic 'SFCT', u32 version, u32 model kind, u32 page_size,
+///   u64 key_attr_index, str schema name, u32 schema path count,
+///   engine segment catalog, model state.
+constexpr uint32_t kCatalogMagic = 0x54434653;  // "SFCT"
+constexpr uint32_t kCatalogVersion = 1;
+
+std::string CatalogPath(const std::string& dir) { return dir + "/catalog.sf"; }
+
+}  // namespace
 
 Result<std::unique_ptr<ComplexObjectStore>> ComplexObjectStore::Open(
     std::shared_ptr<const Schema> schema, StoreOptions options) {
@@ -16,15 +32,75 @@ Result<std::unique_ptr<ComplexObjectStore>> ComplexObjectStore::Open(
   engine_options.buffer.frame_count = options.buffer_frames;
   engine_options.buffer.policy = options.replacement;
   engine_options.buffer.write_batch_size = options.write_batch_size;
-  store->engine_ = std::make_unique<StorageEngine>(engine_options);
+  engine_options.backend = options.backend;
+  engine_options.path = options.path;
+  engine_options.timed = options.timed_volume;
+  engine_options.timing = options.timing;
+  STARFISH_ASSIGN_OR_RETURN(store->engine_,
+                            StorageEngine::Open(engine_options));
+  // A reopened mmap volume keeps its recorded geometry; mirror it so
+  // options() reports the truth.
+  store->options_.page_size = store->engine_->disk()->page_size();
+
+  // Persistent reopen: restore the segment catalog before the model attaches
+  // to its segments, and the model's in-memory tables afterwards.
+  std::string catalog;
+  bool reopen = false;
+  if (store->persistent()) {
+    STARFISH_RETURN_NOT_OK(
+        ReadFileToString(CatalogPath(options.path), &catalog, &reopen));
+  }
+
+  std::string_view in(catalog);
+  if (reopen) {
+    uint32_t magic = 0, version = 0, kind = 0, page_size = 0;
+    uint64_t key_attr = 0;
+    std::string_view schema_name;
+    uint32_t path_count = 0;
+    if (!GetFixed32(&in, &magic) || magic != kCatalogMagic ||
+        !GetFixed32(&in, &version) || version != kCatalogVersion) {
+      return Status::Corruption("bad store catalog in " + options.path);
+    }
+    if (!GetFixed32(&in, &kind) || !GetFixed32(&in, &page_size) ||
+        !GetFixed64(&in, &key_attr) || !GetLengthPrefixed(&in, &schema_name) ||
+        !GetFixed32(&in, &path_count)) {
+      return Status::Corruption("truncated store catalog in " + options.path);
+    }
+    if (static_cast<StorageModelKind>(kind) != options.model) {
+      return Status::InvalidArgument(
+          "store at " + options.path + " was written with model " +
+          ToString(static_cast<StorageModelKind>(kind)) + ", not " +
+          ToString(options.model));
+    }
+    if (schema_name != schema->name() ||
+        path_count != static_cast<uint32_t>(schema->path_count()) ||
+        key_attr != options.key_attr_index) {
+      return Status::InvalidArgument("store at " + options.path +
+                                     " was written with a different schema");
+    }
+    STARFISH_RETURN_NOT_OK(store->engine_->LoadCatalog(&in));
+  }
 
   ModelConfig config;
   config.schema = std::move(schema);
-  config.key_attr_index = options.key_attr_index;
+  config.key_attr_index = store->options_.key_attr_index;
   STARFISH_ASSIGN_OR_RETURN(
       store->model_,
-      CreateStorageModel(options.model, store->engine_.get(), config));
+      CreateStorageModel(store->options_.model, store->engine_.get(), config));
+  if (reopen) {
+    STARFISH_RETURN_NOT_OK(store->model_->LoadState(&in));
+  }
+  // Only a fully opened store may checkpoint: the destructor of a store
+  // abandoned mid-reopen must not overwrite a (possibly recoverable)
+  // catalog with the empty state of a half-constructed model.
+  store->opened_ = true;
   return store;
+}
+
+ComplexObjectStore::~ComplexObjectStore() {
+  if (opened_ && persistent()) {
+    (void)Flush();  // best-effort checkpoint
+  }
 }
 
 Status ComplexObjectStore::Put(ObjectRef ref, const Tuple& object) {
@@ -71,6 +147,27 @@ Status ComplexObjectStore::Remove(ObjectRef ref) {
   return model_->Remove(ref);
 }
 
-Status ComplexObjectStore::Flush() { return engine_->Flush(); }
+Status ComplexObjectStore::Flush() {
+  STARFISH_RETURN_NOT_OK(engine_->Flush());
+  if (!persistent()) return Status::OK();
+
+  // Sync the volume (extent bytes + volume.meta allocator state) BEFORE
+  // committing the catalog: the catalog rename is the checkpoint's commit
+  // point, and it must never reference pages volume.meta does not cover.
+  // A crash before the rename leaves the previous consistent checkpoint.
+  STARFISH_RETURN_NOT_OK(engine_->disk()->Sync());
+
+  std::string catalog;
+  PutFixed32(&catalog, kCatalogMagic);
+  PutFixed32(&catalog, kCatalogVersion);
+  PutFixed32(&catalog, static_cast<uint32_t>(options_.model));
+  PutFixed32(&catalog, options_.page_size);
+  PutFixed64(&catalog, options_.key_attr_index);
+  PutLengthPrefixed(&catalog, schema_->name());
+  PutFixed32(&catalog, static_cast<uint32_t>(schema_->path_count()));
+  engine_->SaveCatalog(&catalog);
+  STARFISH_RETURN_NOT_OK(model_->SaveState(&catalog));
+  return WriteFileAtomic(CatalogPath(options_.path), catalog);
+}
 
 }  // namespace starfish

@@ -22,12 +22,23 @@
 ///   Tuple back = store->Get(0, Projection::All(*schema)).value();
 ///   printf("%s\n", store->stats().io.ToString().c_str());
 ///
-/// The store owns a simulated volume and buffer pool; every operation's
-/// physical page I/Os, I/O calls and buffer fixes are metered, and the
-/// Eq.-1 timing model converts them to estimated service time. Swap
-/// `options.model` to compare how the paper's four storage models behave on
-/// *your* object schema and workload — the question the paper answers for
-/// its railway benchmark.
+/// The store owns a volume and buffer pool; every operation's physical page
+/// I/Os, I/O calls and buffer fixes are metered, and the Eq.-1 timing model
+/// converts them to estimated service time. Swap `options.model` to compare
+/// how the paper's four storage models behave on *your* object schema and
+/// workload — the question the paper answers for its railway benchmark.
+///
+/// The disk backend is pluggable (`options.backend`):
+///
+///   * `VolumeKind::kMem` (default) — in-memory arena, nothing persists.
+///   * `VolumeKind::kMmap` — pages live in memory-mapped files under
+///     `options.path`; the store writes a catalog on Flush()/destruction
+///     and `Open` on the same path restores every object, so experiment
+///     volumes can exceed RAM and survive process restarts:
+///
+///       options.backend = VolumeKind::kMmap;
+///       options.path = "/tmp/my_experiment";
+///       // first run: load objects, Flush(); later runs: Get() them back.
 
 namespace starfish {
 
@@ -53,14 +64,31 @@ struct StoreOptions {
 
   /// Equation-1 service-time coefficients (defaults model a period disk).
   LinearTimingModel timing;
+
+  /// Disk backend underneath the buffer pool. kMmap requires `path` and
+  /// makes the store persistent: reopening the same path restores it.
+  VolumeKind backend = VolumeKind::kMem;
+
+  /// Backing directory of the mmap backend (created if absent). When the
+  /// directory already holds a store, Open reopens it: `model` must match
+  /// the stored catalog and `page_size` is adopted from the volume.
+  std::string path;
+
+  /// Wrap the backend in a TimedVolume charging `timing` per I/O call;
+  /// the accumulated milliseconds are available via timed_millis().
+  bool timed_volume = false;
 };
 
 /// A complex-object store over one schema.
 class ComplexObjectStore {
  public:
-  /// Opens a fresh store for objects of `schema`.
+  /// Opens a store for objects of `schema`: fresh for the mem backend,
+  /// fresh-or-reopened for the mmap backend (see StoreOptions::path).
   static Result<std::unique_ptr<ComplexObjectStore>> Open(
       std::shared_ptr<const Schema> schema, StoreOptions options = {});
+
+  /// Persistent stores checkpoint their catalog on destruction.
+  ~ComplexObjectStore();
 
   /// Stores a new object under `ref`. Keys must be unique.
   Status Put(ObjectRef ref, const Tuple& object);
@@ -90,8 +118,22 @@ class ComplexObjectStore {
   /// Removes the object and releases its pages.
   Status Remove(ObjectRef ref);
 
-  /// Write-back of all dirty pages ("disconnect").
+  /// Write-back of all dirty pages ("disconnect"). Persistent stores also
+  /// write their catalog and sync the volume, making this a durable
+  /// checkpoint: a store reopened on the same path sees everything flushed.
   Status Flush();
+
+  /// True when this store survives process restarts (mmap backend + path).
+  bool persistent() const { return options_.backend == VolumeKind::kMmap; }
+
+  /// Estimated milliseconds charged by the TimedVolume wrapper, or 0 when
+  /// `options.timed_volume` was not set. Unlike EstimatedIoMillis() (which
+  /// converts the counter snapshot after the fact), this accumulates per
+  /// I/O call as the work happens.
+  double timed_millis() const {
+    TimedVolume* timed = engine_->timed_volume();
+    return timed != nullptr ? timed->elapsed_ms() : 0.0;
+  }
 
   /// Counter snapshot (physical I/O + buffer).
   EngineStats stats() const { return engine_->stats(); }
@@ -115,6 +157,8 @@ class ComplexObjectStore {
   std::shared_ptr<const Schema> schema_;
   std::unique_ptr<StorageEngine> engine_;
   std::unique_ptr<StorageModel> model_;
+  /// Set once Open fully succeeded; gates the destructor's checkpoint.
+  bool opened_ = false;
 };
 
 }  // namespace starfish

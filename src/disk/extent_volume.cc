@@ -1,4 +1,4 @@
-#include "disk/sim_disk.h"
+#include "disk/extent_volume.h"
 
 #include <algorithm>
 #include <cstring>
@@ -6,30 +6,41 @@
 
 namespace starfish {
 
-SimDisk::SimDisk(DiskOptions options) : options_(options) {
+ExtentVolume::ExtentVolume(DiskOptions options) : options_(options) {
   if (options_.page_size == 0) options_.page_size = kDefaultPageSize;
   pages_per_extent_ = std::max(1u, options_.extent_bytes / options_.page_size);
 }
 
-PageId SimDisk::Allocate() { return AllocateRun(1); }
-
-PageId SimDisk::AllocateRun(uint32_t n) {
+Result<PageId> ExtentVolume::AllocateRun(uint32_t n) {
+  if (n == 0) return Status::InvalidArgument("empty page run");
   const PageId first = static_cast<PageId>(page_count_);
-  page_count_ += n;
+  const uint64_t new_count = page_count_ + n;
   const uint64_t extents_needed =
-      (page_count_ + pages_per_extent_ - 1) / pages_per_extent_;
+      (new_count + pages_per_extent_ - 1) / pages_per_extent_;
   while (extents_.size() < extents_needed) {
-    // make_unique value-initializes: fresh extents (and thus fresh pages)
-    // are zero-filled. Ids are never reused, so no page is handed out twice.
-    extents_.push_back(std::make_unique<char[]>(
-        static_cast<size_t>(pages_per_extent_) * options_.page_size));
+    // Fresh extents (and thus fresh pages) are zero-filled by the backend.
+    // Ids are never reused, so no page is handed out twice.
+    STARFISH_ASSIGN_OR_RETURN(char* extent, NewExtent());
+    extents_.push_back(extent);
   }
+  page_count_ = new_count;
   freed_.resize(page_count_, false);
   live_pages_ += n;
   return first;
 }
 
-Status SimDisk::Free(PageId id) {
+void ExtentVolume::RestoreAllocatorState(uint64_t page_count,
+                                         std::vector<bool> freed) {
+  page_count_ = page_count;
+  freed_ = std::move(freed);
+  freed_.resize(page_count_, false);
+  live_pages_ = page_count_;
+  for (bool f : freed_) {
+    if (f) --live_pages_;
+  }
+}
+
+Status ExtentVolume::Free(PageId id) {
   STARFISH_RETURN_NOT_OK(CheckRange(id, 1));
   if (freed_[id]) {
     return Status::InvalidArgument("page " + std::to_string(id) +
@@ -40,7 +51,7 @@ Status SimDisk::Free(PageId id) {
   return Status::OK();
 }
 
-Status SimDisk::CheckRange(PageId first, uint32_t count) const {
+Status ExtentVolume::CheckRange(PageId first, uint32_t count) const {
   if (count == 0) return Status::InvalidArgument("empty page run");
   const uint64_t end = static_cast<uint64_t>(first) + count;
   if (first == kInvalidPageId || end > page_count_) {
@@ -51,7 +62,7 @@ Status SimDisk::CheckRange(PageId first, uint32_t count) const {
   return Status::OK();
 }
 
-Status SimDisk::ReadRun(PageId first, uint32_t count, char* out) {
+Status ExtentVolume::ReadRun(PageId first, uint32_t count, char* out) {
   STARFISH_RETURN_NOT_OK(CheckRange(first, count));
   const uint32_t page_size = options_.page_size;
   // One memcpy per extent touched; a run inside one extent is one memcpy.
@@ -69,7 +80,7 @@ Status SimDisk::ReadRun(PageId first, uint32_t count, char* out) {
   return Status::OK();
 }
 
-Status SimDisk::WriteRun(PageId first, uint32_t count, const char* src) {
+Status ExtentVolume::WriteRun(PageId first, uint32_t count, const char* src) {
   STARFISH_RETURN_NOT_OK(CheckRange(first, count));
   const uint32_t page_size = options_.page_size;
   uint32_t done = 0;
@@ -86,8 +97,8 @@ Status SimDisk::WriteRun(PageId first, uint32_t count, const char* src) {
   return Status::OK();
 }
 
-Status SimDisk::ReadRunZeroCopy(PageId first, uint32_t count,
-                                std::vector<const char*>* views) {
+Status ExtentVolume::ReadRunZeroCopy(PageId first, uint32_t count,
+                                     std::vector<const char*>* views) {
   STARFISH_RETURN_NOT_OK(CheckRange(first, count));
   views->clear();
   views->reserve(count);
@@ -99,8 +110,8 @@ Status SimDisk::ReadRunZeroCopy(PageId first, uint32_t count,
   return Status::OK();
 }
 
-Status SimDisk::ReadChained(const std::vector<PageId>& ids,
-                            const std::vector<char*>& outs) {
+Status ExtentVolume::ReadChained(const std::vector<PageId>& ids,
+                                 const std::vector<char*>& outs) {
   if (ids.empty()) return Status::InvalidArgument("empty chained read");
   if (ids.size() != outs.size()) {
     return Status::InvalidArgument("chained read: ids/outs size mismatch");
@@ -114,8 +125,8 @@ Status SimDisk::ReadChained(const std::vector<PageId>& ids,
   return Status::OK();
 }
 
-Status SimDisk::ReadChainedZeroCopy(const std::vector<PageId>& ids,
-                                    std::vector<const char*>* views) {
+Status ExtentVolume::ReadChainedZeroCopy(const std::vector<PageId>& ids,
+                                         std::vector<const char*>* views) {
   if (ids.empty()) return Status::InvalidArgument("empty chained read");
   views->clear();
   views->reserve(ids.size());
@@ -128,8 +139,8 @@ Status SimDisk::ReadChainedZeroCopy(const std::vector<PageId>& ids,
   return Status::OK();
 }
 
-Status SimDisk::WriteChained(const std::vector<PageId>& ids,
-                             const std::vector<const char*>& srcs) {
+Status ExtentVolume::WriteChained(const std::vector<PageId>& ids,
+                                  const std::vector<const char*>& srcs) {
   if (ids.empty()) return Status::InvalidArgument("empty chained write");
   if (ids.size() != srcs.size()) {
     return Status::InvalidArgument("chained write: ids/srcs size mismatch");
@@ -143,7 +154,7 @@ Status SimDisk::WriteChained(const std::vector<PageId>& ids,
   return Status::OK();
 }
 
-const char* SimDisk::PeekPage(PageId id) const {
+const char* ExtentVolume::PeekPage(PageId id) const {
   if (id == kInvalidPageId || id >= page_count_) return nullptr;
   return PagePtr(id);
 }

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "disk/volume.h"
+
+/// \file extent_volume.h
+/// Shared implementation core of the extent-backed volumes.
+///
+/// Both concrete page stores — the in-memory arena (MemVolume) and the
+/// file-per-extent mmap backend (MmapVolume) — keep pages in fixed-size
+/// extents (DiskOptions::extent_bytes, default 4 MiB) each holding a
+/// contiguous run of pages. Consecutive page ids are physically adjacent
+/// within an extent, so a ReadRun/WriteRun is a bounds check plus one memcpy
+/// per extent touched (one for any run that fits in an extent). Extents are
+/// never moved or unmapped while the volume lives, which is what makes the
+/// zero-copy accessors safe.
+///
+/// ExtentVolume implements every data operation over a flat `char*` extent
+/// table; subclasses only provision extents (heap allocation vs. mmap) and
+/// release them in their destructor.
+
+namespace starfish {
+
+/// Extent-table volume core. Subclasses provide NewExtent().
+class ExtentVolume : public Volume {
+ public:
+  uint32_t page_size() const override { return options_.page_size; }
+  uint32_t pages_per_extent() const override { return pages_per_extent_; }
+  uint64_t page_count() const override { return page_count_; }
+  uint64_t live_page_count() const override { return live_pages_; }
+
+  Result<PageId> AllocateRun(uint32_t n) override;
+  Status Free(PageId id) override;
+  Status ReadRun(PageId first, uint32_t count, char* out) override;
+  Status WriteRun(PageId first, uint32_t count, const char* src) override;
+  Status ReadRunZeroCopy(PageId first, uint32_t count,
+                         std::vector<const char*>* views) override;
+  Status ReadChained(const std::vector<PageId>& ids,
+                     const std::vector<char*>& outs) override;
+  Status ReadChainedZeroCopy(const std::vector<PageId>& ids,
+                             std::vector<const char*>* views) override;
+  Status WriteChained(const std::vector<PageId>& ids,
+                      const std::vector<const char*>& srcs) override;
+  const char* PeekPage(PageId id) const override;
+
+  const IoStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = IoStats{}; }
+
+ protected:
+  explicit ExtentVolume(DiskOptions options);
+
+  /// Provisions one more zero-filled extent of
+  /// `pages_per_extent() * page_size()` bytes whose address never changes
+  /// for the lifetime of the volume. The subclass owns the memory.
+  virtual Result<char*> NewExtent() = 0;
+
+  /// Bytes per extent after geometry normalization.
+  size_t extent_size_bytes() const {
+    return static_cast<size_t>(pages_per_extent_) * options_.page_size;
+  }
+
+  const std::vector<char*>& extents() const { return extents_; }
+
+  /// Registers an already-provisioned extent during reopen (mmap backend
+  /// only): extents re-mapped from existing files were not allocated through
+  /// NewExtent, but PagePtr must still find them.
+  void AdoptExtent(char* extent) { extents_.push_back(extent); }
+
+  /// Restores allocator state on reopen (mmap backend only). `freed` may be
+  /// shorter than `page_count`; missing entries mean "not freed".
+  void RestoreAllocatorState(uint64_t page_count, std::vector<bool> freed);
+
+  const std::vector<bool>& freed_pages() const { return freed_; }
+
+ private:
+  Status CheckRange(PageId first, uint32_t count) const;
+
+  char* PagePtr(PageId id) {
+    return extents_[id / pages_per_extent_] +
+           static_cast<size_t>(id % pages_per_extent_) * options_.page_size;
+  }
+  const char* PagePtr(PageId id) const {
+    return extents_[id / pages_per_extent_] +
+           static_cast<size_t>(id % pages_per_extent_) * options_.page_size;
+  }
+
+  DiskOptions options_;
+  uint32_t pages_per_extent_;
+  /// Extent base addresses. The vector may reallocate; the memory the
+  /// entries point at never moves — PeekPage/ZeroCopy views stay valid
+  /// across later allocations.
+  std::vector<char*> extents_;
+  uint64_t page_count_ = 0;
+  std::vector<bool> freed_;
+  uint64_t live_pages_ = 0;
+  IoStats stats_;
+};
+
+}  // namespace starfish

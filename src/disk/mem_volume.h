@@ -1,0 +1,36 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "disk/extent_volume.h"
+
+/// \file mem_volume.h
+/// The in-memory disk volume (formerly `SimDisk`).
+///
+/// MemVolume stores page images in heap-allocated extents. It is the default
+/// backend: allocation-cheap, nothing persists, ideal for the paper's
+/// counted experiments where only the I/O meter matters. See volume.h for
+/// the metering contract and extent_volume.h for the arena layout.
+
+namespace starfish {
+
+/// An in-memory disk volume with I/O accounting.
+class MemVolume final : public ExtentVolume {
+ public:
+  explicit MemVolume(DiskOptions options = {}) : ExtentVolume(options) {}
+
+  VolumeKind kind() const override { return VolumeKind::kMem; }
+
+ private:
+  Result<char*> NewExtent() override {
+    // make_unique value-initializes: fresh extents are zero-filled.
+    owned_.push_back(std::make_unique<char[]>(extent_size_bytes()));
+    return owned_.back().get();
+  }
+
+  /// Extent owners. The vector may reallocate; the arrays it owns do not.
+  std::vector<std::unique_ptr<char[]>> owned_;
+};
+
+}  // namespace starfish

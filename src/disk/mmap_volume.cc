@@ -1,0 +1,206 @@
+#include "disk/mmap_volume.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define STARFISH_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "util/coding.h"
+#include "util/file_io.h"
+
+namespace starfish {
+
+namespace {
+
+/// volume.meta layout (little-endian, see coding.h):
+///   u32 magic 'SFVM', u32 version, u32 page_size, u32 extent_bytes,
+///   u64 page_count, then ceil(page_count / 8) bytes of freed bitmap
+///   (bit i of byte i/8 set = page i freed).
+constexpr uint32_t kMetaMagic = 0x4D564653;  // "SFVM"
+constexpr uint32_t kMetaVersion = 1;
+
+struct VolumeMeta {
+  DiskOptions options;
+  uint64_t page_count = 0;
+  std::vector<bool> freed;
+};
+
+#if STARFISH_HAVE_MMAP
+
+Status ReadMeta(const std::string& path, VolumeMeta* meta, bool* found) {
+  // An absent meta file means a fresh volume; an UNREADABLE one must be an
+  // error — treating it as fresh would re-format a live volume.
+  std::string bytes;
+  STARFISH_RETURN_NOT_OK(ReadFileToString(path, &bytes, found));
+  if (!*found) return Status::OK();
+
+  std::string_view in(bytes);
+  uint32_t magic = 0, version = 0;
+  if (!GetFixed32(&in, &magic) || magic != kMetaMagic) {
+    return Status::Corruption("bad volume.meta magic in " + path);
+  }
+  if (!GetFixed32(&in, &version) || version != kMetaVersion) {
+    return Status::Corruption("unsupported volume.meta version in " + path);
+  }
+  if (!GetFixed32(&in, &meta->options.page_size) ||
+      !GetFixed32(&in, &meta->options.extent_bytes) ||
+      !GetFixed64(&in, &meta->page_count)) {
+    return Status::Corruption("truncated volume.meta in " + path);
+  }
+  const size_t bitmap_bytes = (meta->page_count + 7) / 8;
+  if (in.size() < bitmap_bytes) {
+    return Status::Corruption("truncated freed bitmap in " + path);
+  }
+  meta->freed.assign(meta->page_count, false);
+  for (uint64_t i = 0; i < meta->page_count; ++i) {
+    if (in[i / 8] & (1 << (i % 8))) meta->freed[i] = true;
+  }
+  *found = true;
+  return Status::OK();
+}
+
+#endif  // STARFISH_HAVE_MMAP
+
+}  // namespace
+
+Result<std::unique_ptr<MmapVolume>> MmapVolume::Open(const std::string& dir,
+                                                     DiskOptions options) {
+#if !STARFISH_HAVE_MMAP
+  (void)dir;
+  (void)options;
+  return Status::NotSupported("MmapVolume requires a POSIX mmap platform");
+#else
+  if (dir.empty()) {
+    return Status::InvalidArgument("MmapVolume requires a backing directory");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create volume directory " + dir + ": " +
+                           ec.message());
+  }
+
+  VolumeMeta meta;
+  bool existing = false;
+  STARFISH_RETURN_NOT_OK(ReadMeta(dir + "/volume.meta", &meta, &existing));
+  // A volume cannot change its geometry after the fact: the recorded
+  // page/extent sizes win over the ones passed in.
+  if (existing) options = meta.options;
+
+  auto volume = std::unique_ptr<MmapVolume>(new MmapVolume(dir, options));
+  if (existing) {
+    const uint64_t ppe = volume->pages_per_extent();
+    const size_t extent_count = (meta.page_count + ppe - 1) / ppe;
+    for (size_t i = 0; i < extent_count; ++i) {
+      STARFISH_ASSIGN_OR_RETURN(char* extent,
+                                volume->MapExtent(i, /*create=*/false));
+      volume->AdoptExtent(extent);
+    }
+    volume->RestoreAllocatorState(meta.page_count, std::move(meta.freed));
+  }
+  return volume;
+#endif
+}
+
+MmapVolume::~MmapVolume() {
+#if STARFISH_HAVE_MMAP
+  // Best-effort checkpoint: page bytes reach the files via the shared
+  // mappings; the meta rewrite makes the allocator state match them.
+  (void)WriteMeta();
+  for (void* mapping : mappings_) {
+    if (mapping != nullptr) ::munmap(mapping, extent_size_bytes());
+  }
+#endif
+}
+
+std::string MmapVolume::ExtentPath(size_t index) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "/extent_%06zu", index);
+  return dir_ + name;
+}
+
+std::string MmapVolume::MetaPath() const { return dir_ + "/volume.meta"; }
+
+Result<char*> MmapVolume::NewExtent() {
+  return MapExtent(extents().size(), /*create=*/true);
+}
+
+Result<char*> MmapVolume::MapExtent(size_t index, bool create) {
+#if !STARFISH_HAVE_MMAP
+  (void)index;
+  (void)create;
+  return Status::NotSupported("MmapVolume requires a POSIX mmap platform");
+#else
+  const std::string path = ExtentPath(index);
+  const int flags = create ? (O_RDWR | O_CREAT) : O_RDWR;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  const size_t bytes = extent_size_bytes();
+  // ftruncate both creates the zero-filled image of a fresh extent and
+  // repairs a short file (holes read as zeros, same as fresh pages).
+  struct stat st;
+  if (::fstat(fd, &st) != 0 ||
+      (static_cast<size_t>(st.st_size) < bytes &&
+       ::ftruncate(fd, static_cast<off_t>(bytes)) != 0)) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("size " + path + ": " + err);
+  }
+  void* mapping =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (mapping == MAP_FAILED) {
+    return Status::IOError("mmap " + path + ": " + std::strerror(errno));
+  }
+  mappings_.push_back(mapping);
+  return static_cast<char*>(mapping);
+#endif
+}
+
+Status MmapVolume::WriteMeta() const {
+#if !STARFISH_HAVE_MMAP
+  return Status::NotSupported("MmapVolume requires a POSIX mmap platform");
+#else
+  std::string bytes;
+  PutFixed32(&bytes, kMetaMagic);
+  PutFixed32(&bytes, kMetaVersion);
+  PutFixed32(&bytes, page_size());
+  // Record the normalized extent size (pages_per_extent * page_size); the
+  // reopening constructor derives the identical geometry from it.
+  PutFixed32(&bytes, static_cast<uint32_t>(extent_size_bytes()));
+  PutFixed64(&bytes, page_count());
+  const std::vector<bool>& freed = freed_pages();
+  std::string bitmap((page_count() + 7) / 8, '\0');
+  for (uint64_t i = 0; i < page_count(); ++i) {
+    if (freed[i]) bitmap[i / 8] |= static_cast<char>(1 << (i % 8));
+  }
+  bytes += bitmap;
+  return WriteFileAtomic(MetaPath(), bytes);
+#endif
+}
+
+Status MmapVolume::Sync() {
+#if !STARFISH_HAVE_MMAP
+  return Status::NotSupported("MmapVolume requires a POSIX mmap platform");
+#else
+  for (void* mapping : mappings_) {
+    if (mapping != nullptr &&
+        ::msync(mapping, extent_size_bytes(), MS_SYNC) != 0) {
+      return Status::IOError(std::string("msync: ") + std::strerror(errno));
+    }
+  }
+  return WriteMeta();
+#endif
+}
+
+}  // namespace starfish

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "disk/extent_volume.h"
+
+/// \file mmap_volume.h
+/// The persistent, memory-mapped disk volume.
+///
+/// MmapVolume maps one real file per extent (default 4 MiB, see
+/// DiskOptions::extent_bytes) from a backing directory:
+///
+///     <dir>/volume.meta      geometry + allocator state
+///     <dir>/extent_000000    page images of extent 0
+///     <dir>/extent_000001    ...
+///
+/// Extents are mapped MAP_SHARED, so page images live in the kernel page
+/// cache and the volume can exceed RAM; the files survive process exit, and
+/// reopening the directory restores the exact page images and allocator
+/// state. Mappings never move while the volume lives, giving the same
+/// zero-copy pointer guarantees as the in-memory backend.
+///
+/// Metadata is rewritten by Sync() and by the destructor; a crash between
+/// Syncs can lose allocator metadata (not page bytes) — acceptable for an
+/// experiment volume, call Sync() at checkpoints that matter.
+///
+/// When reopening an existing volume the geometry recorded in volume.meta
+/// wins over the geometry passed to Open (a volume cannot change its page
+/// size after the fact).
+
+namespace starfish {
+
+/// A file-backed mmap volume with I/O accounting and persistence.
+class MmapVolume final : public ExtentVolume {
+ public:
+  /// Opens (or creates) the volume backed by directory `dir`. The directory
+  /// is created if absent. When `dir` already holds a volume, its page
+  /// images and allocator state are restored and `options` geometry is
+  /// ignored in favour of the recorded one.
+  static Result<std::unique_ptr<MmapVolume>> Open(const std::string& dir,
+                                                  DiskOptions options = {});
+
+  ~MmapVolume() override;
+
+  VolumeKind kind() const override { return VolumeKind::kMmap; }
+
+  /// msync()s every extent and rewrites the metadata file.
+  Status Sync() override;
+
+  /// Backing directory of this volume.
+  const std::string& dir() const { return dir_; }
+
+ private:
+  MmapVolume(std::string dir, DiskOptions options)
+      : ExtentVolume(options), dir_(std::move(dir)) {}
+
+  Result<char*> NewExtent() override;
+
+  /// Maps extent file `index`, creating/growing it to extent size when
+  /// `create` is set; fails if absent otherwise.
+  Result<char*> MapExtent(size_t index, bool create);
+
+  std::string ExtentPath(size_t index) const;
+  std::string MetaPath() const;
+
+  Status WriteMeta() const;
+
+  std::string dir_;
+  std::vector<void*> mappings_;  // parallel to extents(), for munmap
+};
+
+}  // namespace starfish

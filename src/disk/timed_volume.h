@@ -1,0 +1,116 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "disk/disk_timing.h"
+#include "disk/volume.h"
+
+/// \file timed_volume.h
+/// A latency-charging decorator over any Volume backend.
+///
+/// TimedVolume forwards every operation to the wrapped backend and, on
+/// success, charges the Equation-1 service time of the call:
+///
+///     d1 (seek + rotate + controller, per I/O call)
+///   + d2 * pages_moved (transfer, per page)
+///
+/// Allocation, Free and the unmetered PeekPage are free, mirroring the I/O
+/// counters. The accumulated `elapsed_ms()` therefore equals
+/// `LinearTimingModel::Cost(stats delta)` for everything routed through the
+/// decorator — benches wrap their volume in a TimedVolume to print estimated
+/// milliseconds next to the call/page counts. Derive the coefficients from a
+/// mechanical drive description with PhysicalTimingModel::ToLinear().
+
+namespace starfish {
+
+/// Decorator charging LinearTimingModel time per successful call.
+class TimedVolume final : public Volume {
+ public:
+  /// Wraps and owns `inner`.
+  TimedVolume(std::unique_ptr<Volume> inner, LinearTimingModel timing)
+      : owned_(std::move(inner)), inner_(owned_.get()), timing_(timing) {}
+
+  /// Wraps a caller-owned backend (must outlive the decorator).
+  TimedVolume(Volume* inner, LinearTimingModel timing)
+      : inner_(inner), timing_(timing) {}
+
+  /// Estimated service time charged so far, in the unit of the timing
+  /// coefficients (milliseconds for the defaults).
+  double elapsed_ms() const { return elapsed_ms_; }
+
+  /// Zeroes the accumulated time (backend counters are unaffected).
+  void ResetElapsed() { elapsed_ms_ = 0.0; }
+
+  /// The timing coefficients in use.
+  const LinearTimingModel& timing() const { return timing_; }
+
+  /// The wrapped backend.
+  Volume* inner() { return inner_; }
+
+  // ------------------------------------------------------------ Volume --
+  VolumeKind kind() const override { return inner_->kind(); }
+  uint32_t page_size() const override { return inner_->page_size(); }
+  uint32_t pages_per_extent() const override {
+    return inner_->pages_per_extent();
+  }
+  uint64_t page_count() const override { return inner_->page_count(); }
+  uint64_t live_page_count() const override {
+    return inner_->live_page_count();
+  }
+
+  Result<PageId> AllocateRun(uint32_t n) override {
+    return inner_->AllocateRun(n);
+  }
+  Status Free(PageId id) override { return inner_->Free(id); }
+
+  Status ReadRun(PageId first, uint32_t count, char* out) override {
+    return Charge(inner_->ReadRun(first, count, out), count);
+  }
+  Status WriteRun(PageId first, uint32_t count, const char* src) override {
+    return Charge(inner_->WriteRun(first, count, src), count);
+  }
+  Status ReadRunZeroCopy(PageId first, uint32_t count,
+                         std::vector<const char*>* views) override {
+    return Charge(inner_->ReadRunZeroCopy(first, count, views), count);
+  }
+  Status ReadChained(const std::vector<PageId>& ids,
+                     const std::vector<char*>& outs) override {
+    return Charge(inner_->ReadChained(ids, outs),
+                  static_cast<uint64_t>(ids.size()));
+  }
+  Status ReadChainedZeroCopy(const std::vector<PageId>& ids,
+                             std::vector<const char*>* views) override {
+    return Charge(inner_->ReadChainedZeroCopy(ids, views),
+                  static_cast<uint64_t>(ids.size()));
+  }
+  Status WriteChained(const std::vector<PageId>& ids,
+                      const std::vector<const char*>& srcs) override {
+    return Charge(inner_->WriteChained(ids, srcs),
+                  static_cast<uint64_t>(ids.size()));
+  }
+
+  const char* PeekPage(PageId id) const override {
+    return inner_->PeekPage(id);
+  }
+  Status Sync() override { return inner_->Sync(); }
+  const IoStats& stats() const override { return inner_->stats(); }
+  void ResetStats() override {
+    inner_->ResetStats();
+    elapsed_ms_ = 0.0;
+  }
+
+ private:
+  /// One successful call moving `pages` pages costs d1 + pages * d2.
+  Status Charge(Status status, uint64_t pages) {
+    if (status.ok()) elapsed_ms_ += timing_.Cost(1, pages);
+    return status;
+  }
+
+  std::unique_ptr<Volume> owned_;  // empty for the non-owning constructor
+  Volume* inner_;
+  LinearTimingModel timing_;
+  double elapsed_ms_ = 0.0;
+};
+
+}  // namespace starfish

@@ -1,0 +1,33 @@
+#include "disk/volume.h"
+
+#include "disk/mem_volume.h"
+#include "disk/mmap_volume.h"
+
+namespace starfish {
+
+std::string ToString(VolumeKind kind) {
+  switch (kind) {
+    case VolumeKind::kMem:
+      return "mem";
+    case VolumeKind::kMmap:
+      return "mmap";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<Volume>> CreateVolume(VolumeKind kind,
+                                             DiskOptions options,
+                                             const std::string& path) {
+  switch (kind) {
+    case VolumeKind::kMem:
+      return {std::make_unique<MemVolume>(options)};
+    case VolumeKind::kMmap: {
+      STARFISH_ASSIGN_OR_RETURN(std::unique_ptr<MmapVolume> volume,
+                                MmapVolume::Open(path, options));
+      return {std::unique_ptr<Volume>(std::move(volume))};
+    }
+  }
+  return Status::InvalidArgument("unknown volume kind");
+}
+
+}  // namespace starfish

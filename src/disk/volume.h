@@ -1,0 +1,153 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "disk/io_stats.h"
+#include "disk/page.h"
+#include "util/status.h"
+
+/// \file volume.h
+/// The abstract disk volume underneath the buffer pool.
+///
+/// A Volume stands in for the physical disk of the DASDBS testbed. It stores
+/// page images and meters every transfer. The unit of metering follows the
+/// paper: a *run* of consecutive pages moved by one request is a single I/O
+/// call; each page in the run is one page I/O. DASDBS issued separate calls
+/// for the root page, the remaining header pages and the data pages of a
+/// complex record — the storage layer reproduces that call pattern on top of
+/// ReadRun/WriteRun.
+///
+/// Page ids are dense and increase in allocation order; AllocateRun yields
+/// physically contiguous pages, which is how segments implement clustering.
+///
+/// Backends (selected via VolumeKind / CreateVolume):
+///   * **MemVolume** (mem_volume.h) — a chunked in-memory arena; the
+///     default, equivalent to the paper's simulated drum.
+///   * **MmapVolume** (mmap_volume.h) — one real memory-mapped file per
+///     extent, so volumes can exceed RAM and persist across process
+///     restarts.
+///   * **TimedVolume** (timed_volume.h) — a decorator over either backend
+///     that charges Equation-1 service time per call.
+///
+/// All backends give the same zero-copy guarantee: extents never move while
+/// the volume lives, so PeekPage / ReadRunZeroCopy / ReadChainedZeroCopy
+/// hand out pointers that stay valid for the lifetime of the volume.
+
+namespace starfish {
+
+/// Storage backend selector.
+enum class VolumeKind {
+  kMem,   ///< in-memory chunked arena (default; nothing persists)
+  kMmap,  ///< one memory-mapped file per extent; persists across runs
+};
+
+/// Human-readable backend name ("mem" / "mmap").
+std::string ToString(VolumeKind kind);
+
+/// Geometry options for a volume.
+struct DiskOptions {
+  /// Physical page size in bytes. DASDBS default: 2048.
+  uint32_t page_size = kDefaultPageSize;
+
+  /// Arena extent size in bytes; each extent stores
+  /// max(1, extent_bytes / page_size) contiguous pages.
+  uint32_t extent_bytes = 4u << 20;
+};
+
+/// An abstract disk volume with I/O accounting.
+///
+/// Not thread-safe: the reproduction is single-user, like the paper's
+/// experiments.
+class Volume {
+ public:
+  virtual ~Volume() = default;
+
+  /// Which backend this is.
+  virtual VolumeKind kind() const = 0;
+
+  /// Usable page size of this volume.
+  virtual uint32_t page_size() const = 0;
+
+  /// Pages per arena extent (geometry detail, exposed for tests).
+  virtual uint32_t pages_per_extent() const = 0;
+
+  /// Number of pages ever allocated (including freed ones).
+  virtual uint64_t page_count() const = 0;
+
+  /// Number of currently allocated (not freed) pages.
+  virtual uint64_t live_page_count() const = 0;
+
+  /// Allocates one zero-filled page and returns its id.
+  Result<PageId> Allocate() { return AllocateRun(1); }
+
+  /// Allocates `n` physically contiguous zero-filled pages; returns the id
+  /// of the first (ids first .. first+n-1 are all valid). Fails when the
+  /// backend cannot grow (e.g. the mmap backend's filesystem is full).
+  virtual Result<PageId> AllocateRun(uint32_t n) = 0;
+
+  /// Returns a page to the allocator. Freed pages keep their id (ids are
+  /// never reused: simplifies reasoning about clustering and is harmless for
+  /// experiment-scale volumes).
+  virtual Status Free(PageId id) = 0;
+
+  /// Reads `count` consecutive pages starting at `first` into `out`
+  /// (`count * page_size` bytes). Counts one read call, `count` page reads.
+  virtual Status ReadRun(PageId first, uint32_t count, char* out) = 0;
+
+  /// Writes `count` consecutive pages starting at `first` from `src`.
+  /// Counts one write call and `count` page writes.
+  virtual Status WriteRun(PageId first, uint32_t count, const char* src) = 0;
+
+  /// Zero-copy variant of ReadRun: instead of copying into a caller buffer,
+  /// appends one stable extent pointer per page to `views` (cleared first).
+  /// Same accounting as ReadRun (one read call, `count` page reads). The
+  /// pointers remain valid for the lifetime of the volume; the buffer
+  /// manager uses this to copy straight into its frames with no staging
+  /// buffer in between.
+  virtual Status ReadRunZeroCopy(PageId first, uint32_t count,
+                                 std::vector<const char*>* views) = 0;
+
+  /// Reads a batch of (not necessarily contiguous) pages as a single chained
+  /// I/O call, e.g. DASDBS fetching all data pages of one object in one
+  /// request. Counts one read call and `ids.size()` page reads.
+  virtual Status ReadChained(const std::vector<PageId>& ids,
+                             const std::vector<char*>& outs) = 0;
+
+  /// Zero-copy variant of ReadChained: appends one stable extent pointer per
+  /// page to `views` (cleared first). Same accounting as ReadChained.
+  virtual Status ReadChainedZeroCopy(const std::vector<PageId>& ids,
+                                     std::vector<const char*>* views) = 0;
+
+  /// Writes a batch of (not necessarily contiguous) pages as a single
+  /// chained I/O call (DASDBS batches write-back at buffer overflow /
+  /// disconnect). Counts one write call and `ids.size()` page writes.
+  virtual Status WriteChained(const std::vector<PageId>& ids,
+                              const std::vector<const char*>& srcs) = 0;
+
+  /// Unmetered read-only view of a page's bytes, or nullptr when `id` is out
+  /// of range. Debug/test accessor: it deliberately bypasses the I/O
+  /// counters, so production paths must go through the metered calls above.
+  virtual const char* PeekPage(PageId id) const = 0;
+
+  /// Forces durable state (page images + allocator metadata) to storage.
+  /// No-op for backends without persistence.
+  virtual Status Sync() { return Status::OK(); }
+
+  /// Cumulative transfer counters.
+  virtual const IoStats& stats() const = 0;
+
+  /// Zeroes the counters (page contents are unaffected).
+  virtual void ResetStats() = 0;
+};
+
+/// Constructs a volume of the given kind. `path` is the backing directory of
+/// the mmap backend (created if absent; reopened if it already holds a
+/// volume) and ignored by the mem backend.
+Result<std::unique_ptr<Volume>> CreateVolume(VolumeKind kind,
+                                             DiskOptions options = {},
+                                             const std::string& path = "");
+
+}  // namespace starfish

@@ -2,9 +2,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "storage/segment.h"
+#include "util/coding.h"
 #include "util/status.h"
 
 /// \file bplus_tree.h
@@ -55,6 +58,25 @@ class BPlusTree {
 
   /// Pages currently used by nodes.
   uint64_t node_pages() const { return node_pages_; }
+
+  /// Serializes the catalog entry (root page + shape counters); the node
+  /// pages themselves live in the segment.
+  void SaveState(std::string* out) const {
+    PutFixed32(out, root_);
+    PutFixed64(out, size_);
+    PutFixed32(out, height_);
+    PutFixed64(out, node_pages_);
+  }
+
+  /// Restores the catalog entry written by SaveState. The tree must wrap
+  /// the same (catalog-restored) segment the state was saved from.
+  Status LoadState(std::string_view* in) {
+    if (!GetFixed32(in, &root_) || !GetFixed64(in, &size_) ||
+        !GetFixed32(in, &height_) || !GetFixed64(in, &node_pages_)) {
+      return Status::Corruption("b+-tree catalog: truncated state");
+    }
+    return Status::OK();
+  }
 
  private:
   struct SplitResult {

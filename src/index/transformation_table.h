@@ -1,10 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/tid.h"
+#include "util/coding.h"
 #include "util/status.h"
 
 /// \file transformation_table.h
@@ -68,6 +71,53 @@ class TransformationTable {
 
   bool Contains(int64_t key) const { return map_.count(key) > 0; }
   size_t size() const { return map_.size(); }
+
+  /// Serializes the table for the persistent-store catalog.
+  void SaveState(std::string* out) const {
+    PutFixed64(out, static_cast<uint64_t>(map_.size()));
+    for (const auto& [key, addrs] : map_) {
+      PutFixed64(out, static_cast<uint64_t>(key));
+      PutFixed32(out, static_cast<uint32_t>(addrs.size()));
+      for (const Tid& tid : addrs) PutFixed64(out, tid.Pack());
+    }
+  }
+
+  /// Restores the state written by SaveState, consuming it from `*in`.
+  Status LoadState(std::string_view* in) {
+    uint64_t entries = 0;
+    if (!GetFixed64(in, &entries)) {
+      return Status::Corruption("transformation table: truncated size");
+    }
+    // Counts come from disk: bound them by the bytes actually present
+    // (each entry is at least 12 bytes) before any allocation, so a
+    // corrupt file reports Corruption instead of throwing bad_alloc.
+    if (entries > in->size() / 12) {
+      return Status::Corruption("transformation table: implausible size");
+    }
+    map_.clear();
+    map_.reserve(entries);
+    for (uint64_t i = 0; i < entries; ++i) {
+      uint64_t key = 0;
+      uint32_t count = 0;
+      if (!GetFixed64(in, &key) || !GetFixed32(in, &count)) {
+        return Status::Corruption("transformation table: truncated entry");
+      }
+      if (count > in->size() / 8) {
+        return Status::Corruption("transformation table: implausible entry");
+      }
+      std::vector<Tid> addrs;
+      addrs.reserve(count);
+      for (uint32_t j = 0; j < count; ++j) {
+        uint64_t packed = 0;
+        if (!GetFixed64(in, &packed)) {
+          return Status::Corruption("transformation table: truncated tid");
+        }
+        addrs.push_back(Tid::Unpack(packed));
+      }
+      map_[static_cast<int64_t>(key)] = std::move(addrs);
+    }
+    return Status::OK();
+  }
 
   /// Estimated resident bytes (for the ablation discussion: what the
   /// "free" index actually costs in memory).

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/coding.h"
+
 namespace starfish {
 
 namespace {
@@ -26,7 +28,7 @@ Result<std::unique_ptr<DasdbsNsmModel>> DasdbsNsmModel::Create(
   for (const DecomposedRelation& rel : model->decomp_.relations()) {
     STARFISH_ASSIGN_OR_RETURN(
         Segment * segment,
-        engine->CreateSegment(
+        engine->OpenOrCreateSegment(
             "DASDBS-NSM_" +
             model->config().schema->path(rel.path).qualified_name));
     model->segments_.push_back(segment);
@@ -35,6 +37,54 @@ Result<std::unique_ptr<DasdbsNsmModel>> DasdbsNsmModel::Create(
         rel.path == kRootPath ? rel.flat_schema : rel.nested_schema));
   }
   return model;
+}
+
+Status DasdbsNsmModel::SaveState(std::string* out) const {
+  PutFixed32(out, static_cast<uint32_t>(segments_.size()));
+  for (const auto& store : stores_) PutFixed32(out, store->pool_first());
+  PutFixed64(out, static_cast<uint64_t>(key_of_ref_.size()));
+  for (int64_t key : key_of_ref_) PutFixed64(out, static_cast<uint64_t>(key));
+  table_.SaveState(out);
+  return Status::OK();
+}
+
+Status DasdbsNsmModel::LoadState(std::string_view* in) {
+  uint32_t paths = 0;
+  if (!GetFixed32(in, &paths)) {
+    return Status::Corruption("dasdbs-nsm catalog: truncated header");
+  }
+  if (paths != segments_.size()) {
+    return Status::Corruption("dasdbs-nsm catalog: path count mismatch "
+                              "(schema changed since the store was written?)");
+  }
+  for (auto& store : stores_) {
+    uint32_t pool_first = kInvalidPageId;
+    if (!GetFixed32(in, &pool_first)) {
+      return Status::Corruption("dasdbs-nsm catalog: truncated pool entry");
+    }
+    store->set_pool_first(pool_first);
+  }
+  uint64_t refs = 0;
+  if (!GetFixed64(in, &refs)) {
+    return Status::Corruption("dasdbs-nsm catalog: truncated object table");
+  }
+  // Bound the on-disk count (8 bytes per entry) before allocating.
+  if (refs > in->size() / 8) {
+    return Status::Corruption("dasdbs-nsm catalog: implausible table size");
+  }
+  key_of_ref_.assign(refs, kNoKey);
+  ref_of_key_.clear();
+  for (uint64_t i = 0; i < refs; ++i) {
+    uint64_t key = 0;
+    if (!GetFixed64(in, &key)) {
+      return Status::Corruption("dasdbs-nsm catalog: truncated object table");
+    }
+    key_of_ref_[i] = static_cast<int64_t>(key);
+    if (key_of_ref_[i] != kNoKey) {
+      ref_of_key_[key_of_ref_[i]] = static_cast<ObjectRef>(i);
+    }
+  }
+  return table_.LoadState(in);
 }
 
 Status DasdbsNsmModel::Insert(ObjectRef ref, const Tuple& object) {

@@ -46,6 +46,8 @@ class DasdbsNsmModel : public StorageModel {
   Status ReplaceObject(ObjectRef ref, const Tuple& new_object) override;
   Status Remove(ObjectRef ref) override;
   uint64_t object_count() const override { return table_.size(); }
+  Status SaveState(std::string* out) const override;
+  Status LoadState(std::string_view* in) override;
 
   const NsmDecomposition& decomposition() const { return decomp_; }
   Segment* segment(PathId path) { return segments_[path]; }

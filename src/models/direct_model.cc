@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/coding.h"
+
 namespace starfish {
 
 DirectModel::DirectModel(ModelConfig config, Segment* segment,
@@ -25,9 +27,40 @@ Result<std::unique_ptr<DirectModel>> DirectModel::Create(
       (options.partial_reads ? std::string("DASDBS-DSM_") : std::string("DSM_")) +
       config.schema->name();
   STARFISH_ASSIGN_OR_RETURN(Segment * segment,
-                            engine->CreateSegment(segment_name));
+                            engine->OpenOrCreateSegment(segment_name));
   return std::unique_ptr<DirectModel>(
       new DirectModel(std::move(config), segment, options));
+}
+
+Status DirectModel::SaveState(std::string* out) const {
+  PutFixed64(out, live_count_);
+  PutFixed32(out, store_.pool_first());
+  PutFixed64(out, static_cast<uint64_t>(address_of_.size()));
+  for (const Tid& tid : address_of_) PutFixed64(out, tid.Pack());
+  return Status::OK();
+}
+
+Status DirectModel::LoadState(std::string_view* in) {
+  uint64_t refs = 0;
+  uint32_t pool_first = kInvalidPageId;
+  if (!GetFixed64(in, &live_count_) || !GetFixed32(in, &pool_first) ||
+      !GetFixed64(in, &refs)) {
+    return Status::Corruption("direct model catalog: truncated header");
+  }
+  // Bound the on-disk count (8 bytes per entry) before allocating.
+  if (refs > in->size() / 8) {
+    return Status::Corruption("direct model catalog: implausible table size");
+  }
+  store_.set_pool_first(pool_first);
+  address_of_.assign(refs, kInvalidTid);
+  for (uint64_t i = 0; i < refs; ++i) {
+    uint64_t packed = 0;
+    if (!GetFixed64(in, &packed)) {
+      return Status::Corruption("direct model catalog: truncated object table");
+    }
+    address_of_[i] = Tid::Unpack(packed);
+  }
+  return Status::OK();
 }
 
 Status DirectModel::Insert(ObjectRef ref, const Tuple& object) {

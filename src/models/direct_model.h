@@ -74,6 +74,8 @@ class DirectModel : public StorageModel {
   Status ReplaceObject(ObjectRef ref, const Tuple& new_object) override;
   Status Remove(ObjectRef ref) override;
   uint64_t object_count() const override { return live_count_; }
+  Status SaveState(std::string* out) const override;
+  Status LoadState(std::string_view* in) override;
 
   /// Physical address of an object (for tests/calibration).
   Result<Tid> AddressOf(ObjectRef ref) const;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/coding.h"
+
 #include "buffer/buffer_manager.h"
 #include "nf2/serializer.h"
 
@@ -35,21 +37,83 @@ Result<std::unique_ptr<NsmModel>> NsmModel::Create(StorageEngine* engine,
   for (const DecomposedRelation& rel : model->decomp_.relations()) {
     const std::string relation_name =
         model->config().schema->path(rel.path).qualified_name;
-    STARFISH_ASSIGN_OR_RETURN(Segment * segment,
-                              engine->CreateSegment(prefix + relation_name));
+    STARFISH_ASSIGN_OR_RETURN(
+        Segment * segment, engine->OpenOrCreateSegment(prefix + relation_name));
     model->segments_.push_back(segment);
     model->records_.push_back(std::make_unique<RecordManager>(segment));
     model->index_.emplace_back();
     if (options.persistent_index && rel.path != kRootPath) {
       STARFISH_ASSIGN_OR_RETURN(
           Segment * index_segment,
-          engine->CreateSegment(prefix + "idx_" + relation_name));
+          engine->OpenOrCreateSegment(prefix + "idx_" + relation_name));
       model->trees_.push_back(std::make_unique<BPlusTree>(index_segment));
     } else {
       model->trees_.push_back(nullptr);
     }
   }
   return model;
+}
+
+Status NsmModel::SaveState(std::string* out) const {
+  PutFixed64(out, live_count_);
+  PutFixed32(out, static_cast<uint32_t>(segments_.size()));
+  PutFixed64(out, static_cast<uint64_t>(key_of_ref_.size()));
+  for (size_t i = 0; i < key_of_ref_.size(); ++i) {
+    PutFixed64(out, static_cast<uint64_t>(key_of_ref_[i]));
+    PutFixed64(out, root_tid_of_ref_[i].Pack());
+  }
+  for (const TransformationTable& table : index_) table.SaveState(out);
+  for (const auto& tree : trees_) {
+    PutFixed16(out, tree != nullptr ? 1 : 0);
+    if (tree != nullptr) tree->SaveState(out);
+  }
+  return Status::OK();
+}
+
+Status NsmModel::LoadState(std::string_view* in) {
+  uint32_t paths = 0;
+  uint64_t refs = 0;
+  if (!GetFixed64(in, &live_count_) || !GetFixed32(in, &paths) ||
+      !GetFixed64(in, &refs)) {
+    return Status::Corruption("nsm catalog: truncated header");
+  }
+  if (paths != segments_.size()) {
+    return Status::Corruption("nsm catalog: path count mismatch (schema "
+                              "changed since the store was written?)");
+  }
+  // Bound the on-disk count (16 bytes per entry) before allocating.
+  if (refs > in->size() / 16) {
+    return Status::Corruption("nsm catalog: implausible object table size");
+  }
+  key_of_ref_.assign(refs, kNoKey);
+  root_tid_of_ref_.assign(refs, kInvalidTid);
+  ref_of_key_.clear();
+  for (uint64_t i = 0; i < refs; ++i) {
+    uint64_t key = 0, packed = 0;
+    if (!GetFixed64(in, &key) || !GetFixed64(in, &packed)) {
+      return Status::Corruption("nsm catalog: truncated object table");
+    }
+    key_of_ref_[i] = static_cast<int64_t>(key);
+    root_tid_of_ref_[i] = Tid::Unpack(packed);
+    if (key_of_ref_[i] != kNoKey) {
+      ref_of_key_[key_of_ref_[i]] = static_cast<ObjectRef>(i);
+    }
+  }
+  for (TransformationTable& table : index_) {
+    STARFISH_RETURN_NOT_OK(table.LoadState(in));
+  }
+  for (auto& tree : trees_) {
+    uint16_t present = 0;
+    if (!GetFixed16(in, &present)) {
+      return Status::Corruption("nsm catalog: truncated tree flag");
+    }
+    if ((present != 0) != (tree != nullptr)) {
+      return Status::Corruption("nsm catalog: index layout mismatch (store "
+                                "written with different index options?)");
+    }
+    if (tree != nullptr) STARFISH_RETURN_NOT_OK(tree->LoadState(in));
+  }
+  return Status::OK();
 }
 
 Result<int64_t> NsmModel::RefToKey(ObjectRef ref) const {

@@ -69,6 +69,8 @@ class NsmModel : public StorageModel {
   Status Remove(ObjectRef ref) override;
   bool SupportsGetByRef() const override { return options_.with_index; }
   uint64_t object_count() const override { return live_count_; }
+  Status SaveState(std::string* out) const override;
+  Status LoadState(std::string_view* in) override;
 
   /// The decomposition in use (tests/calibration).
   const NsmDecomposition& decomposition() const { return decomp_; }

@@ -128,6 +128,15 @@ class StorageModel {
   /// Number of objects stored.
   virtual uint64_t object_count() const = 0;
 
+  /// Serializes the model's in-memory tables (object tables, transformation
+  /// tables, index roots) so a persistent store can rebuild them on reopen.
+  /// Page contents are NOT included — they live in the volume.
+  virtual Status SaveState(std::string* out) const = 0;
+
+  /// Restores the state written by SaveState over a catalog-restored
+  /// engine. The model must be freshly created (no objects inserted).
+  virtual Status LoadState(std::string_view* in) = 0;
+
  protected:
   explicit StorageModel(ModelConfig config) : config_(std::move(config)) {}
 

@@ -142,6 +142,12 @@ class ComplexRecordStore {
   Segment* segment() { return segment_; }
   const ComplexStoreOptions& options() const { return options_; }
 
+  /// Catalog entry of the change-attribute page pool (persistent reopen):
+  /// the pool is lazily allocated, so a restored store either re-adopts the
+  /// saved run or allocates a fresh one on first use.
+  PageId pool_first() const { return pool_first_; }
+  void set_pool_first(PageId id) { pool_first_ = id; }
+
  private:
   struct DirEntry {
     uint32_t tag = 0;

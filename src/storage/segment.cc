@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/coding.h"
+
 namespace starfish {
 
 namespace {
@@ -12,14 +14,29 @@ Result<PageId> Segment::AllocatePage(PageType type) {
   return AllocateRun(1, type);
 }
 
-Result<PageId> Segment::AllocateRun(uint32_t n, PageType type) {
+Result<PageId> Segment::AllocateRun(uint32_t n, PageType type,
+                                    PageInitMode mode) {
   if (n == 0) return Status::InvalidArgument("empty run");
-  const PageId first = buffer_->disk()->AllocateRun(n);
+  STARFISH_ASSIGN_OR_RETURN(const PageId first,
+                            buffer_->disk()->AllocateRun(n));
+  const uint32_t page_size = buffer_->disk()->page_size();
+  if (n > 1) {
+    // Multi-page runs reserve up front; single-page allocations rely on
+    // push_back's geometric growth (reserve(size + 1) per call would
+    // reallocate every time).
+    pages_.reserve(pages_.size() + n);
+    free_hints_.reserve(free_hints_.size() + n);
+    type_hints_.reserve(type_hints_.size() + n);
+  }
   for (uint32_t i = 0; i < n; ++i) {
     const PageId id = first + i;
-    // Fresh pages are zero-filled on disk; format the in-buffer copy.
-    STARFISH_ASSIGN_OR_RETURN(PageGuard guard, buffer_->Fix(id));
-    SlottedPage view(guard.data(), buffer_->disk()->page_size());
+    // Fresh pages are zero-filled on disk; FixFresh materializes the frame
+    // without a metered read and the formatter writes it in place.
+    STARFISH_ASSIGN_OR_RETURN(PageGuard guard,
+                              mode == PageInitMode::kFreshZeroed
+                                  ? buffer_->FixFresh(id)
+                                  : buffer_->Fix(id));
+    SlottedPage view(guard.data(), page_size);
     view.Init(id_, type);
     guard.MarkDirty();
     page_index_[id] = pages_.size();
@@ -70,6 +87,46 @@ PageType Segment::TypeHint(PageId id) const {
 void Segment::SetTypeHint(PageId id, PageType type) {
   auto it = page_index_.find(id);
   if (it != page_index_.end()) type_hints_[it->second] = type;
+}
+
+void Segment::SaveState(std::string* out) const {
+  PutFixed32(out, static_cast<uint32_t>(pages_.size()));
+  for (size_t i = 0; i < pages_.size(); ++i) {
+    PutFixed32(out, pages_[i]);
+    PutFixed32(out, free_hints_[i]);
+    PutFixed16(out, static_cast<uint16_t>(type_hints_[i]));
+  }
+}
+
+Status Segment::LoadState(std::string_view* in) {
+  uint32_t count = 0;
+  if (!GetFixed32(in, &count)) {
+    return Status::Corruption("segment catalog: truncated page count");
+  }
+  // Bound the on-disk count (10 bytes per entry) before allocating.
+  if (count > in->size() / 10) {
+    return Status::Corruption("segment catalog: implausible page count");
+  }
+  pages_.clear();
+  free_hints_.clear();
+  type_hints_.clear();
+  page_index_.clear();
+  pages_.reserve(count);
+  free_hints_.reserve(count);
+  type_hints_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t page = 0, hint = 0;
+    uint16_t type = 0;
+    if (!GetFixed32(in, &page) || !GetFixed32(in, &hint) ||
+        !GetFixed16(in, &type)) {
+      return Status::Corruption("segment catalog: truncated page entry");
+    }
+    page_index_[page] = pages_.size();
+    pages_.push_back(page);
+    free_hints_.push_back(hint);
+    type_hints_.push_back(static_cast<PageType>(type));
+  }
+  return Status::OK();
 }
 
 PageId Segment::FindSlottedPageWithSpace(uint32_t bytes) const {

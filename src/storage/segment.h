@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -44,13 +45,27 @@ class Segment {
   /// Pages of this segment in allocation order.
   const std::vector<PageId>& pages() const { return pages_; }
 
+  /// How freshly allocated pages are brought into the buffer for formatting.
+  enum class PageInitMode {
+    /// Materialize zero-filled frames with no metered read
+    /// (BufferManager::FixFresh) — the default: the formatter overwrites
+    /// the bytes anyway, so reading them from disk first is pure waste.
+    kFreshZeroed,
+    /// Fault each page in through the metered read path. Used where the
+    /// fault-in cost is part of the modelled protocol (the DASDBS
+    /// change-attribute page pool is opened inside the measured operation).
+    kPrefault,
+  };
+
   /// Allocates and formats one page of the given type. The fresh page is
   /// resident and dirty afterwards (it will reach disk on write-back).
   Result<PageId> AllocatePage(PageType type);
 
   /// Allocates `n` physically contiguous pages (a complex-record run),
-  /// formats each with the given type.
-  Result<PageId> AllocateRun(uint32_t n, PageType type);
+  /// formats each with the given type. The run is allocated from the volume
+  /// in one call and formatted batch-style according to `mode`.
+  Result<PageId> AllocateRun(uint32_t n, PageType type,
+                             PageInitMode mode = PageInitMode::kFreshZeroed);
 
   /// Releases pages back to the disk and removes them from the segment.
   Status FreePages(const std::vector<PageId>& ids);
@@ -70,6 +85,13 @@ class Segment {
   /// `bytes` of room, or kInvalidPageId. Insertion policy "fill the current
   /// page, then open a new one" keeps records clustered in insert order.
   PageId FindSlottedPageWithSpace(uint32_t bytes) const;
+
+  /// Serializes the page list and hints (persistent-store catalog).
+  void SaveState(std::string* out) const;
+
+  /// Restores the state written by SaveState, consuming it from `*in`.
+  /// Replaces any current content of the segment.
+  Status LoadState(std::string_view* in);
 
  private:
   uint32_t id_;

@@ -1,19 +1,52 @@
 #include "storage/storage_engine.h"
 
+#include "disk/mem_volume.h"
+#include "util/coding.h"
+
 namespace starfish {
 
 StorageEngine::StorageEngine(StorageEngineOptions options)
-    : disk_(options.disk), buffer_(&disk_, options.buffer) {}
+    : options_(std::move(options)) {
+  auto volume_or = CreateVolume(options_.backend, options_.disk, options_.path);
+  if (volume_or.ok()) {
+    volume_ = std::move(volume_or).value();
+  } else {
+    // Keep the engine usable for callers that cannot observe a constructor
+    // failure; Open() turns this into a proper error.
+    init_status_ = volume_or.status();
+    volume_ = std::make_unique<MemVolume>(options_.disk);
+  }
+  if (options_.timed) {
+    auto timed = std::make_unique<TimedVolume>(std::move(volume_),
+                                               options_.timing);
+    timed_ = timed.get();
+    volume_ = std::move(timed);
+  }
+  buffer_ = std::make_unique<BufferManager>(volume_.get(), options_.buffer);
+}
+
+Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
+    StorageEngineOptions options) {
+  auto engine = std::make_unique<StorageEngine>(std::move(options));
+  STARFISH_RETURN_NOT_OK(engine->init_status());
+  return engine;
+}
 
 Result<Segment*> StorageEngine::CreateSegment(const std::string& name) {
   if (by_name_.count(name) > 0) {
     return Status::AlreadyExists("segment '" + name + "' already exists");
   }
   const uint32_t id = static_cast<uint32_t>(segments_.size());
-  segments_.push_back(std::make_unique<Segment>(id, name, &buffer_));
+  segments_.push_back(std::make_unique<Segment>(id, name, buffer_.get()));
   Segment* segment = segments_.back().get();
   by_name_[name] = segment;
   return segment;
+}
+
+Result<Segment*> StorageEngine::OpenOrCreateSegment(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  return CreateSegment(name);
 }
 
 Segment* StorageEngine::GetSegment(const std::string& name) {
@@ -29,12 +62,37 @@ std::vector<Segment*> StorageEngine::segments() {
 }
 
 EngineStats StorageEngine::stats() const {
-  return EngineStats{disk_.stats(), buffer_.stats()};
+  return EngineStats{volume_->stats(), buffer_->stats()};
 }
 
 void StorageEngine::ResetStats() {
-  disk_.ResetStats();
-  buffer_.ResetStats();
+  volume_->ResetStats();
+  buffer_->ResetStats();
+}
+
+void StorageEngine::SaveCatalog(std::string* out) const {
+  PutFixed32(out, static_cast<uint32_t>(segments_.size()));
+  for (const auto& segment : segments_) {
+    PutLengthPrefixed(out, segment->name());
+    segment->SaveState(out);
+  }
+}
+
+Status StorageEngine::LoadCatalog(std::string_view* in) {
+  uint32_t count = 0;
+  if (!GetFixed32(in, &count)) {
+    return Status::Corruption("engine catalog: truncated segment count");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string_view name;
+    if (!GetLengthPrefixed(in, &name)) {
+      return Status::Corruption("engine catalog: truncated segment name");
+    }
+    STARFISH_ASSIGN_OR_RETURN(Segment * segment,
+                              OpenOrCreateSegment(std::string(name)));
+    STARFISH_RETURN_NOT_OK(segment->LoadState(in));
+  }
+  return Status::OK();
 }
 
 }  // namespace starfish

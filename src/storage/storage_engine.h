@@ -2,24 +2,45 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "buffer/buffer_manager.h"
-#include "disk/sim_disk.h"
+#include "disk/disk_timing.h"
+#include "disk/timed_volume.h"
+#include "disk/volume.h"
 #include "storage/segment.h"
 #include "util/status.h"
 
 /// \file storage_engine.h
-/// Owns the simulated volume, the buffer pool and the segment catalog —
-/// one "database instance" in the sense of the paper's DASDBS testbed.
+/// Owns the volume, the buffer pool and the segment catalog — one "database
+/// instance" in the sense of the paper's DASDBS testbed.
+///
+/// The disk backend is pluggable (StorageEngineOptions::backend): the
+/// default in-memory arena, or the persistent mmap backend rooted at
+/// StorageEngineOptions::path. Either can additionally be wrapped in a
+/// TimedVolume that charges Equation-1 service time per I/O call.
 
 namespace starfish {
 
-/// Engine configuration: geometry + buffering.
+/// Engine configuration: geometry + backend + buffering.
 struct StorageEngineOptions {
   DiskOptions disk;
   BufferOptions buffer;
+
+  /// Disk backend. kMmap requires `path`.
+  VolumeKind backend = VolumeKind::kMem;
+
+  /// Backing directory of the mmap backend (created if absent, reopened if
+  /// it already holds a volume). Ignored by the mem backend.
+  std::string path;
+
+  /// Wrap the backend in a TimedVolume charging `timing` per call.
+  bool timed = false;
+
+  /// Equation-1 coefficients of the timed wrapper.
+  LinearTimingModel timing;
 };
 
 /// Combined counter snapshot used by the benchmark runner to delta-measure
@@ -33,13 +54,31 @@ struct EngineStats {
   }
 };
 
-/// The storage substrate: disk + buffer + segments.
+/// The storage substrate: volume + buffer + segments.
 class StorageEngine {
  public:
+  /// Creates an engine, propagating backend construction failures (a
+  /// missing mmap directory, geometry corruption, ...). Prefer this over
+  /// the constructor whenever options select a non-default backend.
+  static Result<std::unique_ptr<StorageEngine>> Open(
+      StorageEngineOptions options = {});
+
+  /// Convenience constructor for the infallible default backend. When the
+  /// requested backend cannot be constructed (only possible for kMmap),
+  /// the engine falls back to an in-memory volume and records the failure
+  /// in init_status() — Open() is the error-propagating path.
   explicit StorageEngine(StorageEngineOptions options = {});
+
+  /// OK unless the constructor had to fall back to the mem backend.
+  const Status& init_status() const { return init_status_; }
 
   /// Creates a new, empty segment. Fails if the name exists.
   Result<Segment*> CreateSegment(const std::string& name);
+
+  /// Returns the named segment, creating it when absent. This is how the
+  /// storage models attach to their relations: fresh on first open,
+  /// catalog-restored after a persistent reopen.
+  Result<Segment*> OpenOrCreateSegment(const std::string& name);
 
   /// Looks up a segment by name (nullptr if absent).
   Segment* GetSegment(const std::string& name);
@@ -47,14 +86,18 @@ class StorageEngine {
   /// All segments in creation order.
   std::vector<Segment*> segments();
 
-  BufferManager* buffer() { return &buffer_; }
-  SimDisk* disk() { return &disk_; }
+  BufferManager* buffer() { return buffer_.get(); }
+  Volume* disk() { return volume_.get(); }
+  const Volume* disk() const { return volume_.get(); }
+
+  /// The timing decorator, or nullptr when options.timed was not set.
+  TimedVolume* timed_volume() { return timed_; }
 
   /// Write-back of all dirty pages — the paper's "database disconnect".
-  Status Flush() { return buffer_.FlushAll(); }
+  Status Flush() { return buffer_->FlushAll(); }
 
   /// Flushes and empties the buffer: the next query starts cold.
-  Status DropCache() { return buffer_.DropAll(); }
+  Status DropCache() { return buffer_->DropAll(); }
 
   /// Snapshot of all counters.
   EngineStats stats() const;
@@ -62,9 +105,21 @@ class StorageEngine {
   /// Zeroes all counters (page contents unaffected).
   void ResetStats();
 
+  /// Serializes the segment catalog (names + page lists + hints) for the
+  /// persistent-store catalog file.
+  void SaveCatalog(std::string* out) const;
+
+  /// Restores the segment catalog written by SaveCatalog, consuming it from
+  /// `*in`. Existing segments with matching names are overwritten; the
+  /// engine must otherwise be fresh.
+  Status LoadCatalog(std::string_view* in);
+
  private:
-  SimDisk disk_;
-  BufferManager buffer_;
+  StorageEngineOptions options_;
+  Status init_status_;
+  std::unique_ptr<Volume> volume_;  ///< possibly a TimedVolume wrapper
+  TimedVolume* timed_ = nullptr;    ///< alias into volume_ when timed
+  std::unique_ptr<BufferManager> buffer_;
   std::vector<std::unique_ptr<Segment>> segments_;
   std::unordered_map<std::string, Segment*> by_name_;
 };

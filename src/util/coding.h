@@ -67,4 +67,38 @@ inline void PutLengthPrefixed(std::string* dst, std::string_view value) {
   dst->append(value.data(), value.size());
 }
 
+/// Bounds-checked readers: each consumes its bytes from the front of `*in`
+/// and returns false (leaving `*in` unspecified) when `*in` is too short.
+/// Used by the volume/catalog metadata decoders.
+inline bool GetFixed16(std::string_view* in, uint16_t* out) {
+  if (in->size() < sizeof(*out)) return false;
+  *out = DecodeFixed16(in->data());
+  in->remove_prefix(sizeof(*out));
+  return true;
+}
+
+inline bool GetFixed32(std::string_view* in, uint32_t* out) {
+  if (in->size() < sizeof(*out)) return false;
+  *out = DecodeFixed32(in->data());
+  in->remove_prefix(sizeof(*out));
+  return true;
+}
+
+inline bool GetFixed64(std::string_view* in, uint64_t* out) {
+  if (in->size() < sizeof(*out)) return false;
+  *out = DecodeFixed64(in->data());
+  in->remove_prefix(sizeof(*out));
+  return true;
+}
+
+/// Reads a 16-bit length prefix followed by that many bytes. The returned
+/// view aliases `in`'s buffer.
+inline bool GetLengthPrefixed(std::string_view* in, std::string_view* out) {
+  uint16_t len = 0;
+  if (!GetFixed16(in, &len) || in->size() < len) return false;
+  *out = in->substr(0, len);
+  in->remove_prefix(len);
+  return true;
+}
+
 }  // namespace starfish

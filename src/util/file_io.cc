@@ -1,0 +1,54 @@
+#include "util/file_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define STARFISH_HAVE_FSYNC 1
+#endif
+
+namespace starfish {
+
+Status ReadFileToString(const std::string& path, std::string* out,
+                        bool* found) {
+  *found = false;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) return Status::OK();  // genuinely absent
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::IOError("read " + path);
+  *found = true;
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("open " + tmp + ": " + std::strerror(errno));
+  }
+  bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
+            std::fflush(f) == 0;
+#if STARFISH_HAVE_FSYNC
+  // The rename only commits durably if the tmp file's bytes reached disk.
+  ok = ok && ::fsync(::fileno(f)) == 0;
+#endif
+  std::fclose(f);
+  if (!ok) return Status::IOError("write " + tmp);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return Status::IOError("rename " + tmp + ": " + ec.message());
+  return Status::OK();
+}
+
+}  // namespace starfish

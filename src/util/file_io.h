@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+/// \file file_io.h
+/// Small-file helpers shared by the persistence metadata writers
+/// (MmapVolume's volume.meta, ComplexObjectStore's catalog.sf).
+
+namespace starfish {
+
+/// Reads the whole file into `*out`. A missing file is not an error:
+/// `*found` is set false and OK is returned. Every other failure (open
+/// error, read error) is reported as IOError — callers that treat
+/// "unreadable" as "absent" would silently reset existing stores.
+Status ReadFileToString(const std::string& path, std::string* out,
+                        bool* found);
+
+/// Durably replaces `path` with `bytes`: writes `path`.tmp, fsyncs it, then
+/// renames over `path` (the rename is the commit point).
+Status WriteFileAtomic(const std::string& path, std::string_view bytes);
+
+}  // namespace starfish

@@ -1,5 +1,7 @@
 #include "buffer/buffer_manager.h"
 
+#include "disk/mem_volume.h"
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -11,7 +13,7 @@ namespace {
 
 class BufferManagerTest : public ::testing::Test {
  protected:
-  SimDisk disk_;
+  MemVolume disk_;
 };
 
 BufferOptions SmallPool(uint32_t frames, uint32_t batch = 1) {
@@ -22,7 +24,7 @@ BufferOptions SmallPool(uint32_t frames, uint32_t batch = 1) {
 }
 
 TEST_F(BufferManagerTest, FixMissReadsOnePage) {
-  const PageId id = disk_.Allocate();
+  const PageId id = disk_.Allocate().value();
   BufferManager bm(&disk_, SmallPool(4));
   auto guard = bm.Fix(id);
   ASSERT_TRUE(guard.ok());
@@ -33,7 +35,7 @@ TEST_F(BufferManagerTest, FixMissReadsOnePage) {
 }
 
 TEST_F(BufferManagerTest, SecondFixIsAHit) {
-  const PageId id = disk_.Allocate();
+  const PageId id = disk_.Allocate().value();
   BufferManager bm(&disk_, SmallPool(4));
   { auto g = bm.Fix(id); ASSERT_TRUE(g.ok()); }
   { auto g = bm.Fix(id); ASSERT_TRUE(g.ok()); }
@@ -42,7 +44,7 @@ TEST_F(BufferManagerTest, SecondFixIsAHit) {
 }
 
 TEST_F(BufferManagerTest, DirtyPageWrittenOnFlush) {
-  const PageId id = disk_.Allocate();
+  const PageId id = disk_.Allocate().value();
   BufferManager bm(&disk_, SmallPool(4));
   {
     auto g = bm.Fix(id);
@@ -59,7 +61,7 @@ TEST_F(BufferManagerTest, DirtyPageWrittenOnFlush) {
 }
 
 TEST_F(BufferManagerTest, CleanEvictionDoesNotWrite) {
-  disk_.AllocateRun(5);
+  ASSERT_TRUE(disk_.AllocateRun(5).ok());
   BufferManager bm(&disk_, SmallPool(2));
   for (PageId id = 0; id < 5; ++id) {
     auto g = bm.Fix(id);
@@ -70,7 +72,7 @@ TEST_F(BufferManagerTest, CleanEvictionDoesNotWrite) {
 }
 
 TEST_F(BufferManagerTest, DirtyEvictionWritesBack) {
-  disk_.AllocateRun(4);
+  ASSERT_TRUE(disk_.AllocateRun(4).ok());
   BufferManager bm(&disk_, SmallPool(2));
   {
     auto g = bm.Fix(0);
@@ -87,7 +89,7 @@ TEST_F(BufferManagerTest, DirtyEvictionWritesBack) {
 }
 
 TEST_F(BufferManagerTest, LruEvictsColdestUnpinned) {
-  disk_.AllocateRun(4);
+  ASSERT_TRUE(disk_.AllocateRun(4).ok());
   BufferManager bm(&disk_, SmallPool(2));
   { auto g = bm.Fix(0); ASSERT_TRUE(g.ok()); }
   { auto g = bm.Fix(1); ASSERT_TRUE(g.ok()); }
@@ -99,7 +101,7 @@ TEST_F(BufferManagerTest, LruEvictsColdestUnpinned) {
 }
 
 TEST_F(BufferManagerTest, PinnedPagesAreNotEvicted) {
-  disk_.AllocateRun(4);
+  ASSERT_TRUE(disk_.AllocateRun(4).ok());
   BufferManager bm(&disk_, SmallPool(2));
   auto pinned = bm.Fix(0);
   ASSERT_TRUE(pinned.ok());
@@ -110,7 +112,7 @@ TEST_F(BufferManagerTest, PinnedPagesAreNotEvicted) {
 }
 
 TEST_F(BufferManagerTest, AllPinnedGivesResourceExhausted) {
-  disk_.AllocateRun(3);
+  ASSERT_TRUE(disk_.AllocateRun(3).ok());
   BufferManager bm(&disk_, SmallPool(2));
   auto g0 = bm.Fix(0);
   auto g1 = bm.Fix(1);
@@ -121,7 +123,7 @@ TEST_F(BufferManagerTest, AllPinnedGivesResourceExhausted) {
 }
 
 TEST_F(BufferManagerTest, UnfixErrors) {
-  disk_.Allocate();
+  ASSERT_TRUE(disk_.Allocate().ok());
   BufferManager bm(&disk_, SmallPool(2));
   EXPECT_TRUE(bm.Unfix(0, false).IsInvalidArgument());  // not resident
   { auto g = bm.Fix(0); ASSERT_TRUE(g.ok()); }
@@ -129,7 +131,7 @@ TEST_F(BufferManagerTest, UnfixErrors) {
 }
 
 TEST_F(BufferManagerTest, PrefetchChainedIsOneCall) {
-  disk_.AllocateRun(8);
+  ASSERT_TRUE(disk_.AllocateRun(8).ok());
   BufferManager bm(&disk_, SmallPool(8));
   ASSERT_TRUE(bm.Prefetch({1, 3, 5}, PrefetchMode::kChained).ok());
   EXPECT_EQ(disk_.stats().read_calls, 1u);
@@ -143,7 +145,7 @@ TEST_F(BufferManagerTest, PrefetchChainedIsOneCall) {
 }
 
 TEST_F(BufferManagerTest, PrefetchRunsGroupsContiguousPages) {
-  disk_.AllocateRun(10);
+  ASSERT_TRUE(disk_.AllocateRun(10).ok());
   BufferManager bm(&disk_, SmallPool(10));
   // {2,3,4} and {7,8} -> two calls, five pages.
   ASSERT_TRUE(
@@ -153,7 +155,7 @@ TEST_F(BufferManagerTest, PrefetchRunsGroupsContiguousPages) {
 }
 
 TEST_F(BufferManagerTest, PrefetchSkipsCachedAndDuplicates) {
-  disk_.AllocateRun(4);
+  ASSERT_TRUE(disk_.AllocateRun(4).ok());
   BufferManager bm(&disk_, SmallPool(4));
   { auto g = bm.Fix(1); ASSERT_TRUE(g.ok()); }
   disk_.ResetStats();
@@ -162,7 +164,7 @@ TEST_F(BufferManagerTest, PrefetchSkipsCachedAndDuplicates) {
 }
 
 TEST_F(BufferManagerTest, BatchedWriteBackCleansColdDirtyPages) {
-  disk_.AllocateRun(6);
+  ASSERT_TRUE(disk_.AllocateRun(6).ok());
   BufferManager bm(&disk_, SmallPool(4, /*batch=*/4));
   for (PageId id = 0; id < 4; ++id) {
     auto g = bm.Fix(id);
@@ -177,7 +179,7 @@ TEST_F(BufferManagerTest, BatchedWriteBackCleansColdDirtyPages) {
 }
 
 TEST_F(BufferManagerTest, FlushAllBatchesWrites) {
-  disk_.AllocateRun(10);
+  ASSERT_TRUE(disk_.AllocateRun(10).ok());
   BufferManager bm(&disk_, SmallPool(10, /*batch=*/4));
   for (PageId id = 0; id < 10; ++id) {
     auto g = bm.Fix(id);
@@ -190,7 +192,7 @@ TEST_F(BufferManagerTest, FlushAllBatchesWrites) {
 }
 
 TEST_F(BufferManagerTest, FlushAllIsIdempotent) {
-  disk_.Allocate();
+  ASSERT_TRUE(disk_.Allocate().ok());
   BufferManager bm(&disk_, SmallPool(2));
   {
     auto g = bm.Fix(0);
@@ -204,7 +206,7 @@ TEST_F(BufferManagerTest, FlushAllIsIdempotent) {
 }
 
 TEST_F(BufferManagerTest, DropAllEmptiesPoolAndRefusesPinned) {
-  disk_.AllocateRun(3);
+  ASSERT_TRUE(disk_.AllocateRun(3).ok());
   BufferManager bm(&disk_, SmallPool(3));
   auto g = bm.Fix(0);
   ASSERT_TRUE(g.ok());
@@ -216,7 +218,7 @@ TEST_F(BufferManagerTest, DropAllEmptiesPoolAndRefusesPinned) {
 }
 
 TEST_F(BufferManagerTest, PageGuardMoveTransfersOwnership) {
-  disk_.Allocate();
+  ASSERT_TRUE(disk_.Allocate().ok());
   BufferManager bm(&disk_, SmallPool(2));
   auto g = bm.Fix(0);
   ASSERT_TRUE(g.ok());
@@ -230,7 +232,7 @@ TEST_F(BufferManagerTest, PageGuardMoveTransfersOwnership) {
 }
 
 TEST_F(BufferManagerTest, PageGuardMoveAssignReleasesHeldPin) {
-  disk_.AllocateRun(2);
+  ASSERT_TRUE(disk_.AllocateRun(2).ok());
   BufferManager bm(&disk_, SmallPool(4));
   auto g0 = bm.Fix(0);
   auto g1 = bm.Fix(1);
@@ -248,7 +250,7 @@ TEST_F(BufferManagerTest, PageGuardMoveAssignReleasesHeldPin) {
 }
 
 TEST_F(BufferManagerTest, PageGuardSelfMoveIsSafe) {
-  disk_.Allocate();
+  ASSERT_TRUE(disk_.Allocate().ok());
   BufferManager bm(&disk_, SmallPool(2));
   auto g = bm.Fix(0);
   ASSERT_TRUE(g.ok());
@@ -261,7 +263,7 @@ TEST_F(BufferManagerTest, PageGuardSelfMoveIsSafe) {
 }
 
 TEST_F(BufferManagerTest, PageGuardMoveCarriesDirtyFlag) {
-  disk_.Allocate();
+  ASSERT_TRUE(disk_.Allocate().ok());
   BufferManager bm(&disk_, SmallPool(2));
   {
     auto g = bm.Fix(0);
@@ -280,7 +282,7 @@ TEST_F(BufferManagerTest, PageGuardMoveCarriesDirtyFlag) {
 }
 
 TEST_F(BufferManagerTest, PageGuardMovedFromGuardDropsDirtyState) {
-  disk_.AllocateRun(2);
+  ASSERT_TRUE(disk_.AllocateRun(2).ok());
   BufferManager bm(&disk_, SmallPool(4));
   auto g = bm.Fix(0);
   ASSERT_TRUE(g.ok());
@@ -298,8 +300,53 @@ TEST_F(BufferManagerTest, PageGuardMovedFromGuardDropsDirtyState) {
   EXPECT_EQ(disk_.stats().pages_written, 1u);  // only page 0
 }
 
+TEST_F(BufferManagerTest, FixFreshInstallsZeroedFrameWithoutRead) {
+  const PageId id = disk_.Allocate().value();
+  BufferManager bm(&disk_, SmallPool(4));
+  {
+    auto g = bm.FixFresh(id);
+    ASSERT_TRUE(g.ok());
+    // Counted like a normal miss, but no metered disk traffic.
+    EXPECT_EQ(bm.stats().fixes, 1u);
+    EXPECT_EQ(bm.stats().misses, 1u);
+    EXPECT_EQ(disk_.stats().TotalCalls(), 0u);
+    for (uint32_t i = 0; i < disk_.page_size(); ++i) {
+      ASSERT_EQ(g->data()[i], '\0') << "byte " << i;
+    }
+    g->data()[3] = 'F';
+    g->MarkDirty();
+  }
+  // The dirtied frame reaches disk like any other page.
+  ASSERT_TRUE(bm.FlushAll().ok());
+  std::vector<char> buf(disk_.page_size());
+  ASSERT_TRUE(disk_.ReadRun(id, 1, buf.data()).ok());
+  EXPECT_EQ(buf[3], 'F');
+}
+
+TEST_F(BufferManagerTest, FixFreshOnResidentPageIsAHit) {
+  const PageId id = disk_.Allocate().value();
+  BufferManager bm(&disk_, SmallPool(4));
+  {
+    auto g = bm.Fix(id);  // ordinary metered load
+    ASSERT_TRUE(g.ok());
+    g->data()[0] = 'R';
+    g->MarkDirty();
+  }
+  auto g = bm.FixFresh(id);  // resident: must NOT zero the frame
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(bm.stats().hits, 1u);
+  EXPECT_EQ(g->data()[0], 'R');
+}
+
+TEST_F(BufferManagerTest, FixFreshRejectsUnallocatedPage) {
+  ASSERT_TRUE(disk_.Allocate().ok());
+  BufferManager bm(&disk_, SmallPool(4));
+  EXPECT_TRUE(bm.FixFresh(5).status().IsOutOfRange());
+  EXPECT_TRUE(bm.FixFresh(kInvalidPageId).status().IsOutOfRange());
+}
+
 TEST_F(BufferManagerTest, PrefetchRunsDeduplicatesIds) {
-  disk_.AllocateRun(8);
+  ASSERT_TRUE(disk_.AllocateRun(8).ok());
   BufferManager bm(&disk_, SmallPool(8));
   // {3,4,5} with duplicates -> one run, one call, three pages.
   ASSERT_TRUE(
@@ -310,7 +357,7 @@ TEST_F(BufferManagerTest, PrefetchRunsDeduplicatesIds) {
 }
 
 TEST_F(BufferManagerTest, PrefetchedDataMatchesDisk) {
-  const PageId first = disk_.AllocateRun(6);
+  const PageId first = disk_.AllocateRun(6).value();
   std::vector<char> data(disk_.page_size());
   for (PageId id = first; id < first + 6; ++id) {
     std::fill(data.begin(), data.end(), static_cast<char>('0' + id));
@@ -372,8 +419,8 @@ TEST_P(EvictionEquivalenceTest, MatchesListBasedReferenceModel) {
   const bool lru = GetParam() == ReplacementPolicy::kLru;
   constexpr uint32_t kFrames = 7;
   constexpr uint32_t kPages = 23;
-  SimDisk disk;
-  disk.AllocateRun(kPages);
+  MemVolume disk;
+  ASSERT_TRUE(disk.AllocateRun(kPages).ok());
   BufferOptions o;
   o.frame_count = kFrames;
   o.policy = GetParam();
@@ -408,8 +455,8 @@ INSTANTIATE_TEST_SUITE_P(LruAndFifo, EvictionEquivalenceTest,
 class PolicyTest : public ::testing::TestWithParam<ReplacementPolicy> {};
 
 TEST_P(PolicyTest, EvictionKeepsWorkingUnderPressure) {
-  SimDisk disk;
-  disk.AllocateRun(64);
+  MemVolume disk;
+  ASSERT_TRUE(disk.AllocateRun(64).ok());
   BufferOptions o;
   o.frame_count = 8;
   o.policy = GetParam();
@@ -426,8 +473,8 @@ TEST_P(PolicyTest, EvictionKeepsWorkingUnderPressure) {
 }
 
 TEST_P(PolicyTest, DirtyDataSurvivesEvictionStorm) {
-  SimDisk disk;
-  disk.AllocateRun(32);
+  MemVolume disk;
+  ASSERT_TRUE(disk.AllocateRun(32).ok());
   BufferOptions o;
   o.frame_count = 4;
   o.policy = GetParam();

@@ -1,0 +1,130 @@
+// MmapVolume-specific behaviour: file layout, persistence, reopen.
+// Interface conformance (metering, extent boundaries, zero-copy) is covered
+// for this backend by the parameterized suite in volume_test.cc.
+
+#include "disk/mmap_volume.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace starfish {
+namespace {
+
+class MmapVolumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("starfish_mmap_test_" +
+             std::string(
+                 ::testing::UnitTest::GetInstance()->current_test_info()->name())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  DiskOptions TinyExtents() {
+    DiskOptions o;
+    o.page_size = 256;
+    o.extent_bytes = 1024;  // 4 pages per extent
+    return o;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(MmapVolumeTest, CreatesOneFilePerExtent) {
+  auto disk = MmapVolume::Open(dir_, TinyExtents()).value();
+  ASSERT_TRUE(disk->AllocateRun(9).ok());  // 3 extents
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/extent_000000"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/extent_000001"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/extent_000002"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/extent_000003"));
+  EXPECT_EQ(std::filesystem::file_size(dir_ + "/extent_000000"), 1024u);
+}
+
+TEST_F(MmapVolumeTest, WriteCloseReopenRoundTrips) {
+  const uint32_t page_size = TinyExtents().page_size;
+  std::vector<char> data(11 * page_size);
+  for (uint32_t i = 0; i < 11; ++i) {
+    std::fill_n(data.begin() + i * page_size, page_size,
+                static_cast<char>('a' + i));
+  }
+  PageId first;
+  {
+    auto disk = MmapVolume::Open(dir_, TinyExtents()).value();
+    first = disk->AllocateRun(11).value();  // crosses extent boundaries
+    ASSERT_TRUE(disk->WriteRun(first, 11, data.data()).ok());
+    ASSERT_TRUE(disk->Free(first + 3).ok());
+  }  // destructor unmaps and writes volume.meta
+
+  auto disk = MmapVolume::Open(dir_).value();  // geometry comes from meta
+  EXPECT_EQ(disk->page_size(), 256u);
+  EXPECT_EQ(disk->pages_per_extent(), 4u);
+  EXPECT_EQ(disk->page_count(), 11u);
+  EXPECT_EQ(disk->live_page_count(), 10u);  // the Free survived too
+  std::vector<char> buf(11 * page_size);
+  ASSERT_TRUE(disk->ReadRun(first, 11, buf.data()).ok());
+  EXPECT_EQ(std::memcmp(buf.data(), data.data(), buf.size()), 0);
+  // Double-free of the persisted free is still rejected.
+  EXPECT_TRUE(disk->Free(first + 3).IsInvalidArgument());
+  // Allocation continues with fresh ids, never reusing persisted ones.
+  EXPECT_EQ(disk->Allocate().value(), 11u);
+}
+
+TEST_F(MmapVolumeTest, SyncCheckpointsWithoutClose) {
+  auto disk = MmapVolume::Open(dir_, TinyExtents()).value();
+  const PageId id = disk->AllocateRun(2).value();
+  std::vector<char> data(disk->page_size(), 'S');
+  ASSERT_TRUE(disk->WriteRun(id, 1, data.data()).ok());
+  ASSERT_TRUE(disk->Sync().ok());
+  // The meta written by Sync already describes both pages.
+  auto reopened = MmapVolume::Open(dir_).value();
+  EXPECT_EQ(reopened->page_count(), 2u);
+  std::vector<char> buf(reopened->page_size());
+  ASSERT_TRUE(reopened->ReadRun(id, 1, buf.data()).ok());
+  EXPECT_EQ(buf[0], 'S');
+}
+
+TEST_F(MmapVolumeTest, ReopenedGeometryIgnoresPassedOptions) {
+  { auto disk = MmapVolume::Open(dir_, TinyExtents()).value(); }
+  DiskOptions other;
+  other.page_size = 2048;
+  auto disk = MmapVolume::Open(dir_, other).value();
+  EXPECT_EQ(disk->page_size(), 256u);  // recorded geometry wins
+}
+
+TEST_F(MmapVolumeTest, EmptyDirRejected) {
+  EXPECT_FALSE(MmapVolume::Open("").ok());
+}
+
+TEST_F(MmapVolumeTest, MissingExtentFileIsCorruption) {
+  {
+    auto disk = MmapVolume::Open(dir_, TinyExtents()).value();
+    ASSERT_TRUE(disk->AllocateRun(9).ok());
+  }
+  std::filesystem::remove(dir_ + "/extent_000001");
+  EXPECT_FALSE(MmapVolume::Open(dir_).ok());
+}
+
+TEST_F(MmapVolumeTest, StatsAreNotPersisted) {
+  {
+    auto disk = MmapVolume::Open(dir_, TinyExtents()).value();
+    ASSERT_TRUE(disk->Allocate().ok());
+    std::vector<char> buf(disk->page_size());
+    ASSERT_TRUE(disk->ReadRun(0, 1, buf.data()).ok());
+    EXPECT_EQ(disk->stats().read_calls, 1u);
+  }
+  auto disk = MmapVolume::Open(dir_).value();
+  EXPECT_EQ(disk->stats().TotalCalls(), 0u);  // counters start fresh
+}
+
+}  // namespace
+}  // namespace starfish

@@ -1,0 +1,122 @@
+// TimedVolume: the latency decorator must charge exactly the Equation-1
+// service time of the metered traffic, and be a transparent pass-through
+// for everything else.
+
+#include "disk/timed_volume.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "disk/mem_volume.h"
+
+namespace starfish {
+namespace {
+
+LinearTimingModel TestTiming() { return LinearTimingModel{24.0, 1.3}; }
+
+TEST(TimedVolumeTest, ChargesEquationOnePerCall) {
+  TimedVolume disk(std::make_unique<MemVolume>(), TestTiming());
+  const PageId first = disk.AllocateRun(8).value();
+  EXPECT_EQ(disk.elapsed_ms(), 0.0);  // allocation is not an I/O
+
+  std::vector<char> buf(8 * disk.page_size());
+  ASSERT_TRUE(disk.ReadRun(first, 8, buf.data()).ok());        // 1 call, 8 pages
+  ASSERT_TRUE(disk.WriteRun(first, 2, buf.data()).ok());       // 1 call, 2 pages
+  std::vector<const char*> views;
+  ASSERT_TRUE(disk.ReadRunZeroCopy(first, 3, &views).ok());    // 1 call, 3 pages
+  ASSERT_TRUE(disk.ReadChainedZeroCopy({first, first + 5}, &views).ok());
+  std::vector<char> one(disk.page_size());
+  ASSERT_TRUE(disk.WriteChained({first + 1}, {one.data()}).ok());
+
+  // 5 calls moving 8+2+3+2+1 = 16 pages.
+  EXPECT_DOUBLE_EQ(disk.elapsed_ms(), TestTiming().Cost(5, 16));
+}
+
+TEST(TimedVolumeTest, AccumulationLockedToLinearModelCost) {
+  // Whatever traffic flows through the decorator, elapsed_ms() must equal
+  // LinearTimingModel::Cost of the metered counter delta — Equation 1
+  // applied per call accumulates to Equation 1 applied to the totals.
+  TimedVolume disk(std::make_unique<MemVolume>(), TestTiming());
+  const PageId first = disk.AllocateRun(64).value();
+  std::vector<char> buf(16 * disk.page_size());
+  std::vector<const char*> views;
+  for (uint32_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(disk.ReadRun(first + i, 1 + i % 7, buf.data()).ok());
+    if (i % 3 == 0) {
+      ASSERT_TRUE(disk.WriteRun(first + i, 1 + i % 5, buf.data()).ok());
+    }
+    if (i % 4 == 0) {
+      ASSERT_TRUE(disk.ReadChainedZeroCopy({first + i, first + 63 - i}, &views)
+                      .ok());
+    }
+  }
+  // Floating-point accumulation across many calls: allow rounding in the
+  // last bits, nothing more.
+  EXPECT_NEAR(disk.elapsed_ms(), TestTiming().Cost(disk.stats()), 1e-9);
+}
+
+TEST(TimedVolumeTest, FailedCallsAreFree) {
+  TimedVolume disk(std::make_unique<MemVolume>(), TestTiming());
+  ASSERT_TRUE(disk.Allocate().ok());
+  std::vector<char> buf(disk.page_size());
+  EXPECT_TRUE(disk.ReadRun(5, 1, buf.data()).IsOutOfRange());
+  EXPECT_TRUE(disk.ReadRun(0, 0, buf.data()).IsInvalidArgument());
+  EXPECT_EQ(disk.elapsed_ms(), 0.0);
+}
+
+TEST(TimedVolumeTest, PhysicalModelCoefficientsFlowThrough) {
+  PhysicalTimingModel drive;  // period 5400rpm drive
+  TimedVolume disk(std::make_unique<MemVolume>(), drive.ToLinear());
+  const PageId first = disk.AllocateRun(4).value();
+  std::vector<char> buf(4 * disk.page_size());
+  ASSERT_TRUE(disk.ReadRun(first, 4, buf.data()).ok());
+  // One call: seek + half rotation + controller overhead + 4 transfers.
+  EXPECT_DOUBLE_EQ(disk.elapsed_ms(), drive.ToLinear().Cost(1, 4));
+  EXPECT_GT(disk.elapsed_ms(), drive.average_seek_ms);
+}
+
+TEST(TimedVolumeTest, TransparentPassThrough) {
+  auto inner = std::make_unique<MemVolume>();
+  MemVolume* raw = inner.get();
+  TimedVolume disk(std::move(inner), TestTiming());
+  EXPECT_EQ(disk.kind(), VolumeKind::kMem);  // reports the wrapped backend
+  EXPECT_EQ(disk.inner(), raw);
+  const PageId id = disk.Allocate().value();
+  std::vector<char> data(disk.page_size(), 'T');
+  ASSERT_TRUE(disk.WriteRun(id, 1, data.data()).ok());
+  // Stats and pages are the inner volume's.
+  EXPECT_EQ(&disk.stats(), &raw->stats());
+  EXPECT_EQ(disk.PeekPage(id), raw->PeekPage(id));
+  EXPECT_EQ(disk.PeekPage(id)[0], 'T');
+  EXPECT_EQ(disk.page_count(), 1u);
+}
+
+TEST(TimedVolumeTest, ResetStatsClearsElapsed) {
+  TimedVolume disk(std::make_unique<MemVolume>(), TestTiming());
+  const PageId id = disk.Allocate().value();
+  std::vector<char> buf(disk.page_size());
+  ASSERT_TRUE(disk.ReadRun(id, 1, buf.data()).ok());
+  EXPECT_GT(disk.elapsed_ms(), 0.0);
+  disk.ResetStats();
+  EXPECT_EQ(disk.elapsed_ms(), 0.0);
+  EXPECT_EQ(disk.stats().TotalCalls(), 0u);
+  ASSERT_TRUE(disk.ReadRun(id, 1, buf.data()).ok());
+  disk.ResetElapsed();  // elapsed only; counters stay
+  EXPECT_EQ(disk.elapsed_ms(), 0.0);
+  EXPECT_EQ(disk.stats().TotalCalls(), 1u);
+}
+
+TEST(TimedVolumeTest, NonOwningConstructor) {
+  MemVolume inner;
+  TimedVolume disk(&inner, TestTiming());
+  const PageId id = disk.Allocate().value();
+  std::vector<char> buf(disk.page_size());
+  ASSERT_TRUE(disk.ReadRun(id, 1, buf.data()).ok());
+  EXPECT_DOUBLE_EQ(disk.elapsed_ms(), TestTiming().Cost(1, 1));
+  EXPECT_EQ(inner.stats().read_calls, 1u);
+}
+
+}  // namespace
+}  // namespace starfish

@@ -91,5 +91,93 @@ TEST(StorageEngineTest, CustomGeometry) {
   EXPECT_EQ(engine.buffer()->frame_count(), 8u);
 }
 
+TEST(StorageEngineTest, DefaultBackendIsMemAndUntimed) {
+  StorageEngine engine;
+  EXPECT_TRUE(engine.init_status().ok());
+  EXPECT_EQ(engine.disk()->kind(), VolumeKind::kMem);
+  EXPECT_EQ(engine.timed_volume(), nullptr);
+}
+
+TEST(StorageEngineTest, OpenPropagatesBackendFailure) {
+  StorageEngineOptions options;
+  options.backend = VolumeKind::kMmap;  // no path -> invalid
+  auto engine = StorageEngine::Open(options);
+  EXPECT_FALSE(engine.ok());
+  // The constructor survives by falling back to the mem backend, but
+  // records the failure.
+  StorageEngine fallback(options);
+  EXPECT_FALSE(fallback.init_status().ok());
+  EXPECT_EQ(fallback.disk()->kind(), VolumeKind::kMem);
+}
+
+TEST(StorageEngineTest, OpenOrCreateSegmentReusesExisting) {
+  StorageEngine engine;
+  auto a = engine.OpenOrCreateSegment("seg");
+  ASSERT_TRUE(a.ok());
+  auto b = engine.OpenOrCreateSegment("seg");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(engine.segments().size(), 1u);
+}
+
+TEST(StorageEngineTest, TimedEngineChargesVolumeTraffic) {
+  StorageEngineOptions options;
+  options.timed = true;
+  options.timing = LinearTimingModel{10.0, 2.0};
+  StorageEngine engine(options);
+  ASSERT_NE(engine.timed_volume(), nullptr);
+  auto seg = engine.CreateSegment("t");
+  ASSERT_TRUE(seg.ok());
+  auto page = seg.value()->AllocatePage(PageType::kSlotted);
+  ASSERT_TRUE(page.ok());
+  ASSERT_TRUE(engine.Flush().ok());
+  ASSERT_TRUE(engine.DropCache().ok());
+  engine.ResetStats();
+  EXPECT_EQ(engine.timed_volume()->elapsed_ms(), 0.0);
+  { auto g = engine.buffer()->Fix(page.value()); ASSERT_TRUE(g.ok()); }
+  // One cold single-page read: d1 + 1 * d2.
+  EXPECT_DOUBLE_EQ(engine.timed_volume()->elapsed_ms(), 12.0);
+}
+
+TEST(StorageEngineTest, SegmentCatalogRoundTrips) {
+  StorageEngine engine;
+  auto a = engine.CreateSegment("first");
+  auto b = engine.CreateSegment("second");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(a.value()->AllocateRun(3, PageType::kSlotted).ok());
+  ASSERT_TRUE(b.value()->AllocatePage(PageType::kComplexHeader).ok());
+
+  std::string catalog;
+  engine.SaveCatalog(&catalog);
+
+  StorageEngine restored;
+  std::string_view in(catalog);
+  ASSERT_TRUE(restored.LoadCatalog(&in).ok());
+  EXPECT_TRUE(in.empty());  // fully consumed
+  Segment* first = restored.GetSegment("first");
+  Segment* second = restored.GetSegment("second");
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(first->pages(), a.value()->pages());
+  EXPECT_EQ(second->pages(), b.value()->pages());
+  EXPECT_EQ(first->FreeHint(first->pages()[0]),
+            a.value()->FreeHint(a.value()->pages()[0]));
+  EXPECT_EQ(second->TypeHint(second->pages()[0]), PageType::kComplexHeader);
+}
+
+TEST(StorageEngineTest, TruncatedCatalogRejected) {
+  StorageEngine engine;
+  auto a = engine.CreateSegment("seg");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(a.value()->AllocateRun(2, PageType::kSlotted).ok());
+  std::string catalog;
+  engine.SaveCatalog(&catalog);
+
+  StorageEngine restored;
+  std::string_view truncated(catalog.data(), catalog.size() / 2);
+  EXPECT_TRUE(restored.LoadCatalog(&truncated).IsCorruption());
+}
+
 }  // namespace
 }  // namespace starfish

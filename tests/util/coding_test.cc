@@ -63,5 +63,46 @@ TEST(CodingTest, NegativeIntsSurviveViaTwosComplement) {
   EXPECT_EQ(static_cast<int32_t>(DecodeFixed32(buf)), -12345);
 }
 
+TEST(CodingTest, GetConsumesFromFront) {
+  std::string s;
+  PutFixed16(&s, 7);
+  PutFixed32(&s, 1000);
+  PutFixed64(&s, 1ull << 40);
+  PutLengthPrefixed(&s, "tail");
+  std::string_view in(s);
+  uint16_t v16 = 0;
+  uint32_t v32 = 0;
+  uint64_t v64 = 0;
+  std::string_view str;
+  ASSERT_TRUE(GetFixed16(&in, &v16));
+  ASSERT_TRUE(GetFixed32(&in, &v32));
+  ASSERT_TRUE(GetFixed64(&in, &v64));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &str));
+  EXPECT_EQ(v16, 7u);
+  EXPECT_EQ(v32, 1000u);
+  EXPECT_EQ(v64, 1ull << 40);
+  EXPECT_EQ(str, "tail");
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, GetRejectsShortInput) {
+  std::string s;
+  PutFixed32(&s, 1);
+  std::string_view in(s.data(), 3);  // one byte short
+  uint32_t v32 = 0;
+  EXPECT_FALSE(GetFixed32(&in, &v32));
+  // Length prefix claiming more bytes than available.
+  std::string lp;
+  PutFixed16(&lp, 10);
+  lp += "abc";
+  std::string_view lpin(lp);
+  std::string_view out;
+  EXPECT_FALSE(GetLengthPrefixed(&lpin, &out));
+  // Empty input.
+  std::string_view empty;
+  uint16_t v16 = 0;
+  EXPECT_FALSE(GetFixed16(&empty, &v16));
+}
+
 }  // namespace
 }  // namespace starfish
