@@ -1,0 +1,411 @@
+// Multi-threaded read-path benchmark of the sharded buffer pool.
+//
+// Measures hit-path and miss-path Fix throughput at 1/2/4/8 reader threads
+// over one shared BufferManager in concurrent mode (sharded, per-shard
+// mutexes), plus two single-thread overhead rows that isolate what the
+// sharding refactor costs when nothing contends:
+//
+//   mt_fix_hit_cycle64_single_t1   default pool (1 shard, unlocked), the
+//                                  exact loop shape of the hot-path bench's
+//                                  buffer_fix_hit_cycle64 — diffable 1:1
+//                                  against the committed hot-path reference
+//                                  (the CI gate for refactor overhead).
+//   mt_fix_hit_cycle64_locked_t1   same loop on a sharded pool: the row
+//                                  shows the absolute cost of real mutexes
+//                                  on a ~7 ns operation. An uncontended
+//                                  lock/unlock pair is tens of ns, so this
+//                                  is gated with its own generous bound —
+//                                  it exists to catch *structural*
+//                                  regressions (a global lock, O(shards)
+//                                  work per fix), not to pretend locks are
+//                                  free.
+//
+// Writes BENCH_mt_read.json (BENCH_mt_read_mmap.json for --backend mmap).
+//
+// Usage:
+//   bench_mt_read [--backend mem|mmap]
+//                 [--compare-hotpath REF.json] [--max-regress PCT]
+//                 [--max-locked-overhead PCT] [--min-speedup X]
+//
+//   --compare-hotpath      gate the single-thread rows against the hot-path
+//                          reference's buffer_fix_hit_cycle64 entry:
+//                          the unlocked row at --max-regress (default 25),
+//                          the locked row at --max-locked-overhead
+//                          (default 400).
+//   --min-speedup          fail unless hit-path ops/sec at 8 threads is at
+//                          least X times the 1-thread row. Off by default:
+//                          speedup is a property of the machine's core
+//                          count, so CI asserts it only where cores exist.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "buffer/buffer_manager.h"
+#include "disk/volume.h"
+#include "util/random.h"
+
+namespace starfish {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kRepetitions = 5;
+constexpr uint32_t kThreadCounts[] = {1, 2, 4, 8};
+constexpr uint32_t kShards = 64;
+
+VolumeKind g_backend = VolumeKind::kMem;
+int g_volume_counter = 0;
+
+void Fatal(const char* what, const Status& st) {
+  std::fprintf(stderr, "bench_mt_read: %s: %s\n", what, st.ToString().c_str());
+  std::exit(1);
+}
+
+/// A fresh volume of the selected backend; mmap volumes are throwaway
+/// directories removed by the wrapper's destructor.
+struct ScopedVolume {
+  std::unique_ptr<Volume> volume;
+  std::string dir;
+
+  ScopedVolume() = default;
+  ScopedVolume(ScopedVolume&& other) noexcept
+      : volume(std::move(other.volume)), dir(std::move(other.dir)) {
+    other.dir.clear();
+  }
+  ScopedVolume& operator=(ScopedVolume&&) = delete;
+
+  ~ScopedVolume() {
+    volume.reset();  // unmap before removing the files
+    if (!dir.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+  }
+  Volume* operator->() { return volume.get(); }
+  Volume& operator*() { return *volume; }
+};
+
+ScopedVolume MakeDisk(DiskOptions options = {}) {
+  ScopedVolume scoped;
+  if (g_backend == VolumeKind::kMmap) {
+    static const uint64_t token =
+        static_cast<uint64_t>(Clock::now().time_since_epoch().count());
+    scoped.dir = (std::filesystem::temp_directory_path() /
+                  ("starfish_bench_mt_" + std::to_string(token) + "_" +
+                   std::to_string(g_volume_counter++)))
+                     .string();
+    std::filesystem::remove_all(scoped.dir);
+  }
+  auto volume_or = CreateVolume(g_backend, options, scoped.dir);
+  if (!volume_or.ok()) Fatal("create volume", volume_or.status());
+  scoped.volume = std::move(volume_or).value();
+  return scoped;
+}
+
+struct BenchResult {
+  std::string name;
+  uint32_t threads = 1;
+  double ops_per_sec = 0;  ///< aggregate over all threads
+  double ns_per_op = 0;    ///< wall ns per op (aggregate)
+  uint64_t total_ops = 0;
+};
+
+/// Runs `body(thread_index)` on `threads` threads behind a start barrier and
+/// returns the wall seconds of the slowest repetition's best run.
+template <typename Body>
+double TimedThreads(uint32_t threads, Body&& body) {
+  double best_seconds = 1e30;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    std::atomic<uint32_t> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        ready.fetch_add(1);
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        body(t);
+      });
+    }
+    while (ready.load() != threads) {
+    }
+    const auto start = Clock::now();
+    go.store(true, std::memory_order_release);
+    for (auto& th : pool) th.join();
+    const std::chrono::duration<double> elapsed = Clock::now() - start;
+    if (elapsed.count() < best_seconds) best_seconds = elapsed.count();
+  }
+  return best_seconds;
+}
+
+// Hit path: a shared working set fully resident in a sharded pool; every
+// Fix is a hit. Near-linear scaling = shard mutexes don't serialize reads.
+BenchResult BenchHit(uint32_t threads) {
+  constexpr uint32_t kPages = 1024;
+  constexpr uint64_t kOpsPerThread = 1 << 19;
+  auto disk = MakeDisk();
+  const PageId first = disk->AllocateRun(kPages).value();
+  BufferOptions options;
+  options.frame_count = 2 * kPages;  // no eviction on the hit path
+  options.shard_count = kShards;
+  BufferManager bm(&*disk, options);
+  for (uint32_t i = 0; i < kPages; ++i) {
+    auto g = bm.Fix(first + i);
+    if (!g.ok()) Fatal("warm-up fix", g.status());
+  }
+
+  const double seconds = TimedThreads(threads, [&](uint32_t t) {
+    // Per-thread deterministic RNG: threads walk the shared working set in
+    // different reproducible orders.
+    Rng rng(0x1234567 + t * 0x9E3779B9ull);
+    for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+      const PageId id = first + static_cast<PageId>(rng.Uniform(kPages));
+      auto g = bm.Fix(id);
+      if (!g.ok()) Fatal("fix", g.status());
+    }
+  });
+
+  BenchResult r;
+  r.name = "mt_fix_hit_t" + std::to_string(threads);
+  r.threads = threads;
+  r.total_ops = kOpsPerThread * threads;
+  r.ops_per_sec = static_cast<double>(r.total_ops) / seconds;
+  r.ns_per_op = seconds * 1e9 / static_cast<double>(r.total_ops);
+  return r;
+}
+
+// Miss path: the working set is many times the pool, so nearly every Fix
+// reads a page from the volume and evicts a victim, all concurrently.
+BenchResult BenchMiss(uint32_t threads) {
+  constexpr uint32_t kPages = 8192;
+  constexpr uint32_t kFrames = 512;
+  constexpr uint64_t kOpsPerThread = 1 << 15;
+  auto disk = MakeDisk();
+  const PageId first = disk->AllocateRun(kPages).value();
+  BufferOptions options;
+  options.frame_count = kFrames;
+  options.shard_count = kShards;
+  BufferManager bm(&*disk, options);
+
+  const double seconds = TimedThreads(threads, [&](uint32_t t) {
+    Rng rng(0xFEDCBA9 + t * 0x9E3779B9ull);
+    for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+      const PageId id = first + static_cast<PageId>(rng.Uniform(kPages));
+      auto g = bm.Fix(id);
+      if (!g.ok()) Fatal("fix", g.status());
+    }
+  });
+
+  BenchResult r;
+  r.name = "mt_fix_miss_t" + std::to_string(threads);
+  r.threads = threads;
+  r.total_ops = kOpsPerThread * threads;
+  r.ops_per_sec = static_cast<double>(r.total_ops) / seconds;
+  r.ns_per_op = seconds * 1e9 / static_cast<double>(r.total_ops);
+  return r;
+}
+
+// Single-thread overhead rows: the exact loop of the hot-path bench's
+// buffer_fix_hit_cycle64, on (a) the default unlocked pool — sharding
+// refactor overhead, gated tightly — and (b) a sharded locked pool — mutex
+// cost, gated loosely.
+BenchResult BenchCycle64SingleThread(bool locked) {
+  constexpr uint64_t kOps = 1 << 21;
+  auto disk = MakeDisk();
+  const PageId first = disk->AllocateRun(64).value();
+  BufferOptions options;
+  options.frame_count = 128;
+  if (locked) options.shard_count = kShards;
+  BufferManager bm(&*disk, options);
+  for (uint32_t i = 0; i < 64; ++i) {
+    auto g = bm.Fix(first + i);
+    if (!g.ok()) Fatal("warm-up fix", g.status());
+  }
+
+  const double seconds = TimedThreads(1, [&](uint32_t) {
+    for (uint64_t i = 0; i < kOps; ++i) {
+      auto g = bm.Fix(first + static_cast<PageId>(i & 63));
+      if (!g.ok()) Fatal("fix", g.status());
+    }
+  });
+
+  BenchResult r;
+  r.name = locked ? "mt_fix_hit_cycle64_locked_t1"
+                  : "mt_fix_hit_cycle64_single_t1";
+  r.threads = 1;
+  r.total_ops = kOps;
+  r.ops_per_sec = static_cast<double>(kOps) / seconds;
+  r.ns_per_op = seconds * 1e9 / static_cast<double>(kOps);
+  return r;
+}
+
+void WriteJson(const std::vector<BenchResult>& results, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_mt_read: cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"threads\": %u, "
+                 "\"ops_per_sec\": %.0f, \"ns_per_op\": %.2f, "
+                 "\"total_ops\": %llu}%s\n",
+                 r.name.c_str(), r.threads, r.ops_per_sec, r.ns_per_op,
+                 static_cast<unsigned long long>(r.total_ops),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+/// ns_per_op of one benchmark in a JSON file this binary or
+/// bench_hotpath_buffer writes; exits if absent.
+double ReadReferenceRow(const std::string& path, const std::string& name) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_mt_read: cannot read %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t name_key = line.find("\"name\": \"" + name + "\"");
+    const size_t ns_key = line.find("\"ns_per_op\": ");
+    if (name_key == std::string::npos || ns_key == std::string::npos) continue;
+    return std::atof(line.c_str() + ns_key + std::strlen("\"ns_per_op\": "));
+  }
+  std::fprintf(stderr, "bench_mt_read: no '%s' row in %s\n", name.c_str(),
+               path.c_str());
+  std::exit(1);
+}
+
+const BenchResult& FindRow(const std::vector<BenchResult>& results,
+                           const std::string& name) {
+  for (const BenchResult& r : results) {
+    if (r.name == name) return r;
+  }
+  std::fprintf(stderr, "bench_mt_read: missing own row %s\n", name.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+}  // namespace starfish
+
+int main(int argc, char** argv) {
+  using namespace starfish;
+  std::string compare_hotpath;
+  double max_regress_pct = 25.0;
+  double max_locked_overhead_pct = 400.0;
+  double min_speedup = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--backend" && i + 1 < argc) {
+      const std::string backend = argv[++i];
+      if (backend == "mem") {
+        g_backend = VolumeKind::kMem;
+      } else if (backend == "mmap") {
+        g_backend = VolumeKind::kMmap;
+      } else {
+        std::fprintf(stderr, "unknown backend '%s' (mem|mmap)\n",
+                     backend.c_str());
+        return 2;
+      }
+    } else if (arg == "--compare-hotpath" && i + 1 < argc) {
+      compare_hotpath = argv[++i];
+    } else if (arg == "--max-regress" && i + 1 < argc) {
+      max_regress_pct = std::atof(argv[++i]);
+    } else if (arg == "--max-locked-overhead" && i + 1 < argc) {
+      max_locked_overhead_pct = std::atof(argv[++i]);
+    } else if (arg == "--min-speedup" && i + 1 < argc) {
+      min_speedup = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--backend mem|mmap] [--compare-hotpath "
+                   "REF.json] [--max-regress PCT] [--max-locked-overhead "
+                   "PCT] [--min-speedup X]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("backend: %s, hardware threads: %u, pool shards: %u\n",
+              ToString(g_backend).c_str(),
+              std::thread::hardware_concurrency(), kShards);
+
+  std::vector<BenchResult> results;
+  results.push_back(BenchCycle64SingleThread(/*locked=*/false));
+  results.push_back(BenchCycle64SingleThread(/*locked=*/true));
+  for (uint32_t t : kThreadCounts) results.push_back(BenchHit(t));
+  for (uint32_t t : kThreadCounts) results.push_back(BenchMiss(t));
+
+  std::printf("%-30s %8s %14s %12s\n", "benchmark", "threads", "ops/sec",
+              "ns/op");
+  for (const BenchResult& r : results) {
+    std::printf("%-30s %8u %14.0f %12.2f\n", r.name.c_str(), r.threads,
+                r.ops_per_sec, r.ns_per_op);
+  }
+
+  const double hit1 = FindRow(results, "mt_fix_hit_t1").ops_per_sec;
+  const double hit8 = FindRow(results, "mt_fix_hit_t8").ops_per_sec;
+  const double miss1 = FindRow(results, "mt_fix_miss_t1").ops_per_sec;
+  const double miss8 = FindRow(results, "mt_fix_miss_t8").ops_per_sec;
+  std::printf("\nhit-path speedup  t8/t1: %.2fx\n", hit8 / hit1);
+  std::printf("miss-path speedup t8/t1: %.2fx\n", miss8 / miss1);
+  if (std::thread::hardware_concurrency() < 4) {
+    std::printf(
+        "note: %u hardware thread(s) — parallel speedup is bounded by the "
+        "machine, not the pool.\n",
+        std::thread::hardware_concurrency());
+  }
+
+  const char* json = g_backend == VolumeKind::kMem ? "BENCH_mt_read.json"
+                                                   : "BENCH_mt_read_mmap.json";
+  WriteJson(results, json);
+  std::printf("\nwrote %s\n", json);
+
+  int failures = 0;
+  if (!compare_hotpath.empty()) {
+    const double ref =
+        ReadReferenceRow(compare_hotpath, "buffer_fix_hit_cycle64");
+    struct GateRow {
+      const char* name;
+      double bound_pct;
+    } gates[] = {
+        {"mt_fix_hit_cycle64_single_t1", max_regress_pct},
+        {"mt_fix_hit_cycle64_locked_t1", max_locked_overhead_pct},
+    };
+    std::printf("\n1-thread overhead gate vs %s (buffer_fix_hit_cycle64 = "
+                "%.2f ns/op)\n",
+                compare_hotpath.c_str(), ref);
+    for (const GateRow& gate : gates) {
+      const BenchResult& row = FindRow(results, gate.name);
+      const double delta_pct = (row.ns_per_op - ref) / ref * 100.0;
+      const bool fail = delta_pct > gate.bound_pct;
+      std::printf("%-30s %12.2f %+8.1f%% (bound +%.0f%%)%s\n",
+                  gate.name, row.ns_per_op, delta_pct, gate.bound_pct,
+                  fail ? "  <-- REGRESSION" : "");
+      if (fail) ++failures;
+    }
+  }
+  if (min_speedup > 0.0 && hit8 / hit1 < min_speedup) {
+    std::fprintf(stderr,
+                 "bench_mt_read: hit-path speedup %.2fx below required "
+                 "%.2fx\n",
+                 hit8 / hit1, min_speedup);
+    ++failures;
+  }
+  return failures > 0 ? 1 : 0;
+}

@@ -1,18 +1,33 @@
 #!/usr/bin/env bash
-# CI entry point: configure, build, test, and run the hot-path bench over
-# both volume backends, gating on ns/op regressions.
+# CI entry point: configure, build, test, run the hot-path bench over both
+# volume backends and the multi-threaded read bench, gating on ns/op
+# regressions, then build with ThreadSanitizer and run the buffer-pool
+# concurrency stress tests.
 #
 # Usage: ci/check.sh [build-dir]     (default: build)
 #
-# This is exactly the ROADMAP tier-1 command plus the perf-trajectory bench;
-# run it locally before pushing.
+# This is exactly the ROADMAP tier-1 command plus the perf-trajectory and
+# concurrency stages; run it locally before pushing.
 #
-# Perf gate: the mem-backend run is compared against the committed reference
-# BENCH_hotpath.json at the repo root and FAILS when any benchmark regresses
-# by more than STARFISH_MAX_REGRESS_PCT (default 25) percent ns/op. Set
-# STARFISH_SKIP_PERF_GATE=1 to measure without gating (e.g. on a machine
-# unrelated to the one the reference was recorded on — refresh the reference
-# by copying build/BENCH_hotpath.json over the repo-root file).
+# Perf gates:
+#   * hot-path: the mem-backend run is compared against the committed
+#     reference BENCH_hotpath.json at the repo root and FAILS when any
+#     benchmark regresses by more than STARFISH_MAX_REGRESS_PCT (default
+#     25) percent ns/op. Set STARFISH_SKIP_PERF_GATE=1 to measure without
+#     gating (e.g. on a machine unrelated to the one the reference was
+#     recorded on — refresh the reference by copying build/BENCH_hotpath.json
+#     over the repo-root file).
+#   * mt-read 1-thread overhead: bench_mt_read's unlocked single-shard row
+#     is diffed against the same hot-path reference at the same percentage
+#     (bounds what the sharding refactor costs the paper benches), and its
+#     locked row at a generous structural bound (mutexes are tens of ns on
+#     a ~7 ns op; the bound catches accidental global locks, not lock cost).
+#     When the runner has >= 8 hardware threads the hit-path speedup at 8
+#     threads must also reach 3x.
+#
+# TSan stage: a second build dir (<build-dir>-tsan) compiled with
+# -fsanitize=thread runs the BufferMt stress suites. Skip with
+# STARFISH_SKIP_TSAN=1 on toolchains without libtsan.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -43,5 +58,41 @@ echo "== hot-path bench (mmap backend) =="
 # (emits BENCH_hotpath_mmap.json). Not gated: kernel page-cache behaviour
 # is machine-dependent; the numbers are archived for trend-watching.
 (cd "$BUILD_DIR" && ./bench_hotpath_buffer --backend mmap)
+
+echo "== mt-read bench (mem backend) =="
+# Multi-threaded read-path scaling + the 1-thread sharding-overhead gate
+# (emits BENCH_mt_read.json). The speedup assertion only engages where the
+# hardware can deliver it.
+# Seed the array so it is never empty: expanding an empty array under
+# `set -u` aborts on bash < 4.4 (e.g. the macOS system bash).
+MT_ARGS=(--backend mem)
+if [[ "${STARFISH_SKIP_PERF_GATE:-0}" != "1" ]]; then
+  MT_ARGS+=(--compare-hotpath "$REPO_ROOT/BENCH_hotpath.json"
+            --max-regress "$MAX_REGRESS")
+  if [[ "$(nproc)" -ge 8 ]]; then
+    MT_ARGS+=(--min-speedup 3)
+  fi
+fi
+(cd "$BUILD_DIR" && ./bench_mt_read "${MT_ARGS[@]}")
+
+echo "== mt-read bench (mmap backend) =="
+# Archived ungated, like the mmap hot-path run.
+(cd "$BUILD_DIR" && ./bench_mt_read --backend mmap)
+
+if [[ "${STARFISH_SKIP_TSAN:-0}" == "1" ]]; then
+  echo "== TSan stress skipped (STARFISH_SKIP_TSAN=1) =="
+else
+  echo "== TSan build =="
+  # Debug keeps assert() (the PageGuard pin-ownership check) live; the
+  # option adds -O1 so the instrumented stress tests stay quick.
+  cmake -B "$BUILD_DIR-tsan" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Debug \
+        -DSTARFISH_TSAN=ON -DSTARFISH_BUILD_BENCHES=OFF \
+        -DSTARFISH_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR-tsan" --target starfish_tests -j "$(nproc)"
+
+  echo "== TSan stress tests =="
+  "$BUILD_DIR-tsan/starfish_tests" \
+      --gtest_filter='*BufferMt*:*ShardedDeterminism*'
+fi
 
 echo "== OK =="

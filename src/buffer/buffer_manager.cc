@@ -25,19 +25,33 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
   if (this == &other) return *this;
   // Drop our own pin first so a guard that is assigned over never leaks it.
   Release();
-  bm_ = std::exchange(other.bm_, nullptr);
+  shard_ = std::exchange(other.shard_, nullptr);
   id_ = std::exchange(other.id_, kInvalidPageId);
   data_ = std::exchange(other.data_, nullptr);
   frame_idx_ = std::exchange(other.frame_idx_, 0);
   dirty_ = std::exchange(other.dirty_, false);
+#ifndef NDEBUG
+  owner_ = other.owner_;
+#endif
   return *this;
 }
 
+void PageGuard::Unpin() {
+  // Pins and the dirty bit move only under the owning shard's lock (a
+  // no-op pointer in single-shard mode). Unfix of a held guard cannot
+  // fail — the page is pinned by this very guard.
+  AssertOwningThread();
+  auto* shard = static_cast<BufferManager::Shard*>(shard_);
+  BufferManager::ShardLock lock(shard->lock_mu);
+  BufferManager::Frame& frame = shard->frames[frame_idx_];
+  --frame.pins;
+  frame.dirty = frame.dirty || dirty_;
+}
+
 void PageGuard::Release() {
-  if (bm_ != nullptr) {
-    // Unfix of a held guard cannot fail: the page is pinned by us.
-    (void)bm_->UnfixFrame(frame_idx_, dirty_);
-    bm_ = nullptr;
+  if (shard_ != nullptr) {
+    Unpin();
+    shard_ = nullptr;
     id_ = kInvalidPageId;
     data_ = nullptr;
     dirty_ = false;
@@ -45,35 +59,75 @@ void PageGuard::Release() {
 }
 
 PageGuard::~PageGuard() {
-  if (bm_ != nullptr) {
-    (void)bm_->UnfixFrame(frame_idx_, dirty_);
+  if (shard_ != nullptr) {
+    Unpin();
   }
 }
+
+namespace {
+
+/// Smallest power of two >= 2 * n, as (capacity, bits).
+void TableGeometry(uint32_t n, size_t* capacity, unsigned* bits) {
+  *capacity = 8;
+  *bits = 3;
+  while (*capacity < 2 * static_cast<size_t>(n)) {
+    *capacity <<= 1;
+    ++*bits;
+  }
+}
+
+uint32_t RoundUpPow2(uint32_t v) {
+  uint32_t p = 1;
+  while (p < v && p < (1u << 30)) p <<= 1;
+  return p;
+}
+
+}  // namespace
 
 BufferManager::BufferManager(Volume* disk, BufferOptions options)
     : disk_(disk), options_(options), page_size_(disk->page_size()) {
   if (options_.frame_count == 0) options_.frame_count = 1;
   if (options_.write_batch_size == 0) options_.write_batch_size = 1;
 
+  // shard_count == 1 is the paper-exact unlocked pool; anything else engages
+  // the shard mutexes. 0 = pick from the hardware.
+  concurrent_ = options_.shard_count != 1;
+  uint32_t shards = options_.shard_count;
+  if (shards == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    shards = RoundUpPow2(hw == 0 ? 4u : 4u * hw);
+  }
+  shards = RoundUpPow2(shards);
+  while (shards > 1 && shards > options_.frame_count) shards /= 2;
+  shard_count_ = shards;
+  options_.shard_count = concurrent_ ? shards : 1;
+  shard_bits_ = 0;
+  while ((1u << shard_bits_) < shard_count_) ++shard_bits_;
+
   pool_ = std::make_unique<char[]>(static_cast<size_t>(options_.frame_count) *
                                    page_size_);
-  frames_.resize(options_.frame_count);
-  free_frames_.reserve(options_.frame_count);
-  for (uint32_t i = options_.frame_count; i > 0; --i) {
-    free_frames_.push_back(i - 1);
+  if (shard_count_ > 1) shards_ = std::make_unique<Shard[]>(shard_count_);
+  const uint32_t base = options_.frame_count / shard_count_;
+  const uint32_t extra = options_.frame_count % shard_count_;
+  uint32_t next_frame = 0;
+  for (uint32_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = ShardAt(s);
+    const uint32_t n = base + (s < extra ? 1 : 0);
+    shard.pool = pool_.get() + static_cast<size_t>(next_frame) * page_size_;
+    shard.lock_mu = concurrent_ ? &shard.mu : nullptr;
+    next_frame += n;
+    shard.frames.resize(n);
+    shard.free_frames.reserve(n);
+    for (uint32_t i = n; i > 0; --i) {
+      shard.free_frames.push_back(i - 1);
+    }
+    size_t capacity = 0;
+    unsigned bits = 0;
+    TableGeometry(n, &capacity, &bits);
+    shard.table.resize(capacity);
+    shard.table_mask = capacity - 1;
+    shard.table_shift = 64 - bits;
   }
-
-  // Power-of-two table capacity >= 2 * frame_count keeps the linear-probing
-  // load factor at or below one half even with every frame resident.
-  size_t capacity = 8;
-  unsigned bits = 3;
-  while (capacity < 2 * static_cast<size_t>(options_.frame_count)) {
-    capacity <<= 1;
-    ++bits;
-  }
-  table_.resize(capacity);
-  table_mask_ = capacity - 1;
-  table_shift_ = 64 - bits;
 }
 
 BufferManager::~BufferManager() {
@@ -82,95 +136,90 @@ BufferManager::~BufferManager() {
   (void)FlushAll();
 }
 
-void BufferManager::TableInsert(PageId id, uint32_t frame_idx) {
-  size_t slot = HomeSlot(id);
-  while (table_[slot].page_id != kInvalidPageId) {
-    slot = (slot + 1) & table_mask_;
+void BufferManager::TableInsert(Shard& shard, PageId id, uint32_t frame_idx) {
+  size_t slot = HomeSlot(shard, id);
+  while (shard.table[slot].page_id != kInvalidPageId) {
+    slot = (slot + 1) & shard.table_mask;
   }
-  table_[slot].page_id = id;
-  table_[slot].frame = frame_idx;
-  ++resident_count_;
+  shard.table[slot].page_id = id;
+  shard.table[slot].frame = frame_idx;
+  ++shard.resident;
 }
 
-void BufferManager::TableErase(PageId id) {
-  size_t hole = FindSlot(id);
+void BufferManager::TableErase(Shard& shard, PageId id) {
+  size_t hole = FindSlot(shard, id);
   if (hole == kNotFound) return;
   // Backward-shift deletion: pull displaced entries over the hole so every
   // remaining key stays on its probe path (no tombstones to scan past).
   size_t probe = hole;
   for (;;) {
-    probe = (probe + 1) & table_mask_;
-    if (table_[probe].page_id == kInvalidPageId) break;
-    const size_t home = HomeSlot(table_[probe].page_id);
+    probe = (probe + 1) & shard.table_mask;
+    if (shard.table[probe].page_id == kInvalidPageId) break;
+    const size_t home = HomeSlot(shard, shard.table[probe].page_id);
     const bool home_between_hole_and_probe =
-        ((probe - home) & table_mask_) < ((probe - hole) & table_mask_);
+        ((probe - home) & shard.table_mask) < ((probe - hole) & shard.table_mask);
     if (!home_between_hole_and_probe) {
-      table_[hole] = table_[probe];
+      shard.table[hole] = shard.table[probe];
       hole = probe;
     }
   }
-  table_[hole].page_id = kInvalidPageId;
-  --resident_count_;
+  shard.table[hole].page_id = kInvalidPageId;
+  --shard.resident;
 }
 
 Result<PageGuard> BufferManager::Fix(PageId id) {
-  ++stats_.fixes;
-  const size_t slot = FindSlot(id);
+  const uint64_t h = Mix(id);
+  Shard& shard = ShardOfHash(h);
+  ShardLock lock = Lock(shard);
+  ++shard.stats.fixes;
+  const size_t slot = FindSlotH(shard, id, h);
   uint32_t frame_idx;
   if (slot != kNotFound) {
-    ++stats_.hits;
-    frame_idx = table_[slot].frame;
+    ++shard.stats.hits;
+    frame_idx = shard.table[slot].frame;
   } else {
-    ++stats_.misses;
-    STARFISH_ASSIGN_OR_RETURN(frame_idx, Load(id, nullptr));
+    ++shard.stats.misses;
+    STARFISH_ASSIGN_OR_RETURN(frame_idx, Load(shard, id, nullptr));
   }
-  Frame& frame = frames_[frame_idx];
+  Frame& frame = shard.frames[frame_idx];
   ++frame.pins;
-  TouchFrame(frame_idx);
-  return PageGuard(this, id, FrameData(frame_idx), frame_idx);
+  TouchFrame(shard, frame_idx);
+  return PageGuard(&shard, id, FrameData(shard, frame_idx), frame_idx);
 }
 
 Result<PageGuard> BufferManager::FixFresh(PageId id) {
-  ++stats_.fixes;
-  const size_t slot = FindSlot(id);
+  const uint64_t h = Mix(id);
+  Shard& shard = ShardOfHash(h);
+  ShardLock lock = Lock(shard);
+  ++shard.stats.fixes;
+  const size_t slot = FindSlotH(shard, id, h);
   uint32_t frame_idx;
   if (slot != kNotFound) {
-    ++stats_.hits;
-    frame_idx = table_[slot].frame;
+    ++shard.stats.hits;
+    frame_idx = shard.table[slot].frame;
   } else {
-    ++stats_.misses;
+    ++shard.stats.misses;
     if (id == kInvalidPageId || id >= disk_->page_count()) {
       return Status::OutOfRange("FixFresh of unallocated page " +
                                 std::to_string(id));
     }
-    STARFISH_ASSIGN_OR_RETURN(frame_idx, LoadFresh(id));
+    STARFISH_ASSIGN_OR_RETURN(frame_idx, LoadFresh(shard, id));
   }
-  Frame& frame = frames_[frame_idx];
+  Frame& frame = shard.frames[frame_idx];
   ++frame.pins;
-  TouchFrame(frame_idx);
-  return PageGuard(this, id, FrameData(frame_idx), frame_idx);
-}
-
-Status BufferManager::UnfixFrame(uint32_t frame_idx, bool dirty) {
-  // frame_idx always comes from a live guard, so it is in range; a pinned
-  // page cannot be evicted, so pins > 0 holds whenever the guard is valid.
-  Frame& frame = frames_[frame_idx];
-  if (frame.pins == 0) {
-    return Status::InvalidArgument("unfix of unpinned frame " +
-                                   std::to_string(frame_idx));
-  }
-  --frame.pins;
-  frame.dirty = frame.dirty || dirty;
-  return Status::OK();
+  TouchFrame(shard, frame_idx);
+  return PageGuard(&shard, id, FrameData(shard, frame_idx), frame_idx);
 }
 
 Status BufferManager::Unfix(PageId id, bool dirty) {
-  const size_t slot = FindSlot(id);
+  Shard& shard = ShardOf(id);
+  ShardLock lock = Lock(shard);
+  const size_t slot = FindSlot(shard, id);
   if (slot == kNotFound) {
     return Status::InvalidArgument("unfix of non-resident page " +
                                    std::to_string(id));
   }
-  Frame& frame = frames_[table_[slot].frame];
+  Frame& frame = shard.frames[shard.table[slot].frame];
   if (frame.pins == 0) {
     return Status::InvalidArgument("unfix of unpinned page " +
                                    std::to_string(id));
@@ -180,14 +229,52 @@ Status BufferManager::Unfix(PageId id, bool dirty) {
   return Status::OK();
 }
 
+bool BufferManager::IsCached(PageId id) const {
+  const Shard& shard = ShardOf(id);
+  ShardLock lock = Lock(shard);
+  return FindSlot(shard, id) != kNotFound;
+}
+
+uint32_t BufferManager::resident_count() const {
+  uint32_t total = 0;
+  for (uint32_t s = 0; s < shard_count_; ++s) {
+    ShardLock lock = Lock(ShardAt(s));
+    total += ShardAt(s).resident;
+  }
+  return total;
+}
+
+BufferStats BufferManager::stats() const {
+  BufferStats total;
+  for (uint32_t s = 0; s < shard_count_; ++s) {
+    ShardLock lock = Lock(ShardAt(s));
+    total += ShardAt(s).stats;
+  }
+  return total;
+}
+
+void BufferManager::ResetStats() {
+  for (uint32_t s = 0; s < shard_count_; ++s) {
+    ShardLock lock = Lock(ShardAt(s));
+    ShardAt(s).stats = BufferStats{};
+  }
+}
+
 Status BufferManager::Prefetch(const std::vector<PageId>& ids,
                                PrefetchMode mode) {
-  // Collect distinct missing pages, preserving order.
-  std::vector<PageId>& missing = scratch_missing_;
+  // Per-thread scratch: Prefetch is called concurrently from many reader
+  // threads, and each call's working set must be private. Thread-locals
+  // keep the steady state allocation-free, as the shared members used to.
+  thread_local std::vector<PageId> missing;
+  thread_local std::vector<const char*> views;
+
+  // Collect distinct missing pages, preserving order. The residency check
+  // takes each page's shard lock; by the time we load a page below another
+  // thread may have brought it in — Load re-checks under the lock.
   missing.clear();
   for (PageId id : ids) {
-    if (!IsCached(id) &&
-        std::find(missing.begin(), missing.end(), id) == missing.end()) {
+    if (std::find(missing.begin(), missing.end(), id) == missing.end() &&
+        !IsCached(id)) {
       missing.push_back(id);
     }
   }
@@ -196,15 +283,18 @@ Status BufferManager::Prefetch(const std::vector<PageId>& ids,
   if (mode == PrefetchMode::kChained) {
     // Zero-copy views into the disk arena: pages go arena -> frame in one
     // memcpy each, with no staging buffer.
-    STARFISH_RETURN_NOT_OK(disk_->ReadChainedZeroCopy(missing, &scratch_views_));
+    STARFISH_RETURN_NOT_OK(disk_->ReadChainedZeroCopy(missing, &views));
     for (size_t i = 0; i < missing.size(); ++i) {
-      // Evictions triggered by earlier Load()s only write back resident
-      // pages, which are disjoint from `missing` by construction — the
-      // IsCached re-check is purely defensive.
-      if (!IsCached(missing[i])) {
-        STARFISH_RETURN_NOT_OK(Load(missing[i], scratch_views_[i]).status());
+      Shard& shard = ShardOf(missing[i]);
+      ShardLock lock = Lock(shard);
+      // Single-threaded, evictions triggered by earlier Load()s only write
+      // back resident pages, which are disjoint from `missing` by
+      // construction; concurrently, another thread may have loaded the page
+      // since the residency scan. Either way: only load when still absent.
+      if (FindSlot(shard, missing[i]) == kNotFound) {
+        STARFISH_RETURN_NOT_OK(Load(shard, missing[i], views[i]).status());
       }
-      ++stats_.prefetched_pages;
+      ++shard.stats.prefetched_pages;
     }
     return Status::OK();
   }
@@ -219,38 +309,42 @@ Status BufferManager::Prefetch(const std::vector<PageId>& ids,
     }
     const uint32_t count = static_cast<uint32_t>(end - start);
     STARFISH_RETURN_NOT_OK(
-        disk_->ReadRunZeroCopy(missing[start], count, &scratch_views_));
+        disk_->ReadRunZeroCopy(missing[start], count, &views));
     for (uint32_t i = 0; i < count; ++i) {
-      if (!IsCached(missing[start + i])) {
-        STARFISH_RETURN_NOT_OK(
-            Load(missing[start + i], scratch_views_[i]).status());
+      const PageId id = missing[start + i];
+      Shard& shard = ShardOf(id);
+      ShardLock lock = Lock(shard);
+      if (FindSlot(shard, id) == kNotFound) {
+        STARFISH_RETURN_NOT_OK(Load(shard, id, views[i]).status());
       }
-      ++stats_.prefetched_pages;
+      ++shard.stats.prefetched_pages;
     }
     start = end;
   }
   return Status::OK();
 }
 
-Status BufferManager::WriteFrameBatchSorted(size_t batch_limit) {
-  std::sort(scratch_frames_.begin(), scratch_frames_.end(),
-            [this](uint32_t a, uint32_t b) {
-              return frames_[a].page_id < frames_[b].page_id;
+Status BufferManager::WriteFrameBatchSorted(Shard& shard, size_t batch_limit) {
+  std::sort(shard.scratch_frames.begin(), shard.scratch_frames.end(),
+            [&shard](uint32_t a, uint32_t b) {
+              return shard.frames[a].page_id < shard.frames[b].page_id;
             });
   size_t pos = 0;
-  while (pos < scratch_frames_.size()) {
-    const size_t batch_end = std::min(scratch_frames_.size(), pos + batch_limit);
-    scratch_ids_.clear();
-    scratch_srcs_.clear();
+  while (pos < shard.scratch_frames.size()) {
+    const size_t batch_end =
+        std::min(shard.scratch_frames.size(), pos + batch_limit);
+    shard.scratch_ids.clear();
+    shard.scratch_srcs.clear();
     for (size_t i = pos; i < batch_end; ++i) {
-      const uint32_t idx = scratch_frames_[i];
-      scratch_ids_.push_back(frames_[idx].page_id);
-      scratch_srcs_.push_back(FrameData(idx));
+      const uint32_t idx = shard.scratch_frames[i];
+      shard.scratch_ids.push_back(shard.frames[idx].page_id);
+      shard.scratch_srcs.push_back(FrameData(shard, idx));
     }
-    STARFISH_RETURN_NOT_OK(disk_->WriteChained(scratch_ids_, scratch_srcs_));
+    STARFISH_RETURN_NOT_OK(
+        disk_->WriteChained(shard.scratch_ids, shard.scratch_srcs));
     for (size_t i = pos; i < batch_end; ++i) {
-      frames_[scratch_frames_[i]].dirty = false;
-      ++stats_.write_backs;
+      shard.frames[shard.scratch_frames[i]].dirty = false;
+      ++shard.stats.write_backs;
     }
     pos = batch_end;
   }
@@ -258,105 +352,128 @@ Status BufferManager::WriteFrameBatchSorted(size_t batch_limit) {
 }
 
 Status BufferManager::FlushAll() {
-  scratch_frames_.clear();
-  for (uint32_t i = 0; i < frames_.size(); ++i) {
-    if (frames_[i].page_id != kInvalidPageId && frames_[i].dirty) {
-      scratch_frames_.push_back(i);
+  // Shard by shard: each shard's dirty pages are written in page-id order,
+  // chained in batches (disconnect-time write-back). With one shard this is
+  // the exact global write pattern of the flat pool.
+  for (uint32_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = ShardAt(s);
+    ShardLock lock = Lock(shard);
+    shard.scratch_frames.clear();
+    for (uint32_t i = 0; i < shard.frames.size(); ++i) {
+      const Frame& frame = shard.frames[i];
+      // Concurrent mode defers pinned dirty frames: the pin holder may be
+      // writing the page bytes right now, and write-back reads the whole
+      // frame. An unpinned dirty page is safe — its writer's bytes were
+      // published by the unpin (shard lock release) we ordered behind.
+      // Single-shard mode keeps the flat pool's flush-everything behaviour.
+      if (frame.page_id != kInvalidPageId && frame.dirty &&
+          (!concurrent_ || frame.pins == 0)) {
+        shard.scratch_frames.push_back(i);
+      }
     }
+    STARFISH_RETURN_NOT_OK(
+        WriteFrameBatchSorted(shard, options_.write_batch_size));
   }
-  // Write in page-id order, chained in batches: disconnect-time write-back.
-  return WriteFrameBatchSorted(options_.write_batch_size);
-}
-
-Status BufferManager::DropAll() {
-  for (const Frame& frame : frames_) {
-    if (frame.page_id != kInvalidPageId && frame.pins > 0) {
-      return Status::InvalidArgument("DropAll with pinned page " +
-                                     std::to_string(frame.page_id));
-    }
-  }
-  STARFISH_RETURN_NOT_OK(FlushAll());
-  for (uint32_t i = 0; i < frames_.size(); ++i) {
-    Frame& frame = frames_[i];
-    if (frame.page_id != kInvalidPageId) {
-      RemoveFromOrder(i);
-      frame.page_id = kInvalidPageId;
-      frame.referenced = false;
-      free_frames_.push_back(i);
-    }
-  }
-  std::fill(table_.begin(), table_.end(), TableSlot{});
-  resident_count_ = 0;
   return Status::OK();
 }
 
-Result<uint32_t> BufferManager::Load(PageId id, const char* already_read) {
-  STARFISH_ASSIGN_OR_RETURN(uint32_t frame_idx, GrabFrame());
-  Frame& frame = frames_[frame_idx];
+Status BufferManager::DropAll() {
+  for (uint32_t s = 0; s < shard_count_; ++s) {
+    ShardLock lock = Lock(ShardAt(s));
+    for (const Frame& frame : ShardAt(s).frames) {
+      if (frame.page_id != kInvalidPageId && frame.pins > 0) {
+        return Status::InvalidArgument("DropAll with pinned page " +
+                                       std::to_string(frame.page_id));
+      }
+    }
+  }
+  STARFISH_RETURN_NOT_OK(FlushAll());
+  for (uint32_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = ShardAt(s);
+    ShardLock lock = Lock(shard);
+    for (uint32_t i = 0; i < shard.frames.size(); ++i) {
+      Frame& frame = shard.frames[i];
+      if (frame.page_id != kInvalidPageId) {
+        RemoveFromOrder(shard, i);
+        frame.page_id = kInvalidPageId;
+        frame.referenced = false;
+        shard.free_frames.push_back(i);
+      }
+    }
+    std::fill(shard.table.begin(), shard.table.end(), TableSlot{});
+    shard.resident = 0;
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> BufferManager::Load(Shard& shard, PageId id,
+                                     const char* already_read) {
+  STARFISH_ASSIGN_OR_RETURN(uint32_t frame_idx, GrabFrame(shard));
+  Frame& frame = shard.frames[frame_idx];
   if (already_read != nullptr) {
-    std::memcpy(FrameData(frame_idx), already_read, page_size_);
+    std::memcpy(FrameData(shard, frame_idx), already_read, page_size_);
   } else {
-    STARFISH_RETURN_NOT_OK(disk_->ReadRun(id, 1, FrameData(frame_idx)));
+    STARFISH_RETURN_NOT_OK(disk_->ReadRun(id, 1, FrameData(shard, frame_idx)));
   }
   frame.page_id = id;
   frame.pins = 0;
   frame.dirty = false;
   frame.referenced = true;
-  TableInsert(id, frame_idx);
-  EnqueueFrame(frame_idx);
+  TableInsert(shard, id, frame_idx);
+  EnqueueFrame(shard, frame_idx);
   return frame_idx;
 }
 
-Result<uint32_t> BufferManager::LoadFresh(PageId id) {
-  STARFISH_ASSIGN_OR_RETURN(uint32_t frame_idx, GrabFrame());
-  Frame& frame = frames_[frame_idx];
-  std::memset(FrameData(frame_idx), 0, page_size_);
+Result<uint32_t> BufferManager::LoadFresh(Shard& shard, PageId id) {
+  STARFISH_ASSIGN_OR_RETURN(uint32_t frame_idx, GrabFrame(shard));
+  Frame& frame = shard.frames[frame_idx];
+  std::memset(FrameData(shard, frame_idx), 0, page_size_);
   frame.page_id = id;
   frame.pins = 0;
   frame.dirty = false;
   frame.referenced = true;
-  TableInsert(id, frame_idx);
-  EnqueueFrame(frame_idx);
+  TableInsert(shard, id, frame_idx);
+  EnqueueFrame(shard, frame_idx);
   return frame_idx;
 }
 
-Result<uint32_t> BufferManager::GrabFrame() {
-  if (!free_frames_.empty()) {
-    const uint32_t idx = free_frames_.back();
-    free_frames_.pop_back();
+Result<uint32_t> BufferManager::GrabFrame(Shard& shard) {
+  if (!shard.free_frames.empty()) {
+    const uint32_t idx = shard.free_frames.back();
+    shard.free_frames.pop_back();
     return idx;
   }
-  STARFISH_ASSIGN_OR_RETURN(uint32_t victim, PickVictim());
-  Frame& frame = frames_[victim];
+  STARFISH_ASSIGN_OR_RETURN(uint32_t victim, PickVictim(shard));
+  Frame& frame = shard.frames[victim];
   if (frame.dirty) {
     // Buffer overflow: clean a batch of cold dirty pages in one chained
     // write (the DASDBS write-at-overflow behaviour).
-    STARFISH_RETURN_NOT_OK(WriteBackBatch(victim));
+    STARFISH_RETURN_NOT_OK(WriteBackBatch(shard, victim));
   }
-  RemoveFromOrder(victim);
-  TableErase(frame.page_id);
+  RemoveFromOrder(shard, victim);
+  TableErase(shard, frame.page_id);
   frame.page_id = kInvalidPageId;
   frame.referenced = false;
-  ++stats_.evictions;
+  ++shard.stats.evictions;
   return victim;
 }
 
-Result<uint32_t> BufferManager::PickVictim() {
+Result<uint32_t> BufferManager::PickVictim(Shard& shard) {
   switch (options_.policy) {
     case ReplacementPolicy::kLru:
     case ReplacementPolicy::kFifo: {
-      for (uint32_t idx = order_head_; idx != kNullFrame;
-           idx = frames_[idx].next) {
-        if (frames_[idx].pins == 0) return idx;
+      for (uint32_t idx = shard.order_head; idx != kNullFrame;
+           idx = shard.frames[idx].next) {
+        if (shard.frames[idx].pins == 0) return idx;
       }
       return Status::ResourceExhausted("all buffer frames pinned");
     }
     case ReplacementPolicy::kClock: {
-      const uint32_t n = static_cast<uint32_t>(frames_.size());
+      const uint32_t n = static_cast<uint32_t>(shard.frames.size());
       for (uint32_t sweep = 0; sweep < 2 * n; ++sweep) {
-        const uint32_t idx = clock_hand_;
-        clock_hand_ = (clock_hand_ + 1) % n;
-        Frame& frame = frames_[idx];
+        const uint32_t idx = shard.clock_hand;
+        shard.clock_hand = (shard.clock_hand + 1) % n;
+        Frame& frame = shard.frames[idx];
         if (frame.page_id == kInvalidPageId || frame.pins > 0) continue;
         if (frame.referenced) {
           frame.referenced = false;
@@ -370,70 +487,71 @@ Result<uint32_t> BufferManager::PickVictim() {
   return Status::Internal("unknown replacement policy");
 }
 
-Status BufferManager::WriteBackBatch(uint32_t must_include) {
-  scratch_frames_.clear();
-  scratch_frames_.push_back(must_include);
+Status BufferManager::WriteBackBatch(Shard& shard, uint32_t must_include) {
+  shard.scratch_frames.clear();
+  shard.scratch_frames.push_back(must_include);
   // Walk the eviction order from cold to hot collecting dirty unpinned
   // frames. For CLOCK there is no order list; fall back to frame order.
   if (options_.policy == ReplacementPolicy::kClock) {
-    for (uint32_t i = 0; i < frames_.size() &&
-                         scratch_frames_.size() < options_.write_batch_size;
+    for (uint32_t i = 0;
+         i < shard.frames.size() &&
+         shard.scratch_frames.size() < options_.write_batch_size;
          ++i) {
-      const Frame& frame = frames_[i];
+      const Frame& frame = shard.frames[i];
       if (i != must_include && frame.page_id != kInvalidPageId && frame.dirty &&
           frame.pins == 0) {
-        scratch_frames_.push_back(i);
+        shard.scratch_frames.push_back(i);
       }
     }
   } else {
-    for (uint32_t idx = order_head_; idx != kNullFrame;
-         idx = frames_[idx].next) {
-      if (scratch_frames_.size() >= options_.write_batch_size) break;
-      const Frame& frame = frames_[idx];
+    for (uint32_t idx = shard.order_head; idx != kNullFrame;
+         idx = shard.frames[idx].next) {
+      if (shard.scratch_frames.size() >= options_.write_batch_size) break;
+      const Frame& frame = shard.frames[idx];
       if (idx != must_include && frame.dirty && frame.pins == 0) {
-        scratch_frames_.push_back(idx);
+        shard.scratch_frames.push_back(idx);
       }
     }
   }
-  return WriteFrameBatchSorted(scratch_frames_.size());
+  return WriteFrameBatchSorted(shard, shard.scratch_frames.size());
 }
 
-void BufferManager::TouchFrame(uint32_t frame_idx) {
-  Frame& frame = frames_[frame_idx];
+void BufferManager::TouchFrame(Shard& shard, uint32_t frame_idx) {
+  Frame& frame = shard.frames[frame_idx];
   frame.referenced = true;
   if (options_.policy == ReplacementPolicy::kLru && frame.in_order &&
-      order_tail_ != frame_idx) {
-    RemoveFromOrder(frame_idx);
-    EnqueueFrame(frame_idx);
+      shard.order_tail != frame_idx) {
+    RemoveFromOrder(shard, frame_idx);
+    EnqueueFrame(shard, frame_idx);
   }
   // FIFO: position fixed at load time. CLOCK: referenced bit is enough.
 }
 
-void BufferManager::EnqueueFrame(uint32_t frame_idx) {
-  Frame& frame = frames_[frame_idx];
-  frame.prev = order_tail_;
+void BufferManager::EnqueueFrame(Shard& shard, uint32_t frame_idx) {
+  Frame& frame = shard.frames[frame_idx];
+  frame.prev = shard.order_tail;
   frame.next = kNullFrame;
-  if (order_tail_ != kNullFrame) {
-    frames_[order_tail_].next = frame_idx;
+  if (shard.order_tail != kNullFrame) {
+    shard.frames[shard.order_tail].next = frame_idx;
   } else {
-    order_head_ = frame_idx;
+    shard.order_head = frame_idx;
   }
-  order_tail_ = frame_idx;
+  shard.order_tail = frame_idx;
   frame.in_order = true;
 }
 
-void BufferManager::RemoveFromOrder(uint32_t frame_idx) {
-  Frame& frame = frames_[frame_idx];
+void BufferManager::RemoveFromOrder(Shard& shard, uint32_t frame_idx) {
+  Frame& frame = shard.frames[frame_idx];
   if (!frame.in_order) return;
   if (frame.prev != kNullFrame) {
-    frames_[frame.prev].next = frame.next;
+    shard.frames[frame.prev].next = frame.next;
   } else {
-    order_head_ = frame.next;
+    shard.order_head = frame.next;
   }
   if (frame.next != kNullFrame) {
-    frames_[frame.next].prev = frame.prev;
+    shard.frames[frame.next].prev = frame.prev;
   } else {
-    order_tail_ = frame.prev;
+    shard.order_tail = frame.prev;
   }
   frame.prev = kNullFrame;
   frame.next = kNullFrame;

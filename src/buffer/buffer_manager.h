@@ -1,8 +1,11 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "disk/page.h"
@@ -28,15 +31,36 @@
 /// buffer-policy ablation bench.
 ///
 /// Implementation notes (the zero-copy hot path): all frame data lives in
-/// one contiguous pool allocation (frame i at `pool + i * page_size`); the
-/// LRU/FIFO eviction order is an intrusive doubly-linked list threaded
-/// through prev/next frame indices (no per-touch heap traffic); the
-/// page->frame map is a flat open-addressing table with linear probing.
-/// Prefetch copies pages from the volume's extents straight into frames via
-/// the Volume zero-copy read views, and write-back hands frame pointers
-/// straight to WriteChained — steady state does no heap allocation and one
-/// memcpy per page moved. The manager programs against the abstract Volume
-/// interface, so any backend (in-memory, mmap, timed) plugs in underneath.
+/// one contiguous pool allocation; the LRU/FIFO eviction order is an
+/// intrusive doubly-linked list threaded through prev/next frame indices (no
+/// per-touch heap traffic); the page->frame map is a flat open-addressing
+/// table with linear probing. Prefetch copies pages from the volume's
+/// extents straight into frames via the Volume zero-copy read views, and
+/// write-back hands frame pointers straight to WriteChained — steady state
+/// does no heap allocation and one memcpy per page moved. The manager
+/// programs against the abstract Volume interface, so any backend
+/// (in-memory, mmap, timed) plugs in underneath.
+///
+/// Concurrency model: the pool is split into BufferOptions::shard_count
+/// independent shards. A page id maps to its shard by the top bits of the
+/// same Fibonacci hash the page table uses; each shard owns its slice of
+/// frames, its page table, its LRU/CLOCK/FIFO order list, its counters and
+/// its write-back scratch, all guarded by one shard mutex. A page therefore
+/// only ever occupies frames of its own shard, eviction decisions never
+/// cross shards, and a pinned page cannot be evicted by a racing thread
+/// (pin counts are only read or written under the owning shard's lock).
+///
+///   * shard_count == 1 (the default) — the paper's single-user pool: one
+///     shard, global replacement order, and NO locking. Counters and
+///     eviction decisions are bit-for-bit what the original flat layout
+///     produced; the Fix hit path stays lock-free. Not thread-safe.
+///   * shard_count != 1 — thread-safe mode: Fix/FixFresh/Unfix/Prefetch/
+///     FlushAll/IsCached/stats() may be called from any thread
+///     concurrently. 0 picks a shard count from the hardware concurrency.
+///     DropAll/ResetStats remain quiescent-only operations (benchmark phase
+///     separators), and replacement is per shard, so miss counts can differ
+///     from the 1-shard pool (still deterministic for a deterministic
+///     access sequence).
 
 namespace starfish {
 
@@ -59,9 +83,18 @@ struct BufferOptions {
   /// cleaned together in one chained write call (DASDBS-style batched
   /// write-back). 1 disables batching.
   uint32_t write_batch_size = 32;
+
+  /// Number of independent pool shards. 1 (default) = the paper-exact
+  /// single-user pool, unlocked and NOT thread-safe. Any other value makes
+  /// every hot-path call thread-safe behind per-shard mutexes: 0 derives a
+  /// power of two from std::thread::hardware_concurrency(); values > 1 are
+  /// rounded up to a power of two and clamped to frame_count.
+  uint32_t shard_count = 1;
 };
 
 /// Buffer-side counters (disk-side counters live in Volume::stats()).
+/// Aggregated over all shards on read; exact, because each shard's counters
+/// only change under its lock.
 struct BufferStats {
   uint64_t fixes = 0;            ///< Fix calls (the paper's "page fixes")
   uint64_t hits = 0;             ///< fixes satisfied without disk access
@@ -81,6 +114,16 @@ struct BufferStats {
     return d;
   }
 
+  BufferStats& operator+=(const BufferStats& other) {
+    fixes += other.fixes;
+    hits += other.hits;
+    misses += other.misses;
+    prefetched_pages += other.prefetched_pages;
+    evictions += other.evictions;
+    write_backs += other.write_backs;
+    return *this;
+  }
+
   std::string ToString() const;
 };
 
@@ -96,11 +139,21 @@ enum class PrefetchMode {
 class BufferManager;
 
 /// RAII pin on a buffered page. Move-only; unfixes on destruction.
+///
+/// Pin-ownership contract: the pin travels with the guard, and the guard
+/// (including one it was move-assigned into) must be released on the thread
+/// that created the pin — a guard is a thread-local lease, not a mailbox for
+/// handing pages between threads. Debug builds assert this in Release();
+/// each thread wanting the page takes its own Fix.
 class PageGuard {
  public:
   PageGuard() = default;
-  PageGuard(BufferManager* bm, PageId id, char* data, uint32_t frame_idx)
-      : bm_(bm), id_(id), data_(data), frame_idx_(frame_idx) {}
+  PageGuard(void* shard, PageId id, char* data, uint32_t frame_idx)
+      : shard_(shard), id_(id), data_(data), frame_idx_(frame_idx) {
+#ifndef NDEBUG
+    owner_ = std::this_thread::get_id();
+#endif
+  }
   PageGuard(const PageGuard&) = delete;
   PageGuard& operator=(const PageGuard&) = delete;
   PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
@@ -109,7 +162,7 @@ class PageGuard {
   ~PageGuard();
 
   /// True when this guard holds a pinned page.
-  bool valid() const { return bm_ != nullptr; }
+  bool valid() const { return shard_ != nullptr; }
 
   PageId page_id() const { return id_; }
 
@@ -124,14 +177,33 @@ class PageGuard {
   void Release();
 
  private:
-  BufferManager* bm_ = nullptr;
+  void AssertOwningThread() const {
+#ifndef NDEBUG
+    assert(owner_ == std::this_thread::get_id() &&
+           "PageGuard released on a different thread than the one that "
+           "created the pin");
+#endif
+  }
+
+  /// Drops the pin (shard lock taken through the shard's lock pointer).
+  void Unpin();
+
+  /// The owning BufferManager::Shard (opaque at this point in the header).
+  /// The shard pointer is all a release needs: it carries the frame array,
+  /// and its precomputed lock pointer (null for an unlocked pool) — so an
+  /// unfix costs no hash and no detour through the manager.
+  void* shard_ = nullptr;
   PageId id_ = kInvalidPageId;
   char* data_ = nullptr;
-  uint32_t frame_idx_ = 0;
+  uint32_t frame_idx_ = 0;  ///< shard-local frame index
   bool dirty_ = false;
+#ifndef NDEBUG
+  std::thread::id owner_;
+#endif
 };
 
-/// The buffer pool. Not thread-safe (single-user evaluation, like the paper).
+/// The buffer pool. Thread-safe when options.shard_count != 1 (see the
+/// concurrency model in the file comment).
 class BufferManager {
  public:
   BufferManager(Volume* disk, BufferOptions options = {});
@@ -158,25 +230,38 @@ class BufferManager {
   Status Prefetch(const std::vector<PageId>& ids, PrefetchMode mode);
 
   /// Writes all dirty pages (batched into chained calls of at most
-  /// write_batch_size pages) and marks them clean. Frames stay resident.
-  /// Models the paper's write-back at "database disconnect".
+  /// write_batch_size pages, shard by shard in page-id order) and marks
+  /// them clean. Frames stay resident. Models the paper's write-back at
+  /// "database disconnect". In concurrent mode, dirty pages that are
+  /// pinned at flush time are deferred (their pin holder may be writing
+  /// the bytes); they reach disk on a later flush or at eviction.
   Status FlushAll();
 
   /// Drops every unpinned frame after flushing dirty ones. Returns an error
   /// if any page is still pinned. Used between benchmark phases to start
-  /// queries from a cold buffer.
+  /// queries from a cold buffer; requires that no other thread is using the
+  /// pool (the pin check and the drop are not one atomic step).
   Status DropAll();
 
-  /// True if `id` currently occupies a frame.
-  bool IsCached(PageId id) const { return FindSlot(id) != kNotFound; }
+  /// True if `id` currently occupies a frame. Takes the shard lock, so the
+  /// answer is consistent even against a racing load/eviction (and the
+  /// accessor is honest in single-threaded runs too).
+  bool IsCached(PageId id) const;
 
-  /// Number of resident pages.
-  uint32_t resident_count() const { return resident_count_; }
+  /// Number of resident pages (sums the shards under their locks).
+  uint32_t resident_count() const;
 
   uint32_t frame_count() const { return options_.frame_count; }
 
-  const BufferStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferStats{}; }
+  /// Number of independent shards (1 = unlocked single-user mode).
+  uint32_t shard_count() const { return shard_count_; }
+
+  /// Aggregated counters over all shards (exact: shard counters only move
+  /// under their shard's lock).
+  BufferStats stats() const;
+
+  /// Zeroes all counters. Quiescent-only in concurrent mode.
+  void ResetStats();
 
   Volume* disk() { return disk_; }
 
@@ -185,8 +270,9 @@ class BufferManager {
   static constexpr size_t kNotFound = ~static_cast<size_t>(0);
 
   /// Frame metadata only — the page bytes live in the contiguous pool_ at
-  /// `pool_ + index * page_size`. prev/next thread the LRU/FIFO eviction
-  /// order through the frame array itself (front = coldest).
+  /// `pool_ + (shard.frame_base + index) * page_size`. prev/next thread the
+  /// LRU/FIFO eviction order through the shard's frame array (front =
+  /// coldest). All fields are guarded by the owning shard's mutex.
   struct Frame {
     PageId page_id = kInvalidPageId;
     uint32_t pins = 0;
@@ -197,96 +283,172 @@ class BufferManager {
     bool in_order = false;
   };
 
-  /// One slot of the open-addressing page table.
+  /// One slot of a shard's open-addressing page table.
   struct TableSlot {
     PageId page_id = kInvalidPageId;  // kInvalidPageId = empty
     uint32_t frame = 0;
   };
 
-  char* FrameData(uint32_t frame_idx) {
-    return pool_.get() + static_cast<size_t>(frame_idx) * page_size_;
-  }
-  const char* FrameData(uint32_t frame_idx) const {
-    return pool_.get() + static_cast<size_t>(frame_idx) * page_size_;
+  /// One independent slice of the pool. Everything in here is guarded by
+  /// `mu` (never taken in single-shard mode); shard locks are never nested.
+  /// Hot-path fields (table, frames, geometry) lead the layout so a Fix hit
+  /// touches the first cache lines of the struct.
+  struct Shard {
+    /// Open-addressing page table: power-of-two capacity >= 2 * the shard's
+    /// frame count (load factor <= 0.5), linear probing, backward-shift
+    /// deletion.
+    std::vector<TableSlot> table;
+    std::vector<Frame> frames;  ///< shard-local indices
+    size_t table_mask = 0;
+    unsigned table_shift = 0;
+    char* pool = nullptr;  ///< frame bytes of this shard (slice of pool_)
+    /// &mu when the pool is concurrent, nullptr for the unlocked
+    /// single-shard mode — set once at construction. Locking through this
+    /// pointer lets the hot path (and PageGuard::Release, which has no
+    /// manager pointer) skip the mode test entirely.
+    std::mutex* lock_mu = nullptr;
+    mutable std::mutex mu;
+    std::vector<uint32_t> free_frames;
+    uint32_t resident = 0;
+    uint32_t order_head = kNullFrame;  ///< coldest (eviction candidate)
+    uint32_t order_tail = kNullFrame;  ///< hottest
+    uint32_t clock_hand = 0;
+    BufferStats stats;
+    /// Reused write-back scratch (steady state allocates nothing).
+    std::vector<uint32_t> scratch_frames;
+    std::vector<PageId> scratch_ids;
+    std::vector<const char*> scratch_srcs;
+  };
+
+  /// No-op lock in single-shard mode, shard mutex otherwise. The branch is
+  /// on a constant-per-manager bool, so the unlocked hot path pays one
+  /// predicted branch and nothing else.
+  class ShardLock {
+   public:
+    explicit ShardLock(std::mutex* mu) : mu_(mu) {
+      if (mu_ != nullptr) mu_->lock();
+    }
+    ~ShardLock() {
+      if (mu_ != nullptr) mu_->unlock();
+    }
+    ShardLock(const ShardLock&) = delete;
+    ShardLock& operator=(const ShardLock&) = delete;
+
+   private:
+    std::mutex* mu_;
+  };
+
+  ShardLock Lock(const Shard& shard) const { return ShardLock(shard.lock_mu); }
+
+  static uint64_t Mix(PageId id) {
+    return static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ull;
   }
 
-  /// Fibonacci-hash home slot for a page id.
-  size_t HomeSlot(PageId id) const {
-    return static_cast<size_t>(
-        (static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ull) >> table_shift_);
+  /// Shard owning a page with hash `h`: the top shard_bits_ of the
+  /// Fibonacci hash (one multiply, shared with the home-slot computation).
+  /// The shard_bits_ == 0 case takes an explicit (perfectly predicted)
+  /// branch rather than a branchless shift: in single-shard mode the shard
+  /// pointer must not data-depend on the hash, or the table lookup stalls
+  /// behind the multiply — this is what keeps the unlocked Fix hit path at
+  /// the flat pool's latency.
+  Shard& ShardOfHash(uint64_t h) {
+    if (shard_bits_ == 0) return single_;
+    return shards_[h >> (64 - shard_bits_)];
+  }
+  const Shard& ShardOfHash(uint64_t h) const {
+    if (shard_bits_ == 0) return single_;
+    return shards_[h >> (64 - shard_bits_)];
   }
 
-  /// Table slot holding `id`, or kNotFound.
-  size_t FindSlot(PageId id) const {
-    size_t slot = HomeSlot(id);
-    while (table_[slot].page_id != kInvalidPageId) {
-      if (table_[slot].page_id == id) return slot;
-      slot = (slot + 1) & table_mask_;
+  /// Shard `s` for whole-pool walks (flush, drop, stats).
+  Shard& ShardAt(uint32_t s) { return shard_bits_ == 0 ? single_ : shards_[s]; }
+  const Shard& ShardAt(uint32_t s) const {
+    return shard_bits_ == 0 ? single_ : shards_[s];
+  }
+  Shard& ShardOf(PageId id) { return ShardOfHash(Mix(id)); }
+  const Shard& ShardOf(PageId id) const { return ShardOfHash(Mix(id)); }
+
+  char* FrameData(const Shard& shard, uint32_t frame_idx) {
+    return shard.pool + static_cast<size_t>(frame_idx) * page_size_;
+  }
+
+  /// Home slot of a page with hash `h` in its shard's table: the hash bits
+  /// directly below the shard-selection bits (so one shard's keys spread
+  /// over its whole table). With one shard this is exactly the flat table's
+  /// old home slot.
+  size_t HomeSlotOfHash(const Shard& shard, uint64_t h) const {
+    return static_cast<size_t>((h << shard_bits_) >> shard.table_shift);
+  }
+  size_t HomeSlot(const Shard& shard, PageId id) const {
+    return HomeSlotOfHash(shard, Mix(id));
+  }
+
+  /// Table slot holding `id` whose hash is `h`, or kNotFound. Shard lock
+  /// held.
+  size_t FindSlotH(const Shard& shard, PageId id, uint64_t h) const {
+    size_t slot = HomeSlotOfHash(shard, h);
+    while (shard.table[slot].page_id != kInvalidPageId) {
+      if (shard.table[slot].page_id == id) return slot;
+      slot = (slot + 1) & shard.table_mask;
     }
     return kNotFound;
   }
+  size_t FindSlot(const Shard& shard, PageId id) const {
+    return FindSlotH(shard, id, Mix(id));
+  }
 
-  void TableInsert(PageId id, uint32_t frame_idx);
-  void TableErase(PageId id);
+  void TableInsert(Shard& shard, PageId id, uint32_t frame_idx);
+  void TableErase(Shard& shard, PageId id);
 
-  /// Unpin via the frame index a PageGuard carries — skips the page-table
-  /// lookup the public Unfix needs. Safe because a pinned page cannot be
-  /// evicted, so the page->frame binding is stable while the guard lives.
-  Status UnfixFrame(uint32_t frame_idx, bool dirty);
+  // PageGuard::Release unpins directly through its shard pointer (no hash,
+  // no page-table lookup, no manager detour). Safe because a pinned page
+  // cannot be evicted, so the page->frame binding (and the shard) is stable
+  // while the guard lives.
   friend class PageGuard;
 
-  /// Loads `id` into a frame (evicting if needed) without counting a fix.
-  /// `already_read` supplies page bytes read by a chained call (a zero-copy
-  /// view into the volume's extents), nullptr to read from disk
-  /// (single-page call, straight into the frame).
-  Result<uint32_t> Load(PageId id, const char* already_read);
+  /// Loads `id` into a frame of `shard` (evicting if needed) without
+  /// counting a fix. `already_read` supplies page bytes read by a chained
+  /// call (a zero-copy view into the volume's extents), nullptr to read
+  /// from disk (single-page call, straight into the frame). Shard lock held.
+  Result<uint32_t> Load(Shard& shard, PageId id, const char* already_read);
 
   /// Load variant for FixFresh: installs a zero-filled frame with no disk
   /// read (the page is fresh, its on-disk image is all zeros).
-  Result<uint32_t> LoadFresh(PageId id);
+  Result<uint32_t> LoadFresh(Shard& shard, PageId id);
 
-  /// Returns a free frame index, evicting a victim if the pool is full.
-  Result<uint32_t> GrabFrame();
+  /// Returns a free frame index, evicting a victim if the shard is full.
+  Result<uint32_t> GrabFrame(Shard& shard);
 
-  /// Chooses an eviction victim among unpinned frames, or an error when all
-  /// frames are pinned.
-  Result<uint32_t> PickVictim();
+  /// Chooses an eviction victim among the shard's unpinned frames, or an
+  /// error when all of them are pinned.
+  Result<uint32_t> PickVictim(Shard& shard);
 
-  /// Cleans up to write_batch_size cold dirty unpinned pages (always
-  /// including `must_include`) with one chained write call.
-  Status WriteBackBatch(uint32_t must_include);
+  /// Cleans up to write_batch_size cold dirty unpinned pages of `shard`
+  /// (always including `must_include`) with one chained write call.
+  Status WriteBackBatch(Shard& shard, uint32_t must_include);
 
-  /// Writes the dirty frames listed in `scratch_frames_` (chained, batched,
-  /// page-id order) and marks them clean. Shared by FlushAll/WriteBackBatch.
-  Status WriteFrameBatchSorted(size_t batch_limit);
+  /// Writes the dirty frames listed in `shard.scratch_frames` (chained,
+  /// batched, page-id order) and marks them clean. Shared by
+  /// FlushAll/WriteBackBatch.
+  Status WriteFrameBatchSorted(Shard& shard, size_t batch_limit);
 
   /// Policy bookkeeping on access / load.
-  void TouchFrame(uint32_t frame_idx);
-  void EnqueueFrame(uint32_t frame_idx);
-  void RemoveFromOrder(uint32_t frame_idx);
+  void TouchFrame(Shard& shard, uint32_t frame_idx);
+  void EnqueueFrame(Shard& shard, uint32_t frame_idx);
+  void RemoveFromOrder(Shard& shard, uint32_t frame_idx);
 
   Volume* disk_;
   BufferOptions options_;
   uint32_t page_size_;
+  uint32_t shard_count_ = 1;
+  unsigned shard_bits_ = 0;
+  bool concurrent_ = false;  ///< shard mutexes engaged
   std::unique_ptr<char[]> pool_;  ///< frame_count * page_size bytes
-  std::vector<Frame> frames_;
-  std::vector<uint32_t> free_frames_;
-  /// Open-addressing page table: power-of-two capacity >= 2 * frame_count
-  /// (load factor <= 0.5), linear probing, backward-shift deletion.
-  std::vector<TableSlot> table_;
-  size_t table_mask_ = 0;
-  unsigned table_shift_ = 0;
-  uint32_t resident_count_ = 0;
-  uint32_t order_head_ = kNullFrame;  ///< coldest (eviction candidate)
-  uint32_t order_tail_ = kNullFrame;  ///< hottest
-  uint32_t clock_hand_ = 0;
-  BufferStats stats_;
-  /// Reused per-call scratch (steady state allocates nothing).
-  std::vector<PageId> scratch_missing_;
-  std::vector<const char*> scratch_views_;
-  std::vector<uint32_t> scratch_frames_;
-  std::vector<PageId> scratch_ids_;
-  std::vector<const char*> scratch_srcs_;
+  /// Single-shard mode uses the inline `single_` (its fields are
+  /// this-relative, keeping the unlocked Fix hit path at the flat pool's
+  /// latency); sharded mode uses the heap array. Exactly one is live.
+  Shard single_;
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace starfish

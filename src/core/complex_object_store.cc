@@ -32,6 +32,7 @@ Result<std::unique_ptr<ComplexObjectStore>> ComplexObjectStore::Open(
   engine_options.buffer.frame_count = options.buffer_frames;
   engine_options.buffer.policy = options.replacement;
   engine_options.buffer.write_batch_size = options.write_batch_size;
+  engine_options.buffer.shard_count = options.buffer_shards;
   engine_options.backend = options.backend;
   engine_options.path = options.path;
   engine_options.timed = options.timed_volume;
@@ -145,6 +146,31 @@ Status ComplexObjectStore::Replace(ObjectRef ref, const Tuple& new_object) {
 
 Status ComplexObjectStore::Remove(ObjectRef ref) {
   return model_->Remove(ref);
+}
+
+Result<Tuple> ReadSession::Get(ObjectRef ref,
+                               const Projection& projection) const {
+  return store_->Get(ref, projection);
+}
+
+Result<Tuple> ReadSession::Get(ObjectRef ref) const { return store_->Get(ref); }
+
+Result<Tuple> ReadSession::GetByKey(int64_t key,
+                                    const Projection& projection) const {
+  return store_->GetByKey(key, projection);
+}
+
+Status ReadSession::Scan(const Projection& projection,
+                         const ScanCallback& fn) const {
+  return store_->Scan(projection, fn);
+}
+
+Result<std::vector<ObjectRef>> ReadSession::Children(ObjectRef ref) const {
+  return store_->Children(ref);
+}
+
+Result<Tuple> ReadSession::RootRecord(ObjectRef ref) const {
+  return store_->RootRecord(ref);
 }
 
 Status ComplexObjectStore::Flush() {

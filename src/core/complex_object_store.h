@@ -77,6 +77,59 @@ struct StoreOptions {
   /// Wrap the backend in a TimedVolume charging `timing` per I/O call;
   /// the accumulated milliseconds are available via timed_millis().
   bool timed_volume = false;
+
+  /// Buffer-pool shards. 1 (default) keeps the paper-exact single-user
+  /// pool (unlocked, global LRU); any other value makes the read path
+  /// thread-safe so ReadSession handles can run on concurrent threads
+  /// (0 = derive from hardware concurrency). See BufferOptions::shard_count.
+  uint32_t buffer_shards = 1;
+};
+
+class ComplexObjectStore;
+
+/// A handle for running queries against an open store from one reader
+/// thread — the store's single-writer / multi-reader contract made
+/// explicit in the type system.
+///
+/// Any number of ReadSessions may run concurrently (each on its own
+/// thread) against one store, PROVIDED
+///   * the store was opened with `buffer_shards != 1` (a thread-safe
+///     buffer pool), and
+///   * no write API (Put/Replace/Remove/UpdateRootRecord/Flush) and no
+///     cache-structure API (engine()->DropCache(), ResetStats) runs while
+///     reader threads are active. Writes stay single-threaded: quiesce the
+///     readers, write, resume.
+///
+/// The session itself carries no mutable state — every read path underneath
+/// (storage model lookup tables, record manager, serializer) is const over
+/// in-memory structures and goes through the thread-safe buffer pool, which
+/// is what makes a plain forwarding handle sufficient. The store must
+/// outlive its sessions.
+class ReadSession {
+ public:
+  /// Retrieves an object (or the projected part of it) by reference.
+  Result<Tuple> Get(ObjectRef ref, const Projection& projection) const;
+  Result<Tuple> Get(ObjectRef ref) const;
+
+  /// Retrieves an object by key value.
+  Result<Tuple> GetByKey(int64_t key, const Projection& projection) const;
+
+  /// Visits every object.
+  Status Scan(const Projection& projection, const ScanCallback& fn) const;
+
+  /// References this object makes to other objects.
+  Result<std::vector<ObjectRef>> Children(ObjectRef ref) const;
+
+  /// The object's root record (atomic/link attributes only).
+  Result<Tuple> RootRecord(ObjectRef ref) const;
+
+  const ComplexObjectStore* store() const { return store_; }
+
+ private:
+  friend class ComplexObjectStore;
+  explicit ReadSession(ComplexObjectStore* store) : store_(store) {}
+
+  ComplexObjectStore* store_;
 };
 
 /// A complex-object store over one schema.
@@ -117,6 +170,11 @@ class ComplexObjectStore {
 
   /// Removes the object and releases its pages.
   Status Remove(ObjectRef ref);
+
+  /// Opens a read session: a handle for running Get/Scan queries from one
+  /// reader thread. See ReadSession for the single-writer / multi-reader
+  /// contract; concurrent sessions require options.buffer_shards != 1.
+  ReadSession OpenReadSession() { return ReadSession(this); }
 
   /// Write-back of all dirty pages ("disconnect"). Persistent stores also
   /// write their catalog and sync the volume, making this a durable

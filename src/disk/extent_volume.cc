@@ -9,55 +9,114 @@ namespace starfish {
 ExtentVolume::ExtentVolume(DiskOptions options) : options_(options) {
   if (options_.page_size == 0) options_.page_size = kDefaultPageSize;
   pages_per_extent_ = std::max(1u, options_.extent_bytes / options_.page_size);
+  root_ = std::make_unique<std::atomic<DirChunk*>[]>(kDirRootSlots);
+  for (size_t i = 0; i < kDirRootSlots; ++i) {
+    root_[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+ExtentVolume::~ExtentVolume() {
+  // The directory chunks are plain bookkeeping (the extent memory itself is
+  // owned by the subclass); free them here.
+  for (size_t i = 0; i < kDirRootSlots; ++i) {
+    delete root_[i].load(std::memory_order_relaxed);
+  }
+}
+
+Status ExtentVolume::PublishExtent(size_t index, char* extent) {
+  const size_t root_idx = index >> kDirChunkBits;
+  if (root_idx >= kDirRootSlots) {
+    return Status::ResourceExhausted(
+        "volume extent directory full (" + std::to_string(index) +
+        " extents)");
+  }
+  DirChunk* chunk = root_[root_idx].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new DirChunk;
+    for (size_t i = 0; i < kDirChunkSlots; ++i) {
+      chunk->slot[i].store(nullptr, std::memory_order_relaxed);
+    }
+    // Release: a reader that sees the chunk pointer sees its initialization.
+    root_[root_idx].store(chunk, std::memory_order_release);
+  }
+  chunk->slot[index & (kDirChunkSlots - 1)].store(extent,
+                                                  std::memory_order_release);
+  extent_count_.store(index + 1, std::memory_order_release);
+  return Status::OK();
 }
 
 Result<PageId> ExtentVolume::AllocateRun(uint32_t n) {
   if (n == 0) return Status::InvalidArgument("empty page run");
-  const PageId first = static_cast<PageId>(page_count_);
-  const uint64_t new_count = page_count_ + n;
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  const uint64_t old_count = page_count_.load(std::memory_order_relaxed);
+  const PageId first = static_cast<PageId>(old_count);
+  const uint64_t new_count = old_count + n;
   const uint64_t extents_needed =
       (new_count + pages_per_extent_ - 1) / pages_per_extent_;
-  while (extents_.size() < extents_needed) {
+  for (size_t i = extent_count_.load(std::memory_order_relaxed);
+       i < extents_needed; ++i) {
     // Fresh extents (and thus fresh pages) are zero-filled by the backend.
     // Ids are never reused, so no page is handed out twice.
-    STARFISH_ASSIGN_OR_RETURN(char* extent, NewExtent());
-    extents_.push_back(extent);
+    STARFISH_ASSIGN_OR_RETURN(char* extent, NewExtent(i));
+    STARFISH_RETURN_NOT_OK(PublishExtent(i, extent));
   }
-  page_count_ = new_count;
-  freed_.resize(page_count_, false);
-  live_pages_ += n;
+  freed_.resize(new_count, false);
+  live_pages_.fetch_add(n, std::memory_order_relaxed);
+  // The release store pairs with the acquire load in CheckRange/PeekPage:
+  // any reader whose bounds check admits these page ids also sees the extent
+  // pointers (and zero-filled contents) published above.
+  page_count_.store(new_count, std::memory_order_release);
   return first;
+}
+
+void ExtentVolume::AdoptExtent(char* extent) {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  // Reopen-time only; indices continue from the current count.
+  (void)PublishExtent(extent_count_.load(std::memory_order_relaxed), extent);
 }
 
 void ExtentVolume::RestoreAllocatorState(uint64_t page_count,
                                          std::vector<bool> freed) {
-  page_count_ = page_count;
+  std::lock_guard<std::mutex> lock(alloc_mu_);
   freed_ = std::move(freed);
-  freed_.resize(page_count_, false);
-  live_pages_ = page_count_;
+  freed_.resize(page_count, false);
+  uint64_t live = page_count;
   for (bool f : freed_) {
-    if (f) --live_pages_;
+    if (f) --live;
   }
+  live_pages_.store(live, std::memory_order_relaxed);
+  page_count_.store(page_count, std::memory_order_release);
+}
+
+void ExtentVolume::SnapshotAllocator(uint64_t* page_count,
+                                     std::vector<bool>* freed) const {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  *page_count = page_count_.load(std::memory_order_relaxed);
+  *freed = freed_;
+  freed->resize(*page_count, false);
 }
 
 Status ExtentVolume::Free(PageId id) {
   STARFISH_RETURN_NOT_OK(CheckRange(id, 1));
+  std::lock_guard<std::mutex> lock(alloc_mu_);
   if (freed_[id]) {
     return Status::InvalidArgument("page " + std::to_string(id) +
                                    " already freed");
   }
   freed_[id] = true;
-  --live_pages_;
+  live_pages_.fetch_sub(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status ExtentVolume::CheckRange(PageId first, uint32_t count) const {
   if (count == 0) return Status::InvalidArgument("empty page run");
   const uint64_t end = static_cast<uint64_t>(first) + count;
-  if (first == kInvalidPageId || end > page_count_) {
+  // Acquire: admitting these ids must also make their extents visible.
+  const uint64_t limit = page_count_.load(std::memory_order_acquire);
+  if (first == kInvalidPageId || end > limit) {
     return Status::OutOfRange("page run [" + std::to_string(first) + ", " +
                               std::to_string(end) + ") outside volume of " +
-                              std::to_string(page_count_) + " pages");
+                              std::to_string(limit) + " pages");
   }
   return Status::OK();
 }
@@ -75,8 +134,7 @@ Status ExtentVolume::ReadRun(PageId first, uint32_t count, char* out) {
                 static_cast<size_t>(n) * page_size);
     done += n;
   }
-  stats_.read_calls += 1;
-  stats_.pages_read += count;
+  stats_.CountRead(count);
   return Status::OK();
 }
 
@@ -92,8 +150,7 @@ Status ExtentVolume::WriteRun(PageId first, uint32_t count, const char* src) {
                 static_cast<size_t>(n) * page_size);
     done += n;
   }
-  stats_.write_calls += 1;
-  stats_.pages_written += count;
+  stats_.CountWrite(count);
   return Status::OK();
 }
 
@@ -105,8 +162,7 @@ Status ExtentVolume::ReadRunZeroCopy(PageId first, uint32_t count,
   for (uint32_t i = 0; i < count; ++i) {
     views->push_back(PagePtr(first + i));
   }
-  stats_.read_calls += 1;
-  stats_.pages_read += count;
+  stats_.CountRead(count);
   return Status::OK();
 }
 
@@ -120,8 +176,7 @@ Status ExtentVolume::ReadChained(const std::vector<PageId>& ids,
     STARFISH_RETURN_NOT_OK(CheckRange(ids[i], 1));
     std::memcpy(outs[i], PagePtr(ids[i]), options_.page_size);
   }
-  stats_.read_calls += 1;
-  stats_.pages_read += ids.size();
+  stats_.CountRead(ids.size());
   return Status::OK();
 }
 
@@ -134,8 +189,7 @@ Status ExtentVolume::ReadChainedZeroCopy(const std::vector<PageId>& ids,
     STARFISH_RETURN_NOT_OK(CheckRange(id, 1));
     views->push_back(PagePtr(id));
   }
-  stats_.read_calls += 1;
-  stats_.pages_read += ids.size();
+  stats_.CountRead(ids.size());
   return Status::OK();
 }
 
@@ -149,13 +203,15 @@ Status ExtentVolume::WriteChained(const std::vector<PageId>& ids,
     STARFISH_RETURN_NOT_OK(CheckRange(ids[i], 1));
     std::memcpy(PagePtr(ids[i]), srcs[i], options_.page_size);
   }
-  stats_.write_calls += 1;
-  stats_.pages_written += ids.size();
+  stats_.CountWrite(ids.size());
   return Status::OK();
 }
 
 const char* ExtentVolume::PeekPage(PageId id) const {
-  if (id == kInvalidPageId || id >= page_count_) return nullptr;
+  if (id == kInvalidPageId ||
+      id >= page_count_.load(std::memory_order_acquire)) {
+    return nullptr;
+  }
   return PagePtr(id);
 }
 

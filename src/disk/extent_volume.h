@@ -1,6 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "disk/volume.h"
@@ -17,19 +20,30 @@
 /// never moved or unmapped while the volume lives, which is what makes the
 /// zero-copy accessors safe.
 ///
-/// ExtentVolume implements every data operation over a flat `char*` extent
-/// table; subclasses only provision extents (heap allocation vs. mmap) and
-/// release them in their destructor.
+/// ExtentVolume implements every data operation over a two-level extent
+/// directory; subclasses only provision extents (heap allocation vs. mmap)
+/// and release them in their destructor.
+///
+/// Thread safety (see Volume for the full contract): the extent directory is
+/// a fixed-shape table of atomic pointers, so the read path takes no lock —
+/// a reader that passed the bounds check (an acquire load of the page count)
+/// is guaranteed to see the extent pointers published before the matching
+/// release store in AllocateRun. Allocator state (growth, the freed bitmap)
+/// sits behind a small mutex; data reads and writes never touch it.
 
 namespace starfish {
 
-/// Extent-table volume core. Subclasses provide NewExtent().
+/// Extent-directory volume core. Subclasses provide NewExtent().
 class ExtentVolume : public Volume {
  public:
   uint32_t page_size() const override { return options_.page_size; }
   uint32_t pages_per_extent() const override { return pages_per_extent_; }
-  uint64_t page_count() const override { return page_count_; }
-  uint64_t live_page_count() const override { return live_pages_; }
+  uint64_t page_count() const override {
+    return page_count_.load(std::memory_order_acquire);
+  }
+  uint64_t live_page_count() const override {
+    return live_pages_.load(std::memory_order_relaxed);
+  }
 
   Result<PageId> AllocateRun(uint32_t n) override;
   Status Free(PageId id) override;
@@ -45,57 +59,88 @@ class ExtentVolume : public Volume {
                       const std::vector<const char*>& srcs) override;
   const char* PeekPage(PageId id) const override;
 
-  const IoStats& stats() const override { return stats_; }
-  void ResetStats() override { stats_ = IoStats{}; }
+  IoStats stats() const override { return stats_.Snapshot(); }
+  void ResetStats() override { stats_.Reset(); }
 
  protected:
   explicit ExtentVolume(DiskOptions options);
+  ~ExtentVolume() override;
 
-  /// Provisions one more zero-filled extent of
-  /// `pages_per_extent() * page_size()` bytes whose address never changes
-  /// for the lifetime of the volume. The subclass owns the memory.
-  virtual Result<char*> NewExtent() = 0;
+  /// Provisions extent `index` (zero-filled,
+  /// `pages_per_extent() * page_size()` bytes) whose address never changes
+  /// for the lifetime of the volume. The subclass owns the memory. Called
+  /// with the allocator lock held; indices arrive in increasing order.
+  virtual Result<char*> NewExtent(size_t index) = 0;
 
   /// Bytes per extent after geometry normalization.
   size_t extent_size_bytes() const {
     return static_cast<size_t>(pages_per_extent_) * options_.page_size;
   }
 
-  const std::vector<char*>& extents() const { return extents_; }
+  /// Number of provisioned extents.
+  size_t extent_count() const {
+    return extent_count_.load(std::memory_order_acquire);
+  }
 
   /// Registers an already-provisioned extent during reopen (mmap backend
   /// only): extents re-mapped from existing files were not allocated through
   /// NewExtent, but PagePtr must still find them.
-  void AdoptExtent(char* extent) { extents_.push_back(extent); }
+  void AdoptExtent(char* extent);
 
   /// Restores allocator state on reopen (mmap backend only). `freed` may be
   /// shorter than `page_count`; missing entries mean "not freed".
   void RestoreAllocatorState(uint64_t page_count, std::vector<bool> freed);
 
-  const std::vector<bool>& freed_pages() const { return freed_; }
+  /// Consistent copy of the allocator state (page count + freed bitmap),
+  /// taken under the allocator lock — what a metadata checkpoint persists.
+  void SnapshotAllocator(uint64_t* page_count, std::vector<bool>* freed) const;
 
  private:
+  // Fixed-shape two-level directory of extent base pointers. The root is
+  // allocated once in the constructor; leaf chunks are allocated on demand
+  // under the allocator lock and published with release stores. Readers
+  // index it lock-free: the acquire load in the bounds check (page_count_)
+  // pairs with AllocateRun's release store, so every extent slot at or
+  // below the observed page count is visible. 2048 * 2048 slots cap the
+  // volume at 4 M extents — 16 TiB of pages at the default 4 MiB extent.
+  static constexpr size_t kDirChunkBits = 11;
+  static constexpr size_t kDirChunkSlots = size_t{1} << kDirChunkBits;  // 2048
+  static constexpr size_t kDirRootSlots = 2048;
+
+  struct DirChunk {
+    std::atomic<char*> slot[kDirChunkSlots];
+  };
+
   Status CheckRange(PageId first, uint32_t count) const;
 
-  char* PagePtr(PageId id) {
-    return extents_[id / pages_per_extent_] +
-           static_cast<size_t>(id % pages_per_extent_) * options_.page_size;
+  /// Publishes `extent` as extent `index`. Allocator lock held.
+  Status PublishExtent(size_t index, char* extent);
+
+  char* ExtentBase(size_t index) const {
+    // Relaxed is enough: the caller ordered itself after publication via the
+    // acquire load of page_count_ (or extent_count_) in its bounds check.
+    return root_[index >> kDirChunkBits]
+        .load(std::memory_order_relaxed)
+        ->slot[index & (kDirChunkSlots - 1)]
+        .load(std::memory_order_relaxed);
   }
-  const char* PagePtr(PageId id) const {
-    return extents_[id / pages_per_extent_] +
+
+  char* PagePtr(PageId id) const {
+    return ExtentBase(id / pages_per_extent_) +
            static_cast<size_t>(id % pages_per_extent_) * options_.page_size;
   }
 
   DiskOptions options_;
   uint32_t pages_per_extent_;
-  /// Extent base addresses. The vector may reallocate; the memory the
-  /// entries point at never moves — PeekPage/ZeroCopy views stay valid
-  /// across later allocations.
-  std::vector<char*> extents_;
-  uint64_t page_count_ = 0;
-  std::vector<bool> freed_;
-  uint64_t live_pages_ = 0;
-  IoStats stats_;
+  std::unique_ptr<std::atomic<DirChunk*>[]> root_;  ///< kDirRootSlots entries
+  std::atomic<size_t> extent_count_{0};
+  std::atomic<uint64_t> page_count_{0};
+  std::atomic<uint64_t> live_pages_{0};
+  /// Serializes extent growth and the freed bitmap. Data reads/writes never
+  /// take it — only AllocateRun/Free/restore/snapshot do.
+  mutable std::mutex alloc_mu_;
+  std::vector<bool> freed_;  ///< guarded by alloc_mu_
+  AtomicIoStats stats_;
 };
 
 }  // namespace starfish

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -12,6 +13,12 @@
 ///                   of several pages (Table 5),
 /// plus buffer fixes as a CPU proxy (Table 6). IoStats carries the disk-side
 /// pair; buffer statistics live in BufferStats.
+///
+/// IoStats itself is a plain value type (snapshot-and-subtract). Volumes,
+/// which are read from many threads at once, maintain their counters in an
+/// AtomicIoStats and hand out IoStats snapshots: relaxed per-call increments,
+/// aggregated on read. Single-threaded measurement code keeps the exact
+/// semantics it always had — Since() over two snapshots is unchanged.
 
 namespace starfish {
 
@@ -48,6 +55,51 @@ struct IoStats {
   }
 
   std::string ToString() const;
+};
+
+/// The volume-side accumulator behind IoStats: one relaxed fetch_add per
+/// counted quantity, so concurrent readers (the sharded buffer pool issues
+/// I/O from many threads) never race on the meter. Relaxed ordering is
+/// enough — the counters are statistics, not synchronization; exactness is
+/// still guaranteed because fetch_add never loses increments, and a
+/// single-threaded run observes precisely the sequence of values the plain
+/// uint64 fields used to produce.
+struct AtomicIoStats {
+  std::atomic<uint64_t> pages_read{0};
+  std::atomic<uint64_t> pages_written{0};
+  std::atomic<uint64_t> read_calls{0};
+  std::atomic<uint64_t> write_calls{0};
+
+  /// One read request moving `pages` pages.
+  void CountRead(uint64_t pages) {
+    read_calls.fetch_add(1, std::memory_order_relaxed);
+    pages_read.fetch_add(pages, std::memory_order_relaxed);
+  }
+
+  /// One write request moving `pages` pages.
+  void CountWrite(uint64_t pages) {
+    write_calls.fetch_add(1, std::memory_order_relaxed);
+    pages_written.fetch_add(pages, std::memory_order_relaxed);
+  }
+
+  /// Value snapshot. Counters advancing concurrently may be torn *between*
+  /// fields (each field is itself consistent) — measurement code snapshots
+  /// around quiesced work, exactly as it always did.
+  IoStats Snapshot() const {
+    IoStats s;
+    s.pages_read = pages_read.load(std::memory_order_relaxed);
+    s.pages_written = pages_written.load(std::memory_order_relaxed);
+    s.read_calls = read_calls.load(std::memory_order_relaxed);
+    s.write_calls = write_calls.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    pages_read.store(0, std::memory_order_relaxed);
+    pages_written.store(0, std::memory_order_relaxed);
+    read_calls.store(0, std::memory_order_relaxed);
+    write_calls.store(0, std::memory_order_relaxed);
+  }
 };
 
 }  // namespace starfish

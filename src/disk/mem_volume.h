@@ -23,13 +23,14 @@ class MemVolume final : public ExtentVolume {
   VolumeKind kind() const override { return VolumeKind::kMem; }
 
  private:
-  Result<char*> NewExtent() override {
+  Result<char*> NewExtent(size_t /*index*/) override {
     // make_unique value-initializes: fresh extents are zero-filled.
     owned_.push_back(std::make_unique<char[]>(extent_size_bytes()));
     return owned_.back().get();
   }
 
-  /// Extent owners. The vector may reallocate; the arrays it owns do not.
+  /// Extent owners, mutated only under the base class's allocator lock.
+  /// The vector may reallocate; the arrays it owns do not.
   std::vector<std::unique_ptr<char[]>> owned_;
 };
 

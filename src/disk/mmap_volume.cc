@@ -129,8 +129,8 @@ std::string MmapVolume::ExtentPath(size_t index) const {
 
 std::string MmapVolume::MetaPath() const { return dir_ + "/volume.meta"; }
 
-Result<char*> MmapVolume::NewExtent() {
-  return MapExtent(extents().size(), /*create=*/true);
+Result<char*> MmapVolume::NewExtent(size_t index) {
+  return MapExtent(index, /*create=*/true);
 }
 
 Result<char*> MmapVolume::MapExtent(size_t index, bool create) {
@@ -171,6 +171,9 @@ Status MmapVolume::WriteMeta() const {
 #if !STARFISH_HAVE_MMAP
   return Status::NotSupported("MmapVolume requires a POSIX mmap platform");
 #else
+  uint64_t pages = 0;
+  std::vector<bool> freed;
+  SnapshotAllocator(&pages, &freed);
   std::string bytes;
   PutFixed32(&bytes, kMetaMagic);
   PutFixed32(&bytes, kMetaVersion);
@@ -178,10 +181,9 @@ Status MmapVolume::WriteMeta() const {
   // Record the normalized extent size (pages_per_extent * page_size); the
   // reopening constructor derives the identical geometry from it.
   PutFixed32(&bytes, static_cast<uint32_t>(extent_size_bytes()));
-  PutFixed64(&bytes, page_count());
-  const std::vector<bool>& freed = freed_pages();
-  std::string bitmap((page_count() + 7) / 8, '\0');
-  for (uint64_t i = 0; i < page_count(); ++i) {
+  PutFixed64(&bytes, pages);
+  std::string bitmap((pages + 7) / 8, '\0');
+  for (uint64_t i = 0; i < pages; ++i) {
     if (freed[i]) bitmap[i / 8] |= static_cast<char>(1 << (i % 8));
   }
   bytes += bitmap;

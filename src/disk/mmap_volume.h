@@ -56,7 +56,7 @@ class MmapVolume final : public ExtentVolume {
   MmapVolume(std::string dir, DiskOptions options)
       : ExtentVolume(options), dir_(std::move(dir)) {}
 
-  Result<char*> NewExtent() override;
+  Result<char*> NewExtent(size_t index) override;
 
   /// Maps extent file `index`, creating/growing it to extent size when
   /// `create` is set; fails if absent otherwise.
@@ -68,7 +68,10 @@ class MmapVolume final : public ExtentVolume {
   Status WriteMeta() const;
 
   std::string dir_;
-  std::vector<void*> mappings_;  // parallel to extents(), for munmap
+  /// Mapped extent addresses for munmap. Grown only at open time and under
+  /// the base class's allocator lock (NewExtent); Sync/destructor run on the
+  /// writer side of the single-writer contract.
+  std::vector<void*> mappings_;
 };
 
 }  // namespace starfish

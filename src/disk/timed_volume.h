@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -37,10 +38,12 @@ class TimedVolume final : public Volume {
 
   /// Estimated service time charged so far, in the unit of the timing
   /// coefficients (milliseconds for the defaults).
-  double elapsed_ms() const { return elapsed_ms_; }
+  double elapsed_ms() const {
+    return elapsed_ms_.load(std::memory_order_relaxed);
+  }
 
   /// Zeroes the accumulated time (backend counters are unaffected).
-  void ResetElapsed() { elapsed_ms_ = 0.0; }
+  void ResetElapsed() { elapsed_ms_.store(0.0, std::memory_order_relaxed); }
 
   /// The timing coefficients in use.
   const LinearTimingModel& timing() const { return timing_; }
@@ -94,23 +97,32 @@ class TimedVolume final : public Volume {
     return inner_->PeekPage(id);
   }
   Status Sync() override { return inner_->Sync(); }
-  const IoStats& stats() const override { return inner_->stats(); }
+  IoStats stats() const override { return inner_->stats(); }
   void ResetStats() override {
     inner_->ResetStats();
-    elapsed_ms_ = 0.0;
+    elapsed_ms_.store(0.0, std::memory_order_relaxed);
   }
 
  private:
   /// One successful call moving `pages` pages costs d1 + pages * d2.
+  /// The accumulator is a CAS loop: concurrent readers each charge their own
+  /// calls without losing updates (std::atomic<double> has no fetch_add
+  /// until C++20).
   Status Charge(Status status, uint64_t pages) {
-    if (status.ok()) elapsed_ms_ += timing_.Cost(1, pages);
+    if (status.ok()) {
+      const double cost = timing_.Cost(1, pages);
+      double current = elapsed_ms_.load(std::memory_order_relaxed);
+      while (!elapsed_ms_.compare_exchange_weak(current, current + cost,
+                                                std::memory_order_relaxed)) {
+      }
+    }
     return status;
   }
 
   std::unique_ptr<Volume> owned_;  // empty for the non-owning constructor
   Volume* inner_;
   LinearTimingModel timing_;
-  double elapsed_ms_ = 0.0;
+  std::atomic<double> elapsed_ms_{0.0};
 };
 
 }  // namespace starfish

@@ -59,8 +59,20 @@ struct DiskOptions {
 
 /// An abstract disk volume with I/O accounting.
 ///
-/// Not thread-safe: the reproduction is single-user, like the paper's
-/// experiments.
+/// Concurrency contract (the substrate of the store's single-writer /
+/// multi-reader model):
+///   * Read operations (ReadRun / ReadChained / the zero-copy variants /
+///     PeekPage) may run concurrently from any number of threads, also
+///     concurrently with AllocateRun — the extent directory publishes new
+///     extents atomically and established page ids never move.
+///   * AllocateRun / Free are serialized internally (a small allocator lock
+///     around extent-vector growth), so concurrent allocators are safe and
+///     zero-copy read views handed out earlier stay valid.
+///   * Writes to *disjoint* page sets may run concurrently (the sharded
+///     buffer pool writes back each page from the one shard that owns it).
+///     Concurrent writes to the same page, or a write racing a read of the
+///     same page, are the caller's data race, as on a real disk.
+///   * stats() aggregates atomic counters and is safe from any thread.
 class Volume {
  public:
   virtual ~Volume() = default;
@@ -136,8 +148,9 @@ class Volume {
   /// No-op for backends without persistence.
   virtual Status Sync() { return Status::OK(); }
 
-  /// Cumulative transfer counters.
-  virtual const IoStats& stats() const = 0;
+  /// Cumulative transfer counters (a snapshot of the volume's atomic
+  /// meter; see AtomicIoStats on concurrent-read semantics).
+  virtual IoStats stats() const = 0;
 
   /// Zeroes the counters (page contents are unaffected).
   virtual void ResetStats() = 0;
