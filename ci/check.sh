@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# CI entry point: configure, build, test, run the hot-path bench over both
-# volume backends and the multi-threaded read bench, gating on ns/op
+# CI entry point: configure, build, test, run the crash-matrix durability
+# gate (fault-injected power loss -> recovery -> sf_fsck clean, plus the
+# example persistent volume vetted by sf_fsck), run the hot-path bench over
+# both volume backends and the multi-threaded read bench, gating on ns/op
 # regressions, then build with ThreadSanitizer and run the buffer-pool
 # concurrency stress tests.
 #
@@ -42,6 +44,25 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 echo "== test =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== crash matrix =="
+# The durability gate: every FaultVolume fault point during Put/Flush/close
+# must recover to the last committed catalog generation with sf_fsck clean,
+# and a corrupted generation file must fall back or fail cleanly. These run
+# in ctest too; the dedicated stage keeps the durability signal readable on
+# its own and fails loudly before the perf stages.
+"$BUILD_DIR/starfish_tests" \
+    --gtest_filter='*CrashMatrix*:*CatalogFuzz*:*FsckTest*:*FaultVolume*'
+
+echo "== fsck over the example persistent volume =="
+# Drive the real persistent store end-to-end (create, reopen) and vet the
+# directory with the offline checker; the example exits non-zero unless
+# sf_fsck reports zero inconsistencies.
+EXAMPLE_DIR="$BUILD_DIR/persist_example"
+rm -rf "$EXAMPLE_DIR"
+"$BUILD_DIR/example_persistent_volume" "$EXAMPLE_DIR" > /dev/null
+"$BUILD_DIR/example_persistent_volume" "$EXAMPLE_DIR" > /dev/null
+"$BUILD_DIR/sf_fsck" "$EXAMPLE_DIR"
 
 echo "== hot-path bench (mem backend) =="
 # Emits BENCH_hotpath.json into the build dir; archive it from CI to watch

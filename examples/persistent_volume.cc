@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/complex_object_store.h"
+#include "tools/fsck.h"
 
 using namespace starfish;  // NOLINT — example brevity
 
@@ -47,6 +48,10 @@ int main(int argc, char** argv) {
   }
   auto& store = *store_or.value();
 
+  if (store.opened_from_fallback()) {
+    std::printf("NOTE: the newest catalog generation was damaged; recovered "
+                "the previous committed one.\n");
+  }
   if (store.model()->object_count() == 0) {
     std::printf("fresh store at %s — loading 500 readings...\n", dir.c_str());
     for (int i = 0; i < 500; ++i) {
@@ -64,12 +69,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "flush: %s\n", st.ToString().c_str());
       return 1;
     }
-    std::printf("loaded. Run me again: the data will still be there.\n\n");
+    // The checkpoint is crash-consistent: the volume was synced first, the
+    // catalog went to a fresh generation file, and the atomic CURRENT
+    // repoint committed it. A power loss at ANY point leaves either this
+    // checkpoint or the previous one — never a half-written store.
+    std::printf("loaded; committed catalog generation %llu.\n",
+                static_cast<unsigned long long>(store.catalog_generation()));
+    std::printf("Run me again: the data will still be there.\n\n");
   } else {
     std::printf("reopened store at %s — %llu readings survived the last "
-                "process.\n\n",
+                "process (catalog generation %llu).\n\n",
                 dir.c_str(),
-                static_cast<unsigned long long>(store.model()->object_count()));
+                static_cast<unsigned long long>(store.model()->object_count()),
+                static_cast<unsigned long long>(store.catalog_generation()));
   }
 
   // Start cold so the meter shows real volume traffic in both runs.
@@ -88,7 +100,16 @@ int main(int argc, char** argv) {
               "(Eq. 1 per call)\n",
               store.timed_millis());
   std::printf("            %.2f ms from the counter snapshot — same "
-              "equation, same answer\n",
+              "equation, same answer\n\n",
               store.EstimatedIoMillis());
-  return 0;
+
+  // Vet the on-disk state with the offline checker (also available as the
+  // standalone `sf_fsck <dir>` binary).
+  auto report = RunFsck(dir);
+  if (!report.ok()) {
+    std::fprintf(stderr, "fsck: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", report.value().ToString().c_str());
+  return report.value().clean() ? 0 : 1;
 }

@@ -1,5 +1,9 @@
 #include "core/complex_object_store.h"
 
+#include <algorithm>
+#include <filesystem>
+
+#include "core/generations.h"
 #include "util/coding.h"
 #include "util/file_io.h"
 
@@ -7,14 +11,28 @@ namespace starfish {
 
 namespace {
 
-/// catalog.sf layout (little-endian):
-///   u32 magic 'SFCT', u32 version, u32 model kind, u32 page_size,
-///   u64 key_attr_index, str schema name, u32 schema path count,
-///   engine segment catalog, model state.
-constexpr uint32_t kCatalogMagic = 0x54434653;  // "SFCT"
-constexpr uint32_t kCatalogVersion = 1;
+/// Catalog payload layout (framed/checksummed by generations.h):
+///   u32 model kind, u32 page_size, u64 key_attr_index, str schema name,
+///   u32 schema path count, engine segment catalog, model state.
+/// The payload is identical between the legacy v1 file and v2 generations;
+/// only the framing differs.
 
-std::string CatalogPath(const std::string& dir) { return dir + "/catalog.sf"; }
+/// Pre-parsed fixed header of a catalog payload.
+struct CatalogHeader {
+  uint32_t model_kind = 0;
+  uint32_t page_size = 0;
+  uint64_t key_attr = 0;
+  std::string_view schema_name;
+  uint32_t path_count = 0;
+};
+
+bool ParseCatalogHeader(std::string_view* in, CatalogHeader* header) {
+  return GetFixed32(in, &header->model_kind) &&
+         GetFixed32(in, &header->page_size) &&
+         GetFixed64(in, &header->key_attr) &&
+         GetLengthPrefixed(in, &header->schema_name) &&
+         GetFixed32(in, &header->path_count);
+}
 
 }  // namespace
 
@@ -37,45 +55,67 @@ Result<std::unique_ptr<ComplexObjectStore>> ComplexObjectStore::Open(
   engine_options.path = options.path;
   engine_options.timed = options.timed_volume;
   engine_options.timing = options.timing;
+  engine_options.volume_decorator = options.volume_decorator;
   STARFISH_ASSIGN_OR_RETURN(store->engine_,
                             StorageEngine::Open(engine_options));
   // A reopened mmap volume keeps its recorded geometry; mirror it so
   // options() reports the truth.
   store->options_.page_size = store->engine_->disk()->page_size();
 
-  // Persistent reopen: restore the segment catalog before the model attaches
-  // to its segments, and the model's in-memory tables afterwards.
-  std::string catalog;
+  // Persistent reopen: resolve the committed catalog generation. CURRENT
+  // names it; when that file fails its checksum (bit rot, torn hardware
+  // write) the next-older on-disk generation is the last committed state.
+  // Nothing here trusts an unchecksummed byte.
+  std::string payload;
   bool reopen = false;
+  bool legacy = false;
   if (store->persistent()) {
-    STARFISH_RETURN_NOT_OK(
-        ReadFileToString(CatalogPath(options.path), &catalog, &reopen));
+    const std::string& dir = options.path;
+    ResolvedCatalog resolved;
+    STARFISH_RETURN_NOT_OK(ResolveCommittedCatalog(dir, &resolved));
+    store->next_generation_ = resolved.next_generation;
+
+    if (resolved.any_committed) {
+      payload = std::move(resolved.file.payload);
+      store->generation_ = resolved.loaded;
+      store->fallback_ = resolved.fallback;
+      reopen = true;
+    } else {
+      // Nothing was ever committed through the generation protocol. Either
+      // a pre-generation (legacy) store, or a fresh directory — possibly
+      // with the stray uncommitted first checkpoint of a crashed run.
+      auto legacy_or = ReadCatalogFile(LegacyCatalogPath(dir));
+      if (legacy_or.ok()) {
+        if (!legacy_or.value().legacy) {
+          return Status::Corruption("versioned frame under legacy name " +
+                                    LegacyCatalogPath(dir));
+        }
+        payload = std::move(legacy_or.value().payload);
+        reopen = true;
+        legacy = true;
+      } else if (!legacy_or.status().IsNotFound()) {
+        // An unreadable or corrupt legacy catalog has no older generation
+        // to fall back to: surface it rather than silently re-formatting.
+        return legacy_or.status();
+      }
+    }
   }
 
-  std::string_view in(catalog);
+  std::string_view in(payload);
   if (reopen) {
-    uint32_t magic = 0, version = 0, kind = 0, page_size = 0;
-    uint64_t key_attr = 0;
-    std::string_view schema_name;
-    uint32_t path_count = 0;
-    if (!GetFixed32(&in, &magic) || magic != kCatalogMagic ||
-        !GetFixed32(&in, &version) || version != kCatalogVersion) {
-      return Status::Corruption("bad store catalog in " + options.path);
-    }
-    if (!GetFixed32(&in, &kind) || !GetFixed32(&in, &page_size) ||
-        !GetFixed64(&in, &key_attr) || !GetLengthPrefixed(&in, &schema_name) ||
-        !GetFixed32(&in, &path_count)) {
+    CatalogHeader header;
+    if (!ParseCatalogHeader(&in, &header)) {
       return Status::Corruption("truncated store catalog in " + options.path);
     }
-    if (static_cast<StorageModelKind>(kind) != options.model) {
+    if (static_cast<StorageModelKind>(header.model_kind) != options.model) {
       return Status::InvalidArgument(
           "store at " + options.path + " was written with model " +
-          ToString(static_cast<StorageModelKind>(kind)) + ", not " +
-          ToString(options.model));
+          ToString(static_cast<StorageModelKind>(header.model_kind)) +
+          ", not " + ToString(options.model));
     }
-    if (schema_name != schema->name() ||
-        path_count != static_cast<uint32_t>(schema->path_count()) ||
-        key_attr != options.key_attr_index) {
+    if (header.schema_name != schema->name() ||
+        header.path_count != static_cast<uint32_t>(schema->path_count()) ||
+        header.key_attr != options.key_attr_index) {
       return Status::InvalidArgument("store at " + options.path +
                                      " was written with a different schema");
     }
@@ -90,7 +130,63 @@ Result<std::unique_ptr<ComplexObjectStore>> ComplexObjectStore::Open(
       CreateStorageModel(store->options_.model, store->engine_.get(), config));
   if (reopen) {
     STARFISH_RETURN_NOT_OK(store->model_->LoadState(&in));
+    if (!in.empty()) {
+      return Status::Corruption("trailing garbage after store catalog in " +
+                                options.path);
+    }
+    // The committed catalog is the source of truth for what is allocated:
+    // reclaim pages a torn checkpoint allocated but never referenced, and
+    // revive pages it freed before the free was committed.
+    const Status reconciled =
+        store->engine_->disk()->ReconcileLive(store->engine_->AllSegmentPages());
+    if (!reconciled.ok()) {
+      return Status::Corruption("catalog at " + options.path +
+                                " references pages beyond the volume: " +
+                                reconciled.ToString());
+    }
+    // ... and for what is stored: shared slotted pages are written in
+    // place, so a torn checkpoint (or a fallback past a corrupt newer
+    // generation) can leave records on them the committed state never
+    // heard of. Scrub them out before anything scans or inserts.
+    std::vector<Tid> live_tids;
+    STARFISH_RETURN_NOT_OK(store->model_->CollectLiveTids(&live_tids));
+    STARFISH_RETURN_NOT_OK(store->engine_->ScrubSlottedRecords(live_tids));
+  } else if (store->persistent() &&
+             store->engine_->disk()->page_count() > 0) {
+    // Fresh store over a volume that already journaled allocations: a run
+    // crashed after its first volume sync but before its first commit.
+    // Nothing committed means nothing is referenced — reclaim it all, or
+    // the dead run's pages stay live forever.
+    STARFISH_RETURN_NOT_OK(store->engine_->disk()->ReconcileLive({}));
   }
+
+  if (store->persistent()) {
+    const std::string& dir = options.path;
+    if (store->fallback_) {
+      // Repair: make CURRENT agree with what actually loaded, so the next
+      // crash-free reader needs no fallback.
+      STARFISH_RETURN_NOT_OK(CommitCurrentGeneration(dir, store->generation_));
+    }
+    // Leftover housekeeping. Keep the loaded generation and its actual
+    // on-disk predecessor (one level of checksum-fallback depth) —
+    // numbers are non-consecutive after an aborted checkpoint burned one,
+    // so "generation - 1" may not be the file that exists. Uncommitted
+    // newer files and long-superseded older ones go.
+    std::vector<uint64_t> keep{store->generation_};
+    uint64_t predecessor = 0;
+    bool has_predecessor = false;
+    for (uint64_t gen : ListCatalogGenerations(dir)) {  // ascending
+      if (gen < store->generation_) {
+        predecessor = gen;
+        has_predecessor = true;
+      }
+    }
+    if (has_predecessor) keep.push_back(predecessor);
+    RemoveCatalogGenerationsExcept(dir, reopen && !legacy
+                                            ? keep
+                                            : std::vector<uint64_t>{});
+  }
+
   // Only a fully opened store may checkpoint: the destructor of a store
   // abandoned mid-reopen must not overwrite a (possibly recoverable)
   // catalog with the empty state of a half-constructed model.
@@ -99,12 +195,15 @@ Result<std::unique_ptr<ComplexObjectStore>> ComplexObjectStore::Open(
 }
 
 ComplexObjectStore::~ComplexObjectStore() {
-  if (opened_ && persistent()) {
-    (void)Flush();  // best-effort checkpoint
+  // Only a mutated store needs the best-effort checkpoint: a read-only run
+  // must not churn generation files (or touch a down volume at all).
+  if (opened_ && persistent() && dirty_) {
+    (void)Flush();
   }
 }
 
 Status ComplexObjectStore::Put(ObjectRef ref, const Tuple& object) {
+  dirty_ = true;
   return model_->Insert(ref, object);
 }
 
@@ -137,14 +236,17 @@ Result<Tuple> ComplexObjectStore::RootRecord(ObjectRef ref) {
 
 Status ComplexObjectStore::UpdateRootRecord(ObjectRef ref,
                                             const Tuple& new_root) {
+  dirty_ = true;
   return model_->UpdateRootRecord(ref, new_root);
 }
 
 Status ComplexObjectStore::Replace(ObjectRef ref, const Tuple& new_object) {
+  dirty_ = true;
   return model_->ReplaceObject(ref, new_object);
 }
 
 Status ComplexObjectStore::Remove(ObjectRef ref) {
+  dirty_ = true;
   return model_->Remove(ref);
 }
 
@@ -173,27 +275,47 @@ Result<Tuple> ReadSession::RootRecord(ObjectRef ref) const {
   return store_->RootRecord(ref);
 }
 
+Status ComplexObjectStore::BuildCatalogPayload(std::string* payload) const {
+  PutFixed32(payload, static_cast<uint32_t>(options_.model));
+  PutFixed32(payload, options_.page_size);
+  PutFixed64(payload, options_.key_attr_index);
+  PutLengthPrefixed(payload, schema_->name());
+  PutFixed32(payload, static_cast<uint32_t>(schema_->path_count()));
+  engine_->SaveCatalog(payload);
+  return model_->SaveState(payload);
+}
+
 Status ComplexObjectStore::Flush() {
   STARFISH_RETURN_NOT_OK(engine_->Flush());
   if (!persistent()) return Status::OK();
+  const std::string& dir = options_.path;
 
-  // Sync the volume (extent bytes + volume.meta allocator state) BEFORE
-  // committing the catalog: the catalog rename is the checkpoint's commit
-  // point, and it must never reference pages volume.meta does not cover.
-  // A crash before the rename leaves the previous consistent checkpoint.
+  // Checkpoint protocol — each step durable before the next begins:
+  //   1. Sync the volume (page images + allocator journal): the catalog
+  //      must never reference bytes or pages the volume does not have.
+  //   2. Write the NEXT catalog generation to its own fsync'd file; the
+  //      live generation is never touched.
+  //   3. Atomically repoint CURRENT — the one and only commit point.
+  // A crash before step 3 leaves the previous generation committed; the
+  // next Open reclaims the half-checkpoint's pages via ReconcileLive.
   STARFISH_RETURN_NOT_OK(engine_->disk()->Sync());
 
-  std::string catalog;
-  PutFixed32(&catalog, kCatalogMagic);
-  PutFixed32(&catalog, kCatalogVersion);
-  PutFixed32(&catalog, static_cast<uint32_t>(options_.model));
-  PutFixed32(&catalog, options_.page_size);
-  PutFixed64(&catalog, options_.key_attr_index);
-  PutLengthPrefixed(&catalog, schema_->name());
-  PutFixed32(&catalog, static_cast<uint32_t>(schema_->path_count()));
-  engine_->SaveCatalog(&catalog);
-  STARFISH_RETURN_NOT_OK(model_->SaveState(&catalog));
-  return WriteFileAtomic(CatalogPath(options_.path), catalog);
+  const uint64_t next = next_generation_;
+  std::string payload;
+  STARFISH_RETURN_NOT_OK(BuildCatalogPayload(&payload));
+  STARFISH_RETURN_NOT_OK(WriteFileAtomic(CatalogGenerationPath(dir, next),
+                                         EncodeCatalogFile(next, payload)));
+  STARFISH_RETURN_NOT_OK(CommitCurrentGeneration(dir, next));
+
+  // Committed. Everything below is housekeeping on dead files.
+  const uint64_t previous = generation_;
+  generation_ = next;
+  next_generation_ = next + 1;
+  dirty_ = false;
+  RemoveCatalogGenerationsExcept(dir, {previous, next});
+  std::error_code ec;
+  std::filesystem::remove(LegacyCatalogPath(dir), ec);  // migration complete
+  return Status::OK();
 }
 
 }  // namespace starfish

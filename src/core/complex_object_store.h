@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "disk/disk_timing.h"
@@ -83,6 +84,12 @@ struct StoreOptions {
   /// thread-safe so ReadSession handles can run on concurrent threads
   /// (0 = derive from hardware concurrency). See BufferOptions::shard_count.
   uint32_t buffer_shards = 1;
+
+  /// Test seam: wraps the freshly created disk backend (e.g. in a
+  /// FaultVolume) before the buffer pool attaches — how the crash-matrix
+  /// tests kill the disk mid-checkpoint. Null = no wrapping.
+  std::function<std::unique_ptr<Volume>(std::unique_ptr<Volume>)>
+      volume_decorator;
 };
 
 class ComplexObjectStore;
@@ -177,12 +184,24 @@ class ComplexObjectStore {
   ReadSession OpenReadSession() { return ReadSession(this); }
 
   /// Write-back of all dirty pages ("disconnect"). Persistent stores also
-  /// write their catalog and sync the volume, making this a durable
-  /// checkpoint: a store reopened on the same path sees everything flushed.
+  /// checkpoint durably: volume sync (page images + allocator journal)
+  /// first, then a NEW catalog generation file (catalog.<gen>.sf, fsync'd),
+  /// then the atomic CURRENT repoint that commits it — a crash anywhere in
+  /// between leaves the previous committed generation intact. See
+  /// core/generations.h for the protocol.
   Status Flush();
 
   /// True when this store survives process restarts (mmap backend + path).
   bool persistent() const { return options_.backend == VolumeKind::kMmap; }
+
+  /// Generation of the committed catalog this store runs on: what Open
+  /// resolved (0 for a fresh or legacy store), advanced by every durable
+  /// Flush.
+  uint64_t catalog_generation() const { return generation_; }
+
+  /// True when Open skipped a corrupt newer generation and recovered the
+  /// next-older committed one (the fuzz/crash tests assert on this).
+  bool opened_from_fallback() const { return fallback_; }
 
   /// Estimated milliseconds charged by the TimedVolume wrapper, or 0 when
   /// `options.timed_volume` was not set. Unlike EstimatedIoMillis() (which
@@ -205,11 +224,20 @@ class ComplexObjectStore {
 
   const StoreOptions& options() const { return options_; }
   const std::shared_ptr<const Schema>& schema() const { return schema_; }
+  /// Direct access to the layers underneath (benches and calibration read
+  /// counters and drop caches through these). Mutating records through
+  /// them BYPASSES the store's dirty tracking: a persistent store only
+  /// checkpoints at close when its own write API ran — callers mutating
+  /// at this level must call Flush() themselves.
   StorageModel* model() { return model_.get(); }
   StorageEngine* engine() { return engine_.get(); }
 
  private:
   ComplexObjectStore() = default;
+
+  /// Serializes the catalog payload (store header + engine segment catalog
+  /// + model state) — the bytes a generation file frames and checksums.
+  Status BuildCatalogPayload(std::string* payload) const;
 
   StoreOptions options_;
   std::shared_ptr<const Schema> schema_;
@@ -217,6 +245,16 @@ class ComplexObjectStore {
   std::unique_ptr<StorageModel> model_;
   /// Set once Open fully succeeded; gates the destructor's checkpoint.
   bool opened_ = false;
+  /// Committed generation this store runs on (0 = fresh/legacy).
+  uint64_t generation_ = 0;
+  /// Number the next checkpoint commits as. Always past every generation
+  /// file ever seen in the directory, so an aborted checkpoint's leftover
+  /// can never collide with a later commit.
+  uint64_t next_generation_ = 1;
+  bool fallback_ = false;
+  /// Mutations since the last committed checkpoint; gates the destructor's
+  /// best-effort Flush so a read-only run rewrites nothing.
+  bool dirty_ = false;
 };
 
 }  // namespace starfish

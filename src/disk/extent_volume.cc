@@ -96,6 +96,27 @@ void ExtentVolume::SnapshotAllocator(uint64_t* page_count,
   freed->resize(*page_count, false);
 }
 
+Status ExtentVolume::ReconcileLive(const std::vector<PageId>& live) {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  const uint64_t count = page_count_.load(std::memory_order_relaxed);
+  std::vector<bool> freed(count, true);
+  uint64_t live_count = 0;
+  for (PageId id : live) {
+    if (id >= count) {
+      return Status::InvalidArgument(
+          "live page " + std::to_string(id) + " beyond volume of " +
+          std::to_string(count) + " pages");
+    }
+    if (freed[id]) {
+      freed[id] = false;
+      ++live_count;
+    }
+  }
+  freed_ = std::move(freed);
+  live_pages_.store(live_count, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 Status ExtentVolume::Free(PageId id) {
   STARFISH_RETURN_NOT_OK(CheckRange(id, 1));
   std::lock_guard<std::mutex> lock(alloc_mu_);

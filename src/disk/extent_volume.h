@@ -58,6 +58,7 @@ class ExtentVolume : public Volume {
   Status WriteChained(const std::vector<PageId>& ids,
                       const std::vector<const char*>& srcs) override;
   const char* PeekPage(PageId id) const override;
+  Status ReconcileLive(const std::vector<PageId>& live) override;
 
   IoStats stats() const override { return stats_.Snapshot(); }
   void ResetStats() override { stats_.Reset(); }

@@ -1,0 +1,258 @@
+#include "disk/fault_volume.h"
+
+#include <cstring>
+#include <string>
+
+namespace starfish {
+
+Status FaultVolume::DownError() const {
+  return Status::IOError("simulated power loss: volume is down");
+}
+
+void FaultVolume::BufferWriteLocked(PageId id, const char* src) {
+  auto it = overlay_.find(id);
+  if (it == overlay_.end()) {
+    auto image = std::make_unique<char[]>(inner_->page_size());
+    it = overlay_.emplace(id, std::move(image)).first;
+  }
+  std::memcpy(it->second.get(), src, inner_->page_size());
+  dirty_.insert(id);
+}
+
+bool FaultVolume::WriteFaultFiresLocked() {
+  if (plan_.fail_write_call != 0 &&
+      write_calls_seen_ == plan_.fail_write_call) {
+    ++faults_fired_;
+    if (plan_.power_loss_on_fault) down_ = true;
+    return true;
+  }
+  return false;
+}
+
+Result<PageId> FaultVolume::AllocateRun(uint32_t n) {
+  if (down()) return DownError();
+  return inner_->AllocateRun(n);
+}
+
+Status FaultVolume::Free(PageId id) {
+  if (down()) return DownError();
+  return inner_->Free(id);
+}
+
+Status FaultVolume::ReadRun(PageId first, uint32_t count, char* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down_) return DownError();
+  // Reads go through the backend for bounds checks and accounting, then the
+  // overlay patches pages whose latest image is still un-synced.
+  STARFISH_RETURN_NOT_OK(inner_->ReadRun(first, count, out));
+  if (!overlay_.empty()) {
+    const uint32_t page_size = inner_->page_size();
+    for (uint32_t i = 0; i < count; ++i) {
+      auto it = overlay_.find(first + i);
+      if (it != overlay_.end()) {
+        std::memcpy(out + static_cast<size_t>(i) * page_size,
+                    it->second.get(), page_size);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultVolume::ReadRunZeroCopy(PageId first, uint32_t count,
+                                    std::vector<const char*>* views) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down_) return DownError();
+  STARFISH_RETURN_NOT_OK(inner_->ReadRunZeroCopy(first, count, views));
+  if (!overlay_.empty()) {
+    for (uint32_t i = 0; i < count; ++i) {
+      auto it = overlay_.find(first + i);
+      if (it != overlay_.end()) (*views)[i] = it->second.get();
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultVolume::ReadChained(const std::vector<PageId>& ids,
+                                const std::vector<char*>& outs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down_) return DownError();
+  STARFISH_RETURN_NOT_OK(inner_->ReadChained(ids, outs));
+  if (!overlay_.empty()) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      auto it = overlay_.find(ids[i]);
+      if (it != overlay_.end()) {
+        std::memcpy(outs[i], it->second.get(), inner_->page_size());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultVolume::ReadChainedZeroCopy(const std::vector<PageId>& ids,
+                                        std::vector<const char*>* views) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down_) return DownError();
+  STARFISH_RETURN_NOT_OK(inner_->ReadChainedZeroCopy(ids, views));
+  if (!overlay_.empty()) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      auto it = overlay_.find(ids[i]);
+      if (it != overlay_.end()) (*views)[i] = it->second.get();
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultVolume::WriteRun(PageId first, uint32_t count, const char* src) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down_) return DownError();
+  if (count == 0) return Status::InvalidArgument("empty page run");
+  if (first == kInvalidPageId ||
+      static_cast<uint64_t>(first) + count > inner_->page_count()) {
+    return Status::OutOfRange("page run [" + std::to_string(first) + ", " +
+                              std::to_string(first + count) +
+                              ") outside volume");
+  }
+  ++write_calls_seen_;
+  const bool fires = WriteFaultFiresLocked();
+  const uint32_t apply = fires ? std::min(plan_.torn_pages, count) : count;
+  const uint32_t page_size = inner_->page_size();
+  if (options_.buffer_unsynced_writes) {
+    if (fires) {
+      // A torn prefix models pages the controller DMA'd to the medium
+      // before dying: it bypasses the volatile overlay and lands in the
+      // backend directly, so it SURVIVES the coming power loss.
+      if (apply > 0) {
+        STARFISH_RETURN_NOT_OK(inner_->WriteRun(first, apply, src));
+        // Keep any existing overlay image coherent with the medium.
+        for (uint32_t i = 0; i < apply; ++i) {
+          auto it = overlay_.find(first + i);
+          if (it != overlay_.end()) {
+            std::memcpy(it->second.get(),
+                        src + static_cast<size_t>(i) * page_size, page_size);
+          }
+        }
+      }
+    } else {
+      for (uint32_t i = 0; i < count; ++i) {
+        BufferWriteLocked(first + i,
+                          src + static_cast<size_t>(i) * page_size);
+      }
+      buffered_writes_.CountWrite(count);
+    }
+  } else if (apply > 0) {
+    STARFISH_RETURN_NOT_OK(fires ? inner_->WriteRun(first, apply, src)
+                                 : inner_->WriteRun(first, count, src));
+  }
+  if (fires) {
+    return Status::IOError("injected write fault (call " +
+                           std::to_string(write_calls_seen_) + ", " +
+                           std::to_string(apply) + "/" +
+                           std::to_string(count) + " pages applied)");
+  }
+  return Status::OK();
+}
+
+Status FaultVolume::WriteChained(const std::vector<PageId>& ids,
+                                 const std::vector<const char*>& srcs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down_) return DownError();
+  if (ids.empty()) return Status::InvalidArgument("empty chained write");
+  if (ids.size() != srcs.size()) {
+    return Status::InvalidArgument("chained write size mismatch");
+  }
+  for (PageId id : ids) {
+    if (id == kInvalidPageId ||
+        static_cast<uint64_t>(id) >= inner_->page_count()) {
+      return Status::OutOfRange("page " + std::to_string(id) +
+                                " outside volume");
+    }
+  }
+  ++write_calls_seen_;
+  const bool fires = WriteFaultFiresLocked();
+  const uint32_t count = static_cast<uint32_t>(ids.size());
+  const uint32_t apply = fires ? std::min(plan_.torn_pages, count) : count;
+  if (options_.buffer_unsynced_writes) {
+    if (fires) {
+      // As in WriteRun: a torn prefix hit the medium, not the cache.
+      for (uint32_t i = 0; i < apply; ++i) {
+        STARFISH_RETURN_NOT_OK(inner_->WriteRun(ids[i], 1, srcs[i]));
+        auto it = overlay_.find(ids[i]);
+        if (it != overlay_.end()) {
+          std::memcpy(it->second.get(), srcs[i], inner_->page_size());
+        }
+      }
+    } else {
+      for (uint32_t i = 0; i < count; ++i) BufferWriteLocked(ids[i], srcs[i]);
+      buffered_writes_.CountWrite(count);
+    }
+  } else if (apply > 0) {
+    if (fires) {
+      const std::vector<PageId> head(ids.begin(), ids.begin() + apply);
+      const std::vector<const char*> head_srcs(srcs.begin(),
+                                               srcs.begin() + apply);
+      STARFISH_RETURN_NOT_OK(inner_->WriteChained(head, head_srcs));
+    } else {
+      STARFISH_RETURN_NOT_OK(inner_->WriteChained(ids, srcs));
+    }
+  }
+  if (fires) {
+    return Status::IOError("injected write fault (call " +
+                           std::to_string(write_calls_seen_) + ", " +
+                           std::to_string(apply) + "/" +
+                           std::to_string(count) + " pages applied)");
+  }
+  return Status::OK();
+}
+
+const char* FaultVolume::PeekPage(PageId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down_) return nullptr;
+  auto it = overlay_.find(id);
+  if (it != overlay_.end() &&
+      static_cast<uint64_t>(id) < inner_->page_count()) {
+    return it->second.get();
+  }
+  return inner_->PeekPage(id);
+}
+
+Status FaultVolume::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down_) return DownError();
+  ++sync_calls_seen_;
+  if (plan_.fail_sync_call != 0 && sync_calls_seen_ == plan_.fail_sync_call) {
+    ++faults_fired_;
+    if (plan_.power_loss_on_fault) down_ = true;
+    // The fault fires before the backend syncs: neither the buffered pages
+    // nor the allocator journal advance, as with a device lost mid-flush.
+    return Status::IOError("injected sync fault (call " +
+                           std::to_string(sync_calls_seen_) + ")");
+  }
+  const uint32_t page_size = inner_->page_size();
+  for (PageId id : dirty_) {
+    // Unmetered apply: the write was already counted when it entered the
+    // overlay ("disk cache"); flushing the cache to the platter is not a
+    // second transfer. Extent memory is writable in every backend; PeekPage
+    // is merely a const view of it.
+    char* dst = const_cast<char*>(inner_->PeekPage(id));
+    if (dst == nullptr) {
+      return Status::Corruption("overlay page " + std::to_string(id) +
+                                " vanished from backend");
+    }
+    std::memcpy(dst, overlay_.at(id).get(), page_size);
+  }
+  dirty_.clear();
+  return inner_->Sync();
+}
+
+IoStats FaultVolume::stats() const {
+  IoStats s = inner_->stats();
+  s += buffered_writes_.Snapshot();
+  return s;
+}
+
+void FaultVolume::ResetStats() {
+  inner_->ResetStats();
+  buffered_writes_.Reset();
+}
+
+}  // namespace starfish

@@ -13,61 +13,15 @@
 #include <cstring>
 #include <filesystem>
 
-#include "util/coding.h"
 #include "util/file_io.h"
 
 namespace starfish {
 
 namespace {
 
-/// volume.meta layout (little-endian, see coding.h):
-///   u32 magic 'SFVM', u32 version, u32 page_size, u32 extent_bytes,
-///   u64 page_count, then ceil(page_count / 8) bytes of freed bitmap
-///   (bit i of byte i/8 set = page i freed).
-constexpr uint32_t kMetaMagic = 0x4D564653;  // "SFVM"
-constexpr uint32_t kMetaVersion = 1;
-
-struct VolumeMeta {
-  DiskOptions options;
-  uint64_t page_count = 0;
-  std::vector<bool> freed;
-};
-
-#if STARFISH_HAVE_MMAP
-
-Status ReadMeta(const std::string& path, VolumeMeta* meta, bool* found) {
-  // An absent meta file means a fresh volume; an UNREADABLE one must be an
-  // error — treating it as fresh would re-format a live volume.
-  std::string bytes;
-  STARFISH_RETURN_NOT_OK(ReadFileToString(path, &bytes, found));
-  if (!*found) return Status::OK();
-
-  std::string_view in(bytes);
-  uint32_t magic = 0, version = 0;
-  if (!GetFixed32(&in, &magic) || magic != kMetaMagic) {
-    return Status::Corruption("bad volume.meta magic in " + path);
-  }
-  if (!GetFixed32(&in, &version) || version != kMetaVersion) {
-    return Status::Corruption("unsupported volume.meta version in " + path);
-  }
-  if (!GetFixed32(&in, &meta->options.page_size) ||
-      !GetFixed32(&in, &meta->options.extent_bytes) ||
-      !GetFixed64(&in, &meta->page_count)) {
-    return Status::Corruption("truncated volume.meta in " + path);
-  }
-  const size_t bitmap_bytes = (meta->page_count + 7) / 8;
-  if (in.size() < bitmap_bytes) {
-    return Status::Corruption("truncated freed bitmap in " + path);
-  }
-  meta->freed.assign(meta->page_count, false);
-  for (uint64_t i = 0; i < meta->page_count; ++i) {
-    if (in[i / 8] & (1 << (i % 8))) meta->freed[i] = true;
-  }
-  *found = true;
-  return Status::OK();
-}
-
-#endif  // STARFISH_HAVE_MMAP
+/// Journals longer than this are compacted to a single snapshot at reopen;
+/// between reopens they grow by one small delta per checkpoint.
+constexpr uint32_t kCompactRecordThreshold = 64;
 
 }  // namespace
 
@@ -88,23 +42,51 @@ Result<std::unique_ptr<MmapVolume>> MmapVolume::Open(const std::string& dir,
                            ec.message());
   }
 
-  VolumeMeta meta;
-  bool existing = false;
-  STARFISH_RETURN_NOT_OK(ReadMeta(dir + "/volume.meta", &meta, &existing));
+  VolumeMetaReplay replay;
+  STARFISH_RETURN_NOT_OK(ReplayVolumeMeta(dir + "/volume.meta", &replay));
   // A volume cannot change its geometry after the fact: the recorded
   // page/extent sizes win over the ones passed in.
-  if (existing) options = meta.options;
+  if (replay.found) options = replay.state.options;
 
   auto volume = std::unique_ptr<MmapVolume>(new MmapVolume(dir, options));
-  if (existing) {
+  if (!replay.found) {
+    // No durable allocator state: any extent file lying around is the
+    // leaving of a run that crashed before its first checkpoint. Remove
+    // them — NewExtent would otherwise adopt their stale bytes as
+    // "zero-filled" fresh pages.
+    STARFISH_RETURN_NOT_OK(volume->RemoveOrphanExtentFiles(0));
+  }
+  if (replay.found) {
     const uint64_t ppe = volume->pages_per_extent();
-    const size_t extent_count = (meta.page_count + ppe - 1) / ppe;
+    const uint64_t pages = replay.state.page_count;
+    const size_t extent_count = (pages + ppe - 1) / ppe;
+    // Extent files beyond the durable page count are the leavings of a
+    // crashed, never-checkpointed allocation. Remove them now: a future
+    // AllocateRun reaching their index must see zero-filled pages, not the
+    // stale bytes of the crashed run.
+    STARFISH_RETURN_NOT_OK(volume->RemoveOrphanExtentFiles(extent_count));
     for (size_t i = 0; i < extent_count; ++i) {
       STARFISH_ASSIGN_OR_RETURN(char* extent,
                                 volume->MapExtent(i, /*create=*/false));
       volume->AdoptExtent(extent);
+      if (i + 1 == extent_count && pages % ppe != 0) {
+        // Same reasoning within the last extent: pages past the durable
+        // count may hold bytes of a crashed run; fresh pages must be zero.
+        const size_t used =
+            static_cast<size_t>(pages % ppe) * volume->page_size();
+        std::memset(extent + used, 0, volume->extent_size_bytes() - used);
+      }
     }
-    volume->RestoreAllocatorState(meta.page_count, std::move(meta.freed));
+    volume->RestoreAllocatorState(pages, replay.state.freed);
+    volume->last_checkpoint_ = replay.state;
+    volume->meta_on_disk_ = true;
+    if (replay.legacy || replay.torn_tail ||
+        replay.records > kCompactRecordThreshold) {
+      // Legacy formats upgrade, torn tails must not poison later appends
+      // (replay stops at the first bad record), and long journals fold into
+      // one snapshot.
+      STARFISH_RETURN_NOT_OK(volume->RewriteCompactedMeta());
+    }
   }
   return volume;
 #endif
@@ -113,8 +95,8 @@ Result<std::unique_ptr<MmapVolume>> MmapVolume::Open(const std::string& dir,
 MmapVolume::~MmapVolume() {
 #if STARFISH_HAVE_MMAP
   // Best-effort checkpoint: page bytes reach the files via the shared
-  // mappings; the meta rewrite makes the allocator state match them.
-  (void)WriteMeta();
+  // mappings; the journal append makes the allocator state match them.
+  (void)CheckpointAllocator();
   for (void* mapping : mappings_) {
     if (mapping != nullptr) ::munmap(mapping, extent_size_bytes());
   }
@@ -122,12 +104,37 @@ MmapVolume::~MmapVolume() {
 }
 
 std::string MmapVolume::ExtentPath(size_t index) const {
-  char name[32];
-  std::snprintf(name, sizeof(name), "/extent_%06zu", index);
-  return dir_ + name;
+  return dir_ + "/" + ExtentFileName(index);
 }
 
 std::string MmapVolume::MetaPath() const { return dir_ + "/volume.meta"; }
+
+Status MmapVolume::RemoveOrphanExtentFiles(size_t expected) const {
+  // Manual increment with an error_code: the range-for ++ throws on a
+  // mid-scan I/O error, which must surface as a Status on this API.
+  std::error_code ec;
+  std::vector<std::string> doomed;
+  std::filesystem::directory_iterator it(dir_, ec), end;
+  for (; !ec && it != end; it.increment(ec)) {
+    uint64_t index = 0;
+    if (ParseExtentFileName(it->path().filename().string(), &index) &&
+        index >= expected) {
+      doomed.push_back(it->path());
+    }
+  }
+  if (ec) {
+    return Status::IOError("scan " + dir_ + ": " + ec.message());
+  }
+  for (const std::string& path : doomed) {
+    std::filesystem::remove(path, ec);
+    if (ec) {
+      return Status::IOError("remove orphan extent " + path + ": " +
+                             ec.message());
+    }
+  }
+  if (!doomed.empty()) STARFISH_RETURN_NOT_OK(SyncDir(dir_));
+  return Status::OK();
+}
 
 Result<char*> MmapVolume::NewExtent(size_t index) {
   return MapExtent(index, /*create=*/true);
@@ -167,27 +174,70 @@ Result<char*> MmapVolume::MapExtent(size_t index, bool create) {
 #endif
 }
 
-Status MmapVolume::WriteMeta() const {
+Status MmapVolume::RewriteCompactedMeta() {
 #if !STARFISH_HAVE_MMAP
   return Status::NotSupported("MmapVolume requires a POSIX mmap platform");
 #else
+  VolumeMetaState state;
+  state.options.page_size = page_size();
+  // Record the normalized extent size (pages_per_extent * page_size); the
+  // reopening constructor derives the identical geometry from it.
+  state.options.extent_bytes = static_cast<uint32_t>(extent_size_bytes());
+  SnapshotAllocator(&state.page_count, &state.freed);
+  std::string bytes;
+  AppendVolumeMetaHeader(&bytes, state.options);
+  AppendSnapshotRecord(&bytes, state);
+  STARFISH_RETURN_NOT_OK(WriteFileAtomic(MetaPath(), bytes));
+  last_checkpoint_ = std::move(state);
+  meta_on_disk_ = true;
+  meta_append_unsafe_ = false;  // the atomic replace healed any torn tail
+  return Status::OK();
+#endif
+}
+
+Status MmapVolume::CheckpointAllocator() {
+#if !STARFISH_HAVE_MMAP
+  return Status::NotSupported("MmapVolume requires a POSIX mmap platform");
+#else
+  if (!meta_on_disk_) return RewriteCompactedMeta();
+
   uint64_t pages = 0;
   std::vector<bool> freed;
   SnapshotAllocator(&pages, &freed);
-  std::string bytes;
-  PutFixed32(&bytes, kMetaMagic);
-  PutFixed32(&bytes, kMetaVersion);
-  PutFixed32(&bytes, page_size());
-  // Record the normalized extent size (pages_per_extent * page_size); the
-  // reopening constructor derives the identical geometry from it.
-  PutFixed32(&bytes, static_cast<uint32_t>(extent_size_bytes()));
-  PutFixed64(&bytes, pages);
-  std::string bitmap((pages + 7) / 8, '\0');
+  std::vector<PageId> newly_freed;
   for (uint64_t i = 0; i < pages; ++i) {
-    if (freed[i]) bitmap[i / 8] |= static_cast<char>(1 << (i % 8));
+    const bool was_freed =
+        i < last_checkpoint_.page_count && last_checkpoint_.freed[i];
+    if (freed[i] && !was_freed) {
+      newly_freed.push_back(static_cast<PageId>(i));
+    } else if (!freed[i] && was_freed) {
+      // Un-freeing only happens via ReconcileLive (reopen recovery); a
+      // delta cannot express it, so fold the journal into a snapshot.
+      return RewriteCompactedMeta();
+    }
   }
-  bytes += bitmap;
-  return WriteFileAtomic(MetaPath(), bytes);
+  if (pages == last_checkpoint_.page_count && newly_freed.empty()) {
+    return Status::OK();  // nothing moved since the last record
+  }
+  if (meta_append_unsafe_) {
+    // A previous append failed partway: the tail may hold torn bytes, and
+    // a fresh append would land BEYOND them, where replay never reaches.
+    // Only an atomic rewrite may touch the file now.
+    return RewriteCompactedMeta();
+  }
+  std::string record;
+  AppendDeltaRecord(&record, pages, newly_freed);
+  const Status appended = AppendFileDurable(MetaPath(), record);
+  if (!appended.ok()) {
+    // Heal the possibly-torn tail immediately (the compacted snapshot
+    // replaces the whole file atomically and supersedes the delta); if
+    // even that fails, the flag poisons appends until a rewrite succeeds.
+    meta_append_unsafe_ = true;
+    return RewriteCompactedMeta().ok() ? Status::OK() : appended;
+  }
+  last_checkpoint_.page_count = pages;
+  last_checkpoint_.freed = std::move(freed);
+  return Status::OK();
 #endif
 }
 
@@ -201,7 +251,7 @@ Status MmapVolume::Sync() {
       return Status::IOError(std::string("msync: ") + std::strerror(errno));
     }
   }
-  return WriteMeta();
+  return CheckpointAllocator();
 #endif
 }
 

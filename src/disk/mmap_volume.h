@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "disk/extent_volume.h"
+#include "disk/volume_meta.h"
 
 /// \file mmap_volume.h
 /// The persistent, memory-mapped disk volume.
@@ -12,7 +13,7 @@
 /// MmapVolume maps one real file per extent (default 4 MiB, see
 /// DiskOptions::extent_bytes) from a backing directory:
 ///
-///     <dir>/volume.meta      geometry + allocator state
+///     <dir>/volume.meta      geometry + allocator journal (volume_meta.h)
 ///     <dir>/extent_000000    page images of extent 0
 ///     <dir>/extent_000001    ...
 ///
@@ -22,9 +23,15 @@
 /// state. Mappings never move while the volume lives, giving the same
 /// zero-copy pointer guarantees as the in-memory backend.
 ///
-/// Metadata is rewritten by Sync() and by the destructor; a crash between
-/// Syncs can lose allocator metadata (not page bytes) — acceptable for an
-/// experiment volume, call Sync() at checkpoints that matter.
+/// Durability: Sync() msyncs every extent and appends a checksummed
+/// allocator delta to the volume.meta journal (the destructor does the same,
+/// best-effort). A crash can therefore only tear the journal's *tail*
+/// record — replay drops it and recovers the last durable allocator state;
+/// it can never corrupt the established state, and a checkpoint no longer
+/// rewrites metadata proportional to the volume size. Reopening also
+/// removes extent files beyond the recorded page count and zero-fills the
+/// unallocated tail of the last extent, so pages allocated by a crashed,
+/// never-synced run cannot leak stale bytes into future allocations.
 ///
 /// When reopening an existing volume the geometry recorded in volume.meta
 /// wins over the geometry passed to Open (a volume cannot change its page
@@ -46,7 +53,8 @@ class MmapVolume final : public ExtentVolume {
 
   VolumeKind kind() const override { return VolumeKind::kMmap; }
 
-  /// msync()s every extent and rewrites the metadata file.
+  /// msync()s every extent, then appends the allocator delta since the last
+  /// checkpoint to the volume.meta journal (fsync'd).
   Status Sync() override;
 
   /// Backing directory of this volume.
@@ -65,13 +73,36 @@ class MmapVolume final : public ExtentVolume {
   std::string ExtentPath(size_t index) const;
   std::string MetaPath() const;
 
-  Status WriteMeta() const;
+  /// Appends the allocator changes since `last_checkpoint_` to the journal
+  /// (creating it with a header + base snapshot on first use, or rewriting
+  /// it compacted when the state moved backwards, i.e. after
+  /// ReconcileLive). No-op when nothing changed.
+  Status CheckpointAllocator();
+
+  /// Atomically replaces the journal with a compacted header + snapshot of
+  /// the current allocator state.
+  Status RewriteCompactedMeta();
+
+  /// Removes extent files at or beyond `expected` (orphans of a crashed,
+  /// never-committed allocation) so a later re-allocation of their indices
+  /// starts from zero-filled images.
+  Status RemoveOrphanExtentFiles(size_t expected) const;
 
   std::string dir_;
   /// Mapped extent addresses for munmap. Grown only at open time and under
   /// the base class's allocator lock (NewExtent); Sync/destructor run on the
   /// writer side of the single-writer contract.
   std::vector<void*> mappings_;
+  /// Allocator state as of the last durable journal record; the next
+  /// checkpoint appends the delta against it.
+  VolumeMetaState last_checkpoint_;
+  /// True once volume.meta exists with a valid v2 header on disk.
+  bool meta_on_disk_ = false;
+  /// Set when an append failed partway (the tail may be torn): appending
+  /// past torn bytes would put records where replay never reaches, so
+  /// only an atomic compacted rewrite may touch the journal until one
+  /// succeeds.
+  bool meta_append_unsafe_ = false;
 };
 
 }  // namespace starfish

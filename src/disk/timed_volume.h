@@ -97,6 +97,9 @@ class TimedVolume final : public Volume {
     return inner_->PeekPage(id);
   }
   Status Sync() override { return inner_->Sync(); }
+  Status ReconcileLive(const std::vector<PageId>& live) override {
+    return inner_->ReconcileLive(live);
+  }
   IoStats stats() const override { return inner_->stats(); }
   void ResetStats() override {
     inner_->ResetStats();

@@ -148,6 +148,19 @@ class Volume {
   /// No-op for backends without persistence.
   virtual Status Sync() { return Status::OK(); }
 
+  /// Reopen-time allocator reconciliation: declares `live` (with possible
+  /// duplicates) to be EXACTLY the allocated pages; every other page at or
+  /// below page_count() becomes freed, and pages in `live` that a torn
+  /// checkpoint left marked freed become live again. The committed catalog
+  /// is the source of truth for what is referenced — this is how a store
+  /// falling back to an older catalog generation reclaims the orphans of an
+  /// uncommitted checkpoint. Only meaningful for allocator-backed volumes;
+  /// the base implementation rejects the call.
+  virtual Status ReconcileLive(const std::vector<PageId>& live) {
+    (void)live;
+    return Status::NotSupported("volume has no reconcilable allocator");
+  }
+
   /// Cumulative transfer counters (a snapshot of the volume's atomic
   /// meter; see AtomicIoStats on concurrent-read semantics).
   virtual IoStats stats() const = 0;

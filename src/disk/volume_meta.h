@@ -1,0 +1,94 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "disk/volume.h"
+#include "util/status.h"
+
+/// \file volume_meta.h
+/// The volume.meta allocator journal: encoding, decoding, replay.
+///
+/// volume.meta records the allocator state of a persistent volume — how many
+/// pages exist and which of them are freed. Since PR 4 it is an append-only
+/// journal rather than a rewritten snapshot, so a checkpoint appends a small
+/// delta instead of rewriting state proportional to the volume, and a crash
+/// mid-append can only tear the *tail* record, never the established state.
+///
+/// File layout (little-endian, see coding.h):
+///
+///   header:   u32 magic 'SFVM', u32 version (2), u32 page_size,
+///             u32 extent_bytes
+///   records:  u32 kind, u32 payload_len, payload, u32 crc32
+///
+/// where the CRC covers the record's kind/len/payload bytes. Record kinds:
+///
+///   kSnapshot (1): u64 page_count, ceil(page_count/8) bytes freed bitmap
+///                  (bit i of byte i/8 set = page i freed) — replaces the
+///                  running state.
+///   kDelta    (2): u64 new_page_count, u32 freed_count, freed_count * u32
+///                  newly freed page ids — extends the running state.
+///
+/// Replay applies records in order and stops at the first torn or corrupt
+/// record (short frame, bad checksum, implausible payload): everything
+/// before it is the durable allocator state, everything after never
+/// happened. The version-1 format (one unchecksummed snapshot, rewritten
+/// atomically per Sync) is still read for volumes written by older builds;
+/// the first checkpoint after reopen compacts them to version 2.
+///
+/// This module is shared by the writer (MmapVolume) and the offline
+/// verifier (sf_fsck), so both sides agree byte-for-byte on what a valid
+/// journal is.
+
+namespace starfish {
+
+/// Allocator state described by a volume.meta file.
+struct VolumeMetaState {
+  DiskOptions options;
+  uint64_t page_count = 0;
+  /// Index i set = page i freed. Sized to page_count.
+  std::vector<bool> freed;
+
+  uint64_t live_pages() const {
+    uint64_t live = page_count;
+    for (bool f : freed) {
+      if (f) --live;
+    }
+    return live;
+  }
+};
+
+/// Outcome of replaying a volume.meta file.
+struct VolumeMetaReplay {
+  VolumeMetaState state;
+  bool found = false;      ///< the file existed
+  bool legacy = false;     ///< version-1 single-snapshot format
+  bool torn_tail = false;  ///< a trailing record was dropped as torn/corrupt
+  uint32_t records = 0;    ///< valid records applied (0 for legacy)
+};
+
+/// Replays `path` into `*out`. A missing file is not an error (`found`
+/// stays false). A corrupt *header* is Corruption — treating it as absent
+/// would re-format a live volume; only tail records degrade gracefully.
+Status ReplayVolumeMeta(const std::string& path, VolumeMetaReplay* out);
+
+/// Appends the version-2 file header.
+void AppendVolumeMetaHeader(std::string* out, const DiskOptions& options);
+
+/// Appends a checksummed snapshot record of `state`.
+void AppendSnapshotRecord(std::string* out, const VolumeMetaState& state);
+
+/// Appends a checksummed delta record (page-count growth + newly freed ids).
+void AppendDeltaRecord(std::string* out, uint64_t new_page_count,
+                       const std::vector<PageId>& newly_freed);
+
+/// "extent_NNNNNN" — the file name (no directory) of extent `index`. The
+/// one definition shared by the mmap backend and sf_fsck, so both always
+/// agree on which files are extents.
+std::string ExtentFileName(size_t index);
+
+/// Parses an extent file name back into its index; false for anything
+/// else (including the legacy-free "catalog.*" and "volume.meta" names).
+bool ParseExtentFileName(const std::string& name, uint64_t* index);
+
+}  // namespace starfish

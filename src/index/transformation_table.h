@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -71,6 +72,14 @@ class TransformationTable {
 
   bool Contains(int64_t key) const { return map_.count(key) > 0; }
   size_t size() const { return map_.size(); }
+
+  /// Visits every registered (key, address) pair, in unspecified order.
+  /// Crash recovery walks this to collect the catalog's live addresses.
+  void ForEach(const std::function<void(int64_t, const Tid&)>& fn) const {
+    for (const auto& [key, addrs] : map_) {
+      for (const Tid& tid : addrs) fn(key, tid);
+    }
+  }
 
   /// Serializes the table for the persistent-store catalog.
   void SaveState(std::string* out) const {

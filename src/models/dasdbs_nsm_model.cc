@@ -87,6 +87,29 @@ Status DasdbsNsmModel::LoadState(std::string_view* in) {
   return table_.LoadState(in);
 }
 
+Status DasdbsNsmModel::CollectLiveTids(std::vector<Tid>* out) const {
+  for (int64_t key : key_of_ref_) {
+    if (key == kNoKey) continue;
+    auto tids_or = table_.Get(key);
+    if (!tids_or.ok()) {
+      // A ref'd key absent from the transformation table is catalog
+      // damage; a partial live set would make the scrub destructive.
+      return Status::Corruption("key " + std::to_string(key) +
+                                " has no transformation entry: " +
+                                tids_or.status().ToString());
+    }
+    const std::vector<Tid>& tids = tids_or.value();
+    for (PathId p = 0; p < tids.size() && p < stores_.size(); ++p) {
+      if (!tids[p].valid()) continue;
+      out->push_back(tids[p]);
+      STARFISH_ASSIGN_OR_RETURN(const Tid target,
+                                stores_[p]->ForwardTarget(tids[p]));
+      if (target.valid()) out->push_back(target);
+    }
+  }
+  return Status::OK();
+}
+
 Status DasdbsNsmModel::Insert(ObjectRef ref, const Tuple& object) {
   STARFISH_ASSIGN_OR_RETURN(ShreddedObject parts, decomp_.Shred(object));
   STARFISH_ASSIGN_OR_RETURN(int64_t key, KeyOf(object));

@@ -48,6 +48,7 @@ class DasdbsNsmModel : public StorageModel {
   uint64_t object_count() const override { return table_.size(); }
   Status SaveState(std::string* out) const override;
   Status LoadState(std::string_view* in) override;
+  Status CollectLiveTids(std::vector<Tid>* out) const override;
 
   const NsmDecomposition& decomposition() const { return decomp_; }
   Segment* segment(PathId path) { return segments_[path]; }

@@ -40,6 +40,16 @@ Status DirectModel::SaveState(std::string* out) const {
   return Status::OK();
 }
 
+Status DirectModel::CollectLiveTids(std::vector<Tid>* out) const {
+  for (const Tid& tid : address_of_) {
+    if (!tid.valid()) continue;
+    out->push_back(tid);
+    STARFISH_ASSIGN_OR_RETURN(const Tid target, store_.ForwardTarget(tid));
+    if (target.valid()) out->push_back(target);
+  }
+  return Status::OK();
+}
+
 Status DirectModel::LoadState(std::string_view* in) {
   uint64_t refs = 0;
   uint32_t pool_first = kInvalidPageId;

@@ -76,6 +76,7 @@ class DirectModel : public StorageModel {
   uint64_t object_count() const override { return live_count_; }
   Status SaveState(std::string* out) const override;
   Status LoadState(std::string_view* in) override;
+  Status CollectLiveTids(std::vector<Tid>* out) const override;
 
   /// Physical address of an object (for tests/calibration).
   Result<Tid> AddressOf(ObjectRef ref) const;

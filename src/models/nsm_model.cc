@@ -116,6 +116,47 @@ Status NsmModel::LoadState(std::string_view* in) {
   return Status::OK();
 }
 
+Status NsmModel::CollectLiveTids(std::vector<Tid>* out) const {
+  for (const Tid& tid : root_tid_of_ref_) {
+    if (!tid.valid()) continue;
+    out->push_back(tid);
+    STARFISH_ASSIGN_OR_RETURN(const Tid target,
+                              records_[kRootPath]->ForwardTarget(tid));
+    if (target.valid()) out->push_back(target);
+  }
+  for (PathId p = 0; p < index_.size(); ++p) {
+    Status status = Status::OK();
+    index_[p].ForEach([&](int64_t, const Tid& tid) {
+      if (!status.ok()) return;
+      out->push_back(tid);
+      auto target_or = records_[p]->ForwardTarget(tid);
+      if (!target_or.ok()) {
+        status = target_or.status();
+        return;
+      }
+      if (target_or.value().valid()) out->push_back(target_or.value());
+    });
+    STARFISH_RETURN_NOT_OK(status);
+  }
+  // Under persistent_index the child TIDs live exclusively in the trees
+  // (index_ stays empty) — walk them too, or the scrub would treat every
+  // child record as a phantom.
+  for (PathId p = 0; p < trees_.size(); ++p) {
+    if (trees_[p] == nullptr) continue;
+    STARFISH_RETURN_NOT_OK(trees_[p]->Scan([&](int64_t, uint64_t packed) {
+      const Tid tid = Tid::Unpack(packed);
+      if (tid.valid()) {
+        out->push_back(tid);
+        STARFISH_ASSIGN_OR_RETURN(const Tid target,
+                                  records_[p]->ForwardTarget(tid));
+        if (target.valid()) out->push_back(target);
+      }
+      return Status::OK();
+    }));
+  }
+  return Status::OK();
+}
+
 Result<int64_t> NsmModel::RefToKey(ObjectRef ref) const {
   if (ref >= key_of_ref_.size() || key_of_ref_[ref] == kNoKey) {
     return Status::NotFound("no object with ref " + std::to_string(ref));

@@ -71,6 +71,7 @@ class NsmModel : public StorageModel {
   uint64_t object_count() const override { return live_count_; }
   Status SaveState(std::string* out) const override;
   Status LoadState(std::string_view* in) override;
+  Status CollectLiveTids(std::vector<Tid>* out) const override;
 
   /// The decomposition in use (tests/calibration).
   const NsmDecomposition& decomposition() const { return decomp_; }

@@ -137,6 +137,15 @@ class StorageModel {
   /// engine. The model must be freshly created (no objects inserted).
   virtual Status LoadState(std::string_view* in) = 0;
 
+  /// Every record address (TID) the model's restored state considers live,
+  /// forwarding targets included. Crash recovery scrubs shared slotted
+  /// pages down to exactly this set: records a torn checkpoint persisted
+  /// but never committed must not reappear as phantoms in scans, and the
+  /// recomputed free space must not lie to future inserts. MUST fail
+  /// rather than return a partial set — a truncated set would make the
+  /// scrub delete live records as phantoms.
+  virtual Status CollectLiveTids(std::vector<Tid>* out) const = 0;
+
  protected:
   explicit StorageModel(ModelConfig config) : config_(std::move(config)) {}
 

@@ -148,6 +148,15 @@ class ComplexRecordStore {
   PageId pool_first() const { return pool_first_; }
   void set_pool_first(PageId id) { pool_first_ = id; }
 
+  /// Forwarded copy of a small record's home slot, kInvalidTid when `home`
+  /// is large or plain; errors propagate (crash recovery: the forwarded
+  /// copy of a live record must survive the slotted-page scrub, so an I/O
+  /// failure must abort the scrub, not read as "no stub").
+  Result<Tid> ForwardTarget(const Tid& home) const {
+    if (home.is_complex()) return kInvalidTid;
+    return records_.ForwardTarget(home);
+  }
+
  private:
   struct DirEntry {
     uint32_t tag = 0;

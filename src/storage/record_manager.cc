@@ -73,6 +73,19 @@ Result<std::string> RecordManager::Read(const Tid& tid) const {
   return std::string(framed.substr(1));
 }
 
+Result<Tid> RecordManager::ForwardTarget(const Tid& home) const {
+  STARFISH_ASSIGN_OR_RETURN(PageGuard guard,
+                            segment_->buffer()->Fix(home.page));
+  SlottedPage view(guard.data(), segment_->buffer()->disk()->page_size());
+  auto framed_or = view.Read(home.slot);
+  if (!framed_or.ok()) return kInvalidTid;  // empty slot: no stub to follow
+  const std::string_view framed = framed_or.value();
+  if (framed.size() != kStubSize || framed[0] != kForwardStub) {
+    return kInvalidTid;
+  }
+  return Tid::Unpack(DecodeFixed64(framed.data() + 1));
+}
+
 Status RecordManager::Update(const Tid& tid, std::string_view record) {
   if (record.size() > MaxRecordSize()) {
     return Status::InvalidArgument("updated record too large");

@@ -50,6 +50,14 @@ class RecordManager {
   Status ForEachOnPage(PageId page,
                        const std::function<Status(Tid, std::string_view)>& fn) const;
 
+  /// When `home` holds a forwarding stub, the TID of the moved payload;
+  /// kInvalidTid for a plain record or an empty slot. An unreadable page
+  /// is an ERROR, not "no stub" — crash recovery uses this to keep a live
+  /// record's forwarded copy when scrubbing un-cataloged slots, and
+  /// mistaking an I/O failure for "plain" would let the scrub delete the
+  /// moved payload.
+  Result<Tid> ForwardTarget(const Tid& home) const;
+
   Segment* segment() { return segment_; }
 
  private:

@@ -1,5 +1,7 @@
 #include "storage/storage_engine.h"
 
+#include <unordered_set>
+
 #include "disk/mem_volume.h"
 #include "util/coding.h"
 
@@ -15,6 +17,9 @@ StorageEngine::StorageEngine(StorageEngineOptions options)
     // failure; Open() turns this into a proper error.
     init_status_ = volume_or.status();
     volume_ = std::make_unique<MemVolume>(options_.disk);
+  }
+  if (options_.volume_decorator) {
+    volume_ = options_.volume_decorator(std::move(volume_));
   }
   if (options_.timed) {
     auto timed = std::make_unique<TimedVolume>(std::move(volume_),
@@ -59,6 +64,47 @@ std::vector<Segment*> StorageEngine::segments() {
   out.reserve(segments_.size());
   for (const auto& segment : segments_) out.push_back(segment.get());
   return out;
+}
+
+std::vector<PageId> StorageEngine::AllSegmentPages() const {
+  std::vector<PageId> out;
+  for (const auto& segment : segments_) {
+    out.insert(out.end(), segment->pages().begin(), segment->pages().end());
+  }
+  return out;
+}
+
+Status StorageEngine::ScrubSlottedRecords(const std::vector<Tid>& live) {
+  std::unordered_set<uint64_t> keep;
+  keep.reserve(live.size());
+  for (const Tid& tid : live) keep.insert(tid.Pack());
+
+  const uint32_t page_size = volume_->page_size();
+  for (const auto& segment : segments_) {
+    for (PageId page : segment->pages()) {
+      if (segment->TypeHint(page) != PageType::kSlotted) continue;
+      STARFISH_ASSIGN_OR_RETURN(PageGuard guard, buffer_->Fix(page));
+      SlottedPage view(guard.data(), page_size);
+      if (!view.IsFormatted()) {
+        return Status::Corruption("cataloged slotted page " +
+                                  std::to_string(page) +
+                                  " has no formatted header");
+      }
+      bool scrubbed = false;
+      const uint16_t slots = view.slot_count();
+      for (uint16_t slot = 0; slot < slots; ++slot) {
+        if (!view.Read(slot).ok()) continue;  // already empty
+        if (keep.count(Tid{page, slot}.Pack()) > 0) continue;
+        STARFISH_RETURN_NOT_OK(view.Delete(slot));
+        scrubbed = true;
+      }
+      if (scrubbed) guard.MarkDirty();
+      // Recompute the hint from the actual content either way: a fallback
+      // can also leave hints claiming MORE space than the page has.
+      segment->SetFreeHint(page, view.FreeSpaceForNewRecord());
+    }
+  }
+  return Status::OK();
 }
 
 EngineStats StorageEngine::stats() const {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -11,6 +12,7 @@
 #include "disk/timed_volume.h"
 #include "disk/volume.h"
 #include "storage/segment.h"
+#include "storage/tid.h"
 #include "util/status.h"
 
 /// \file storage_engine.h
@@ -41,6 +43,12 @@ struct StorageEngineOptions {
 
   /// Equation-1 coefficients of the timed wrapper.
   LinearTimingModel timing;
+
+  /// Test seam: wraps the freshly created backend before the timing
+  /// decorator and the buffer pool attach — how the crash-matrix tests
+  /// interpose a FaultVolume. Null = no wrapping.
+  std::function<std::unique_ptr<Volume>(std::unique_ptr<Volume>)>
+      volume_decorator;
 };
 
 /// Combined counter snapshot used by the benchmark runner to delta-measure
@@ -113,6 +121,30 @@ class StorageEngine {
   /// `*in`. Existing segments with matching names are overwritten; the
   /// engine must otherwise be fresh.
   Status LoadCatalog(std::string_view* in);
+
+  /// Every page of every segment (duplicates possible across calls, not
+  /// within a segment) — the reference set a reopen reconciles the volume
+  /// allocator against: catalog-referenced pages are live, everything else
+  /// is reclaimable.
+  std::vector<PageId> AllSegmentPages() const;
+
+  /// Reopen-time recovery over shared slotted pages: deletes every record
+  /// whose (page, slot) is not in `live` and recomputes the free-space
+  /// hints from the actual page content. Data pages are written in place
+  /// between checkpoints, so after a crash (or a checksum fallback to an
+  /// older generation) a cataloged page can hold records NEWER than the
+  /// committed catalog — phantoms that scans would surface and stale hints
+  /// that would lie to inserts. The committed model state (`live`) is the
+  /// source of truth; everything else on a slotted page is scrubbed.
+  ///
+  /// Slotted pages are the only page class needing reconstruction:
+  /// complex-record pages are never shared across objects (an uncommitted
+  /// record's pages are whole-page orphans that allocator reconciliation
+  /// reclaims), pool pages carry change-attribute values whose in-place
+  /// rewrite is the documented update caveat (README "Durability"), and no
+  /// factory storage model persists B+-tree nodes (persistent_index is an
+  /// ablation-only option) — revisit if that ever changes.
+  Status ScrubSlottedRecords(const std::vector<Tid>& live);
 
  private:
   StorageEngineOptions options_;

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+/// \file crc32.h
+/// CRC-32 (the IEEE 802.3 polynomial, reflected) over byte ranges.
+///
+/// The durability metadata writers append a CRC-32 to everything whose loss
+/// must be *detected* rather than tolerated: each catalog generation file
+/// and each record of the volume.meta allocator journal. A torn write, a
+/// truncation or a flipped byte then turns into a checksum mismatch that the
+/// reader converts into "fall back to the previous consistent state" instead
+/// of parsing garbage.
+///
+/// Table-driven, one byte at a time — these blobs are checkpoint-rate
+/// metadata of a few KiB, not a data path worth SIMD.
+
+namespace starfish {
+
+namespace crc32_internal {
+
+inline const uint32_t* Table() {
+  static const auto* table = [] {
+    auto* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace crc32_internal
+
+/// CRC-32 of `data`, optionally continuing from a previous value (pass the
+/// previous return value as `seed` to checksum split buffers).
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  const uint32_t* table = crc32_internal::Table();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace starfish

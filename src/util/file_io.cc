@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
 #include <unistd.h>
 #define STARFISH_HAVE_FSYNC 1
 #endif
@@ -31,6 +32,22 @@ Status ReadFileToString(const std::string& path, std::string* out,
   return Status::OK();
 }
 
+Status SyncDir(const std::string& dir) {
+#if STARFISH_HAVE_FSYNC
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("open dir " + dir + ": " + std::strerror(errno));
+  }
+  const bool ok = ::fsync(fd) == 0;
+  const std::string err = ok ? "" : std::strerror(errno);
+  ::close(fd);
+  if (!ok) return Status::IOError("fsync dir " + dir + ": " + err);
+#else
+  (void)dir;
+#endif
+  return Status::OK();
+}
+
 Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
@@ -48,6 +65,25 @@ Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) return Status::IOError("rename " + tmp + ": " + ec.message());
+  // ... and the rename itself only commits once the directory entry is on
+  // disk. The parent of the rename target is its own dirname.
+  const std::string parent =
+      std::filesystem::path(path).parent_path().string();
+  return SyncDir(parent.empty() ? "." : parent);
+}
+
+Status AppendFileDurable(const std::string& path, std::string_view bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
+            std::fflush(f) == 0;
+#if STARFISH_HAVE_FSYNC
+  ok = ok && ::fsync(::fileno(f)) == 0;
+#endif
+  std::fclose(f);
+  if (!ok) return Status::IOError("append " + path);
   return Status::OK();
 }
 

@@ -7,7 +7,8 @@
 
 /// \file file_io.h
 /// Small-file helpers shared by the persistence metadata writers
-/// (MmapVolume's volume.meta, ComplexObjectStore's catalog.sf).
+/// (MmapVolume's volume.meta journal, ComplexObjectStore's catalog
+/// generations and CURRENT pointer).
 
 namespace starfish {
 
@@ -18,8 +19,21 @@ namespace starfish {
 Status ReadFileToString(const std::string& path, std::string* out,
                         bool* found);
 
-/// Durably replaces `path` with `bytes`: writes `path`.tmp, fsyncs it, then
-/// renames over `path` (the rename is the commit point).
+/// fsyncs the directory itself, making previously renamed/created entries
+/// durable. A rename is only a crash-safe commit point once the directory
+/// holding it has been synced — without this, a power loss can roll back
+/// the rename even though the file's own bytes were fsynced.
+Status SyncDir(const std::string& dir);
+
+/// Durably replaces `path` with `bytes`: writes `path`.tmp, fsyncs it,
+/// renames over `path`, then fsyncs the parent directory so the rename
+/// itself survives power loss. The rename is the commit point.
 Status WriteFileAtomic(const std::string& path, std::string_view bytes);
+
+/// Appends `bytes` to `path` (creating it if absent) and fsyncs the file.
+/// Used for the allocator journal: the append is NOT atomic — a crash can
+/// leave a torn tail record, which is why every journal record carries its
+/// own checksum and the replayer drops a corrupt tail.
+Status AppendFileDurable(const std::string& path, std::string_view bytes);
 
 }  // namespace starfish

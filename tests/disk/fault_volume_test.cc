@@ -1,0 +1,225 @@
+// FaultVolume-specific behaviour: fault injection, torn writes, write
+// buffering and simulated power loss. Transparent-passthrough conformance
+// (faults disabled) runs in the backend-parameterized suite in
+// volume_test.cc.
+
+#include "disk/fault_volume.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "disk/mem_volume.h"
+#include "disk/mmap_volume.h"
+
+namespace starfish {
+namespace {
+
+DiskOptions TinyExtents() {
+  DiskOptions o;
+  o.page_size = 256;
+  o.extent_bytes = 1024;  // 4 pages per extent
+  return o;
+}
+
+std::vector<char> Pattern(uint32_t page_size, char fill) {
+  return std::vector<char>(page_size, fill);
+}
+
+TEST(FaultVolumeTest, PassthroughSharesPointersAndStats) {
+  auto inner = std::make_unique<MemVolume>(TinyExtents());
+  MemVolume* raw = inner.get();
+  FaultVolume fault(std::move(inner));
+  const PageId first = fault.AllocateRun(4).value();
+  auto data = Pattern(fault.page_size(), 'p');
+  ASSERT_TRUE(fault.WriteRun(first, 1, data.data()).ok());
+  // Identical zero-copy pointers: the decorator adds no staging layer.
+  EXPECT_EQ(fault.PeekPage(first), raw->PeekPage(first));
+  std::vector<const char*> views;
+  ASSERT_TRUE(fault.ReadRunZeroCopy(first, 4, &views).ok());
+  EXPECT_EQ(views[0], raw->PeekPage(first));
+  // Identical accounting: every transfer reached the backend's meter.
+  const IoStats outer = fault.stats();
+  const IoStats inner_stats = raw->stats();
+  EXPECT_EQ(outer.pages_read, inner_stats.pages_read);
+  EXPECT_EQ(outer.pages_written, inner_stats.pages_written);
+  EXPECT_EQ(outer.read_calls, inner_stats.read_calls);
+  EXPECT_EQ(outer.write_calls, inner_stats.write_calls);
+}
+
+TEST(FaultVolumeTest, FailsExactlyTheArmedWriteCall) {
+  FaultVolume fault(std::make_unique<MemVolume>(TinyExtents()));
+  const PageId first = fault.AllocateRun(8).value();
+  auto data = Pattern(fault.page_size(), 'w');
+  FaultPlan plan;
+  plan.fail_write_call = 3;
+  fault.SetPlan(plan);
+  EXPECT_TRUE(fault.WriteRun(first, 1, data.data()).ok());
+  EXPECT_TRUE(fault.WriteRun(first + 1, 1, data.data()).ok());
+  EXPECT_TRUE(fault.WriteRun(first + 2, 1, data.data()).IsIOError());
+  EXPECT_EQ(fault.faults_fired(), 1u);
+  // One-shot: the next write works again (the plan names call 3 only).
+  EXPECT_TRUE(fault.WriteRun(first + 3, 1, data.data()).ok());
+  EXPECT_EQ(fault.write_calls_seen(), 4u);
+  // The failed write transferred nothing (torn_pages = 0).
+  EXPECT_EQ(fault.PeekPage(first + 2)[0], '\0');
+}
+
+TEST(FaultVolumeTest, TornWriteAppliesPrefixOnly) {
+  FaultVolume fault(std::make_unique<MemVolume>(TinyExtents()));
+  const PageId first = fault.AllocateRun(6).value();
+  std::vector<char> data(4 * fault.page_size());
+  for (uint32_t i = 0; i < 4; ++i) {
+    std::fill_n(data.begin() + i * fault.page_size(), fault.page_size(),
+                static_cast<char>('0' + i));
+  }
+  FaultPlan plan;
+  plan.fail_write_call = 1;
+  plan.torn_pages = 2;
+  fault.SetPlan(plan);
+  EXPECT_TRUE(fault.WriteRun(first, 4, data.data()).IsIOError());
+  EXPECT_EQ(fault.PeekPage(first)[0], '0');
+  EXPECT_EQ(fault.PeekPage(first + 1)[0], '1');
+  EXPECT_EQ(fault.PeekPage(first + 2)[0], '\0');  // never transferred
+  EXPECT_EQ(fault.PeekPage(first + 3)[0], '\0');
+}
+
+TEST(FaultVolumeTest, SyncFaultFiresBeforeBackend) {
+  FaultVolume fault(std::make_unique<MemVolume>(TinyExtents()));
+  FaultPlan plan;
+  plan.fail_sync_call = 2;
+  fault.SetPlan(plan);
+  EXPECT_TRUE(fault.Sync().ok());
+  EXPECT_TRUE(fault.Sync().IsIOError());
+  EXPECT_TRUE(fault.Sync().ok());
+  EXPECT_EQ(fault.sync_calls_seen(), 3u);
+  EXPECT_EQ(fault.faults_fired(), 1u);
+}
+
+TEST(FaultVolumeTest, BufferedWritesVisibleThroughEveryReadPath) {
+  FaultVolumeOptions options;
+  options.buffer_unsynced_writes = true;
+  FaultVolume fault(std::make_unique<MemVolume>(TinyExtents()), options);
+  const PageId first = fault.AllocateRun(6).value();
+  auto data = Pattern(fault.page_size(), 'B');
+  ASSERT_TRUE(fault.WriteRun(first + 1, 1, data.data()).ok());
+  std::vector<char> buf(2 * fault.page_size());
+  ASSERT_TRUE(fault.ReadRun(first, 2, buf.data()).ok());
+  EXPECT_EQ(buf[0], '\0');
+  EXPECT_EQ(buf[fault.page_size()], 'B');
+  std::vector<const char*> views;
+  ASSERT_TRUE(fault.ReadRunZeroCopy(first, 2, &views).ok());
+  EXPECT_EQ(views[1][0], 'B');
+  ASSERT_TRUE(fault.ReadChainedZeroCopy({first + 1, first}, &views).ok());
+  EXPECT_EQ(views[0][0], 'B');
+  EXPECT_EQ(fault.PeekPage(first + 1)[0], 'B');
+  // Write accounting still meters (locally; the backend never saw it).
+  EXPECT_EQ(fault.stats().write_calls, 1u);
+  EXPECT_EQ(fault.stats().pages_written, 1u);
+}
+
+TEST(FaultVolumeTest, PowerLossDropsUnsyncedWritesOnMmap) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "starfish_fault_powerloss")
+          .string();
+  std::filesystem::remove_all(dir);
+  {
+    FaultVolumeOptions options;
+    options.buffer_unsynced_writes = true;
+    FaultVolume fault(
+        std::move(MmapVolume::Open(dir, TinyExtents()).value()), options);
+    const PageId first = fault.AllocateRun(4).value();
+    auto synced = Pattern(fault.page_size(), 'S');
+    ASSERT_TRUE(fault.WriteRun(first, 1, synced.data()).ok());
+    ASSERT_TRUE(fault.Sync().ok());
+    auto lost = Pattern(fault.page_size(), 'L');
+    ASSERT_TRUE(fault.WriteRun(first + 1, 1, lost.data()).ok());
+    // The running store still reads its own un-synced write back...
+    std::vector<char> buf(fault.page_size());
+    ASSERT_TRUE(fault.ReadRun(first + 1, 1, buf.data()).ok());
+    EXPECT_EQ(buf[0], 'L');
+    fault.SimulatePowerLoss();
+    // ...but the dead machine serves nothing.
+    EXPECT_TRUE(fault.ReadRun(first, 1, buf.data()).IsIOError());
+    EXPECT_TRUE(fault.WriteRun(first, 1, buf.data()).IsIOError());
+    EXPECT_TRUE(fault.Sync().IsIOError());
+    EXPECT_EQ(fault.PeekPage(first), nullptr);
+  }  // inner MmapVolume destructor appends allocator metadata, as a crashed
+     // kernel would have already persisted the allocation (file creation)
+
+  // The reopened directory holds exactly the synced state.
+  auto reopened = MmapVolume::Open(dir).value();
+  std::vector<char> buf(reopened->page_size());
+  ASSERT_TRUE(reopened->ReadRun(0, 1, buf.data()).ok());
+  EXPECT_EQ(buf[0], 'S');
+  ASSERT_TRUE(reopened->ReadRun(1, 1, buf.data()).ok());
+  EXPECT_EQ(buf[0], '\0');  // the un-synced 'L' write is gone
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FaultVolumeTest, TornPrefixSurvivesPowerLossWhenBuffered) {
+  FaultVolumeOptions options;
+  options.buffer_unsynced_writes = true;
+  auto inner = std::make_unique<MemVolume>(TinyExtents());
+  MemVolume* raw = inner.get();
+  FaultVolume fault(std::move(inner), options);
+  const PageId first = fault.AllocateRun(4).value();
+  std::vector<char> data(3 * fault.page_size(), 'T');
+  FaultPlan plan;
+  plan.fail_write_call = 1;
+  plan.torn_pages = 1;
+  plan.power_loss_on_fault = true;
+  fault.SetPlan(plan);
+  EXPECT_TRUE(fault.WriteRun(first, 3, data.data()).IsIOError());
+  EXPECT_TRUE(fault.down());
+  // The torn prefix bypassed the volatile cache and hit the medium; the
+  // remaining pages never existed anywhere.
+  EXPECT_EQ(raw->PeekPage(first)[0], 'T');
+  EXPECT_EQ(raw->PeekPage(first + 1)[0], '\0');
+  EXPECT_EQ(raw->PeekPage(first + 2)[0], '\0');
+}
+
+TEST(FaultVolumeTest, SyncAppliesBufferedWritesWithoutDoubleMetering) {
+  FaultVolumeOptions options;
+  options.buffer_unsynced_writes = true;
+  auto inner = std::make_unique<MemVolume>(TinyExtents());
+  MemVolume* raw = inner.get();
+  FaultVolume fault(std::move(inner), options);
+  const PageId first = fault.AllocateRun(2).value();
+  std::vector<char> data(2 * fault.page_size(), 'D');
+  ASSERT_TRUE(fault.WriteRun(first, 2, data.data()).ok());
+  EXPECT_EQ(raw->PeekPage(first)[0], '\0');  // still only in the cache
+  ASSERT_TRUE(fault.Sync().ok());
+  EXPECT_EQ(raw->PeekPage(first)[0], 'D');  // flushed to the medium
+  EXPECT_EQ(raw->PeekPage(first + 1)[0], 'D');
+  // One write call, two page writes — the cache flush is not a transfer.
+  EXPECT_EQ(fault.stats().write_calls, 1u);
+  EXPECT_EQ(fault.stats().pages_written, 2u);
+  // Reads after the flush still serve correct bytes.
+  std::vector<char> buf(fault.page_size());
+  ASSERT_TRUE(fault.ReadRun(first, 1, buf.data()).ok());
+  EXPECT_EQ(buf[0], 'D');
+}
+
+TEST(FaultVolumeTest, ReviveRestoresServiceWithoutLostWrites) {
+  FaultVolumeOptions options;
+  options.buffer_unsynced_writes = true;
+  FaultVolume fault(std::make_unique<MemVolume>(TinyExtents()), options);
+  const PageId first = fault.AllocateRun(2).value();
+  auto data = Pattern(fault.page_size(), 'R');
+  ASSERT_TRUE(fault.WriteRun(first, 1, data.data()).ok());
+  fault.SimulatePowerLoss();
+  fault.Revive();
+  std::vector<char> buf(fault.page_size());
+  ASSERT_TRUE(fault.ReadRun(first, 1, buf.data()).ok());
+  EXPECT_EQ(buf[0], '\0');  // the un-synced write stayed lost
+  ASSERT_TRUE(fault.WriteRun(first, 1, data.data()).ok());
+  ASSERT_TRUE(fault.ReadRun(first, 1, buf.data()).ok());
+  EXPECT_EQ(buf[0], 'R');
+}
+
+}  // namespace
+}  // namespace starfish

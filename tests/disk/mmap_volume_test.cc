@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <string>
 #include <vector>
+
+#include "disk/volume_meta.h"
 
 namespace starfish {
 namespace {
@@ -112,6 +115,199 @@ TEST_F(MmapVolumeTest, MissingExtentFileIsCorruption) {
   }
   std::filesystem::remove(dir_ + "/extent_000001");
   EXPECT_FALSE(MmapVolume::Open(dir_).ok());
+}
+
+// --- allocator journal (volume.meta v2) -----------------------------------
+
+TEST_F(MmapVolumeTest, SyncAppendsDeltasInsteadOfRewriting) {
+  auto disk = MmapVolume::Open(dir_, TinyExtents()).value();
+  ASSERT_TRUE(disk->AllocateRun(2).ok());
+  ASSERT_TRUE(disk->Sync().ok());
+  const auto size_after_first = std::filesystem::file_size(dir_ + "/volume.meta");
+  ASSERT_TRUE(disk->AllocateRun(2).ok());
+  ASSERT_TRUE(disk->Free(2).ok());
+  ASSERT_TRUE(disk->Sync().ok());
+  // The journal grew by one small delta record; nothing was rewritten.
+  const auto size_after_second =
+      std::filesystem::file_size(dir_ + "/volume.meta");
+  EXPECT_GT(size_after_second, size_after_first);
+  EXPECT_LE(size_after_second, size_after_first + 64);
+  // A no-change Sync appends nothing.
+  ASSERT_TRUE(disk->Sync().ok());
+  EXPECT_EQ(std::filesystem::file_size(dir_ + "/volume.meta"),
+            size_after_second);
+  // Replay sees the full state.
+  VolumeMetaReplay replay;
+  ASSERT_TRUE(ReplayVolumeMeta(dir_ + "/volume.meta", &replay).ok());
+  EXPECT_EQ(replay.state.page_count, 4u);
+  EXPECT_TRUE(replay.state.freed[2]);
+  EXPECT_FALSE(replay.torn_tail);
+}
+
+TEST_F(MmapVolumeTest, TornJournalTailRecoversLastDurableState) {
+  {
+    auto disk = MmapVolume::Open(dir_, TinyExtents()).value();
+    ASSERT_TRUE(disk->AllocateRun(3).ok());
+    ASSERT_TRUE(disk->Sync().ok());
+    ASSERT_TRUE(disk->AllocateRun(2).ok());
+    ASSERT_TRUE(disk->Free(0).ok());
+    ASSERT_TRUE(disk->Sync().ok());  // appends the 5-page / freed-0 delta
+  }
+  // Tear the tail record mid-append, as a crash during fwrite would.
+  const auto full = std::filesystem::file_size(dir_ + "/volume.meta");
+  std::filesystem::resize_file(dir_ + "/volume.meta", full - 5);
+
+  VolumeMetaReplay replay;
+  ASSERT_TRUE(ReplayVolumeMeta(dir_ + "/volume.meta", &replay).ok());
+  EXPECT_TRUE(replay.torn_tail);
+  EXPECT_EQ(replay.state.page_count, 3u);  // the first durable state
+  EXPECT_EQ(replay.state.live_pages(), 3u);
+
+  // Reopen recovers it, compacts the journal, and keeps appending cleanly.
+  {
+    auto disk = MmapVolume::Open(dir_).value();
+    EXPECT_EQ(disk->page_count(), 3u);
+    EXPECT_EQ(disk->live_page_count(), 3u);
+    ASSERT_TRUE(disk->Allocate().ok());
+    ASSERT_TRUE(disk->Sync().ok());
+  }
+  ASSERT_TRUE(ReplayVolumeMeta(dir_ + "/volume.meta", &replay).ok());
+  EXPECT_FALSE(replay.torn_tail);
+  EXPECT_EQ(replay.state.page_count, 4u);
+}
+
+TEST_F(MmapVolumeTest, CorruptJournalRecordDropsOnlyTheTail) {
+  {
+    auto disk = MmapVolume::Open(dir_, TinyExtents()).value();
+    ASSERT_TRUE(disk->AllocateRun(2).ok());
+    ASSERT_TRUE(disk->Sync().ok());
+    ASSERT_TRUE(disk->AllocateRun(1).ok());
+    ASSERT_TRUE(disk->Sync().ok());
+  }
+  // Flip one byte inside the LAST record: its checksum must reject it.
+  const auto size = std::filesystem::file_size(dir_ + "/volume.meta");
+  std::FILE* f = std::fopen((dir_ + "/volume.meta").c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(size) - 6, SEEK_SET), 0);
+  int c = std::fgetc(f);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(size) - 6, SEEK_SET), 0);
+  std::fputc(c ^ 0x5A, f);
+  std::fclose(f);
+
+  VolumeMetaReplay replay;
+  ASSERT_TRUE(ReplayVolumeMeta(dir_ + "/volume.meta", &replay).ok());
+  EXPECT_TRUE(replay.torn_tail);
+  EXPECT_EQ(replay.state.page_count, 2u);  // second delta discarded
+}
+
+TEST_F(MmapVolumeTest, FailedJournalAppendHealsViaCompactedRewrite) {
+  auto disk = MmapVolume::Open(dir_, TinyExtents()).value();
+  ASSERT_TRUE(disk->AllocateRun(2).ok());
+  ASSERT_TRUE(disk->Sync().ok());
+  // Block the journal: a directory squatting on its name fails both the
+  // append and the atomic rewrite (running as root, chmod is no barrier).
+  std::filesystem::remove(dir_ + "/volume.meta");
+  std::filesystem::create_directory(dir_ + "/volume.meta");
+  ASSERT_TRUE(disk->AllocateRun(2).ok());
+  EXPECT_FALSE(disk->Sync().ok());
+  // Unblock. Appending now would be unsafe (the tail may be torn), so the
+  // next checkpoint must atomically rewrite the compacted snapshot.
+  std::filesystem::remove(dir_ + "/volume.meta");
+  ASSERT_TRUE(disk->Sync().ok());
+  VolumeMetaReplay replay;
+  ASSERT_TRUE(ReplayVolumeMeta(dir_ + "/volume.meta", &replay).ok());
+  EXPECT_EQ(replay.records, 1u);  // one snapshot, no blind append
+  EXPECT_EQ(replay.state.page_count, 4u);
+  EXPECT_FALSE(replay.torn_tail);
+}
+
+TEST_F(MmapVolumeTest, CorruptJournalHeaderIsCorruptionNotFreshVolume) {
+  { auto disk = MmapVolume::Open(dir_, TinyExtents()).value(); }
+  std::FILE* f = std::fopen((dir_ + "/volume.meta").c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fputc('X', f);  // clobber the magic
+  std::fclose(f);
+  EXPECT_TRUE(MmapVolume::Open(dir_).status().IsCorruption());
+}
+
+// --- reopen hardening after a simulated crash -----------------------------
+
+TEST_F(MmapVolumeTest, ReopenRemovesExtentFilesBeyondDurablePageCount) {
+  {
+    auto disk = MmapVolume::Open(dir_, TinyExtents()).value();
+    ASSERT_TRUE(disk->AllocateRun(4).ok());  // exactly extent 0
+    ASSERT_TRUE(disk->Sync().ok());
+  }
+  // A crashed run allocated further extents (the files exist, full of that
+  // run's bytes) but never journaled the allocation.
+  for (const char* name : {"/extent_000001", "/extent_000002"}) {
+    std::FILE* f = std::fopen((dir_ + name).c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::vector<char> garbage(1024, 'G');
+    std::fwrite(garbage.data(), 1, garbage.size(), f);
+    std::fclose(f);
+  }
+
+  auto disk = MmapVolume::Open(dir_).value();
+  EXPECT_EQ(disk->page_count(), 4u);
+  // The orphan extent files are gone; re-allocating their range hands out
+  // zero-filled pages, not the crashed run's bytes.
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/extent_000001"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/extent_000002"));
+  ASSERT_TRUE(disk->AllocateRun(8).ok());
+  std::vector<char> buf(disk->page_size());
+  ASSERT_TRUE(disk->ReadRun(5, 1, buf.data()).ok());
+  EXPECT_EQ(buf[0], '\0');
+}
+
+TEST_F(MmapVolumeTest, ReopenZeroesUnallocatedTailOfLastExtent) {
+  {
+    auto disk = MmapVolume::Open(dir_, TinyExtents()).value();
+    ASSERT_TRUE(disk->AllocateRun(6).ok());  // extent 1 half-used
+    std::vector<char> data(disk->page_size(), 'Z');
+    ASSERT_TRUE(disk->WriteRun(5, 1, data.data()).ok());
+    ASSERT_TRUE(disk->Sync().ok());
+    // Crash-era write into page 6 (allocated but never journaled): poke the
+    // extent file directly, as a dying kernel flushing page cache might.
+  }
+  {
+    std::FILE* f = std::fopen((dir_ + "/extent_000001").c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 2 * 256, SEEK_SET);  // page 6 = third page of extent 1
+    std::fputc('!', f);
+    std::fclose(f);
+  }
+  auto disk = MmapVolume::Open(dir_).value();
+  EXPECT_EQ(disk->page_count(), 6u);
+  ASSERT_TRUE(disk->Allocate().ok());  // hands out page 6 again
+  std::vector<char> buf(disk->page_size());
+  ASSERT_TRUE(disk->ReadRun(6, 1, buf.data()).ok());
+  EXPECT_EQ(buf[0], '\0');  // the crashed run's byte is gone
+  ASSERT_TRUE(disk->ReadRun(5, 1, buf.data()).ok());
+  EXPECT_EQ(buf[0], 'Z');  // durable pages untouched
+}
+
+TEST_F(MmapVolumeTest, ReconcileLiveRevivesAndReclaims) {
+  auto disk = MmapVolume::Open(dir_, TinyExtents()).value();
+  ASSERT_TRUE(disk->AllocateRun(6).ok());
+  ASSERT_TRUE(disk->Free(1).ok());
+  ASSERT_TRUE(disk->Free(4).ok());
+  EXPECT_EQ(disk->live_page_count(), 4u);
+  // The committed catalog says: 0, 1, 3 are live (1 was freed by an
+  // uncommitted checkpoint — revive it; 2 and 5 are orphans — reclaim).
+  ASSERT_TRUE(disk->ReconcileLive({0, 1, 3, 3}).ok());  // dupes tolerated
+  EXPECT_EQ(disk->live_page_count(), 3u);
+  EXPECT_TRUE(disk->Free(1).ok());               // live again -> freeable
+  EXPECT_TRUE(disk->Free(2).IsInvalidArgument()); // already reclaimed
+  EXPECT_TRUE(disk->ReconcileLive({99}).IsInvalidArgument());
+  // Sync after reconcile folds the journal into a snapshot (deltas cannot
+  // express un-freeing) and reopen agrees.
+  ASSERT_TRUE(disk->ReconcileLive({0, 3}).ok());
+  ASSERT_TRUE(disk->Sync().ok());
+  VolumeMetaReplay replay;
+  ASSERT_TRUE(ReplayVolumeMeta(dir_ + "/volume.meta", &replay).ok());
+  EXPECT_EQ(replay.state.page_count, 6u);
+  EXPECT_EQ(replay.state.live_pages(), 2u);
 }
 
 TEST_F(MmapVolumeTest, StatsAreNotPersisted) {

@@ -1,10 +1,13 @@
 // Backend conformance suite of the Volume interface.
 //
-// Every test runs over every backend (MemVolume, MmapVolume): the metering
-// contract, the extent-boundary behaviour and the zero-copy guarantees are
-// part of the interface, not of one implementation. Backend-specific
-// behaviour (persistence, reopen) lives in mmap_volume_test.cc; the timing
-// decorator in timed_volume_test.cc.
+// Every test runs over every backend (MemVolume, MmapVolume) plus the
+// FaultVolume decorator with faults disabled: the metering contract, the
+// extent-boundary behaviour and the zero-copy guarantees are part of the
+// interface, not of one implementation — and a quiescent fault decorator
+// must be indistinguishable from its backend (IoStats and zero-copy
+// pointers included). Backend-specific behaviour (persistence, reopen)
+// lives in mmap_volume_test.cc; the decorators' active behaviour in
+// timed_volume_test.cc / fault_volume_test.cc.
 
 #include "disk/volume.h"
 
@@ -15,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "disk/fault_volume.h"
 #include "disk/mem_volume.h"
 #include "disk/mmap_volume.h"
 
@@ -25,13 +29,34 @@ std::vector<char> Pattern(uint32_t page_size, char fill) {
   return std::vector<char>(page_size, fill);
 }
 
+/// The parameter space: the two real backends, plus FaultVolume wrapped
+/// around MemVolume with no fault armed (transparent-passthrough proof).
+enum class TestBackend { kMem, kMmap, kFaultMem };
+
+VolumeKind ExpectedKind(TestBackend backend) {
+  return backend == TestBackend::kMmap ? VolumeKind::kMmap : VolumeKind::kMem;
+}
+
+std::string BackendName(TestBackend backend) {
+  switch (backend) {
+    case TestBackend::kMem: return "mem";
+    case TestBackend::kMmap: return "mmap";
+    case TestBackend::kFaultMem: return "fault_mem";
+  }
+  return "unknown";
+}
+
 /// Creates a fresh backend of the parameterized kind in a private temp
-/// directory (mmap) or in memory (mem).
-class VolumeTest : public ::testing::TestWithParam<VolumeKind> {
+/// directory (mmap) or in memory (mem / fault_mem).
+class VolumeTest : public ::testing::TestWithParam<TestBackend> {
  protected:
   std::unique_ptr<Volume> Make(DiskOptions options = {}) {
+    if (GetParam() == TestBackend::kFaultMem) {
+      return std::make_unique<FaultVolume>(
+          std::make_unique<MemVolume>(options));
+    }
     std::string path;
-    if (GetParam() == VolumeKind::kMmap) {
+    if (GetParam() == TestBackend::kMmap) {
       path = (std::filesystem::temp_directory_path() /
               ("starfish_volume_test_" +
                std::to_string(::testing::UnitTest::GetInstance()
@@ -41,7 +66,7 @@ class VolumeTest : public ::testing::TestWithParam<VolumeKind> {
       std::filesystem::remove_all(path);
       cleanup_.push_back(path);
     }
-    auto volume_or = CreateVolume(GetParam(), options, path);
+    auto volume_or = CreateVolume(ExpectedKind(GetParam()), options, path);
     EXPECT_TRUE(volume_or.ok()) << volume_or.status().ToString();
     return std::move(volume_or).value();
   }
@@ -62,9 +87,9 @@ int VolumeTest::dir_counter_ = 0;
 
 TEST_P(VolumeTest, KindMatchesBackend) {
   auto disk = Make();
-  EXPECT_EQ(disk->kind(), GetParam());
+  EXPECT_EQ(disk->kind(), ExpectedKind(GetParam()));
   EXPECT_EQ(ToString(disk->kind()),
-            GetParam() == VolumeKind::kMem ? "mem" : "mmap");
+            ExpectedKind(GetParam()) == VolumeKind::kMem ? "mem" : "mmap");
 }
 
 TEST_P(VolumeTest, AllocateGrowsVolume) {
@@ -344,12 +369,13 @@ TEST_P(VolumeTest, DefaultGeometryLargeVolumeRoundTrips) {
   EXPECT_EQ(buf[2 * disk->page_size() - 1], 'E');
 }
 
-INSTANTIATE_TEST_SUITE_P(AllBackends, VolumeTest,
-                         ::testing::Values(VolumeKind::kMem,
-                                           VolumeKind::kMmap),
-                         [](const ::testing::TestParamInfo<VolumeKind>& info) {
-                           return ToString(info.param);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, VolumeTest,
+    ::testing::Values(TestBackend::kMem, TestBackend::kMmap,
+                      TestBackend::kFaultMem),
+    [](const ::testing::TestParamInfo<TestBackend>& info) {
+      return BackendName(info.param);
+    });
 
 TEST(IoStatsTest, SinceComputesDelta) {
   IoStats a{10, 4, 3, 2};

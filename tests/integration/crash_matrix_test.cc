@@ -1,0 +1,326 @@
+// The crash matrix: every fault point FaultVolume can hit during
+// Put/Flush/close, simulated power loss, reopen, recovery.
+//
+// Protocol under test (core/generations.h): volume sync -> new catalog
+// generation file -> atomic CURRENT repoint. The invariant the matrix
+// asserts for EVERY fault point:
+//
+//   after power loss at that point, reopening the directory yields exactly
+//   the state of the last checkpoint whose CURRENT repoint completed —
+//   every committed object readable and byte-equal, no phantom of any
+//   uncommitted object, and sf_fsck reporting zero inconsistencies.
+//
+// The harness runs the workload over FaultVolume{MmapVolume} with write
+// buffering on, so un-synced page writes really vanish at power loss; the
+// directory is then copied aside (the "disk as the dead machine left it")
+// and recovery runs on the copy.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchmark/generator.h"
+#include "core/complex_object_store.h"
+#include "core/generations.h"
+#include "disk/fault_volume.h"
+#include "tools/fsck.h"
+
+namespace starfish {
+namespace {
+
+constexpr size_t kBatchSize = 4;
+constexpr size_t kBatches = 3;
+
+/// Receives the FaultVolume pointer out of the store's decorator seam.
+struct FaultHandle {
+  FaultVolume* volume = nullptr;
+};
+
+/// What one faulted run of the workload observed.
+struct RunOutcome {
+  size_t committed_batches = 0;  ///< explicit flushes that returned OK
+  uint64_t write_calls = 0;      ///< volume write calls the run issued
+  uint64_t sync_calls = 0;
+  uint64_t faults_fired = 0;
+};
+
+class CrashMatrixTest : public ::testing::TestWithParam<StorageModelKind> {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("starfish_crash_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    crash_dir_ = dir_ + "_crashed";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::remove_all(crash_dir_);
+
+    bench::GeneratorConfig config;
+    config.n_objects = kBatchSize * kBatches;
+    config.seed = 97;
+    auto db = bench::BenchmarkDatabase::Generate(config);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<bench::BenchmarkDatabase>(std::move(db).value());
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+    std::filesystem::remove_all(crash_dir_, ec);
+  }
+
+  StoreOptions FaultedOptions(FaultHandle* handle) {
+    StoreOptions options;
+    options.model = GetParam();
+    options.backend = VolumeKind::kMmap;
+    options.path = dir_;
+    options.volume_decorator =
+        [handle](std::unique_ptr<Volume> inner) -> std::unique_ptr<Volume> {
+      FaultVolumeOptions fault_options;
+      fault_options.buffer_unsynced_writes = true;
+      auto fault =
+          std::make_unique<FaultVolume>(std::move(inner), fault_options);
+      handle->volume = fault.get();
+      return fault;
+    };
+    return options;
+  }
+
+  bool ByRef() const { return GetParam() != StorageModelKind::kNsm; }
+
+  /// The workload: three Put batches; batches 1 and 2 committed by explicit
+  /// Flush, batch 3 by the close-time checkpoint. `plan` arms the fault
+  /// (power loss the moment it fires). Because generation numbers advance
+  /// by exactly one per checkpoint in a fresh directory, the committed
+  /// batch count afterwards IS the CURRENT generation — including faults
+  /// that fired inside the close, where no in-process observer survives.
+  RunOutcome RunWorkload(const FaultPlan& plan) {
+    RunOutcome outcome;
+    FaultHandle handle;
+    auto store_or =
+        ComplexObjectStore::Open(db_->schema(), FaultedOptions(&handle));
+    EXPECT_TRUE(store_or.ok()) << store_or.status().ToString();
+    size_t explicit_commits = 0;
+    {
+      auto store = std::move(store_or).value();
+      FaultPlan armed = plan;
+      armed.power_loss_on_fault = true;
+      handle.volume->SetPlan(armed);
+      for (size_t batch = 0; batch < kBatches; ++batch) {
+        for (size_t i = 0; i < kBatchSize; ++i) {
+          const auto& object = db_->objects()[batch * kBatchSize + i];
+          (void)store->Put(object.ref, object.tuple);
+        }
+        if (batch + 1 < kBatches && store->Flush().ok()) {
+          explicit_commits = batch + 1;
+        }
+      }
+      // Pre-close counters: the dry run sizes the matrix from these (plus
+      // headroom for the close, whose counters die with the store).
+      outcome.write_calls = handle.volume->write_calls_seen();
+      outcome.sync_calls = handle.volume->sync_calls_seen();
+      outcome.faults_fired = handle.volume->faults_fired();
+      if (outcome.faults_fired > 0) {
+        // The machine is dead: snapshot the disk NOW, before any
+        // destructor runs — a real power loss executes no shutdown code,
+        // so not even the inner volume's close-time journal append may
+        // reach the image recovery runs on.
+        std::filesystem::copy(dir_, crash_dir_,
+                              std::filesystem::copy_options::recursive);
+      }
+    }  // close: the destructor checkpoint commits batch 3 — unless the
+       // armed fault killed the machine first (close-phase faults are
+       // snapshotted after destruction below; by then the volume was down,
+       // so the destructors changed nothing the protocol relies on)
+
+    bool found = false;
+    auto current = ReadCurrentGeneration(dir_, &found);
+    EXPECT_TRUE(current.ok()) << current.status().ToString();
+    outcome.committed_batches =
+        found ? static_cast<size_t>(current.value()) : 0;
+    EXPECT_GE(outcome.committed_batches, explicit_commits);
+    EXPECT_LE(outcome.committed_batches, kBatches);
+    if (outcome.committed_batches < kBatches) {
+      // The close did not commit, so the fault must have fired somewhere.
+      outcome.faults_fired = std::max<uint64_t>(outcome.faults_fired, 1);
+    }
+    return outcome;
+  }
+
+  /// Reopens the post-crash copy and asserts it is exactly the state of
+  /// the last committed checkpoint (`committed_batches` full batches).
+  void VerifyRecovered(size_t committed_batches, const std::string& label) {
+    StoreOptions options;
+    options.model = GetParam();
+    options.backend = VolumeKind::kMmap;
+    options.path = crash_dir_;
+    auto store_or = ComplexObjectStore::Open(db_->schema(), options);
+    ASSERT_TRUE(store_or.ok()) << label << ": " << store_or.status().ToString();
+    auto store = std::move(store_or).value();
+
+    const size_t expected = committed_batches * kBatchSize;
+    EXPECT_EQ(store->model()->object_count(), expected) << label;
+    for (size_t i = 0; i < expected; ++i) {
+      const auto& object = db_->objects()[i];
+      auto got = ByRef() ? store->Get(object.ref)
+                         : store->GetByKey(object.key,
+                                           Projection::All(*db_->schema()));
+      ASSERT_TRUE(got.ok()) << label << " object " << i << ": "
+                            << got.status().ToString();
+      EXPECT_EQ(got.value(), object.tuple) << label << " object " << i;
+    }
+    for (size_t i = expected; i < db_->objects().size(); ++i) {
+      EXPECT_FALSE(store->GetByKey(db_->objects()[i].key,
+                                   Projection::All(*db_->schema()))
+                       .ok())
+          << label << ": uncommitted object " << i << " resurfaced";
+    }
+    // Scans must agree with the object count — phantoms from torn slotted
+    // pages would surface here.
+    size_t scanned = 0;
+    EXPECT_TRUE(store->Scan(Projection::All(*db_->schema()),
+                            [&](int64_t, const Tuple&) {
+                              ++scanned;
+                              return Status::OK();
+                            })
+                    .ok())
+        << label;
+    EXPECT_EQ(scanned, expected) << label;
+  }
+
+  std::string dir_;
+  std::string crash_dir_;
+  std::unique_ptr<bench::BenchmarkDatabase> db_;
+};
+
+// The full matrix: power loss at EVERY write call and EVERY sync call the
+// workload issues, plus a torn variant of every write.
+TEST_P(CrashMatrixTest, EveryFaultPointRecoversToCommittedGeneration) {
+  // Dry run (fault index far beyond the workload) to size the matrix. The
+  // close-time checkpoint's calls are part of the run, so probe the
+  // directory afterwards for the real totals.
+  FaultPlan never;
+  never.fail_write_call = 1u << 30;
+  const RunOutcome dry = RunWorkload(never);
+  ASSERT_EQ(dry.faults_fired, 0u);
+  ASSERT_EQ(dry.committed_batches, kBatches);  // close committed batch 3
+  // dry.write_calls/sync_calls were sampled before the close; the close
+  // adds one more flush (writes + 1 sync). Size the matrix generously and
+  // skip cells whose fault never fires.
+  const uint64_t max_writes = dry.write_calls + dry.write_calls / 2 + 8;
+  const uint64_t max_syncs = dry.sync_calls + 2;
+
+  size_t cells = 0, skipped = 0;
+  for (uint64_t k = 1; k <= max_writes; ++k) {
+    for (uint32_t torn : {0u, 1u}) {
+      FaultPlan plan;
+      plan.fail_write_call = k;
+      plan.torn_pages = torn;
+      const std::string label = "write_call=" + std::to_string(k) +
+                                (torn ? " torn" : " lost");
+      std::filesystem::remove_all(dir_);
+      std::filesystem::remove_all(crash_dir_);
+      const RunOutcome outcome = RunWorkload(plan);
+      if (outcome.faults_fired == 0) {
+        ++skipped;  // k beyond what the workload issues (incl. close)
+        continue;
+      }
+      SCOPED_TRACE(label);
+      if (!std::filesystem::exists(crash_dir_)) {
+        // Close-phase fault: the pre-destruction snapshot didn't happen.
+        std::filesystem::copy(dir_, crash_dir_,
+                              std::filesystem::copy_options::recursive);
+      }
+      VerifyRecovered(outcome.committed_batches, label);
+      auto report_or = RunFsck(crash_dir_);
+      ASSERT_TRUE(report_or.ok()) << report_or.status().ToString();
+      EXPECT_TRUE(report_or.value().clean())
+          << label << "\n" << report_or.value().ToString();
+      EXPECT_TRUE(report_or.value().warnings.empty())
+          << label << "\n" << report_or.value().ToString();
+      ++cells;
+    }
+  }
+  for (uint64_t k = 1; k <= max_syncs; ++k) {
+    FaultPlan plan;
+    plan.fail_sync_call = k;
+    std::filesystem::remove_all(dir_);
+    std::filesystem::remove_all(crash_dir_);
+    const RunOutcome outcome = RunWorkload(plan);
+    if (outcome.faults_fired == 0) {
+      ++skipped;
+      continue;
+    }
+    const std::string label = "sync_call=" + std::to_string(k);
+    SCOPED_TRACE(label);
+    if (!std::filesystem::exists(crash_dir_)) {
+      std::filesystem::copy(dir_, crash_dir_,
+                            std::filesystem::copy_options::recursive);
+    }
+    VerifyRecovered(outcome.committed_batches, label);
+    auto report_or = RunFsck(crash_dir_);
+    ASSERT_TRUE(report_or.ok()) << report_or.status().ToString();
+    EXPECT_TRUE(report_or.value().clean())
+        << label << "\n" << report_or.value().ToString();
+    ++cells;
+  }
+  // The matrix must actually have covered fault points in all three phases
+  // (first flush, second flush, close).
+  EXPECT_GE(cells, 6u) << "matrix collapsed: " << cells << " cells, "
+                       << skipped << " skipped";
+}
+
+// Satellite regression: the commit point is ordered AFTER Volume::Sync. A
+// checkpoint whose sync fails must leave no commit — no CURRENT, no
+// generation file — because the catalog may never reference bytes the
+// volume does not durably have.
+TEST_P(CrashMatrixTest, CommitPointIsOrderedAfterSync) {
+  FaultHandle handle;
+  auto store_or =
+      ComplexObjectStore::Open(db_->schema(), FaultedOptions(&handle));
+  ASSERT_TRUE(store_or.ok());
+  auto store = std::move(store_or).value();
+  for (size_t i = 0; i < kBatchSize; ++i) {
+    ASSERT_TRUE(store->Put(db_->objects()[i].ref, db_->objects()[i].tuple).ok());
+  }
+  FaultPlan plan;
+  plan.fail_sync_call = 1;  // fail the checkpoint's sync, nothing else
+  handle.volume->SetPlan(plan);
+  EXPECT_FALSE(store->Flush().ok());
+  // The failed checkpoint committed nothing: the commit pointer does not
+  // exist and no generation file was written (the catalog write is ordered
+  // after the sync, the CURRENT repoint after the catalog write).
+  EXPECT_FALSE(std::filesystem::exists(CurrentPath(dir_)));
+  EXPECT_TRUE(ListCatalogGenerations(dir_).empty());
+  EXPECT_EQ(store->catalog_generation(), 0u);
+  // The fault was one-shot; the retried checkpoint commits generation 1.
+  handle.volume->ClearPlan();
+  ASSERT_TRUE(store->Flush().ok());
+  EXPECT_TRUE(std::filesystem::exists(CurrentPath(dir_)));
+  EXPECT_EQ(store->catalog_generation(), 1u);
+  bool found = false;
+  auto current = ReadCurrentGeneration(dir_, &found);
+  ASSERT_TRUE(current.ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(current.value(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, CrashMatrixTest,
+                         ::testing::ValuesIn(AllStorageModelKinds()),
+                         [](const auto& info) {
+                           std::string name = ToString(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace starfish
