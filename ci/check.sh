@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build, test, run the crash-matrix durability
 # gate (fault-injected power loss -> recovery -> sf_fsck clean, plus the
-# example persistent volume vetted by sf_fsck), run the hot-path bench over
-# both volume backends and the multi-threaded read bench, gating on ns/op
-# regressions, then build with ThreadSanitizer and run the buffer-pool
-# concurrency stress tests.
+# example persistent volume vetted by sf_fsck), exercise the direct
+# (O_DIRECT) backend end-to-end where the filesystem supports it (tests +
+# example + a tiny out-of-core bench, all skipping gracefully otherwise),
+# run the hot-path bench over both in-memory-capable backends and the
+# multi-threaded read bench, gating on ns/op regressions, then build with
+# ThreadSanitizer and run the buffer-pool concurrency stress tests.
 #
 # Usage: ci/check.sh [build-dir]     (default: build)
 #
@@ -63,6 +65,36 @@ rm -rf "$EXAMPLE_DIR"
 "$BUILD_DIR/example_persistent_volume" "$EXAMPLE_DIR" > /dev/null
 "$BUILD_DIR/example_persistent_volume" "$EXAMPLE_DIR" > /dev/null
 "$BUILD_DIR/sf_fsck" "$EXAMPLE_DIR"
+
+echo "== direct (O_DIRECT) backend =="
+# The real-device backend: conformance + crash matrix run inside ctest too;
+# this stage re-runs them loudly, then drives the example + sf_fsck over
+# O_DIRECT and a tiny out-of-core smoke. Every piece skips gracefully when
+# the runner's filesystem rejects O_DIRECT (tmpfs/overlayfs): the tests
+# GTEST_SKIP, the example exits 3, and bench_outofcore records
+# "direct_skipped": true in its JSON.
+"$BUILD_DIR/starfish_tests" --gtest_filter='*Direct*:*direct*'
+EXAMPLE_DIR_DIRECT="$BUILD_DIR/persist_example_direct"
+rm -rf "$EXAMPLE_DIR_DIRECT"
+direct_rc=0
+"$BUILD_DIR/example_persistent_volume" "$EXAMPLE_DIR_DIRECT" direct \
+    > /dev/null || direct_rc=$?
+if [[ "$direct_rc" -eq 0 ]]; then
+  "$BUILD_DIR/example_persistent_volume" "$EXAMPLE_DIR_DIRECT" direct \
+      > /dev/null
+  "$BUILD_DIR/sf_fsck" "$EXAMPLE_DIR_DIRECT"
+elif [[ "$direct_rc" -eq 3 ]]; then
+  echo "direct example skipped: no O_DIRECT support on this filesystem"
+else
+  echo "direct example FAILED (exit $direct_rc)"
+  exit "$direct_rc"
+fi
+
+echo "== out-of-core bench (tiny smoke) =="
+# Modelled-vs-measured ms per access mix over mmap + direct (emits
+# BENCH_outofcore.json). Ungated: archive the JSON from CI and watch the
+# trend until the numbers prove stable across runners.
+(cd "$BUILD_DIR" && ./bench_outofcore --tiny)
 
 echo "== hot-path bench (mem backend) =="
 # Emits BENCH_hotpath.json into the build dir; archive it from CI to watch

@@ -5,7 +5,17 @@
 #include <cstring>
 #include <utility>
 
+#include "util/aligned_buffer.h"
+
 namespace starfish {
+
+namespace {
+
+/// Prefetch staging (non-zero-copy backends) is aligned generously so a
+/// direct backend can DMA into it without bouncing a second time.
+constexpr size_t kStagingAlign = 4096;
+
+}  // namespace
 
 std::string BufferStats::ToString() const {
   char buf[200];
@@ -104,8 +114,19 @@ BufferManager::BufferManager(Volume* disk, BufferOptions options)
   shard_bits_ = 0;
   while ((1u << shard_bits_) < shard_count_) ++shard_bits_;
 
-  pool_ = std::make_unique<char[]>(static_cast<size_t>(options_.frame_count) *
-                                   page_size_);
+  // The frame arena, optionally over-allocated so its base can be aligned
+  // for direct-I/O backends (see BufferOptions::frame_alignment).
+  const size_t pool_bytes =
+      static_cast<size_t>(options_.frame_count) * page_size_;
+  uint32_t align = options_.frame_alignment;
+  if (align > 1) align = RoundUpPow2(align);
+  options_.frame_alignment = align;
+  pool_owner_ = std::make_unique<char[]>(pool_bytes + (align > 1 ? align : 0));
+  pool_ = pool_owner_.get();
+  if (align > 1) {
+    const uintptr_t base_addr = reinterpret_cast<uintptr_t>(pool_);
+    pool_ += (align - base_addr % align) % align;
+  }
   if (shard_count_ > 1) shards_ = std::make_unique<Shard[]>(shard_count_);
   const uint32_t base = options_.frame_count / shard_count_;
   const uint32_t extra = options_.frame_count % shard_count_;
@@ -113,7 +134,7 @@ BufferManager::BufferManager(Volume* disk, BufferOptions options)
   for (uint32_t s = 0; s < shard_count_; ++s) {
     Shard& shard = ShardAt(s);
     const uint32_t n = base + (s < extra ? 1 : 0);
-    shard.pool = pool_.get() + static_cast<size_t>(next_frame) * page_size_;
+    shard.pool = pool_ + static_cast<size_t>(next_frame) * page_size_;
     shard.lock_mu = concurrent_ ? &shard.mu : nullptr;
     next_frame += n;
     shard.frames.resize(n);
@@ -267,6 +288,8 @@ Status BufferManager::Prefetch(const std::vector<PageId>& ids,
   // keep the steady state allocation-free, as the shared members used to.
   thread_local std::vector<PageId> missing;
   thread_local std::vector<const char*> views;
+  thread_local std::vector<char*> staging_ptrs;
+  thread_local AlignedBuffer staging;
 
   // Collect distinct missing pages, preserving order. The residency check
   // takes each page's shard lock; by the time we load a page below another
@@ -280,11 +303,31 @@ Status BufferManager::Prefetch(const std::vector<PageId>& ids,
   }
   if (missing.empty()) return Status::OK();
 
+  // Zero-copy backends hand out views into their extents: pages go arena ->
+  // frame in one memcpy each, with no staging buffer. Backends without a
+  // memory image (O_DIRECT) read the batch into an aligned per-thread
+  // staging area instead — same chained/run call accounting, one extra copy
+  // that is noise next to a device read.
+  const bool zero_copy = disk_->supports_zero_copy();
+  if (!zero_copy &&
+      !staging.Reserve(missing.size() * static_cast<size_t>(page_size_),
+                       kStagingAlign)) {
+    return Status::ResourceExhausted("cannot allocate prefetch staging");
+  }
+
   if (mode == PrefetchMode::kChained) {
-    // Zero-copy views into the disk arena: pages go arena -> frame in one
-    // memcpy each, with no staging buffer.
-    STARFISH_RETURN_NOT_OK(disk_->ReadChainedZeroCopy(missing, &views));
+    if (zero_copy) {
+      STARFISH_RETURN_NOT_OK(disk_->ReadChainedZeroCopy(missing, &views));
+    } else {
+      staging_ptrs.clear();
+      for (size_t i = 0; i < missing.size(); ++i) {
+        staging_ptrs.push_back(staging.data() + i * page_size_);
+      }
+      STARFISH_RETURN_NOT_OK(disk_->ReadChained(missing, staging_ptrs));
+    }
     for (size_t i = 0; i < missing.size(); ++i) {
+      const char* src =
+          zero_copy ? views[i] : staging.data() + i * page_size_;
       Shard& shard = ShardOf(missing[i]);
       ShardLock lock = Lock(shard);
       // Single-threaded, evictions triggered by earlier Load()s only write
@@ -292,7 +335,7 @@ Status BufferManager::Prefetch(const std::vector<PageId>& ids,
       // construction; concurrently, another thread may have loaded the page
       // since the residency scan. Either way: only load when still absent.
       if (FindSlot(shard, missing[i]) == kNotFound) {
-        STARFISH_RETURN_NOT_OK(Load(shard, missing[i], views[i]).status());
+        STARFISH_RETURN_NOT_OK(Load(shard, missing[i], src).status());
       }
       ++shard.stats.prefetched_pages;
     }
@@ -308,14 +351,21 @@ Status BufferManager::Prefetch(const std::vector<PageId>& ids,
       ++end;
     }
     const uint32_t count = static_cast<uint32_t>(end - start);
-    STARFISH_RETURN_NOT_OK(
-        disk_->ReadRunZeroCopy(missing[start], count, &views));
+    if (zero_copy) {
+      STARFISH_RETURN_NOT_OK(
+          disk_->ReadRunZeroCopy(missing[start], count, &views));
+    } else {
+      STARFISH_RETURN_NOT_OK(
+          disk_->ReadRun(missing[start], count, staging.data()));
+    }
     for (uint32_t i = 0; i < count; ++i) {
+      const char* src =
+          zero_copy ? views[i] : staging.data() + i * static_cast<size_t>(page_size_);
       const PageId id = missing[start + i];
       Shard& shard = ShardOf(id);
       ShardLock lock = Lock(shard);
       if (FindSlot(shard, id) == kNotFound) {
-        STARFISH_RETURN_NOT_OK(Load(shard, id, views[i]).status());
+        STARFISH_RETURN_NOT_OK(Load(shard, id, src).status());
       }
       ++shard.stats.prefetched_pages;
     }

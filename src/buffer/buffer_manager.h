@@ -39,7 +39,12 @@
 /// write-back hands frame pointers straight to WriteChained — steady state
 /// does no heap allocation and one memcpy per page moved. The manager
 /// programs against the abstract Volume interface, so any backend
-/// (in-memory, mmap, timed) plugs in underneath.
+/// (in-memory, mmap, direct, timed) plugs in underneath. Backends without a
+/// memory image (supports_zero_copy() == false, i.e. the O_DIRECT backend)
+/// take a copying path instead: Fix misses read the device straight into
+/// the frame, Prefetch reads batches into an aligned per-thread staging
+/// area — and BufferOptions::frame_alignment lets the frames themselves be
+/// DMA targets.
 ///
 /// Concurrency model: the pool is split into BufferOptions::shard_count
 /// independent shards. A page id maps to its shard by the top bits of the
@@ -90,6 +95,15 @@ struct BufferOptions {
   /// power of two from std::thread::hardware_concurrency(); values > 1 are
   /// rounded up to a power of two and clamped to frame_count.
   uint32_t shard_count = 1;
+
+  /// Byte alignment of the frame arena (0 = natural new[] alignment;
+  /// non-zero values are rounded up to a power of two). The storage engine
+  /// raises this to Volume::io_buffer_alignment() so a direct (O_DIRECT)
+  /// backend can DMA page reads straight into the frames. Every individual
+  /// frame is aligned when page_size is itself a multiple of the alignment
+  /// (e.g. 4096-byte pages at 4096 alignment); otherwise only the arena
+  /// base is, and the volume bounces internally — correct either way.
+  uint32_t frame_alignment = 0;
 };
 
 /// Buffer-side counters (disk-side counters live in Volume::stats()).
@@ -443,7 +457,10 @@ class BufferManager {
   uint32_t shard_count_ = 1;
   unsigned shard_bits_ = 0;
   bool concurrent_ = false;  ///< shard mutexes engaged
-  std::unique_ptr<char[]> pool_;  ///< frame_count * page_size bytes
+  /// Frame arena allocation (frame_count * page_size bytes, plus alignment
+  /// slack) and the possibly-realigned base the frames actually start at.
+  std::unique_ptr<char[]> pool_owner_;
+  char* pool_ = nullptr;
   /// Single-shard mode uses the inline `single_` (its fields are
   /// this-relative, keeping the unlocked Fix hit path at the flat pool's
   /// latency); sharded mode uses the heap array. Exactly one is live.

@@ -29,7 +29,7 @@
 /// how the paper's four storage models behave on *your* object schema and
 /// workload — the question the paper answers for its railway benchmark.
 ///
-/// The disk backend is pluggable (`options.backend`):
+/// The disk backend is pluggable (`options.backend`; see docs/VOLUMES.md):
 ///
 ///   * `VolumeKind::kMem` (default) — in-memory arena, nothing persists.
 ///   * `VolumeKind::kMmap` — pages live in memory-mapped files under
@@ -40,6 +40,12 @@
 ///       options.backend = VolumeKind::kMmap;
 ///       options.path = "/tmp/my_experiment";
 ///       // first run: load objects, Flush(); later runs: Get() them back.
+///
+///   * `VolumeKind::kDirect` — same persistence and on-disk format, but
+///     every page transfer is a real O_DIRECT device I/O that bypasses the
+///     kernel page cache: a buffer-pool miss costs what the hardware
+///     charges. Requires a filesystem with O_DIRECT support (Open returns
+///     NotSupported on tmpfs/overlayfs).
 
 namespace starfish {
 
@@ -66,13 +72,15 @@ struct StoreOptions {
   /// Equation-1 service-time coefficients (defaults model a period disk).
   LinearTimingModel timing;
 
-  /// Disk backend underneath the buffer pool. kMmap requires `path` and
-  /// makes the store persistent: reopening the same path restores it.
+  /// Disk backend underneath the buffer pool. kMmap/kDirect require `path`
+  /// and make the store persistent: reopening the same path restores it
+  /// (with either backend — they share one on-disk format).
   VolumeKind backend = VolumeKind::kMem;
 
-  /// Backing directory of the mmap backend (created if absent). When the
-  /// directory already holds a store, Open reopens it: `model` must match
-  /// the stored catalog and `page_size` is adopted from the volume.
+  /// Backing directory of the persistent backends (created if absent).
+  /// When the directory already holds a store, Open reopens it: `model`
+  /// must match the stored catalog and `page_size` is adopted from the
+  /// volume.
   std::string path;
 
   /// Wrap the backend in a TimedVolume charging `timing` per I/O call;
@@ -191,8 +199,12 @@ class ComplexObjectStore {
   /// core/generations.h for the protocol.
   Status Flush();
 
-  /// True when this store survives process restarts (mmap backend + path).
-  bool persistent() const { return options_.backend == VolumeKind::kMmap; }
+  /// True when this store survives process restarts (mmap or direct
+  /// backend + path; the two share one on-disk format).
+  bool persistent() const {
+    return options_.backend == VolumeKind::kMmap ||
+           options_.backend == VolumeKind::kDirect;
+  }
 
   /// Generation of the committed catalog this store runs on: what Open
   /// resolved (0 for a fresh or legacy store), advanced by every durable

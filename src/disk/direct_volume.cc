@@ -1,0 +1,780 @@
+#include "disk/direct_volume.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#if __has_include(<linux/io_uring.h>)
+#include <linux/io_uring.h>
+#define STARFISH_HAVE_IO_URING 1
+#endif
+#endif
+
+#if defined(O_DIRECT)
+#define STARFISH_HAVE_ODIRECT 1
+#endif
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <string>
+
+#include "util/aligned_buffer.h"
+#include "util/file_io.h"
+
+namespace starfish {
+
+namespace {
+
+/// Bounce buffers are allocated at this alignment — enough for any device
+/// DMA requirement in practice (the probe relaxes the *eligibility* check
+/// to 512 where the device allows it, but over-aligning an allocation
+/// costs nothing).
+constexpr size_t kBounceAlign = 4096;
+
+/// Journals longer than this are compacted at reopen (same policy as the
+/// mmap backend).
+constexpr uint32_t kCompactRecordThreshold = 64;
+
+#if STARFISH_HAVE_ODIRECT
+
+/// Trial-writes a scratch file to answer: can this filesystem do O_DIRECT
+/// transfers of `page_size` bytes at page-size offsets, and does it accept
+/// 512-byte buffer alignment or insist on 4096? Returns the buffer
+/// alignment to use, or NotSupported.
+Result<uint32_t> ProbeDioAlignment(const std::string& dir,
+                                   uint32_t page_size) {
+  const std::string path = dir + "/.dio_probe";
+  const int fd =
+      ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_DIRECT, 0644);
+  if (fd < 0) {
+    return Status::NotSupported("filesystem at " + dir +
+                                " rejects O_DIRECT: " + std::strerror(errno));
+  }
+  AlignedBuffer buf;
+  Status failed;
+  uint32_t align = 0;
+  if (!buf.Reserve(static_cast<size_t>(page_size) + 512, kBounceAlign)) {
+    failed = Status::ResourceExhausted("cannot allocate O_DIRECT probe");
+  } else {
+    std::memset(buf.data(), 0, static_cast<size_t>(page_size) + 512);
+    // One page at offset 0 and one at offset page_size: covers the length,
+    // offset and (4096-aligned) buffer requirements in one go.
+    if (::pwrite(fd, buf.data(), page_size, 0) ==
+            static_cast<ssize_t>(page_size) &&
+        ::pwrite(fd, buf.data(), page_size,
+                 static_cast<off_t>(page_size)) ==
+            static_cast<ssize_t>(page_size)) {
+      align = kBounceAlign;
+      // Relax to sector alignment where the device accepts it — fewer
+      // caller buffers have to bounce.
+      if (::pwrite(fd, buf.data() + 512, page_size, 0) ==
+          static_cast<ssize_t>(page_size)) {
+        align = 512;
+      }
+    } else {
+      failed = Status::NotSupported(
+          "O_DIRECT at " + dir + " cannot transfer page_size=" +
+          std::to_string(page_size) + ": " + std::strerror(errno));
+    }
+  }
+  ::close(fd);
+  ::unlink(path.c_str());
+  if (align == 0) return failed;
+  return align;
+}
+
+#endif  // STARFISH_HAVE_ODIRECT
+
+#if STARFISH_HAVE_IO_URING
+
+int SysIoUringSetup(unsigned entries, struct io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int SysIoUringEnter(int fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+/// True when the kernel supports the (non-vectored) IORING_OP_READ/WRITE
+/// this wrapper submits. Ring *creation* succeeds from 5.1, but these
+/// opcodes only exist since 5.6 — the probe (itself 5.6+) distinguishes
+/// "ring works" from "our opcodes work", so a 5.1-5.5 kernel falls back to
+/// pread/pwrite instead of completing every I/O with EINVAL.
+bool RingSupportsReadWrite(int ring_fd) {
+  constexpr unsigned kProbeOps = 64;  // covers IORING_OP_WRITE everywhere
+  std::vector<char> buf(
+      sizeof(struct io_uring_probe) +
+          kProbeOps * sizeof(struct io_uring_probe_op),
+      0);
+  auto* probe = reinterpret_cast<struct io_uring_probe*>(buf.data());
+  if (::syscall(__NR_io_uring_register, ring_fd, IORING_REGISTER_PROBE,
+                probe, kProbeOps) != 0) {
+    return false;
+  }
+  return probe->ops_len > IORING_OP_WRITE &&
+         (probe->ops[IORING_OP_READ].flags & IO_URING_OP_SUPPORTED) != 0 &&
+         (probe->ops[IORING_OP_WRITE].flags & IO_URING_OP_SUPPORTED) != 0;
+}
+
+#endif  // STARFISH_HAVE_IO_URING
+
+}  // namespace
+
+/// Minimal raw-syscall io_uring wrapper (no liburing dependency): one
+/// submission/completion ring pair, used under a mutex. Submit() pushes a
+/// batch of read or write SQEs, waits for all completions, and finishes any
+/// short transfer synchronously. Created at Open; a null ring means the
+/// kernel refused (ENOSYS, seccomp EPERM, sysctl-disabled) and the volume
+/// runs on the pread/pwrite fallback instead.
+struct DirectVolume::IoRing {
+#if STARFISH_HAVE_IO_URING
+  int ring_fd = -1;
+  unsigned sq_entries = 0;
+  void* sq_map = nullptr;
+  size_t sq_map_len = 0;
+  void* cq_map = nullptr;   ///< null when IORING_FEAT_SINGLE_MMAP
+  size_t cq_map_len = 0;
+  void* sqe_map = nullptr;
+  size_t sqe_map_len = 0;
+  struct io_uring_sqe* sqes = nullptr;
+  unsigned* sq_tail = nullptr;
+  unsigned* sq_mask = nullptr;
+  unsigned* sq_array = nullptr;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned* cq_mask = nullptr;
+  struct io_uring_cqe* cqes = nullptr;
+  std::mutex mu;
+
+  ~IoRing() {
+    if (sqe_map != nullptr) ::munmap(sqe_map, sqe_map_len);
+    if (cq_map != nullptr) ::munmap(cq_map, cq_map_len);
+    if (sq_map != nullptr) ::munmap(sq_map, sq_map_len);
+    if (ring_fd >= 0) ::close(ring_fd);
+  }
+
+  static std::unique_ptr<IoRing> Create(uint32_t depth) {
+    struct io_uring_params params;
+    std::memset(&params, 0, sizeof(params));
+    const int fd = SysIoUringSetup(depth, &params);
+    if (fd < 0) return nullptr;
+    auto ring = std::make_unique<IoRing>();
+    ring->ring_fd = fd;
+    ring->sq_entries = params.sq_entries;
+    size_t sq_len = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+    size_t cq_len = params.cq_off.cqes +
+                    params.cq_entries * sizeof(struct io_uring_cqe);
+    const bool single = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single) sq_len = cq_len = std::max(sq_len, cq_len);
+    ring->sq_map = ::mmap(nullptr, sq_len, PROT_READ | PROT_WRITE,
+                          MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+    if (ring->sq_map == MAP_FAILED) {
+      ring->sq_map = nullptr;
+      return nullptr;
+    }
+    ring->sq_map_len = sq_len;
+    char* cq_base = static_cast<char*>(ring->sq_map);
+    if (!single) {
+      ring->cq_map = ::mmap(nullptr, cq_len, PROT_READ | PROT_WRITE,
+                            MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_CQ_RING);
+      if (ring->cq_map == MAP_FAILED) {
+        ring->cq_map = nullptr;
+        return nullptr;
+      }
+      ring->cq_map_len = cq_len;
+      cq_base = static_cast<char*>(ring->cq_map);
+    }
+    ring->sqe_map_len = params.sq_entries * sizeof(struct io_uring_sqe);
+    ring->sqe_map = ::mmap(nullptr, ring->sqe_map_len, PROT_READ | PROT_WRITE,
+                           MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES);
+    if (ring->sqe_map == MAP_FAILED) {
+      ring->sqe_map = nullptr;
+      return nullptr;
+    }
+    char* sq_base = static_cast<char*>(ring->sq_map);
+    ring->sqes = reinterpret_cast<struct io_uring_sqe*>(ring->sqe_map);
+    ring->sq_tail = reinterpret_cast<unsigned*>(sq_base + params.sq_off.tail);
+    ring->sq_mask =
+        reinterpret_cast<unsigned*>(sq_base + params.sq_off.ring_mask);
+    ring->sq_array = reinterpret_cast<unsigned*>(sq_base + params.sq_off.array);
+    ring->cq_head = reinterpret_cast<unsigned*>(cq_base + params.cq_off.head);
+    ring->cq_tail = reinterpret_cast<unsigned*>(cq_base + params.cq_off.tail);
+    ring->cq_mask =
+        reinterpret_cast<unsigned*>(cq_base + params.cq_off.ring_mask);
+    ring->cqes = reinterpret_cast<struct io_uring_cqe*>(cq_base +
+                                                        params.cq_off.cqes);
+    if (!RingSupportsReadWrite(fd)) return nullptr;
+    return ring;
+  }
+
+  /// True after an error left submissions in an indeterminate state (SQEs
+  /// queued but never handed to the kernel, or completions that could not
+  /// be drained). A broken ring is never touched again — callers fall back
+  /// to the pread/pwrite path. Atomic so Execute() can check it cheaply
+  /// without the ring mutex.
+  std::atomic<bool> broken{false};
+
+  Status Submit(const std::vector<IoOp>& ops, bool write) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (broken.load(std::memory_order_relaxed)) {
+      return Status::Internal("io_uring in indeterminate state");
+    }
+    size_t done = 0;
+    while (done < ops.size()) {
+      const unsigned batch = static_cast<unsigned>(
+          std::min<size_t>(ops.size() - done, sq_entries));
+      // We are the only submitter (the mutex), so the SQ tail is ours.
+      const unsigned tail = *sq_tail;
+      for (unsigned i = 0; i < batch; ++i) {
+        const IoOp& op = ops[done + i];
+        const unsigned idx = (tail + i) & *sq_mask;
+        struct io_uring_sqe* sqe = &sqes[idx];
+        std::memset(sqe, 0, sizeof(*sqe));
+        sqe->opcode = write ? IORING_OP_WRITE : IORING_OP_READ;
+        sqe->fd = op.fd;
+        sqe->addr = reinterpret_cast<uint64_t>(op.buf);
+        sqe->len = op.len;
+        sqe->off = op.off;
+        sqe->user_data = done + i;
+        sq_array[idx] = idx;
+      }
+      __atomic_store_n(sq_tail, tail + batch, __ATOMIC_RELEASE);
+      unsigned submitted = 0;
+      Status submit_error;
+      while (submitted < batch) {
+        const int ret =
+            SysIoUringEnter(ring_fd, batch - submitted, 0, 0);
+        if (ret < 0) {
+          if (errno == EINTR) continue;
+          submit_error = Status::IOError(std::string("io_uring_enter: ") +
+                                         std::strerror(errno));
+          break;
+        }
+        submitted += static_cast<unsigned>(ret);
+      }
+      // Drain everything the kernel accepted BEFORE returning any error:
+      // in-flight ops write into caller buffers (thread_local bounce /
+      // staging) that would otherwise be reused while the kernel still
+      // scribbles on them, and their stray CQEs would be misattributed to
+      // the next batch's ops via user_data.
+      const Status reap_error = ReapLocked(ops, write, submitted);
+      if (!submit_error.ok()) {
+        // SQEs past `submitted` are still queued in the SQ ring and would
+        // be handed to the kernel (with dangling buffers) by the next
+        // enter — the ring cannot be safely reused.
+        broken.store(true, std::memory_order_relaxed);
+        return submit_error;
+      }
+      STARFISH_RETURN_NOT_OK(reap_error);
+      done += batch;
+    }
+    return Status::OK();
+  }
+
+  /// Reaps exactly `expect` completions (order arbitrary, user_data maps
+  /// each CQE back to its op), finishing short transfers synchronously.
+  /// Returns the first per-op I/O error; marks the ring broken when the
+  /// kernel will not hand the completions back.
+  Status ReapLocked(const std::vector<IoOp>& ops, bool write,
+                    unsigned expect) {
+    Status first_error;
+    unsigned reaped = 0;
+    int wait_failures = 0;
+    while (reaped < expect) {
+      unsigned head = *cq_head;
+      const unsigned ctail = __atomic_load_n(cq_tail, __ATOMIC_ACQUIRE);
+      if (head == ctail) {
+        const int ret =
+            SysIoUringEnter(ring_fd, 0, 1, IORING_ENTER_GETEVENTS);
+        if (ret < 0 && errno != EINTR && ++wait_failures > 64) {
+          // The kernel will not complete what it accepted; the ring (and
+          // the in-flight buffers) are lost to us.
+          broken.store(true, std::memory_order_relaxed);
+          return Status::IOError(
+              std::string("io_uring completion drain failed: ") +
+              std::strerror(errno));
+        }
+        continue;
+      }
+      wait_failures = 0;
+      while (head != ctail && reaped < expect) {
+        const struct io_uring_cqe& cqe = cqes[head & *cq_mask];
+        const IoOp& op = ops[static_cast<size_t>(cqe.user_data)];
+        if (cqe.res < 0) {
+          if (first_error.ok()) {
+            first_error = Status::IOError(
+                std::string(write ? "io_uring write: " : "io_uring read: ") +
+                std::strerror(-cqe.res));
+          }
+        } else if (static_cast<uint32_t>(cqe.res) < op.len) {
+          // Short transfer: finish the remainder synchronously.
+          const Status st =
+              ExecuteSync(op, write, static_cast<uint32_t>(cqe.res));
+          if (first_error.ok() && !st.ok()) first_error = st;
+        }
+        ++head;
+        ++reaped;
+      }
+      __atomic_store_n(cq_head, head, __ATOMIC_RELEASE);
+    }
+    return first_error;
+  }
+#else   // !STARFISH_HAVE_IO_URING
+  static std::unique_ptr<IoRing> Create(uint32_t) { return nullptr; }
+  Status Submit(const std::vector<IoOp>&, bool) {
+    return Status::Internal("io_uring support not compiled in");
+  }
+#endif  // STARFISH_HAVE_IO_URING
+};
+
+DirectVolume::DirectVolume(std::string dir, DiskOptions options,
+                           uint32_t dio_mem_align)
+    : PagedVolume(options),
+      dir_(std::move(dir)),
+      dio_mem_align_(std::max<uint32_t>(dio_mem_align, 512)) {
+  journal_.Attach(dir_ + "/volume.meta");
+  fds_ = std::make_unique<std::atomic<int>[]>(kMaxExtents);
+  for (size_t i = 0; i < kMaxExtents; ++i) {
+    fds_[i].store(-1, std::memory_order_relaxed);
+  }
+}
+
+DirectVolume::~DirectVolume() {
+#if STARFISH_HAVE_ODIRECT
+  // Best-effort close-time checkpoint, mirroring the mmap backend: page
+  // bytes already sit on the device (O_DIRECT), but block allocations and
+  // the allocator journal still need their durable record — in the same
+  // order Sync() enforces: extent data, then the directory entries of any
+  // extent files created since the last sync, then the journal (which may
+  // reference their pages only once they durably exist).
+  for (size_t i = 0; i < open_extents_; ++i) {
+    const int fd = fds_[i].load(std::memory_order_relaxed);
+    if (fd >= 0) {
+      (void)::fdatasync(fd);
+    }
+  }
+  if (dir_dirty_.load(std::memory_order_relaxed)) {
+    if (SyncDir(dir_).ok()) {
+      dir_dirty_.store(false, std::memory_order_relaxed);
+      (void)journal_.Checkpoint(CurrentMetaState());
+    }
+    // Dir fsync failed: skip the journal append rather than record pages
+    // whose extent files may not survive a power loss.
+  } else {
+    (void)journal_.Checkpoint(CurrentMetaState());
+  }
+  for (size_t i = 0; i < open_extents_; ++i) {
+    const int fd = fds_[i].load(std::memory_order_relaxed);
+    if (fd >= 0) ::close(fd);
+  }
+#endif
+}
+
+bool DirectVolume::SupportedAt(const std::string& dir, uint32_t page_size) {
+#if !STARFISH_HAVE_ODIRECT
+  (void)dir;
+  (void)page_size;
+  return false;
+#else
+  if (dir.empty() || page_size == 0 || page_size % 512 != 0) return false;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+  return ProbeDioAlignment(dir, page_size).ok();
+#endif
+}
+
+Result<std::unique_ptr<DirectVolume>> DirectVolume::Open(
+    const std::string& dir, DiskOptions options,
+    DirectVolumeOptions direct_options) {
+#if !STARFISH_HAVE_ODIRECT
+  (void)dir;
+  (void)options;
+  (void)direct_options;
+  return Status::NotSupported("DirectVolume requires a platform with O_DIRECT");
+#else
+  if (dir.empty()) {
+    return Status::InvalidArgument("DirectVolume requires a backing directory");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create volume directory " + dir + ": " +
+                           ec.message());
+  }
+
+  VolumeMetaReplay replay;
+  STARFISH_RETURN_NOT_OK(ReplayVolumeMeta(dir + "/volume.meta", &replay));
+  // The recorded geometry wins (a volume written by EITHER persistent
+  // backend — the on-disk format is shared — keeps its page size).
+  if (replay.found) options = replay.state.options;
+  if (options.page_size == 0) options.page_size = kDefaultPageSize;
+  if (options.page_size % 512 != 0) {
+    return Status::InvalidArgument(
+        "DirectVolume page size must be a multiple of the 512-byte device "
+        "sector, got " +
+        std::to_string(options.page_size));
+  }
+  STARFISH_ASSIGN_OR_RETURN(const uint32_t mem_align,
+                            ProbeDioAlignment(dir, options.page_size));
+
+  auto volume = std::unique_ptr<DirectVolume>(
+      new DirectVolume(dir, options, mem_align));
+  if (direct_options.use_io_uring) {
+    volume->ring_ = IoRing::Create(std::max(1u, direct_options.ring_depth));
+  }
+
+  if (!replay.found) {
+    // No durable allocator state: stray extent files are the leavings of a
+    // run that crashed before its first checkpoint — their stale bytes must
+    // not masquerade as zero-filled fresh pages.
+    STARFISH_RETURN_NOT_OK(RemoveOrphanExtentFiles(dir, 0));
+    return volume;
+  }
+
+  const uint64_t ppe = volume->pages_per_extent();
+  const uint64_t pages = replay.state.page_count;
+  const size_t extent_count = static_cast<size_t>((pages + ppe - 1) / ppe);
+  STARFISH_RETURN_NOT_OK(RemoveOrphanExtentFiles(dir, extent_count));
+  {
+    std::lock_guard<std::mutex> lock(volume->alloc_mu_);
+    for (size_t i = 0; i < extent_count; ++i) {
+      STARFISH_RETURN_NOT_OK(volume->OpenExtentFd(i, /*create=*/false));
+    }
+  }
+  if (extent_count > 0 && pages % ppe != 0) {
+    // Pages past the durable count may hold bytes of a crashed run; fresh
+    // pages must read zero. Truncate down to the used prefix and back up:
+    // the reinstated tail is a hole, and holes read as zeros.
+    const int fd = volume->fds_[extent_count - 1].load(
+        std::memory_order_relaxed);
+    const off_t used = static_cast<off_t>(
+        static_cast<uint64_t>(pages % ppe) * volume->page_size());
+    if (::ftruncate(fd, used) != 0 ||
+        ::ftruncate(fd, static_cast<off_t>(volume->extent_size_bytes())) !=
+            0) {
+      return Status::IOError("zero tail of extent " +
+                             std::to_string(extent_count - 1) + ": " +
+                             std::strerror(errno));
+    }
+  }
+  volume->RestoreAllocatorState(pages, replay.state.freed);
+  volume->journal_.MarkReplayed(replay.state);
+  if (replay.legacy || replay.torn_tail ||
+      replay.records > kCompactRecordThreshold) {
+    STARFISH_RETURN_NOT_OK(
+        volume->journal_.RewriteCompacted(volume->CurrentMetaState()));
+  }
+  return volume;
+#endif
+}
+
+std::string DirectVolume::ExtentPath(size_t index) const {
+  return dir_ + "/" + ExtentFileName(index);
+}
+
+Status DirectVolume::OpenExtentFd(size_t index, bool create) {
+#if !STARFISH_HAVE_ODIRECT
+  (void)index;
+  (void)create;
+  return Status::NotSupported("DirectVolume requires a platform with O_DIRECT");
+#else
+  if (index >= kMaxExtents) {
+    return Status::ResourceExhausted("volume extent directory full (" +
+                                     std::to_string(index) + " extents)");
+  }
+  const std::string path = ExtentPath(index);
+  const int flags = O_RDWR | O_CLOEXEC | O_DIRECT | (create ? O_CREAT : 0);
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  // ftruncate creates the zero-filled image of a fresh extent and repairs a
+  // short file (holes read as zeros, same as fresh pages).
+  struct stat st;
+  if (::fstat(fd, &st) != 0 ||
+      (static_cast<size_t>(st.st_size) < extent_size_bytes() &&
+       ::ftruncate(fd, static_cast<off_t>(extent_size_bytes())) != 0)) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("size " + path + ": " + err);
+  }
+  // Release pairs with the acquire bounds check readers do before FdOf.
+  fds_[index].store(fd, std::memory_order_release);
+  open_extents_ = index + 1;
+  if (create) dir_dirty_.store(true, std::memory_order_relaxed);
+  return Status::OK();
+#endif
+}
+
+Status DirectVolume::EnsureExtentsLocked(size_t extent_count) {
+  for (size_t i = open_extents_; i < extent_count; ++i) {
+    STARFISH_RETURN_NOT_OK(OpenExtentFd(i, /*create=*/true));
+  }
+  return Status::OK();
+}
+
+int DirectVolume::FdOf(PageId id, uint64_t* off) const {
+  const size_t extent = id / pages_per_extent_;
+  *off = static_cast<uint64_t>(id % pages_per_extent_) * options_.page_size;
+  // Relaxed is enough: the caller ordered itself after publication via the
+  // acquire load in CheckRange.
+  return fds_[extent].load(std::memory_order_relaxed);
+}
+
+void DirectVolume::BuildRunOps(PageId first, uint32_t count, char* base,
+                               std::vector<IoOp>* ops) const {
+  const uint32_t page_size = options_.page_size;
+  uint32_t done = 0;
+  while (done < count) {
+    const PageId id = first + done;
+    const uint32_t left_in_extent = pages_per_extent_ - id % pages_per_extent_;
+    const uint32_t n = std::min(count - done, left_in_extent);
+    uint64_t off = 0;
+    const int fd = FdOf(id, &off);
+    ops->push_back(IoOp{fd, off, base + static_cast<size_t>(done) * page_size,
+                        n * page_size});
+    done += n;
+  }
+}
+
+Status DirectVolume::ExecuteSync(const IoOp& op, bool write, uint32_t done) {
+#if !STARFISH_HAVE_ODIRECT
+  (void)op;
+  (void)write;
+  (void)done;
+  return Status::NotSupported("DirectVolume requires a platform with O_DIRECT");
+#else
+  while (done < op.len) {
+    const ssize_t n =
+        write ? ::pwrite(op.fd, op.buf + done, op.len - done,
+                         static_cast<off_t>(op.off + done))
+              : ::pread(op.fd, op.buf + done, op.len - done,
+                        static_cast<off_t>(op.off + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string(write ? "pwrite: " : "pread: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IOError("unexpected EOF in extent file (offset " +
+                             std::to_string(op.off + done) + ")");
+    }
+    done += static_cast<uint32_t>(n);
+  }
+  return Status::OK();
+#endif
+}
+
+Status DirectVolume::Execute(const std::vector<IoOp>& ops, bool write) {
+#if STARFISH_HAVE_IO_URING
+  if (ring_ != nullptr && !ring_->broken.load(std::memory_order_relaxed)) {
+    return ring_->Submit(ops, write);
+  }
+#endif
+  for (const IoOp& op : ops) {
+    STARFISH_RETURN_NOT_OK(ExecuteSync(op, write, 0));
+  }
+  return Status::OK();
+}
+
+Status DirectVolume::ReadRun(PageId first, uint32_t count, char* out) {
+  STARFISH_RETURN_NOT_OK(CheckRange(first, count));
+  const uint32_t page_size = options_.page_size;
+  thread_local std::vector<IoOp> ops;
+  thread_local AlignedBuffer bounce;
+  ops.clear();
+  // All per-extent segments sit at multiples of page_size from `out`, so
+  // one check covers the whole run.
+  const bool direct_ok = DioEligible(out) && page_size % dio_mem_align_ == 0;
+  char* base = out;
+  if (!direct_ok) {
+    if (!bounce.Reserve(static_cast<size_t>(count) * page_size,
+                        kBounceAlign)) {
+      return Status::ResourceExhausted("cannot allocate bounce buffer");
+    }
+    base = bounce.data();
+  }
+  BuildRunOps(first, count, base, &ops);
+  STARFISH_RETURN_NOT_OK(Execute(ops, /*write=*/false));
+  if (!direct_ok) {
+    std::memcpy(out, base, static_cast<size_t>(count) * page_size);
+  }
+  stats_.CountRead(count);
+  return Status::OK();
+}
+
+Status DirectVolume::WriteRun(PageId first, uint32_t count, const char* src) {
+  STARFISH_RETURN_NOT_OK(CheckRange(first, count));
+  const uint32_t page_size = options_.page_size;
+  thread_local std::vector<IoOp> ops;
+  thread_local AlignedBuffer bounce;
+  ops.clear();
+  const bool direct_ok = DioEligible(src) && page_size % dio_mem_align_ == 0;
+  char* base = const_cast<char*>(src);  // write ops never modify the buffer
+  if (!direct_ok) {
+    if (!bounce.Reserve(static_cast<size_t>(count) * page_size,
+                        kBounceAlign)) {
+      return Status::ResourceExhausted("cannot allocate bounce buffer");
+    }
+    std::memcpy(bounce.data(), src, static_cast<size_t>(count) * page_size);
+    base = bounce.data();
+  }
+  BuildRunOps(first, count, base, &ops);
+  STARFISH_RETURN_NOT_OK(Execute(ops, /*write=*/true));
+  stats_.CountWrite(count);
+  return Status::OK();
+}
+
+Status DirectVolume::ReadChained(const std::vector<PageId>& ids,
+                                 const std::vector<char*>& outs) {
+  if (ids.empty()) return Status::InvalidArgument("empty chained read");
+  if (ids.size() != outs.size()) {
+    return Status::InvalidArgument("chained read: ids/outs size mismatch");
+  }
+  const uint32_t page_size = options_.page_size;
+  thread_local std::vector<IoOp> ops;
+  thread_local std::vector<uint32_t> patch;
+  thread_local AlignedBuffer bounce;
+  ops.clear();
+  patch.clear();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    STARFISH_RETURN_NOT_OK(CheckRange(ids[i], 1));
+    char* buf = outs[i];
+    if (!DioEligible(buf)) {
+      // Reserved lazily: the dominant callers (buffer-pool frames and
+      // prefetch staging) are aligned and never pay for a bounce arena.
+      if (patch.empty() &&
+          !bounce.Reserve(ids.size() * static_cast<size_t>(page_size),
+                          kBounceAlign)) {
+        return Status::ResourceExhausted("cannot allocate bounce buffer");
+      }
+      buf = bounce.data() + i * page_size;
+      patch.push_back(static_cast<uint32_t>(i));
+    }
+    uint64_t off = 0;
+    const int fd = FdOf(ids[i], &off);
+    ops.push_back(IoOp{fd, off, buf, page_size});
+  }
+  STARFISH_RETURN_NOT_OK(Execute(ops, /*write=*/false));
+  for (const uint32_t i : patch) {
+    std::memcpy(outs[i], bounce.data() + static_cast<size_t>(i) * page_size,
+                page_size);
+  }
+  stats_.CountRead(ids.size());
+  return Status::OK();
+}
+
+Status DirectVolume::WriteChained(const std::vector<PageId>& ids,
+                                  const std::vector<const char*>& srcs) {
+  if (ids.empty()) return Status::InvalidArgument("empty chained write");
+  if (ids.size() != srcs.size()) {
+    return Status::InvalidArgument("chained write: ids/srcs size mismatch");
+  }
+  const uint32_t page_size = options_.page_size;
+  thread_local std::vector<IoOp> ops;
+  thread_local AlignedBuffer bounce;
+  ops.clear();
+  bool bounce_reserved = false;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    STARFISH_RETURN_NOT_OK(CheckRange(ids[i], 1));
+    char* buf = const_cast<char*>(srcs[i]);
+    if (!DioEligible(buf)) {
+      // Reserved lazily, as in ReadChained: aligned sources (the frame
+      // arena) never pay for a bounce arena.
+      if (!bounce_reserved &&
+          !bounce.Reserve(ids.size() * static_cast<size_t>(page_size),
+                          kBounceAlign)) {
+        return Status::ResourceExhausted("cannot allocate bounce buffer");
+      }
+      bounce_reserved = true;
+      buf = bounce.data() + i * page_size;
+      std::memcpy(buf, srcs[i], page_size);
+    }
+    uint64_t off = 0;
+    const int fd = FdOf(ids[i], &off);
+    ops.push_back(IoOp{fd, off, buf, page_size});
+  }
+  STARFISH_RETURN_NOT_OK(Execute(ops, /*write=*/true));
+  stats_.CountWrite(ids.size());
+  return Status::OK();
+}
+
+Status DirectVolume::ReadRunZeroCopy(PageId first, uint32_t count,
+                                     std::vector<const char*>* views) {
+  (void)first;
+  (void)count;
+  (void)views;
+  return Status::NotSupported(
+      "DirectVolume keeps no memory image; use ReadRun "
+      "(supports_zero_copy() is false)");
+}
+
+Status DirectVolume::ReadChainedZeroCopy(const std::vector<PageId>& ids,
+                                         std::vector<const char*>* views) {
+  (void)ids;
+  (void)views;
+  return Status::NotSupported(
+      "DirectVolume keeps no memory image; use ReadChained "
+      "(supports_zero_copy() is false)");
+}
+
+Status DirectVolume::WritePageUnmetered(PageId id, const char* src) {
+  STARFISH_RETURN_NOT_OK(CheckRange(id, 1));
+  const uint32_t page_size = options_.page_size;
+  thread_local std::vector<IoOp> ops;
+  thread_local AlignedBuffer bounce;
+  ops.clear();
+  char* buf = const_cast<char*>(src);
+  if (!DioEligible(buf)) {
+    if (!bounce.Reserve(page_size, kBounceAlign)) {
+      return Status::ResourceExhausted("cannot allocate bounce buffer");
+    }
+    std::memcpy(bounce.data(), src, page_size);
+    buf = bounce.data();
+  }
+  uint64_t off = 0;
+  const int fd = FdOf(id, &off);
+  ops.push_back(IoOp{fd, off, buf, page_size});
+  return Execute(ops, /*write=*/true);  // deliberately unmetered
+}
+
+Status DirectVolume::Sync() {
+#if !STARFISH_HAVE_ODIRECT
+  return Status::NotSupported("DirectVolume requires a platform with O_DIRECT");
+#else
+  size_t extent_count = 0;
+  {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    extent_count = open_extents_;
+  }
+  for (size_t i = 0; i < extent_count; ++i) {
+    const int fd = fds_[i].load(std::memory_order_acquire);
+    // O_DIRECT moved the data, but block allocations (writes into holes)
+    // still live in dirty filesystem metadata until fdatasync.
+    if (fd >= 0 && ::fdatasync(fd) != 0) {
+      return Status::IOError("fdatasync " + ExtentPath(i) + ": " +
+                             std::strerror(errno));
+    }
+  }
+  if (dir_dirty_.load(std::memory_order_relaxed)) {
+    // New extent files: their directory entries must be durable before the
+    // allocator journal (and later the catalog) may reference their pages.
+    STARFISH_RETURN_NOT_OK(SyncDir(dir_));
+    dir_dirty_.store(false, std::memory_order_relaxed);
+  }
+  return journal_.Checkpoint(CurrentMetaState());
+#endif
+}
+
+}  // namespace starfish

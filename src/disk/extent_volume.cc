@@ -6,9 +6,7 @@
 
 namespace starfish {
 
-ExtentVolume::ExtentVolume(DiskOptions options) : options_(options) {
-  if (options_.page_size == 0) options_.page_size = kDefaultPageSize;
-  pages_per_extent_ = std::max(1u, options_.extent_bytes / options_.page_size);
+ExtentVolume::ExtentVolume(DiskOptions options) : PagedVolume(options) {
   root_ = std::make_unique<std::atomic<DirChunk*>[]>(kDirRootSlots);
   for (size_t i = 0; i < kDirRootSlots; ++i) {
     root_[i].store(nullptr, std::memory_order_relaxed);
@@ -45,101 +43,19 @@ Status ExtentVolume::PublishExtent(size_t index, char* extent) {
   return Status::OK();
 }
 
-Result<PageId> ExtentVolume::AllocateRun(uint32_t n) {
-  if (n == 0) return Status::InvalidArgument("empty page run");
-  std::lock_guard<std::mutex> lock(alloc_mu_);
-  const uint64_t old_count = page_count_.load(std::memory_order_relaxed);
-  const PageId first = static_cast<PageId>(old_count);
-  const uint64_t new_count = old_count + n;
-  const uint64_t extents_needed =
-      (new_count + pages_per_extent_ - 1) / pages_per_extent_;
+Status ExtentVolume::EnsureExtentsLocked(size_t extent_count) {
   for (size_t i = extent_count_.load(std::memory_order_relaxed);
-       i < extents_needed; ++i) {
-    // Fresh extents (and thus fresh pages) are zero-filled by the backend.
-    // Ids are never reused, so no page is handed out twice.
+       i < extent_count; ++i) {
     STARFISH_ASSIGN_OR_RETURN(char* extent, NewExtent(i));
     STARFISH_RETURN_NOT_OK(PublishExtent(i, extent));
   }
-  freed_.resize(new_count, false);
-  live_pages_.fetch_add(n, std::memory_order_relaxed);
-  // The release store pairs with the acquire load in CheckRange/PeekPage:
-  // any reader whose bounds check admits these page ids also sees the extent
-  // pointers (and zero-filled contents) published above.
-  page_count_.store(new_count, std::memory_order_release);
-  return first;
+  return Status::OK();
 }
 
 void ExtentVolume::AdoptExtent(char* extent) {
   std::lock_guard<std::mutex> lock(alloc_mu_);
   // Reopen-time only; indices continue from the current count.
   (void)PublishExtent(extent_count_.load(std::memory_order_relaxed), extent);
-}
-
-void ExtentVolume::RestoreAllocatorState(uint64_t page_count,
-                                         std::vector<bool> freed) {
-  std::lock_guard<std::mutex> lock(alloc_mu_);
-  freed_ = std::move(freed);
-  freed_.resize(page_count, false);
-  uint64_t live = page_count;
-  for (bool f : freed_) {
-    if (f) --live;
-  }
-  live_pages_.store(live, std::memory_order_relaxed);
-  page_count_.store(page_count, std::memory_order_release);
-}
-
-void ExtentVolume::SnapshotAllocator(uint64_t* page_count,
-                                     std::vector<bool>* freed) const {
-  std::lock_guard<std::mutex> lock(alloc_mu_);
-  *page_count = page_count_.load(std::memory_order_relaxed);
-  *freed = freed_;
-  freed->resize(*page_count, false);
-}
-
-Status ExtentVolume::ReconcileLive(const std::vector<PageId>& live) {
-  std::lock_guard<std::mutex> lock(alloc_mu_);
-  const uint64_t count = page_count_.load(std::memory_order_relaxed);
-  std::vector<bool> freed(count, true);
-  uint64_t live_count = 0;
-  for (PageId id : live) {
-    if (id >= count) {
-      return Status::InvalidArgument(
-          "live page " + std::to_string(id) + " beyond volume of " +
-          std::to_string(count) + " pages");
-    }
-    if (freed[id]) {
-      freed[id] = false;
-      ++live_count;
-    }
-  }
-  freed_ = std::move(freed);
-  live_pages_.store(live_count, std::memory_order_relaxed);
-  return Status::OK();
-}
-
-Status ExtentVolume::Free(PageId id) {
-  STARFISH_RETURN_NOT_OK(CheckRange(id, 1));
-  std::lock_guard<std::mutex> lock(alloc_mu_);
-  if (freed_[id]) {
-    return Status::InvalidArgument("page " + std::to_string(id) +
-                                   " already freed");
-  }
-  freed_[id] = true;
-  live_pages_.fetch_sub(1, std::memory_order_relaxed);
-  return Status::OK();
-}
-
-Status ExtentVolume::CheckRange(PageId first, uint32_t count) const {
-  if (count == 0) return Status::InvalidArgument("empty page run");
-  const uint64_t end = static_cast<uint64_t>(first) + count;
-  // Acquire: admitting these ids must also make their extents visible.
-  const uint64_t limit = page_count_.load(std::memory_order_acquire);
-  if (first == kInvalidPageId || end > limit) {
-    return Status::OutOfRange("page run [" + std::to_string(first) + ", " +
-                              std::to_string(end) + ") outside volume of " +
-                              std::to_string(limit) + " pages");
-  }
-  return Status::OK();
 }
 
 Status ExtentVolume::ReadRun(PageId first, uint32_t count, char* out) {

@@ -3,50 +3,40 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
-#include "disk/volume.h"
+#include "disk/paged_volume.h"
 
 /// \file extent_volume.h
-/// Shared implementation core of the extent-backed volumes.
+/// Shared implementation core of the *memory-addressable* extent backends.
 ///
-/// Both concrete page stores — the in-memory arena (MemVolume) and the
-/// file-per-extent mmap backend (MmapVolume) — keep pages in fixed-size
-/// extents (DiskOptions::extent_bytes, default 4 MiB) each holding a
-/// contiguous run of pages. Consecutive page ids are physically adjacent
-/// within an extent, so a ReadRun/WriteRun is a bounds check plus one memcpy
-/// per extent touched (one for any run that fits in an extent). Extents are
-/// never moved or unmapped while the volume lives, which is what makes the
-/// zero-copy accessors safe.
+/// The in-memory arena (MemVolume) and the file-per-extent mmap backend
+/// (MmapVolume) both keep page images addressable in the process: each
+/// extent is a contiguous memory range, so a ReadRun/WriteRun is a bounds
+/// check plus one memcpy per extent touched (one for any run that fits in
+/// an extent). Extents are never moved or unmapped while the volume lives,
+/// which is what makes the zero-copy accessors safe. (The O_DIRECT backend
+/// keeps no memory image at all — it derives from PagedVolume directly, see
+/// direct_volume.h.)
 ///
 /// ExtentVolume implements every data operation over a two-level extent
 /// directory; subclasses only provision extents (heap allocation vs. mmap)
-/// and release them in their destructor.
+/// and release them in their destructor. Allocator state lives in the
+/// PagedVolume base.
 ///
 /// Thread safety (see Volume for the full contract): the extent directory is
 /// a fixed-shape table of atomic pointers, so the read path takes no lock —
 /// a reader that passed the bounds check (an acquire load of the page count)
 /// is guaranteed to see the extent pointers published before the matching
-/// release store in AllocateRun. Allocator state (growth, the freed bitmap)
-/// sits behind a small mutex; data reads and writes never touch it.
+/// release store in AllocateRun.
 
 namespace starfish {
 
 /// Extent-directory volume core. Subclasses provide NewExtent().
-class ExtentVolume : public Volume {
+class ExtentVolume : public PagedVolume {
  public:
-  uint32_t page_size() const override { return options_.page_size; }
-  uint32_t pages_per_extent() const override { return pages_per_extent_; }
-  uint64_t page_count() const override {
-    return page_count_.load(std::memory_order_acquire);
-  }
-  uint64_t live_page_count() const override {
-    return live_pages_.load(std::memory_order_relaxed);
-  }
+  bool supports_zero_copy() const override { return true; }
 
-  Result<PageId> AllocateRun(uint32_t n) override;
-  Status Free(PageId id) override;
   Status ReadRun(PageId first, uint32_t count, char* out) override;
   Status WriteRun(PageId first, uint32_t count, const char* src) override;
   Status ReadRunZeroCopy(PageId first, uint32_t count,
@@ -58,10 +48,6 @@ class ExtentVolume : public Volume {
   Status WriteChained(const std::vector<PageId>& ids,
                       const std::vector<const char*>& srcs) override;
   const char* PeekPage(PageId id) const override;
-  Status ReconcileLive(const std::vector<PageId>& live) override;
-
-  IoStats stats() const override { return stats_.Snapshot(); }
-  void ResetStats() override { stats_.Reset(); }
 
  protected:
   explicit ExtentVolume(DiskOptions options);
@@ -73,10 +59,9 @@ class ExtentVolume : public Volume {
   /// with the allocator lock held; indices arrive in increasing order.
   virtual Result<char*> NewExtent(size_t index) = 0;
 
-  /// Bytes per extent after geometry normalization.
-  size_t extent_size_bytes() const {
-    return static_cast<size_t>(pages_per_extent_) * options_.page_size;
-  }
+  /// PagedVolume hook: provisions and publishes memory extents up to
+  /// `extent_count`.
+  Status EnsureExtentsLocked(size_t extent_count) override;
 
   /// Number of provisioned extents.
   size_t extent_count() const {
@@ -87,14 +72,6 @@ class ExtentVolume : public Volume {
   /// only): extents re-mapped from existing files were not allocated through
   /// NewExtent, but PagePtr must still find them.
   void AdoptExtent(char* extent);
-
-  /// Restores allocator state on reopen (mmap backend only). `freed` may be
-  /// shorter than `page_count`; missing entries mean "not freed".
-  void RestoreAllocatorState(uint64_t page_count, std::vector<bool> freed);
-
-  /// Consistent copy of the allocator state (page count + freed bitmap),
-  /// taken under the allocator lock — what a metadata checkpoint persists.
-  void SnapshotAllocator(uint64_t* page_count, std::vector<bool>* freed) const;
 
  private:
   // Fixed-shape two-level directory of extent base pointers. The root is
@@ -111,8 +88,6 @@ class ExtentVolume : public Volume {
   struct DirChunk {
     std::atomic<char*> slot[kDirChunkSlots];
   };
-
-  Status CheckRange(PageId first, uint32_t count) const;
 
   /// Publishes `extent` as extent `index`. Allocator lock held.
   Status PublishExtent(size_t index, char* extent);
@@ -131,17 +106,8 @@ class ExtentVolume : public Volume {
            static_cast<size_t>(id % pages_per_extent_) * options_.page_size;
   }
 
-  DiskOptions options_;
-  uint32_t pages_per_extent_;
   std::unique_ptr<std::atomic<DirChunk*>[]> root_;  ///< kDirRootSlots entries
   std::atomic<size_t> extent_count_{0};
-  std::atomic<uint64_t> page_count_{0};
-  std::atomic<uint64_t> live_pages_{0};
-  /// Serializes extent growth and the freed bitmap. Data reads/writes never
-  /// take it — only AllocateRun/Free/restore/snapshot do.
-  mutable std::mutex alloc_mu_;
-  std::vector<bool> freed_;  ///< guarded by alloc_mu_
-  AtomicIoStats stats_;
 };
 
 }  // namespace starfish

@@ -215,6 +215,19 @@ const char* FaultVolume::PeekPage(PageId id) const {
   return inner_->PeekPage(id);
 }
 
+Status FaultVolume::WritePageUnmetered(PageId id, const char* src) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down_) return DownError();
+  // Straight to the medium (the point of the unmetered seam); keep any
+  // overlay image coherent with it, as the torn-write path does.
+  STARFISH_RETURN_NOT_OK(inner_->WritePageUnmetered(id, src));
+  auto it = overlay_.find(id);
+  if (it != overlay_.end()) {
+    std::memcpy(it->second.get(), src, inner_->page_size());
+  }
+  return Status::OK();
+}
+
 Status FaultVolume::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
   if (down_) return DownError();
@@ -227,18 +240,14 @@ Status FaultVolume::Sync() {
     return Status::IOError("injected sync fault (call " +
                            std::to_string(sync_calls_seen_) + ")");
   }
-  const uint32_t page_size = inner_->page_size();
   for (PageId id : dirty_) {
     // Unmetered apply: the write was already counted when it entered the
     // overlay ("disk cache"); flushing the cache to the platter is not a
-    // second transfer. Extent memory is writable in every backend; PeekPage
-    // is merely a const view of it.
-    char* dst = const_cast<char*>(inner_->PeekPage(id));
-    if (dst == nullptr) {
-      return Status::Corruption("overlay page " + std::to_string(id) +
-                                " vanished from backend");
-    }
-    std::memcpy(dst, overlay_.at(id).get(), page_size);
+    // second transfer. WritePageUnmetered patches the memory image on the
+    // mem/mmap backends and issues an uncounted device write on the direct
+    // backend — which is what lets the crash matrix run over O_DIRECT.
+    STARFISH_RETURN_NOT_OK(
+        inner_->WritePageUnmetered(id, overlay_.at(id).get()));
   }
   dirty_.clear();
   return inner_->Sync();

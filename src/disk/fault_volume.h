@@ -134,6 +134,12 @@ class FaultVolume final : public Volume {
 
   // ------------------------------------------------------------ Volume --
   VolumeKind kind() const override { return inner_->kind(); }
+  bool supports_zero_copy() const override {
+    return inner_->supports_zero_copy();
+  }
+  uint32_t io_buffer_alignment() const override {
+    return inner_->io_buffer_alignment();
+  }
   uint32_t page_size() const override { return inner_->page_size(); }
   uint32_t pages_per_extent() const override {
     return inner_->pages_per_extent();
@@ -156,6 +162,7 @@ class FaultVolume final : public Volume {
   Status WriteChained(const std::vector<PageId>& ids,
                       const std::vector<const char*>& srcs) override;
   const char* PeekPage(PageId id) const override;
+  Status WritePageUnmetered(PageId id, const char* src) override;
   Status Sync() override;
   Status ReconcileLive(const std::vector<PageId>& live) override {
     return inner_->ReconcileLive(live);

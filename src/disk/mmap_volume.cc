@@ -54,7 +54,7 @@ Result<std::unique_ptr<MmapVolume>> MmapVolume::Open(const std::string& dir,
     // leaving of a run that crashed before its first checkpoint. Remove
     // them — NewExtent would otherwise adopt their stale bytes as
     // "zero-filled" fresh pages.
-    STARFISH_RETURN_NOT_OK(volume->RemoveOrphanExtentFiles(0));
+    STARFISH_RETURN_NOT_OK(RemoveOrphanExtentFiles(dir, 0));
   }
   if (replay.found) {
     const uint64_t ppe = volume->pages_per_extent();
@@ -64,7 +64,7 @@ Result<std::unique_ptr<MmapVolume>> MmapVolume::Open(const std::string& dir,
     // crashed, never-checkpointed allocation. Remove them now: a future
     // AllocateRun reaching their index must see zero-filled pages, not the
     // stale bytes of the crashed run.
-    STARFISH_RETURN_NOT_OK(volume->RemoveOrphanExtentFiles(extent_count));
+    STARFISH_RETURN_NOT_OK(RemoveOrphanExtentFiles(dir, extent_count));
     for (size_t i = 0; i < extent_count; ++i) {
       STARFISH_ASSIGN_OR_RETURN(char* extent,
                                 volume->MapExtent(i, /*create=*/false));
@@ -78,14 +78,14 @@ Result<std::unique_ptr<MmapVolume>> MmapVolume::Open(const std::string& dir,
       }
     }
     volume->RestoreAllocatorState(pages, replay.state.freed);
-    volume->last_checkpoint_ = replay.state;
-    volume->meta_on_disk_ = true;
+    volume->journal_.MarkReplayed(replay.state);
     if (replay.legacy || replay.torn_tail ||
         replay.records > kCompactRecordThreshold) {
       // Legacy formats upgrade, torn tails must not poison later appends
       // (replay stops at the first bad record), and long journals fold into
       // one snapshot.
-      STARFISH_RETURN_NOT_OK(volume->RewriteCompactedMeta());
+      STARFISH_RETURN_NOT_OK(
+          volume->journal_.RewriteCompacted(volume->CurrentMetaState()));
     }
   }
   return volume;
@@ -96,7 +96,7 @@ MmapVolume::~MmapVolume() {
 #if STARFISH_HAVE_MMAP
   // Best-effort checkpoint: page bytes reach the files via the shared
   // mappings; the journal append makes the allocator state match them.
-  (void)CheckpointAllocator();
+  (void)journal_.Checkpoint(CurrentMetaState());
   for (void* mapping : mappings_) {
     if (mapping != nullptr) ::munmap(mapping, extent_size_bytes());
   }
@@ -105,35 +105,6 @@ MmapVolume::~MmapVolume() {
 
 std::string MmapVolume::ExtentPath(size_t index) const {
   return dir_ + "/" + ExtentFileName(index);
-}
-
-std::string MmapVolume::MetaPath() const { return dir_ + "/volume.meta"; }
-
-Status MmapVolume::RemoveOrphanExtentFiles(size_t expected) const {
-  // Manual increment with an error_code: the range-for ++ throws on a
-  // mid-scan I/O error, which must surface as a Status on this API.
-  std::error_code ec;
-  std::vector<std::string> doomed;
-  std::filesystem::directory_iterator it(dir_, ec), end;
-  for (; !ec && it != end; it.increment(ec)) {
-    uint64_t index = 0;
-    if (ParseExtentFileName(it->path().filename().string(), &index) &&
-        index >= expected) {
-      doomed.push_back(it->path());
-    }
-  }
-  if (ec) {
-    return Status::IOError("scan " + dir_ + ": " + ec.message());
-  }
-  for (const std::string& path : doomed) {
-    std::filesystem::remove(path, ec);
-    if (ec) {
-      return Status::IOError("remove orphan extent " + path + ": " +
-                             ec.message());
-    }
-  }
-  if (!doomed.empty()) STARFISH_RETURN_NOT_OK(SyncDir(dir_));
-  return Status::OK();
 }
 
 Result<char*> MmapVolume::NewExtent(size_t index) {
@@ -174,73 +145,6 @@ Result<char*> MmapVolume::MapExtent(size_t index, bool create) {
 #endif
 }
 
-Status MmapVolume::RewriteCompactedMeta() {
-#if !STARFISH_HAVE_MMAP
-  return Status::NotSupported("MmapVolume requires a POSIX mmap platform");
-#else
-  VolumeMetaState state;
-  state.options.page_size = page_size();
-  // Record the normalized extent size (pages_per_extent * page_size); the
-  // reopening constructor derives the identical geometry from it.
-  state.options.extent_bytes = static_cast<uint32_t>(extent_size_bytes());
-  SnapshotAllocator(&state.page_count, &state.freed);
-  std::string bytes;
-  AppendVolumeMetaHeader(&bytes, state.options);
-  AppendSnapshotRecord(&bytes, state);
-  STARFISH_RETURN_NOT_OK(WriteFileAtomic(MetaPath(), bytes));
-  last_checkpoint_ = std::move(state);
-  meta_on_disk_ = true;
-  meta_append_unsafe_ = false;  // the atomic replace healed any torn tail
-  return Status::OK();
-#endif
-}
-
-Status MmapVolume::CheckpointAllocator() {
-#if !STARFISH_HAVE_MMAP
-  return Status::NotSupported("MmapVolume requires a POSIX mmap platform");
-#else
-  if (!meta_on_disk_) return RewriteCompactedMeta();
-
-  uint64_t pages = 0;
-  std::vector<bool> freed;
-  SnapshotAllocator(&pages, &freed);
-  std::vector<PageId> newly_freed;
-  for (uint64_t i = 0; i < pages; ++i) {
-    const bool was_freed =
-        i < last_checkpoint_.page_count && last_checkpoint_.freed[i];
-    if (freed[i] && !was_freed) {
-      newly_freed.push_back(static_cast<PageId>(i));
-    } else if (!freed[i] && was_freed) {
-      // Un-freeing only happens via ReconcileLive (reopen recovery); a
-      // delta cannot express it, so fold the journal into a snapshot.
-      return RewriteCompactedMeta();
-    }
-  }
-  if (pages == last_checkpoint_.page_count && newly_freed.empty()) {
-    return Status::OK();  // nothing moved since the last record
-  }
-  if (meta_append_unsafe_) {
-    // A previous append failed partway: the tail may hold torn bytes, and
-    // a fresh append would land BEYOND them, where replay never reaches.
-    // Only an atomic rewrite may touch the file now.
-    return RewriteCompactedMeta();
-  }
-  std::string record;
-  AppendDeltaRecord(&record, pages, newly_freed);
-  const Status appended = AppendFileDurable(MetaPath(), record);
-  if (!appended.ok()) {
-    // Heal the possibly-torn tail immediately (the compacted snapshot
-    // replaces the whole file atomically and supersedes the delta); if
-    // even that fails, the flag poisons appends until a rewrite succeeds.
-    meta_append_unsafe_ = true;
-    return RewriteCompactedMeta().ok() ? Status::OK() : appended;
-  }
-  last_checkpoint_.page_count = pages;
-  last_checkpoint_.freed = std::move(freed);
-  return Status::OK();
-#endif
-}
-
 Status MmapVolume::Sync() {
 #if !STARFISH_HAVE_MMAP
   return Status::NotSupported("MmapVolume requires a POSIX mmap platform");
@@ -251,7 +155,7 @@ Status MmapVolume::Sync() {
       return Status::IOError(std::string("msync: ") + std::strerror(errno));
     }
   }
-  return CheckpointAllocator();
+  return journal_.Checkpoint(CurrentMetaState());
 #endif
 }
 

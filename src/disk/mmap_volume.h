@@ -17,6 +17,10 @@
 ///     <dir>/extent_000000    page images of extent 0
 ///     <dir>/extent_000001    ...
 ///
+/// This layout is shared byte-for-byte with DirectVolume — a directory
+/// written by one backend reopens under the other; only the access path
+/// (page cache vs. O_DIRECT) differs.
+///
 /// Extents are mapped MAP_SHARED, so page images live in the kernel page
 /// cache and the volume can exceed RAM; the files survive process exit, and
 /// reopening the directory restores the exact page images and allocator
@@ -62,7 +66,9 @@ class MmapVolume final : public ExtentVolume {
 
  private:
   MmapVolume(std::string dir, DiskOptions options)
-      : ExtentVolume(options), dir_(std::move(dir)) {}
+      : ExtentVolume(options), dir_(std::move(dir)) {
+    journal_.Attach(dir_ + "/volume.meta");
+  }
 
   Result<char*> NewExtent(size_t index) override;
 
@@ -71,38 +77,15 @@ class MmapVolume final : public ExtentVolume {
   Result<char*> MapExtent(size_t index, bool create);
 
   std::string ExtentPath(size_t index) const;
-  std::string MetaPath() const;
-
-  /// Appends the allocator changes since `last_checkpoint_` to the journal
-  /// (creating it with a header + base snapshot on first use, or rewriting
-  /// it compacted when the state moved backwards, i.e. after
-  /// ReconcileLive). No-op when nothing changed.
-  Status CheckpointAllocator();
-
-  /// Atomically replaces the journal with a compacted header + snapshot of
-  /// the current allocator state.
-  Status RewriteCompactedMeta();
-
-  /// Removes extent files at or beyond `expected` (orphans of a crashed,
-  /// never-committed allocation) so a later re-allocation of their indices
-  /// starts from zero-filled images.
-  Status RemoveOrphanExtentFiles(size_t expected) const;
 
   std::string dir_;
   /// Mapped extent addresses for munmap. Grown only at open time and under
   /// the base class's allocator lock (NewExtent); Sync/destructor run on the
   /// writer side of the single-writer contract.
   std::vector<void*> mappings_;
-  /// Allocator state as of the last durable journal record; the next
-  /// checkpoint appends the delta against it.
-  VolumeMetaState last_checkpoint_;
-  /// True once volume.meta exists with a valid v2 header on disk.
-  bool meta_on_disk_ = false;
-  /// Set when an append failed partway (the tail may be torn): appending
-  /// past torn bytes would put records where replay never reaches, so
-  /// only an atomic compacted rewrite may touch the journal until one
-  /// succeeds.
-  bool meta_append_unsafe_ = false;
+  /// Durable-side allocator bookkeeping (delta appends, compaction, torn
+  /// tails) — shared with DirectVolume via volume_meta.h.
+  AllocatorJournal journal_;
 };
 
 }  // namespace starfish

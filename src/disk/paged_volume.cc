@@ -1,0 +1,109 @@
+#include "disk/paged_volume.h"
+
+#include <algorithm>
+#include <string>
+
+namespace starfish {
+
+PagedVolume::PagedVolume(DiskOptions options) : options_(options) {
+  if (options_.page_size == 0) options_.page_size = kDefaultPageSize;
+  pages_per_extent_ = std::max(1u, options_.extent_bytes / options_.page_size);
+}
+
+Result<PageId> PagedVolume::AllocateRun(uint32_t n) {
+  if (n == 0) return Status::InvalidArgument("empty page run");
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  const uint64_t old_count = page_count_.load(std::memory_order_relaxed);
+  const PageId first = static_cast<PageId>(old_count);
+  const uint64_t new_count = old_count + n;
+  const uint64_t extents_needed =
+      (new_count + pages_per_extent_ - 1) / pages_per_extent_;
+  // Fresh extents (and thus fresh pages) are zero-filled by the backend.
+  // Ids are never reused, so no page is handed out twice.
+  STARFISH_RETURN_NOT_OK(
+      EnsureExtentsLocked(static_cast<size_t>(extents_needed)));
+  freed_.resize(new_count, false);
+  live_pages_.fetch_add(n, std::memory_order_relaxed);
+  // The release store pairs with the acquire load in CheckRange/PeekPage:
+  // any reader whose bounds check admits these page ids also sees the
+  // extents (and zero-filled contents) provisioned above.
+  page_count_.store(new_count, std::memory_order_release);
+  return first;
+}
+
+void PagedVolume::RestoreAllocatorState(uint64_t page_count,
+                                        std::vector<bool> freed) {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  freed_ = std::move(freed);
+  freed_.resize(page_count, false);
+  uint64_t live = page_count;
+  for (bool f : freed_) {
+    if (f) --live;
+  }
+  live_pages_.store(live, std::memory_order_relaxed);
+  page_count_.store(page_count, std::memory_order_release);
+}
+
+void PagedVolume::SnapshotAllocator(uint64_t* page_count,
+                                    std::vector<bool>* freed) const {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  *page_count = page_count_.load(std::memory_order_relaxed);
+  *freed = freed_;
+  freed->resize(*page_count, false);
+}
+
+VolumeMetaState PagedVolume::CurrentMetaState() const {
+  VolumeMetaState state;
+  state.options.page_size = page_size();
+  state.options.extent_bytes = static_cast<uint32_t>(extent_size_bytes());
+  SnapshotAllocator(&state.page_count, &state.freed);
+  return state;
+}
+
+Status PagedVolume::ReconcileLive(const std::vector<PageId>& live) {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  const uint64_t count = page_count_.load(std::memory_order_relaxed);
+  std::vector<bool> freed(count, true);
+  uint64_t live_count = 0;
+  for (PageId id : live) {
+    if (id >= count) {
+      return Status::InvalidArgument(
+          "live page " + std::to_string(id) + " beyond volume of " +
+          std::to_string(count) + " pages");
+    }
+    if (freed[id]) {
+      freed[id] = false;
+      ++live_count;
+    }
+  }
+  freed_ = std::move(freed);
+  live_pages_.store(live_count, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status PagedVolume::Free(PageId id) {
+  STARFISH_RETURN_NOT_OK(CheckRange(id, 1));
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  if (freed_[id]) {
+    return Status::InvalidArgument("page " + std::to_string(id) +
+                                   " already freed");
+  }
+  freed_[id] = true;
+  live_pages_.fetch_sub(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status PagedVolume::CheckRange(PageId first, uint32_t count) const {
+  if (count == 0) return Status::InvalidArgument("empty page run");
+  const uint64_t end = static_cast<uint64_t>(first) + count;
+  // Acquire: admitting these ids must also make their extents visible.
+  const uint64_t limit = page_count_.load(std::memory_order_acquire);
+  if (first == kInvalidPageId || end > limit) {
+    return Status::OutOfRange("page run [" + std::to_string(first) + ", " +
+                              std::to_string(end) + ") outside volume of " +
+                              std::to_string(limit) + " pages");
+  }
+  return Status::OK();
+}
+
+}  // namespace starfish

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "disk/volume.h"
+#include "disk/volume_meta.h"
+
+/// \file paged_volume.h
+/// Shared allocator core of the concrete volume backends.
+///
+/// Every concrete page store — the in-memory arena (MemVolume), the mmap
+/// backend (MmapVolume) and the O_DIRECT backend (DirectVolume) — carves its
+/// address space into fixed-size extents (DiskOptions::extent_bytes, default
+/// 4 MiB) each holding a contiguous run of pages, and shares one allocator:
+/// a monotonically growing page count plus a freed bitmap (page ids are
+/// never reused). PagedVolume owns exactly that state; what differs per
+/// backend is only how an extent is *provisioned* (heap memory, an mmap'd
+/// file, an O_DIRECT file descriptor) and how page bytes move — both behind
+/// the EnsureExtentsLocked() hook and the data-operation overrides.
+///
+/// Thread safety (see Volume for the full contract): the allocator state
+/// (growth, the freed bitmap) sits behind a small mutex; the page count is
+/// additionally published with a release store so that lock-free readers
+/// whose bounds check (an acquire load in CheckRange) admits a page id are
+/// guaranteed to see the extent that backs it — every subclass publishes its
+/// extent handle (pointer or file descriptor) before AllocateRun's release
+/// store.
+
+namespace starfish {
+
+/// Allocator core. Subclasses provide extent provisioning and data I/O.
+class PagedVolume : public Volume {
+ public:
+  uint32_t page_size() const override { return options_.page_size; }
+  uint32_t pages_per_extent() const override { return pages_per_extent_; }
+  uint64_t page_count() const override {
+    return page_count_.load(std::memory_order_acquire);
+  }
+  uint64_t live_page_count() const override {
+    return live_pages_.load(std::memory_order_relaxed);
+  }
+
+  Result<PageId> AllocateRun(uint32_t n) override;
+  Status Free(PageId id) override;
+  Status ReconcileLive(const std::vector<PageId>& live) override;
+
+  IoStats stats() const override { return stats_.Snapshot(); }
+  void ResetStats() override { stats_.Reset(); }
+
+ protected:
+  explicit PagedVolume(DiskOptions options);
+
+  /// Provisions backing storage so that extents [0, extent_count) exist
+  /// (indices arrive in increasing order; already-provisioned extents must
+  /// be left alone). Fresh extents must read as zero-filled pages. Called
+  /// with the allocator lock held; the subclass publishes each extent
+  /// handle with a release store (or relies on AllocateRun's release store
+  /// of the page count) before readers can pass the bounds check.
+  virtual Status EnsureExtentsLocked(size_t extent_count) = 0;
+
+  /// Validates a page run against the current page count. The acquire load
+  /// inside pairs with AllocateRun's release store: admitting a page id
+  /// also makes its extent visible to the caller.
+  Status CheckRange(PageId first, uint32_t count) const;
+
+  /// Bytes per extent after geometry normalization.
+  size_t extent_size_bytes() const {
+    return static_cast<size_t>(pages_per_extent_) * options_.page_size;
+  }
+
+  /// Restores allocator state on reopen (persistent backends). `freed` may
+  /// be shorter than `page_count`; missing entries mean "not freed".
+  void RestoreAllocatorState(uint64_t page_count, std::vector<bool> freed);
+
+  /// Consistent copy of the allocator state (page count + freed bitmap),
+  /// taken under the allocator lock — what a metadata checkpoint persists.
+  void SnapshotAllocator(uint64_t* page_count, std::vector<bool>* freed) const;
+
+  /// The allocator state in journal form: normalized geometry (the
+  /// reopening constructor derives the identical layout from it) plus the
+  /// snapshot — what the persistent backends hand to AllocatorJournal.
+  VolumeMetaState CurrentMetaState() const;
+
+  // Hot read-path fields lead the layout (geometry, the bounds-check
+  // counter, the meter): every data operation touches them, and a derived
+  // class's extent directory starts right after the cold tail below.
+  DiskOptions options_;
+  uint32_t pages_per_extent_;
+  std::atomic<uint64_t> page_count_{0};
+  AtomicIoStats stats_;
+  std::atomic<uint64_t> live_pages_{0};
+  /// Serializes extent growth and the freed bitmap. Data reads/writes never
+  /// take it — only AllocateRun/Free/restore/snapshot do.
+  mutable std::mutex alloc_mu_;
+  std::vector<bool> freed_;  ///< guarded by alloc_mu_
+};
+
+}  // namespace starfish

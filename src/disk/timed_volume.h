@@ -53,6 +53,12 @@ class TimedVolume final : public Volume {
 
   // ------------------------------------------------------------ Volume --
   VolumeKind kind() const override { return inner_->kind(); }
+  bool supports_zero_copy() const override {
+    return inner_->supports_zero_copy();
+  }
+  uint32_t io_buffer_alignment() const override {
+    return inner_->io_buffer_alignment();
+  }
   uint32_t page_size() const override { return inner_->page_size(); }
   uint32_t pages_per_extent() const override {
     return inner_->pages_per_extent();
@@ -95,6 +101,10 @@ class TimedVolume final : public Volume {
 
   const char* PeekPage(PageId id) const override {
     return inner_->PeekPage(id);
+  }
+  Status WritePageUnmetered(PageId id, const char* src) override {
+    // Unmetered implies uncharged, mirroring the I/O counters.
+    return inner_->WritePageUnmetered(id, src);
   }
   Status Sync() override { return inner_->Sync(); }
   Status ReconcileLive(const std::vector<PageId>& live) override {

@@ -1,5 +1,8 @@
 #include "disk/volume.h"
 
+#include <cstring>
+
+#include "disk/direct_volume.h"
 #include "disk/mem_volume.h"
 #include "disk/mmap_volume.h"
 
@@ -11,8 +14,23 @@ std::string ToString(VolumeKind kind) {
       return "mem";
     case VolumeKind::kMmap:
       return "mmap";
+    case VolumeKind::kDirect:
+      return "direct";
   }
   return "unknown";
+}
+
+Status Volume::WritePageUnmetered(PageId id, const char* src) {
+  // Memory-addressable backends patch the page image in place; PeekPage is
+  // merely a const view of writable extent memory. Backends without a
+  // memory image override this with an unmetered device write.
+  char* dst = const_cast<char*>(PeekPage(id));
+  if (dst == nullptr) {
+    return Status::OutOfRange("unmetered write to unknown page " +
+                              std::to_string(id));
+  }
+  std::memcpy(dst, src, page_size());
+  return Status::OK();
 }
 
 Result<std::unique_ptr<Volume>> CreateVolume(VolumeKind kind,
@@ -24,6 +42,11 @@ Result<std::unique_ptr<Volume>> CreateVolume(VolumeKind kind,
     case VolumeKind::kMmap: {
       STARFISH_ASSIGN_OR_RETURN(std::unique_ptr<MmapVolume> volume,
                                 MmapVolume::Open(path, options));
+      return {std::unique_ptr<Volume>(std::move(volume))};
+    }
+    case VolumeKind::kDirect: {
+      STARFISH_ASSIGN_OR_RETURN(std::unique_ptr<DirectVolume> volume,
+                                DirectVolume::Open(path, options));
       return {std::unique_ptr<Volume>(std::move(volume))};
     }
   }

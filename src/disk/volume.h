@@ -23,28 +23,39 @@
 /// Page ids are dense and increase in allocation order; AllocateRun yields
 /// physically contiguous pages, which is how segments implement clustering.
 ///
-/// Backends (selected via VolumeKind / CreateVolume):
+/// Backends (selected via VolumeKind / CreateVolume; see docs/VOLUMES.md
+/// for the selection matrix):
 ///   * **MemVolume** (mem_volume.h) — a chunked in-memory arena; the
 ///     default, equivalent to the paper's simulated drum.
 ///   * **MmapVolume** (mmap_volume.h) — one real memory-mapped file per
 ///     extent, so volumes can exceed RAM and persist across process
 ///     restarts.
-///   * **TimedVolume** (timed_volume.h) — a decorator over either backend
+///   * **DirectVolume** (direct_volume.h) — one O_DIRECT file per extent:
+///     every page transfer is a real device I/O that bypasses the kernel
+///     page cache (batched through io_uring where available). Same on-disk
+///     format as MmapVolume.
+///   * **TimedVolume** (timed_volume.h) — a decorator over any backend
 ///     that charges Equation-1 service time per call.
+///   * **FaultVolume** (fault_volume.h) — a fault-injecting decorator (the
+///     crash-matrix test substrate).
 ///
-/// All backends give the same zero-copy guarantee: extents never move while
-/// the volume lives, so PeekPage / ReadRunZeroCopy / ReadChainedZeroCopy
-/// hand out pointers that stay valid for the lifetime of the volume.
+/// The memory-addressable backends (mem, mmap) give a zero-copy guarantee:
+/// extents never move while the volume lives, so PeekPage / ReadRunZeroCopy
+/// / ReadChainedZeroCopy hand out pointers that stay valid for the lifetime
+/// of the volume. The direct backend keeps no memory image — callers probe
+/// supports_zero_copy() and fall back to the copying calls (the buffer pool
+/// does this automatically, reading straight into its aligned frames).
 
 namespace starfish {
 
 /// Storage backend selector.
 enum class VolumeKind {
-  kMem,   ///< in-memory chunked arena (default; nothing persists)
-  kMmap,  ///< one memory-mapped file per extent; persists across runs
+  kMem,     ///< in-memory chunked arena (default; nothing persists)
+  kMmap,    ///< one memory-mapped file per extent; persists across runs
+  kDirect,  ///< one O_DIRECT file per extent; persists, bypasses page cache
 };
 
-/// Human-readable backend name ("mem" / "mmap").
+/// Human-readable backend name ("mem" / "mmap" / "direct").
 std::string ToString(VolumeKind kind);
 
 /// Geometry options for a volume.
@@ -113,12 +124,27 @@ class Volume {
   /// Counts one write call and `count` page writes.
   virtual Status WriteRun(PageId first, uint32_t count, const char* src) = 0;
 
+  /// True when this backend keeps page images addressable in memory, i.e.
+  /// the zero-copy calls (ReadRunZeroCopy / ReadChainedZeroCopy) and
+  /// PeekPage work. Backends that do real device I/O (DirectVolume) return
+  /// false: their zero-copy calls return NotSupported and PeekPage returns
+  /// nullptr, and callers route through the copying calls instead.
+  virtual bool supports_zero_copy() const { return true; }
+
+  /// Byte alignment this backend wants for I/O buffers (0 = none). Direct
+  /// backends report the device's DMA alignment; the storage engine raises
+  /// BufferOptions::frame_alignment to it so page reads can DMA straight
+  /// into buffer-pool frames. Misaligned buffers still work everywhere —
+  /// the direct backend bounces them internally — this is a performance
+  /// hint, not a correctness requirement.
+  virtual uint32_t io_buffer_alignment() const { return 0; }
+
   /// Zero-copy variant of ReadRun: instead of copying into a caller buffer,
   /// appends one stable extent pointer per page to `views` (cleared first).
   /// Same accounting as ReadRun (one read call, `count` page reads). The
   /// pointers remain valid for the lifetime of the volume; the buffer
   /// manager uses this to copy straight into its frames with no staging
-  /// buffer in between.
+  /// buffer in between. NotSupported when supports_zero_copy() is false.
   virtual Status ReadRunZeroCopy(PageId first, uint32_t count,
                                  std::vector<const char*>* views) = 0;
 
@@ -142,7 +168,18 @@ class Volume {
   /// Unmetered read-only view of a page's bytes, or nullptr when `id` is out
   /// of range. Debug/test accessor: it deliberately bypasses the I/O
   /// counters, so production paths must go through the metered calls above.
+  /// Backends without a memory image (supports_zero_copy() == false) return
+  /// nullptr for every id.
   virtual const char* PeekPage(PageId id) const = 0;
+
+  /// Applies `page_size()` bytes to the medium image of `id` WITHOUT
+  /// touching the I/O meter. Test/recovery seam: FaultVolume flushes its
+  /// volatile write overlay through this (the write was already counted
+  /// when it entered the "disk cache"; flushing cache to platter is not a
+  /// second transfer). The base implementation patches the memory image via
+  /// PeekPage; backends without one (DirectVolume) override with an
+  /// unmetered device write.
+  virtual Status WritePageUnmetered(PageId id, const char* src);
 
   /// Forces durable state (page images + allocator metadata) to storage.
   /// No-op for backends without persistence.
@@ -170,8 +207,10 @@ class Volume {
 };
 
 /// Constructs a volume of the given kind. `path` is the backing directory of
-/// the mmap backend (created if absent; reopened if it already holds a
-/// volume) and ignored by the mem backend.
+/// the persistent backends (mmap/direct: created if absent; reopened if it
+/// already holds a volume — the two share one on-disk format) and ignored by
+/// the mem backend. kDirect returns NotSupported on filesystems that reject
+/// O_DIRECT (tmpfs, overlayfs); see docs/VOLUMES.md.
 Result<std::unique_ptr<Volume>> CreateVolume(VolumeKind kind,
                                              DiskOptions options = {},
                                              const std::string& path = "");

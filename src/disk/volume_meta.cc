@@ -1,6 +1,7 @@
 #include "disk/volume_meta.h"
 
 #include <cstdio>
+#include <filesystem>
 
 #include "util/coding.h"
 #include "util/crc32.h"
@@ -190,6 +191,82 @@ bool ParseExtentFileName(const std::string& name, uint64_t* index) {
   }
   *index = std::stoull(digits);
   return true;
+}
+
+Status RemoveOrphanExtentFiles(const std::string& dir, size_t expected) {
+  // Manual increment with an error_code: the range-for ++ throws on a
+  // mid-scan I/O error, which must surface as a Status on this API.
+  std::error_code ec;
+  std::vector<std::string> doomed;
+  std::filesystem::directory_iterator it(dir, ec), end;
+  for (; !ec && it != end; it.increment(ec)) {
+    uint64_t index = 0;
+    if (ParseExtentFileName(it->path().filename().string(), &index) &&
+        index >= expected) {
+      doomed.push_back(it->path());
+    }
+  }
+  if (ec) {
+    return Status::IOError("scan " + dir + ": " + ec.message());
+  }
+  for (const std::string& path : doomed) {
+    std::filesystem::remove(path, ec);
+    if (ec) {
+      return Status::IOError("remove orphan extent " + path + ": " +
+                             ec.message());
+    }
+  }
+  if (!doomed.empty()) STARFISH_RETURN_NOT_OK(SyncDir(dir));
+  return Status::OK();
+}
+
+Status AllocatorJournal::RewriteCompacted(VolumeMetaState current) {
+  std::string bytes;
+  AppendVolumeMetaHeader(&bytes, current.options);
+  AppendSnapshotRecord(&bytes, current);
+  STARFISH_RETURN_NOT_OK(WriteFileAtomic(path_, bytes));
+  last_ = std::move(current);
+  on_disk_ = true;
+  append_unsafe_ = false;  // the atomic replace healed any torn tail
+  return Status::OK();
+}
+
+Status AllocatorJournal::Checkpoint(VolumeMetaState current) {
+  if (!on_disk_) return RewriteCompacted(std::move(current));
+
+  std::vector<PageId> newly_freed;
+  for (uint64_t i = 0; i < current.page_count; ++i) {
+    const bool was_freed = i < last_.page_count && last_.freed[i];
+    const bool is_freed = i < current.freed.size() && current.freed[i];
+    if (is_freed && !was_freed) {
+      newly_freed.push_back(static_cast<PageId>(i));
+    } else if (!is_freed && was_freed) {
+      // Un-freeing only happens via ReconcileLive (reopen recovery); a
+      // delta cannot express it, so fold the journal into a snapshot.
+      return RewriteCompacted(std::move(current));
+    }
+  }
+  if (current.page_count == last_.page_count && newly_freed.empty()) {
+    return Status::OK();  // nothing moved since the last record
+  }
+  if (append_unsafe_) {
+    // A previous append failed partway: the tail may hold torn bytes, and
+    // a fresh append would land BEYOND them, where replay never reaches.
+    // Only an atomic rewrite may touch the file now.
+    return RewriteCompacted(std::move(current));
+  }
+  std::string record;
+  AppendDeltaRecord(&record, current.page_count, newly_freed);
+  const Status appended = AppendFileDurable(path_, record);
+  if (!appended.ok()) {
+    // Heal the possibly-torn tail immediately (the compacted snapshot
+    // replaces the whole file atomically and supersedes the delta); if
+    // even that fails, the flag poisons appends until a rewrite succeeds.
+    append_unsafe_ = true;
+    return RewriteCompacted(std::move(current)).ok() ? Status::OK() : appended;
+  }
+  last_ = std::move(current);
+  return Status::OK();
 }
 
 }  // namespace starfish

@@ -36,9 +36,10 @@
 /// atomically per Sync) is still read for volumes written by older builds;
 /// the first checkpoint after reopen compacts them to version 2.
 ///
-/// This module is shared by the writer (MmapVolume) and the offline
-/// verifier (sf_fsck), so both sides agree byte-for-byte on what a valid
-/// journal is.
+/// This module is shared by the writers (MmapVolume, DirectVolume — the two
+/// persistent backends write the identical format, so a volume directory
+/// can be reopened with either backend) and the offline verifier (sf_fsck),
+/// so all sides agree byte-for-byte on what a valid journal is.
 
 namespace starfish {
 
@@ -90,5 +91,54 @@ std::string ExtentFileName(size_t index);
 /// Parses an extent file name back into its index; false for anything
 /// else (including the legacy-free "catalog.*" and "volume.meta" names).
 bool ParseExtentFileName(const std::string& name, uint64_t* index);
+
+/// Removes extent files at index `expected` or beyond from `dir` (the
+/// leavings of a crashed, never-checkpointed allocation) and fsyncs the
+/// directory when anything was removed. A later re-allocation of their
+/// indices must start from zero-filled images. Shared by the persistent
+/// backends' reopen paths.
+Status RemoveOrphanExtentFiles(const std::string& dir, size_t expected);
+
+/// The volume.meta journal writer shared by the persistent backends.
+///
+/// Owns the "what is durably recorded" side of the allocator: the state as
+/// of the last durable record, whether the file exists, and whether a torn
+/// append poisoned the tail. Checkpoint() appends a small delta when the
+/// allocator only grew/freed, and falls back to an atomic compacted rewrite
+/// when the state moved backwards (ReconcileLive un-freeing pages), when a
+/// previous append may have torn the tail, or when no file exists yet.
+class AllocatorJournal {
+ public:
+  /// Binds the journal to its file path. Call once before any other method.
+  void Attach(std::string path) { path_ = std::move(path); }
+
+  /// Declares `state` to be what a successful replay recovered: the file
+  /// exists and `state` is its durable content.
+  void MarkReplayed(VolumeMetaState state) {
+    last_ = std::move(state);
+    on_disk_ = true;
+  }
+
+  /// Records `current` durably: appends a delta against the last durable
+  /// record, or rewrites the journal compacted where a delta cannot express
+  /// the change. No-op when nothing moved.
+  Status Checkpoint(VolumeMetaState current);
+
+  /// Atomically replaces the journal with a compacted header + snapshot of
+  /// `current` (also heals a torn tail: the replacement is atomic).
+  Status RewriteCompacted(VolumeMetaState current);
+
+ private:
+  std::string path_;
+  /// Allocator state as of the last durable journal record; the next
+  /// checkpoint appends the delta against it.
+  VolumeMetaState last_;
+  /// True once the file exists with a valid v2 header on disk.
+  bool on_disk_ = false;
+  /// Set when an append failed partway (the tail may be torn): appending
+  /// past torn bytes would put records where replay never reaches, so only
+  /// an atomic compacted rewrite may touch the journal until one succeeds.
+  bool append_unsafe_ = false;
+};
 
 }  // namespace starfish

@@ -1,5 +1,6 @@
 #include "storage/storage_engine.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "disk/mem_volume.h"
@@ -27,6 +28,11 @@ StorageEngine::StorageEngine(StorageEngineOptions options)
     timed_ = timed.get();
     volume_ = std::move(timed);
   }
+  // Let a direct-I/O backend DMA page reads straight into the frames: the
+  // buffer arena adopts the volume's preferred alignment (decorators
+  // forward it; 0 for the memory-addressable backends).
+  options_.buffer.frame_alignment = std::max(
+      options_.buffer.frame_alignment, volume_->io_buffer_alignment());
   buffer_ = std::make_unique<BufferManager>(volume_.get(), options_.buffer);
 }
 

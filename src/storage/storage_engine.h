@@ -20,9 +20,11 @@
 /// instance" in the sense of the paper's DASDBS testbed.
 ///
 /// The disk backend is pluggable (StorageEngineOptions::backend): the
-/// default in-memory arena, or the persistent mmap backend rooted at
-/// StorageEngineOptions::path. Either can additionally be wrapped in a
-/// TimedVolume that charges Equation-1 service time per I/O call.
+/// default in-memory arena, or a persistent backend rooted at
+/// StorageEngineOptions::path — mmap (page-cache-backed) or direct
+/// (O_DIRECT, every transfer a real device I/O). Any of them can
+/// additionally be wrapped in a TimedVolume that charges Equation-1 service
+/// time per I/O call.
 
 namespace starfish {
 
@@ -31,11 +33,12 @@ struct StorageEngineOptions {
   DiskOptions disk;
   BufferOptions buffer;
 
-  /// Disk backend. kMmap requires `path`.
+  /// Disk backend. kMmap/kDirect require `path`.
   VolumeKind backend = VolumeKind::kMem;
 
-  /// Backing directory of the mmap backend (created if absent, reopened if
-  /// it already holds a volume). Ignored by the mem backend.
+  /// Backing directory of the persistent backends (created if absent,
+  /// reopened if it already holds a volume — mmap and direct share one
+  /// on-disk format). Ignored by the mem backend.
   std::string path;
 
   /// Wrap the backend in a TimedVolume charging `timing` per call.
@@ -72,9 +75,11 @@ class StorageEngine {
       StorageEngineOptions options = {});
 
   /// Convenience constructor for the infallible default backend. When the
-  /// requested backend cannot be constructed (only possible for kMmap),
-  /// the engine falls back to an in-memory volume and records the failure
-  /// in init_status() — Open() is the error-propagating path.
+  /// requested backend cannot be constructed (only possible for the
+  /// persistent backends, e.g. an unwritable directory or a filesystem
+  /// without O_DIRECT), the engine falls back to an in-memory volume and
+  /// records the failure in init_status() — Open() is the
+  /// error-propagating path.
   explicit StorageEngine(StorageEngineOptions options = {});
 
   /// OK unless the constructor had to fall back to the mem backend.

@@ -39,6 +39,10 @@
 /// fsck runs on the closed directory with plain file reads — no mmap, no
 /// buffer pool, no model construction — so it can vet a store no binary
 /// can open (wrong schema, unknown model) down to the model-state layer.
+/// It is also backend-agnostic by construction: the mmap and O_DIRECT
+/// backends write one shared on-disk format (volume.meta + extent_NNNNNN,
+/// see volume_meta.h), so the same checks verify a directory regardless of
+/// which access path produced it.
 
 namespace starfish {
 

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdlib>
+#include <memory>
+
+/// \file aligned_buffer.h
+/// A grow-only byte buffer with a caller-chosen alignment.
+///
+/// Direct (O_DIRECT) disk I/O requires transfer buffers aligned to the
+/// device's DMA granularity. This helper owns one reusable allocation —
+/// DirectVolume's bounce buffers and the buffer pool's prefetch staging
+/// area are thread_local AlignedBuffers, so steady state allocates nothing.
+
+namespace starfish {
+
+/// A reusable aligned allocation. Reserve() only ever grows (amortized: the
+/// common pattern is a thread_local scratch reused across calls).
+class AlignedBuffer {
+ public:
+  char* data() { return data_.get(); }
+  const char* data() const { return data_.get(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Ensures at least `bytes` of capacity aligned to `alignment` (a power
+  /// of two; at least sizeof(void*)). Existing contents are NOT preserved
+  /// across a growth reallocation. Returns false on allocation failure.
+  bool Reserve(size_t bytes, size_t alignment) {
+    if (bytes == 0) bytes = alignment;
+    if (bytes <= capacity_ && alignment <= alignment_) return true;
+    void* raw = nullptr;
+    if (::posix_memalign(&raw, alignment, bytes) != 0) return false;
+    data_.reset(static_cast<char*>(raw));
+    capacity_ = bytes;
+    alignment_ = alignment;
+    return true;
+  }
+
+ private:
+  struct FreeDeleter {
+    void operator()(char* p) const { std::free(p); }
+  };
+  std::unique_ptr<char, FreeDeleter> data_;
+  size_t capacity_ = 0;
+  size_t alignment_ = 0;
+};
+
+}  // namespace starfish

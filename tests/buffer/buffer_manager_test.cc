@@ -507,5 +507,176 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyTest,
                            return "Unknown";
                          });
 
+// --- backends without a memory image (supports_zero_copy == false) --------
+
+/// Decorator that denies the zero-copy calls, exactly like DirectVolume
+/// does, while delegating everything else to a MemVolume — lets the suite
+/// exercise the buffer pool's staging prefetch path without needing a
+/// filesystem with O_DIRECT.
+class NoZeroCopyVolume final : public Volume {
+ public:
+  explicit NoZeroCopyVolume(DiskOptions options = {}) : inner_(options) {}
+
+  VolumeKind kind() const override { return inner_.kind(); }
+  bool supports_zero_copy() const override { return false; }
+  uint32_t io_buffer_alignment() const override { return 4096; }
+  uint32_t page_size() const override { return inner_.page_size(); }
+  uint32_t pages_per_extent() const override {
+    return inner_.pages_per_extent();
+  }
+  uint64_t page_count() const override { return inner_.page_count(); }
+  uint64_t live_page_count() const override {
+    return inner_.live_page_count();
+  }
+  Result<PageId> AllocateRun(uint32_t n) override {
+    return inner_.AllocateRun(n);
+  }
+  Status Free(PageId id) override { return inner_.Free(id); }
+  Status ReadRun(PageId first, uint32_t count, char* out) override {
+    return inner_.ReadRun(first, count, out);
+  }
+  Status WriteRun(PageId first, uint32_t count, const char* src) override {
+    return inner_.WriteRun(first, count, src);
+  }
+  Status ReadChained(const std::vector<PageId>& ids,
+                     const std::vector<char*>& outs) override {
+    return inner_.ReadChained(ids, outs);
+  }
+  Status WriteChained(const std::vector<PageId>& ids,
+                      const std::vector<const char*>& srcs) override {
+    return inner_.WriteChained(ids, srcs);
+  }
+  Status ReadRunZeroCopy(PageId, uint32_t,
+                         std::vector<const char*>*) override {
+    return Status::NotSupported("no memory image");
+  }
+  Status ReadChainedZeroCopy(const std::vector<PageId>&,
+                             std::vector<const char*>*) override {
+    return Status::NotSupported("no memory image");
+  }
+  const char* PeekPage(PageId) const override { return nullptr; }
+  /// The inner volume still has the image; tests verify through it.
+  const char* PeekInner(PageId id) const { return inner_.PeekPage(id); }
+  IoStats stats() const override { return inner_.stats(); }
+  void ResetStats() override { inner_.ResetStats(); }
+
+ private:
+  MemVolume inner_;
+};
+
+TEST(NoZeroCopyBufferTest, PrefetchChainedStagesWithSameAccounting) {
+  NoZeroCopyVolume disk;
+  ASSERT_TRUE(disk.AllocateRun(10).ok());
+  std::vector<char> page(disk.page_size(), 'q');
+  ASSERT_TRUE(disk.WriteRun(7, 1, page.data()).ok());
+  disk.ResetStats();
+
+  BufferManager bm(&disk, SmallPool(8));
+  ASSERT_TRUE(bm.Prefetch({2, 7, 9}, PrefetchMode::kChained).ok());
+  // Same metering as the zero-copy path: one chained call, three pages.
+  EXPECT_EQ(disk.stats().read_calls, 1u);
+  EXPECT_EQ(disk.stats().pages_read, 3u);
+  EXPECT_EQ(bm.stats().prefetched_pages, 3u);
+  auto guard = bm.Fix(7);
+  ASSERT_TRUE(guard.ok());
+  EXPECT_EQ(guard->data()[0], 'q');          // staged bytes reached the frame
+  EXPECT_EQ(disk.stats().read_calls, 1u);    // ... so the fix was a hit
+}
+
+TEST(NoZeroCopyBufferTest, PrefetchRunsStagesWithSameAccounting) {
+  NoZeroCopyVolume disk;
+  ASSERT_TRUE(disk.AllocateRun(12).ok());
+  std::vector<char> page(disk.page_size());
+  for (PageId id = 4; id <= 6; ++id) {
+    std::fill(page.begin(), page.end(), static_cast<char>('a' + id));
+    ASSERT_TRUE(disk.WriteRun(id, 1, page.data()).ok());
+  }
+  disk.ResetStats();
+
+  BufferManager bm(&disk, SmallPool(8));
+  ASSERT_TRUE(bm.Prefetch({6, 4, 5, 10}, PrefetchMode::kContiguousRuns).ok());
+  // Two runs: [4..6] and [10].
+  EXPECT_EQ(disk.stats().read_calls, 2u);
+  EXPECT_EQ(disk.stats().pages_read, 4u);
+  for (PageId id = 4; id <= 6; ++id) {
+    auto guard = bm.Fix(id);
+    ASSERT_TRUE(guard.ok());
+    EXPECT_EQ(guard->data()[0], static_cast<char>('a' + id)) << "page " << id;
+  }
+}
+
+TEST(NoZeroCopyBufferTest, FixMissReadsStraightIntoFrame) {
+  NoZeroCopyVolume disk;
+  const PageId id = disk.Allocate().value();
+  std::vector<char> page(disk.page_size(), 'Z');
+  ASSERT_TRUE(disk.WriteRun(id, 1, page.data()).ok());
+  BufferManager bm(&disk, SmallPool(4));
+  auto guard = bm.Fix(id);
+  ASSERT_TRUE(guard.ok());
+  EXPECT_EQ(guard->data()[0], 'Z');
+  EXPECT_EQ(disk.stats().read_calls, 1u);
+}
+
+TEST(NoZeroCopyBufferTest, DirtyWriteBackReachesVolume) {
+  NoZeroCopyVolume disk;
+  const PageId id = disk.Allocate().value();
+  BufferManager bm(&disk, SmallPool(4));
+  {
+    auto guard = bm.Fix(id);
+    ASSERT_TRUE(guard.ok());
+    guard->data()[5] = 'W';
+    guard->MarkDirty();
+  }
+  ASSERT_TRUE(bm.FlushAll().ok());
+  ASSERT_NE(disk.PeekInner(id), nullptr);
+  EXPECT_EQ(disk.PeekInner(id)[5], 'W');
+}
+
+// --- frame-arena alignment (BufferOptions::frame_alignment) ---------------
+
+TEST(FrameAlignmentTest, AlignedArenaAlignsEveryFrame) {
+  // 4096-byte pages at 4096 alignment: every frame is a DMA-ready target.
+  DiskOptions geometry;
+  geometry.page_size = 4096;
+  MemVolume disk(geometry);
+  ASSERT_TRUE(disk.AllocateRun(6).ok());
+  BufferOptions options;
+  options.frame_count = 4;
+  options.frame_alignment = 4096;
+  BufferManager bm(&disk, options);
+  for (PageId id = 0; id < 6; ++id) {
+    auto guard = bm.Fix(id);
+    ASSERT_TRUE(guard.ok());
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(guard->data()) % 4096, 0u)
+        << "frame of page " << id;
+  }
+}
+
+TEST(FrameAlignmentTest, ZeroAlignmentKeepsWorking) {
+  MemVolume disk;
+  ASSERT_TRUE(disk.AllocateRun(2).ok());
+  BufferOptions options;
+  options.frame_count = 2;
+  options.frame_alignment = 0;  // the default, natural alignment
+  BufferManager bm(&disk, options);
+  auto guard = bm.Fix(1);
+  ASSERT_TRUE(guard.ok());
+  EXPECT_EQ(bm.stats().fixes, 1u);
+}
+
+TEST(FrameAlignmentTest, NonPowerOfTwoRoundsUp) {
+  DiskOptions geometry;
+  geometry.page_size = 4096;
+  MemVolume disk(geometry);
+  ASSERT_TRUE(disk.Allocate().ok());
+  BufferOptions options;
+  options.frame_count = 2;
+  options.frame_alignment = 3000;  // rounds to 4096
+  BufferManager bm(&disk, options);
+  auto guard = bm.Fix(0);
+  ASSERT_TRUE(guard.ok());
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(guard->data()) % 4096, 0u);
+}
+
 }  // namespace
 }  // namespace starfish

@@ -1,23 +1,31 @@
 // Backend conformance suite of the Volume interface.
 //
-// Every test runs over every backend (MemVolume, MmapVolume) plus the
-// FaultVolume decorator with faults disabled: the metering contract, the
-// extent-boundary behaviour and the zero-copy guarantees are part of the
-// interface, not of one implementation — and a quiescent fault decorator
-// must be indistinguishable from its backend (IoStats and zero-copy
-// pointers included). Backend-specific behaviour (persistence, reopen)
-// lives in mmap_volume_test.cc; the decorators' active behaviour in
+// Every test runs over every backend (MemVolume, MmapVolume, DirectVolume)
+// plus the FaultVolume decorator with faults disabled: the metering
+// contract, the extent-boundary behaviour and the zero-copy guarantees are
+// part of the interface, not of one implementation — and a quiescent fault
+// decorator must be indistinguishable from its backend (IoStats and
+// zero-copy pointers included). The direct backend declares
+// supports_zero_copy() == false, so the zero-copy/PeekPage tests assert the
+// documented NotSupported/nullptr behaviour there instead; it is skipped
+// entirely on filesystems without O_DIRECT (tmpfs, overlayfs). Backend-
+// specific behaviour (persistence, reopen) lives in mmap_volume_test.cc /
+// direct_volume_test.cc; the decorators' active behaviour in
 // timed_volume_test.cc / fault_volume_test.cc.
 
 #include "disk/volume.h"
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstring>
 #include <filesystem>
 #include <string>
 #include <vector>
 
+#include "../support/direct_probe.h"
+#include "disk/direct_volume.h"
 #include "disk/fault_volume.h"
 #include "disk/mem_volume.h"
 #include "disk/mmap_volume.h"
@@ -29,39 +37,56 @@ std::vector<char> Pattern(uint32_t page_size, char fill) {
   return std::vector<char>(page_size, fill);
 }
 
-/// The parameter space: the two real backends, plus FaultVolume wrapped
+/// The parameter space: the three real backends, plus FaultVolume wrapped
 /// around MemVolume with no fault armed (transparent-passthrough proof).
-enum class TestBackend { kMem, kMmap, kFaultMem };
+enum class TestBackend { kMem, kMmap, kDirect, kFaultMem };
 
 VolumeKind ExpectedKind(TestBackend backend) {
-  return backend == TestBackend::kMmap ? VolumeKind::kMmap : VolumeKind::kMem;
+  switch (backend) {
+    case TestBackend::kMmap: return VolumeKind::kMmap;
+    case TestBackend::kDirect: return VolumeKind::kDirect;
+    default: return VolumeKind::kMem;
+  }
 }
 
 std::string BackendName(TestBackend backend) {
   switch (backend) {
     case TestBackend::kMem: return "mem";
     case TestBackend::kMmap: return "mmap";
+    case TestBackend::kDirect: return "direct";
     case TestBackend::kFaultMem: return "fault_mem";
   }
   return "unknown";
 }
 
+bool DirectSupportedHere() {
+  static const bool supported = test::DirectIoSupportedHere("volume");
+  return supported;
+}
+
 /// Creates a fresh backend of the parameterized kind in a private temp
-/// directory (mmap) or in memory (mem / fault_mem).
+/// directory (mmap/direct) or in memory (mem / fault_mem).
 class VolumeTest : public ::testing::TestWithParam<TestBackend> {
  protected:
+  void SetUp() override {
+    if (GetParam() == TestBackend::kDirect && !DirectSupportedHere()) {
+      GTEST_SKIP() << "filesystem has no O_DIRECT support";
+    }
+  }
+
   std::unique_ptr<Volume> Make(DiskOptions options = {}) {
     if (GetParam() == TestBackend::kFaultMem) {
       return std::make_unique<FaultVolume>(
           std::make_unique<MemVolume>(options));
     }
     std::string path;
-    if (GetParam() == TestBackend::kMmap) {
+    if (GetParam() == TestBackend::kMmap ||
+        GetParam() == TestBackend::kDirect) {
+      // The pid keeps parallel ctest processes (each restarting the
+      // counter at 0) out of each other's directories.
       path = (std::filesystem::temp_directory_path() /
-              ("starfish_volume_test_" +
-               std::to_string(::testing::UnitTest::GetInstance()
-                                  ->random_seed()) +
-               "_" + std::to_string(dir_counter_++)))
+              ("starfish_volume_test_" + std::to_string(::getpid()) + "_" +
+               std::to_string(dir_counter_++)))
                  .string();
       std::filesystem::remove_all(path);
       cleanup_.push_back(path);
@@ -69,6 +94,15 @@ class VolumeTest : public ::testing::TestWithParam<TestBackend> {
     auto volume_or = CreateVolume(ExpectedKind(GetParam()), options, path);
     EXPECT_TRUE(volume_or.ok()) << volume_or.status().ToString();
     return std::move(volume_or).value();
+  }
+
+  /// Tiny geometry (4 pages per extent) so runs cross extents cheaply. The
+  /// direct backend cannot go below the 512-byte device sector.
+  DiskOptions TinyExtents() const {
+    DiskOptions o;
+    o.page_size = GetParam() == TestBackend::kDirect ? 512 : 256;
+    o.extent_bytes = 4 * o.page_size;
+    return o;
   }
 
   void TearDown() override {
@@ -88,8 +122,9 @@ int VolumeTest::dir_counter_ = 0;
 TEST_P(VolumeTest, KindMatchesBackend) {
   auto disk = Make();
   EXPECT_EQ(disk->kind(), ExpectedKind(GetParam()));
-  EXPECT_EQ(ToString(disk->kind()),
-            ExpectedKind(GetParam()) == VolumeKind::kMem ? "mem" : "mmap");
+  EXPECT_EQ(ToString(disk->kind()), GetParam() == TestBackend::kFaultMem
+                                        ? "mem"
+                                        : BackendName(GetParam()));
 }
 
 TEST_P(VolumeTest, AllocateGrowsVolume) {
@@ -218,14 +253,6 @@ TEST_P(VolumeTest, ResetStatsZeroesCounters) {
 
 // --- extent-boundary coverage ---------------------------------------------
 
-// A tiny geometry (4 pages per extent) so runs cross extents cheaply.
-DiskOptions TinyExtents() {
-  DiskOptions o;
-  o.page_size = 256;
-  o.extent_bytes = 1024;
-  return o;
-}
-
 TEST_P(VolumeTest, GeometryFollowsOptions) {
   auto disk = Make(TinyExtents());
   EXPECT_EQ(disk->pages_per_extent(), 4u);
@@ -284,6 +311,13 @@ TEST_P(VolumeTest, PeekPageIsUnmeteredAndStable) {
   auto data = Pattern(disk->page_size(), 'P');
   ASSERT_TRUE(disk->WriteRun(id, 1, data.data()).ok());
   disk->ResetStats();
+  if (!disk->supports_zero_copy()) {
+    // No memory image: PeekPage is documented to return nullptr for every
+    // id (and is still not an I/O).
+    EXPECT_EQ(disk->PeekPage(id), nullptr);
+    EXPECT_EQ(disk->stats().TotalCalls(), 0u);
+    return;
+  }
   const char* view = disk->PeekPage(id);
   ASSERT_NE(view, nullptr);
   EXPECT_EQ(view[0], 'P');
@@ -296,10 +330,29 @@ TEST_P(VolumeTest, PeekPageIsUnmeteredAndStable) {
   EXPECT_EQ(disk->PeekPage(kInvalidPageId), nullptr);
 }
 
+TEST_P(VolumeTest, WritePageUnmeteredAppliesWithoutCounting) {
+  auto disk = Make(TinyExtents());
+  const PageId id = disk->AllocateRun(3).value() + 2;
+  auto data = Pattern(disk->page_size(), 'U');
+  disk->ResetStats();
+  ASSERT_TRUE(disk->WritePageUnmetered(id, data.data()).ok());
+  EXPECT_EQ(disk->stats().TotalCalls(), 0u);  // deliberately uncounted
+  std::vector<char> buf(disk->page_size());
+  ASSERT_TRUE(disk->ReadRun(id, 1, buf.data()).ok());
+  EXPECT_EQ(buf[0], 'U');
+  EXPECT_EQ(buf[disk->page_size() - 1], 'U');
+}
+
 TEST_P(VolumeTest, ReadRunZeroCopyViewsAndAccounting) {
   auto disk = Make(TinyExtents());
   const uint32_t n = 9;  // spans three extents
   const PageId first = disk->AllocateRun(n).value();
+  std::vector<const char*> views;
+  if (!disk->supports_zero_copy()) {
+    EXPECT_TRUE(disk->ReadRunZeroCopy(first, n, &views).IsNotSupported());
+    EXPECT_EQ(disk->stats().read_calls, 0u);
+    return;
+  }
   std::vector<char> data(n * disk->page_size());
   for (uint32_t i = 0; i < n; ++i) {
     std::fill_n(data.begin() + i * disk->page_size(), disk->page_size(),
@@ -307,7 +360,6 @@ TEST_P(VolumeTest, ReadRunZeroCopyViewsAndAccounting) {
   }
   ASSERT_TRUE(disk->WriteRun(first, n, data.data()).ok());
   disk->ResetStats();
-  std::vector<const char*> views;
   ASSERT_TRUE(disk->ReadRunZeroCopy(first, n, &views).ok());
   EXPECT_EQ(disk->stats().read_calls, 1u);
   EXPECT_EQ(disk->stats().pages_read, n);
@@ -321,6 +373,9 @@ TEST_P(VolumeTest, ReadRunZeroCopyViewsAndAccounting) {
 
 TEST_P(VolumeTest, ZeroCopyPointersStableAcrossReads) {
   auto disk = Make(TinyExtents());
+  if (!disk->supports_zero_copy()) {
+    GTEST_SKIP() << "backend has no memory image (supports_zero_copy false)";
+  }
   const uint32_t n = 8;
   const PageId first = disk->AllocateRun(n).value();
   std::vector<const char*> views1, views2;
@@ -339,11 +394,17 @@ TEST_P(VolumeTest, ZeroCopyPointersStableAcrossReads) {
 TEST_P(VolumeTest, ReadChainedZeroCopyViewsAndAccounting) {
   auto disk = Make(TinyExtents());
   ASSERT_TRUE(disk->AllocateRun(12).ok());
+  std::vector<const char*> views;
+  if (!disk->supports_zero_copy()) {
+    EXPECT_TRUE(disk->ReadChainedZeroCopy({2, 11, 0}, &views)
+                    .IsNotSupported());
+    EXPECT_EQ(disk->stats().read_calls, 0u);
+    return;
+  }
   auto a = Pattern(disk->page_size(), 'a');
   auto b = Pattern(disk->page_size(), 'b');
   ASSERT_TRUE(disk->WriteChained({2, 11}, {a.data(), b.data()}).ok());
   disk->ResetStats();
-  std::vector<const char*> views;
   ASSERT_TRUE(disk->ReadChainedZeroCopy({2, 11, 0}, &views).ok());
   EXPECT_EQ(disk->stats().read_calls, 1u);
   EXPECT_EQ(disk->stats().pages_read, 3u);
@@ -372,7 +433,7 @@ TEST_P(VolumeTest, DefaultGeometryLargeVolumeRoundTrips) {
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, VolumeTest,
     ::testing::Values(TestBackend::kMem, TestBackend::kMmap,
-                      TestBackend::kFaultMem),
+                      TestBackend::kDirect, TestBackend::kFaultMem),
     [](const ::testing::TestParamInfo<TestBackend>& info) {
       return BackendName(info.param);
     });

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <system_error>
+
+#include "disk/direct_volume.h"
+
+/// \file direct_probe.h
+/// The one shared "can this machine do O_DIRECT?" probe for the test
+/// suites. Each suite skips (GTEST_SKIP) its direct-backend coverage when
+/// this returns false — tmpfs and overlayfs, common in containers, reject
+/// O_DIRECT at open(2). The probe directory carries `tag` and the pid:
+/// ctest runs many test processes in parallel, and a shared name would let
+/// one process remove the directory under another's probe.
+
+namespace starfish::test {
+
+inline bool DirectIoSupportedHere(const std::string& tag,
+                                  uint32_t page_size = 512) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("starfish_dio_probe_" + tag + "_" + std::to_string(::getpid())))
+          .string();
+  const bool ok = DirectVolume::SupportedAt(dir, page_size);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return ok;
+}
+
+}  // namespace starfish::test
