@@ -1,0 +1,234 @@
+// WAL commit-latency benchmark: what a durability acknowledgement costs
+// per writer, across sync policies and writer counts.
+//
+// Each cell opens a fresh mmap-backed store, partitions a generated object
+// set across N writer threads, and has every thread Put its slice while
+// timing each call individually (a Put under kAlways/kGroup blocks until
+// the record is fsync-durable, so the per-call wall time IS the commit
+// latency). The interesting comparison is down the policy axis at fixed
+// writer count:
+//
+//   none    the pre-WAL contract — commit returns after the in-memory
+//           append; the floor the paper benches run at.
+//   always  every commit waits for durability but the leader batches all
+//           contemporaries into one fsync, so mean latency should FALL as
+//           writers rise — the Samsung-IO-stack observation that one fsync
+//           can carry many writers' durability work.
+//   group   same, after the leader waits group_interval_us for more
+//           committers to join the epoch: higher per-commit latency, fewer
+//           fsyncs per acknowledged commit.
+//
+// Writes BENCH_wal.json. Ungated in CI (fsync latency is runner hardware;
+// archive the artifact and watch the trend until the numbers stabilize).
+//
+// Usage: bench_wal [--ops N] [--group-interval-us N] [--dir PATH]
+//   --ops                per-writer Put count per cell (default 192;
+//                        fsync-bound cells dominate the runtime)
+//   --group-interval-us  kGroup accumulation window (default 100)
+//   --dir                scratch directory root (default: system temp —
+//                        point it at a real disk to measure real fsyncs)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchmark/generator.h"
+#include "core/complex_object_store.h"
+
+namespace starfish {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr uint32_t kWriterCounts[] = {1, 2, 4, 8};
+
+struct Policy {
+  const char* name;
+  WalSyncPolicy sync;
+};
+
+struct CellResult {
+  std::string name;
+  const char* policy;
+  uint32_t writers = 0;
+  uint64_t total_ops = 0;
+  double ops_per_sec = 0;
+  double mean_us = 0;  ///< mean per-commit latency
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+void Fatal(const char* what, const Status& st) {
+  std::fprintf(stderr, "bench_wal: %s: %s\n", what, st.ToString().c_str());
+  std::exit(1);
+}
+
+/// One benchmark cell: N writers Put their slices concurrently; per-call
+/// latencies are collected, merged and summarized.
+CellResult RunCell(const bench::BenchmarkDatabase& db, const Policy& policy,
+                   uint32_t writers, uint64_t ops_per_writer,
+                   uint32_t group_interval_us, const std::string& dir) {
+  std::filesystem::remove_all(dir);
+  StoreOptions options;
+  options.backend = VolumeKind::kMmap;
+  options.path = dir;
+  options.wal_sync = policy.sync;
+  options.wal_group_interval_us = group_interval_us;
+  auto store_or = ComplexObjectStore::Open(db.schema(), options);
+  if (!store_or.ok()) Fatal("open store", store_or.status());
+  auto store = std::move(store_or).value();
+
+  std::vector<std::vector<double>> latencies(writers);
+  std::atomic<uint32_t> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  pool.reserve(writers);
+  for (uint32_t w = 0; w < writers; ++w) {
+    pool.emplace_back([&, w] {
+      latencies[w].reserve(ops_per_writer);
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (uint64_t i = 0; i < ops_per_writer; ++i) {
+        const auto& object = db.objects()[w * ops_per_writer + i];
+        const auto start = Clock::now();
+        const Status st = store->Put(object.ref, object.tuple);
+        const std::chrono::duration<double, std::micro> took =
+            Clock::now() - start;
+        if (!st.ok()) Fatal("put", st);
+        latencies[w].push_back(took.count());
+      }
+    });
+  }
+  while (ready.load() != writers) {
+  }
+  const auto start = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  const std::chrono::duration<double> elapsed = Clock::now() - start;
+  store.reset();  // checkpoint + truncate outside the timed region
+  std::filesystem::remove_all(dir);
+
+  std::vector<double> merged;
+  merged.reserve(writers * ops_per_writer);
+  for (const auto& per_thread : latencies) {
+    merged.insert(merged.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(merged.begin(), merged.end());
+
+  CellResult r;
+  r.policy = policy.name;
+  r.writers = writers;
+  r.name = std::string("wal_commit_") + policy.name + "_t" +
+           std::to_string(writers);
+  r.total_ops = merged.size();
+  r.ops_per_sec = static_cast<double>(r.total_ops) / elapsed.count();
+  double sum = 0;
+  for (double us : merged) sum += us;
+  r.mean_us = sum / static_cast<double>(merged.size());
+  r.p50_us = merged[merged.size() / 2];
+  r.p99_us = merged[merged.size() * 99 / 100];
+  return r;
+}
+
+void WriteJson(const std::vector<CellResult>& results, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_wal: cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"policy\": \"%s\", "
+                 "\"writers\": %u, \"total_ops\": %llu, "
+                 "\"ops_per_sec\": %.0f, \"mean_us\": %.2f, "
+                 "\"p50_us\": %.2f, \"p99_us\": %.2f}%s\n",
+                 r.name.c_str(), r.policy, r.writers,
+                 static_cast<unsigned long long>(r.total_ops), r.ops_per_sec,
+                 r.mean_us, r.p50_us, r.p99_us,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace starfish
+
+int main(int argc, char** argv) {
+  using namespace starfish;
+  uint64_t ops_per_writer = 192;
+  uint32_t group_interval_us = 100;
+  std::string dir_root;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--ops" && i + 1 < argc) {
+      ops_per_writer = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--group-interval-us" && i + 1 < argc) {
+      group_interval_us =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--dir" && i + 1 < argc) {
+      dir_root = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--ops N] [--group-interval-us N] [--dir "
+                   "PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (dir_root.empty()) {
+    dir_root = (std::filesystem::temp_directory_path() /
+                ("starfish_bench_wal_" +
+                 std::to_string(static_cast<uint64_t>(
+                     Clock::now().time_since_epoch().count()))))
+                   .string();
+  }
+
+  uint32_t max_writers = 1;
+  for (uint32_t w : kWriterCounts) max_writers = std::max(max_writers, w);
+  bench::GeneratorConfig config;
+  config.n_objects = max_writers * ops_per_writer;
+  config.seed = 191;
+  auto db_or = bench::BenchmarkDatabase::Generate(config);
+  if (!db_or.ok()) Fatal("generate objects", db_or.status());
+  const auto db = std::move(db_or).value();
+
+  const Policy policies[] = {
+      {"none", WalSyncPolicy::kNone},
+      {"always", WalSyncPolicy::kAlways},
+      {"group", WalSyncPolicy::kGroup},
+  };
+
+  std::printf(
+      "mmap backend at %s, %llu puts/writer, group interval %u us\n\n",
+      dir_root.c_str(), static_cast<unsigned long long>(ops_per_writer),
+      group_interval_us);
+  std::printf("%-22s %8s %12s %10s %10s %10s\n", "cell", "writers", "ops/sec",
+              "mean us", "p50 us", "p99 us");
+
+  std::vector<CellResult> results;
+  for (const Policy& policy : policies) {
+    for (uint32_t writers : kWriterCounts) {
+      CellResult r = RunCell(db, policy, writers, ops_per_writer,
+                             group_interval_us, dir_root + "_cell");
+      std::printf("%-22s %8u %12.0f %10.2f %10.2f %10.2f\n", r.name.c_str(),
+                  r.writers, r.ops_per_sec, r.mean_us, r.p50_us, r.p99_us);
+      results.push_back(std::move(r));
+    }
+  }
+
+  WriteJson(results, "BENCH_wal.json");
+  std::printf("\nwrote BENCH_wal.json\n");
+  return 0;
+}

@@ -56,6 +56,35 @@ echo "== crash matrix =="
 "$BUILD_DIR/starfish_tests" \
     --gtest_filter='*CrashMatrix*:*CatalogFuzz*:*FsckTest*:*FaultVolume*'
 
+echo "== WAL crash matrix =="
+# The multi-writer durability gate: concurrent writers + power loss at
+# every log-append/log-sync/checkpoint fault point (including torn log
+# tails) must recover every acknowledged commit; torn-tail replay is swept
+# at every record boundary across all five models. These run in ctest too;
+# like the volume matrix above, the dedicated stage keeps the WAL signal
+# loud and self-contained.
+"$BUILD_DIR/starfish_tests" \
+    --gtest_filter='*WalCrash*:*WalReplay*:*WalFormat*:*RecordManagerMt*'
+
+echo "== WAL recovery example + fsck over the post-crash store =="
+# A REAL process crash, not an injected fault: the example checkpoints 300
+# readings, logs 200 more under wal_sync=always, and _exit()s. sf_fsck must
+# pass on the raw crash image (valid log tail past the checkpoint), the
+# recover run must replay all 200 acknowledged puts byte-for-byte, and
+# sf_fsck must pass again after the recovery checkpoint.
+WAL_DIR="$BUILD_DIR/wal_crash_example"
+rm -rf "$WAL_DIR"
+"$BUILD_DIR/example_wal_recovery" crash "$WAL_DIR" > /dev/null
+"$BUILD_DIR/sf_fsck" "$WAL_DIR"
+"$BUILD_DIR/example_wal_recovery" recover "$WAL_DIR" > /dev/null
+"$BUILD_DIR/sf_fsck" "$WAL_DIR"
+
+echo "== WAL commit-latency bench =="
+# Commit latency vs writer count x sync policy over the mmap backend
+# (emits BENCH_wal.json). Ungated: fsync latency is runner hardware;
+# archive the artifact and watch the trend until the numbers stabilize.
+(cd "$BUILD_DIR" && ./bench_wal)
+
 echo "== fsck over the example persistent volume =="
 # Drive the real persistent store end-to-end (create, reopen) and vet the
 # directory with the offline checker; the example exits non-zero unless

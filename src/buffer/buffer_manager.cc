@@ -46,34 +46,6 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
   return *this;
 }
 
-void PageGuard::Unpin() {
-  // Pins and the dirty bit move only under the owning shard's lock (a
-  // no-op pointer in single-shard mode). Unfix of a held guard cannot
-  // fail — the page is pinned by this very guard.
-  AssertOwningThread();
-  auto* shard = static_cast<BufferManager::Shard*>(shard_);
-  BufferManager::ShardLock lock(shard->lock_mu);
-  BufferManager::Frame& frame = shard->frames[frame_idx_];
-  --frame.pins;
-  frame.dirty = frame.dirty || dirty_;
-}
-
-void PageGuard::Release() {
-  if (shard_ != nullptr) {
-    Unpin();
-    shard_ = nullptr;
-    id_ = kInvalidPageId;
-    data_ = nullptr;
-    dirty_ = false;
-  }
-}
-
-PageGuard::~PageGuard() {
-  if (shard_ != nullptr) {
-    Unpin();
-  }
-}
-
 namespace {
 
 /// Smallest power of two >= 2 * n, as (capacity, bits).
@@ -134,10 +106,12 @@ BufferManager::BufferManager(Volume* disk, BufferOptions options)
   for (uint32_t s = 0; s < shard_count_; ++s) {
     Shard& shard = ShardAt(s);
     const uint32_t n = base + (s < extra ? 1 : 0);
+    shard.owner = this;
     shard.pool = pool_ + static_cast<size_t>(next_frame) * page_size_;
     shard.lock_mu = concurrent_ ? &shard.mu : nullptr;
     next_frame += n;
     shard.frames.resize(n);
+    shard.recovery_lsn.assign(n, 0);
     shard.free_frames.reserve(n);
     for (uint32_t i = n; i > 0; --i) {
       shard.free_frames.push_back(i - 1);
@@ -202,6 +176,13 @@ Result<PageGuard> BufferManager::Fix(PageId id) {
     ++shard.stats.misses;
     STARFISH_ASSIGN_OR_RETURN(frame_idx, Load(shard, id, nullptr));
   }
+  // Pre-image capture must see the page before the caller can touch it:
+  // the flag is false outside an op, so the hot path pays one relaxed
+  // load and a predicted branch.
+  if (__builtin_expect(capture_.active.load(std::memory_order_relaxed),
+                       false)) {
+    MaybeCapturePreimageLocked(shard, frame_idx, id);
+  }
   Frame& frame = shard.frames[frame_idx];
   ++frame.pins;
   TouchFrame(shard, frame_idx);
@@ -246,7 +227,13 @@ Status BufferManager::Unfix(PageId id, bool dirty) {
                                    std::to_string(id));
   }
   --frame.pins;
-  frame.dirty = frame.dirty || dirty;
+  if (dirty) {
+    frame.dirty = true;
+    if (__builtin_expect(capture_.active.load(std::memory_order_relaxed),
+                         false)) {
+      CaptureDirtyLocked(shard, shard.table[slot].frame, id);
+    }
+  }
   return Status::OK();
 }
 
@@ -379,6 +366,18 @@ Status BufferManager::WriteFrameBatchSorted(Shard& shard, size_t batch_limit) {
             [&shard](uint32_t a, uint32_t b) {
               return shard.frames[a].page_id < shard.frames[b].page_id;
             });
+  // WAL-before-data: no page image may reach the volume while the record
+  // explaining it is still volatile. Pending-sentinel frames were excluded
+  // at collection time, so the max below is over resolved LSNs only.
+  if (wal_hook_ != nullptr) {
+    uint64_t max_lsn = 0;
+    for (uint32_t idx : shard.scratch_frames) {
+      max_lsn = std::max(max_lsn, shard.recovery_lsn[idx]);
+    }
+    if (max_lsn > 0) {
+      STARFISH_RETURN_NOT_OK(wal_hook_->EnsureDurable(max_lsn));
+    }
+  }
   size_t pos = 0;
   while (pos < shard.scratch_frames.size()) {
     const size_t batch_end =
@@ -393,7 +392,9 @@ Status BufferManager::WriteFrameBatchSorted(Shard& shard, size_t batch_limit) {
     STARFISH_RETURN_NOT_OK(
         disk_->WriteChained(shard.scratch_ids, shard.scratch_srcs));
     for (size_t i = pos; i < batch_end; ++i) {
-      shard.frames[shard.scratch_frames[i]].dirty = false;
+      const uint32_t idx = shard.scratch_frames[i];
+      shard.frames[idx].dirty = false;
+      shard.recovery_lsn[idx] = 0;
       ++shard.stats.write_backs;
     }
     pos = batch_end;
@@ -416,7 +417,10 @@ Status BufferManager::FlushAll() {
       // frame. An unpinned dirty page is safe — its writer's bytes were
       // published by the unpin (shard lock release) we ordered behind.
       // Single-shard mode keeps the flat pool's flush-everything behaviour.
+      // Frames still pending their WAL record are deferred in either mode
+      // (no record exists yet to order the write-back behind).
       if (frame.page_id != kInvalidPageId && frame.dirty &&
+          shard.recovery_lsn[i] != kPendingRecoveryLsn &&
           (!concurrent_ || frame.pins == 0)) {
         shard.scratch_frames.push_back(i);
       }
@@ -429,11 +433,18 @@ Status BufferManager::FlushAll() {
 
 Status BufferManager::DropAll() {
   for (uint32_t s = 0; s < shard_count_; ++s) {
-    ShardLock lock = Lock(ShardAt(s));
-    for (const Frame& frame : ShardAt(s).frames) {
+    Shard& shard = ShardAt(s);
+    ShardLock lock = Lock(shard);
+    for (uint32_t i = 0; i < shard.frames.size(); ++i) {
+      const Frame& frame = shard.frames[i];
       if (frame.page_id != kInvalidPageId && frame.pins > 0) {
         return Status::InvalidArgument("DropAll with pinned page " +
                                        std::to_string(frame.page_id));
+      }
+      if (shard.recovery_lsn[i] == kPendingRecoveryLsn) {
+        return Status::InvalidArgument(
+            "DropAll with page pending a WAL record: " +
+            std::to_string(frame.page_id));
       }
     }
   }
@@ -468,6 +479,7 @@ Result<uint32_t> BufferManager::Load(Shard& shard, PageId id,
   frame.page_id = id;
   frame.pins = 0;
   frame.dirty = false;
+  shard.recovery_lsn[frame_idx] = 0;
   frame.referenced = true;
   TableInsert(shard, id, frame_idx);
   EnqueueFrame(shard, frame_idx);
@@ -481,6 +493,7 @@ Result<uint32_t> BufferManager::LoadFresh(Shard& shard, PageId id) {
   frame.page_id = id;
   frame.pins = 0;
   frame.dirty = false;
+  shard.recovery_lsn[frame_idx] = 0;
   frame.referenced = true;
   TableInsert(shard, id, frame_idx);
   EnqueueFrame(shard, frame_idx);
@@ -512,9 +525,14 @@ Result<uint32_t> BufferManager::PickVictim(Shard& shard) {
   switch (options_.policy) {
     case ReplacementPolicy::kLru:
     case ReplacementPolicy::kFifo: {
+      // Frames pending a WAL record (recovery_lsn sentinel) are unevictable:
+      // their content is not yet explained by any durable record.
       for (uint32_t idx = shard.order_head; idx != kNullFrame;
            idx = shard.frames[idx].next) {
-        if (shard.frames[idx].pins == 0) return idx;
+        if (shard.frames[idx].pins == 0 &&
+            shard.recovery_lsn[idx] != kPendingRecoveryLsn) {
+          return idx;
+        }
       }
       return Status::ResourceExhausted("all buffer frames pinned");
     }
@@ -524,7 +542,10 @@ Result<uint32_t> BufferManager::PickVictim(Shard& shard) {
         const uint32_t idx = shard.clock_hand;
         shard.clock_hand = (shard.clock_hand + 1) % n;
         Frame& frame = shard.frames[idx];
-        if (frame.page_id == kInvalidPageId || frame.pins > 0) continue;
+        if (frame.page_id == kInvalidPageId || frame.pins > 0 ||
+            shard.recovery_lsn[idx] == kPendingRecoveryLsn) {
+          continue;
+        }
         if (frame.referenced) {
           frame.referenced = false;
           continue;
@@ -549,7 +570,7 @@ Status BufferManager::WriteBackBatch(Shard& shard, uint32_t must_include) {
          ++i) {
       const Frame& frame = shard.frames[i];
       if (i != must_include && frame.page_id != kInvalidPageId && frame.dirty &&
-          frame.pins == 0) {
+          frame.pins == 0 && shard.recovery_lsn[i] != kPendingRecoveryLsn) {
         shard.scratch_frames.push_back(i);
       }
     }
@@ -558,12 +579,59 @@ Status BufferManager::WriteBackBatch(Shard& shard, uint32_t must_include) {
          idx = shard.frames[idx].next) {
       if (shard.scratch_frames.size() >= options_.write_batch_size) break;
       const Frame& frame = shard.frames[idx];
-      if (idx != must_include && frame.dirty && frame.pins == 0) {
+      if (idx != must_include && frame.dirty && frame.pins == 0 &&
+          shard.recovery_lsn[idx] != kPendingRecoveryLsn) {
         shard.scratch_frames.push_back(idx);
       }
     }
   }
   return WriteFrameBatchSorted(shard, shard.scratch_frames.size());
+}
+
+void BufferManager::BeginWriteCapture(PageId preimage_limit) {
+  capture_.out = WriteCapture{};
+  capture_.preimage_limit = preimage_limit;
+  capture_.active.store(true, std::memory_order_relaxed);
+}
+
+BufferManager::WriteCapture BufferManager::TakeWriteCapture() {
+  capture_.active.store(false, std::memory_order_relaxed);
+  return std::move(capture_.out);
+}
+
+void BufferManager::StampRecoveryLsn(const std::vector<PageId>& pages,
+                                     uint64_t lsn) {
+  for (PageId id : pages) {
+    Shard& shard = ShardOf(id);
+    ShardLock lock = Lock(shard);
+    const size_t slot = FindSlot(shard, id);
+    if (slot == kNotFound) continue;  // freed mid-op, frame dropped
+    const uint32_t frame_idx = shard.table[slot].frame;
+    shard.recovery_lsn[frame_idx] = lsn;
+    shard.frames[frame_idx].dirty = true;
+    SetPageLsn(FrameData(shard, frame_idx), lsn);
+  }
+}
+
+void BufferManager::CaptureDirtyLocked(Shard& shard, uint32_t frame_idx,
+                                       PageId id) {
+  if (shard.recovery_lsn[frame_idx] == kPendingRecoveryLsn) {
+    return;  // already recorded
+  }
+  shard.recovery_lsn[frame_idx] = kPendingRecoveryLsn;
+  capture_.out.dirtied.push_back(id);
+}
+
+void BufferManager::MaybeCapturePreimageLocked(Shard& shard,
+                                               uint32_t frame_idx, PageId id) {
+  if (id >= capture_.preimage_limit) return;
+  for (const auto& [seen, image] : capture_.out.preimages) {
+    (void)image;
+    if (seen == id) return;  // intra-op dedup: first Fix saw the pre-image
+  }
+  if (capture_.query && !capture_.query(id)) return;
+  capture_.out.preimages.emplace_back(
+      id, std::string(FrameData(shard, frame_idx), page_size_));
 }
 
 void BufferManager::TouchFrame(Shard& shard, uint32_t frame_idx) {

@@ -1,11 +1,14 @@
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "disk/page.h"
@@ -68,6 +71,19 @@
 ///     access sequence).
 
 namespace starfish {
+
+/// WAL-before-data seam. The buffer manager knows nothing about the log's
+/// format; it only promises that before any frame batch reaches the volume,
+/// the hook has made every LSN recorded on those frames durable. WalManager
+/// implements this (wal/wal_manager.h); the storage engine wires it in.
+class WalOrderingHook {
+ public:
+  virtual ~WalOrderingHook() = default;
+
+  /// Blocks until every log record with LSN <= `lsn` is durable (or the log
+  /// is poisoned — then the write-back must not proceed).
+  virtual Status EnsureDurable(uint64_t lsn) = 0;
+};
 
 /// Frame replacement policies.
 enum class ReplacementPolicy {
@@ -218,10 +234,68 @@ class PageGuard {
 
 /// The buffer pool. Thread-safe when options.shard_count != 1 (see the
 /// concurrency model in the file comment).
+///
+/// WAL integration (all optional — a pool without a hook behaves exactly as
+/// before):
+///
+///   * Each frame has a `recovery_lsn` (a per-shard array parallel to the
+///     frames): the LSN of the last WAL record that dirtied the page.
+///     Before a write-back batch reaches the volume, the WalOrderingHook
+///     must make max(recovery_lsn of the batch) durable — WAL-before-data.
+///   * While an op is being applied (between BeginWriteCapture and
+///     StampRecoveryLsn) its dirtied frames hold the kPendingRecoveryLsn
+///     sentinel: they are not yet explained by any log record, so eviction,
+///     flush and write-back all skip them. StampRecoveryLsn resolves them
+///     to the op's real LSN — and writes the same LSN into the page header
+///     (disk/page.h), which is what sf_fsck cross-checks offline.
+///   * BeginWriteCapture also records, per op, the dirtied page ids and a
+///     pre-image (full page copy, taken at Fix time — before the caller
+///     mutates) of every page the pre-image query approves. The WAL layer
+///     logs those images so replay can roll shared pages back to their
+///     committed content before re-running ops.
+///
+/// Capture runs strictly single-threaded (the store's write mutex); the
+/// only concurrency-visible piece is the relaxed `active` flag the Fix hot
+/// path reads, which is false whenever no op is mid-flight.
 class BufferManager {
  public:
   BufferManager(Volume* disk, BufferOptions options = {});
   ~BufferManager();
+
+  /// recovery_lsn sentinel of a frame dirtied by an op whose WAL record has
+  /// not been assigned yet (unevictable, unflushable).
+  static constexpr uint64_t kPendingRecoveryLsn = ~0ull;
+
+  /// What one op's write capture collected.
+  struct WriteCapture {
+    std::vector<PageId> dirtied;  ///< pages left with a pending LSN
+    std::vector<std::pair<PageId, std::string>> preimages;
+  };
+
+  /// Installs (or clears, nullptr) the WAL-before-data hook consulted by
+  /// write-back. Wire-up time only, not thread-safe against running I/O.
+  void SetWalHook(WalOrderingHook* hook) { wal_hook_ = hook; }
+
+  /// Pre-image filter: return false to skip copying a page's image (e.g.
+  /// because the WAL already holds one for this checkpoint interval).
+  /// Null = capture every page below the limit. Wire-up time only.
+  void SetPreimageQuery(std::function<bool(PageId)> query) {
+    capture_.query = std::move(query);
+  }
+
+  /// Starts an op's write capture. Pages with id < preimage_limit get
+  /// pre-imaged at Fix time. Caller must be the only writing thread until
+  /// the matching TakeWriteCapture.
+  void BeginWriteCapture(PageId preimage_limit);
+
+  /// Ends the capture and returns what it collected. The dirtied frames
+  /// stay pending until StampRecoveryLsn.
+  WriteCapture TakeWriteCapture();
+
+  /// Resolves the pending frames of `pages` to `lsn`, stamping the LSN into
+  /// both the frame metadata and the page header bytes. Pages no longer
+  /// resident are skipped (freed mid-op).
+  void StampRecoveryLsn(const std::vector<PageId>& pages, uint64_t lsn);
 
   /// Pins `id` in the pool, reading it from disk if absent (one single-page
   /// read call on miss). Multiple concurrent pins on one page are allowed.
@@ -327,6 +401,16 @@ class BufferManager {
     uint32_t order_head = kNullFrame;  ///< coldest (eviction candidate)
     uint32_t order_tail = kNullFrame;  ///< hottest
     uint32_t clock_hand = 0;
+    /// LSN of the WAL record explaining each frame's dirty content
+    /// (0 = none/clean, kPendingRecoveryLsn = mid-op, see the class
+    /// comment). Parallel to `frames` but kept out of Frame — and out of
+    /// the hot leading fields — because the LSN is only touched on
+    /// write-back/flush/eviction/stamp paths, never on a Fix hit.
+    std::vector<uint64_t> recovery_lsn;
+    /// Owning manager — PageGuard::Unpin reaches the write-capture state
+    /// through this (it has no manager pointer of its own). Cold: only the
+    /// dirty-unpin path reads it.
+    BufferManager* owner = nullptr;
     BufferStats stats;
     /// Reused write-back scratch (steady state allocates nothing).
     std::vector<uint32_t> scratch_frames;
@@ -451,6 +535,29 @@ class BufferManager {
   void EnqueueFrame(Shard& shard, uint32_t frame_idx);
   void RemoveFromOrder(Shard& shard, uint32_t frame_idx);
 
+  /// Marks a just-dirtied frame pending and records its page id (once per
+  /// op). Shard lock held; op thread only. Kept out of line so the cold
+  /// capture tail does not bloat the inlined Fix/Unpin hot paths.
+  [[gnu::noinline]] [[gnu::cold]] void CaptureDirtyLocked(Shard& shard,
+                                                          uint32_t frame_idx,
+                                                          PageId id);
+
+  /// Copies the page's pre-op image into the capture if the page is below
+  /// the pre-image limit, not yet imaged this op, and the query approves.
+  /// Shard lock held; op thread only; called at Fix before the caller can
+  /// mutate the frame. Out of line for the same reason as above.
+  [[gnu::noinline]] [[gnu::cold]] void MaybeCapturePreimageLocked(
+      Shard& shard, uint32_t frame_idx, PageId id);
+
+  /// One op's write-capture state. Only `active` is read outside the op
+  /// thread (relaxed, on the Fix hot path); everything else is op-private.
+  struct CaptureState {
+    std::atomic<bool> active{false};
+    PageId preimage_limit = 0;
+    std::function<bool(PageId)> query;
+    WriteCapture out;
+  };
+
   Volume* disk_;
   BufferOptions options_;
   uint32_t page_size_;
@@ -466,6 +573,49 @@ class BufferManager {
   /// latency); sharded mode uses the heap array. Exactly one is live.
   Shard single_;
   std::unique_ptr<Shard[]> shards_;
+  CaptureState capture_;
+  WalOrderingHook* wal_hook_ = nullptr;
 };
+
+// The guard teardown trio is defined inline (PageGuard is a friend, so the
+// shard internals are visible here): a guard drop is half of every
+// fix/unfix pair, and keeping these bodies header-visible lets them inline
+// into callers the same way the Fix hit path does. The cold write-capture
+// tail stays out of line in CaptureDirtyLocked.
+
+inline void PageGuard::Unpin() {
+  // Pins and the dirty bit move only under the owning shard's lock (a
+  // no-op pointer in single-shard mode). Unfix of a held guard cannot
+  // fail — the page is pinned by this very guard.
+  AssertOwningThread();
+  auto* shard = static_cast<BufferManager::Shard*>(shard_);
+  BufferManager::ShardLock lock(shard->lock_mu);
+  BufferManager::Frame& frame = shard->frames[frame_idx_];
+  --frame.pins;
+  if (dirty_) {
+    frame.dirty = true;
+    BufferManager* mgr = shard->owner;
+    if (__builtin_expect(
+            mgr->capture_.active.load(std::memory_order_relaxed), false)) {
+      mgr->CaptureDirtyLocked(*shard, frame_idx_, id_);
+    }
+  }
+}
+
+inline void PageGuard::Release() {
+  if (shard_ != nullptr) {
+    Unpin();
+    shard_ = nullptr;
+    id_ = kInvalidPageId;
+    data_ = nullptr;
+    dirty_ = false;
+  }
+}
+
+inline PageGuard::~PageGuard() {
+  if (shard_ != nullptr) {
+    Unpin();
+  }
+}
 
 }  // namespace starfish

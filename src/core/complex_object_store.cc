@@ -1,7 +1,9 @@
 #include "core/complex_object_store.h"
 
 #include <algorithm>
+#include <cstring>
 #include <filesystem>
+#include <unordered_set>
 
 #include "core/generations.h"
 #include "util/coding.h"
@@ -13,9 +15,11 @@ namespace {
 
 /// Catalog payload layout (framed/checksummed by generations.h):
 ///   u32 model kind, u32 page_size, u64 key_attr_index, str schema name,
-///   u32 schema path count, engine segment catalog, model state.
-/// The payload is identical between the legacy v1 file and v2 generations;
-/// only the framing differs.
+///   u32 schema path count, [v3+: u64 wal checkpoint LSN],
+///   engine segment catalog, model state.
+/// The fixed prefix is identical between the legacy v1 file and v2
+/// generations; v3 inserts the WAL checkpoint LSN (the log-truncation
+/// point recovery replays from).
 
 /// Pre-parsed fixed header of a catalog payload.
 struct CatalogHeader {
@@ -24,14 +28,51 @@ struct CatalogHeader {
   uint64_t key_attr = 0;
   std::string_view schema_name;
   uint32_t path_count = 0;
+  uint64_t wal_checkpoint_lsn = 0;  ///< 0 for v1/v2 payloads
 };
 
-bool ParseCatalogHeader(std::string_view* in, CatalogHeader* header) {
+bool ParseCatalogHeader(std::string_view* in, CatalogHeader* header,
+                        bool has_checkpoint_lsn) {
   return GetFixed32(in, &header->model_kind) &&
          GetFixed32(in, &header->page_size) &&
          GetFixed64(in, &header->key_attr) &&
          GetLengthPrefixed(in, &header->schema_name) &&
-         GetFixed32(in, &header->path_count);
+         GetFixed32(in, &header->path_count) &&
+         (!has_checkpoint_lsn ||
+          GetFixed64(in, &header->wal_checkpoint_lsn));
+}
+
+/// WAL op-body encoding of a Put/Replace argument: the object's serialized
+/// regions (u32 count, per region u32 tag + u32 len + bytes). Replay
+/// decodes and reassembles the tuple, then re-runs the model write path.
+std::string EncodeRegions(const std::vector<RecordRegion>& regions) {
+  std::string out;
+  PutFixed32(&out, static_cast<uint32_t>(regions.size()));
+  for (const RecordRegion& region : regions) {
+    PutFixed32(&out, region.tag);
+    PutFixed32(&out, static_cast<uint32_t>(region.bytes.size()));
+    out.append(region.bytes);
+  }
+  return out;
+}
+
+bool DecodeRegions(std::string_view in, std::vector<RecordRegion>* out) {
+  out->clear();
+  uint32_t count = 0;
+  if (!GetFixed32(&in, &count) || count > in.size() / 8) return false;
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    RecordRegion region;
+    uint32_t len = 0;
+    if (!GetFixed32(&in, &region.tag) || !GetFixed32(&in, &len) ||
+        len > in.size()) {
+      return false;
+    }
+    region.bytes.assign(in.data(), len);
+    in.remove_prefix(len);
+    out->push_back(std::move(region));
+  }
+  return in.empty();
 }
 
 }  // namespace
@@ -69,6 +110,7 @@ Result<std::unique_ptr<ComplexObjectStore>> ComplexObjectStore::Open(
   std::string payload;
   bool reopen = false;
   bool legacy = false;
+  bool catalog_v3 = false;
   if (store->persistent()) {
     const std::string& dir = options.path;
     ResolvedCatalog resolved;
@@ -79,6 +121,7 @@ Result<std::unique_ptr<ComplexObjectStore>> ComplexObjectStore::Open(
       payload = std::move(resolved.file.payload);
       store->generation_ = resolved.loaded;
       store->fallback_ = resolved.fallback;
+      catalog_v3 = resolved.file.version >= 3;
       reopen = true;
     } else {
       // Nothing was ever committed through the generation protocol. Either
@@ -102,9 +145,9 @@ Result<std::unique_ptr<ComplexObjectStore>> ComplexObjectStore::Open(
   }
 
   std::string_view in(payload);
+  CatalogHeader header;
   if (reopen) {
-    CatalogHeader header;
-    if (!ParseCatalogHeader(&in, &header)) {
+    if (!ParseCatalogHeader(&in, &header, catalog_v3)) {
       return Status::Corruption("truncated store catalog in " + options.path);
     }
     if (static_cast<StorageModelKind>(header.model_kind) != options.model) {
@@ -144,13 +187,9 @@ Result<std::unique_ptr<ComplexObjectStore>> ComplexObjectStore::Open(
                                 " references pages beyond the volume: " +
                                 reconciled.ToString());
     }
-    // ... and for what is stored: shared slotted pages are written in
-    // place, so a torn checkpoint (or a fallback past a corrupt newer
-    // generation) can leave records on them the committed state never
-    // heard of. Scrub them out before anything scans or inserts.
-    std::vector<Tid> live_tids;
-    STARFISH_RETURN_NOT_OK(store->model_->CollectLiveTids(&live_tids));
-    STARFISH_RETURN_NOT_OK(store->engine_->ScrubSlottedRecords(live_tids));
+    // What is STORED on the shared slotted pages is reconciled below by
+    // AttachWalAndRecover: targeted WAL replay when the log covers the
+    // tail, the full scrub otherwise.
   } else if (store->persistent() &&
              store->engine_->disk()->page_count() > 0) {
     // Fresh store over a volume that already journaled allocations: a run
@@ -187,11 +226,196 @@ Result<std::unique_ptr<ComplexObjectStore>> ComplexObjectStore::Open(
                                             : std::vector<uint64_t>{});
   }
 
+  // WAL attach + crash recovery (persistent backends; a no-op for mem).
+  // After this the store's committed state is reconstructed, the log is
+  // clean, and the write path logs through wal_.
+  STARFISH_RETURN_NOT_OK(
+      store->AttachWalAndRecover(reopen, header.wal_checkpoint_lsn));
+
   // Only a fully opened store may checkpoint: the destructor of a store
   // abandoned mid-reopen must not overwrite a (possibly recoverable)
   // catalog with the empty state of a half-constructed model.
   store->opened_ = true;
   return store;
+}
+
+Status ComplexObjectStore::AttachWalAndRecover(bool reopen,
+                                               uint64_t checkpoint_lsn) {
+  if (!persistent()) return Status::OK();
+  const std::string& dir = options_.path;
+  const std::string wal_path = WalPath(dir);
+  wal_serializer_ = std::make_unique<ObjectSerializer>(schema_);
+
+  STARFISH_ASSIGN_OR_RETURN(WalScan scan, ScanWalFile(wal_path));
+
+  // Decide between targeted replay (trust the validated log tail) and the
+  // fallback (trust only the committed state: for a reopen the catalog —
+  // restored by the scrub below; for a fresh directory the empty store,
+  // already in place after ReconcileLive({})). Replay also runs WITHOUT a
+  // committed catalog: under kAlways/kGroup, commits of the first
+  // checkpoint interval were acknowledged durable on the strength of the
+  // log alone, and re-running them onto the empty initial state is what
+  // makes that acknowledgement honest.
+  std::string no_replay_reason;
+  if (options_.paranoid_open) {
+    no_replay_reason = "paranoid_open";
+  } else if (fallback_) {
+    // The newest catalog was corrupt; the log was truncated against it,
+    // not against the older generation that loaded. Its records do not
+    // extend the state we actually have.
+    no_replay_reason = "generation fallback";
+  } else if (!scan.found || !scan.header_valid) {
+    no_replay_reason = scan.found ? "invalid WAL header" : "missing WAL";
+  } else if (reopen && scan.next_lsn < checkpoint_lsn) {
+    // The log ends before the committed checkpoint: it cannot be the log
+    // that checkpoint truncated. Do not replay from it.
+    no_replay_reason = "WAL older than committed checkpoint";
+  }
+
+  if (reopen && !no_replay_reason.empty()) {
+    // Restore exactly the committed state: delete every slotted record the
+    // committed model state does not know and rebuild the hints. The log
+    // tail (if any survived) is DISCARDED — documented for paranoid_open.
+    std::vector<Tid> live_tids;
+    STARFISH_RETURN_NOT_OK(model_->CollectLiveTids(&live_tids));
+    STARFISH_RETURN_NOT_OK(engine_->ScrubSlottedRecords(live_tids));
+  }
+
+  const bool replay = no_replay_reason.empty();
+
+  // A rebuilt log must start past every LSN already stamped into a
+  // committed page, or sf_fsck's page-LSN-below-horizon check (and the
+  // dense-LSN invariant itself) breaks for future records.
+  uint64_t rebuild_base = std::max<uint64_t>(checkpoint_lsn, 1);
+  if (!replay && reopen) {
+    for (PageId id : engine_->AllSegmentPages()) {
+      STARFISH_ASSIGN_OR_RETURN(PageGuard guard, engine_->buffer()->Fix(id));
+      rebuild_base = std::max(rebuild_base, GetPageLsn(guard.data()) + 1);
+    }
+  }
+
+  STARFISH_ASSIGN_OR_RETURN(std::unique_ptr<LogFile> log,
+                            OpenPosixLogFile(wal_path));
+  if (options_.wal_log_decorator) {
+    log = options_.wal_log_decorator(std::move(log));
+  }
+  WalManagerOptions wal_options;
+  wal_options.sync = options_.wal_sync;
+  wal_options.group_interval_us = options_.wal_group_interval_us;
+  // Forcing the rebuild on the scrub path: pass an empty scan so the
+  // manager replaces the file instead of appending after a discarded tail.
+  STARFISH_ASSIGN_OR_RETURN(
+      wal_, WalManager::Open(std::move(log), replay ? scan : WalScan{},
+                             rebuild_base, generation_, wal_options));
+  wal_checkpoint_page_count_ = engine_->disk()->page_count();
+  wal_->SetCheckpointPageCount(wal_checkpoint_page_count_);
+  engine_->buffer()->SetWalHook(wal_.get());
+  engine_->buffer()->SetPreimageQuery(
+      [wal = wal_.get()](PageId id) { return wal->NeedsPreimage(id); });
+
+  if (!replay) return Status::OK();
+
+  // The committed tail: op records at or past the checkpoint LSN. Records
+  // below it are stale leftovers of a crash between the catalog commit and
+  // the log truncation; checkpoint records are markers, not ops.
+  std::vector<const WalRecord*> tail;
+  bool stale = scan.base_lsn < checkpoint_lsn;
+  for (const WalRecord& record : scan.records) {
+    if (record.lsn < checkpoint_lsn) {
+      stale = true;
+      continue;
+    }
+    if (IsWalOpKind(record.kind)) tail.push_back(&record);
+  }
+
+  if (tail.empty()) {
+    if (stale) {
+      // Nothing to replay, but the file still carries pre-checkpoint
+      // records: truncate now so the next scan starts clean.
+      STARFISH_RETURN_NOT_OK(wal_->TruncateAt(
+          std::max<uint64_t>(checkpoint_lsn, scan.next_lsn), generation_,
+          wal_checkpoint_page_count_));
+    }
+    return Status::OK();
+  }
+
+  // Redo, phase 1 — roll shared pages back: install each page's FIRST
+  // pre-image in the tail. First-touch capture means that image is the
+  // page's committed content, so phase 2 re-runs from exactly the
+  // committed state (idempotent across repeated crashes during recovery).
+  std::vector<std::pair<const WalRecord*, WalOpPayload>> ops;
+  ops.reserve(tail.size());
+  std::unordered_set<PageId> installed;
+  const uint32_t page_size = engine_->disk()->page_size();
+  for (const WalRecord* record : tail) {
+    WalOpPayload op;
+    if (!DecodeWalOpPayload(record->payload, &op)) {
+      return Status::Corruption("undecodable WAL op record (lsn " +
+                                std::to_string(record->lsn) + ") in " +
+                                wal_path);
+    }
+    for (const auto& [page, image] : op.preimages) {
+      if (!installed.insert(page).second) continue;
+      if (page >= engine_->disk()->page_count()) continue;  // reclaimed
+      if (image.size() != page_size) {
+        return Status::Corruption("WAL pre-image size mismatch for page " +
+                                  std::to_string(page));
+      }
+      STARFISH_ASSIGN_OR_RETURN(PageGuard guard, engine_->buffer()->Fix(page));
+      std::memcpy(guard.data(), image.data(), page_size);
+      guard.MarkDirty();
+    }
+    ops.emplace_back(record, std::move(op));
+  }
+
+  // Redo, phase 2 — re-run the non-aborted ops in LSN order through the
+  // normal model write path (logging and capture off). LSN order is apply
+  // order, and the allocator state is deterministic from the committed
+  // state after ReconcileLive, so this reconstructs every committed op's
+  // effect.
+  for (const auto& [record, op] : ops) {
+    if (record->flags & kWalFlagAborted) continue;
+    STARFISH_RETURN_NOT_OK(ReplayOp(*record));
+    ++replayed_wal_records_;
+  }
+
+  // Recovery checkpoint: commit the replayed state and truncate the log,
+  // so a post-recovery store always starts from a clean, empty tail.
+  dirty_ = true;
+  return Flush();
+}
+
+Status ComplexObjectStore::ReplayOp(const WalRecord& record) {
+  WalOpPayload op;
+  if (!DecodeWalOpPayload(record.payload, &op)) {
+    return Status::Corruption("undecodable WAL op record");
+  }
+  const ObjectRef ref = static_cast<ObjectRef>(op.ref);
+  switch (record.kind) {
+    case WalRecordKind::kPut:
+    case WalRecordKind::kReplace: {
+      std::vector<RecordRegion> regions;
+      if (!DecodeRegions(op.body, &regions)) {
+        return Status::Corruption("undecodable WAL object body (lsn " +
+                                  std::to_string(record.lsn) + ")");
+      }
+      STARFISH_ASSIGN_OR_RETURN(Tuple object,
+                                wal_serializer_->FromRegionsAll(regions));
+      return record.kind == WalRecordKind::kPut
+                 ? model_->Insert(ref, object)
+                 : model_->ReplaceObject(ref, object);
+    }
+    case WalRecordKind::kUpdateRoot: {
+      STARFISH_ASSIGN_OR_RETURN(Tuple root,
+                                ObjectSerializer::DecodeFlat(*schema_, op.body));
+      return model_->UpdateRootRecord(ref, root);
+    }
+    case WalRecordKind::kRemove:
+      return model_->Remove(ref);
+    case WalRecordKind::kCheckpoint:
+      return Status::OK();
+  }
+  return Status::Corruption("unknown WAL record kind");
 }
 
 ComplexObjectStore::~ComplexObjectStore() {
@@ -202,9 +426,69 @@ ComplexObjectStore::~ComplexObjectStore() {
   }
 }
 
+Status ComplexObjectStore::LoggedWrite(WalRecordKind kind,
+                                       const std::function<Status()>& apply,
+                                       uint64_t ref, std::string body) {
+  uint64_t lsn = 0;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    if (wal_ == nullptr) {
+      // Mem backend (or pre-attach): no log, just the serialized apply.
+      const Status applied = apply();
+      if (applied.ok()) dirty_ = true;
+      return applied;
+    }
+    // A poisoned log acknowledges nothing: fail fast instead of applying
+    // writes whose records can never become durable.
+    STARFISH_RETURN_NOT_OK(wal_->status());
+
+    engine_->buffer()->BeginWriteCapture(wal_checkpoint_page_count_);
+    const Status applied = apply();
+    BufferManager::WriteCapture capture =
+        engine_->buffer()->TakeWriteCapture();
+    if (!applied.ok() && capture.dirtied.empty()) {
+      // Validation failure before anything was touched: nothing to log.
+      return applied;
+    }
+
+    WalOpPayload op;
+    op.ref = ref;
+    op.pages = capture.dirtied;
+    op.preimages = std::move(capture.preimages);
+    op.body = std::move(body);
+    auto lsn_or =
+        wal_->AppendOp(kind, applied.ok() ? 0 : kWalFlagAborted, op);
+    if (!lsn_or.ok()) {
+      // The op's frames stay marked pending (un-evictable, un-flushable):
+      // with no record to explain them they must never reach the volume.
+      // The log is now poisoned, so every later write and every checkpoint
+      // refuses — the bounded frame leak ends with the store.
+      return lsn_or.status();
+    }
+    lsn = lsn_or.value();
+    engine_->buffer()->StampRecoveryLsn(op.pages, lsn);
+    dirty_ = true;
+    if (!applied.ok()) {
+      // Aborted record logged (its pre-images roll the pages back at
+      // replay); surface the apply failure, not a commit ack.
+      return applied;
+    }
+  }
+  // Durability wait OUTSIDE the store mutex: this is where concurrent
+  // committers pile into one leader epoch (group commit).
+  return wal_->Commit(lsn);
+}
+
 Status ComplexObjectStore::Put(ObjectRef ref, const Tuple& object) {
-  dirty_ = true;
-  return model_->Insert(ref, object);
+  std::string body;
+  if (wal_ != nullptr) {
+    STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
+                              wal_serializer_->ToRegions(object));
+    body = EncodeRegions(regions);
+  }
+  return LoggedWrite(
+      WalRecordKind::kPut, [&] { return model_->Insert(ref, object); }, ref,
+      std::move(body));
 }
 
 Result<Tuple> ComplexObjectStore::Get(ObjectRef ref,
@@ -236,18 +520,32 @@ Result<Tuple> ComplexObjectStore::RootRecord(ObjectRef ref) {
 
 Status ComplexObjectStore::UpdateRootRecord(ObjectRef ref,
                                             const Tuple& new_root) {
-  dirty_ = true;
-  return model_->UpdateRootRecord(ref, new_root);
+  std::string body;
+  if (wal_ != nullptr) {
+    body = ObjectSerializer::EncodeFlat(*schema_, new_root);
+  }
+  return LoggedWrite(
+      WalRecordKind::kUpdateRoot,
+      [&] { return model_->UpdateRootRecord(ref, new_root); }, ref,
+      std::move(body));
 }
 
 Status ComplexObjectStore::Replace(ObjectRef ref, const Tuple& new_object) {
-  dirty_ = true;
-  return model_->ReplaceObject(ref, new_object);
+  std::string body;
+  if (wal_ != nullptr) {
+    STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
+                              wal_serializer_->ToRegions(new_object));
+    body = EncodeRegions(regions);
+  }
+  return LoggedWrite(
+      WalRecordKind::kReplace,
+      [&] { return model_->ReplaceObject(ref, new_object); }, ref,
+      std::move(body));
 }
 
 Status ComplexObjectStore::Remove(ObjectRef ref) {
-  dirty_ = true;
-  return model_->Remove(ref);
+  return LoggedWrite(
+      WalRecordKind::kRemove, [&] { return model_->Remove(ref); }, ref, {});
 }
 
 Result<Tuple> ReadSession::Get(ObjectRef ref,
@@ -275,34 +573,58 @@ Result<Tuple> ReadSession::RootRecord(ObjectRef ref) const {
   return store_->RootRecord(ref);
 }
 
-Status ComplexObjectStore::BuildCatalogPayload(std::string* payload) const {
+Status ComplexObjectStore::BuildCatalogPayload(
+    std::string* payload, uint64_t wal_checkpoint_lsn) const {
   PutFixed32(payload, static_cast<uint32_t>(options_.model));
   PutFixed32(payload, options_.page_size);
   PutFixed64(payload, options_.key_attr_index);
   PutLengthPrefixed(payload, schema_->name());
   PutFixed32(payload, static_cast<uint32_t>(schema_->path_count()));
+  PutFixed64(payload, wal_checkpoint_lsn);
   engine_->SaveCatalog(payload);
   return model_->SaveState(payload);
 }
 
 Status ComplexObjectStore::Flush() {
+  // Writers are excluded for the whole checkpoint: the catalog payload,
+  // the WAL checkpoint LSN and the flushed pages must describe ONE state.
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (wal_ != nullptr) {
+    // A poisoned log may hold acknowledged-nothing records whose pages are
+    // pinned un-flushable: advancing the catalog past them would commit a
+    // state the log cannot explain. Stay at the last committed generation.
+    STARFISH_RETURN_NOT_OK(wal_->status());
+  }
   STARFISH_RETURN_NOT_OK(engine_->Flush());
   if (!persistent()) return Status::OK();
   const std::string& dir = options_.path;
 
   // Checkpoint protocol — each step durable before the next begins:
-  //   1. Sync the volume (page images + allocator journal): the catalog
+  //   1. Make the log durable (WAL-before-data held per write-back batch
+  //      during engine Flush; this covers records with no flushed page) and
+  //      seal the checkpoint LSN: with write_mu_ held no record can be
+  //      appended after it, so every op record is below the LSN the catalog
+  //      will carry.
+  //   2. Sync the volume (page images + allocator journal): the catalog
   //      must never reference bytes or pages the volume does not have.
-  //   2. Write the NEXT catalog generation to its own fsync'd file; the
+  //   3. Write the NEXT catalog generation to its own fsync'd file; the
   //      live generation is never touched.
-  //   3. Atomically repoint CURRENT — the one and only commit point.
-  // A crash before step 3 leaves the previous generation committed; the
-  // next Open reclaims the half-checkpoint's pages via ReconcileLive.
+  //   4. Atomically repoint CURRENT — the one and only commit point.
+  //   5. Truncate the log at the checkpoint LSN (housekeeping: a crash
+  //      before it leaves stale records the next Open's replay skips).
+  // A crash before step 4 leaves the previous generation committed; the
+  // next Open reclaims the half-checkpoint's pages via ReconcileLive and
+  // replays the log tail from the PREVIOUS checkpoint LSN.
+  uint64_t checkpoint_lsn = 0;
+  if (wal_ != nullptr) {
+    STARFISH_RETURN_NOT_OK(wal_->SyncAll());
+    checkpoint_lsn = wal_->next_lsn();
+  }
   STARFISH_RETURN_NOT_OK(engine_->disk()->Sync());
 
   const uint64_t next = next_generation_;
   std::string payload;
-  STARFISH_RETURN_NOT_OK(BuildCatalogPayload(&payload));
+  STARFISH_RETURN_NOT_OK(BuildCatalogPayload(&payload, checkpoint_lsn));
   STARFISH_RETURN_NOT_OK(WriteFileAtomic(CatalogGenerationPath(dir, next),
                                          EncodeCatalogFile(next, payload)));
   STARFISH_RETURN_NOT_OK(CommitCurrentGeneration(dir, next));
@@ -315,6 +637,11 @@ Status ComplexObjectStore::Flush() {
   RemoveCatalogGenerationsExcept(dir, {previous, next});
   std::error_code ec;
   std::filesystem::remove(LegacyCatalogPath(dir), ec);  // migration complete
+  if (wal_ != nullptr) {
+    wal_checkpoint_page_count_ = engine_->disk()->page_count();
+    STARFISH_RETURN_NOT_OK(wal_->TruncateAt(checkpoint_lsn, next,
+                                            wal_checkpoint_page_count_));
+  }
   return Status::OK();
 }
 

@@ -2,12 +2,16 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 
 #include "disk/disk_timing.h"
+#include "disk/log_file.h"
 #include "models/model_factory.h"
 #include "nf2/projection.h"
 #include "nf2/schema.h"
+#include "nf2/serializer.h"
 #include "nf2/value.h"
+#include "wal/wal_manager.h"
 
 /// \file complex_object_store.h
 /// The library's front door: a complex-object store with a selectable
@@ -98,6 +102,31 @@ struct StoreOptions {
   /// tests kill the disk mid-checkpoint. Null = no wrapping.
   std::function<std::unique_ptr<Volume>(std::unique_ptr<Volume>)>
       volume_decorator;
+
+  /// When a write op's commit is acknowledged durable (persistent backends
+  /// only; the mem backend runs without a WAL). kNone — the pre-WAL
+  /// contract and the default: ops are logged but commit returns
+  /// immediately, durability arrives at the next Flush checkpoint (the log
+  /// still shrinks the loss window to the last group-commit epoch and keeps
+  /// every flushed page explained). kAlways/kGroup — every Put/Replace/
+  /// Remove/UpdateRootRecord blocks until its record is fsync'd, leader-
+  /// batched across concurrent writers (group commit). See docs/WAL.md.
+  WalSyncPolicy wal_sync = WalSyncPolicy::kNone;
+
+  /// kGroup epoch accumulation window, microseconds.
+  uint32_t wal_group_interval_us = 100;
+
+  /// Reopen via the full committed-state scrub instead of WAL replay, and
+  /// DISCARD the log tail beyond the committed checkpoint — acked-but-
+  /// uncheckpointed commits are dropped. The recovery of last resort for a
+  /// log the operator does not trust.
+  bool paranoid_open = false;
+
+  /// Test seam: wraps the WAL's log file (e.g. FaultVolume::WrapLogFile)
+  /// so crash tests can tear log appends and drop unsynced log bytes at
+  /// power loss. Null = no wrapping.
+  std::function<std::unique_ptr<LogFile>(std::unique_ptr<LogFile>)>
+      wal_log_decorator;
 };
 
 class ComplexObjectStore;
@@ -112,8 +141,12 @@ class ComplexObjectStore;
 ///     buffer pool), and
 ///   * no write API (Put/Replace/Remove/UpdateRootRecord/Flush) and no
 ///     cache-structure API (engine()->DropCache(), ResetStats) runs while
-///     reader threads are active. Writes stay single-threaded: quiesce the
-///     readers, write, resume.
+///     reader threads are active: quiesce the readers, write, resume.
+///     Writers MAY run concurrently with each other (since the WAL PR):
+///     each op's apply is serialized under the store's write mutex, while
+///     the durability wait overlaps across threads via group commit
+///     (docs/WAL.md) — concurrent writers are safe, readers-vs-writers
+///     are not.
 ///
 /// The session itself carries no mutable state — every read path underneath
 /// (storage model lookup tables, record manager, serializer) is const over
@@ -215,6 +248,14 @@ class ComplexObjectStore {
   /// next-older committed one (the fuzz/crash tests assert on this).
   bool opened_from_fallback() const { return fallback_; }
 
+  /// Number of committed-but-uncheckpointed WAL records Open replayed (0
+  /// after a clean close, or when recovery went through the scrub path).
+  uint64_t replayed_wal_records() const { return replayed_wal_records_; }
+
+  /// The store's write-ahead log, or nullptr (mem backend / legacy-only).
+  /// Tests read LSNs and poison state through this.
+  WalManager* wal() { return wal_.get(); }
+
   /// Estimated milliseconds charged by the TimedVolume wrapper, or 0 when
   /// `options.timed_volume` was not set. Unlike EstimatedIoMillis() (which
   /// converts the counter snapshot after the fact), this accumulates per
@@ -249,10 +290,34 @@ class ComplexObjectStore {
 
   /// Serializes the catalog payload (store header + engine segment catalog
   /// + model state) — the bytes a generation file frames and checksums.
-  Status BuildCatalogPayload(std::string* payload) const;
+  /// `wal_checkpoint_lsn` is the v3 payload's log-truncation point.
+  Status BuildCatalogPayload(std::string* payload,
+                             uint64_t wal_checkpoint_lsn) const;
+
+  /// Open-time WAL attach + recovery of a persistent store: scans the log,
+  /// decides replay vs scrub, installs pre-images and re-runs the
+  /// committed tail, wires the buffer-pool hooks. `reopen` = a committed
+  /// catalog was loaded; `checkpoint_lsn` = its v3 truncation point (0 for
+  /// v2/legacy).
+  Status AttachWalAndRecover(bool reopen, uint64_t checkpoint_lsn);
+
+  /// Re-applies one logged op through the normal model write path (replay
+  /// only; capture and logging are off).
+  Status ReplayOp(const WalRecord& record);
+
+  /// One logged write op: capture + apply + append + stamp under write_mu_,
+  /// then the policy-dependent commit wait outside it.
+  Status LoggedWrite(WalRecordKind kind,
+                     const std::function<Status()>& apply,
+                     uint64_t ref, std::string body);
 
   StoreOptions options_;
   std::shared_ptr<const Schema> schema_;
+  /// Write-ahead log of a persistent store (null for mem / when the open
+  /// fell back to a WAL-less legacy flow). Owns wal.log in options_.path.
+  /// Declared BEFORE engine_: the buffer pool's teardown flush calls the
+  /// ordering hook, so the manager must outlive it.
+  std::unique_ptr<WalManager> wal_;
   std::unique_ptr<StorageEngine> engine_;
   std::unique_ptr<StorageModel> model_;
   /// Set once Open fully succeeded; gates the destructor's checkpoint.
@@ -267,6 +332,17 @@ class ComplexObjectStore {
   /// Mutations since the last committed checkpoint; gates the destructor's
   /// best-effort Flush so a read-only run rewrites nothing.
   bool dirty_ = false;
+
+  /// Serializes logged op bodies (Put/Replace region streams).
+  std::unique_ptr<ObjectSerializer> wal_serializer_;
+  /// Volume page count at the committed checkpoint: pages below it need a
+  /// first-touch pre-image (mirrors WalManager::SetCheckpointPageCount).
+  uint64_t wal_checkpoint_page_count_ = 0;
+  uint64_t replayed_wal_records_ = 0;
+  /// Serializes write ops (apply + log append). Commit waits happen outside
+  /// it — that overlap is the group-commit win. Reads stay unlocked: the
+  /// no-reads-during-writes contract is unchanged.
+  std::mutex write_mu_;
 };
 
 }  // namespace starfish

@@ -13,7 +13,10 @@ namespace {
 
 constexpr uint32_t kCatalogMagic = 0x54434653;  // "SFCT"
 constexpr uint32_t kCatalogVersionLegacy = 1;
-constexpr uint32_t kCatalogVersion = 2;
+// v2 and v3 share the frame layout; v3 payloads additionally carry the WAL
+// checkpoint LSN (parsed by the store, not here). New files are written v3.
+constexpr uint32_t kCatalogVersionV2 = 2;
+constexpr uint32_t kCatalogVersion = 3;
 
 /// Name of generation `gen`, without the directory.
 std::string GenerationName(uint64_t gen) {
@@ -118,9 +121,10 @@ Result<CatalogFile> ReadCatalogFile(const std::string& path) {
     file.payload.assign(in.data(), in.size());
     return file;
   }
-  if (version != kCatalogVersion) {
+  if (version != kCatalogVersionV2 && version != kCatalogVersion) {
     return Status::Corruption("unsupported catalog version in " + path);
   }
+  file.version = version;
   if (!GetFixed64(&in, &file.generation) || in.size() < 4) {
     return Status::Corruption("truncated catalog in " + path);
   }

@@ -28,8 +28,11 @@
 ///
 /// Catalog file framing (little-endian):
 ///
-///   v2:  u32 magic 'SFCT', u32 version (2), u64 generation,
-///        payload, u32 crc32 over everything before it
+///   v3:  u32 magic 'SFCT', u32 version (3), u64 generation,
+///        payload, u32 crc32 over everything before it — the payload
+///        carries the WAL checkpoint LSN (see wal/wal_format.h)
+///   v2:  same frame, version 2, payload without the checkpoint LSN
+///        (pre-WAL, read-only: the next checkpoint migrates to v3)
 ///   v1:  u32 magic, u32 version (1), payload         (legacy, pre-PR4,
 ///        read-only: the first checkpoint migrates to v2 + CURRENT)
 ///
@@ -72,6 +75,10 @@ void RemoveCatalogGenerationsExcept(const std::string& dir,
 struct CatalogFile {
   uint64_t generation = 0;  ///< 0 for legacy v1 files
   bool legacy = false;      ///< v1: no generation, no checksum
+  /// Frame version (1 legacy, 2 pre-WAL, 3 with WAL checkpoint LSN in the
+  /// payload). v2 and v3 share the framing; the store parses the payload
+  /// difference.
+  uint32_t version = 1;
   std::string payload;      ///< store-owned bytes (model kind onward)
 };
 

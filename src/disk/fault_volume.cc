@@ -1,5 +1,6 @@
 #include "disk/fault_volume.h"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 
@@ -29,6 +30,16 @@ bool FaultVolume::WriteFaultFiresLocked() {
   return false;
 }
 
+bool FaultVolume::ReadFaultFiresLocked() {
+  ++read_calls_seen_;
+  if (plan_.fail_read_call != 0 && read_calls_seen_ == plan_.fail_read_call) {
+    ++faults_fired_;
+    if (plan_.power_loss_on_fault) down_ = true;
+    return true;
+  }
+  return false;
+}
+
 Result<PageId> FaultVolume::AllocateRun(uint32_t n) {
   if (down()) return DownError();
   return inner_->AllocateRun(n);
@@ -42,6 +53,10 @@ Status FaultVolume::Free(PageId id) {
 Status FaultVolume::ReadRun(PageId first, uint32_t count, char* out) {
   std::lock_guard<std::mutex> lock(mu_);
   if (down_) return DownError();
+  if (ReadFaultFiresLocked()) {
+    return Status::IOError("injected read fault (call " +
+                           std::to_string(read_calls_seen_) + ")");
+  }
   // Reads go through the backend for bounds checks and accounting, then the
   // overlay patches pages whose latest image is still un-synced.
   STARFISH_RETURN_NOT_OK(inner_->ReadRun(first, count, out));
@@ -62,6 +77,10 @@ Status FaultVolume::ReadRunZeroCopy(PageId first, uint32_t count,
                                     std::vector<const char*>* views) {
   std::lock_guard<std::mutex> lock(mu_);
   if (down_) return DownError();
+  if (ReadFaultFiresLocked()) {
+    return Status::IOError("injected read fault (call " +
+                           std::to_string(read_calls_seen_) + ")");
+  }
   STARFISH_RETURN_NOT_OK(inner_->ReadRunZeroCopy(first, count, views));
   if (!overlay_.empty()) {
     for (uint32_t i = 0; i < count; ++i) {
@@ -76,6 +95,10 @@ Status FaultVolume::ReadChained(const std::vector<PageId>& ids,
                                 const std::vector<char*>& outs) {
   std::lock_guard<std::mutex> lock(mu_);
   if (down_) return DownError();
+  if (ReadFaultFiresLocked()) {
+    return Status::IOError("injected read fault (call " +
+                           std::to_string(read_calls_seen_) + ")");
+  }
   STARFISH_RETURN_NOT_OK(inner_->ReadChained(ids, outs));
   if (!overlay_.empty()) {
     for (size_t i = 0; i < ids.size(); ++i) {
@@ -92,6 +115,10 @@ Status FaultVolume::ReadChainedZeroCopy(const std::vector<PageId>& ids,
                                         std::vector<const char*>* views) {
   std::lock_guard<std::mutex> lock(mu_);
   if (down_) return DownError();
+  if (ReadFaultFiresLocked()) {
+    return Status::IOError("injected read fault (call " +
+                           std::to_string(read_calls_seen_) + ")");
+  }
   STARFISH_RETURN_NOT_OK(inner_->ReadChainedZeroCopy(ids, views));
   if (!overlay_.empty()) {
     for (size_t i = 0; i < ids.size(); ++i) {
@@ -251,6 +278,97 @@ Status FaultVolume::Sync() {
   }
   dirty_.clear();
   return inner_->Sync();
+}
+
+/// LogFile decorator sharing the owning FaultVolume's fault plan, power
+/// state and mutex. Under buffer_unsynced_writes, appended bytes accumulate
+/// in the volume's volatile log cache (log_pending_) and only reach the
+/// wrapped file at Sync — so SimulatePowerLoss loses exactly the un-synced
+/// tail, as the OS page cache would. A firing log fault may first let a
+/// `torn_log_bytes` prefix of that cache reach the medium (the torn tail
+/// the WAL scanner must stop at).
+class FaultLogFile final : public LogFile {
+ public:
+  FaultLogFile(FaultVolume* volume, std::unique_ptr<LogFile> inner)
+      : volume_(volume), inner_(std::move(inner)) {}
+
+  Status Append(std::string_view bytes) override {
+    FaultVolume* v = volume_;
+    std::lock_guard<std::mutex> lock(v->mu_);
+    if (v->down_) return v->DownError();
+    ++v->log_append_calls_seen_;
+    if (v->plan_.fail_log_append != 0 &&
+        v->log_append_calls_seen_ == v->plan_.fail_log_append) {
+      ++v->faults_fired_;
+      // The dying cache flushed a prefix of the un-synced stream
+      // (including the bytes of this very append) to the medium.
+      std::string stream = std::move(v->log_pending_);
+      v->log_pending_.clear();
+      stream.append(bytes);
+      const size_t persist =
+          std::min<size_t>(v->plan_.torn_log_bytes, stream.size());
+      if (persist > 0) {
+        (void)inner_->Append(std::string_view(stream).substr(0, persist));
+        (void)inner_->Sync();
+      }
+      if (v->plan_.power_loss_on_fault) v->down_ = true;
+      return Status::IOError("injected log append fault (call " +
+                             std::to_string(v->log_append_calls_seen_) + ")");
+    }
+    if (v->options_.buffer_unsynced_writes) {
+      v->log_pending_.append(bytes);
+      return Status::OK();
+    }
+    return inner_->Append(bytes);
+  }
+
+  Status Sync() override {
+    FaultVolume* v = volume_;
+    std::lock_guard<std::mutex> lock(v->mu_);
+    if (v->down_) return v->DownError();
+    ++v->log_sync_calls_seen_;
+    if (v->plan_.fail_log_sync != 0 &&
+        v->log_sync_calls_seen_ == v->plan_.fail_log_sync) {
+      ++v->faults_fired_;
+      std::string stream = std::move(v->log_pending_);
+      v->log_pending_.clear();
+      const size_t persist =
+          std::min<size_t>(v->plan_.torn_log_bytes, stream.size());
+      if (persist > 0) {
+        (void)inner_->Append(std::string_view(stream).substr(0, persist));
+        (void)inner_->Sync();
+      }
+      if (v->plan_.power_loss_on_fault) v->down_ = true;
+      return Status::IOError("injected log sync fault (call " +
+                             std::to_string(v->log_sync_calls_seen_) + ")");
+    }
+    if (!v->log_pending_.empty()) {
+      STARFISH_RETURN_NOT_OK(inner_->Append(v->log_pending_));
+      v->log_pending_.clear();
+    }
+    return inner_->Sync();
+  }
+
+  Status Replace(std::string_view bytes) override {
+    FaultVolume* v = volume_;
+    std::lock_guard<std::mutex> lock(v->mu_);
+    if (v->down_) return v->DownError();
+    // Replace is the atomic, durable whole-file swap (rebuild/truncation):
+    // whatever was pending belonged to the superseded content.
+    v->log_pending_.clear();
+    return inner_->Replace(bytes);
+  }
+
+  const std::string& path() const override { return inner_->path(); }
+
+ private:
+  FaultVolume* volume_;
+  std::unique_ptr<LogFile> inner_;
+};
+
+std::unique_ptr<LogFile> FaultVolume::WrapLogFile(
+    std::unique_ptr<LogFile> inner) {
+  return std::make_unique<FaultLogFile>(this, std::move(inner));
 }
 
 IoStats FaultVolume::stats() const {

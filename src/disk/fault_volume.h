@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "disk/io_stats.h"
+#include "disk/log_file.h"
 #include "disk/volume.h"
 
 /// \file fault_volume.h
@@ -58,6 +59,19 @@ struct FaultPlan {
   uint32_t torn_pages = 0;
   /// Fail the Nth Sync call, before the backend sees it.
   uint64_t fail_sync_call = 0;
+  /// Fail the Nth read call (counted across ReadRun/ReadChained and their
+  /// zero-copy variants; PeekPage is a non-I/O peek and never counts) —
+  /// a dying medium returning EIO, not a crash artifact.
+  uint64_t fail_read_call = 0;
+  /// Fail the Nth log Append call (counted per wrapped LogFile, see
+  /// WrapLogFile).
+  uint64_t fail_log_append = 0;
+  /// Fail the Nth log Sync call.
+  uint64_t fail_log_sync = 0;
+  /// Bytes of the un-synced log stream that reach the medium when a log
+  /// fault fires ("torn log tail"): the cache made it partway out before
+  /// the machine died. 0 = nothing beyond the already-synced prefix.
+  uint64_t torn_log_bytes = 0;
   /// Enter the powered-off state the moment a fault fires, as if the
   /// failing operation was the last thing the machine did.
   bool power_loss_on_fault = false;
@@ -84,11 +98,15 @@ class FaultVolume final : public Volume {
   }
   void ClearPlan() { SetPlan(FaultPlan{}); }
 
-  /// Zeroes the write/sync call counters (the plan indices restart at 1).
+  /// Zeroes the write/sync/read/log call counters (the plan indices
+  /// restart at 1).
   void ResetFaultCounters() {
     std::lock_guard<std::mutex> lock(mu_);
     write_calls_seen_ = 0;
     sync_calls_seen_ = 0;
+    read_calls_seen_ = 0;
+    log_append_calls_seen_ = 0;
+    log_sync_calls_seen_ = 0;
   }
 
   /// Write calls observed so far (fault-counter clock, not IoStats).
@@ -100,6 +118,21 @@ class FaultVolume final : public Volume {
   uint64_t sync_calls_seen() const {
     std::lock_guard<std::mutex> lock(mu_);
     return sync_calls_seen_;
+  }
+  /// Read calls observed so far.
+  uint64_t read_calls_seen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return read_calls_seen_;
+  }
+  /// Log Append calls observed so far (across wrapped log files).
+  uint64_t log_append_calls_seen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return log_append_calls_seen_;
+  }
+  /// Log Sync calls observed so far.
+  uint64_t log_sync_calls_seen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return log_sync_calls_seen_;
   }
   /// Injected faults that actually fired.
   uint64_t faults_fired() const {
@@ -116,12 +149,14 @@ class FaultVolume final : public Volume {
     down_ = true;
   }
 
-  /// Powers the volume back up (the overlay stays dropped).
+  /// Powers the volume back up (the overlay and any un-synced log tail
+  /// stay dropped).
   void Revive() {
     std::lock_guard<std::mutex> lock(mu_);
     down_ = false;
     overlay_.clear();
     dirty_.clear();
+    log_pending_.clear();
   }
 
   bool down() const {
@@ -131,6 +166,14 @@ class FaultVolume final : public Volume {
 
   /// The wrapped backend.
   Volume* inner() { return inner_; }
+
+  /// Decorates a log file with this volume's fault plan and power state:
+  /// appends/syncs fail when the volume is down or an armed log fault
+  /// fires, and (under buffer_unsynced_writes) un-synced appended bytes
+  /// live in a volatile cache that SimulatePowerLoss drops — except for a
+  /// `torn_log_bytes` prefix a firing fault lets reach the medium. The
+  /// decorator holds a reference to this volume; it must not outlive it.
+  std::unique_ptr<LogFile> WrapLogFile(std::unique_ptr<LogFile> inner);
 
   // ------------------------------------------------------------ Volume --
   VolumeKind kind() const override { return inner_->kind(); }
@@ -171,6 +214,8 @@ class FaultVolume final : public Volume {
   void ResetStats() override;
 
  private:
+  friend class FaultLogFile;
+
   Status DownError() const;
 
   /// Copies `src` into the overlay image of `id` (creating it) and marks it
@@ -181,6 +226,10 @@ class FaultVolume final : public Volume {
   /// armed one. mu_ held.
   bool WriteFaultFiresLocked();
 
+  /// True (and counts the fault) when the read call just counted is the
+  /// armed one. mu_ held.
+  bool ReadFaultFiresLocked();
+
   std::unique_ptr<Volume> owned_;  // empty for the non-owning constructor
   Volume* inner_;
   FaultVolumeOptions options_;
@@ -190,7 +239,13 @@ class FaultVolume final : public Volume {
   bool down_ = false;
   uint64_t write_calls_seen_ = 0;
   uint64_t sync_calls_seen_ = 0;
+  uint64_t read_calls_seen_ = 0;
+  uint64_t log_append_calls_seen_ = 0;
+  uint64_t log_sync_calls_seen_ = 0;
   uint64_t faults_fired_ = 0;
+  /// Un-synced log bytes across wrapped log files ("OS page cache" of the
+  /// append-only log): dropped by power loss, flushed by a log Sync.
+  std::string log_pending_;
   /// Volatile page images of buffered writes. Entries are never erased
   /// while powered (Sync copies them to the backend but keeps the image, so
   /// zero-copy views handed out earlier stay valid and subsequent reads see

@@ -1,0 +1,76 @@
+#include "disk/log_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/file_io.h"
+
+namespace starfish {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+class PosixLogFile final : public LogFile {
+ public:
+  PosixLogFile(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixLogFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view bytes) override {
+    const char* p = bytes.data();
+    size_t left = bytes.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("append to", path_);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync", path_);
+    return Status::OK();
+  }
+
+  Status Replace(std::string_view bytes) override {
+    // WriteFileAtomic's rename is the commit point; only after it succeeded
+    // is the old fd (now pointing at an unlinked inode) swapped for a fresh
+    // append fd on the new file. A failure leaves the old log intact and
+    // this object still appending to it.
+    STARFISH_RETURN_NOT_OK(WriteFileAtomic(path_, bytes));
+    const int fd = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("reopen", path_);
+    ::close(fd_);
+    fd_ = fd;
+    return Status::OK();
+  }
+
+  const std::string& path() const override { return path_; }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<LogFile>> OpenPosixLogFile(const std::string& path) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoStatus("open log", path);
+  return {std::unique_ptr<LogFile>(new PosixLogFile(path, fd))};
+}
+
+}  // namespace starfish

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+/// \file log_file.h
+/// Append-only log file abstraction for the write-ahead log.
+///
+/// Lives in the disk layer (not src/wal/) for the same reason Volume does:
+/// the fault-injection decorator (FaultVolume::WrapLogFile) must be able to
+/// interpose on log I/O without the disk layer depending on the WAL layer.
+/// The interface is deliberately tiny — the WAL's durability story needs
+/// exactly three physical operations:
+///
+///   * Append — add bytes at the tail. NOT atomic and NOT durable by
+///     itself: a crash can leave a torn suffix, which is why every WAL
+///     record carries its own CRC and the scanner drops a corrupt tail.
+///   * Sync — fdatasync. Everything appended so far survives power loss
+///     once Sync returns; this is the group-commit leader's one syscall.
+///   * Replace — atomically swap the whole file for `bytes` (write tmp,
+///     fsync, rename, fsync dir) and continue appending after the new
+///     content. Checkpoints use it to truncate the log: the rename is the
+///     commit point, so a crash mid-replace leaves either the old or the
+///     new log, never a hybrid.
+///
+/// Error poisoning is the CALLER's job (WalManager): a failed append or
+/// sync leaves the file object usable but the log's durable prefix unknown,
+/// and the WAL layer must stop acknowledging commits — fsyncgate semantics.
+
+namespace starfish {
+
+class LogFile {
+ public:
+  virtual ~LogFile() = default;
+
+  /// Appends `bytes` at the current tail (volatile until Sync).
+  virtual Status Append(std::string_view bytes) = 0;
+
+  /// Makes every appended byte durable (fdatasync).
+  virtual Status Sync() = 0;
+
+  /// Atomically replaces the whole file content with `bytes`, durably.
+  /// Subsequent Appends continue after the new content.
+  virtual Status Replace(std::string_view bytes) = 0;
+
+  /// The file's path (diagnostics; the scanner reads it directly).
+  virtual const std::string& path() const = 0;
+};
+
+/// Opens (creating if absent) the POSIX log file at `path` for appending.
+Result<std::unique_ptr<LogFile>> OpenPosixLogFile(const std::string& path);
+
+}  // namespace starfish

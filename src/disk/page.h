@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <limits>
 
 /// \file page.h
@@ -29,5 +30,25 @@ inline constexpr uint32_t kDefaultPageSize = 2048;
 /// (page id, type tag, slot count, free-space pointer, checksum).
 /// DASDBS reserved 36 bytes; so do we.
 inline constexpr uint32_t kPageHeaderSize = 36;
+
+/// Byte offset of the page LSN inside the page header (u64, little-endian).
+/// Every formatted page carries the LSN of the last WAL record that touched
+/// it; flush order enforces WAL-before-data against it (buffer_manager.h)
+/// and sf_fsck cross-checks it against the log's issued-LSN horizon. The
+/// slot was reserved since the first page format, so pre-WAL page images
+/// simply read as LSN 0 ("never logged").
+inline constexpr uint32_t kPageLsnOffset = 12;
+
+/// Reads the page LSN out of a raw page image (header included).
+inline uint64_t GetPageLsn(const char* page) {
+  uint64_t lsn;
+  std::memcpy(&lsn, page + kPageLsnOffset, sizeof(lsn));
+  return lsn;
+}
+
+/// Stamps the page LSN into a raw page image (header included).
+inline void SetPageLsn(char* page, uint64_t lsn) {
+  std::memcpy(page + kPageLsnOffset, &lsn, sizeof(lsn));
+}
 
 }  // namespace starfish

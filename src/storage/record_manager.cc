@@ -27,6 +27,10 @@ Result<Tid> RecordManager::Insert(std::string_view record) {
 }
 
 Result<Tid> RecordManager::InsertWithKind(std::string_view record, char kind) {
+  // Whole-op latch: the find-space / allocate / insert / hint-update
+  // sequence must be atomic against other writers of this segment. Writers
+  // of other segments proceed in parallel (per-segment latching).
+  std::lock_guard<std::recursive_mutex> latch(segment_->write_latch());
   if (record.size() > MaxRecordSize()) {
     return Status::InvalidArgument("record too large for RecordManager: " +
                                    std::to_string(record.size()) + " bytes");
@@ -87,6 +91,7 @@ Result<Tid> RecordManager::ForwardTarget(const Tid& home) const {
 }
 
 Status RecordManager::Update(const Tid& tid, std::string_view record) {
+  std::lock_guard<std::recursive_mutex> latch(segment_->write_latch());
   if (record.size() > MaxRecordSize()) {
     return Status::InvalidArgument("updated record too large");
   }
@@ -158,6 +163,7 @@ Status RecordManager::Update(const Tid& tid, std::string_view record) {
 }
 
 Status RecordManager::Delete(const Tid& tid) {
+  std::lock_guard<std::recursive_mutex> latch(segment_->write_latch());
   STARFISH_ASSIGN_OR_RETURN(PageGuard guard, segment_->buffer()->Fix(tid.page));
   SlottedPage view(guard.data(), segment_->buffer()->disk()->page_size());
   STARFISH_ASSIGN_OR_RETURN(std::string_view framed, view.Read(tid.slot));

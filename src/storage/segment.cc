@@ -16,6 +16,7 @@ Result<PageId> Segment::AllocatePage(PageType type) {
 
 Result<PageId> Segment::AllocateRun(uint32_t n, PageType type,
                                     PageInitMode mode) {
+  std::lock_guard<std::recursive_mutex> latch(write_mu_);
   if (n == 0) return Status::InvalidArgument("empty run");
   STARFISH_ASSIGN_OR_RETURN(const PageId first,
                             buffer_->disk()->AllocateRun(n));
@@ -50,6 +51,7 @@ Result<PageId> Segment::AllocateRun(uint32_t n, PageType type,
 }
 
 Status Segment::FreePages(const std::vector<PageId>& ids) {
+  std::lock_guard<std::recursive_mutex> latch(write_mu_);
   for (PageId id : ids) {
     auto it = page_index_.find(id);
     if (it == page_index_.end()) {
@@ -70,21 +72,25 @@ Status Segment::FreePages(const std::vector<PageId>& ids) {
 }
 
 uint32_t Segment::FreeHint(PageId id) const {
+  std::lock_guard<std::recursive_mutex> latch(write_mu_);
   auto it = page_index_.find(id);
   return it == page_index_.end() ? 0 : free_hints_[it->second];
 }
 
 void Segment::SetFreeHint(PageId id, uint32_t free_bytes) {
+  std::lock_guard<std::recursive_mutex> latch(write_mu_);
   auto it = page_index_.find(id);
   if (it != page_index_.end()) free_hints_[it->second] = free_bytes;
 }
 
 PageType Segment::TypeHint(PageId id) const {
+  std::lock_guard<std::recursive_mutex> latch(write_mu_);
   auto it = page_index_.find(id);
   return it == page_index_.end() ? PageType::kFree : type_hints_[it->second];
 }
 
 void Segment::SetTypeHint(PageId id, PageType type) {
+  std::lock_guard<std::recursive_mutex> latch(write_mu_);
   auto it = page_index_.find(id);
   if (it != page_index_.end()) type_hints_[it->second] = type;
 }
@@ -130,6 +136,7 @@ Status Segment::LoadState(std::string_view* in) {
 }
 
 PageId Segment::FindSlottedPageWithSpace(uint32_t bytes) const {
+  std::lock_guard<std::recursive_mutex> latch(write_mu_);
   // Check the most recent slotted pages first: the insert pattern is
   // append-mostly, so the current fill page is almost always at the back.
   for (size_t i = pages_.size(); i > 0; --i) {

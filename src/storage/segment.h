@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -25,6 +26,17 @@
 /// persist it in a page directory; its I/O is deliberately *not* metered,
 /// matching the paper ("we did not account for additional I/Os needed to
 /// access the data dictionary").
+///
+/// Concurrency: each segment carries its own write latch. Mutating methods
+/// (and the hint accessors they race with) self-latch, and RecordManager
+/// holds the latch across a whole record op — so writers to DIFFERENT
+/// segments proceed in parallel (raw page allocation is serialized inside
+/// the volume), while writers to the same segment serialize only against
+/// each other. The latch is recursive precisely for that two-level
+/// pattern. Requires a thread-safe buffer pool (shard_count != 1) when
+/// actually used from multiple threads. Reads of record *contents* are the
+/// caller's problem (the store-level contract still forbids reads
+/// concurrent with writes to the same store).
 
 namespace starfish {
 
@@ -93,6 +105,10 @@ class Segment {
   /// Replaces any current content of the segment.
   Status LoadState(std::string_view* in);
 
+  /// This segment's write latch (see the file comment). Held recursively by
+  /// RecordManager across whole record ops.
+  std::recursive_mutex& write_latch() const { return write_mu_; }
+
  private:
   uint32_t id_;
   std::string name_;
@@ -104,6 +120,9 @@ class Segment {
   std::vector<PageType> type_hints_;
   // page id -> index into pages_/free_hints_, for O(1) hint updates.
   std::unordered_map<PageId, size_t> page_index_;
+  // Guards pages_/free_hints_/type_hints_/page_index_ against concurrent
+  // writers of OTHER record ops on this segment.
+  mutable std::recursive_mutex write_mu_;
 };
 
 }  // namespace starfish

@@ -12,6 +12,7 @@
 #include "storage/slotted_page.h"
 #include "storage/tid.h"
 #include "util/coding.h"
+#include "wal/wal_format.h"
 
 namespace starfish {
 
@@ -28,6 +29,12 @@ struct FsckContext {
   VolumeMetaState meta;
   /// page -> (segment ordinal, cataloged type) for every cataloged page.
   std::map<PageId, std::pair<uint32_t, PageType>> referenced;
+  /// The wal.log scan (valid whenever wal.found && wal.header_valid).
+  WalScan wal;
+  /// The committed catalog payload carries a WAL checkpoint LSN (v3+):
+  /// gates the page-LSN-vs-log-horizon cross-check, which would be
+  /// meaningless over a pre-WAL directory.
+  bool catalog_has_wal_lsn = false;
 
   void Error(const std::string& message) {
     report->errors.push_back(message);
@@ -197,6 +204,18 @@ void CheckCatalogedPage(FsckContext* ctx, uint32_t segment_ordinal,
     ctx->Error(where + ": page header type '" + PageTypeName(view.type()) +
                "' disagrees with cataloged type '" + PageTypeName(type) +
                "'");
+  }
+  // WAL-before-data horizon: a committed page stamped with an LSN the log
+  // never issued means a page image reached the medium with no durable
+  // record explaining it.
+  if (ctx->catalog_has_wal_lsn && ctx->wal.found && ctx->wal.header_valid) {
+    const uint64_t page_lsn = GetPageLsn(image.data());
+    if (page_lsn >= ctx->wal.next_lsn) {
+      ctx->Error(where + ": page LSN " + std::to_string(page_lsn) +
+                 " at or beyond the log's next LSN " +
+                 std::to_string(ctx->wal.next_lsn) +
+                 " (WAL-before-data violated)");
+    }
   }
 }
 
@@ -464,8 +483,10 @@ bool CheckModelState(FsckContext* ctx, StorageModelKind kind,
   return false;
 }
 
-/// Full structural walk of one catalog payload.
-void CheckCatalogPayload(FsckContext* ctx, std::string_view payload) {
+/// Full structural walk of one catalog payload. `has_wal_lsn` = v3+
+/// payload (carries the WAL checkpoint LSN after the path count).
+void CheckCatalogPayload(FsckContext* ctx, std::string_view payload,
+                         bool has_wal_lsn) {
   uint32_t model_kind = 0, page_size = 0, path_count = 0;
   uint64_t key_attr = 0;
   std::string_view schema_name;
@@ -473,10 +494,13 @@ void CheckCatalogPayload(FsckContext* ctx, std::string_view payload) {
       !GetFixed32(&payload, &page_size) ||
       !GetFixed64(&payload, &key_attr) ||
       !GetLengthPrefixed(&payload, &schema_name) ||
-      !GetFixed32(&payload, &path_count)) {
+      !GetFixed32(&payload, &path_count) ||
+      (has_wal_lsn &&
+       !GetFixed64(&payload, &ctx->report->wal_checkpoint_lsn))) {
     ctx->Error("catalog: truncated store header");
     return;
   }
+  ctx->catalog_has_wal_lsn = has_wal_lsn;
   if (model_kind > static_cast<uint32_t>(StorageModelKind::kDasdbsNsm)) {
     ctx->Error("catalog: unknown storage model kind " +
                std::to_string(model_kind));
@@ -529,7 +553,8 @@ void CheckCatalog(FsckContext* ctx) {
       ctx->report->legacy_catalog = true;
       ctx->Warn("legacy single-file catalog without CURRENT (unchecksummed; "
                 "the next checkpoint migrates to generations)");
-      CheckCatalogPayload(ctx, file_or.value().payload);
+      CheckCatalogPayload(ctx, file_or.value().payload,
+                          /*has_wal_lsn=*/false);
       return;
     }
     for (uint64_t gen : resolved.generations) {
@@ -562,7 +587,85 @@ void CheckCatalog(FsckContext* ctx) {
               " is the newest loadable one (Open would fall back and "
               "repair CURRENT)");
   }
-  CheckCatalogPayload(ctx, resolved.file.payload);
+  CheckCatalogPayload(ctx, resolved.file.payload,
+                      /*has_wal_lsn=*/resolved.file.version >= 3);
+}
+
+// --------------------------------------------------------------- layer 5 --
+
+/// wal.log framing scan. Runs BEFORE the catalog walk so the per-page LSN
+/// horizon check can use the scan; the catalog-agreement checks run after.
+void ScanWal(FsckContext* ctx) {
+  auto scan_or = ScanWalFile(WalPath(ctx->dir));
+  if (!scan_or.ok()) {
+    ctx->Error("wal.log: " + scan_or.status().ToString());
+    return;
+  }
+  ctx->wal = std::move(scan_or).value();
+  ctx->report->wal_found = ctx->wal.found;
+  ctx->report->wal_header_valid = ctx->wal.header_valid;
+  ctx->report->wal_torn_tail = ctx->wal.torn_tail;
+  ctx->report->wal_base_lsn = ctx->wal.base_lsn;
+  ctx->report->wal_next_lsn = ctx->wal.next_lsn;
+  ctx->report->wal_records = ctx->wal.records.size();
+  if (!ctx->wal.found) return;
+  if (!ctx->wal.header_valid) {
+    ctx->Warn("wal.log: invalid header (damage; the next open falls back "
+              "to the catalog-only scrub and rebuilds the log)");
+    return;
+  }
+  if (ctx->wal.torn_tail) {
+    ctx->Warn("wal.log: torn tail after " +
+              std::to_string(ctx->wal.records.size()) +
+              " valid records (crash artifact; replay stops at the last "
+              "valid record)");
+  }
+}
+
+/// The log against the committed catalog: checkpoint LSN coverage, stale
+/// sub-checkpoint records, the truncation checkpoint record's generation.
+void CheckWalAgainstCatalog(FsckContext* ctx) {
+  if (!ctx->report->catalog_found || !ctx->catalog_has_wal_lsn) return;
+  const uint64_t checkpoint_lsn = ctx->report->wal_checkpoint_lsn;
+  if (!ctx->wal.found) {
+    ctx->Warn("wal.log: missing for a WAL-aware catalog (the next open "
+              "falls back to the catalog-only scrub and rebuilds it)");
+    return;
+  }
+  if (!ctx->wal.header_valid) return;  // already warned by ScanWal
+  if (ctx->wal.next_lsn < checkpoint_lsn) {
+    ctx->Warn("wal.log: ends at LSN " + std::to_string(ctx->wal.next_lsn) +
+              ", before the committed checkpoint LSN " +
+              std::to_string(checkpoint_lsn) +
+              " (not the log that checkpoint truncated; the next open "
+              "scrubs instead of replaying)");
+    return;
+  }
+  for (const WalRecord& record : ctx->wal.records) {
+    if (record.lsn < checkpoint_lsn) ++ctx->report->wal_stale_records;
+  }
+  if (ctx->report->wal_stale_records > 0) {
+    ctx->Warn("wal.log: " + std::to_string(ctx->report->wal_stale_records) +
+              " records below the committed checkpoint LSN " +
+              std::to_string(checkpoint_lsn) +
+              " (a crash between catalog commit and log truncation; "
+              "skipped at replay, truncated at next open)");
+  }
+  if (!ctx->wal.records.empty() &&
+      ctx->wal.records.front().kind == WalRecordKind::kCheckpoint &&
+      ctx->wal.records.front().lsn == ctx->wal.base_lsn) {
+    uint64_t log_generation = 0;
+    if (!DecodeWalCheckpointPayload(ctx->wal.records.front().payload,
+                                    &log_generation)) {
+      ctx->Error("wal.log: undecodable checkpoint record payload");
+    } else if (log_generation != ctx->report->generation) {
+      ctx->Warn("wal.log: truncated against generation " +
+                std::to_string(log_generation) + " but generation " +
+                std::to_string(ctx->report->generation) +
+                " is the committed one (fallback artifact; the next open "
+                "scrubs instead of replaying)");
+    }
+  }
 }
 
 /// Allocator vs. catalog reference cross-check.
@@ -607,6 +710,22 @@ std::string FsckReport::ToString() const {
   } else {
     out += "  catalog: none committed\n";
   }
+  if (wal_found) {
+    out += "  wal: ";
+    if (!wal_header_valid) {
+      out += "invalid header\n";
+    } else {
+      out += "base LSN " + std::to_string(wal_base_lsn) + ", " +
+             std::to_string(wal_records) + " records" +
+             (wal_torn_tail ? ", torn tail" : "") +
+             (wal_stale_records > 0
+                  ? ", " + std::to_string(wal_stale_records) + " stale"
+                  : "") +
+             ", checkpoint LSN " + std::to_string(wal_checkpoint_lsn) + "\n";
+    }
+  } else {
+    out += "  wal: no wal.log\n";
+  }
   for (const std::string& line : info) out += "  info: " + line + "\n";
   for (const std::string& line : warnings) out += "  WARN: " + line + "\n";
   for (const std::string& line : errors) out += "  ERROR: " + line + "\n";
@@ -629,7 +748,9 @@ Result<FsckReport> RunFsck(const std::string& dir, FsckOptions options) {
   ctx.report = &report;
 
   CheckVolume(&ctx);
+  ScanWal(&ctx);
   CheckCatalog(&ctx);
+  CheckWalAgainstCatalog(&ctx);
   CrossCheck(&ctx);
   return report;
 }

@@ -19,12 +19,18 @@
 ///   3. the committed catalog generation (CURRENT resolution, per-file
 ///      CRC, structural parse of the segment page lists);
 ///   4. the model state inside the catalog (object tables, transformation
-///      tables, page-pool heads, B+-tree roots).
+///      tables, page-pool heads, B+-tree roots);
+///   5. the write-ahead log (wal.log framing scan: header CRC, per-record
+///      CRCs, dense LSN sequence, torn-tail detection) and its agreement
+///      with the committed catalog's checkpoint LSN.
 ///
 /// Cross-checks: every cataloged page must be allocated, un-freed, and
 /// carry a formatted page header whose segment id and page type agree with
 /// the catalog; every model-state address (TID, pool head, tree root) must
-/// point into a cataloged page; no page may belong to two segments.
+/// point into a cataloged page; no page may belong to two segments; no
+/// cataloged page may carry a page LSN at or beyond the log's next LSN
+/// (WAL-before-data: a stamped page without a covering record is an
+/// inconsistency, not a crash artifact).
 ///
 /// Findings are split into
 ///   * errors   — inconsistencies; the directory does not describe one
@@ -69,6 +75,17 @@ struct FsckReport {
   uint32_t segment_count = 0;
   uint64_t referenced_pages = 0; ///< distinct pages the catalog references
   uint64_t orphan_pages = 0;     ///< live but referenced by nothing
+
+  // WAL layer.
+  bool wal_found = false;
+  bool wal_header_valid = false;
+  bool wal_torn_tail = false;     ///< invalid bytes past the valid prefix
+  uint64_t wal_base_lsn = 0;
+  uint64_t wal_next_lsn = 0;      ///< first LSN no valid record carries
+  uint64_t wal_records = 0;       ///< valid records scanned
+  uint64_t wal_stale_records = 0; ///< records below the checkpoint LSN
+  /// The committed catalog's WAL checkpoint LSN (0 for v2/legacy payloads).
+  uint64_t wal_checkpoint_lsn = 0;
 
   std::vector<std::string> errors;
   std::vector<std::string> warnings;

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "disk/page.h"
+#include "util/status.h"
+
+/// \file wal_format.h
+/// On-disk format of the write-ahead log — shared by the WAL manager
+/// (append/replay), the offline verifier (sf_fsck) and the torn-tail tests,
+/// so the writer and every reader agree byte-for-byte on what a valid log
+/// is. Same CRC-32 framing idiom as the catalog generations
+/// (core/generations.h) and the allocator journal (volume_meta.h).
+///
+/// File layout (little-endian throughout):
+///
+///   header:  u32 magic 'SFWL', u32 version (1), u64 base_lsn,
+///            u32 crc32 over the preceding 16 bytes
+///   record:  u32 body_len, u32 crc32 over body,
+///            body = [u8 kind, u8 flags, u64 lsn, payload]
+///
+/// LSNs are dense: record i carries lsn == base_lsn + i. The scanner stops
+/// at the first frame that fails its length, CRC or LSN-sequence check —
+/// everything after a torn or bit-flipped record is dropped, which is sound
+/// because appends are strictly ordered (a record is only durable when
+/// every record before it is).
+///
+/// Record payloads:
+///
+///   kCheckpoint:  u64 generation — the catalog generation whose commit
+///                 truncated the log here. Written as the first record of
+///                 every truncated log; its lsn equals the catalog's
+///                 checkpoint LSN.
+///   op records (kPut/kUpdateRoot/kReplace/kRemove):
+///                 u64 ref,
+///                 u32 page_count,   page ids the op dirtied (stamp targets),
+///                 u32 preimage_count, per image {u32 page, u32 len, bytes}
+///                   — full pre-op images of pages that already belonged to
+///                   the committed checkpoint, captured at most once per
+///                   page per checkpoint interval (first-touch),
+///                 u32 body_len, body — the op's logical argument
+///                   (serialized object regions for kPut/kReplace, the flat
+///                   root image for kUpdateRoot, empty for kRemove).
+///
+/// Replay = install every page's FIRST pre-image in the tail (that restores
+/// the committed content of every page the tail touched), then re-run the
+/// non-aborted ops in LSN order through the normal model write path. See
+/// docs/WAL.md for why this physiological scheme is exact.
+
+namespace starfish {
+
+inline constexpr uint32_t kWalMagic = 0x4C574653;  // "SFWL"
+inline constexpr uint32_t kWalVersion = 1;
+inline constexpr size_t kWalHeaderSize = 20;
+inline constexpr size_t kWalRecordOverhead = 8 + 10;  // frame + body prefix
+
+/// `<dir>/wal.log`
+std::string WalPath(const std::string& dir);
+
+enum class WalRecordKind : uint8_t {
+  kCheckpoint = 1,
+  kPut = 2,
+  kUpdateRoot = 3,
+  kReplace = 4,
+  kRemove = 5,
+};
+
+/// The op failed mid-apply: its pre-images roll the pages back at replay
+/// and the logical re-run is skipped.
+inline constexpr uint8_t kWalFlagAborted = 1;
+
+const char* ToString(WalRecordKind kind);
+bool IsWalOpKind(WalRecordKind kind);
+
+/// One de-framed log record.
+struct WalRecord {
+  WalRecordKind kind = WalRecordKind::kCheckpoint;
+  uint8_t flags = 0;
+  uint64_t lsn = 0;
+  std::string payload;
+};
+
+/// Decoded payload of an op record.
+struct WalOpPayload {
+  uint64_t ref = 0;
+  std::vector<PageId> pages;
+  std::vector<std::pair<PageId, std::string>> preimages;
+  std::string body;
+};
+
+/// Frames `bytes` as a log file header.
+std::string EncodeWalHeader(uint64_t base_lsn);
+
+/// Appends one framed record (length, crc, body) to `*dst`.
+void AppendWalRecord(std::string* dst, WalRecordKind kind, uint8_t flags,
+                     uint64_t lsn, std::string_view payload);
+
+std::string EncodeWalOpPayload(const WalOpPayload& op);
+bool DecodeWalOpPayload(std::string_view in, WalOpPayload* op);
+
+std::string EncodeWalCheckpointPayload(uint64_t generation);
+bool DecodeWalCheckpointPayload(std::string_view in, uint64_t* generation);
+
+/// Result of scanning a log file: the valid prefix and how it ended.
+struct WalScan {
+  bool found = false;         ///< the file exists
+  bool header_valid = false;  ///< magic/version/header-crc check passed
+  uint64_t base_lsn = 0;
+  std::vector<WalRecord> records;  ///< the valid prefix, in LSN order
+  /// Bytes beyond the valid prefix were present but failed validation (a
+  /// torn append or bit rot) — dropped, like the allocator journal's tail.
+  bool torn_tail = false;
+  size_t valid_bytes = 0;  ///< header + valid records
+  /// First LSN no scanned record carries: base_lsn + records.size(). The
+  /// next record appended to this log gets it, and no valid page image may
+  /// carry a page LSN at or beyond it.
+  uint64_t next_lsn = 0;
+};
+
+/// Validates in-memory log bytes into `*out` (never fails: damage shows up
+/// as header_valid=false or torn_tail).
+void ScanWalBytes(std::string_view bytes, WalScan* out);
+
+/// Reads and validates the log at `path` with plain file I/O. Only a hard
+/// read error is a non-OK status; a missing file is found=false.
+Result<WalScan> ScanWalFile(const std::string& path);
+
+}  // namespace starfish

@@ -12,11 +12,29 @@
 #include <string>
 #include <vector>
 
+#include "disk/log_file.h"
 #include "disk/mem_volume.h"
 #include "disk/mmap_volume.h"
+#include "util/file_io.h"
 
 namespace starfish {
 namespace {
+
+/// A fresh temp path for a wrapped log file.
+std::string TempLogPath(const std::string& tag) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / ("starfish_faultlog_" + tag))
+          .string();
+  std::filesystem::remove(path);
+  return path;
+}
+
+std::string FileBytes(const std::string& path) {
+  std::string bytes;
+  bool found = false;
+  EXPECT_TRUE(ReadFileToString(path, &bytes, &found).ok());
+  return found ? bytes : std::string();
+}
 
 DiskOptions TinyExtents() {
   DiskOptions o;
@@ -204,6 +222,53 @@ TEST(FaultVolumeTest, SyncAppliesBufferedWritesWithoutDoubleMetering) {
   EXPECT_EQ(buf[0], 'D');
 }
 
+TEST(FaultVolumeTest, FailsExactlyTheArmedReadCall) {
+  FaultVolume fault(std::make_unique<MemVolume>(TinyExtents()));
+  const PageId first = fault.AllocateRun(4).value();
+  std::vector<char> data(4 * fault.page_size(), 'r');
+  ASSERT_TRUE(fault.WriteRun(first, 4, data.data()).ok());
+  FaultPlan plan;
+  plan.fail_read_call = 2;
+  fault.SetPlan(plan);
+  std::vector<char> buf(fault.page_size());
+  EXPECT_TRUE(fault.ReadRun(first, 1, buf.data()).ok());
+  EXPECT_TRUE(fault.ReadRun(first + 1, 1, buf.data()).IsIOError());
+  EXPECT_EQ(fault.faults_fired(), 1u);
+  // One-shot, and the medium is unharmed: the retry serves correct bytes.
+  ASSERT_TRUE(fault.ReadRun(first + 1, 1, buf.data()).ok());
+  EXPECT_EQ(buf[0], 'r');
+  EXPECT_EQ(fault.read_calls_seen(), 3u);
+}
+
+TEST(FaultVolumeTest, ReadFaultCountsEveryReadPathButNotPeeks) {
+  FaultVolume fault(std::make_unique<MemVolume>(TinyExtents()));
+  const PageId first = fault.AllocateRun(4).value();
+  std::vector<char> buf(fault.page_size());
+  std::vector<const char*> views;
+  ASSERT_TRUE(fault.ReadRun(first, 1, buf.data()).ok());
+  ASSERT_TRUE(fault.ReadRunZeroCopy(first, 2, &views).ok());
+  ASSERT_TRUE(fault.ReadChained({first, first + 1}, {buf.data(), buf.data()})
+                  .ok());
+  ASSERT_TRUE(fault.ReadChainedZeroCopy({first + 1}, &views).ok());
+  EXPECT_NE(fault.PeekPage(first), nullptr);  // a peek, not an I/O
+  EXPECT_EQ(fault.read_calls_seen(), 4u);
+  fault.ResetFaultCounters();
+  EXPECT_EQ(fault.read_calls_seen(), 0u);
+}
+
+TEST(FaultVolumeTest, ReadFaultWithPowerLossDownsTheVolume) {
+  FaultVolume fault(std::make_unique<MemVolume>(TinyExtents()));
+  const PageId first = fault.AllocateRun(2).value();
+  FaultPlan plan;
+  plan.fail_read_call = 1;
+  plan.power_loss_on_fault = true;
+  fault.SetPlan(plan);
+  std::vector<char> buf(fault.page_size());
+  EXPECT_TRUE(fault.ReadRun(first, 1, buf.data()).IsIOError());
+  EXPECT_TRUE(fault.down());
+  EXPECT_TRUE(fault.ReadRun(first, 1, buf.data()).IsIOError());
+}
+
 TEST(FaultVolumeTest, ReviveRestoresServiceWithoutLostWrites) {
   FaultVolumeOptions options;
   options.buffer_unsynced_writes = true;
@@ -219,6 +284,99 @@ TEST(FaultVolumeTest, ReviveRestoresServiceWithoutLostWrites) {
   ASSERT_TRUE(fault.WriteRun(first, 1, data.data()).ok());
   ASSERT_TRUE(fault.ReadRun(first, 1, buf.data()).ok());
   EXPECT_EQ(buf[0], 'R');
+}
+
+// ----------------------------------------------------------- log faults --
+
+TEST(FaultVolumeTest, LogFaultFailsExactlyTheArmedAppend) {
+  FaultVolume fault(std::make_unique<MemVolume>(TinyExtents()));
+  const std::string path = TempLogPath("armed_append");
+  auto log = fault.WrapLogFile(OpenPosixLogFile(path).value());
+  FaultPlan plan;
+  plan.fail_log_append = 2;
+  fault.SetPlan(plan);
+  EXPECT_TRUE(log->Append("one").ok());
+  EXPECT_TRUE(log->Append("LOST").IsIOError());
+  EXPECT_EQ(fault.faults_fired(), 1u);
+  // One-shot: the next append lands, and the failed one left no bytes
+  // (torn_log_bytes = 0).
+  EXPECT_TRUE(log->Append("two").ok());
+  ASSERT_TRUE(log->Sync().ok());
+  EXPECT_EQ(FileBytes(path), "onetwo");
+  EXPECT_EQ(fault.log_append_calls_seen(), 3u);
+  std::filesystem::remove(path);
+}
+
+TEST(FaultVolumeTest, LogSyncFaultFiresBeforeTheMedium) {
+  FaultVolume fault(std::make_unique<MemVolume>(TinyExtents()));
+  const std::string path = TempLogPath("armed_sync");
+  auto log = fault.WrapLogFile(OpenPosixLogFile(path).value());
+  FaultPlan plan;
+  plan.fail_log_sync = 1;
+  fault.SetPlan(plan);
+  ASSERT_TRUE(log->Append("abc").ok());
+  EXPECT_TRUE(log->Sync().IsIOError());
+  EXPECT_EQ(fault.log_sync_calls_seen(), 1u);
+  EXPECT_EQ(fault.faults_fired(), 1u);
+  EXPECT_TRUE(log->Sync().ok());
+  std::filesystem::remove(path);
+}
+
+TEST(FaultVolumeTest, BufferedLogTailDiesWithThePower) {
+  FaultVolumeOptions options;
+  options.buffer_unsynced_writes = true;
+  FaultVolume fault(std::make_unique<MemVolume>(TinyExtents()), options);
+  const std::string path = TempLogPath("buffered_tail");
+  auto log = fault.WrapLogFile(OpenPosixLogFile(path).value());
+  ASSERT_TRUE(log->Append("SYNCED").ok());
+  ASSERT_TRUE(log->Sync().ok());
+  ASSERT_TRUE(log->Append("tail").ok());  // lives in the volatile cache
+  EXPECT_EQ(FileBytes(path), "SYNCED");   // ...so the medium has no tail yet
+  fault.SimulatePowerLoss();
+  EXPECT_TRUE(log->Append("x").IsIOError());
+  EXPECT_TRUE(log->Sync().IsIOError());
+  EXPECT_EQ(FileBytes(path), "SYNCED");  // the un-synced tail is gone
+  fault.Revive();
+  ASSERT_TRUE(log->Append("again").ok());
+  ASSERT_TRUE(log->Sync().ok());
+  EXPECT_EQ(FileBytes(path), "SYNCEDagain");  // pending cleared by the loss
+  std::filesystem::remove(path);
+}
+
+TEST(FaultVolumeTest, TornLogPrefixReachesTheMediumOnFault) {
+  FaultVolumeOptions options;
+  options.buffer_unsynced_writes = true;
+  FaultVolume fault(std::make_unique<MemVolume>(TinyExtents()), options);
+  const std::string path = TempLogPath("torn_prefix");
+  auto log = fault.WrapLogFile(OpenPosixLogFile(path).value());
+  ASSERT_TRUE(log->Append("BASE").ok());
+  ASSERT_TRUE(log->Sync().ok());
+  ASSERT_TRUE(log->Append("12").ok());  // pending
+  FaultPlan plan;
+  plan.fail_log_append = 3;
+  plan.torn_log_bytes = 4;  // pending "12" + half of the failing "3456"
+  plan.power_loss_on_fault = true;
+  fault.SetPlan(plan);
+  EXPECT_TRUE(log->Append("3456").IsIOError());
+  EXPECT_TRUE(fault.down());
+  // The cache made it 4 bytes out before the machine died: the synced
+  // prefix plus a torn tail crossing the failed append's boundary.
+  EXPECT_EQ(FileBytes(path), "BASE1234");
+  std::filesystem::remove(path);
+}
+
+TEST(FaultVolumeTest, LogReplaceClearsThePendingTail) {
+  FaultVolumeOptions options;
+  options.buffer_unsynced_writes = true;
+  FaultVolume fault(std::make_unique<MemVolume>(TinyExtents()), options);
+  const std::string path = TempLogPath("replace");
+  auto log = fault.WrapLogFile(OpenPosixLogFile(path).value());
+  ASSERT_TRUE(log->Append("stale-pending").ok());
+  ASSERT_TRUE(log->Replace("fresh").ok());
+  ASSERT_TRUE(log->Sync().ok());  // must not flush the pre-Replace tail
+  EXPECT_EQ(FileBytes(path), "fresh");
+  EXPECT_EQ(log->path(), path);
+  std::filesystem::remove(path);
 }
 
 }  // namespace

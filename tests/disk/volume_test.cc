@@ -38,13 +38,16 @@ std::vector<char> Pattern(uint32_t page_size, char fill) {
 }
 
 /// The parameter space: the three real backends, plus FaultVolume wrapped
-/// around MemVolume with no fault armed (transparent-passthrough proof).
-enum class TestBackend { kMem, kMmap, kDirect, kFaultMem };
+/// around MemVolume and DirectVolume with no fault armed (the
+/// transparent-passthrough proof must hold over a zero-copy backend and a
+/// copying one — the crash matrix relies on both).
+enum class TestBackend { kMem, kMmap, kDirect, kFaultMem, kFaultDirect };
 
 VolumeKind ExpectedKind(TestBackend backend) {
   switch (backend) {
     case TestBackend::kMmap: return VolumeKind::kMmap;
-    case TestBackend::kDirect: return VolumeKind::kDirect;
+    case TestBackend::kDirect:
+    case TestBackend::kFaultDirect: return VolumeKind::kDirect;
     default: return VolumeKind::kMem;
   }
 }
@@ -55,8 +58,14 @@ std::string BackendName(TestBackend backend) {
     case TestBackend::kMmap: return "mmap";
     case TestBackend::kDirect: return "direct";
     case TestBackend::kFaultMem: return "fault_mem";
+    case TestBackend::kFaultDirect: return "fault_direct";
   }
   return "unknown";
+}
+
+bool IsDirectBacked(TestBackend backend) {
+  return backend == TestBackend::kDirect ||
+         backend == TestBackend::kFaultDirect;
 }
 
 bool DirectSupportedHere() {
@@ -69,7 +78,7 @@ bool DirectSupportedHere() {
 class VolumeTest : public ::testing::TestWithParam<TestBackend> {
  protected:
   void SetUp() override {
-    if (GetParam() == TestBackend::kDirect && !DirectSupportedHere()) {
+    if (IsDirectBacked(GetParam()) && !DirectSupportedHere()) {
       GTEST_SKIP() << "filesystem has no O_DIRECT support";
     }
   }
@@ -80,8 +89,7 @@ class VolumeTest : public ::testing::TestWithParam<TestBackend> {
           std::make_unique<MemVolume>(options));
     }
     std::string path;
-    if (GetParam() == TestBackend::kMmap ||
-        GetParam() == TestBackend::kDirect) {
+    if (GetParam() != TestBackend::kMem) {
       // The pid keeps parallel ctest processes (each restarting the
       // counter at 0) out of each other's directories.
       path = (std::filesystem::temp_directory_path() /
@@ -93,6 +101,9 @@ class VolumeTest : public ::testing::TestWithParam<TestBackend> {
     }
     auto volume_or = CreateVolume(ExpectedKind(GetParam()), options, path);
     EXPECT_TRUE(volume_or.ok()) << volume_or.status().ToString();
+    if (GetParam() == TestBackend::kFaultDirect) {
+      return std::make_unique<FaultVolume>(std::move(volume_or).value());
+    }
     return std::move(volume_or).value();
   }
 
@@ -100,7 +111,7 @@ class VolumeTest : public ::testing::TestWithParam<TestBackend> {
   /// direct backend cannot go below the 512-byte device sector.
   DiskOptions TinyExtents() const {
     DiskOptions o;
-    o.page_size = GetParam() == TestBackend::kDirect ? 512 : 256;
+    o.page_size = IsDirectBacked(GetParam()) ? 512 : 256;
     o.extent_bytes = 4 * o.page_size;
     return o;
   }
@@ -122,9 +133,8 @@ int VolumeTest::dir_counter_ = 0;
 TEST_P(VolumeTest, KindMatchesBackend) {
   auto disk = Make();
   EXPECT_EQ(disk->kind(), ExpectedKind(GetParam()));
-  EXPECT_EQ(ToString(disk->kind()), GetParam() == TestBackend::kFaultMem
-                                        ? "mem"
-                                        : BackendName(GetParam()));
+  // The decorators report the wrapped backend's kind.
+  EXPECT_EQ(ToString(disk->kind()), ToString(ExpectedKind(GetParam())));
 }
 
 TEST_P(VolumeTest, AllocateGrowsVolume) {
@@ -433,7 +443,8 @@ TEST_P(VolumeTest, DefaultGeometryLargeVolumeRoundTrips) {
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, VolumeTest,
     ::testing::Values(TestBackend::kMem, TestBackend::kMmap,
-                      TestBackend::kDirect, TestBackend::kFaultMem),
+                      TestBackend::kDirect, TestBackend::kFaultMem,
+                      TestBackend::kFaultDirect),
     [](const ::testing::TestParamInfo<TestBackend>& info) {
       return BackendName(info.param);
     });

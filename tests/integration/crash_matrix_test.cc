@@ -1,14 +1,29 @@
 // The crash matrix: every fault point FaultVolume can hit during
 // Put/Flush/close, simulated power loss, reopen, recovery.
 //
-// Protocol under test (core/generations.h): volume sync -> new catalog
-// generation file -> atomic CURRENT repoint. The invariant the matrix
-// asserts for EVERY fault point:
+// Protocol under test (core/generations.h + wal/wal_manager.h): WAL append
+// -> volume sync -> new catalog generation file -> atomic CURRENT repoint
+// -> log truncation. The invariant the matrix asserts for EVERY fault
+// point:
 //
-//   after power loss at that point, reopening the directory yields exactly
-//   the state of the last checkpoint whose CURRENT repoint completed —
-//   every committed object readable and byte-equal, no phantom of any
-//   uncommitted object, and sf_fsck reporting zero inconsistencies.
+//   after power loss at that point, reopening the directory yields some
+//   subset S of the issued put sequence with committed <= |S| <= issued —
+//   the committed checkpoint state plus whatever tail of operations the
+//   write-ahead log durably captured as applied. Every committed object is
+//   in S, every object in S is byte-equal to what was put, scans agree
+//   with the object count, and sf_fsck reports zero inconsistencies.
+//
+// (Before the WAL, recovery could only roll back to the committed
+// checkpoint, so the matrix asserted S == committed exactly. The log —
+// which lives on the filesystem, outside the faulted volume, like a log on
+// its own device — legitimately carries recovery PAST the checkpoint; the
+// lower bound is what crash consistency promises, the byte-equality is
+// what redo must not invent. S is usually a prefix but need not be: a put
+// that failed mid-apply on the dying machine logs as aborted and is
+// skipped by redo, while a later put that ran entirely in cache logged as
+// applied — a legitimate hole. Shared-device power loss, where the log
+// tail dies with the volume, is covered by the multi-writer WAL matrix in
+// tests/wal/wal_crash_test.cc.)
 //
 // The harness runs the workload over FaultVolume{backend} with write
 // buffering on, so un-synced page writes really vanish at power loss; the
@@ -176,8 +191,13 @@ class CrashMatrixTest
     return outcome;
   }
 
-  /// Reopens the post-crash copy and asserts it is exactly the state of
-  /// the last committed checkpoint (`committed_batches` full batches).
+  /// Reopens the post-crash copy and asserts the recovery contract: the
+  /// recovered set contains every committed-checkpoint object, nothing the
+  /// workload never issued, every recovered object byte-equal, and scans
+  /// agreeing with the object count. The set is usually a prefix of the
+  /// put sequence but may carry holes (aborted mid-apply ops are skipped
+  /// by redo while later in-cache puts replayed), so each issued object is
+  /// classified individually instead of assuming prefix shape.
   void VerifyRecovered(size_t committed_batches, const std::string& label) {
     StoreOptions options;
     options.model = Model();
@@ -187,23 +207,32 @@ class CrashMatrixTest
     ASSERT_TRUE(store_or.ok()) << label << ": " << store_or.status().ToString();
     auto store = std::move(store_or).value();
 
-    const size_t expected = committed_batches * kBatchSize;
-    EXPECT_EQ(store->model()->object_count(), expected) << label;
-    for (size_t i = 0; i < expected; ++i) {
+    const size_t committed = committed_batches * kBatchSize;
+    const size_t issued = db_->objects().size();
+    const size_t recovered = store->model()->object_count();
+    EXPECT_GE(recovered, committed) << label << ": committed objects lost";
+    EXPECT_LE(recovered, issued) << label << ": recovery invented objects";
+    size_t present = 0;
+    for (size_t i = 0; i < issued; ++i) {
       const auto& object = db_->objects()[i];
       auto got = ByRef() ? store->Get(object.ref)
                          : store->GetByKey(object.key,
                                            Projection::All(*db_->schema()));
-      ASSERT_TRUE(got.ok()) << label << " object " << i << ": "
-                            << got.status().ToString();
-      EXPECT_EQ(got.value(), object.tuple) << label << " object " << i;
+      if (got.ok()) {
+        ++present;
+        EXPECT_EQ(got.value(), object.tuple) << label << " object " << i;
+      } else {
+        // Absent is only legal past the committed checkpoint, and must be
+        // clean absence — any other status is recovery damage.
+        EXPECT_TRUE(got.status().IsNotFound())
+            << label << " object " << i << ": " << got.status().ToString();
+        EXPECT_GE(i, committed)
+            << label << ": committed object " << i << " lost: "
+            << got.status().ToString();
+      }
     }
-    for (size_t i = expected; i < db_->objects().size(); ++i) {
-      EXPECT_FALSE(store->GetByKey(db_->objects()[i].key,
-                                   Projection::All(*db_->schema()))
-                       .ok())
-          << label << ": uncommitted object " << i << " resurfaced";
-    }
+    EXPECT_EQ(present, recovered)
+        << label << ": object count disagrees with point lookups";
     // Scans must agree with the object count — phantoms from torn slotted
     // pages would surface here.
     size_t scanned = 0;
@@ -214,7 +243,7 @@ class CrashMatrixTest
                             })
                     .ok())
         << label;
-    EXPECT_EQ(scanned, expected) << label;
+    EXPECT_EQ(scanned, recovered) << label;
   }
 
   std::string dir_;

@@ -1,0 +1,253 @@
+// On-disk WAL format: framing round-trips, payload codecs, and the scan
+// contract — the valid prefix ends at the FIRST frame that fails its
+// length, CRC or LSN-sequence check, no matter which byte went bad. The
+// torn-tail sweep here is exhaustive over byte positions; the store-level
+// consequence (replay stops at the last valid record) is wal_replay_test.cc.
+
+#include "wal/wal_format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace starfish {
+namespace {
+
+/// A deterministic three-record log (checkpoint + two ops) with the byte
+/// offset of every record boundary, for truncation/flip sweeps.
+struct SampleLog {
+  std::string bytes;
+  uint64_t base_lsn = 40;
+  /// boundaries[i] = bytes valid after exactly i records (boundaries[0] is
+  /// the header end).
+  std::vector<size_t> boundaries;
+};
+
+SampleLog MakeSampleLog() {
+  SampleLog log;
+  log.bytes = EncodeWalHeader(log.base_lsn);
+  log.boundaries.push_back(log.bytes.size());
+  AppendWalRecord(&log.bytes, WalRecordKind::kCheckpoint, 0, log.base_lsn,
+                  EncodeWalCheckpointPayload(7));
+  log.boundaries.push_back(log.bytes.size());
+  WalOpPayload put;
+  put.ref = 11;
+  put.pages = {3, 4, 5};
+  put.preimages.emplace_back(3, std::string("old-page-image"));
+  put.body = "serialized-regions";
+  AppendWalRecord(&log.bytes, WalRecordKind::kPut, 0, log.base_lsn + 1,
+                  EncodeWalOpPayload(put));
+  log.boundaries.push_back(log.bytes.size());
+  WalOpPayload remove;
+  remove.ref = 11;
+  AppendWalRecord(&log.bytes, WalRecordKind::kRemove, kWalFlagAborted,
+                  log.base_lsn + 2, EncodeWalOpPayload(remove));
+  log.boundaries.push_back(log.bytes.size());
+  return log;
+}
+
+TEST(WalFormatTest, WalPathNamesTheLogInsideTheDir) {
+  EXPECT_EQ(WalPath("/some/store"), "/some/store/wal.log");
+}
+
+TEST(WalFormatTest, HeaderOnlyLogScansCleanAndEmpty) {
+  const std::string bytes = EncodeWalHeader(42);
+  ASSERT_EQ(bytes.size(), kWalHeaderSize);
+  WalScan scan;
+  ScanWalBytes(bytes, &scan);
+  EXPECT_TRUE(scan.found);
+  EXPECT_TRUE(scan.header_valid);
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.base_lsn, 42u);
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.next_lsn, 42u);
+  EXPECT_EQ(scan.valid_bytes, kWalHeaderSize);
+}
+
+TEST(WalFormatTest, EveryHeaderByteIsCovered) {
+  // Any single flipped bit in the 20-byte header must invalidate it: the
+  // magic, version and base_lsn are all under the header CRC.
+  const std::string good = EncodeWalHeader(123456789);
+  for (size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] ^= 0x20;
+    WalScan scan;
+    ScanWalBytes(bad, &scan);
+    EXPECT_FALSE(scan.header_valid) << "flip at byte " << i;
+  }
+  // Too short to hold a header at all.
+  WalScan scan;
+  ScanWalBytes(good.substr(0, kWalHeaderSize - 1), &scan);
+  EXPECT_TRUE(scan.found);
+  EXPECT_FALSE(scan.header_valid);
+  ScanWalBytes(std::string_view(), &scan);
+  EXPECT_TRUE(scan.found);
+  EXPECT_FALSE(scan.header_valid);
+}
+
+TEST(WalFormatTest, RecordStreamRoundTrips) {
+  const SampleLog log = MakeSampleLog();
+  WalScan scan;
+  ScanWalBytes(log.bytes, &scan);
+  ASSERT_TRUE(scan.header_valid);
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.valid_bytes, log.bytes.size());
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.next_lsn, log.base_lsn + 3);
+
+  EXPECT_EQ(scan.records[0].kind, WalRecordKind::kCheckpoint);
+  EXPECT_EQ(scan.records[0].lsn, log.base_lsn);
+  uint64_t generation = 0;
+  ASSERT_TRUE(DecodeWalCheckpointPayload(scan.records[0].payload, &generation));
+  EXPECT_EQ(generation, 7u);
+
+  EXPECT_EQ(scan.records[1].kind, WalRecordKind::kPut);
+  EXPECT_EQ(scan.records[1].flags, 0);
+  WalOpPayload put;
+  ASSERT_TRUE(DecodeWalOpPayload(scan.records[1].payload, &put));
+  EXPECT_EQ(put.ref, 11u);
+  EXPECT_EQ(put.pages, (std::vector<PageId>{3, 4, 5}));
+  ASSERT_EQ(put.preimages.size(), 1u);
+  EXPECT_EQ(put.preimages[0].first, 3u);
+  EXPECT_EQ(put.preimages[0].second, "old-page-image");
+  EXPECT_EQ(put.body, "serialized-regions");
+
+  EXPECT_EQ(scan.records[2].kind, WalRecordKind::kRemove);
+  EXPECT_EQ(scan.records[2].flags, kWalFlagAborted);
+  EXPECT_EQ(scan.records[2].lsn, log.base_lsn + 2);
+}
+
+TEST(WalFormatTest, TruncationAtEveryByteKeepsExactlyTheWholeRecords) {
+  // Chop the sample log at EVERY byte length: the scan must recover
+  // exactly the records whose frames fit, and flag a torn tail iff the
+  // chop landed mid-record.
+  const SampleLog log = MakeSampleLog();
+  for (size_t len = kWalHeaderSize; len <= log.bytes.size(); ++len) {
+    WalScan scan;
+    ScanWalBytes(std::string_view(log.bytes).substr(0, len), &scan);
+    ASSERT_TRUE(scan.header_valid) << "len " << len;
+    size_t whole = 0;
+    while (whole + 1 < log.boundaries.size() &&
+           log.boundaries[whole + 1] <= len) {
+      ++whole;
+    }
+    EXPECT_EQ(scan.records.size(), whole) << "len " << len;
+    EXPECT_EQ(scan.torn_tail, len != log.boundaries[whole]) << "len " << len;
+    EXPECT_EQ(scan.valid_bytes, log.boundaries[whole]) << "len " << len;
+    EXPECT_EQ(scan.next_lsn, log.base_lsn + whole) << "len " << len;
+  }
+}
+
+TEST(WalFormatTest, BitFlipAtEveryByteDropsTheDamagedRecordAndItsTail) {
+  // Flip one bit at EVERY byte past the header: the scan must keep
+  // exactly the records before the damaged frame (appends are ordered, so
+  // nothing after an untrusted frame can be trusted either).
+  const SampleLog log = MakeSampleLog();
+  for (size_t i = kWalHeaderSize; i < log.bytes.size(); ++i) {
+    std::string bad = log.bytes;
+    bad[i] ^= 0x01;
+    size_t damaged = 0;
+    while (damaged + 1 < log.boundaries.size() && log.boundaries[damaged + 1] <= i) {
+      ++damaged;
+    }
+    WalScan scan;
+    ScanWalBytes(bad, &scan);
+    ASSERT_TRUE(scan.header_valid) << "flip at " << i;
+    EXPECT_EQ(scan.records.size(), damaged) << "flip at " << i;
+    EXPECT_TRUE(scan.torn_tail) << "flip at " << i;
+    EXPECT_EQ(scan.next_lsn, log.base_lsn + damaged) << "flip at " << i;
+  }
+}
+
+TEST(WalFormatTest, OutOfSequenceLsnEndsTheValidPrefix) {
+  // A structurally valid record carrying the wrong LSN is torn tail: the
+  // file was not produced by ordered appends to this header.
+  std::string bytes = EncodeWalHeader(10);
+  AppendWalRecord(&bytes, WalRecordKind::kRemove, 0, 10,
+                  EncodeWalOpPayload(WalOpPayload{}));
+  AppendWalRecord(&bytes, WalRecordKind::kRemove, 0, 12,  // gap: expected 11
+                  EncodeWalOpPayload(WalOpPayload{}));
+  WalScan scan;
+  ScanWalBytes(bytes, &scan);
+  ASSERT_TRUE(scan.header_valid);
+  EXPECT_EQ(scan.records.size(), 1u);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_EQ(scan.next_lsn, 11u);
+}
+
+TEST(WalFormatTest, OpPayloadRoundTripsEmptyAndFull) {
+  WalOpPayload empty;
+  WalOpPayload decoded;
+  ASSERT_TRUE(DecodeWalOpPayload(EncodeWalOpPayload(empty), &decoded));
+  EXPECT_EQ(decoded.ref, 0u);
+  EXPECT_TRUE(decoded.pages.empty());
+  EXPECT_TRUE(decoded.preimages.empty());
+  EXPECT_TRUE(decoded.body.empty());
+
+  WalOpPayload full;
+  full.ref = ~0ull;
+  full.pages = {0, 1, 1u << 20};
+  full.preimages.emplace_back(9, std::string(300, '\x7f'));
+  full.preimages.emplace_back(2, std::string());  // empty image is legal
+  full.body = std::string("\x00\x01\x02", 3);     // binary-safe
+  ASSERT_TRUE(DecodeWalOpPayload(EncodeWalOpPayload(full), &decoded));
+  EXPECT_EQ(decoded.ref, full.ref);
+  EXPECT_EQ(decoded.pages, full.pages);
+  EXPECT_EQ(decoded.preimages, full.preimages);
+  EXPECT_EQ(decoded.body, full.body);
+}
+
+TEST(WalFormatTest, OpPayloadRejectsEveryTruncation) {
+  WalOpPayload op;
+  op.ref = 7;
+  op.pages = {1, 2};
+  op.preimages.emplace_back(3, std::string("abc"));
+  op.body = "XYZ";
+  const std::string good = EncodeWalOpPayload(op);
+  WalOpPayload decoded;
+  ASSERT_TRUE(DecodeWalOpPayload(good, &decoded));
+  for (size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(DecodeWalOpPayload(std::string_view(good).substr(0, len),
+                                    &decoded))
+        << "prefix " << len;
+  }
+  // Trailing garbage is as invalid as missing bytes.
+  EXPECT_FALSE(DecodeWalOpPayload(good + "!", &decoded));
+}
+
+TEST(WalFormatTest, CheckpointPayloadIsExactlyOneGeneration) {
+  uint64_t generation = 0;
+  ASSERT_TRUE(
+      DecodeWalCheckpointPayload(EncodeWalCheckpointPayload(99), &generation));
+  EXPECT_EQ(generation, 99u);
+  EXPECT_FALSE(DecodeWalCheckpointPayload("short", &generation));
+  EXPECT_FALSE(DecodeWalCheckpointPayload(
+      EncodeWalCheckpointPayload(99) + "x", &generation));
+}
+
+TEST(WalFormatTest, ScanWalFileDistinguishesMissingFromDamaged) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "starfish_walfmt_missing.log")
+          .string();
+  std::filesystem::remove(path);
+  auto scan_or = ScanWalFile(path);
+  ASSERT_TRUE(scan_or.ok());
+  EXPECT_FALSE(scan_or.value().found);
+  EXPECT_FALSE(scan_or.value().header_valid);
+}
+
+TEST(WalFormatTest, KindPredicatesAndNames) {
+  EXPECT_FALSE(IsWalOpKind(WalRecordKind::kCheckpoint));
+  EXPECT_TRUE(IsWalOpKind(WalRecordKind::kPut));
+  EXPECT_TRUE(IsWalOpKind(WalRecordKind::kUpdateRoot));
+  EXPECT_TRUE(IsWalOpKind(WalRecordKind::kReplace));
+  EXPECT_TRUE(IsWalOpKind(WalRecordKind::kRemove));
+  EXPECT_STREQ(ToString(WalRecordKind::kCheckpoint), "checkpoint");
+  EXPECT_STREQ(ToString(WalRecordKind::kPut), "put");
+}
+
+}  // namespace
+}  // namespace starfish
