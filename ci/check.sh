@@ -5,8 +5,11 @@
 # (O_DIRECT) backend end-to-end where the filesystem supports it (tests +
 # example + a tiny out-of-core bench, all skipping gracefully otherwise),
 # run the hot-path bench over both in-memory-capable backends and the
-# multi-threaded read bench, gating on ns/op regressions, then build with
-# ThreadSanitizer and run the buffer-pool concurrency stress tests.
+# multi-threaded read bench, gating on ns/op regressions, run the object
+# cache tier's tests + tiny bench and diff the paper benches against their
+# committed golden stdout (the cache-off byte-identity contract), then
+# build with ThreadSanitizer and run the buffer-pool and object-cache
+# concurrency stress tests.
 #
 # Usage: ci/check.sh [build-dir]     (default: build)
 #
@@ -125,6 +128,36 @@ echo "== out-of-core bench (tiny smoke) =="
 # trend until the numbers prove stable across runners.
 (cd "$BUILD_DIR" && ./bench_outofcore --tiny)
 
+echo "== object cache =="
+# The assembled-object cache tier: unit + store-level + crash-safety tests
+# run loudly (they run in ctest too), then a tiny skewed-Get sweep over all
+# five models x both backends x enabled/disabled (emits BENCH_objcache.json;
+# archived ungated — speedups are runner hardware, the full-size run's
+# hot-mix speedup is the acceptance number).
+"$BUILD_DIR/starfish_tests" --gtest_filter='*ObjCache*:*ObjectCache*'
+(cd "$BUILD_DIR" && ./bench_objcache --tiny)
+
+echo "== paper benches byte-identical with the cache tier disabled =="
+# The 14 paper benches never construct an object cache (objcache.enabled
+# defaults to false, and they drive the models/engine directly), so their
+# stdout must match the committed goldens byte for byte. A diff here means
+# the cache tier leaked into the measured paper pipeline — exactly what
+# StoreOptions::objcache.enabled=false promises cannot happen.
+PAPER_BENCHES=(bench_table2_sizes bench_table3_analytic bench_table4_page_ios
+               bench_table5_io_calls bench_table6_buffer_fixes
+               bench_table7_skew bench_table8_overall bench_fig5_object_size
+               bench_fig6_cache bench_ablation_buffer bench_ablation_index
+               bench_ablation_pagesize bench_ablation_scan_pushdown
+               bench_ablation_skew_nodes)
+for b in "${PAPER_BENCHES[@]}"; do
+  (cd "$BUILD_DIR" && "./$b" 2>/dev/null) | \
+      diff -u "$REPO_ROOT/bench/golden/$b.txt" - || {
+    echo "paper bench $b diverged from its committed golden stdout"
+    exit 1
+  }
+done
+echo "all ${#PAPER_BENCHES[@]} paper benches byte-identical"
+
 echo "== hot-path bench (mem backend) =="
 # Emits BENCH_hotpath.json into the build dir; archive it from CI to watch
 # the perf trajectory across PRs.
@@ -174,7 +207,7 @@ else
 
   echo "== TSan stress tests =="
   "$BUILD_DIR-tsan/starfish_tests" \
-      --gtest_filter='*BufferMt*:*ShardedDeterminism*'
+      --gtest_filter='*BufferMt*:*ShardedDeterminism*:*ObjCacheMt*'
 fi
 
 echo "== OK =="

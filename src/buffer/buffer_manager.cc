@@ -162,7 +162,12 @@ void BufferManager::TableErase(Shard& shard, PageId id) {
   --shard.resident;
 }
 
+thread_local std::vector<PageId>* BufferManager::read_capture_ = nullptr;
+
 Result<PageGuard> BufferManager::Fix(PageId id) {
+  if (__builtin_expect(read_capture_ != nullptr, false)) {
+    read_capture_->push_back(id);
+  }
   const uint64_t h = Mix(id);
   Shard& shard = ShardOfHash(h);
   ShardLock lock = Lock(shard);
@@ -190,6 +195,9 @@ Result<PageGuard> BufferManager::Fix(PageId id) {
 }
 
 Result<PageGuard> BufferManager::FixFresh(PageId id) {
+  if (__builtin_expect(read_capture_ != nullptr, false)) {
+    read_capture_->push_back(id);
+  }
   const uint64_t h = Mix(id);
   Shard& shard = ShardOfHash(h);
   ShardLock lock = Lock(shard);

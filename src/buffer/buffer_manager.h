@@ -297,6 +297,29 @@ class BufferManager {
   /// resident are skipped (freed mid-op).
   void StampRecoveryLsn(const std::vector<PageId>& pages, uint64_t lsn);
 
+  /// Starts recording, into *sink, the id of every page THIS THREAD fixes
+  /// (Fix and FixFresh, hits and misses alike) until EndThreadReadCapture.
+  /// How the object cache learns which pages back an assembly: the store
+  /// brackets a miss's model read with a capture and hands the page set to
+  /// the cache entry. Thread-local by construction — concurrent readers
+  /// each capture only their own fixes, with no shared state and no lock.
+  /// `sink` must outlive the capture; captures do not nest.
+  static void BeginThreadReadCapture(std::vector<PageId>* sink) {
+    read_capture_ = sink;
+  }
+  static void EndThreadReadCapture() { read_capture_ = nullptr; }
+
+  /// RAII bracket for the above (exception/early-return safe).
+  class ThreadReadCaptureScope {
+   public:
+    explicit ThreadReadCaptureScope(std::vector<PageId>* sink) {
+      BeginThreadReadCapture(sink);
+    }
+    ~ThreadReadCaptureScope() { EndThreadReadCapture(); }
+    ThreadReadCaptureScope(const ThreadReadCaptureScope&) = delete;
+    ThreadReadCaptureScope& operator=(const ThreadReadCaptureScope&) = delete;
+  };
+
   /// Pins `id` in the pool, reading it from disk if absent (one single-page
   /// read call on miss). Multiple concurrent pins on one page are allowed.
   Result<PageGuard> Fix(PageId id);
@@ -557,6 +580,13 @@ class BufferManager {
     std::function<bool(PageId)> query;
     WriteCapture out;
   };
+
+  /// Read-capture sink of the current thread (null = off, the common
+  /// case). A plain thread-local pointer: the Fix hot path pays one TLS
+  /// load and a predicted-not-taken branch, mirroring the write capture's
+  /// relaxed `active` flag. Static (not per-manager) — a thread runs one
+  /// assembly at a time, and the store brackets captures tightly.
+  static thread_local std::vector<PageId>* read_capture_;
 
   Volume* disk_;
   BufferOptions options_;

@@ -232,6 +232,15 @@ Result<std::unique_ptr<ComplexObjectStore>> ComplexObjectStore::Open(
   STARFISH_RETURN_NOT_OK(
       store->AttachWalAndRecover(reopen, header.wal_checkpoint_lsn));
 
+  // The object cache attaches LAST, and always empty: whatever route the
+  // open took (fresh, clean reopen, WAL replay, fallback scrub,
+  // paranoid_open), no pre-crash assembly exists to be served. Plain NSM
+  // has no by-ref access to accelerate, so the tier stays off there (the
+  // paper's "query 1a is not relevant" model).
+  if (store->options_.objcache.enabled && store->model_->SupportsGetByRef()) {
+    store->objcache_ = std::make_unique<ObjectCache>(store->options_.objcache);
+  }
+
   // Only a fully opened store may checkpoint: the destructor of a store
   // abandoned mid-reopen must not overwrite a (possibly recoverable)
   // catalog with the empty state of a half-constructed model.
@@ -436,6 +445,10 @@ Status ComplexObjectStore::LoggedWrite(WalRecordKind kind,
       // Mem backend (or pre-attach): no log, just the serialized apply.
       const Status applied = apply();
       if (applied.ok()) dirty_ = true;
+      // No write capture without a WAL: ref-based invalidation carries the
+      // contract alone (every write op targets exactly one object, and a
+      // failed apply may still have touched its pages).
+      InvalidateForWrite(ref, {});
       return applied;
     }
     // A poisoned log acknowledges nothing: fail fast instead of applying
@@ -447,9 +460,17 @@ Status ComplexObjectStore::LoggedWrite(WalRecordKind kind,
     BufferManager::WriteCapture capture =
         engine_->buffer()->TakeWriteCapture();
     if (!applied.ok() && capture.dirtied.empty()) {
-      // Validation failure before anything was touched: nothing to log.
+      // Validation failure before anything was touched: nothing to log
+      // (and nothing to invalidate — no page moved).
       return applied;
     }
+    // Invalidate BEFORE any acknowledgement (and before the early error
+    // returns below — their pages are dirty too): every cached assembly
+    // backed by a dirtied page goes, plus the target ref itself, and the
+    // cache epochs move so a concurrent in-flight assembly cannot publish
+    // a pre-write snapshot. Readers holding an entry keep their consistent
+    // pre-write copy — entries are immutable, invalidation only unshares.
+    InvalidateForWrite(ref, capture.dirtied);
 
     WalOpPayload op;
     op.ref = ref;
@@ -479,6 +500,13 @@ Status ComplexObjectStore::LoggedWrite(WalRecordKind kind,
   return wal_->Commit(lsn);
 }
 
+void ComplexObjectStore::InvalidateForWrite(
+    ObjectRef ref, const std::vector<PageId>& dirtied) {
+  if (objcache_ == nullptr) return;
+  objcache_->InvalidatePages(dirtied);
+  objcache_->InvalidateRef(ref);
+}
+
 Status ComplexObjectStore::Put(ObjectRef ref, const Tuple& object) {
   std::string body;
   if (wal_ != nullptr) {
@@ -493,11 +521,40 @@ Status ComplexObjectStore::Put(ObjectRef ref, const Tuple& object) {
 
 Result<Tuple> ComplexObjectStore::Get(ObjectRef ref,
                                       const Projection& projection) {
-  return model_->GetByRef(ref, projection);
+  if (objcache_ == nullptr) return model_->GetByRef(ref, projection);
+  return CachedGet(ref, projection);
 }
 
 Result<Tuple> ComplexObjectStore::Get(ObjectRef ref) {
-  return model_->GetByRef(ref, Projection::All(*schema_));
+  if (objcache_ == nullptr) {
+    return model_->GetByRef(ref, Projection::All(*schema_));
+  }
+  return CachedGet(ref, Projection::All(*schema_));
+}
+
+Result<Tuple> ComplexObjectStore::CachedGet(ObjectRef ref,
+                                            const Projection& projection) {
+  uint64_t epoch = 0;
+  if (ObjCacheEntryRef entry = objcache_->Lookup(ref, &epoch)) {
+    if (projection.IsAll()) return entry->object;
+    return ProjectAssembled(*schema_, entry->object, projection);
+  }
+  // Miss: read-through. Assemble the FULL object (so one miss serves every
+  // later projection) under a read-page capture, then publish it guarded
+  // by the epoch sampled above — if any invalidation ran in between, the
+  // assembly may have observed a half-applied write and is discarded.
+  std::vector<PageId> pages;
+  Result<Tuple> full_or = [&] {
+    BufferManager::ThreadReadCaptureScope capture(&pages);
+    return model_->GetByRef(ref, Projection::All(*schema_));
+  }();
+  if (!full_or.ok()) return full_or.status();
+  Tuple full = std::move(full_or).value();
+  Tuple out = projection.IsAll()
+                  ? full
+                  : ProjectAssembled(*schema_, full, projection);
+  objcache_->Insert(ref, std::move(full), std::move(pages), epoch);
+  return out;
 }
 
 Result<Tuple> ComplexObjectStore::GetByKey(int64_t key,
@@ -511,10 +568,26 @@ Status ComplexObjectStore::Scan(const Projection& projection,
 }
 
 Result<std::vector<ObjectRef>> ComplexObjectStore::Children(ObjectRef ref) {
+  // A cached assembly answers navigation without touching a page; a miss
+  // falls through to the model's link-projection read WITHOUT populating
+  // the cache (assembling a whole cold object to answer a link walk would
+  // inflate exactly the I/O the paper's query 2 avoids).
+  if (objcache_ != nullptr) {
+    if (ObjCacheEntryRef entry = objcache_->Lookup(ref)) {
+      return CollectAssembledLinks(*schema_, entry->object);
+    }
+  }
   return model_->GetChildRefs(ref);
 }
 
 Result<Tuple> ComplexObjectStore::RootRecord(ObjectRef ref) {
+  // Same policy as Children: serve hits, never populate on a miss.
+  if (objcache_ != nullptr) {
+    if (ObjCacheEntryRef entry = objcache_->Lookup(ref)) {
+      return ProjectAssembled(*schema_, entry->object,
+                              Projection::RootOnly(*schema_));
+    }
+  }
   return model_->GetRootRecord(ref);
 }
 

@@ -7,6 +7,7 @@
 #include "disk/disk_timing.h"
 #include "disk/log_file.h"
 #include "models/model_factory.h"
+#include "objcache/object_cache.h"
 #include "nf2/projection.h"
 #include "nf2/schema.h"
 #include "nf2/serializer.h"
@@ -127,6 +128,17 @@ struct StoreOptions {
   /// power loss. Null = no wrapping.
   std::function<std::unique_ptr<LogFile>(std::unique_ptr<LogFile>)>
       wal_log_decorator;
+
+  /// The assembled-object cache tier above the buffer pool (off by
+  /// default; docs/OBJCACHE.md). When enabled, by-ref reads (Get /
+  /// Children / RootRecord) serve hot objects from finished assemblies
+  /// instead of re-decoding pages, every write op invalidates before it is
+  /// acknowledged, and the cache starts empty on every Open — so crash
+  /// recovery can never serve a pre-crash assembly. `enabled = false`
+  /// leaves every code path and every counter exactly as before (the paper
+  /// benches measure per-access physical I/O and stay byte-identical).
+  /// Ignored for plain NSM, which has no by-ref access to accelerate.
+  ObjCacheOptions objcache;
 };
 
 class ComplexObjectStore;
@@ -267,7 +279,27 @@ class ComplexObjectStore {
 
   /// Counter snapshot (physical I/O + buffer).
   EngineStats stats() const { return engine_->stats(); }
-  void ResetStats() { engine_->ResetStats(); }
+  void ResetStats() {
+    engine_->ResetStats();
+    if (objcache_ != nullptr) objcache_->ResetStats();
+  }
+
+  /// Assembly-level counter snapshot — the object-cache analog of the
+  /// page-level stats(). All zeros when the cache is disabled.
+  ObjCacheStats objcache_stats() const {
+    return objcache_ != nullptr ? objcache_->stats() : ObjCacheStats{};
+  }
+
+  /// The object cache, or nullptr when disabled. Tests and benches reach
+  /// epochs and direct invalidation through this.
+  ObjectCache* object_cache() { return objcache_.get(); }
+
+  /// Wholesale cache invalidation. Callers mutating records through
+  /// model()/engine() (which bypasses the store's write path and therefore
+  /// its invalidation hook) must call this before reading via Get again.
+  void InvalidateObjectCache() {
+    if (objcache_ != nullptr) objcache_->Clear();
+  }
 
   /// Estimated I/O service time of the work since the last ResetStats,
   /// under the configured Equation-1 timing model.
@@ -311,6 +343,17 @@ class ComplexObjectStore {
                      const std::function<Status()>& apply,
                      uint64_t ref, std::string body);
 
+  /// Get through the object cache (objcache_ != nullptr): serve hits from
+  /// the assembled entry, assemble misses under a read-page capture and
+  /// publish them epoch-guarded.
+  Result<Tuple> CachedGet(ObjectRef ref, const Projection& projection);
+
+  /// Write-path invalidation: drops every cached assembly a just-applied
+  /// op could have staled (its dirtied pages + its target ref), BEFORE the
+  /// op is acknowledged. `dirtied` is the WAL write capture's page list
+  /// (empty on the mem path, where ref-based invalidation carries alone).
+  void InvalidateForWrite(ObjectRef ref, const std::vector<PageId>& dirtied);
+
   StoreOptions options_;
   std::shared_ptr<const Schema> schema_;
   /// Write-ahead log of a persistent store (null for mem / when the open
@@ -320,6 +363,10 @@ class ComplexObjectStore {
   std::unique_ptr<WalManager> wal_;
   std::unique_ptr<StorageEngine> engine_;
   std::unique_ptr<StorageModel> model_;
+  /// Assembled-object cache (null = disabled). Created EMPTY at the end of
+  /// Open, after WAL replay / the fallback scrub ran — reopening is itself
+  /// the wholesale invalidation the crash contract requires.
+  std::unique_ptr<ObjectCache> objcache_;
   /// Set once Open fully succeeded; gates the destructor's checkpoint.
   bool opened_ = false;
   /// Committed generation this store runs on (0 = fresh/legacy).

@@ -203,9 +203,19 @@ class CrashMatrixTest
     options.model = Model();
     options.backend = Backend();
     options.path = crash_dir_;
+    // The verification pass runs with the object cache ON: recovery must
+    // hand the cache tier a store whose every assembly reflects recovered
+    // state (the cache is created empty after replay/scrub, so these
+    // byte-equality checks double as the no-pre-crash-assembly contract).
+    options.objcache.enabled = true;
     auto store_or = ComplexObjectStore::Open(db_->schema(), options);
     ASSERT_TRUE(store_or.ok()) << label << ": " << store_or.status().ToString();
     auto store = std::move(store_or).value();
+    if (ByRef()) {
+      ASSERT_NE(store->object_cache(), nullptr) << label;
+      EXPECT_EQ(store->objcache_stats().entries, 0u)
+          << label << ": reopened store did not start cache-cold";
+    }
 
     const size_t committed = committed_batches * kBatchSize;
     const size_t issued = db_->objects().size();
@@ -221,6 +231,14 @@ class CrashMatrixTest
       if (got.ok()) {
         ++present;
         EXPECT_EQ(got.value(), object.tuple) << label << " object " << i;
+        if (ByRef()) {
+          // The first Get populated the cache; the hit must serve the
+          // identical recovered bytes.
+          auto again = store->Get(object.ref);
+          ASSERT_TRUE(again.ok()) << label << " object " << i;
+          EXPECT_EQ(again.value(), object.tuple)
+              << label << " object " << i << ": cache hit diverged";
+        }
       } else {
         // Absent is only legal past the committed checkpoint, and must be
         // clean absence — any other status is recovery damage.
@@ -233,6 +251,10 @@ class CrashMatrixTest
     }
     EXPECT_EQ(present, recovered)
         << label << ": object count disagrees with point lookups";
+    if (ByRef() && present > 0) {
+      EXPECT_EQ(store->objcache_stats().hits, present)
+          << label << ": second Gets were not cache hits";
+    }
     // Scans must agree with the object count — phantoms from torn slotted
     // pages would surface here.
     size_t scanned = 0;
@@ -361,6 +383,134 @@ TEST_P(CrashMatrixTest, CommitPointIsOrderedAfterSync) {
   ASSERT_TRUE(current.ok());
   EXPECT_TRUE(found);
   EXPECT_EQ(current.value(), 1u);
+}
+
+// Objcache satellite: a reopened store must NEVER serve an assembly cached
+// before the crash — on either recovery path. The run populates the cache,
+// then plants two distinct hazards before taking the power-loss image:
+//
+//   * subset X is Replaced to v2 and never re-read: its pre-crash cache
+//     entries (dropped by invalidation) held v1 — if any leaked across the
+//     reopen, the WAL-replay store (recovered state v2) would serve v1;
+//   * subset Y is Replaced to v2 and re-read: its pre-crash entries held
+//     v2 — if any leaked, the paranoid scrub store (log discarded,
+//     recovered state v1) would serve v2.
+//
+// Page writes are buffered by FaultVolume (they vanish at the snapshot,
+// like a real power loss), while wal_sync=kAlways makes every Replace's
+// record durable — so the image holds v1 pages plus a replayable v2 log
+// tail, and the two reopen modes legitimately disagree about every
+// replaced object. The cache may agree with neither store's pre-crash
+// view; it must agree with each store's own recovery.
+TEST_P(CrashMatrixTest, ObjCacheNeverServesPreCrashAssembly) {
+  if (!ByRef()) {
+    GTEST_SKIP() << "plain NSM has no by-ref reads, so no object cache";
+  }
+  const size_t issued = db_->objects().size();
+  ASSERT_GE(issued, 2 * kBatchSize);
+  std::vector<Tuple> v2;
+  for (const auto& object : db_->objects()) {
+    Tuple alt = object.tuple;
+    alt.values[1] = Value::Int32(-424242);
+    v2.push_back(alt);
+  }
+  const auto in_x = [&](size_t i) { return i < kBatchSize; };
+  const auto in_y = [&](size_t i) {
+    return i >= kBatchSize && i < 2 * kBatchSize;
+  };
+
+  const std::string replay_dir = dir_ + "_replay";
+  const std::string scrub_dir = dir_ + "_scrub";
+  std::filesystem::remove_all(replay_dir);
+  std::filesystem::remove_all(scrub_dir);
+  {
+    FaultHandle handle;
+    StoreOptions options = FaultedOptions(&handle);
+    options.objcache.enabled = true;
+    options.wal_sync = WalSyncPolicy::kAlways;
+    auto store_or = ComplexObjectStore::Open(db_->schema(), options);
+    ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+    auto store = std::move(store_or).value();
+    for (const auto& object : db_->objects()) {
+      ASSERT_TRUE(store->Put(object.ref, object.tuple).ok());
+    }
+    ASSERT_TRUE(store->Flush().ok());  // v1 checkpoint: committed state
+    for (const auto& object : db_->objects()) {
+      ASSERT_TRUE(store->Get(object.ref).ok());  // cache <- v1 assemblies
+    }
+    for (size_t i = 0; i < issued; ++i) {
+      if (!in_x(i) && !in_y(i)) continue;
+      ASSERT_TRUE(store->Replace(db_->objects()[i].ref, v2[i]).ok());
+      if (in_y(i)) {
+        auto got = store->Get(db_->objects()[i].ref);  // cache <- v2
+        ASSERT_TRUE(got.ok());
+        ASSERT_EQ(got.value(), v2[i]);
+      }
+    }
+    // Power-loss images, taken while the machine still "runs": the
+    // buffered (un-synced) page writes are absent, the fsync'd log tail is
+    // present. One copy per recovery path.
+    std::filesystem::copy(dir_, replay_dir,
+                          std::filesystem::copy_options::recursive);
+    std::filesystem::copy(dir_, scrub_dir,
+                          std::filesystem::copy_options::recursive);
+    // The store object is still alive holding cached assemblies — exactly
+    // the state a pre-crash process died in. Nothing it does from here on
+    // may affect the copies.
+  }
+
+  // Path 1 — WAL replay: recovered state has every replaced object at v2.
+  {
+    StoreOptions options;
+    options.model = Model();
+    options.backend = Backend();
+    options.path = replay_dir;
+    options.objcache.enabled = true;
+    auto store_or = ComplexObjectStore::Open(db_->schema(), options);
+    ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+    auto store = std::move(store_or).value();
+    EXPECT_EQ(store->objcache_stats().entries, 0u)
+        << "replay reopen inherited cache entries";
+    for (size_t i = 0; i < issued; ++i) {
+      const Tuple& expect =
+          (in_x(i) || in_y(i)) ? v2[i] : db_->objects()[i].tuple;
+      for (int pass = 0; pass < 2; ++pass) {  // miss, then hit
+        auto got = store->Get(db_->objects()[i].ref);
+        ASSERT_TRUE(got.ok()) << "object " << i << " pass " << pass;
+        EXPECT_EQ(got.value(), expect)
+            << "replay store served a pre-crash assembly (object " << i
+            << ", pass " << pass << ")";
+      }
+    }
+  }
+
+  // Path 2 — paranoid scrub: the log is discarded, recovered state is the
+  // v1 checkpoint for EVERY object (subset Y's pre-crash v2 entries are
+  // the hazard here).
+  {
+    StoreOptions options;
+    options.model = Model();
+    options.backend = Backend();
+    options.path = scrub_dir;
+    options.objcache.enabled = true;
+    options.paranoid_open = true;
+    auto store_or = ComplexObjectStore::Open(db_->schema(), options);
+    ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+    auto store = std::move(store_or).value();
+    EXPECT_EQ(store->objcache_stats().entries, 0u)
+        << "scrub reopen inherited cache entries";
+    for (size_t i = 0; i < issued; ++i) {
+      for (int pass = 0; pass < 2; ++pass) {
+        auto got = store->Get(db_->objects()[i].ref);
+        ASSERT_TRUE(got.ok()) << "object " << i << " pass " << pass;
+        EXPECT_EQ(got.value(), db_->objects()[i].tuple)
+            << "scrub store served a pre-crash assembly (object " << i
+            << ", pass " << pass << ")";
+      }
+    }
+  }
+  std::filesystem::remove_all(replay_dir);
+  std::filesystem::remove_all(scrub_dir);
 }
 
 std::string MatrixParamName(
