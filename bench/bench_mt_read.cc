@@ -20,10 +20,21 @@
 //                                  work per fix), not to pretend locks are
 //                                  free.
 //
-// Writes BENCH_mt_read.json (BENCH_mt_read_mmap.json for --backend mmap).
+// --backend direct (PR 8) replaces the page-cache rows with the device
+// rows that motivated the per-thread-ring rework: 1/2/4/8 threads each
+// keep a pipeline of chained 8-page reads in flight through
+// SubmitReadChained/CompleteRead, once with per-thread io_uring rings and
+// once with the pre-rework single-ring-mutex baseline
+// (DirectVolumeOptions::RingMode::kShared). The aggregate pages/sec of
+// per-thread at >= 4 threads against the shared-mutex rows is the
+// acceptance number of the rework. Skip-tolerant: on a filesystem without
+// O_DIRECT the binary records "direct_skipped": true and exits 0.
+//
+// Writes BENCH_mt_read.json (BENCH_mt_read_mmap.json for --backend mmap,
+// BENCH_mt_read_direct.json for --backend direct).
 //
 // Usage:
-//   bench_mt_read [--backend mem|mmap]
+//   bench_mt_read [--backend mem|mmap|direct]
 //                 [--compare-hotpath REF.json] [--max-regress PCT]
 //                 [--max-locked-overhead PCT] [--min-speedup X]
 //
@@ -36,6 +47,8 @@
 //                          least X times the 1-thread row. Off by default:
 //                          speedup is a property of the machine's core
 //                          count, so CI asserts it only where cores exist.
+
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -54,7 +67,9 @@
 #include "benchmark/generator.h"
 #include "buffer/buffer_manager.h"
 #include "core/complex_object_store.h"
+#include "disk/direct_volume.h"
 #include "disk/volume.h"
+#include "util/aligned_buffer.h"
 #include "util/random.h"
 
 namespace starfish {
@@ -316,6 +331,77 @@ BenchResult BenchStoreGet(uint32_t threads,
   return r;
 }
 
+// Direct-backend ring rows: raw device read throughput through the async
+// submit/complete split, no buffer pool in the way. Each thread pipelines
+// kInFlight chained 8-page batches (the DASDBS fetch shape) over its own
+// ring — or over the one mutex-serialized ring in the kShared baseline.
+// The per-thread rows must pull ahead of the shared rows as threads grow:
+// that gap is what the rework bought.
+BenchResult BenchDirectChained(uint32_t threads, bool shared_ring,
+                               const std::string& dir) {
+  constexpr uint32_t kObjPages = 8;
+  constexpr uint32_t kInFlight = 4;
+  constexpr uint32_t kBatchesPerThread = 512;  // 16 MiB read per thread
+
+  DirectVolumeOptions ring;
+  ring.ring_mode = shared_ring ? DirectVolumeOptions::RingMode::kShared
+                               : DirectVolumeOptions::RingMode::kPerThread;
+  auto disk_or = DirectVolume::Open(dir, DiskOptions{4096, 4u << 20}, ring);
+  if (!disk_or.ok()) Fatal("reopen direct volume", disk_or.status());
+  auto disk = std::move(disk_or).value();
+  const uint32_t page = disk->page_size();
+  const uint64_t n_objects = disk->page_count() / kObjPages;
+
+  const double seconds = TimedThreads(threads, [&](uint32_t t) {
+    AlignedBuffer staging;
+    if (!staging.Reserve(
+            static_cast<size_t>(kInFlight) * kObjPages * page,
+            std::max<size_t>(4096, disk->io_buffer_alignment()))) {
+      Fatal("staging", Status::ResourceExhausted("staging alloc"));
+    }
+    disk->RegisterIoMemory(staging.data(),
+                           static_cast<size_t>(kInFlight) * kObjPages * page);
+    Rng rng(0xD10C0DE + t * 0x9E3779B9ull);
+    std::vector<PageId> ids(kObjPages);
+    std::vector<char*> outs(kObjPages);
+    uint64_t tickets[kInFlight] = {};
+    bool live[kInFlight] = {};
+    for (uint32_t b = 0; b < kBatchesPerThread + kInFlight; ++b) {
+      const uint32_t slot = b % kInFlight;
+      if (live[slot]) {
+        if (auto st = disk->CompleteRead(tickets[slot]); !st.ok()) {
+          Fatal("complete", st);
+        }
+        live[slot] = false;
+      }
+      if (b >= kBatchesPerThread) continue;  // drain phase
+      const PageId root =
+          static_cast<PageId>(rng.Uniform(n_objects) * kObjPages);
+      char* base =
+          staging.data() + static_cast<size_t>(slot) * kObjPages * page;
+      for (uint32_t p = 0; p < kObjPages; ++p) {
+        ids[p] = root + p;
+        outs[p] = base + static_cast<size_t>(p) * page;
+      }
+      auto ticket_or = disk->SubmitReadChained(ids, outs);
+      if (!ticket_or.ok()) Fatal("submit", ticket_or.status());
+      tickets[slot] = ticket_or.value();
+      live[slot] = true;
+    }
+    disk->UnregisterIoMemory(staging.data());
+  });
+
+  BenchResult r;
+  r.name = std::string("mt_dio_chained_") +
+           (shared_ring ? "shared" : "perthread") + "_t" +
+           std::to_string(threads);
+  r.threads = threads;
+  r.total_ops = static_cast<uint64_t>(threads) * kBatchesPerThread * kObjPages;
+  r.ops_per_sec = static_cast<double>(r.total_ops) / seconds;  // pages/sec
+  r.ns_per_op = seconds * 1e9 / static_cast<double>(r.total_ops);
+  return r;
+}
+
 void WriteJson(const std::vector<BenchResult>& results, const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -390,8 +476,10 @@ int main(int argc, char** argv) {
         g_backend = VolumeKind::kMem;
       } else if (backend == "mmap") {
         g_backend = VolumeKind::kMmap;
+      } else if (backend == "direct") {
+        g_backend = VolumeKind::kDirect;
       } else {
-        std::fprintf(stderr, "unknown backend '%s' (mem|mmap)\n",
+        std::fprintf(stderr, "unknown backend '%s' (mem|mmap|direct)\n",
                      backend.c_str());
         return 2;
       }
@@ -416,6 +504,90 @@ int main(int argc, char** argv) {
   std::printf("backend: %s, hardware threads: %u, pool shards: %u\n",
               ToString(g_backend).c_str(),
               std::thread::hardware_concurrency(), kShards);
+
+  if (g_backend == VolumeKind::kDirect) {
+    // Device rows only: per-thread rings vs the single-ring-mutex
+    // baseline, raw SubmitReadChained pipelines, no buffer pool. The
+    // page-cache rows of the other backends would just measure memcpy.
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("starfish_bench_mt_dio_" + std::to_string(::getpid())))
+            .string();
+    std::filesystem::remove_all(dir);
+    constexpr uint32_t kPages = 16384;  // 64 MiB at 4 KiB pages
+    {
+      auto disk_or = DirectVolume::Open(dir, DiskOptions{4096, 4u << 20});
+      if (!disk_or.ok()) {
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+        if (disk_or.status().IsNotSupported()) {
+          std::printf("direct backend skipped: %s\n",
+                      disk_or.status().ToString().c_str());
+          std::ofstream out("BENCH_mt_read_direct.json");
+          out << "{\n  \"benchmarks\": [],\n  \"direct_skipped\": true\n}\n";
+          std::printf("wrote BENCH_mt_read_direct.json\n");
+          return 0;
+        }
+        Fatal("open direct volume", disk_or.status());
+      }
+      auto disk = std::move(disk_or).value();
+      if (auto id = disk->AllocateRun(kPages); !id.ok()) {
+        Fatal("allocate", id.status());
+      }
+      std::vector<char> chunk(64 * 4096);
+      for (uint32_t first = 0; first < kPages; first += 64) {
+        std::memset(chunk.data(), static_cast<int>('A' + first % 23),
+                    chunk.size());
+        if (auto st = disk->WriteRun(first, 64, chunk.data()); !st.ok()) {
+          Fatal("load", st);
+        }
+      }
+      if (auto st = disk->Sync(); !st.ok()) Fatal("sync", st);
+      std::printf("ring model: %s\n",
+                  disk->io_uring_active() ? "io_uring" : "pread fallback");
+    }
+
+    std::vector<BenchResult> rows;
+    for (const bool shared : {true, false}) {
+      for (uint32_t t : kThreadCounts) {
+        rows.push_back(BenchDirectChained(t, shared, dir));
+      }
+    }
+    {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+
+    std::printf("%-30s %8s %14s %12s\n", "benchmark", "threads",
+                "pages/sec", "ns/page");
+    for (const BenchResult& r : rows) {
+      std::printf("%-30s %8u %14.0f %12.2f\n", r.name.c_str(), r.threads,
+                  r.ops_per_sec, r.ns_per_op);
+    }
+    const double shared4 =
+        FindRow(rows, "mt_dio_chained_shared_t4").ops_per_sec;
+    const double perthread4 =
+        FindRow(rows, "mt_dio_chained_perthread_t4").ops_per_sec;
+    const double shared1 =
+        FindRow(rows, "mt_dio_chained_shared_t1").ops_per_sec;
+    const double perthread8 =
+        FindRow(rows, "mt_dio_chained_perthread_t8").ops_per_sec;
+    std::printf("\nper-thread vs shared-mutex at 4 threads: %.2fx\n",
+                perthread4 / shared4);
+    std::printf("per-thread t8 vs shared-mutex t1 baseline: %.2fx\n",
+                perthread8 / shared1);
+    WriteJson(rows, "BENCH_mt_read_direct.json");
+    std::printf("wrote BENCH_mt_read_direct.json\n");
+    int failures = 0;
+    if (min_speedup > 0.0 && perthread4 / shared4 < min_speedup) {
+      std::fprintf(stderr,
+                   "bench_mt_read: per-thread-ring speedup %.2fx at 4 "
+                   "threads below required %.2fx\n",
+                   perthread4 / shared4, min_speedup);
+      ++failures;
+    }
+    return failures > 0 ? 1 : 0;
+  }
 
   std::vector<BenchResult> results;
   results.push_back(BenchCycle64SingleThread(/*locked=*/false));

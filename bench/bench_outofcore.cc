@@ -32,10 +32,44 @@
 // point of the backend. The buffer pool is always sized at 1/16 of the
 // data, so pool misses are real in every configuration.
 //
+// PR 8 additions (the per-thread-ring rework, proven end to end):
+//
+//   --threads K     per-thread-scaling section over the direct backend:
+//                   1/2/4/8 concurrent submitters (capped at K), each
+//                   running its own completion-driven PrefetchStream over
+//                   ONE shared sharded buffer pool, once with per-thread
+//                   io_uring rings and once with the pre-rework
+//                   single-ring-mutex baseline (RingMode::kShared) — the
+//                   JSON rows show what the rework buys at equal work.
+//   --models        loads the paper's FIVE storage models through the real
+//                   StorageEngine on the direct backend (pool sized far
+//                   below the data) and replays the query suite; the same
+//                   suite runs on the mem backend as the in-memory
+//                   expectation, and the Table 4/5/6 fetch-shape rankings
+//                   (query 1b page I/Os, I/O calls, buffer fixes per
+//                   object) must reproduce out-of-core.
+//   --model-objects N / --budget-multiple M
+//                   size the model database directly (N objects) or as M x
+//                   the detected memory budget (dedicated out-of-core
+//                   runs; the CI smoke stays tiny).
+//   --gate-ranking  exit 1 when the direct backend's measured fetch-shape
+//                   ranking diverges from the Eq.-1 modelled ranking, or
+//                   when the out-of-core model rankings diverge from the
+//                   in-memory expectation (skip-tolerant: a filesystem
+//                   without O_DIRECT gates nothing).
+//   --compare REF.json --max-regress PCT
+//                   gate measured_ms of every (mix, backend) row against a
+//                   committed reference — only meaningful on a runner
+//                   marked stable (ci/check.sh engages it behind
+//                   STARFISH_OUTOFCORE_STABLE=1).
+//
 // Usage:
 //   bench_outofcore [--backend mmap|direct|both] [--data-mb N]
 //                   [--mem-limit-mb N] [--page-size N] [--dir PATH]
-//                   [--tiny] [--keep]
+//                   [--tiny] [--keep] [--threads K] [--models]
+//                   [--model-objects N] [--budget-multiple M]
+//                   [--gate-ranking] [--compare REF.json]
+//                   [--max-regress PCT]
 //
 //   --tiny    16 MiB of data (CI smoke); default is 256 MiB.
 //   --keep    leave the volume directories behind for inspection.
@@ -45,6 +79,7 @@
 // numbers unconditionally.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cinttypes>
 #include <cstdint>
@@ -54,12 +89,17 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "benchmark/generator.h"
+#include "benchmark/queries.h"
 #include "buffer/buffer_manager.h"
 #include "disk/direct_volume.h"
 #include "disk/disk_timing.h"
 #include "disk/volume.h"
+#include "models/model_factory.h"
+#include "storage/storage_engine.h"
 #include "util/aligned_buffer.h"
 #include "util/random.h"
 
@@ -77,6 +117,14 @@ struct Config {
   uint32_t page_size = 4096;
   std::string dir = "bench_outofcore_volume";
   bool keep = false;
+  bool tiny = false;
+  uint32_t threads = 0;        // 0 = no thread-scaling section
+  bool models = false;         // five-model out-of-core section
+  uint64_t model_objects = 0;  // 0 = auto (tiny -> 300, else 1500)
+  double budget_multiple = 0;  // >0: size the model db at M x mem budget
+  bool gate_ranking = false;
+  std::string compare;  // reference JSON for the measured_ms gate
+  double max_regress_pct = 25.0;
 };
 
 struct MixResult {
@@ -308,6 +356,292 @@ std::vector<std::string> Ranking(const std::vector<MixResult>& results,
   return order;
 }
 
+// ---------------------------------------------------------------------------
+// Per-thread-scaling section (--threads): N submitters, each driving its own
+// completion-driven PrefetchStream over one shared sharded pool, on the
+// direct backend — per-thread rings vs the single-ring-mutex baseline.
+// ---------------------------------------------------------------------------
+
+struct ScalingRow {
+  std::string ring_mode;  ///< "per_thread" | "shared_mutex"
+  uint32_t threads = 0;
+  double measured_ms = 0;
+  double pages_per_sec = 0;
+  uint64_t read_calls = 0;
+  uint64_t pages_read = 0;
+  bool async_active = false;  ///< any stream ran the submit/complete split
+};
+
+/// Runs `body(thread_index)` on `threads` threads behind a start barrier;
+/// returns wall seconds.
+template <typename Body>
+double TimedThreads(uint32_t threads, Body&& body) {
+  std::atomic<uint32_t> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      body(t);
+    });
+  }
+  while (ready.load() != threads) {
+  }
+  const auto start = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::vector<ScalingRow> RunThreadScaling(const Config& config,
+                                         uint64_t n_pages, uint32_t frames,
+                                         bool* skipped,
+                                         std::string* skip_reason) {
+  std::vector<ScalingRow> rows;
+  const std::string dir = config.dir + "_scaling";
+  std::filesystem::remove_all(dir);
+
+  // Load once; every (mode, threads) row reopens the same data.
+  {
+    auto disk_or =
+        DirectVolume::Open(dir, DiskOptions{config.page_size, 4u << 20});
+    if (!disk_or.ok()) {
+      if (disk_or.status().IsNotSupported()) {
+        *skipped = true;
+        *skip_reason = disk_or.status().ToString();
+        return rows;
+      }
+      Fatal("scaling volume", disk_or.status());
+    }
+    LoadVolume(disk_or.value().get(), n_pages, config.page_size);
+  }
+
+  // Enough work per row to amortize ring setup and pool warm-up: every
+  // object about twice, in a pseudo-random order shared by all rows (equal
+  // work per configuration is what makes the rows comparable).
+  const uint64_t n_objects = n_pages / kPagesPerObject;
+  const uint64_t n_fetch = std::max<uint64_t>(256, n_objects * 2);
+
+  for (const bool shared : {false, true}) {
+    DirectVolumeOptions ring;
+    ring.ring_mode = shared ? DirectVolumeOptions::RingMode::kShared
+                            : DirectVolumeOptions::RingMode::kPerThread;
+    auto disk_or =
+        DirectVolume::Open(dir, DiskOptions{config.page_size, 4u << 20}, ring);
+    if (!disk_or.ok()) Fatal("scaling reopen", disk_or.status());
+    auto disk = std::move(disk_or).value();
+
+    BufferOptions buffer_options;
+    buffer_options.frame_count = frames;
+    buffer_options.frame_alignment = disk->io_buffer_alignment();
+    buffer_options.shard_count = 64;  // concurrent mode: per-shard mutexes
+    BufferManager bm(disk.get(), buffer_options);
+
+    for (uint32_t t : {1u, 2u, 4u, 8u}) {
+      if (t > std::max(config.threads, 1u)) break;
+      if (auto st = bm.DropAll(); !st.ok()) Fatal("scaling drop", st);
+      disk->ResetStats();
+      std::atomic<uint32_t> async_streams{0};
+
+      // Fixed total work split across the submitters: each thread fetches
+      // its interleaved share of a deterministic pseudo-random object
+      // sequence as DASDBS-like 8-page chained batches.
+      const double seconds = TimedThreads(t, [&](uint32_t thread_index) {
+        PrefetchStream stream(&bm, /*depth=*/4);
+        if (stream.async_active()) {
+          async_streams.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::vector<PageId> ids(kPagesPerObject);
+        for (uint64_t i = thread_index; i < n_fetch; i += t) {
+          const PageId root = static_cast<PageId>(
+              (i * 2654435761ull % n_objects) * kPagesPerObject);
+          for (uint32_t p = 0; p < kPagesPerObject; ++p) ids[p] = root + p;
+          if (auto st = stream.Push(ids); !st.ok()) Fatal("push", st);
+        }
+        if (auto st = stream.Drain(); !st.ok()) Fatal("drain", st);
+      });
+
+      const IoStats io = disk->stats();
+      ScalingRow row;
+      row.ring_mode = shared ? "shared_mutex" : "per_thread";
+      row.threads = t;
+      row.measured_ms = seconds * 1e3;
+      row.pages_per_sec = static_cast<double>(io.pages_read) / seconds;
+      row.read_calls = io.read_calls;
+      row.pages_read = io.pages_read;
+      row.async_active = async_streams.load() > 0;
+      rows.push_back(row);
+    }
+  }
+
+  if (!config.keep) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Five-model section (--models): the actual storage models through the real
+// StorageEngine on the direct backend, pool far below the data, vs the same
+// suite on the mem backend — the Table 4/5/6 fetch-shape rankings must
+// survive going out of core.
+// ---------------------------------------------------------------------------
+
+struct ModelRow {
+  std::string model;
+  std::string backend;  ///< "mem" (expectation) | "direct" (out-of-core)
+  double load_ms = 0;
+  double suite_ms = 0;     ///< measured wall ms of the full query suite
+  double modelled_ms = 0;  ///< Eq.-1 cost of the suite's IoStats delta
+  uint64_t suite_calls = 0;
+  uint64_t suite_pages = 0;
+  // The fetch shape of query 1b (retrieve one object by key — the only
+  // single-object fetch every model answers): the paper's Table 4/5/6
+  // columns, per object.
+  double q1b_pages = 0;
+  double q1b_calls = 0;
+  double q1b_fixes = 0;
+};
+
+Result<ModelRow> RunOneModel(StorageModelKind kind, VolumeKind backend,
+                             const bench::BenchmarkDatabase& db,
+                             const std::string& dir, uint32_t frames,
+                             const bench::QueryConfig& query) {
+  StorageEngineOptions engine_options;
+  engine_options.backend = backend;
+  engine_options.path = dir;
+  engine_options.buffer.frame_count = frames;
+  engine_options.buffer.frame_alignment = 4096;
+  STARFISH_ASSIGN_OR_RETURN(std::unique_ptr<StorageEngine> engine,
+                            StorageEngine::Open(std::move(engine_options)));
+
+  ModelConfig model_config;
+  model_config.schema = db.schema();
+  model_config.key_attr_index = 0;
+  STARFISH_ASSIGN_OR_RETURN(std::unique_ptr<StorageModel> model,
+                            CreateStorageModel(kind, engine.get(),
+                                               model_config));
+  const auto load_start = Clock::now();
+  STARFISH_RETURN_NOT_OK(db.LoadInto(model.get(), engine.get()));
+  const double load_ms = std::chrono::duration<double, std::milli>(
+                             Clock::now() - load_start)
+                             .count();
+
+  bench::QueryRunner runner(model.get(), engine.get(), &db, query);
+  const IoStats io_before = engine->stats().io;
+  const auto suite_start = Clock::now();
+  STARFISH_ASSIGN_OR_RETURN(bench::QuerySuiteResults suite, runner.RunAll());
+  const double suite_ms = std::chrono::duration<double, std::milli>(
+                              Clock::now() - suite_start)
+                              .count();
+  const IoStats io = engine->stats().io.Since(io_before);
+
+  ModelRow row;
+  row.model = ToString(kind);
+  row.backend = backend == VolumeKind::kDirect ? "direct" : "mem";
+  row.load_ms = load_ms;
+  row.suite_ms = suite_ms;
+  row.modelled_ms = LinearTimingModel{}.Cost(io);
+  row.suite_calls = io.TotalCalls();
+  row.suite_pages = io.TotalPages();
+  row.q1b_pages = suite.q1b.Pages();
+  row.q1b_calls = suite.q1b.Calls();
+  row.q1b_fixes = suite.q1b.Fixes();
+  return row;
+}
+
+/// Model names ordered worst-first (descending) by `metric` — the Table
+/// 4/5/6 ranking for one backend.
+std::vector<std::string> ModelRanking(const std::vector<ModelRow>& rows,
+                                      const std::string& backend,
+                                      double ModelRow::*metric) {
+  std::vector<const ModelRow*> picked;
+  for (const ModelRow& r : rows) {
+    if (r.backend == backend) picked.push_back(&r);
+  }
+  std::stable_sort(picked.begin(), picked.end(),
+                   [metric](const ModelRow* a, const ModelRow* b) {
+                     return a->*metric > b->*metric;
+                   });
+  std::vector<std::string> order;
+  for (const ModelRow* r : picked) order.push_back(r->model);
+  return order;
+}
+
+std::vector<ModelRow> RunModels(const Config& config, uint64_t mem_limit,
+                                bool* skipped, std::string* skip_reason) {
+  std::vector<ModelRow> rows;
+
+  bench::GeneratorConfig gen;
+  gen.n_objects = config.model_objects > 0 ? config.model_objects
+                  : config.tiny            ? 300
+                                           : 1500;
+  gen.seed = 4242;
+  if (config.budget_multiple > 0) {
+    // Probe a small generation for the drawn object footprint, then size
+    // the database at the requested multiple of the memory budget.
+    bench::GeneratorConfig probe = gen;
+    probe.n_objects = 64;
+    auto probe_or = bench::BenchmarkDatabase::Generate(probe);
+    if (!probe_or.ok()) Fatal("probe generate", probe_or.status());
+    const double per_object =
+        std::max(1.0, probe_or.value().stats().avg_object_bytes);
+    gen.n_objects = static_cast<uint64_t>(
+        config.budget_multiple * static_cast<double>(mem_limit) / per_object);
+    std::printf("models: %.1fx memory budget -> %" PRIu64
+                " objects (~%.0f B each)\n",
+                config.budget_multiple, gen.n_objects, per_object);
+  }
+  auto db_or = bench::BenchmarkDatabase::Generate(gen);
+  if (!db_or.ok()) Fatal("generate model db", db_or.status());
+  const bench::BenchmarkDatabase db = std::move(db_or).value();
+
+  // Pool far below the data in every configuration (frames ~ objects/4
+  // pages), so the direct rows miss for real; the suite shrinks in tiny
+  // mode to keep the CI smoke quick on a cold device.
+  const uint32_t frames = static_cast<uint32_t>(
+      std::max<uint64_t>(64, gen.n_objects / 4));
+  bench::QueryConfig query;
+  if (config.tiny) {
+    query.q1a_samples = 20;
+    query.q2a_samples = 5;
+    query.loops = 30;
+  }
+
+  for (const StorageModelKind kind : AllStorageModelKinds()) {
+    // In-memory expectation first: the counters the paper's tables rank.
+    auto mem_or = RunOneModel(kind, VolumeKind::kMem, db, "", frames, query);
+    if (!mem_or.ok()) Fatal("model (mem)", mem_or.status());
+    rows.push_back(std::move(mem_or).value());
+
+    const std::string dir =
+        config.dir + "_model_" + rows.back().model;
+    std::filesystem::remove_all(dir);
+    auto direct_or =
+        RunOneModel(kind, VolumeKind::kDirect, db, dir, frames, query);
+    if (!direct_or.ok()) {
+      if (direct_or.status().IsNotSupported()) {
+        *skipped = true;
+        *skip_reason = direct_or.status().ToString();
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+        return rows;
+      }
+      Fatal("model (direct)", direct_or.status());
+    }
+    rows.push_back(std::move(direct_or).value());
+    if (!config.keep) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+  }
+  return rows;
+}
+
 void PrintResults(const std::vector<MixResult>& results) {
   std::printf("%-22s %-7s %10s %10s %8s %8s %12s %12s %8s\n", "MIX",
               "BACKEND", "calls", "pages", "hits", "misses", "measured ms",
@@ -406,6 +740,60 @@ int Run(const Config& config) {
   std::printf("\n");
   PrintResults(results);
 
+  // --threads: the rework's scaling proof (direct backend only).
+  std::vector<ScalingRow> scaling;
+  bool scaling_skipped = false;
+  std::string scaling_skip_reason;
+  if (config.threads > 0) {
+    std::printf("\nper-thread scaling (direct backend, %u-deep "
+                "PrefetchStream per submitter)\n",
+                4u);
+    scaling = RunThreadScaling(config, n_pages, frames, &scaling_skipped,
+                               &scaling_skip_reason);
+    if (scaling_skipped) {
+      std::printf("scaling section skipped: %s\n",
+                  scaling_skip_reason.c_str());
+      direct_skipped = true;
+      if (direct_skip_reason.empty()) direct_skip_reason = scaling_skip_reason;
+    } else {
+      std::printf("%-14s %8s %12s %14s %10s %6s\n", "RING MODE", "threads",
+                  "measured ms", "pages/sec", "pages", "async");
+      for (const ScalingRow& row : scaling) {
+        std::printf("%-14s %8u %12.2f %14.0f %10" PRIu64 " %6s\n",
+                    row.ring_mode.c_str(), row.threads, row.measured_ms,
+                    row.pages_per_sec, row.pages_read,
+                    row.async_active ? "yes" : "no");
+      }
+    }
+  }
+
+  // --models: the five storage models, in-memory expectation vs the real
+  // out-of-core run.
+  std::vector<ModelRow> model_rows;
+  bool models_skipped = false;
+  std::string models_skip_reason;
+  if (config.models) {
+    std::printf("\nfive-model section (query suite, mem expectation vs "
+                "direct out-of-core)\n");
+    model_rows =
+        RunModels(config, mem_limit, &models_skipped, &models_skip_reason);
+    if (models_skipped) {
+      std::printf("model section skipped: %s\n", models_skip_reason.c_str());
+      direct_skipped = true;
+      if (direct_skip_reason.empty()) direct_skip_reason = models_skip_reason;
+    } else {
+      std::printf("%-12s %-7s %9s %10s %12s %11s %11s %11s\n", "MODEL",
+                  "BACKEND", "load ms", "suite ms", "modelled ms",
+                  "q1b pages", "q1b calls", "q1b fixes");
+      for (const ModelRow& row : model_rows) {
+        std::printf("%-12s %-7s %9.0f %10.1f %12.1f %11.2f %11.2f %11.2f\n",
+                    row.model.c_str(), row.backend.c_str(), row.load_ms,
+                    row.suite_ms, row.modelled_ms, row.q1b_pages,
+                    row.q1b_calls, row.q1b_fixes);
+      }
+    }
+  }
+
   // Ranking: does the Eq.-1 ordering of the object-fetch shapes survive
   // measurement? (The paper's d1 >> d2 says call-heavy fetching loses.)
   std::string json;
@@ -451,6 +839,60 @@ int Run(const Config& config) {
     AppendJsonList(&json, Ranking(rows, &MixResult::measured_ms));
   }
   json += "},\n";
+  if (!scaling.empty()) {
+    json += "  \"thread_scaling\": [\n";
+    for (size_t i = 0; i < scaling.size(); ++i) {
+      const ScalingRow& row = scaling[i];
+      char buf[384];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"ring_mode\": \"%s\", \"threads\": %u, "
+                    "\"measured_ms\": %.3f, \"pages_per_sec\": %.0f, "
+                    "\"read_calls\": %" PRIu64 ", \"pages_read\": %" PRIu64
+                    ", \"async_prefetch\": %s}%s\n",
+                    row.ring_mode.c_str(), row.threads, row.measured_ms,
+                    row.pages_per_sec, row.read_calls, row.pages_read,
+                    row.async_active ? "true" : "false",
+                    i + 1 < scaling.size() ? "," : "");
+      json += buf;
+    }
+    json += "  ],\n";
+  }
+  if (!model_rows.empty() && !models_skipped) {
+    json += "  \"models\": [\n";
+    for (size_t i = 0; i < model_rows.size(); ++i) {
+      const ModelRow& row = model_rows[i];
+      char buf[512];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"model\": \"%s\", \"backend\": \"%s\", "
+                    "\"load_ms\": %.1f, \"suite_ms\": %.2f, "
+                    "\"modelled_ms\": %.2f, \"suite_calls\": %" PRIu64
+                    ", \"suite_pages\": %" PRIu64
+                    ", \"q1b_pages\": %.3f, \"q1b_calls\": %.3f, "
+                    "\"q1b_fixes\": %.3f}%s\n",
+                    row.model.c_str(), row.backend.c_str(), row.load_ms,
+                    row.suite_ms, row.modelled_ms, row.suite_calls,
+                    row.suite_pages, row.q1b_pages, row.q1b_calls,
+                    row.q1b_fixes, i + 1 < model_rows.size() ? "," : "");
+      json += buf;
+    }
+    json += "  ],\n  \"model_ranking\": {";
+    bool first = true;
+    for (const char* backend : {"mem", "direct"}) {
+      struct Metric {
+        const char* name;
+        double ModelRow::*field;
+      } metrics[] = {{"pages", &ModelRow::q1b_pages},
+                     {"calls", &ModelRow::q1b_calls},
+                     {"fixes", &ModelRow::q1b_fixes}};
+      for (const Metric& metric : metrics) {
+        if (!first) json += ", ";
+        first = false;
+        json += std::string("\"") + backend + "_by_" + metric.name + "\": ";
+        AppendJsonList(&json, ModelRanking(model_rows, backend, metric.field));
+      }
+    }
+    json += "},\n";
+  }
   json += std::string("  \"direct_skipped\": ") +
           (direct_skipped ? "true" : "false") + "\n}\n";
 
@@ -476,7 +918,104 @@ int Run(const Config& config) {
     std::printf(" ]%s\n", modelled == measured ? "  (model ranking holds)"
                                                : "  (RANKING SHIFTED)");
   }
-  return 0;
+
+  int failures = 0;
+
+  // --gate-ranking: the direct backend's measured ordering must agree with
+  // the Eq.-1 modelled ordering (the paper's claim), and the out-of-core
+  // model rankings must reproduce the in-memory expectation. A filesystem
+  // without O_DIRECT gates nothing — there is nothing honest to gate.
+  if (config.gate_ranking) {
+    std::vector<MixResult> direct_rows;
+    for (const MixResult& r : results) {
+      if (r.backend == "direct") direct_rows.push_back(r);
+    }
+    if (direct_rows.empty()) {
+      std::printf("\nranking gate: no direct rows (skipped) — not gated\n");
+    } else {
+      const auto modelled = Ranking(direct_rows, &MixResult::modelled_ms);
+      const auto measured = Ranking(direct_rows, &MixResult::measured_ms);
+      if (modelled != measured) {
+        std::fprintf(stderr,
+                     "ranking gate: direct fetch-shape ranking diverged "
+                     "from the Eq.-1 model\n");
+        ++failures;
+      } else {
+        std::printf("\nranking gate: direct fetch-shape ranking matches "
+                    "the model\n");
+      }
+    }
+    if (!model_rows.empty() && !models_skipped) {
+      struct Metric {
+        const char* name;
+        double ModelRow::*field;
+      } metrics[] = {{"pages (Table 4)", &ModelRow::q1b_pages},
+                     {"calls (Table 5)", &ModelRow::q1b_calls},
+                     {"fixes (Table 6)", &ModelRow::q1b_fixes}};
+      for (const Metric& metric : metrics) {
+        const auto expected = ModelRanking(model_rows, "mem", metric.field);
+        const auto got = ModelRanking(model_rows, "direct", metric.field);
+        if (expected != got) {
+          std::fprintf(stderr,
+                       "ranking gate: out-of-core model ranking by %s "
+                       "diverged from the in-memory expectation\n",
+                       metric.name);
+          ++failures;
+        } else {
+          std::printf("ranking gate: model ranking by %s reproduces "
+                      "out-of-core\n",
+                      metric.name);
+        }
+      }
+    }
+  }
+
+  // --compare: measured_ms per (mix, backend) row against a committed
+  // reference — engaged by CI only on runners marked stable.
+  if (!config.compare.empty()) {
+    std::ifstream ref(config.compare);
+    if (!ref) {
+      std::fprintf(stderr, "bench_outofcore: cannot read %s\n",
+                   config.compare.c_str());
+      return 1;
+    }
+    std::string line;
+    std::vector<std::pair<std::string, double>> reference;  // mix@backend
+    while (std::getline(ref, line)) {
+      const size_t mix_key = line.find("\"mix\": \"");
+      const size_t backend_key = line.find("\"backend\": \"");
+      const size_t ms_key = line.find("\"measured_ms\": ");
+      if (mix_key == std::string::npos || backend_key == std::string::npos ||
+          ms_key == std::string::npos) {
+        continue;
+      }
+      const size_t mix_begin = mix_key + std::strlen("\"mix\": \"");
+      const size_t backend_begin =
+          backend_key + std::strlen("\"backend\": \"");
+      reference.emplace_back(
+          line.substr(mix_begin, line.find('"', mix_begin) - mix_begin) +
+              "@" +
+              line.substr(backend_begin,
+                          line.find('"', backend_begin) - backend_begin),
+          std::atof(line.c_str() + ms_key + std::strlen("\"measured_ms\": ")));
+    }
+    std::printf("\nmeasured-ms gate vs %s (bound +%.0f%%)\n",
+                config.compare.c_str(), config.max_regress_pct);
+    for (const MixResult& r : results) {
+      const std::string key = r.mix + "@" + r.backend;
+      for (const auto& [ref_key, ref_ms] : reference) {
+        if (ref_key != key || ref_ms <= 0) continue;
+        const double delta_pct = (r.measured_ms - ref_ms) / ref_ms * 100.0;
+        const bool fail = delta_pct > config.max_regress_pct;
+        std::printf("%-32s %10.2f ms %+8.1f%%%s\n", key.c_str(),
+                    r.measured_ms, delta_pct, fail ? "  <-- REGRESSION" : "");
+        if (fail) ++failures;
+        break;
+      }
+    }
+  }
+
+  return failures > 0 ? 1 : 0;
 }
 
 }  // namespace
@@ -507,8 +1046,24 @@ int main(int argc, char** argv) {
       config.dir = next();
     } else if (arg == "--tiny") {
       config.data_mb = 16;
+      config.tiny = true;
     } else if (arg == "--keep") {
       config.keep = true;
+    } else if (arg == "--threads") {
+      config.threads = static_cast<uint32_t>(
+          std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--models") {
+      config.models = true;
+    } else if (arg == "--model-objects") {
+      config.model_objects = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--budget-multiple") {
+      config.budget_multiple = std::strtod(next(), nullptr);
+    } else if (arg == "--gate-ranking") {
+      config.gate_ranking = true;
+    } else if (arg == "--compare") {
+      config.compare = next();
+    } else if (arg == "--max-regress") {
+      config.max_regress_pct = std::strtod(next(), nullptr);
     } else {
       std::fprintf(stderr, "bench_outofcore: unknown argument %s\n",
                    arg.c_str());

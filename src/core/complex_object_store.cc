@@ -539,6 +539,15 @@ Result<Tuple> ComplexObjectStore::CachedGet(ObjectRef ref,
     if (projection.IsAll()) return entry->object;
     return ProjectAssembled(*schema_, entry->object, projection);
   }
+  // A repeated probe for an object already known absent is answered from
+  // the negative side table — no model read, no page fix. The verdict is
+  // epoch-guarded inside the cache, so any write since it was recorded
+  // voids it and the probe falls through again.
+  if (objcache_->LookupNegative(ref)) {
+    // Same message the models produce, so a cache-served NotFound is
+    // indistinguishable (code and text) from one that read the pages.
+    return Status::NotFound("no object with ref " + std::to_string(ref));
+  }
   // Miss: read-through. Assemble the FULL object (so one miss serves every
   // later projection) under a read-page capture, then publish it guarded
   // by the epoch sampled above — if any invalidation ran in between, the
@@ -548,7 +557,12 @@ Result<Tuple> ComplexObjectStore::CachedGet(ObjectRef ref,
     BufferManager::ThreadReadCaptureScope capture(&pages);
     return model_->GetByRef(ref, Projection::All(*schema_));
   }();
-  if (!full_or.ok()) return full_or.status();
+  if (!full_or.ok()) {
+    // A NotFound verdict from the model is worth remembering: record it
+    // under the same epoch guard an assembly publishes under.
+    if (full_or.status().IsNotFound()) objcache_->InsertNegative(ref, epoch);
+    return full_or.status();
+  }
   Tuple full = std::move(full_or).value();
   Tuple out = projection.IsAll()
                   ? full

@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
 #include <unistd.h>
 #endif
 
@@ -25,6 +26,7 @@
 #include <filesystem>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "util/aligned_buffer.h"
 #include "util/file_io.h"
@@ -42,6 +44,10 @@ constexpr size_t kBounceAlign = 4096;
 /// Journals longer than this are compacted at reopen (same policy as the
 /// mmap backend).
 constexpr uint32_t kCompactRecordThreshold = 64;
+
+/// Each DirectVolume gets a process-unique serial so a thread-local ring
+/// slot left over from a destroyed volume can never match a live one.
+std::atomic<uint64_t> g_volume_serial{1};
 
 #if STARFISH_HAVE_ODIRECT
 
@@ -105,11 +111,19 @@ int SysIoUringEnter(int fd, unsigned to_submit, unsigned min_complete,
                                     min_complete, flags, nullptr, 0));
 }
 
+int SysIoUringRegister(int fd, unsigned opcode, const void* arg,
+                       unsigned nr_args) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_register, fd, opcode, arg, nr_args));
+}
+
 /// True when the kernel supports the (non-vectored) IORING_OP_READ/WRITE
 /// this wrapper submits. Ring *creation* succeeds from 5.1, but these
 /// opcodes only exist since 5.6 — the probe (itself 5.6+) distinguishes
 /// "ring works" from "our opcodes work", so a 5.1-5.5 kernel falls back to
-/// pread/pwrite instead of completing every I/O with EINVAL.
+/// pread/pwrite instead of completing every I/O with EINVAL. (The _FIXED
+/// variants predate the plain ones — 5.1 — so no separate probe is needed
+/// for the registered-buffer path.)
 bool RingSupportsReadWrite(int ring_fd) {
   constexpr unsigned kProbeOps = 64;  // covers IORING_OP_WRITE everywhere
   std::vector<char> buf(
@@ -117,8 +131,8 @@ bool RingSupportsReadWrite(int ring_fd) {
           kProbeOps * sizeof(struct io_uring_probe_op),
       0);
   auto* probe = reinterpret_cast<struct io_uring_probe*>(buf.data());
-  if (::syscall(__NR_io_uring_register, ring_fd, IORING_REGISTER_PROBE,
-                probe, kProbeOps) != 0) {
+  if (SysIoUringRegister(ring_fd, IORING_REGISTER_PROBE, probe,
+                         kProbeOps) != 0) {
     return false;
   }
   return probe->ops_len > IORING_OP_WRITE &&
@@ -130,16 +144,49 @@ bool RingSupportsReadWrite(int ring_fd) {
 
 }  // namespace
 
+/// All rings this volume ever handed out, plus the registered-I/O-memory
+/// regions they snapshot. Teardown is centralized here: DirectVolume's
+/// destructor calls Close(), which shuts every ring down (closing its fd
+/// and unmapping its queues) regardless of whether the owning threads are
+/// still alive — a surviving thread's thread-local slot keeps the IoRing
+/// *object* alive via shared_ptr, sees `down`, and falls back, so nothing
+/// ever touches freed ring memory. Conversely, when a thread exits while
+/// the volume lives, its slot releases the last outside reference and the
+/// registry reaps the ring (use_count()==1 under mu) on the next ring
+/// creation, so per-thread ring fds never accumulate past the number of
+/// live submitting threads.
+struct DirectVolume::RingRegistry {
+  struct Region {
+    uintptr_t base;
+    size_t len;
+  };
+
+  std::mutex mu;
+  bool closed = false;                          ///< guarded by mu
+  std::vector<std::shared_ptr<IoRing>> rings;   ///< guarded by mu
+  std::vector<Region> regions;                  ///< guarded by mu
+  /// Bumped on every regions change; rings compare their snapshot version
+  /// against it without taking mu (monotonic, release/acquire).
+  std::atomic<uint64_t> regions_version{1};
+
+  void Close();
+};
+
 /// Minimal raw-syscall io_uring wrapper (no liburing dependency): one
-/// submission/completion ring pair, used under a mutex. Submit() pushes a
-/// batch of read or write SQEs, waits for all completions, and finishes any
-/// short transfer synchronously. Created at Open; a null ring means the
-/// kernel refused (ENOSYS, seccomp EPERM, sysctl-disabled) and the volume
-/// runs on the pread/pwrite fallback instead.
+/// submission/completion ring pair with ticketed completions. A ring is
+/// owned by exactly one submitting thread (RingMode::kPerThread — no lock
+/// anywhere) or shared behind `mu` (kShared/kSqpoll). SubmitTicket pushes
+/// a batch of read or write SQEs and returns a ticket; WaitTicket blocks
+/// until that ticket's completions have all landed, finishing any short
+/// transfer synchronously — the synchronous Execute path is simply
+/// submit-then-wait, and the async prefetch path holds several tickets in
+/// flight. Null from Create means the kernel refused (ENOSYS, seccomp
+/// EPERM, sysctl-disabled) and the volume runs on pread/pwrite instead.
 struct DirectVolume::IoRing {
 #if STARFISH_HAVE_IO_URING
   int ring_fd = -1;
   unsigned sq_entries = 0;
+  unsigned cq_entries = 0;
   void* sq_map = nullptr;
   size_t sq_map_len = 0;
   void* cq_map = nullptr;   ///< null when IORING_FEAT_SINGLE_MMAP
@@ -147,30 +194,101 @@ struct DirectVolume::IoRing {
   void* sqe_map = nullptr;
   size_t sqe_map_len = 0;
   struct io_uring_sqe* sqes = nullptr;
+  unsigned* sq_head = nullptr;
   unsigned* sq_tail = nullptr;
   unsigned* sq_mask = nullptr;
   unsigned* sq_array = nullptr;
+  unsigned* sq_flags = nullptr;
   unsigned* cq_head = nullptr;
   unsigned* cq_tail = nullptr;
   unsigned* cq_mask = nullptr;
   struct io_uring_cqe* cqes = nullptr;
+  bool sqpoll = false;
+
+  /// True after an error left submissions in an indeterminate state (SQEs
+  /// queued but never handed to the kernel, or completions that could not
+  /// be drained). A broken ring is never touched again — callers fall back
+  /// to the pread/pwrite path. Atomic so AcquireRing can check it cheaply
+  /// without any lock.
+  std::atomic<bool> broken{false};
+
+  /// Set by Shutdown(): the fd is closed and the queue mappings are gone.
+  /// Stale thread-local slots check this and fall back (the IoRing object
+  /// itself stays alive through their shared_ptr).
+  std::atomic<bool> down{false};
+
+  /// Release-published by the owning thread's Slot destructor at thread
+  /// exit. The reaper's acquire load of it is the happens-before edge that
+  /// orders every plain-field use the owner made (SubmitTicket reads
+  /// ring_fd etc. without locks) before the registry's Shutdown() — a bare
+  /// use_count()==1 observation carries no such edge.
+  std::atomic<bool> owner_detached{false};
+
+  /// Shared modes only; per-thread rings are single-owner and lock-free.
   std::mutex mu;
 
-  ~IoRing() {
-    if (sqe_map != nullptr) ::munmap(sqe_map, sqe_map_len);
-    if (cq_map != nullptr) ::munmap(cq_map, cq_map_len);
-    if (sq_map != nullptr) ::munmap(sq_map, sq_map_len);
-    if (ring_fd >= 0) ::close(ring_fd);
+  // Registration state. Owner-thread-only (or under mu in shared modes).
+  bool want_buffers = false;
+  bool want_files = false;
+  bool bufs_registered = false;
+  uint64_t bufs_version = 0;  ///< registry regions_version last synced
+  std::vector<RingRegistry::Region> buf_regions;  ///< index == buf_index
+  bool files_registered = false;
+  uint32_t files_count = 0;  ///< registered fd table size (== extent count)
+
+  /// One submitted batch awaiting completion.
+  struct Pending {
+    std::vector<IoOp> owned;    ///< async tickets own their ops
+    const IoOp* ops = nullptr;  ///< sync tickets alias the caller's vector
+    size_t count = 0;
+    unsigned remaining = 0;
+    bool write = false;
+    Status error;
+  };
+  std::unordered_map<uint32_t, Pending> pending;
+  uint32_t next_ticket = 1;  ///< 0 is the "already completed" sentinel
+  unsigned in_flight = 0;    ///< SQEs accepted by the kernel, CQE unreaped
+
+  ~IoRing() { Shutdown(); }
+
+  /// Closes the ring fd and unmaps the queues. Idempotent. Only called
+  /// with no in-flight I/O and no concurrent submitter (registry Close
+  /// under its mu, or the destructor).
+  void Shutdown() {
+    if (down.exchange(true)) return;
+    if (sqe_map != nullptr) {
+      ::munmap(sqe_map, sqe_map_len);
+      sqe_map = nullptr;
+    }
+    if (cq_map != nullptr) {
+      ::munmap(cq_map, cq_map_len);
+      cq_map = nullptr;
+    }
+    if (sq_map != nullptr) {
+      ::munmap(sq_map, sq_map_len);
+      sq_map = nullptr;
+    }
+    if (ring_fd >= 0) {
+      ::close(ring_fd);
+      ring_fd = -1;
+    }
   }
 
-  static std::unique_ptr<IoRing> Create(uint32_t depth) {
+  static std::shared_ptr<IoRing> Create(uint32_t depth, bool want_sqpoll,
+                                        uint32_t sqpoll_idle_ms) {
     struct io_uring_params params;
     std::memset(&params, 0, sizeof(params));
+    if (want_sqpoll) {
+      params.flags |= IORING_SETUP_SQPOLL;
+      params.sq_thread_idle = sqpoll_idle_ms;
+    }
     const int fd = SysIoUringSetup(depth, &params);
     if (fd < 0) return nullptr;
-    auto ring = std::make_unique<IoRing>();
+    auto ring = std::make_shared<IoRing>();
     ring->ring_fd = fd;
     ring->sq_entries = params.sq_entries;
+    ring->cq_entries = params.cq_entries;
+    ring->sqpoll = want_sqpoll;
     size_t sq_len = params.sq_off.array + params.sq_entries * sizeof(unsigned);
     size_t cq_len = params.cq_off.cqes +
                     params.cq_entries * sizeof(struct io_uring_cqe);
@@ -203,10 +321,13 @@ struct DirectVolume::IoRing {
     }
     char* sq_base = static_cast<char*>(ring->sq_map);
     ring->sqes = reinterpret_cast<struct io_uring_sqe*>(ring->sqe_map);
+    ring->sq_head = reinterpret_cast<unsigned*>(sq_base + params.sq_off.head);
     ring->sq_tail = reinterpret_cast<unsigned*>(sq_base + params.sq_off.tail);
     ring->sq_mask =
         reinterpret_cast<unsigned*>(sq_base + params.sq_off.ring_mask);
     ring->sq_array = reinterpret_cast<unsigned*>(sq_base + params.sq_off.array);
+    ring->sq_flags =
+        reinterpret_cast<unsigned*>(sq_base + params.sq_off.flags);
     ring->cq_head = reinterpret_cast<unsigned*>(cq_base + params.cq_off.head);
     ring->cq_tail = reinterpret_cast<unsigned*>(cq_base + params.cq_off.tail);
     ring->cq_mask =
@@ -217,85 +338,145 @@ struct DirectVolume::IoRing {
     return ring;
   }
 
-  /// True after an error left submissions in an indeterminate state (SQEs
-  /// queued but never handed to the kernel, or completions that could not
-  /// be drained). A broken ring is never touched again — callers fall back
-  /// to the pread/pwrite path. Atomic so Execute() can check it cheaply
-  /// without the ring mutex.
-  std::atomic<bool> broken{false};
-
-  Status Submit(const std::vector<IoOp>& ops, bool write) {
-    std::lock_guard<std::mutex> lock(mu);
-    if (broken.load(std::memory_order_relaxed)) {
-      return Status::Internal("io_uring in indeterminate state");
-    }
-    size_t done = 0;
-    while (done < ops.size()) {
-      const unsigned batch = static_cast<unsigned>(
-          std::min<size_t>(ops.size() - done, sq_entries));
-      // We are the only submitter (the mutex), so the SQ tail is ours.
-      const unsigned tail = *sq_tail;
-      for (unsigned i = 0; i < batch; ++i) {
-        const IoOp& op = ops[done + i];
-        const unsigned idx = (tail + i) & *sq_mask;
-        struct io_uring_sqe* sqe = &sqes[idx];
-        std::memset(sqe, 0, sizeof(*sqe));
-        sqe->opcode = write ? IORING_OP_WRITE : IORING_OP_READ;
-        sqe->fd = op.fd;
-        sqe->addr = reinterpret_cast<uint64_t>(op.buf);
-        sqe->len = op.len;
-        sqe->off = op.off;
-        sqe->user_data = done + i;
-        sq_array[idx] = idx;
-      }
-      __atomic_store_n(sq_tail, tail + batch, __ATOMIC_RELEASE);
-      unsigned submitted = 0;
-      Status submit_error;
-      while (submitted < batch) {
-        const int ret =
-            SysIoUringEnter(ring_fd, batch - submitted, 0, 0);
-        if (ret < 0) {
-          if (errno == EINTR) continue;
-          submit_error = Status::IOError(std::string("io_uring_enter: ") +
-                                         std::strerror(errno));
-          break;
+  /// Re-syncs fixed-buffer / registered-file state with the volume when it
+  /// drifted (extents grew, RegisterIoMemory was called). Only safe — and
+  /// only attempted — while nothing is in flight on this ring; a kernel
+  /// refusal permanently downgrades that feature on this ring (plain SQEs
+  /// keep working).
+  void MaybeSyncRegistrations(DirectVolume* vol) {
+    if (!pending.empty() || in_flight != 0) return;
+    if (want_files) {
+      const uint32_t ext =
+          vol->published_extents_.load(std::memory_order_acquire);
+      if (ext != files_count) {
+        if (files_registered) {
+          (void)SysIoUringRegister(ring_fd, IORING_UNREGISTER_FILES, nullptr,
+                                   0);
+          files_registered = false;
+          files_count = 0;
         }
-        submitted += static_cast<unsigned>(ret);
+        if (ext > 0) {
+          std::vector<int> fds(ext);
+          for (uint32_t i = 0; i < ext; ++i) {
+            fds[i] = vol->fds_[i].load(std::memory_order_relaxed);
+          }
+          if (SysIoUringRegister(ring_fd, IORING_REGISTER_FILES, fds.data(),
+                                 ext) == 0) {
+            files_registered = true;
+            files_count = ext;
+          } else {
+            want_files = false;
+          }
+        }
       }
-      // Drain everything the kernel accepted BEFORE returning any error:
-      // in-flight ops write into caller buffers (thread_local bounce /
-      // staging) that would otherwise be reused while the kernel still
-      // scribbles on them, and their stray CQEs would be misattributed to
-      // the next batch's ops via user_data.
-      const Status reap_error = ReapLocked(ops, write, submitted);
-      if (!submit_error.ok()) {
-        // SQEs past `submitted` are still queued in the SQ ring and would
-        // be handed to the kernel (with dangling buffers) by the next
-        // enter — the ring cannot be safely reused.
-        broken.store(true, std::memory_order_relaxed);
-        return submit_error;
-      }
-      STARFISH_RETURN_NOT_OK(reap_error);
-      done += batch;
     }
-    return Status::OK();
+    if (want_buffers) {
+      RingRegistry* reg = vol->registry_.get();
+      if (reg->regions_version.load(std::memory_order_acquire) !=
+          bufs_version) {
+        if (bufs_registered) {
+          (void)SysIoUringRegister(ring_fd, IORING_UNREGISTER_BUFFERS, nullptr,
+                                   0);
+          bufs_registered = false;
+        }
+        buf_regions.clear();
+        {
+          std::lock_guard<std::mutex> lock(reg->mu);
+          buf_regions = reg->regions;
+          bufs_version = reg->regions_version.load(std::memory_order_relaxed);
+        }
+        if (!buf_regions.empty()) {
+          std::vector<struct iovec> iov(buf_regions.size());
+          for (size_t i = 0; i < buf_regions.size(); ++i) {
+            iov[i].iov_base = reinterpret_cast<void*>(buf_regions[i].base);
+            iov[i].iov_len = buf_regions[i].len;
+          }
+          if (SysIoUringRegister(ring_fd, IORING_REGISTER_BUFFERS, iov.data(),
+                                 static_cast<unsigned>(iov.size())) == 0) {
+            bufs_registered = true;
+          } else {
+            // Typical cause: RLIMIT_MEMLOCK too small to pin the arena.
+            // This ring keeps using plain (unpinned) SQEs.
+            want_buffers = false;
+            buf_regions.clear();
+          }
+        }
+      }
+    }
   }
 
-  /// Reaps exactly `expect` completions (order arbitrary, user_data maps
-  /// each CQE back to its op), finishing short transfers synchronously.
-  /// Returns the first per-op I/O error; marks the ring broken when the
-  /// kernel will not hand the completions back.
-  Status ReapLocked(const std::vector<IoOp>& ops, bool write,
-                    unsigned expect) {
-    Status first_error;
-    unsigned reaped = 0;
+  void FillSqe(struct io_uring_sqe* sqe, const IoOp& op, bool write,
+               uint64_t user_data) const {
+    std::memset(sqe, 0, sizeof(*sqe));
+    int buf_index = -1;
+    if (bufs_registered) {
+      const uintptr_t addr = reinterpret_cast<uintptr_t>(op.buf);
+      for (size_t r = 0; r < buf_regions.size(); ++r) {
+        if (addr >= buf_regions[r].base &&
+            addr + op.len <= buf_regions[r].base + buf_regions[r].len) {
+          buf_index = static_cast<int>(r);
+          break;
+        }
+      }
+    }
+    if (buf_index >= 0) {
+      sqe->opcode = write ? IORING_OP_WRITE_FIXED : IORING_OP_READ_FIXED;
+      sqe->buf_index = static_cast<uint16_t>(buf_index);
+    } else {
+      sqe->opcode = write ? IORING_OP_WRITE : IORING_OP_READ;
+    }
+    if (files_registered && op.extent < files_count) {
+      sqe->fd = static_cast<int>(op.extent);
+      sqe->flags |= IOSQE_FIXED_FILE;
+    } else {
+      sqe->fd = op.fd;
+    }
+    sqe->addr = reinterpret_cast<uint64_t>(op.buf);
+    sqe->len = op.len;
+    sqe->off = op.off;
+    sqe->user_data = user_data;
+  }
+
+  /// SQ slots a SQPOLL kernel thread has not consumed yet.
+  unsigned SqRoom() const {
+    const unsigned head = __atomic_load_n(sq_head, __ATOMIC_ACQUIRE);
+    return sq_entries - (*sq_tail - head);
+  }
+
+  /// Attributes one CQE back to its pending ticket, finishing short
+  /// transfers synchronously.
+  void HandleCqe(const struct io_uring_cqe& cqe) {
+    if (in_flight > 0) --in_flight;
+    const uint32_t ticket = static_cast<uint32_t>(cqe.user_data >> 32);
+    const size_t idx = static_cast<uint32_t>(cqe.user_data);
+    auto it = pending.find(ticket);
+    if (it == pending.end() || idx >= it->second.count) return;
+    Pending& p = it->second;
+    const IoOp& op = p.ops[idx];
+    if (cqe.res < 0) {
+      if (p.error.ok()) {
+        p.error = Status::IOError(
+            std::string(p.write ? "io_uring write: " : "io_uring read: ") +
+            std::strerror(-cqe.res));
+      }
+    } else if (static_cast<uint32_t>(cqe.res) < op.len) {
+      const Status st = ExecuteSync(op, p.write, static_cast<uint32_t>(cqe.res));
+      if (p.error.ok() && !st.ok()) p.error = st;
+    }
+    if (p.remaining > 0) --p.remaining;
+  }
+
+  /// Consumes available CQEs; with `blocking` set and nothing available,
+  /// waits for at least one (in_flight permitting). Marks the ring broken
+  /// when the kernel will not hand completions back.
+  Status Reap(bool blocking) {
     int wait_failures = 0;
-    while (reaped < expect) {
+    for (;;) {
       unsigned head = *cq_head;
       const unsigned ctail = __atomic_load_n(cq_tail, __ATOMIC_ACQUIRE);
       if (head == ctail) {
-        const int ret =
-            SysIoUringEnter(ring_fd, 0, 1, IORING_ENTER_GETEVENTS);
+        if (!blocking || in_flight == 0) return Status::OK();
+        const int ret = SysIoUringEnter(ring_fd, 0, 1, IORING_ENTER_GETEVENTS);
         if (ret < 0 && errno != EINTR && ++wait_failures > 64) {
           // The kernel will not complete what it accepted; the ring (and
           // the in-flight buffers) are lost to us.
@@ -306,42 +487,191 @@ struct DirectVolume::IoRing {
         }
         continue;
       }
-      wait_failures = 0;
-      while (head != ctail && reaped < expect) {
-        const struct io_uring_cqe& cqe = cqes[head & *cq_mask];
-        const IoOp& op = ops[static_cast<size_t>(cqe.user_data)];
-        if (cqe.res < 0) {
-          if (first_error.ok()) {
-            first_error = Status::IOError(
-                std::string(write ? "io_uring write: " : "io_uring read: ") +
-                std::strerror(-cqe.res));
-          }
-        } else if (static_cast<uint32_t>(cqe.res) < op.len) {
-          // Short transfer: finish the remainder synchronously.
-          const Status st =
-              ExecuteSync(op, write, static_cast<uint32_t>(cqe.res));
-          if (first_error.ok() && !st.ok()) first_error = st;
-        }
+      while (head != ctail) {
+        HandleCqe(cqes[head & *cq_mask]);
         ++head;
-        ++reaped;
       }
       __atomic_store_n(cq_head, head, __ATOMIC_RELEASE);
+      return Status::OK();
     }
-    return first_error;
+  }
+
+  /// Blocks until everything in flight completed (best effort; gives up on
+  /// a broken ring). Used before failing a ticket so the kernel cannot
+  /// keep scribbling into buffers the caller is about to reuse.
+  void DrainAllBestEffort() {
+    while (in_flight > 0) {
+      const unsigned before = in_flight;
+      if (!Reap(/*blocking=*/true).ok()) return;
+      if (in_flight == before) return;
+    }
+  }
+
+  /// Pushes `count` ops as SQEs (in SQ-sized chunks, with CQ headroom
+  /// respected) and returns a ticket for WaitTicket. Async callers move
+  /// their ops in via `owned`; the synchronous path passes an alias
+  /// pointer and waits before touching its vector again.
+  Result<uint64_t> SubmitTicket(const IoOp* ops, size_t count, bool write,
+                                std::vector<IoOp> owned) {
+    if (down.load(std::memory_order_relaxed) ||
+        broken.load(std::memory_order_relaxed)) {
+      return Status::Internal("io_uring in indeterminate state");
+    }
+    while (pending.count(next_ticket) != 0 || next_ticket == 0) ++next_ticket;
+    const uint32_t ticket = next_ticket++;
+    Pending& p = pending[ticket];
+    p.owned = std::move(owned);
+    p.ops = p.owned.empty() ? ops : p.owned.data();
+    p.count = count;
+    p.remaining = static_cast<unsigned>(count);
+    p.write = write;
+
+    size_t done = 0;
+    while (done < count) {
+      // Never let accepted-but-unreaped ops exceed the CQ: an overflowed
+      // CQ drops completions on old kernels.
+      const unsigned cq_room = cq_entries > in_flight
+                                   ? cq_entries - in_flight
+                                   : 0;
+      unsigned batch = static_cast<unsigned>(
+          std::min<size_t>({count - done, sq_entries, cq_room}));
+      if (sqpoll && batch > 0) batch = std::min(batch, SqRoom());
+      if (batch == 0) {
+        const Status st = Reap(/*blocking=*/true);
+        if (!st.ok()) {
+          DrainAllBestEffort();
+          pending.erase(ticket);
+          return st;
+        }
+        continue;
+      }
+      const unsigned tail = *sq_tail;
+      for (unsigned i = 0; i < batch; ++i) {
+        const unsigned idx = (tail + i) & *sq_mask;
+        FillSqe(&sqes[idx], p.ops[done + i], write,
+                (static_cast<uint64_t>(ticket) << 32) |
+                    static_cast<uint32_t>(done + i));
+        sq_array[idx] = idx;
+      }
+      __atomic_store_n(sq_tail, tail + batch, __ATOMIC_RELEASE);
+      if (sqpoll) {
+        // The kernel thread consumes the SQ on its own; we only need a
+        // wakeup syscall when it went to sleep.
+        in_flight += batch;
+        if ((__atomic_load_n(sq_flags, __ATOMIC_ACQUIRE) &
+             IORING_SQ_NEED_WAKEUP) != 0) {
+          (void)SysIoUringEnter(ring_fd, 0, 0, IORING_ENTER_SQ_WAKEUP);
+        }
+        done += batch;
+        continue;
+      }
+      unsigned submitted = 0;
+      Status submit_error;
+      while (submitted < batch) {
+        const int ret = SysIoUringEnter(ring_fd, batch - submitted, 0, 0);
+        if (ret < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EBUSY || errno == EAGAIN) {
+            // Completion-queue back-pressure: reap, then retry.
+            const Status st = Reap(/*blocking=*/true);
+            if (!st.ok()) {
+              submit_error = st;
+              break;
+            }
+            continue;
+          }
+          submit_error = Status::IOError(std::string("io_uring_enter: ") +
+                                         std::strerror(errno));
+          break;
+        }
+        submitted += static_cast<unsigned>(ret);
+        in_flight += static_cast<unsigned>(ret);
+      }
+      if (!submit_error.ok()) {
+        // SQEs past `submitted` are still queued in the SQ ring and would
+        // be handed to the kernel (with dangling buffers) by the next
+        // enter — the ring cannot be safely reused. Drain what the kernel
+        // accepted BEFORE returning: in-flight ops write into caller
+        // buffers that would otherwise be reused while the kernel still
+        // scribbles on them.
+        broken.store(true, std::memory_order_relaxed);
+        DrainAllBestEffort();
+        pending.erase(ticket);
+        return submit_error;
+      }
+      done += batch;
+    }
+    return static_cast<uint64_t>(ticket);
+  }
+
+  /// Blocks until `ticket`'s completions all landed; returns its first
+  /// per-op error. Reaps (and credits) other tickets' completions along
+  /// the way.
+  Status WaitTicket(uint64_t ticket64) {
+    const uint32_t ticket = static_cast<uint32_t>(ticket64);
+    auto it = pending.find(ticket);
+    if (it == pending.end()) return Status::OK();
+    while (it->second.remaining > 0) {
+      if (broken.load(std::memory_order_relaxed) ||
+          down.load(std::memory_order_relaxed)) {
+        pending.erase(it);
+        return Status::IOError("io_uring broke with I/O in flight");
+      }
+      const Status st = Reap(/*blocking=*/true);
+      if (!st.ok()) {
+        pending.erase(it);
+        return st;
+      }
+    }
+    Status result = std::move(it->second.error);
+    pending.erase(it);
+    return result;
   }
 #else   // !STARFISH_HAVE_IO_URING
-  static std::unique_ptr<IoRing> Create(uint32_t) { return nullptr; }
-  Status Submit(const std::vector<IoOp>&, bool) {
+  bool sqpoll = false;
+  std::atomic<bool> broken{false};
+  std::atomic<bool> down{false};
+  std::atomic<bool> owner_detached{false};
+  std::mutex mu;
+  bool want_buffers = false, want_files = false;
+  bool bufs_registered = false, files_registered = false;
+  static std::shared_ptr<IoRing> Create(uint32_t, bool, uint32_t) {
+    return nullptr;
+  }
+  void Shutdown() {}
+  void MaybeSyncRegistrations(DirectVolume*) {}
+  Result<uint64_t> SubmitTicket(const IoOp*, size_t, bool,
+                                std::vector<IoOp>) {
+    return Status::Internal("io_uring support not compiled in");
+  }
+  Status WaitTicket(uint64_t) {
     return Status::Internal("io_uring support not compiled in");
   }
 #endif  // STARFISH_HAVE_IO_URING
 };
 
+void DirectVolume::RingRegistry::Close() {
+  std::lock_guard<std::mutex> lock(mu);
+  closed = true;
+  for (auto& ring : rings) {
+    // Order an exited owner's lock-free ring uses before Shutdown. Live
+    // owners must already be quiesced by the caller (closing a volume
+    // while threads submit to it is outside the contract).
+    (void)ring->owner_detached.load(std::memory_order_acquire);
+    ring->Shutdown();
+  }
+  rings.clear();
+}
+
 DirectVolume::DirectVolume(std::string dir, DiskOptions options,
+                           DirectVolumeOptions direct_options,
                            uint32_t dio_mem_align)
     : PagedVolume(options),
       dir_(std::move(dir)),
-      dio_mem_align_(std::max<uint32_t>(dio_mem_align, 512)) {
+      dio_mem_align_(std::max<uint32_t>(dio_mem_align, 512)),
+      direct_options_(direct_options),
+      serial_(g_volume_serial.fetch_add(1, std::memory_order_relaxed)),
+      registry_(std::make_shared<RingRegistry>()) {
   journal_.Attach(dir_ + "/volume.meta");
   fds_ = std::make_unique<std::atomic<int>[]>(kMaxExtents);
   for (size_t i = 0; i < kMaxExtents; ++i) {
@@ -350,6 +680,14 @@ DirectVolume::DirectVolume(std::string dir, DiskOptions options,
 }
 
 DirectVolume::~DirectVolume() {
+  // Centralized ring teardown FIRST (no I/O may be in flight at
+  // destruction per the Volume contract): every ring the registry handed
+  // out — per-thread or shared — gets its fd closed and queues unmapped,
+  // even when the threads that own the thread-local slots are still
+  // alive. Their slots hold the IoRing objects (shared_ptr) but observe
+  // `down` and never touch the freed mappings.
+  if (registry_ != nullptr) registry_->Close();
+  shared_ring_.reset();
 #if STARFISH_HAVE_ODIRECT
   // Best-effort close-time checkpoint, mirroring the mmap backend: page
   // bytes already sit on the device (O_DIRECT), but block allocations and
@@ -429,9 +767,40 @@ Result<std::unique_ptr<DirectVolume>> DirectVolume::Open(
                             ProbeDioAlignment(dir, options.page_size));
 
   auto volume = std::unique_ptr<DirectVolume>(
-      new DirectVolume(dir, options, mem_align));
+      new DirectVolume(dir, options, direct_options, mem_align));
   if (direct_options.use_io_uring) {
-    volume->ring_ = IoRing::Create(std::max(1u, direct_options.ring_depth));
+    using RingMode = DirectVolumeOptions::RingMode;
+    const uint32_t depth = std::max(1u, direct_options.ring_depth);
+    if (direct_options.ring_mode == RingMode::kSqpoll) {
+      // SQPOLL needs privileges on older kernels; refusal downgrades to
+      // the default per-thread mode rather than to pread/pwrite.
+      volume->shared_ring_ =
+          IoRing::Create(depth, /*want_sqpoll=*/true,
+                         direct_options.sqpoll_idle_ms);
+      if (volume->shared_ring_ != nullptr) {
+        volume->effective_mode_ = RingMode::kSqpoll;
+      }
+    } else if (direct_options.ring_mode == RingMode::kShared) {
+      volume->shared_ring_ = IoRing::Create(depth, false, 0);
+      if (volume->shared_ring_ != nullptr) {
+        volume->effective_mode_ = RingMode::kShared;
+      }
+    }
+    if (volume->shared_ring_ != nullptr) {
+      volume->shared_ring_->want_buffers = direct_options.register_buffers;
+      volume->shared_ring_->want_files = direct_options.register_files;
+      std::lock_guard<std::mutex> lock(volume->registry_->mu);
+      volume->registry_->rings.push_back(volume->shared_ring_);
+      volume->ring_available_.store(true, std::memory_order_relaxed);
+    } else {
+      // Per-thread mode (requested, or the shared-ring setup refused):
+      // rings are created lazily per submitting thread; probe once here so
+      // io_uring_active() reflects reality from the start.
+      volume->effective_mode_ = RingMode::kPerThread;
+      auto probe = IoRing::Create(depth, false, 0);
+      volume->ring_available_.store(probe != nullptr,
+                                    std::memory_order_relaxed);
+    }
   }
 
   if (!replay.found) {
@@ -509,9 +878,12 @@ Status DirectVolume::OpenExtentFd(size_t index, bool create) {
     ::close(fd);
     return Status::IOError("size " + path + ": " + err);
   }
-  // Release pairs with the acquire bounds check readers do before FdOf.
+  // Release pairs with the acquire bounds check readers do before FdOf,
+  // and with the acquire in ring file-table registration.
   fds_[index].store(fd, std::memory_order_release);
   open_extents_ = index + 1;
+  published_extents_.store(static_cast<uint32_t>(index + 1),
+                           std::memory_order_release);
   if (create) dir_dirty_.store(true, std::memory_order_relaxed);
   return Status::OK();
 #endif
@@ -542,7 +914,8 @@ void DirectVolume::BuildRunOps(PageId first, uint32_t count, char* base,
     const uint32_t n = std::min(count - done, left_in_extent);
     uint64_t off = 0;
     const int fd = FdOf(id, &off);
-    ops->push_back(IoOp{fd, off, base + static_cast<size_t>(done) * page_size,
+    ops->push_back(IoOp{fd, static_cast<uint32_t>(id / pages_per_extent_), off,
+                        base + static_cast<size_t>(done) * page_size,
                         n * page_size});
     done += n;
   }
@@ -576,16 +949,230 @@ Status DirectVolume::ExecuteSync(const IoOp& op, bool write, uint32_t done) {
 #endif
 }
 
+DirectVolume::IoRing* DirectVolume::AcquireRing(bool* lock) {
+  *lock = false;
+#if !STARFISH_HAVE_IO_URING
+  return nullptr;
+#else
+  if (!ring_available_.load(std::memory_order_relaxed)) return nullptr;
+  if (shared_ring_ != nullptr) {
+    if (shared_ring_->broken.load(std::memory_order_relaxed) ||
+        shared_ring_->down.load(std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    *lock = true;
+    return shared_ring_.get();
+  }
+  // Per-thread mode: one lazily created ring per (thread, volume). The
+  // slot caches failure too (null ring), so a thread that cannot get a
+  // ring probes once and then stays on pread/pwrite.
+  struct Slot {
+    uint64_t serial = 0;
+    std::shared_ptr<IoRing> ring;
+    Slot(uint64_t s, std::shared_ptr<IoRing> r)
+        : serial(s), ring(std::move(r)) {}
+    Slot(Slot&&) = default;
+    Slot& operator=(Slot&&) = default;
+    ~Slot() {
+      // Publish every use this thread made of the ring before the reaper
+      // may Shutdown() it (pairs with the acquire load in the reap loop).
+      if (ring != nullptr) {
+        ring->owner_detached.store(true, std::memory_order_release);
+      }
+    }
+  };
+  thread_local std::vector<Slot> slots;
+  for (const Slot& s : slots) {
+    if (s.serial != serial_) continue;
+    if (s.ring == nullptr || s.ring->down.load(std::memory_order_relaxed) ||
+        s.ring->broken.load(std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return s.ring.get();
+  }
+  // Drop slots whose rings were shut down (their volumes are gone) before
+  // growing the cache; slots that cached a creation failure stay (they are
+  // the "don't retry every I/O" memo and cost 24 bytes).
+  slots.erase(std::remove_if(slots.begin(), slots.end(),
+                             [](const Slot& s) {
+                               return s.ring != nullptr &&
+                                      s.ring->down.load(
+                                          std::memory_order_relaxed);
+                             }),
+              slots.end());
+  std::shared_ptr<IoRing> ring;
+  {
+    std::lock_guard<std::mutex> reg_lock(registry_->mu);
+    if (!registry_->closed) {
+      // Reap rings whose threads exited: under mu, the registry holding
+      // the only reference means no thread-local slot can reach the ring
+      // anymore (slots are only created right here, under this lock). The
+      // acquire load of owner_detached is load-bearing: it synchronizes
+      // with the Slot destructor's release store, ordering the dead
+      // thread's lock-free ring uses before our Shutdown(). If the flag
+      // is not visible yet, skip — the ring gets reaped on a later pass.
+      for (auto it = registry_->rings.begin();
+           it != registry_->rings.end();) {
+        if (it->use_count() == 1 &&
+            (*it)->owner_detached.load(std::memory_order_acquire)) {
+          (*it)->Shutdown();
+          it = registry_->rings.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      ring = IoRing::Create(std::max(1u, direct_options_.ring_depth), false,
+                            0);
+      if (ring != nullptr) {
+        ring->want_buffers = direct_options_.register_buffers;
+        ring->want_files = direct_options_.register_files;
+        registry_->rings.push_back(ring);
+      }
+    }
+  }
+  slots.push_back(Slot{serial_, ring});
+  return ring != nullptr ? ring.get() : nullptr;
+#endif
+}
+
 Status DirectVolume::Execute(const std::vector<IoOp>& ops, bool write) {
 #if STARFISH_HAVE_IO_URING
-  if (ring_ != nullptr && !ring_->broken.load(std::memory_order_relaxed)) {
-    return ring_->Submit(ops, write);
+  bool need_lock = false;
+  IoRing* ring = AcquireRing(&need_lock);
+  if (ring != nullptr) {
+    std::unique_lock<std::mutex> lock(ring->mu, std::defer_lock);
+    if (need_lock) lock.lock();
+    ring->MaybeSyncRegistrations(this);
+    Result<uint64_t> ticket =
+        ring->SubmitTicket(ops.data(), ops.size(), write, {});
+    if (!ticket.ok()) return ticket.status();
+    return ring->WaitTicket(*ticket);
   }
 #endif
   for (const IoOp& op : ops) {
     STARFISH_RETURN_NOT_OK(ExecuteSync(op, write, 0));
   }
   return Status::OK();
+}
+
+bool DirectVolume::supports_async_read() const {
+  return ring_available_.load(std::memory_order_relaxed);
+}
+
+Result<uint64_t> DirectVolume::SubmitReadChained(
+    const std::vector<PageId>& ids, const std::vector<char*>& outs) {
+  if (ids.empty()) return Status::InvalidArgument("empty chained read");
+  if (ids.size() != outs.size()) {
+    return Status::InvalidArgument("chained read: ids/outs size mismatch");
+  }
+  bool need_lock = false;
+  IoRing* ring = AcquireRing(&need_lock);
+  bool async_ok = ring != nullptr;
+  if (async_ok) {
+    for (char* out : outs) {
+      // Async completion cannot patch a bounce back into the caller's
+      // buffer at a well-defined time; misaligned batches take the
+      // blocking path (which bounces internally) instead.
+      if (!DioEligible(out)) {
+        async_ok = false;
+        break;
+      }
+    }
+  }
+  if (!async_ok) {
+    STARFISH_RETURN_NOT_OK(ReadChained(ids, outs));
+    return uint64_t{0};  // completed sentinel, CompleteRead is a no-op
+  }
+  std::vector<IoOp> ops;
+  ops.reserve(ids.size());
+  const uint32_t page_size = options_.page_size;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    STARFISH_RETURN_NOT_OK(CheckRange(ids[i], 1));
+    uint64_t off = 0;
+    const int fd = FdOf(ids[i], &off);
+    ops.push_back(IoOp{fd, static_cast<uint32_t>(ids[i] / pages_per_extent_),
+                       off, outs[i], page_size});
+  }
+  std::unique_lock<std::mutex> lock(ring->mu, std::defer_lock);
+  if (need_lock) lock.lock();
+  ring->MaybeSyncRegistrations(this);
+  const size_t n = ops.size();
+  Result<uint64_t> ticket =
+      ring->SubmitTicket(nullptr, n, /*write=*/false, std::move(ops));
+  if (!ticket.ok()) return ticket.status();
+  // Metered at submit — one chained call, n page reads — exactly like the
+  // blocking ReadChained, so async prefetch pipelines keep the paper's
+  // call/page accounting.
+  stats_.CountRead(n);
+  return *ticket;
+}
+
+Status DirectVolume::CompleteRead(uint64_t ticket) {
+  if (ticket == 0) return Status::OK();
+  bool need_lock = false;
+  IoRing* ring = AcquireRing(&need_lock);
+  if (ring == nullptr) {
+    return Status::Internal(
+        "CompleteRead: calling thread has no usable ring (tickets are "
+        "thread-local)");
+  }
+  std::unique_lock<std::mutex> lock(ring->mu, std::defer_lock);
+  if (need_lock) lock.lock();
+  return ring->WaitTicket(ticket);
+}
+
+void DirectVolume::RegisterIoMemory(const void* base, size_t bytes) {
+  if (base == nullptr || bytes == 0) return;
+  std::lock_guard<std::mutex> lock(registry_->mu);
+  registry_->regions.push_back(RingRegistry::Region{
+      reinterpret_cast<uintptr_t>(base), bytes});
+  registry_->regions_version.fetch_add(1, std::memory_order_release);
+}
+
+void DirectVolume::UnregisterIoMemory(const void* base) {
+  std::lock_guard<std::mutex> lock(registry_->mu);
+  const uintptr_t addr = reinterpret_cast<uintptr_t>(base);
+  auto& regions = registry_->regions;
+  const size_t before = regions.size();
+  regions.erase(std::remove_if(regions.begin(), regions.end(),
+                               [addr](const RingRegistry::Region& r) {
+                                 return r.base == addr;
+                               }),
+                regions.end());
+  if (regions.size() != before) {
+    registry_->regions_version.fetch_add(1, std::memory_order_release);
+  }
+}
+
+bool DirectVolume::registered_buffers_active() {
+  bool need_lock = false;
+  IoRing* ring = AcquireRing(&need_lock);
+  if (ring == nullptr) return false;
+  std::unique_lock<std::mutex> lock(ring->mu, std::defer_lock);
+  if (need_lock) lock.lock();
+  ring->MaybeSyncRegistrations(this);
+  return ring->bufs_registered;
+}
+
+bool DirectVolume::registered_files_active() {
+  bool need_lock = false;
+  IoRing* ring = AcquireRing(&need_lock);
+  if (ring == nullptr) return false;
+  std::unique_lock<std::mutex> lock(ring->mu, std::defer_lock);
+  if (need_lock) lock.lock();
+  ring->MaybeSyncRegistrations(this);
+  return ring->files_registered;
+}
+
+bool DirectVolume::sqpoll_active() const {
+  return shared_ring_ != nullptr && shared_ring_->sqpoll &&
+         !shared_ring_->down.load(std::memory_order_relaxed) &&
+         !shared_ring_->broken.load(std::memory_order_relaxed);
+}
+
+size_t DirectVolume::ring_count() const {
+  std::lock_guard<std::mutex> lock(registry_->mu);
+  return registry_->rings.size();
 }
 
 Status DirectVolume::ReadRun(PageId first, uint32_t count, char* out) {
@@ -664,7 +1251,8 @@ Status DirectVolume::ReadChained(const std::vector<PageId>& ids,
     }
     uint64_t off = 0;
     const int fd = FdOf(ids[i], &off);
-    ops.push_back(IoOp{fd, off, buf, page_size});
+    ops.push_back(IoOp{fd, static_cast<uint32_t>(ids[i] / pages_per_extent_),
+                       off, buf, page_size});
   }
   STARFISH_RETURN_NOT_OK(Execute(ops, /*write=*/false));
   for (const uint32_t i : patch) {
@@ -703,7 +1291,8 @@ Status DirectVolume::WriteChained(const std::vector<PageId>& ids,
     }
     uint64_t off = 0;
     const int fd = FdOf(ids[i], &off);
-    ops.push_back(IoOp{fd, off, buf, page_size});
+    ops.push_back(IoOp{fd, static_cast<uint32_t>(ids[i] / pages_per_extent_),
+                       off, buf, page_size});
   }
   STARFISH_RETURN_NOT_OK(Execute(ops, /*write=*/true));
   stats_.CountWrite(ids.size());
@@ -745,7 +1334,8 @@ Status DirectVolume::WritePageUnmetered(PageId id, const char* src) {
   }
   uint64_t off = 0;
   const int fd = FdOf(id, &off);
-  ops.push_back(IoOp{fd, off, buf, page_size});
+  ops.push_back(IoOp{fd, static_cast<uint32_t>(id / pages_per_extent_), off,
+                     buf, page_size});
   return Execute(ops, /*write=*/true);  // deliberately unmetered
 }
 

@@ -37,6 +37,22 @@
 /// plain pread/pwrite loop. Either way the batch counts as one I/O call in
 /// the meter, preserving the paper's call/page accounting.
 ///
+/// Ring model (see docs/VOLUMES.md for the full matrix): by default every
+/// submitting thread lazily gets its OWN io_uring, so N reader threads keep
+/// N submission queues feeding the device with zero software serialization
+/// — the single-ring-plus-mutex arrangement of earlier revisions survives
+/// as RingMode::kShared (a measurable baseline) and RingMode::kSqpoll (one
+/// kernel-polled ring; submission needs no syscall, but threads still
+/// serialize on the queue). Rings pre-register long-lived I/O memory
+/// (RegisterIoMemory — the buffer pool registers its frame arena) as fixed
+/// buffers and the extent fd table as registered files, cutting per-I/O
+/// pinning and fd-reference cost; every feature degrades independently
+/// (registration refused -> plain SQEs; ring refused -> pread/pwrite), and
+/// the accessors (io_uring_active(), registered_buffers_active(), ...)
+/// report what is actually in effect. SubmitReadChained/CompleteRead expose
+/// the ring's native submit/wait split so prefetchers can keep a queue of
+/// reads in flight per thread.
+///
 /// Alignment: O_DIRECT requires transfers aligned to the device's DMA
 /// granularity. Open() probes the filesystem (statx STATX_DIOALIGN where
 /// available, plus a trial write) and rejects geometries the device cannot
@@ -52,22 +68,52 @@
 /// detects this and reads through the copying calls into its own frames.
 ///
 /// Thread safety: same contract as every backend (see volume.h). The
-/// pread/pwrite path is naturally concurrent; the io_uring path serializes
-/// submissions behind one ring mutex (the device is one queue anyway —
-/// per-thread rings are future work).
+/// pread/pwrite path is naturally concurrent; per-thread rings make the
+/// io_uring path concurrent without any shared lock. Ring teardown is
+/// centralized: the volume's ring registry owns every ring it handed out,
+/// so closing the volume closes all ring fds even when the submitting
+/// threads are still alive (their thread-local slots just go stale and are
+/// swept on next use), and a thread exiting early only drops its reference
+/// — the registry reaps the unused ring on the next ring creation.
 
 namespace starfish {
 
 /// DirectVolume construction knobs (beyond the shared DiskOptions).
 struct DirectVolumeOptions {
-  /// Try to set up an io_uring at Open; silently falls back to
-  /// pread/pwrite when the kernel refuses (ENOSYS, seccomp EPERM, ...).
-  /// Force false to test/measure the fallback path.
+  /// Try to set up io_uring at Open; silently falls back to pread/pwrite
+  /// when the kernel refuses (ENOSYS, seccomp EPERM, ...). Force false to
+  /// test/measure the fallback path.
   bool use_io_uring = true;
 
-  /// Submission-queue depth of the ring; batches larger than this are
+  /// Submission-queue depth of each ring; batches larger than this are
   /// submitted in chunks.
   uint32_t ring_depth = 64;
+
+  /// How submitting threads map onto rings.
+  enum class RingMode {
+    kPerThread,  ///< one ring per submitting thread (default; lock-free)
+    kShared,     ///< one ring, submissions serialized by a mutex (the
+                 ///< pre-rework baseline, kept measurable for benches)
+    kSqpoll,     ///< one IORING_SETUP_SQPOLL ring: a kernel thread polls
+                 ///< the SQ so submission needs no syscall; submitting
+                 ///< threads still serialize on the single queue. Falls
+                 ///< back to kPerThread when the kernel refuses SQPOLL.
+  };
+  RingMode ring_mode = RingMode::kPerThread;
+
+  /// Pre-register RegisterIoMemory regions as fixed buffers
+  /// (IORING_REGISTER_BUFFERS -> IORING_OP_READ_FIXED/WRITE_FIXED). Rings
+  /// that fail the registration (RLIMIT_MEMLOCK, old kernel) silently keep
+  /// using plain SQEs.
+  bool register_buffers = true;
+
+  /// Pre-register extent fds (IORING_REGISTER_FILES -> IOSQE_FIXED_FILE).
+  /// Same per-ring graceful fallback as register_buffers.
+  bool register_files = true;
+
+  /// Idle time (ms) before a kSqpoll kernel thread sleeps and submission
+  /// needs an IORING_ENTER_SQ_WAKEUP.
+  uint32_t sqpoll_idle_ms = 100;
 };
 
 /// An O_DIRECT file-per-extent volume with I/O accounting and persistence.
@@ -101,6 +147,21 @@ class DirectVolume final : public PagedVolume {
   Status WriteChained(const std::vector<PageId>& ids,
                       const std::vector<const char*>& srcs) override;
 
+  /// Native submit/wait split over this thread's ring (volume.h contract:
+  /// tickets are thread-local and FIFO per thread). Falls back to a
+  /// blocking ReadChained — still returning a completed ticket — whenever
+  /// the calling thread has no usable ring or a buffer would need a bounce.
+  bool supports_async_read() const override;
+  Result<uint64_t> SubmitReadChained(const std::vector<PageId>& ids,
+                                     const std::vector<char*>& outs) override;
+  Status CompleteRead(uint64_t ticket) override;
+
+  /// Registers `[base, base+bytes)` for fixed-buffer I/O on every ring
+  /// (existing rings re-register lazily, before their next idle
+  /// submission). The memory must outlive the registration.
+  void RegisterIoMemory(const void* base, size_t bytes) override;
+  void UnregisterIoMemory(const void* base) override;
+
   /// No memory image: NotSupported (see supports_zero_copy()).
   Status ReadRunZeroCopy(PageId first, uint32_t count,
                          std::vector<const char*>* views) override;
@@ -122,21 +183,47 @@ class DirectVolume final : public PagedVolume {
 
   /// True when batches go through an io_uring (false = pread/pwrite
   /// fallback, either by option or because the kernel refused a ring).
-  bool io_uring_active() const { return ring_ != nullptr; }
+  bool io_uring_active() const {
+    return ring_available_.load(std::memory_order_relaxed);
+  }
+
+  /// The ring mode actually in effect (kSqpoll downgrades to kPerThread
+  /// when the kernel refuses SQPOLL). Meaningless if !io_uring_active().
+  DirectVolumeOptions::RingMode ring_mode() const { return effective_mode_; }
+
+  /// True when the CALLING thread's ring currently has fixed buffers /
+  /// registered files in effect (creates the thread's ring on first use,
+  /// like any submission would). Both are per-ring states: a ring that
+  /// failed a registration runs on plain SQEs while others use the fast
+  /// path.
+  bool registered_buffers_active();
+  bool registered_files_active();
+
+  /// True when the single SQPOLL ring is live (kSqpoll requested AND the
+  /// kernel granted it).
+  bool sqpoll_active() const;
+
+  /// Rings currently owned by the registry (tests: bounded by the number
+  /// of distinct submitting threads; 0 until the first submission in
+  /// kPerThread mode).
+  size_t ring_count() const;
 
  private:
-  /// One device transfer: `len` bytes at file offset `off` of extent fd
-  /// `fd`, to/from `buf`.
+  /// One device transfer: `len` bytes at file offset `off` of extent
+  /// `extent` (fd `fd`), to/from `buf`.
   struct IoOp {
     int fd;
+    uint32_t extent;
     uint64_t off;
     char* buf;
     uint32_t len;
   };
 
-  struct IoRing;  // raw-syscall io_uring wrapper (direct_volume.cc)
+  struct IoRing;        // raw-syscall io_uring wrapper (direct_volume.cc)
+  struct RingRegistry;  // all rings handed out + registered I/O memory
 
-  DirectVolume(std::string dir, DiskOptions options, uint32_t dio_mem_align);
+  DirectVolume(std::string dir, DiskOptions options,
+               DirectVolumeOptions direct_options, uint32_t dio_mem_align);
 
   /// PagedVolume hook: creates + opens extent files up to `extent_count`.
   Status EnsureExtentsLocked(size_t extent_count) override;
@@ -161,6 +248,12 @@ class DirectVolume final : public PagedVolume {
   void BuildRunOps(PageId first, uint32_t count, char* base,
                    std::vector<IoOp>* ops) const;
 
+  /// The calling thread's usable ring (created on first use in kPerThread
+  /// mode; the shared ring otherwise), or nullptr when the thread must use
+  /// the pread/pwrite path. `lock` receives true when ring operations must
+  /// run under the ring's mutex (shared modes).
+  IoRing* AcquireRing(bool* lock);
+
   /// Executes one batch as a single logical I/O call: io_uring submission
   /// when a ring is up, pread/pwrite loop otherwise. Does not touch the
   /// meter (callers count one call per batch).
@@ -176,12 +269,26 @@ class DirectVolume final : public PagedVolume {
 
   std::string dir_;
   uint32_t dio_mem_align_;  ///< device DMA buffer alignment (>= 512)
+  DirectVolumeOptions direct_options_;
+  DirectVolumeOptions::RingMode effective_mode_ =
+      DirectVolumeOptions::RingMode::kPerThread;
   std::unique_ptr<std::atomic<int>[]> fds_;  ///< kMaxExtents slots, -1 empty
   size_t open_extents_ = 0;                  ///< guarded by alloc_mu_
+  /// Extent count whose fds are published (release; registration snapshots
+  /// pair with an acquire load). Trails open_extents_ by design: it is
+  /// readable without alloc_mu_.
+  std::atomic<uint32_t> published_extents_{0};
   /// Extent files created since the last directory fsync: their directory
   /// entries are not durable until Sync.
   std::atomic<bool> dir_dirty_{false};
-  std::unique_ptr<IoRing> ring_;  ///< null = pread/pwrite fallback
+  /// io_uring probed usable at Open (kernel + opcodes). Individual threads
+  /// can still fail ring creation later and fall back alone.
+  std::atomic<bool> ring_available_{false};
+  /// Identifies this volume in thread-local ring slots; never reused, so a
+  /// slot left over from a destroyed volume can never match a live one.
+  uint64_t serial_ = 0;
+  std::shared_ptr<RingRegistry> registry_;
+  std::shared_ptr<IoRing> shared_ring_;  ///< kShared/kSqpoll modes only
   AllocatorJournal journal_;
 };
 

@@ -183,6 +183,15 @@ class FaultVolume final : public Volume {
   uint32_t io_buffer_alignment() const override {
     return inner_->io_buffer_alignment();
   }
+  // Like TimedVolume, the async read pair stays on the base implementation:
+  // it routes through this decorator's virtual ReadChained, so armed read
+  // faults fire on async-shaped callers too.
+  void RegisterIoMemory(const void* base, size_t bytes) override {
+    inner_->RegisterIoMemory(base, bytes);
+  }
+  void UnregisterIoMemory(const void* base) override {
+    inner_->UnregisterIoMemory(base);
+  }
   uint32_t page_size() const override { return inner_->page_size(); }
   uint32_t pages_per_extent() const override {
     return inner_->pages_per_extent();

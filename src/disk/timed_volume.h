@@ -59,6 +59,16 @@ class TimedVolume final : public Volume {
   uint32_t io_buffer_alignment() const override {
     return inner_->io_buffer_alignment();
   }
+  // supports_async_read()/SubmitReadChained/CompleteRead stay on the base
+  // implementation on purpose: it dispatches through THIS decorator's
+  // virtual ReadChained, so async-shaped callers are charged exactly like
+  // blocking ones (true overlap would make Equation-1 time meaningless).
+  void RegisterIoMemory(const void* base, size_t bytes) override {
+    inner_->RegisterIoMemory(base, bytes);
+  }
+  void UnregisterIoMemory(const void* base) override {
+    inner_->UnregisterIoMemory(base);
+  }
   uint32_t page_size() const override { return inner_->page_size(); }
   uint32_t pages_per_extent() const override {
     return inner_->pages_per_extent();

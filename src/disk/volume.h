@@ -159,6 +159,53 @@ class Volume {
   virtual Status ReadChainedZeroCopy(const std::vector<PageId>& ids,
                                      std::vector<const char*>* views) = 0;
 
+  /// True when SubmitReadChained actually overlaps device I/O with the
+  /// caller (DirectVolume with a working io_uring). When false the async
+  /// pair still works — SubmitReadChained performs the read synchronously
+  /// and CompleteRead is a no-op — so callers can use one code path and
+  /// only gain overlap where the backend provides it.
+  virtual bool supports_async_read() const { return false; }
+
+  /// Asynchronous ReadChained: starts reading `ids[i]` into `outs[i]`
+  /// (each `page_size()` bytes) and returns a ticket to pass to
+  /// CompleteRead. The caller must keep every `outs[i]` buffer (and the
+  /// two vectors' page images, not the vectors themselves) untouched until
+  /// CompleteRead returns. Accounting is identical to ReadChained — one
+  /// read call and `ids.size()` page reads, counted at submit — so a
+  /// prefetch pipeline built on this meters exactly like the blocking one.
+  ///
+  /// Tickets are *thread-local*: submit and complete must happen on the
+  /// same thread, and each thread completes its tickets in FIFO order
+  /// (matching a per-thread submission ring). The base implementation
+  /// simply calls ReadChained and returns an already-completed ticket.
+  virtual Result<uint64_t> SubmitReadChained(const std::vector<PageId>& ids,
+                                             const std::vector<char*>& outs) {
+    STARFISH_RETURN_NOT_OK(ReadChained(ids, outs));
+    return uint64_t{0};  // kCompletedTicket: CompleteRead is a no-op
+  }
+
+  /// Waits until the submitted read behind `ticket` has fully landed in its
+  /// output buffers and returns its status. Must run on the submitting
+  /// thread; see SubmitReadChained.
+  virtual Status CompleteRead(uint64_t ticket) {
+    (void)ticket;
+    return Status::OK();
+  }
+
+  /// Hints that `[base, base+bytes)` is long-lived I/O memory (the buffer
+  /// pool's frame arena). Backends that can pre-register buffers with the
+  /// kernel (io_uring fixed buffers) use this to skip per-I/O page pinning;
+  /// everyone else ignores it. Never required for correctness; unknown or
+  /// unregistered buffers always work. Pair with UnregisterIoMemory before
+  /// the memory is freed (the registration holds no reference).
+  virtual void RegisterIoMemory(const void* base, size_t bytes) {
+    (void)base;
+    (void)bytes;
+  }
+
+  /// Retracts a RegisterIoMemory hint (match by `base`).
+  virtual void UnregisterIoMemory(const void* base) { (void)base; }
+
   /// Writes a batch of (not necessarily contiguous) pages as a single
   /// chained I/O call (DASDBS batches write-back at buffer overflow /
   /// disconnect). Counts one write call and `ids.size()` page writes.

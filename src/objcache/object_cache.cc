@@ -27,19 +27,23 @@ uint32_t PickShardCount(uint32_t requested) {
 }  // namespace
 
 std::string ObjCacheStats::ToString() const {
-  char buf[256];
+  char buf[352];
   snprintf(buf, sizeof(buf),
            "objcache: hits=%llu misses=%llu (ratio %.3f) inserts=%llu "
            "evictions=%llu invalidations=%llu stale_drops=%llu "
-           "entries=%llu bytes=%llu",
+           "neg_hits=%llu neg_inserts=%llu entries=%llu bytes=%llu "
+           "neg_entries=%llu",
            static_cast<unsigned long long>(hits),
            static_cast<unsigned long long>(misses), HitRatio(),
            static_cast<unsigned long long>(inserts),
            static_cast<unsigned long long>(evictions),
            static_cast<unsigned long long>(invalidations),
            static_cast<unsigned long long>(stale_drops),
+           static_cast<unsigned long long>(negative_hits),
+           static_cast<unsigned long long>(negative_inserts),
            static_cast<unsigned long long>(entries),
-           static_cast<unsigned long long>(bytes));
+           static_cast<unsigned long long>(bytes),
+           static_cast<unsigned long long>(negative_entries));
   return buf;
 }
 
@@ -70,6 +74,18 @@ struct ObjectCache::Shard {
 
   /// Resident bytes charged against this shard's capacity slice.
   size_t bytes = 0;
+
+  /// Negative side table: refs whose last model probe came back NotFound,
+  /// stamped with the epoch at probe time. An entry is only believed while
+  /// its stamp equals the current epoch — every write bumps the epochs, so
+  /// stale verdicts die passively; they are reaped when touched or when
+  /// the LRU bound pushes them out.
+  std::list<ObjectRef> neg_lru;  ///< front = coldest
+  struct NegSlot {
+    uint64_t epoch = 0;
+    std::list<ObjectRef>::iterator lru_it;
+  };
+  std::unordered_map<ObjectRef, NegSlot> neg_map;
 };
 
 ObjectCache::ObjectCache(const ObjCacheOptions& options) : options_(options) {
@@ -80,6 +96,10 @@ ObjectCache::ObjectCache(const ObjCacheOptions& options) : options_(options) {
     shards_.push_back(std::make_unique<Shard>());
   }
   shard_capacity_ = std::max<size_t>(options.capacity_bytes / n, 1);
+  negative_capacity_ =
+      options.negative_capacity == 0
+          ? 0
+          : std::max<size_t>(options.negative_capacity / n, 1);
 }
 
 ObjectCache::~ObjectCache() = default;
@@ -157,6 +177,54 @@ void ObjectCache::Insert(ObjectRef ref, Tuple object, std::vector<PageId> pages,
   shard.map.emplace(ref, Shard::Slot{std::move(entry), lru_it});
 }
 
+bool ObjectCache::LookupNegative(ObjectRef ref) {
+  if (negative_capacity_ == 0) return false;
+  Shard& shard = ShardOf(ref);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.neg_map.find(ref);
+  if (it == shard.neg_map.end()) return false;
+  if (it->second.epoch != shard.epoch) {
+    // A write ran since the verdict was recorded: the object may exist
+    // now. Reap the stale entry instead of letting the LRU carry it.
+    shard.neg_lru.erase(it->second.lru_it);
+    shard.neg_map.erase(it);
+    stats_.negative_entries.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.neg_lru.splice(shard.neg_lru.end(), shard.neg_lru, it->second.lru_it);
+  stats_.negative_hits.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ObjectCache::InsertNegative(ObjectRef ref, uint64_t epoch) {
+  if (negative_capacity_ == 0) return;
+  Shard& shard = ShardOf(ref);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.epoch != epoch) {
+    // A write overlapped the model probe; its NotFound verdict may already
+    // be wrong (a concurrent Put can have created the object).
+    stats_.stale_drops.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto it = shard.neg_map.find(ref);
+  if (it != shard.neg_map.end()) {
+    it->second.epoch = epoch;
+    shard.neg_lru.splice(shard.neg_lru.end(), shard.neg_lru,
+                         it->second.lru_it);
+    return;
+  }
+  while (shard.neg_map.size() >= negative_capacity_ &&
+         !shard.neg_lru.empty()) {
+    shard.neg_map.erase(shard.neg_lru.front());
+    shard.neg_lru.pop_front();
+    stats_.negative_entries.fetch_sub(1, std::memory_order_relaxed);
+  }
+  auto lru_it = shard.neg_lru.insert(shard.neg_lru.end(), ref);
+  shard.neg_map.emplace(ref, Shard::NegSlot{epoch, lru_it});
+  stats_.negative_inserts.fetch_add(1, std::memory_order_relaxed);
+  stats_.negative_entries.fetch_add(1, std::memory_order_relaxed);
+}
+
 void ObjectCache::InvalidateRef(ObjectRef ref) {
   Shard& shard = ShardOf(ref);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -165,6 +233,15 @@ void ObjectCache::InvalidateRef(ObjectRef ref) {
   ++shard.epoch;
   if (EraseLocked(shard, ref)) {
     stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The usual caller is a write to `ref` itself — after a Put the object
+  // exists, so the negative verdict must go at once (the epoch bump alone
+  // would only neutralize it).
+  auto neg_it = shard.neg_map.find(ref);
+  if (neg_it != shard.neg_map.end()) {
+    shard.neg_lru.erase(neg_it->second.lru_it);
+    shard.neg_map.erase(neg_it);
+    stats_.negative_entries.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
@@ -204,6 +281,10 @@ void ObjectCache::Clear() {
     shard.lru.clear();
     shard.page_index.clear();
     shard.bytes = 0;
+    stats_.negative_entries.fetch_sub(shard.neg_map.size(),
+                                      std::memory_order_relaxed);
+    shard.neg_map.clear();
+    shard.neg_lru.clear();
   }
 }
 

@@ -76,6 +76,13 @@ struct ObjCacheOptions {
   /// the hardware concurrency; other values are rounded up to a power of
   /// two. More shards = less reader contention, coarser per-shard LRU.
   uint32_t shard_count = 0;
+
+  /// Total bound on negative entries (refs known NOT to exist), split
+  /// evenly across shards. A repeated Get probe for a missing object is
+  /// answered from this side table without touching a single page; any
+  /// write invalidates the negative knowledge (epoch-guarded, see
+  /// LookupNegative). 0 disables negative caching.
+  uint32_t negative_capacity = 4096;
 };
 
 /// Counter snapshot (assembly-level; page-level counters live in
@@ -87,8 +94,11 @@ struct ObjCacheStats {
   uint64_t evictions = 0;      ///< entries dropped for capacity
   uint64_t invalidations = 0;  ///< entries dropped by writes / Clear
   uint64_t stale_drops = 0;    ///< assemblies discarded by the epoch guard
+  uint64_t negative_hits = 0;     ///< not-found probes served by the side table
+  uint64_t negative_inserts = 0;  ///< not-found verdicts recorded
   uint64_t bytes = 0;          ///< resident bytes (gauge, not a counter)
   uint64_t entries = 0;        ///< resident entries (gauge, not a counter)
+  uint64_t negative_entries = 0;  ///< resident negative entries (gauge)
 
   /// Assembly-hit ratio over the snapshot window (0 when idle) — the
   /// object-level analog of the page-level hits/fixes ratio.
@@ -107,6 +117,8 @@ struct ObjCacheStats {
     d.evictions -= earlier.evictions;
     d.invalidations -= earlier.invalidations;
     d.stale_drops -= earlier.stale_drops;
+    d.negative_hits -= earlier.negative_hits;
+    d.negative_inserts -= earlier.negative_inserts;
     return d;
   }
 
@@ -124,8 +136,11 @@ struct AtomicObjCacheStats {
   std::atomic<uint64_t> evictions{0};
   std::atomic<uint64_t> invalidations{0};
   std::atomic<uint64_t> stale_drops{0};
+  std::atomic<uint64_t> negative_hits{0};
+  std::atomic<uint64_t> negative_inserts{0};
   std::atomic<uint64_t> bytes{0};
   std::atomic<uint64_t> entries{0};
+  std::atomic<uint64_t> negative_entries{0};
 
   ObjCacheStats Snapshot() const {
     ObjCacheStats s;
@@ -135,8 +150,11 @@ struct AtomicObjCacheStats {
     s.evictions = evictions.load(std::memory_order_relaxed);
     s.invalidations = invalidations.load(std::memory_order_relaxed);
     s.stale_drops = stale_drops.load(std::memory_order_relaxed);
+    s.negative_hits = negative_hits.load(std::memory_order_relaxed);
+    s.negative_inserts = negative_inserts.load(std::memory_order_relaxed);
     s.bytes = bytes.load(std::memory_order_relaxed);
     s.entries = entries.load(std::memory_order_relaxed);
+    s.negative_entries = negative_entries.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -149,6 +167,8 @@ struct AtomicObjCacheStats {
     evictions.store(0, std::memory_order_relaxed);
     invalidations.store(0, std::memory_order_relaxed);
     stale_drops.store(0, std::memory_order_relaxed);
+    negative_hits.store(0, std::memory_order_relaxed);
+    negative_inserts.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -186,8 +206,24 @@ class ObjectCache {
   void Insert(ObjectRef ref, Tuple object, std::vector<PageId> pages,
               uint64_t epoch);
 
+  /// True when `ref` is recorded as NOT existing and that knowledge is
+  /// still current (the recording shard's epoch has not moved since the
+  /// verdict was cached — every write bumps the epochs, so any write
+  /// anywhere conservatively voids all negative knowledge). A true return
+  /// means the caller can answer NotFound without reading a page.
+  bool LookupNegative(ObjectRef ref);
+
+  /// Records that a lookup of `ref` fell through to the model and came
+  /// back NotFound. `epoch` is the value Lookup handed out before the
+  /// model probe; the verdict is discarded when the shard's epoch has
+  /// moved since (a concurrent Put may have created the object mid-probe).
+  /// Bounded LRU per shard; no-op when negative caching is disabled.
+  void InsertNegative(ObjectRef ref, uint64_t epoch);
+
   /// Drops the entry for `ref` (if any) and bumps the shard's epoch —
   /// unconditionally, so in-flight assemblies of `ref` cannot publish.
+  /// Also erases any negative entry for `ref` (the usual caller is a Put,
+  /// after which the object exists).
   void InvalidateRef(ObjectRef ref);
 
   /// Drops every entry whose recorded backing-page set intersects `pages`,
@@ -223,6 +259,7 @@ class ObjectCache {
 
   ObjCacheOptions options_;
   size_t shard_capacity_ = 0;  ///< capacity_bytes / shard count
+  size_t negative_capacity_ = 0;  ///< negative entries per shard (0 = off)
   uint64_t mask_ = 0;          ///< shard count - 1 (count is a power of two)
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable AtomicObjCacheStats stats_;

@@ -19,6 +19,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <string>
@@ -26,6 +27,7 @@
 
 #include "../support/direct_probe.h"
 #include "disk/direct_volume.h"
+#include "util/aligned_buffer.h"
 #include "disk/fault_volume.h"
 #include "disk/mem_volume.h"
 #include "disk/mmap_volume.h"
@@ -438,6 +440,136 @@ TEST_P(VolumeTest, DefaultGeometryLargeVolumeRoundTrips) {
   ASSERT_TRUE(disk->ReadRun(boundary, 2, buf.data()).ok());
   EXPECT_EQ(buf[0], 'E');
   EXPECT_EQ(buf[2 * disk->page_size() - 1], 'E');
+}
+
+// The async read pair is part of the Volume interface: every backend must
+// serve SubmitReadChained/CompleteRead with bytes and accounting identical
+// to a blocking ReadChained, whether it really overlaps (direct + ring) or
+// falls back to the base implementation (everything else — which completes
+// inside Submit and returns the 0 "already done" ticket).
+TEST_P(VolumeTest, AsyncReadChainedMatchesBlocking) {
+  auto disk = Make(TinyExtents());
+  const uint32_t page = disk->page_size();
+  ASSERT_TRUE(disk->AllocateRun(9).ok());
+  std::vector<char> data(page);
+  for (PageId id = 0; id < 9; ++id) {
+    std::fill(data.begin(), data.end(), static_cast<char>('a' + id));
+    ASSERT_TRUE(disk->WriteRun(id, 1, data.data()).ok());
+  }
+  const std::vector<PageId> ids = {7, 0, 4, 8};  // crosses extents, unsorted
+
+  std::vector<char> blocking(ids.size() * page);
+  std::vector<char*> blocking_ptrs;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    blocking_ptrs.push_back(blocking.data() + i * page);
+  }
+  ASSERT_TRUE(disk->ReadChained(ids, blocking_ptrs).ok());
+  const IoStats before = disk->stats();
+
+  AlignedBuffer staging;
+  ASSERT_TRUE(staging.Reserve(ids.size() * page, 4096));
+  std::vector<char*> async_ptrs;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    async_ptrs.push_back(staging.data() + i * page);
+  }
+  auto ticket_or = disk->SubmitReadChained(ids, async_ptrs);
+  ASSERT_TRUE(ticket_or.ok()) << ticket_or.status().ToString();
+  // Accounting lands at submit, exactly one call and N page reads.
+  const IoStats submitted = disk->stats();
+  EXPECT_EQ(submitted.read_calls, before.read_calls + 1);
+  EXPECT_EQ(submitted.pages_read, before.pages_read + ids.size());
+  ASSERT_TRUE(disk->CompleteRead(ticket_or.value()).ok());
+  EXPECT_EQ(std::memcmp(staging.data(), blocking.data(), blocking.size()), 0);
+  // Completion charges nothing further.
+  EXPECT_EQ(disk->stats().read_calls, submitted.read_calls);
+  EXPECT_EQ(disk->stats().pages_read, submitted.pages_read);
+  // The 0 sentinel is always a valid, idempotent no-op ticket.
+  EXPECT_TRUE(disk->CompleteRead(0).ok());
+}
+
+// Misaligned destination buffers must be served through the async entry
+// point too (the direct backend degrades that submit to a blocking bounce
+// read and hands back the completed ticket) — callers never need to care.
+TEST_P(VolumeTest, AsyncReadChainedToleratesMisalignedBuffers) {
+  auto disk = Make(TinyExtents());
+  const uint32_t page = disk->page_size();
+  ASSERT_TRUE(disk->AllocateRun(5).ok());
+  std::vector<char> data(page);
+  for (PageId id = 0; id < 5; ++id) {
+    std::fill(data.begin(), data.end(), static_cast<char>('0' + id));
+    ASSERT_TRUE(disk->WriteRun(id, 1, data.data()).ok());
+  }
+  std::vector<char> raw(3 * page + 1);
+  char* misaligned = raw.data() + 1;
+  const std::vector<PageId> ids = {4, 1, 2};
+  auto ticket_or = disk->SubmitReadChained(
+      ids, {misaligned, misaligned + page, misaligned + 2 * page});
+  ASSERT_TRUE(ticket_or.ok()) << ticket_or.status().ToString();
+  ASSERT_TRUE(disk->CompleteRead(ticket_or.value()).ok());
+  EXPECT_EQ(misaligned[0], '4');
+  EXPECT_EQ(misaligned[page], '1');
+  EXPECT_EQ(misaligned[2 * page], '2');
+  EXPECT_EQ(misaligned[3 * page - 1], '2');
+}
+
+// Registered-I/O-memory bounce conformance (the aligned_buffer satellite):
+// registering a frame arena must not change what any read/write path
+// returns — aligned destinations inside the registered region, misaligned
+// caller buffers bouncing through the internal AlignedBuffer, and mixes of
+// both in one chained call all round-trip byte-identical on every backend
+// (mem/mmap treat registration as a no-op; direct turns eligible reads
+// into READ_FIXED against the registered region when the kernel allows).
+TEST_P(VolumeTest, RegisteredMemoryMixedAlignmentRoundTrips) {
+  auto disk = Make(TinyExtents());
+  const uint32_t page = disk->page_size();
+  ASSERT_TRUE(disk->AllocateRun(8).ok());
+  std::vector<char> data(page);
+  for (PageId id = 0; id < 8; ++id) {
+    std::fill(data.begin(), data.end(), static_cast<char>('A' + id));
+    ASSERT_TRUE(disk->WriteRun(id, 1, data.data()).ok());
+  }
+
+  // A registered "frame arena" (what the buffer pool registers)...
+  AlignedBuffer arena;
+  ASSERT_TRUE(arena.Reserve(4 * page, 4096));
+  disk->RegisterIoMemory(arena.data(), 4 * page);
+  // ...plus a deliberately misaligned caller buffer outside it.
+  std::vector<char> raw(2 * page + 1);
+  char* misaligned = raw.data() + 1;
+
+  // Chained read mixing registered-arena and misaligned destinations.
+  const std::vector<PageId> ids = {6, 2, 5, 0};
+  ASSERT_TRUE(disk->ReadChained(ids, {arena.data(), misaligned,
+                                      arena.data() + page,
+                                      misaligned + page})
+                  .ok());
+  EXPECT_EQ(arena.data()[0], 'G');
+  EXPECT_EQ(misaligned[0], 'C');
+  EXPECT_EQ(arena.data()[page], 'F');
+  EXPECT_EQ(misaligned[page], 'A');
+  EXPECT_EQ(misaligned[2 * page - 1], 'A');
+
+  // The async pair against the registered arena.
+  auto ticket_or = disk->SubmitReadChained({3, 7},
+                                           {arena.data() + 2 * page,
+                                            arena.data() + 3 * page});
+  ASSERT_TRUE(ticket_or.ok());
+  ASSERT_TRUE(disk->CompleteRead(ticket_or.value()).ok());
+  EXPECT_EQ(arena.data()[2 * page], 'D');
+  EXPECT_EQ(arena.data()[3 * page], 'H');
+
+  // Writes sourced from the registered region round-trip unchanged.
+  std::fill_n(arena.data(), page, 'Z');
+  ASSERT_TRUE(disk->WriteRun(1, 1, arena.data()).ok());
+  std::vector<char> back(page);
+  ASSERT_TRUE(disk->ReadRun(1, 1, back.data()).ok());
+  EXPECT_EQ(back[0], 'Z');
+  EXPECT_EQ(back[page - 1], 'Z');
+
+  // Unregistration mid-life is safe and changes nothing observable.
+  disk->UnregisterIoMemory(arena.data());
+  ASSERT_TRUE(disk->ReadRun(6, 1, arena.data()).ok());
+  EXPECT_EQ(arena.data()[0], 'G');
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -513,6 +513,74 @@ TEST_P(CrashMatrixTest, ObjCacheNeverServesPreCrashAssembly) {
   std::filesystem::remove_all(scrub_dir);
 }
 
+// Negative-cache satellite: a NotFound verdict cached before the crash
+// must never suppress an object that recovery produces. The run probes a
+// missing ref until the negative table answers, then Puts that very ref —
+// the page writes are buffered (they vanish at power loss) while the WAL
+// record is durable, so the reopened store materializes the object by
+// replay. If any negative state leaked across the reopen, the replayed
+// object would read as NotFound.
+TEST_P(CrashMatrixTest, NegativeVerdictNeverSurvivesRecovery) {
+  if (!ByRef()) {
+    GTEST_SKIP() << "plain NSM has no by-ref reads, so no object cache";
+  }
+  const ObjectRef fresh = 9000;
+  const ObjectRef never = 9001;
+  Tuple tuple = db_->objects()[0].tuple;
+  tuple.values[0] = Value::Int32(9000 + 1);  // fresh unique key
+  const std::string image_dir = dir_ + "_negimage";
+  std::filesystem::remove_all(image_dir);
+  {
+    FaultHandle handle;
+    StoreOptions options = FaultedOptions(&handle);
+    options.objcache.enabled = true;
+    options.wal_sync = WalSyncPolicy::kAlways;
+    auto store_or = ComplexObjectStore::Open(db_->schema(), options);
+    ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+    auto store = std::move(store_or).value();
+    for (const auto& object : db_->objects()) {
+      ASSERT_TRUE(store->Put(object.ref, object.tuple).ok());
+    }
+    ASSERT_TRUE(store->Flush().ok());
+    // Probe twice: the second answer provably comes from the side table.
+    ASSERT_TRUE(store->Get(fresh).status().IsNotFound());
+    ASSERT_TRUE(store->Get(fresh).status().IsNotFound());
+    ASSERT_GE(store->objcache_stats().negative_hits, 1u);
+    // Create the very object the table calls absent. Its pages are
+    // volatile (FaultVolume buffers them), its log record is durable.
+    ASSERT_TRUE(store->Put(fresh, tuple).ok());
+    auto live = store->Get(fresh);
+    ASSERT_TRUE(live.ok()) << "negative verdict outlived the Put pre-crash";
+    ASSERT_EQ(live.value(), tuple);
+    // Power-loss image while the process (and its cache) still lives.
+    std::filesystem::copy(dir_, image_dir,
+                          std::filesystem::copy_options::recursive);
+  }
+  {
+    StoreOptions options;
+    options.model = Model();
+    options.backend = Backend();
+    options.path = image_dir;
+    options.objcache.enabled = true;
+    auto store_or = ComplexObjectStore::Open(db_->schema(), options);
+    ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+    auto store = std::move(store_or).value();
+    EXPECT_EQ(store->objcache_stats().entries, 0u);
+    EXPECT_EQ(store->objcache_stats().negative_hits, 0u);
+    for (int pass = 0; pass < 2; ++pass) {
+      auto got = store->Get(fresh);
+      ASSERT_TRUE(got.ok())
+          << "recovered object suppressed on pass " << pass;
+      EXPECT_EQ(got.value(), tuple);
+    }
+    // A genuinely missing ref still answers NotFound on both the model
+    // probe and the negatively-cached repeat.
+    EXPECT_TRUE(store->Get(never).status().IsNotFound());
+    EXPECT_TRUE(store->Get(never).status().IsNotFound());
+  }
+  std::filesystem::remove_all(image_dir);
+}
+
 std::string MatrixParamName(
     const ::testing::TestParamInfo<std::tuple<StorageModelKind, VolumeKind>>&
         info) {

@@ -186,6 +186,80 @@ TEST(ObjectCacheTest, ResetStatsKeepsGauges) {
   EXPECT_EQ(stats.entries, 1u);
 }
 
+TEST(ObjectCacheTest, NegativeMissInsertHit) {
+  ObjectCache cache(TinyOptions());
+  EXPECT_FALSE(cache.LookupNegative(7));
+  uint64_t epoch = ~0ull;
+  EXPECT_EQ(cache.Lookup(7, &epoch), nullptr);
+  cache.InsertNegative(7, epoch);
+  EXPECT_TRUE(cache.LookupNegative(7));
+  const ObjCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.negative_inserts, 1u);
+  EXPECT_EQ(stats.negative_hits, 1u);
+  EXPECT_EQ(stats.negative_entries, 1u);
+}
+
+TEST(ObjectCacheTest, NegativeInsertBlockedByEpochMove) {
+  ObjectCache cache(TinyOptions());
+  uint64_t epoch = 0;
+  cache.Lookup(7, &epoch);
+  // A write (any write) runs between the probe and the verdict: the
+  // NotFound may already be wrong.
+  cache.InvalidateRef(7);
+  cache.InsertNegative(7, epoch);
+  EXPECT_FALSE(cache.LookupNegative(7));
+  EXPECT_EQ(cache.stats().negative_inserts, 0u);
+  EXPECT_EQ(cache.stats().stale_drops, 1u);
+}
+
+TEST(ObjectCacheTest, NegativeVoidedByAnyWrite) {
+  ObjectCache cache(TinyOptions());
+  uint64_t epoch = 0;
+  cache.Lookup(7, &epoch);
+  cache.InsertNegative(7, epoch);
+  ASSERT_TRUE(cache.LookupNegative(7));
+  // A page-based invalidation (fired by every store write) bumps all
+  // epochs, so the verdict dies even though ref 7 was never touched.
+  cache.InvalidatePages({55});
+  EXPECT_FALSE(cache.LookupNegative(7));
+  EXPECT_EQ(cache.stats().negative_entries, 0u) << "stale entry not reaped";
+}
+
+TEST(ObjectCacheTest, NegativeErasedByInvalidateRef) {
+  ObjectCache cache(TinyOptions());
+  uint64_t epoch = 0;
+  cache.Lookup(9, &epoch);
+  cache.InsertNegative(9, epoch);
+  cache.InvalidateRef(9);  // the object was just Put
+  EXPECT_FALSE(cache.LookupNegative(9));
+  EXPECT_EQ(cache.stats().negative_entries, 0u);
+}
+
+TEST(ObjectCacheTest, NegativeTableIsBounded) {
+  ObjCacheOptions options = TinyOptions();
+  options.negative_capacity = 4;
+  ObjectCache cache(options);
+  for (ObjectRef ref = 0; ref < 16; ++ref) {
+    uint64_t epoch = 0;
+    cache.Lookup(ref, &epoch);
+    cache.InsertNegative(ref, epoch);
+  }
+  EXPECT_LE(cache.stats().negative_entries, 4u);
+  EXPECT_TRUE(cache.LookupNegative(15)) << "most recent verdict evicted";
+  EXPECT_FALSE(cache.LookupNegative(0)) << "oldest verdict survived the bound";
+}
+
+TEST(ObjectCacheTest, NegativeCachingDisabledByZeroCapacity) {
+  ObjCacheOptions options = TinyOptions();
+  options.negative_capacity = 0;
+  ObjectCache cache(options);
+  uint64_t epoch = 0;
+  cache.Lookup(3, &epoch);
+  cache.InsertNegative(3, epoch);
+  EXPECT_FALSE(cache.LookupNegative(3));
+  EXPECT_EQ(cache.stats().negative_inserts, 0u);
+}
+
 TEST(ObjectCacheTest, DeepSizeOfGrowsWithContent) {
   const size_t flat = DeepSizeOf(SmallTuple(1));
   Tuple nested({Value::Int32(1),
@@ -364,6 +438,49 @@ TEST_P(ObjCacheStoreTest, RemoveInvalidates) {
   ASSERT_TRUE(cached_->Remove(6).ok());
   EXPECT_TRUE(cached_->Get(6).status().IsNotFound())
       << "cache resurrected a removed object";
+}
+
+TEST_P(ObjCacheStoreTest, RepeatedMissingGetIsNegativelyCachedAndByteEqual) {
+  if (!ByRef()) GTEST_SKIP();
+  const ObjectRef absent = 9000;  // far outside the generated refs
+  auto from_plain = plain_->Get(absent);
+  auto first = cached_->Get(absent);   // model probe, verdict recorded
+  auto second = cached_->Get(absent);  // served by the negative table
+  ASSERT_FALSE(from_plain.ok());
+  ASSERT_FALSE(first.ok());
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(first.status().IsNotFound());
+  EXPECT_TRUE(second.status().IsNotFound());
+  // The cache-served answer is indistinguishable from the model's.
+  EXPECT_EQ(first.status().ToString(), from_plain.status().ToString());
+  EXPECT_EQ(second.status().ToString(), from_plain.status().ToString());
+  EXPECT_EQ(cached_->objcache_stats().negative_hits, 1u);
+}
+
+TEST_P(ObjCacheStoreTest, NegativeHitCausesNoPageFixes) {
+  if (!ByRef()) GTEST_SKIP();
+  const ObjectRef absent = 9001;
+  ASSERT_TRUE(cached_->Get(absent).status().IsNotFound());  // record verdict
+  cached_->ResetStats();
+  ASSERT_TRUE(cached_->Get(absent).status().IsNotFound());
+  EXPECT_EQ(cached_->stats().buffer.fixes, 0u)
+      << "a negative hit touched the page pool";
+  EXPECT_EQ(cached_->objcache_stats().negative_hits, 1u);
+}
+
+TEST_P(ObjCacheStoreTest, PutAfterNegativeProbeIsVisible) {
+  if (!ByRef()) GTEST_SKIP();
+  const ObjectRef fresh = 9002;
+  // Probe twice so the second answer provably came from the side table.
+  ASSERT_TRUE(cached_->Get(fresh).status().IsNotFound());
+  ASSERT_TRUE(cached_->Get(fresh).status().IsNotFound());
+  Tuple tuple = db_->objects()[0].tuple;
+  tuple.values[0] = Value::Int32(9002 + 1);  // fresh unique key
+  auto put = cached_->Put(fresh, tuple);
+  ASSERT_TRUE(put.ok()) << put.ToString();
+  auto after = cached_->Get(fresh);
+  ASSERT_TRUE(after.ok()) << "negative verdict outlived the Put";
+  EXPECT_EQ(after.value(), tuple);
 }
 
 TEST_P(ObjCacheStoreTest, DisabledStoreHasNoCache) {
