@@ -18,15 +18,29 @@
 //           committers to join the epoch: higher per-commit latency, fewer
 //           fsyncs per acknowledged commit.
 //
+// Two further sections ride along:
+//
+//   * apply scaling — kDsm with write_stripes {1, 4}, wal_sync none, N
+//     writers on disjoint stripes: how much of the write path actually
+//     runs in parallel once per-segment latches replace the store-wide
+//     write mutex (the stripes=1 row IS the serialized baseline).
+//   * transactions — one writer under kAlways comparing 8 autonomous Puts
+//     (8 durability waits) against Begin + 8 Puts + Commit (one wait) and
+//     Begin + 8 Puts + Rollback (compensations + abort marker).
+//
 // Writes BENCH_wal.json. Ungated in CI (fsync latency is runner hardware;
 // archive the artifact and watch the trend until the numbers stabilize).
 //
 // Usage: bench_wal [--ops N] [--group-interval-us N] [--dir PATH]
+//                  [--txn] [--tiny]
 //   --ops                per-writer Put count per cell (default 192;
 //                        fsync-bound cells dominate the runtime)
 //   --group-interval-us  kGroup accumulation window (default 100)
 //   --dir                scratch directory root (default: system temp —
 //                        point it at a real disk to measure real fsyncs)
+//   --txn                run only the apply-scaling and transaction
+//                        sections (the ci/check.sh txn stage)
+//   --tiny               shrink op counts for a smoke run (no JSON)
 
 #include <algorithm>
 #include <atomic>
@@ -139,6 +153,134 @@ CellResult RunCell(const bench::BenchmarkDatabase& db, const Policy& policy,
   return r;
 }
 
+/// Apply-scaling cell: N writers Put disjoint ref slices into a striped
+/// kDsm store, wal_sync none (no fsync in the loop — the measured work is
+/// apply + log append). Writer w takes objects with index ≡ w (mod
+/// writers); generated refs are dense, so with writers == stripes every
+/// writer stays inside its own stripe and the applies share no latch.
+CellResult RunApplyCell(const bench::BenchmarkDatabase& db, uint32_t stripes,
+                        uint32_t writers, uint64_t ops_per_writer,
+                        const std::string& dir) {
+  std::filesystem::remove_all(dir);
+  StoreOptions options;
+  options.backend = VolumeKind::kMmap;
+  options.path = dir;
+  options.model = StorageModelKind::kDsm;
+  options.wal_sync = WalSyncPolicy::kNone;
+  options.write_stripes = stripes;
+  options.buffer_shards = 0;  // thread-safe pool, derived shard count
+  auto store_or = ComplexObjectStore::Open(db.schema(), options);
+  if (!store_or.ok()) Fatal("open store", store_or.status());
+  auto store = std::move(store_or).value();
+
+  const uint64_t total = writers * ops_per_writer;
+  std::atomic<uint32_t> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  pool.reserve(writers);
+  std::atomic<uint64_t> done{0};
+  for (uint32_t w = 0; w < writers; ++w) {
+    pool.emplace_back([&, w] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      uint64_t ops = 0;
+      for (uint64_t i = w; i < total; i += writers) {
+        const auto& object = db.objects()[i];
+        const Status st = store->Put(object.ref, object.tuple);
+        if (!st.ok()) Fatal("striped put", st);
+        ++ops;
+      }
+      done.fetch_add(ops);
+    });
+  }
+  while (ready.load() != writers) {
+  }
+  const auto start = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  const std::chrono::duration<double> elapsed = Clock::now() - start;
+  store.reset();
+  std::filesystem::remove_all(dir);
+
+  CellResult r;
+  r.policy = "none";
+  r.writers = writers;
+  r.name = "wal_apply_dsm_s" + std::to_string(stripes) + "_t" +
+           std::to_string(writers);
+  r.total_ops = done.load();
+  r.ops_per_sec = static_cast<double>(r.total_ops) / elapsed.count();
+  const double mean_us = 1e6 * elapsed.count() / static_cast<double>(r.total_ops);
+  r.mean_us = r.p50_us = r.p99_us = mean_us;  // throughput cell: no per-op dist
+  return r;
+}
+
+/// Transaction-latency cell: one writer under kAlways, timing batches of
+/// `batch` ops shaped per `mode` ("auto" = autonomous Puts, "commit" =
+/// Begin..Commit, "abort" = Begin..Rollback).
+CellResult RunTxnCell(const bench::BenchmarkDatabase& db,
+                      const std::string& mode, uint64_t batches,
+                      uint32_t batch, uint32_t group_interval_us,
+                      const std::string& dir) {
+  std::filesystem::remove_all(dir);
+  StoreOptions options;
+  options.backend = VolumeKind::kMmap;
+  options.path = dir;
+  options.wal_sync = WalSyncPolicy::kAlways;
+  options.wal_group_interval_us = group_interval_us;
+  auto store_or = ComplexObjectStore::Open(db.schema(), options);
+  if (!store_or.ok()) Fatal("open store", store_or.status());
+  auto store = std::move(store_or).value();
+
+  std::vector<double> latencies;
+  latencies.reserve(batches);
+  const auto run_start = Clock::now();
+  for (uint64_t b = 0; b < batches; ++b) {
+    // The abort batch reuses one slice: Rollback frees its refs again.
+    const uint64_t base = (mode == "abort") ? 0 : b * batch;
+    const auto start = Clock::now();
+    if (mode == "auto") {
+      for (uint32_t i = 0; i < batch; ++i) {
+        const auto& object = db.objects()[base + i];
+        const Status st = store->Put(object.ref, object.tuple);
+        if (!st.ok()) Fatal("autonomous put", st);
+      }
+    } else {
+      auto txn_or = store->Begin();
+      if (!txn_or.ok()) Fatal("begin", txn_or.status());
+      StoreTransaction txn = std::move(txn_or).value();
+      for (uint32_t i = 0; i < batch; ++i) {
+        const auto& object = db.objects()[base + i];
+        const Status st = txn.Put(object.ref, object.tuple);
+        if (!st.ok()) Fatal("txn put", st);
+      }
+      const Status end =
+          (mode == "commit") ? txn.Commit() : txn.Rollback();
+      if (!end.ok()) Fatal(mode.c_str(), end);
+    }
+    const std::chrono::duration<double, std::micro> took =
+        Clock::now() - start;
+    latencies.push_back(took.count());
+  }
+  const std::chrono::duration<double> elapsed = Clock::now() - run_start;
+  store.reset();
+  std::filesystem::remove_all(dir);
+
+  std::sort(latencies.begin(), latencies.end());
+  CellResult r;
+  r.policy = "always";
+  r.writers = 1;
+  r.name = "wal_txn_" + mode + std::to_string(batch);
+  r.total_ops = batches * batch;
+  r.ops_per_sec = static_cast<double>(r.total_ops) / elapsed.count();
+  double sum = 0;
+  for (double us : latencies) sum += us;
+  r.mean_us = sum / static_cast<double>(latencies.size());
+  r.p50_us = latencies[latencies.size() / 2];
+  r.p99_us = latencies[latencies.size() * 99 / 100];
+  return r;
+}
+
 void WriteJson(const std::vector<CellResult>& results, const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -170,6 +312,8 @@ int main(int argc, char** argv) {
   uint64_t ops_per_writer = 192;
   uint32_t group_interval_us = 100;
   std::string dir_root;
+  bool txn_only = false;
+  bool tiny = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--ops" && i + 1 < argc) {
@@ -179,14 +323,19 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--dir" && i + 1 < argc) {
       dir_root = argv[++i];
+    } else if (arg == "--txn") {
+      txn_only = true;
+    } else if (arg == "--tiny") {
+      tiny = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--ops N] [--group-interval-us N] [--dir "
-                   "PATH]\n",
+                   "PATH] [--txn] [--tiny]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (tiny) ops_per_writer = std::min<uint64_t>(ops_per_writer, 24);
   if (dir_root.empty()) {
     dir_root = (std::filesystem::temp_directory_path() /
                 ("starfish_bench_wal_" +
@@ -218,16 +367,43 @@ int main(int argc, char** argv) {
               "mean us", "p50 us", "p99 us");
 
   std::vector<CellResult> results;
-  for (const Policy& policy : policies) {
-    for (uint32_t writers : kWriterCounts) {
-      CellResult r = RunCell(db, policy, writers, ops_per_writer,
-                             group_interval_us, dir_root + "_cell");
-      std::printf("%-22s %8u %12.0f %10.2f %10.2f %10.2f\n", r.name.c_str(),
-                  r.writers, r.ops_per_sec, r.mean_us, r.p50_us, r.p99_us);
-      results.push_back(std::move(r));
+  auto show = [&](CellResult r) {
+    std::printf("%-22s %8u %12.0f %10.2f %10.2f %10.2f\n", r.name.c_str(),
+                r.writers, r.ops_per_sec, r.mean_us, r.p50_us, r.p99_us);
+    results.push_back(std::move(r));
+  };
+
+  if (!txn_only) {
+    for (const Policy& policy : policies) {
+      for (uint32_t writers : kWriterCounts) {
+        show(RunCell(db, policy, writers, ops_per_writer, group_interval_us,
+                     dir_root + "_cell"));
+      }
     }
   }
 
+  // Apply scaling: the stripes=1 rows are the serialized baseline the
+  // per-segment latches are measured against.
+  for (uint32_t stripes : {1u, 4u}) {
+    for (uint32_t writers : {1u, 4u}) {
+      show(RunApplyCell(db, stripes, writers, ops_per_writer,
+                        dir_root + "_cell"));
+    }
+  }
+
+  // Transactions: batch of 8 ops, autonomous vs one-commit vs rollback.
+  const uint32_t batch = 8;
+  const uint64_t batches =
+      std::max<uint64_t>(1, ops_per_writer * kWriterCounts[0] / batch);
+  for (const char* mode : {"auto", "commit", "abort"}) {
+    show(RunTxnCell(db, mode, batches, batch, group_interval_us,
+                    dir_root + "_cell"));
+  }
+
+  if (tiny) {
+    std::printf("\n--tiny smoke run: BENCH_wal.json left untouched\n");
+    return 0;
+  }
   WriteJson(results, "BENCH_wal.json");
   std::printf("\nwrote BENCH_wal.json\n");
   return 0;

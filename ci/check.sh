@@ -76,6 +76,16 @@ echo "== WAL crash matrix =="
 "$BUILD_DIR/starfish_tests" \
     --gtest_filter='*WalCrash*:*WalReplay*:*WalFormat*:*RecordManagerMt*'
 
+echo "== transactions + parallel segment applies =="
+# The write-arc stage: multi-op transaction semantics (commit, rollback,
+# destructor auto-rollback, Flush refusal while open), the txn crash
+# matrix (crash between kTxnBegin and kTxnCommit, rollback racing a
+# reader's held objcache entry) and the striped direct-model parallel
+# apply tests — then a tiny smoke of bench_wal's apply-scaling and txn
+# latency sections (--tiny leaves BENCH_wal.json untouched).
+"$BUILD_DIR/starfish_tests" --gtest_filter='*Txn*:*ParallelApply*:*Striped*'
+(cd "$BUILD_DIR" && ./bench_wal --txn --tiny)
+
 echo "== WAL recovery example + fsck over the post-crash store =="
 # A REAL process crash, not an injected fault: the example checkpoints 300
 # readings, logs 200 more under wal_sync=always, and _exit()s. sf_fsck must
@@ -238,8 +248,10 @@ else
   # DirectRingMt covers the per-thread io_uring ring registry (threads
   # outliving volumes, registration churn against live rings); it skips
   # inside the TSan build too when the filesystem has no O_DIRECT.
+  # ParallelApplyMt drives concurrent writers over disjoint stripes through
+  # the per-segment latch path — the race surface the latch push-down added.
   "$BUILD_DIR-tsan/starfish_tests" \
-      --gtest_filter='*BufferMt*:*ShardedDeterminism*:*ObjCacheMt*:*DirectRingMt*'
+      --gtest_filter='*BufferMt*:*ShardedDeterminism*:*ObjCacheMt*:*DirectRingMt*:*ParallelApplyMt*'
 fi
 
 echo "== OK =="

@@ -168,6 +168,9 @@ void BufferManager::TableErase(Shard& shard, PageId id) {
 }
 
 thread_local std::vector<PageId>* BufferManager::read_capture_ = nullptr;
+thread_local BufferManager::CaptureState* BufferManager::write_capture_ =
+    nullptr;
+thread_local BufferManager::CaptureState BufferManager::write_capture_slot_;
 
 Result<PageGuard> BufferManager::Fix(PageId id) {
   if (__builtin_expect(read_capture_ != nullptr, false)) {
@@ -187,10 +190,9 @@ Result<PageGuard> BufferManager::Fix(PageId id) {
     STARFISH_ASSIGN_OR_RETURN(frame_idx, Load(shard, id, nullptr));
   }
   // Pre-image capture must see the page before the caller can touch it:
-  // the flag is false outside an op, so the hot path pays one relaxed
-  // load and a predicted branch.
-  if (__builtin_expect(capture_.active.load(std::memory_order_relaxed),
-                       false)) {
+  // the thread-local slot is null outside an op, so the hot path pays one
+  // TLS load and a predicted branch.
+  if (__builtin_expect(write_capture_ != nullptr, false)) {
     MaybeCapturePreimageLocked(shard, frame_idx, id);
   }
   Frame& frame = shard.frames[frame_idx];
@@ -242,8 +244,7 @@ Status BufferManager::Unfix(PageId id, bool dirty) {
   --frame.pins;
   if (dirty) {
     frame.dirty = true;
-    if (__builtin_expect(capture_.active.load(std::memory_order_relaxed),
-                         false)) {
+    if (__builtin_expect(write_capture_ != nullptr, false)) {
       CaptureDirtyLocked(shard, shard.table[slot].frame, id);
     }
   }
@@ -535,6 +536,12 @@ Result<uint32_t> BufferManager::GrabFrame(Shard& shard) {
 }
 
 Result<uint32_t> BufferManager::PickVictim(Shard& shard) {
+  // Distinguish "every frame is pinned" (caller holds too many guards for
+  // this pool) from "unpinned frames exist but are all pending a WAL record"
+  // — the latter is the bounded leak a failed AppendOp leaves behind (the
+  // frames stay unexplained until the store reopens and replays), and the
+  // caller should see that cause, not a generic pin complaint.
+  bool saw_pending = false;
   switch (options_.policy) {
     case ReplacementPolicy::kLru:
     case ReplacementPolicy::kFifo: {
@@ -542,12 +549,14 @@ Result<uint32_t> BufferManager::PickVictim(Shard& shard) {
       // their content is not yet explained by any durable record.
       for (uint32_t idx = shard.order_head; idx != kNullFrame;
            idx = shard.frames[idx].next) {
-        if (shard.frames[idx].pins == 0 &&
-            shard.recovery_lsn[idx] != kPendingRecoveryLsn) {
-          return idx;
+        if (shard.frames[idx].pins != 0) continue;
+        if (shard.recovery_lsn[idx] == kPendingRecoveryLsn) {
+          saw_pending = true;
+          continue;
         }
+        return idx;
       }
-      return Status::ResourceExhausted("all buffer frames pinned");
+      break;
     }
     case ReplacementPolicy::kClock: {
       const uint32_t n = static_cast<uint32_t>(shard.frames.size());
@@ -555,8 +564,9 @@ Result<uint32_t> BufferManager::PickVictim(Shard& shard) {
         const uint32_t idx = shard.clock_hand;
         shard.clock_hand = (shard.clock_hand + 1) % n;
         Frame& frame = shard.frames[idx];
-        if (frame.page_id == kInvalidPageId || frame.pins > 0 ||
-            shard.recovery_lsn[idx] == kPendingRecoveryLsn) {
+        if (frame.page_id == kInvalidPageId || frame.pins > 0) continue;
+        if (shard.recovery_lsn[idx] == kPendingRecoveryLsn) {
+          saw_pending = true;
           continue;
         }
         if (frame.referenced) {
@@ -565,10 +575,16 @@ Result<uint32_t> BufferManager::PickVictim(Shard& shard) {
         }
         return idx;
       }
-      return Status::ResourceExhausted("all buffer frames pinned");
+      break;
     }
   }
-  return Status::Internal("unknown replacement policy");
+  if (saw_pending) {
+    return Status::FailedPrecondition(
+        "all unpinned buffer frames await a WAL record (a failed log append "
+        "leaves its frames unflushable); close and reopen the store to "
+        "recover them");
+  }
+  return Status::ResourceExhausted("all buffer frames pinned");
 }
 
 Status BufferManager::WriteBackBatch(Shard& shard, uint32_t must_include) {
@@ -602,14 +618,17 @@ Status BufferManager::WriteBackBatch(Shard& shard, uint32_t must_include) {
 }
 
 void BufferManager::BeginWriteCapture(PageId preimage_limit) {
-  capture_.out = WriteCapture{};
-  capture_.preimage_limit = preimage_limit;
-  capture_.active.store(true, std::memory_order_relaxed);
+  CaptureState& slot = write_capture_slot_;
+  slot.out.dirtied.clear();
+  slot.out.preimages.clear();
+  slot.preimage_limit = preimage_limit;
+  write_capture_ = &slot;
 }
 
 BufferManager::WriteCapture BufferManager::TakeWriteCapture() {
-  capture_.active.store(false, std::memory_order_relaxed);
-  return std::move(capture_.out);
+  CaptureState& slot = write_capture_slot_;
+  write_capture_ = nullptr;
+  return std::move(slot.out);
 }
 
 void BufferManager::StampRecoveryLsn(const std::vector<PageId>& pages,
@@ -622,7 +641,9 @@ void BufferManager::StampRecoveryLsn(const std::vector<PageId>& pages,
     const uint32_t frame_idx = shard.table[slot].frame;
     shard.recovery_lsn[frame_idx] = lsn;
     shard.frames[frame_idx].dirty = true;
-    SetPageLsn(FrameData(shard, frame_idx), lsn);
+    // lsn 0 is the no-WAL clear: pending frames become ordinary dirty pages
+    // and the on-page LSN (always 0 on that path) stays untouched.
+    if (lsn != 0) SetPageLsn(FrameData(shard, frame_idx), lsn);
   }
 }
 
@@ -632,18 +653,19 @@ void BufferManager::CaptureDirtyLocked(Shard& shard, uint32_t frame_idx,
     return;  // already recorded
   }
   shard.recovery_lsn[frame_idx] = kPendingRecoveryLsn;
-  capture_.out.dirtied.push_back(id);
+  write_capture_->out.dirtied.push_back(id);
 }
 
 void BufferManager::MaybeCapturePreimageLocked(Shard& shard,
                                                uint32_t frame_idx, PageId id) {
-  if (id >= capture_.preimage_limit) return;
-  for (const auto& [seen, image] : capture_.out.preimages) {
+  CaptureState& capture = *write_capture_;
+  if (id >= capture.preimage_limit) return;
+  for (const auto& [seen, image] : capture.out.preimages) {
     (void)image;
     if (seen == id) return;  // intra-op dedup: first Fix saw the pre-image
   }
-  if (capture_.query && !capture_.query(id)) return;
-  capture_.out.preimages.emplace_back(
+  if (preimage_query_ && !preimage_query_(id)) return;
+  capture.out.preimages.emplace_back(
       id, std::string(FrameData(shard, frame_idx), page_size_));
 }
 

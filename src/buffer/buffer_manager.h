@@ -255,9 +255,14 @@ class PageGuard {
 ///     logs those images so replay can roll shared pages back to their
 ///     committed content before re-running ops.
 ///
-/// Capture runs strictly single-threaded (the store's write mutex); the
-/// only concurrency-visible piece is the relaxed `active` flag the Fix hot
-/// path reads, which is false whenever no op is mid-flight.
+/// Write capture is THREAD-SCOPED, like the read capture: the capture state
+/// lives in a thread-local slot, so concurrent writers (whose ops hold
+/// disjoint segment write-latch sets) each capture exactly their own op's
+/// pages with no shared state and no lock. The Fix/Unpin hot paths pay one
+/// TLS load and a predicted-not-taken branch when no capture is active.
+/// The per-frame pending sentinel is still shared state — but two ops can
+/// only race on a frame if their latch sets overlap, which the store's
+/// latching rules out.
 class BufferManager {
  public:
   BufferManager(Volume* disk, BufferOptions options = {});
@@ -281,21 +286,25 @@ class BufferManager {
   /// because the WAL already holds one for this checkpoint interval).
   /// Null = capture every page below the limit. Wire-up time only.
   void SetPreimageQuery(std::function<bool(PageId)> query) {
-    capture_.query = std::move(query);
+    preimage_query_ = std::move(query);
   }
 
-  /// Starts an op's write capture. Pages with id < preimage_limit get
-  /// pre-imaged at Fix time. Caller must be the only writing thread until
-  /// the matching TakeWriteCapture.
+  /// Starts THIS THREAD's write capture. Pages with id < preimage_limit get
+  /// pre-imaged at Fix time. Thread-scoped: concurrent writer threads each
+  /// capture their own op (their latch sets must be disjoint — see the
+  /// class comment); captures do not nest on one thread.
   void BeginWriteCapture(PageId preimage_limit);
 
-  /// Ends the capture and returns what it collected. The dirtied frames
-  /// stay pending until StampRecoveryLsn.
+  /// Ends this thread's capture and returns what it collected. The dirtied
+  /// frames stay pending until StampRecoveryLsn.
   WriteCapture TakeWriteCapture();
 
   /// Resolves the pending frames of `pages` to `lsn`, stamping the LSN into
   /// both the frame metadata and the page header bytes. Pages no longer
-  /// resident are skipped (freed mid-op).
+  /// resident are skipped (freed mid-op). lsn 0 only CLEARS the pending
+  /// sentinel (frames become ordinary dirty pages, no page-header stamp) —
+  /// the no-WAL path uses it to release captured frames, since 0 is never a
+  /// real LSN (they start at 1).
   void StampRecoveryLsn(const std::vector<PageId>& pages, uint64_t lsn);
 
   /// Starts recording, into *sink, the id of every page THIS THREAD fixes
@@ -564,34 +573,40 @@ class BufferManager {
   void RemoveFromOrder(Shard& shard, uint32_t frame_idx);
 
   /// Marks a just-dirtied frame pending and records its page id (once per
-  /// op). Shard lock held; op thread only. Kept out of line so the cold
-  /// capture tail does not bloat the inlined Fix/Unpin hot paths.
+  /// op) in the calling thread's capture. Shard lock held. Kept out of line
+  /// so the cold capture tail does not bloat the inlined Fix/Unpin paths.
   [[gnu::noinline]] [[gnu::cold]] void CaptureDirtyLocked(Shard& shard,
                                                           uint32_t frame_idx,
                                                           PageId id);
 
-  /// Copies the page's pre-op image into the capture if the page is below
-  /// the pre-image limit, not yet imaged this op, and the query approves.
-  /// Shard lock held; op thread only; called at Fix before the caller can
+  /// Copies the page's pre-op image into the calling thread's capture if
+  /// the page is below the pre-image limit, not yet imaged this op, and the
+  /// query approves. Shard lock held; called at Fix before the caller can
   /// mutate the frame. Out of line for the same reason as above.
   [[gnu::noinline]] [[gnu::cold]] void MaybeCapturePreimageLocked(
       Shard& shard, uint32_t frame_idx, PageId id);
 
-  /// One op's write-capture state. Only `active` is read outside the op
-  /// thread (relaxed, on the Fix hot path); everything else is op-private.
+  /// One op's write-capture state; lives in a thread-local slot so each
+  /// writer thread captures exactly its own op.
   struct CaptureState {
-    std::atomic<bool> active{false};
     PageId preimage_limit = 0;
-    std::function<bool(PageId)> query;
     WriteCapture out;
   };
 
   /// Read-capture sink of the current thread (null = off, the common
   /// case). A plain thread-local pointer: the Fix hot path pays one TLS
-  /// load and a predicted-not-taken branch, mirroring the write capture's
-  /// relaxed `active` flag. Static (not per-manager) — a thread runs one
-  /// assembly at a time, and the store brackets captures tightly.
+  /// load and a predicted-not-taken branch, mirroring the write capture.
+  /// Static (not per-manager) — a thread runs one assembly at a time, and
+  /// the store brackets captures tightly.
   static thread_local std::vector<PageId>* read_capture_;
+
+  /// This thread's active write capture (null = off). Same shape as the
+  /// read capture: static, because a thread applies one op against one
+  /// store at a time, and the store brackets the capture tightly.
+  static thread_local CaptureState* write_capture_;
+  /// Backing storage for write_capture_ (avoids a per-op allocation; the
+  /// vectors inside keep their capacity across ops on the same thread).
+  static thread_local CaptureState write_capture_slot_;
 
   Volume* disk_;
   BufferOptions options_;
@@ -608,7 +623,9 @@ class BufferManager {
   /// latency); sharded mode uses the heap array. Exactly one is live.
   Shard single_;
   std::unique_ptr<Shard[]> shards_;
-  CaptureState capture_;
+  /// Pre-image filter for write captures (see SetPreimageQuery). Shared by
+  /// all writer threads; WalManager::NeedsPreimage is internally locked.
+  std::function<bool(PageId)> preimage_query_;
   WalOrderingHook* wal_hook_ = nullptr;
 };
 
@@ -709,10 +726,8 @@ inline void PageGuard::Unpin() {
   --frame.pins;
   if (dirty_) {
     frame.dirty = true;
-    BufferManager* mgr = shard->owner;
-    if (__builtin_expect(
-            mgr->capture_.active.load(std::memory_order_relaxed), false)) {
-      mgr->CaptureDirtyLocked(*shard, frame_idx_, id_);
+    if (__builtin_expect(BufferManager::write_capture_ != nullptr, false)) {
+      shard->owner->CaptureDirtyLocked(*shard, frame_idx_, id_);
     }
   }
 }

@@ -1,11 +1,14 @@
 #include "core/complex_object_store.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 #include <unordered_set>
 
 #include "core/generations.h"
+#include "storage/segment.h"
 #include "util/coding.h"
 #include "util/file_io.h"
 
@@ -74,6 +77,31 @@ bool DecodeRegions(std::string_view in, std::vector<RecordRegion>* out) {
   }
   return in.empty();
 }
+
+/// Locks an op's write-latch set for apply + append + stamp. The set is
+/// sorted by address and deduplicated, so any two ops lock their shared
+/// segments in one global order — no lock cycles between concurrent
+/// writers, whatever their models hand back.
+class SegmentLatchSet {
+ public:
+  explicit SegmentLatchSet(std::vector<Segment*> segments)
+      : segments_(std::move(segments)) {
+    std::sort(segments_.begin(), segments_.end());
+    segments_.erase(std::unique(segments_.begin(), segments_.end()),
+                    segments_.end());
+    for (Segment* segment : segments_) segment->write_latch().lock();
+  }
+  ~SegmentLatchSet() {
+    for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+      (*it)->write_latch().unlock();
+    }
+  }
+  SegmentLatchSet(const SegmentLatchSet&) = delete;
+  SegmentLatchSet& operator=(const SegmentLatchSet&) = delete;
+
+ private:
+  std::vector<Segment*> segments_;
+};
 
 }  // namespace
 
@@ -168,6 +196,7 @@ Result<std::unique_ptr<ComplexObjectStore>> ComplexObjectStore::Open(
   ModelConfig config;
   config.schema = std::move(schema);
   config.key_attr_index = store->options_.key_attr_index;
+  config.write_stripes = store->options_.write_stripes;
   STARFISH_ASSIGN_OR_RETURN(
       store->model_,
       CreateStorageModel(store->options_.model, store->engine_.get(), config));
@@ -226,6 +255,10 @@ Result<std::unique_ptr<ComplexObjectStore>> ComplexObjectStore::Open(
                                             : std::vector<uint64_t>{});
   }
 
+  // Serializes logged op bodies AND transaction undo images — the mem
+  // backend needs it for the latter, so it exists on every path.
+  store->wal_serializer_ = std::make_unique<ObjectSerializer>(store->schema_);
+
   // WAL attach + crash recovery (persistent backends; a no-op for mem).
   // After this the store's committed state is reconstructed, the log is
   // clean, and the write path logs through wal_.
@@ -253,7 +286,6 @@ Status ComplexObjectStore::AttachWalAndRecover(bool reopen,
   if (!persistent()) return Status::OK();
   const std::string& dir = options_.path;
   const std::string wal_path = WalPath(dir);
-  wal_serializer_ = std::make_unique<ObjectSerializer>(schema_);
 
   STARFISH_ASSIGN_OR_RETURN(WalScan scan, ScanWalFile(wal_path));
 
@@ -324,9 +356,10 @@ Status ComplexObjectStore::AttachWalAndRecover(bool reopen,
 
   if (!replay) return Status::OK();
 
-  // The committed tail: op records at or past the checkpoint LSN. Records
-  // below it are stale leftovers of a crash between the catalog commit and
-  // the log truncation; checkpoint records are markers, not ops.
+  // The committed tail: op and txn-marker records at or past the checkpoint
+  // LSN. Records below it are stale leftovers of a crash between the
+  // catalog commit and the log truncation; checkpoint records are markers,
+  // not ops.
   std::vector<const WalRecord*> tail;
   bool stale = scan.base_lsn < checkpoint_lsn;
   for (const WalRecord& record : scan.records) {
@@ -334,7 +367,27 @@ Status ComplexObjectStore::AttachWalAndRecover(bool reopen,
       stale = true;
       continue;
     }
-    if (IsWalOpKind(record.kind)) tail.push_back(&record);
+    if (IsWalOpKind(record.kind) || IsWalTxnMarker(record.kind)) {
+      tail.push_back(&record);
+    }
+  }
+
+  // Transaction verdicts: an op with a non-zero txn id replays only when
+  // its kTxnCommit marker made the log. Everything else of that
+  // transaction — forward ops of an unterminated (crashed) transaction,
+  // and a rolled-back transaction's forward ops AND compensations alike —
+  // is skipped wholesale: phase 1's pre-images restore any of its pages
+  // that reached the volume, which IS the committed state.
+  std::unordered_set<uint64_t> committed_txns;
+  for (const WalRecord* record : tail) {
+    if (record->kind != WalRecordKind::kTxnCommit) continue;
+    uint64_t txn_id = 0;
+    if (!DecodeWalTxnPayload(record->payload, &txn_id)) {
+      return Status::Corruption("undecodable WAL txn marker (lsn " +
+                                std::to_string(record->lsn) + ") in " +
+                                wal_path);
+    }
+    committed_txns.insert(txn_id);
   }
 
   if (tail.empty()) {
@@ -352,11 +405,15 @@ Status ComplexObjectStore::AttachWalAndRecover(bool reopen,
   // pre-image in the tail. First-touch capture means that image is the
   // page's committed content, so phase 2 re-runs from exactly the
   // committed state (idempotent across repeated crashes during recovery).
+  // EVERY op record contributes here, aborted and uncommitted-transaction
+  // ones included: their pages may have been flushed, and the pre-image is
+  // what rolls them back.
   std::vector<std::pair<const WalRecord*, WalOpPayload>> ops;
   ops.reserve(tail.size());
   std::unordered_set<PageId> installed;
   const uint32_t page_size = engine_->disk()->page_size();
   for (const WalRecord* record : tail) {
+    if (IsWalTxnMarker(record->kind)) continue;  // no state, no pre-images
     WalOpPayload op;
     if (!DecodeWalOpPayload(record->payload, &op)) {
       return Status::Corruption("undecodable WAL op record (lsn " +
@@ -377,21 +434,53 @@ Status ComplexObjectStore::AttachWalAndRecover(bool reopen,
     ops.emplace_back(record, std::move(op));
   }
 
-  // Redo, phase 2 — re-run the non-aborted ops in LSN order through the
-  // normal model write path (logging and capture off). LSN order is apply
-  // order, and the allocator state is deterministic from the committed
-  // state after ReconcileLive, so this reconstructs every committed op's
-  // effect.
+  // Redo, phase 2 — re-run the surviving ops in LSN order through the
+  // normal model write path (logging and capture off): non-aborted, and —
+  // when the op belongs to a transaction — only with a commit verdict. LSN
+  // order is apply order, and the allocator state is deterministic from
+  // the committed state after ReconcileLive, so this reconstructs every
+  // committed op's effect.
   for (const auto& [record, op] : ops) {
     if (record->flags & kWalFlagAborted) continue;
+    if (op.txn_id != 0 && committed_txns.count(op.txn_id) == 0) continue;
     STARFISH_RETURN_NOT_OK(ReplayOp(*record));
     ++replayed_wal_records_;
   }
 
   // Recovery checkpoint: commit the replayed state and truncate the log,
   // so a post-recovery store always starts from a clean, empty tail.
-  dirty_ = true;
+  dirty_.store(true, std::memory_order_relaxed);
   return Flush();
+}
+
+Status ComplexObjectStore::ApplyLogicalOp(WalRecordKind kind, ObjectRef ref,
+                                          std::string_view body) {
+  switch (kind) {
+    case WalRecordKind::kPut:
+    case WalRecordKind::kReplace: {
+      std::vector<RecordRegion> regions;
+      if (!DecodeRegions(body, &regions)) {
+        return Status::Corruption("undecodable logical op body");
+      }
+      STARFISH_ASSIGN_OR_RETURN(Tuple object,
+                                wal_serializer_->FromRegionsAll(regions));
+      return kind == WalRecordKind::kPut ? model_->Insert(ref, object)
+                                         : model_->ReplaceObject(ref, object);
+    }
+    case WalRecordKind::kUpdateRoot: {
+      STARFISH_ASSIGN_OR_RETURN(Tuple root,
+                                ObjectSerializer::DecodeFlat(*schema_, body));
+      return model_->UpdateRootRecord(ref, root);
+    }
+    case WalRecordKind::kRemove:
+      return model_->Remove(ref);
+    case WalRecordKind::kCheckpoint:
+    case WalRecordKind::kTxnBegin:
+    case WalRecordKind::kTxnCommit:
+    case WalRecordKind::kTxnAbort:
+      return Status::OK();  // markers carry no object state
+  }
+  return Status::Corruption("unknown WAL record kind");
 }
 
 Status ComplexObjectStore::ReplayOp(const WalRecord& record) {
@@ -399,66 +488,123 @@ Status ComplexObjectStore::ReplayOp(const WalRecord& record) {
   if (!DecodeWalOpPayload(record.payload, &op)) {
     return Status::Corruption("undecodable WAL op record");
   }
-  const ObjectRef ref = static_cast<ObjectRef>(op.ref);
-  switch (record.kind) {
-    case WalRecordKind::kPut:
-    case WalRecordKind::kReplace: {
-      std::vector<RecordRegion> regions;
-      if (!DecodeRegions(op.body, &regions)) {
-        return Status::Corruption("undecodable WAL object body (lsn " +
-                                  std::to_string(record.lsn) + ")");
-      }
-      STARFISH_ASSIGN_OR_RETURN(Tuple object,
-                                wal_serializer_->FromRegionsAll(regions));
-      return record.kind == WalRecordKind::kPut
-                 ? model_->Insert(ref, object)
-                 : model_->ReplaceObject(ref, object);
-    }
-    case WalRecordKind::kUpdateRoot: {
-      STARFISH_ASSIGN_OR_RETURN(Tuple root,
-                                ObjectSerializer::DecodeFlat(*schema_, op.body));
-      return model_->UpdateRootRecord(ref, root);
-    }
-    case WalRecordKind::kRemove:
-      return model_->Remove(ref);
-    case WalRecordKind::kCheckpoint:
-      return Status::OK();
+  const Status applied =
+      ApplyLogicalOp(record.kind, static_cast<ObjectRef>(op.ref), op.body);
+  if (applied.IsCorruption()) {
+    return Status::Corruption(applied.message() + " (lsn " +
+                              std::to_string(record.lsn) + ")");
   }
-  return Status::Corruption("unknown WAL record kind");
+  return applied;
 }
 
 ComplexObjectStore::~ComplexObjectStore() {
   // Only a mutated store needs the best-effort checkpoint: a read-only run
-  // must not churn generation files (or touch a down volume at all).
-  if (opened_ && persistent() && dirty_) {
-    (void)Flush();
+  // must not churn generation files (or touch a down volume at all), and
+  // an explicitly Close()d store already reported its verdict.
+  if (closed_.load() || !opened_ || !persistent() ||
+      !dirty_.load(std::memory_order_relaxed)) {
+    return;
   }
+  const Status flushed = Flush();
+  if (!flushed.ok()) {
+    // A destructor cannot return the failure — Close() exists so callers
+    // can observe it. Silently losing a checkpoint is the one thing this
+    // store must never do, so the fallback path at least says so.
+    std::fprintf(stderr,
+                 "starfish: best-effort checkpoint at store destruction "
+                 "failed (un-checkpointed work survives only as far as the "
+                 "WAL covers it): %s\n",
+                 flushed.ToString().c_str());
+  }
+}
+
+Status ComplexObjectStore::Close() {
+  if (closed_.load(std::memory_order_relaxed)) return Status::OK();
+  if (!opened_ || !persistent() ||
+      !dirty_.load(std::memory_order_relaxed)) {
+    closed_.store(true, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  const Status flushed = Flush();
+  if (flushed.IsFailedPrecondition()) {
+    // An open transaction blocked the checkpoint: the store is NOT closed —
+    // commit or roll back, then Close again.
+    return flushed;
+  }
+  // Success or a real checkpoint failure both deliver the verdict to the
+  // caller; either way the destructor must not flush (and possibly fail)
+  // a second time.
+  closed_.store(true, std::memory_order_relaxed);
+  return flushed;
 }
 
 Status ComplexObjectStore::LoggedWrite(WalRecordKind kind,
                                        const std::function<Status()>& apply,
-                                       uint64_t ref, std::string body) {
+                                       uint64_t ref, std::string body,
+                                       StoreTransaction* txn,
+                                       bool compensating) {
   uint64_t lsn = 0;
   {
-    std::lock_guard<std::mutex> lock(write_mu_);
-    if (wal_ == nullptr) {
-      // Mem backend (or pre-attach): no log, just the serialized apply.
-      const Status applied = apply();
-      if (applied.ok()) dirty_ = true;
-      // No write capture without a WAL: ref-based invalidation carries the
-      // contract alone (every write op targets exactly one object, and a
-      // failed apply may still have touched its pages).
-      InvalidateForWrite(ref, {});
-      return applied;
+    // Shared: concurrent with every other writer, excluded only by a
+    // checkpoint (which takes commit_mu_ exclusive to seal one state).
+    std::shared_lock<std::shared_mutex> commit_lock(commit_mu_);
+    if (wal_ != nullptr) {
+      // A poisoned log acknowledges nothing: fail fast instead of applying
+      // writes whose records can never become durable.
+      STARFISH_RETURN_NOT_OK(wal_->status());
     }
-    // A poisoned log acknowledges nothing: fail fast instead of applying
-    // writes whose records can never become durable.
-    STARFISH_RETURN_NOT_OK(wal_->status());
 
-    engine_->buffer()->BeginWriteCapture(wal_checkpoint_page_count_);
+    // The op's write-latch set, held across apply + append + stamp. Two
+    // ops sharing any page share a segment, so holding the set across all
+    // three steps makes per-page LSN order equal apply order — the
+    // WAL-before-data invariant under concurrent writers. Ops with
+    // disjoint sets (different stripes of a striped direct model) never
+    // wait on each other here; the log append below is the only point
+    // they serialize.
+    std::vector<Segment*> latch_segments;
+    model_->CollectWriteSegments(static_cast<ObjectRef>(ref),
+                                 &latch_segments);
+    SegmentLatchSet latches(std::move(latch_segments));
+
+    // Transactional op: read the state this op clobbers and encode the
+    // compensation FIRST (plain latched reads, outside the write capture).
+    // A compensation never captures undo — it IS the undo being unwound.
+    std::optional<StoreTransaction::UndoRecord> undo;
+    if (txn != nullptr && !compensating) {
+      auto undo_or = CaptureUndo(kind, static_cast<ObjectRef>(ref));
+      if (undo_or.ok()) {
+        undo = std::move(undo_or).value();
+      } else if (!undo_or.status().IsNotFound()) {
+        return undo_or.status();
+      }
+      // NotFound: the apply below is about to fail the same way, with
+      // nothing moved.
+    }
+
+    engine_->buffer()->BeginWriteCapture(
+        wal_ != nullptr ? wal_checkpoint_page_count_ : 0);
     const Status applied = apply();
     BufferManager::WriteCapture capture =
         engine_->buffer()->TakeWriteCapture();
+
+    if (wal_ == nullptr) {
+      // Mem backend (or pre-attach): no log, but the capture still ran so
+      // this path keeps the WAL path's invalidation contract — a
+      // validation failure that moved no page invalidates nothing. The
+      // pending marks the capture left are cleared without stamping
+      // (lsn 0: there is no record to point at).
+      engine_->buffer()->StampRecoveryLsn(capture.dirtied, 0);
+      if (!applied.ok() && capture.dirtied.empty()) return applied;
+      InvalidateForWrite(static_cast<ObjectRef>(ref), capture.dirtied);
+      if (applied.ok()) {
+        dirty_.store(true, std::memory_order_relaxed);
+        if (txn != nullptr && !compensating && undo.has_value()) {
+          txn->undo_.push_back(std::move(undo).value());
+        }
+      }
+      return applied;
+    }
+
     if (!applied.ok() && capture.dirtied.empty()) {
       // Validation failure before anything was touched: nothing to log
       // (and nothing to invalidate — no page moved).
@@ -470,32 +616,48 @@ Status ComplexObjectStore::LoggedWrite(WalRecordKind kind,
     // cache epochs move so a concurrent in-flight assembly cannot publish
     // a pre-write snapshot. Readers holding an entry keep their consistent
     // pre-write copy — entries are immutable, invalidation only unshares.
-    InvalidateForWrite(ref, capture.dirtied);
+    InvalidateForWrite(static_cast<ObjectRef>(ref), capture.dirtied);
 
     WalOpPayload op;
     op.ref = ref;
     op.pages = capture.dirtied;
     op.preimages = std::move(capture.preimages);
     op.body = std::move(body);
+    if (txn != nullptr) {
+      op.txn_id = txn->id_;
+      if (undo.has_value()) {
+        op.undo_kind = static_cast<uint8_t>(undo->kind);
+        op.undo_body = undo->body;
+      }
+    }
     auto lsn_or =
         wal_->AppendOp(kind, applied.ok() ? 0 : kWalFlagAborted, op);
     if (!lsn_or.ok()) {
       // The op's frames stay marked pending (un-evictable, un-flushable):
       // with no record to explain them they must never reach the volume.
       // The log is now poisoned, so every later write and every checkpoint
-      // refuses — the bounded frame leak ends with the store.
+      // refuses — the bounded frame leak ends with the store (and eviction
+      // under it reports FailedPrecondition naming this cause rather than
+      // deadlocking; see BufferManager::PickVictim).
       return lsn_or.status();
     }
     lsn = lsn_or.value();
     engine_->buffer()->StampRecoveryLsn(op.pages, lsn);
-    dirty_ = true;
+    dirty_.store(true, std::memory_order_relaxed);
     if (!applied.ok()) {
       // Aborted record logged (its pre-images roll the pages back at
       // replay); surface the apply failure, not a commit ack.
       return applied;
     }
+    if (txn != nullptr && !compensating && undo.has_value()) {
+      txn->undo_.push_back(std::move(undo).value());
+    }
   }
-  // Durability wait OUTSIDE the store mutex: this is where concurrent
+  // In-transaction ops skip the per-op durability wait: the kTxnCommit
+  // marker pays it once for the whole transaction (and recovery ignores
+  // the ops without it, so acking them early promises nothing).
+  if (txn != nullptr) return Status::OK();
+  // Durability wait OUTSIDE every lock: this is where concurrent
   // committers pile into one leader epoch (group commit).
   return wal_->Commit(lsn);
 }
@@ -507,7 +669,74 @@ void ComplexObjectStore::InvalidateForWrite(
   objcache_->InvalidateRef(ref);
 }
 
-Status ComplexObjectStore::Put(ObjectRef ref, const Tuple& object) {
+Result<StoreTransaction::UndoRecord> ComplexObjectStore::CaptureUndo(
+    WalRecordKind kind, ObjectRef ref) {
+  StoreTransaction::UndoRecord undo;
+  undo.ref = ref;
+  switch (kind) {
+    case WalRecordKind::kPut:
+      // Undoing an insert needs no read: remove what it put.
+      undo.kind = WalRecordKind::kRemove;
+      return undo;
+    case WalRecordKind::kReplace:
+    case WalRecordKind::kRemove: {
+      STARFISH_ASSIGN_OR_RETURN(Tuple old_object,
+                                model_->ReadObjectForUndo(ref));
+      STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
+                                wal_serializer_->ToRegions(old_object));
+      undo.kind = kind == WalRecordKind::kReplace ? WalRecordKind::kReplace
+                                                  : WalRecordKind::kPut;
+      undo.body = EncodeRegions(regions);
+      return undo;
+    }
+    case WalRecordKind::kUpdateRoot: {
+      STARFISH_ASSIGN_OR_RETURN(Tuple old_root, model_->GetRootRecord(ref));
+      undo.kind = WalRecordKind::kUpdateRoot;
+      undo.body = ObjectSerializer::EncodeFlat(*schema_, old_root);
+      return undo;
+    }
+    default:
+      return Status::Internal("undo capture on a non-op WAL record kind");
+  }
+}
+
+Status ComplexObjectStore::AppendTxnMarker(WalRecordKind kind,
+                                           uint64_t txn_id, bool wait) {
+  if (wal_ == nullptr) return Status::OK();  // mem: in-memory undo carries alone
+  uint64_t lsn = 0;
+  {
+    std::shared_lock<std::shared_mutex> commit_lock(commit_mu_);
+    STARFISH_RETURN_NOT_OK(wal_->status());
+    STARFISH_ASSIGN_OR_RETURN(lsn, wal_->AppendTxnMarker(kind, txn_id));
+    // Markers dirty no page but must still reach (and be truncated by) a
+    // checkpoint eventually.
+    dirty_.store(true, std::memory_order_relaxed);
+  }
+  return wait ? wal_->Commit(lsn) : Status::OK();
+}
+
+Result<StoreTransaction> ComplexObjectStore::Begin() {
+  const uint64_t id = next_txn_id_.fetch_add(1);
+  // The begin marker is framing for the log (sf_fsck pairs it with the
+  // terminator); the replay verdict hangs off kTxnCommit alone, so it
+  // needs no durability of its own.
+  STARFISH_RETURN_NOT_OK(
+      AppendTxnMarker(WalRecordKind::kTxnBegin, id, /*wait=*/false));
+  open_txns_.fetch_add(1);
+  return StoreTransaction(this, id);
+}
+
+Status ComplexObjectStore::ApplyCompensation(
+    const StoreTransaction::UndoRecord& undo, StoreTransaction* txn) {
+  std::string body = undo.body;
+  return LoggedWrite(
+      undo.kind,
+      [&] { return ApplyLogicalOp(undo.kind, undo.ref, undo.body); },
+      undo.ref, std::move(body), txn, /*compensating=*/true);
+}
+
+Status ComplexObjectStore::DoPut(ObjectRef ref, const Tuple& object,
+                                 StoreTransaction* txn) {
   std::string body;
   if (wal_ != nullptr) {
     STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
@@ -516,7 +745,11 @@ Status ComplexObjectStore::Put(ObjectRef ref, const Tuple& object) {
   }
   return LoggedWrite(
       WalRecordKind::kPut, [&] { return model_->Insert(ref, object); }, ref,
-      std::move(body));
+      std::move(body), txn);
+}
+
+Status ComplexObjectStore::Put(ObjectRef ref, const Tuple& object) {
+  return DoPut(ref, object, nullptr);
 }
 
 Result<Tuple> ComplexObjectStore::Get(ObjectRef ref,
@@ -605,8 +838,9 @@ Result<Tuple> ComplexObjectStore::RootRecord(ObjectRef ref) {
   return model_->GetRootRecord(ref);
 }
 
-Status ComplexObjectStore::UpdateRootRecord(ObjectRef ref,
-                                            const Tuple& new_root) {
+Status ComplexObjectStore::DoUpdateRootRecord(ObjectRef ref,
+                                              const Tuple& new_root,
+                                              StoreTransaction* txn) {
   std::string body;
   if (wal_ != nullptr) {
     body = ObjectSerializer::EncodeFlat(*schema_, new_root);
@@ -614,10 +848,16 @@ Status ComplexObjectStore::UpdateRootRecord(ObjectRef ref,
   return LoggedWrite(
       WalRecordKind::kUpdateRoot,
       [&] { return model_->UpdateRootRecord(ref, new_root); }, ref,
-      std::move(body));
+      std::move(body), txn);
 }
 
-Status ComplexObjectStore::Replace(ObjectRef ref, const Tuple& new_object) {
+Status ComplexObjectStore::UpdateRootRecord(ObjectRef ref,
+                                            const Tuple& new_root) {
+  return DoUpdateRootRecord(ref, new_root, nullptr);
+}
+
+Status ComplexObjectStore::DoReplace(ObjectRef ref, const Tuple& new_object,
+                                     StoreTransaction* txn) {
   std::string body;
   if (wal_ != nullptr) {
     STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
@@ -627,12 +867,85 @@ Status ComplexObjectStore::Replace(ObjectRef ref, const Tuple& new_object) {
   return LoggedWrite(
       WalRecordKind::kReplace,
       [&] { return model_->ReplaceObject(ref, new_object); }, ref,
-      std::move(body));
+      std::move(body), txn);
+}
+
+Status ComplexObjectStore::Replace(ObjectRef ref, const Tuple& new_object) {
+  return DoReplace(ref, new_object, nullptr);
+}
+
+Status ComplexObjectStore::DoRemove(ObjectRef ref, StoreTransaction* txn) {
+  return LoggedWrite(
+      WalRecordKind::kRemove, [&] { return model_->Remove(ref); }, ref, {},
+      txn);
 }
 
 Status ComplexObjectStore::Remove(ObjectRef ref) {
-  return LoggedWrite(
-      WalRecordKind::kRemove, [&] { return model_->Remove(ref); }, ref, {});
+  return DoRemove(ref, nullptr);
+}
+
+StoreTransaction::StoreTransaction(StoreTransaction&& other) noexcept
+    : store_(other.store_),
+      id_(other.id_),
+      open_(other.open_),
+      undo_(std::move(other.undo_)) {
+  other.store_ = nullptr;
+  other.open_ = false;
+}
+
+StoreTransaction::~StoreTransaction() {
+  if (open_) (void)Rollback();
+}
+
+Status StoreTransaction::Put(ObjectRef ref, const Tuple& object) {
+  if (!open_) return Status::FailedPrecondition("transaction is closed");
+  return store_->DoPut(ref, object, this);
+}
+
+Status StoreTransaction::Replace(ObjectRef ref, const Tuple& new_object) {
+  if (!open_) return Status::FailedPrecondition("transaction is closed");
+  return store_->DoReplace(ref, new_object, this);
+}
+
+Status StoreTransaction::UpdateRootRecord(ObjectRef ref,
+                                          const Tuple& new_root) {
+  if (!open_) return Status::FailedPrecondition("transaction is closed");
+  return store_->DoUpdateRootRecord(ref, new_root, this);
+}
+
+Status StoreTransaction::Remove(ObjectRef ref) {
+  if (!open_) return Status::FailedPrecondition("transaction is closed");
+  return store_->DoRemove(ref, this);
+}
+
+Status StoreTransaction::Commit() {
+  if (!open_) return Status::FailedPrecondition("transaction is closed");
+  open_ = false;
+  undo_.clear();
+  store_->open_txns_.fetch_sub(1);
+  // The commit marker is the transaction's ONE durability point: recovery
+  // replays the ops only when it finds this record, so the wait here is
+  // what makes the whole transaction's acknowledgement honest.
+  return store_->AppendTxnMarker(WalRecordKind::kTxnCommit, id_,
+                                 /*wait=*/true);
+}
+
+Status StoreTransaction::Rollback() {
+  if (!open_) return Status::FailedPrecondition("transaction is closed");
+  open_ = false;
+  // Unwind in reverse op order; keep going past a failed compensation so
+  // the rest of the stack still unwinds (recovery fixes whatever this
+  // best-effort pass could not — the transaction has no commit marker).
+  Status first_failure = Status::OK();
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    const Status undone = store_->ApplyCompensation(*it, this);
+    if (!undone.ok() && first_failure.ok()) first_failure = undone;
+  }
+  undo_.clear();
+  store_->open_txns_.fetch_sub(1);
+  const Status marker = store_->AppendTxnMarker(WalRecordKind::kTxnAbort, id_,
+                                                /*wait=*/true);
+  return first_failure.ok() ? marker : first_failure;
 }
 
 Result<Tuple> ReadSession::Get(ObjectRef ref,
@@ -675,7 +988,16 @@ Status ComplexObjectStore::BuildCatalogPayload(
 Status ComplexObjectStore::Flush() {
   // Writers are excluded for the whole checkpoint: the catalog payload,
   // the WAL checkpoint LSN and the flushed pages must describe ONE state.
-  std::lock_guard<std::mutex> lock(write_mu_);
+  // commit_mu_ exclusive drains every in-flight op and marker append.
+  std::unique_lock<std::shared_mutex> lock(commit_mu_);
+  if (open_txns_.load() != 0) {
+    // An open transaction's ops carry no commit verdict yet: a checkpoint
+    // here would fold them into the catalog as if committed, making
+    // Rollback unable to unsee them after a crash.
+    return Status::FailedPrecondition(
+        "cannot checkpoint with " + std::to_string(open_txns_.load()) +
+        " transaction(s) open: commit or roll back first");
+  }
   if (wal_ != nullptr) {
     // A poisoned log may hold acknowledged-nothing records whose pages are
     // pinned un-flushable: advancing the catalog past them would commit a
@@ -720,7 +1042,7 @@ Status ComplexObjectStore::Flush() {
   const uint64_t previous = generation_;
   generation_ = next;
   next_generation_ = next + 1;
-  dirty_ = false;
+  dirty_.store(false, std::memory_order_relaxed);
   RemoveCatalogGenerationsExcept(dir, {previous, next});
   std::error_code ec;
   std::filesystem::remove(LegacyCatalogPath(dir), ec);  // migration complete

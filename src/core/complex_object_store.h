@@ -1,8 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
+#include <vector>
 
 #include "disk/disk_timing.h"
 #include "disk/log_file.h"
@@ -98,6 +101,18 @@ struct StoreOptions {
   /// (0 = derive from hardware concurrency). See BufferOptions::shard_count.
   uint32_t buffer_shards = 1;
 
+  /// Write stripes of the direct models (kDsm / kDasdbsDsm): the address
+  /// space is partitioned `ref % write_stripes`, each stripe owning its own
+  /// segment, so ops on refs in different stripes hold disjoint write-latch
+  /// sets and apply truly in parallel (the WAL append stays the one
+  /// serialized point). 1 (default) keeps the single-segment layout and
+  /// byte-identical paper benches; a persistent store must be reopened with
+  /// the stripe count it was created with. The NSM-family models shred
+  /// every object over all path relations, so their latch set is always
+  /// "everything" and this knob is ignored. Parallel applies additionally
+  /// need a thread-safe buffer pool (`buffer_shards != 1`).
+  uint32_t write_stripes = 1;
+
   /// Test seam: wraps the freshly created disk backend (e.g. in a
   /// FaultVolume) before the buffer pool attaches — how the crash-matrix
   /// tests kill the disk mid-checkpoint. Null = no wrapping.
@@ -143,6 +158,78 @@ struct StoreOptions {
 
 class ComplexObjectStore;
 
+/// A multi-op transaction handle: all-or-nothing over any number of write
+/// ops. Obtained from ComplexObjectStore::Begin(); move-only.
+///
+/// Each op applies (and, on persistent stores, logs) immediately — there is
+/// no deferred write set, so the transaction's own thread reads its writes
+/// through the normal APIs. Atomicity comes from undo: every successful op
+/// pushes a logical compensation (Put ⇒ Remove, Replace/UpdateRootRecord ⇒
+/// re-write the old value, Remove ⇒ re-Put the old object) onto an
+/// in-memory stack, and the same compensation rides in the op's WAL record
+/// for audit. Rollback() applies the stack in reverse; Commit() seals the
+/// transaction with a durable kTxnCommit marker.
+///
+/// Crash contract (persistent stores): recovery replays an op with a
+/// non-zero txn id only when its kTxnCommit marker is in the log — an
+/// uncommitted or rolled-back transaction's ops (and its compensations)
+/// are skipped wholesale, and their first-touch pre-images restore any of
+/// their flushed pages. So nothing of an unterminated transaction survives
+/// reopen, while a committed one survives byte-for-byte.
+///
+/// Threading: one transaction belongs to one thread; independent
+/// transactions on other threads (and autonomous ops, txn id 0) run
+/// concurrently under the usual write-latch rules. Flush() refuses with
+/// FailedPrecondition while any transaction is open. A handle destroyed
+/// while open rolls back (best effort).
+class StoreTransaction {
+ public:
+  StoreTransaction(StoreTransaction&& other) noexcept;
+  StoreTransaction& operator=(StoreTransaction&&) = delete;
+  StoreTransaction(const StoreTransaction&) = delete;
+  StoreTransaction& operator=(const StoreTransaction&) = delete;
+  /// Rolls back if still open (best effort; failures are swallowed —
+  /// call Rollback() explicitly to observe them).
+  ~StoreTransaction();
+
+  /// The write ops, transactional twins of the store's own.
+  Status Put(ObjectRef ref, const Tuple& object);
+  Status Replace(ObjectRef ref, const Tuple& new_object);
+  Status UpdateRootRecord(ObjectRef ref, const Tuple& new_root);
+  Status Remove(ObjectRef ref);
+
+  /// Seals the transaction: appends the kTxnCommit marker and (under
+  /// kAlways/kGroup) waits for it to be durable. After OK, every op in the
+  /// transaction survives crash recovery.
+  Status Commit();
+
+  /// Undoes every applied op in reverse order via logical compensations,
+  /// then appends the kTxnAbort marker. The handle is closed either way;
+  /// a failed compensation poisons no state a reopen cannot fix (the WAL
+  /// skips the whole transaction).
+  Status Rollback();
+
+  /// Log-visible transaction id (non-zero).
+  uint64_t id() const { return id_; }
+  /// True until Commit()/Rollback() (or a move) closes the handle.
+  bool open() const { return open_; }
+
+ private:
+  friend class ComplexObjectStore;
+  struct UndoRecord {
+    WalRecordKind kind;  ///< compensation op kind
+    ObjectRef ref;
+    std::string body;  ///< compensation body, WAL op-body encoding
+  };
+  StoreTransaction(ComplexObjectStore* store, uint64_t id)
+      : store_(store), id_(id), open_(true) {}
+
+  ComplexObjectStore* store_ = nullptr;
+  uint64_t id_ = 0;
+  bool open_ = false;
+  std::vector<UndoRecord> undo_;  ///< in-memory undo stack, pushed per op
+};
+
 /// A handle for running queries against an open store from one reader
 /// thread — the store's single-writer / multi-reader contract made
 /// explicit in the type system.
@@ -155,10 +242,11 @@ class ComplexObjectStore;
 ///     cache-structure API (engine()->DropCache(), ResetStats) runs while
 ///     reader threads are active: quiesce the readers, write, resume.
 ///     Writers MAY run concurrently with each other (since the WAL PR):
-///     each op's apply is serialized under the store's write mutex, while
-///     the durability wait overlaps across threads via group commit
-///     (docs/WAL.md) — concurrent writers are safe, readers-vs-writers
-///     are not.
+///     each op locks only the segments it touches (the model's write-latch
+///     set), so ops on disjoint segments — different stripes of a striped
+///     direct model — apply truly in parallel, and the durability wait
+///     overlaps across threads via group commit (docs/WAL.md). Concurrent
+///     writers are safe, readers-vs-writers are not.
 ///
 /// The session itself carries no mutable state — every read path underneath
 /// (storage model lookup tables, record manager, serializer) is const over
@@ -200,8 +288,19 @@ class ComplexObjectStore {
   static Result<std::unique_ptr<ComplexObjectStore>> Open(
       std::shared_ptr<const Schema> schema, StoreOptions options = {});
 
-  /// Persistent stores checkpoint their catalog on destruction.
+  /// Persistent stores checkpoint their catalog on destruction. A failed
+  /// destructor checkpoint is LOGGED to stderr but lost as a Status — call
+  /// Close() first when you need the verdict.
   ~ComplexObjectStore();
+
+  /// Explicit close: checkpoints a mutated persistent store (exactly the
+  /// destructor's fallback, but the failure is returned instead of
+  /// swallowed). Idempotent; after an OK Close the destructor rewrites
+  /// nothing. Refuses (FailedPrecondition) while a transaction is open.
+  Status Close();
+
+  /// Opens a multi-op transaction. See StoreTransaction for the contract.
+  Result<StoreTransaction> Begin();
 
   /// Stores a new object under `ref`. Keys must be unique.
   Status Put(ObjectRef ref, const Tuple& object);
@@ -318,6 +417,8 @@ class ComplexObjectStore {
   StorageEngine* engine() { return engine_.get(); }
 
  private:
+  friend class StoreTransaction;
+
   ComplexObjectStore() = default;
 
   /// Serializes the catalog payload (store header + engine segment catalog
@@ -337,11 +438,52 @@ class ComplexObjectStore {
   /// only; capture and logging are off).
   Status ReplayOp(const WalRecord& record);
 
-  /// One logged write op: capture + apply + append + stamp under write_mu_,
-  /// then the policy-dependent commit wait outside it.
+  /// One logged write op: capture + apply + append + stamp under the op's
+  /// write-latch set (every segment the model says the op can touch, locked
+  /// in address order — held across all three so per-page LSN order is
+  /// apply order), then the policy-dependent commit wait outside every
+  /// lock. `txn` non-null runs the op inside that transaction: its id and
+  /// logical undo ride in the WAL record, the undo is pushed on the
+  /// transaction's stack, and the per-op durability wait is skipped (the
+  /// commit marker pays it once).
+  /// `compensating` marks a rollback compensation: the op is tagged with
+  /// the transaction id but captures no undo of its own (it IS the undo)
+  /// and pushes nothing on the stack being unwound.
   Status LoggedWrite(WalRecordKind kind,
                      const std::function<Status()>& apply,
-                     uint64_t ref, std::string body);
+                     uint64_t ref, std::string body,
+                     StoreTransaction* txn = nullptr,
+                     bool compensating = false);
+
+  /// Applies one logical op (WAL op-body encoding) through the model write
+  /// path — the shared core of WAL replay and rollback compensations.
+  Status ApplyLogicalOp(WalRecordKind kind, ObjectRef ref,
+                        std::string_view body);
+
+  /// Reads the state `kind` on `ref` is about to clobber and encodes the
+  /// compensation that would restore it (empty body for kPut ⇒ kRemove).
+  /// NotFound from the read maps to "no undo yet" for ops whose apply will
+  /// fail anyway.
+  Result<StoreTransaction::UndoRecord> CaptureUndo(WalRecordKind kind,
+                                                   ObjectRef ref);
+
+  /// Appends a txn marker record and (for kTxnCommit under kAlways/kGroup)
+  /// waits for durability.
+  Status AppendTxnMarker(WalRecordKind kind, uint64_t txn_id, bool wait);
+
+  /// The write ops' shared bodies: encode the WAL op body, then LoggedWrite
+  /// (autonomous when `txn` is null, transactional otherwise).
+  Status DoPut(ObjectRef ref, const Tuple& object, StoreTransaction* txn);
+  Status DoReplace(ObjectRef ref, const Tuple& new_object,
+                   StoreTransaction* txn);
+  Status DoUpdateRootRecord(ObjectRef ref, const Tuple& new_root,
+                            StoreTransaction* txn);
+  Status DoRemove(ObjectRef ref, StoreTransaction* txn);
+
+  /// Re-applies one undo record as a logged compensation (Rollback's loop
+  /// body): same txn id, no undo capture, no per-op durability wait.
+  Status ApplyCompensation(const StoreTransaction::UndoRecord& undo,
+                           StoreTransaction* txn);
 
   /// Get through the object cache (objcache_ != nullptr): serve hits from
   /// the assembled entry, assemble misses under a read-page capture and
@@ -369,6 +511,9 @@ class ComplexObjectStore {
   std::unique_ptr<ObjectCache> objcache_;
   /// Set once Open fully succeeded; gates the destructor's checkpoint.
   bool opened_ = false;
+  /// Set by Close(): the destructor's fallback checkpoint already ran (or
+  /// was explicitly requested and reported).
+  std::atomic<bool> closed_{false};
   /// Committed generation this store runs on (0 = fresh/legacy).
   uint64_t generation_ = 0;
   /// Number the next checkpoint commits as. Always past every generation
@@ -377,8 +522,9 @@ class ComplexObjectStore {
   uint64_t next_generation_ = 1;
   bool fallback_ = false;
   /// Mutations since the last committed checkpoint; gates the destructor's
-  /// best-effort Flush so a read-only run rewrites nothing.
-  bool dirty_ = false;
+  /// best-effort Flush so a read-only run rewrites nothing. Atomic: set by
+  /// writers holding only their per-segment latches.
+  std::atomic<bool> dirty_{false};
 
   /// Serializes logged op bodies (Put/Replace region streams).
   std::unique_ptr<ObjectSerializer> wal_serializer_;
@@ -386,10 +532,20 @@ class ComplexObjectStore {
   /// first-touch pre-image (mirrors WalManager::SetCheckpointPageCount).
   uint64_t wal_checkpoint_page_count_ = 0;
   uint64_t replayed_wal_records_ = 0;
-  /// Serializes write ops (apply + log append). Commit waits happen outside
-  /// it — that overlap is the group-commit win. Reads stay unlocked: the
-  /// no-reads-during-writes contract is unchanged.
-  std::mutex write_mu_;
+  /// Writer/checkpoint coordination. Write ops and txn markers take it
+  /// SHARED — they exclude only each other's Flush, not each other; the
+  /// actual mutual exclusion between ops is the per-segment write-latch
+  /// set. Flush takes it EXCLUSIVE: the catalog payload, the checkpoint
+  /// LSN and the flushed pages must describe ONE state, so every writer is
+  /// drained first. Commit waits happen outside it — that overlap is the
+  /// group-commit win. Reads stay unlocked: the no-reads-during-writes
+  /// contract is unchanged.
+  std::shared_mutex commit_mu_;
+  /// Ids handed to Begin(); reset per open (safe: recovery ends with a
+  /// truncating checkpoint, so ids never meet a previous run's records).
+  std::atomic<uint64_t> next_txn_id_{1};
+  /// Open transactions; Flush refuses while non-zero.
+  std::atomic<uint32_t> open_txns_{0};
 };
 
 }  // namespace starfish

@@ -59,6 +59,9 @@ class BPlusTree {
   /// Pages currently used by nodes.
   uint64_t node_pages() const { return node_pages_; }
 
+  /// The segment holding the tree's nodes (write-latch set assembly).
+  Segment* segment() const { return segment_; }
+
   /// Serializes the catalog entry (root page + shape counters); the node
   /// pages themselves live in the segment.
   void SaveState(std::string* out) const {
@@ -86,6 +89,7 @@ class BPlusTree {
   };
 
   uint32_t page_size() const { return segment_->buffer()->disk()->page_size(); }
+
   uint32_t LeafCapacity() const;
   uint32_t InnerCapacity() const;
 

@@ -110,6 +110,11 @@ Status DasdbsNsmModel::CollectLiveTids(std::vector<Tid>* out) const {
   return Status::OK();
 }
 
+void DasdbsNsmModel::CollectWriteSegments(ObjectRef /*ref*/,
+                                          std::vector<Segment*>* out) const {
+  for (Segment* segment : segments_) out->push_back(segment);
+}
+
 Status DasdbsNsmModel::Insert(ObjectRef ref, const Tuple& object) {
   STARFISH_ASSIGN_OR_RETURN(ShreddedObject parts, decomp_.Shred(object));
   STARFISH_ASSIGN_OR_RETURN(int64_t key, KeyOf(object));

@@ -49,6 +49,10 @@ class DasdbsNsmModel : public StorageModel {
   Status SaveState(std::string* out) const override;
   Status LoadState(std::string_view* in) override;
   Status CollectLiveTids(std::vector<Tid>* out) const override;
+  /// Every write op touches one relation tuple per path, so the write-latch
+  /// set is every path segment.
+  void CollectWriteSegments(ObjectRef ref,
+                            std::vector<Segment*>* out) const override;
 
   const NsmDecomposition& decomposition() const { return decomp_; }
   Segment* segment(PathId path) { return segments_[path]; }

@@ -6,69 +6,125 @@
 
 namespace starfish {
 
-DirectModel::DirectModel(ModelConfig config, Segment* segment,
+DirectModel::DirectModel(ModelConfig config, std::vector<Segment*> segments,
                          DirectModelOptions options)
     : StorageModel(std::move(config)),
-      segment_(segment),
-      store_(segment,
-             ComplexStoreOptions{
-                 options.change_attr_updates ? options.page_pool_pages : 0,
-                 /*force_large=*/false}),
       serializer_(config_.schema),
       options_(options),
-      link_projection_(LinkProjection()) {}
+      link_projection_(LinkProjection()) {
+  stripes_.reserve(segments.size());
+  for (Segment* segment : segments) {
+    Stripe stripe;
+    stripe.segment = segment;
+    stripe.store = std::make_unique<ComplexRecordStore>(
+        segment,
+        ComplexStoreOptions{
+            options.change_attr_updates ? options.page_pool_pages : 0,
+            /*force_large=*/false});
+    stripes_.push_back(std::move(stripe));
+  }
+}
 
 Result<std::unique_ptr<DirectModel>> DirectModel::Create(
     StorageEngine* engine, ModelConfig config, DirectModelOptions options) {
   if (config.schema == nullptr) {
     return Status::InvalidArgument("model requires a schema");
   }
-  const std::string segment_name =
+  if (config.write_stripes == 0) config.write_stripes = 1;
+  const std::string base_name =
       (options.partial_reads ? std::string("DASDBS-DSM_") : std::string("DSM_")) +
       config.schema->name();
-  STARFISH_ASSIGN_OR_RETURN(Segment * segment,
-                            engine->OpenOrCreateSegment(segment_name));
+  std::vector<Segment*> segments;
+  segments.reserve(config.write_stripes);
+  for (uint32_t i = 0; i < config.write_stripes; ++i) {
+    // Stripe 0 keeps the historical name so single-stripe layouts (and the
+    // directories they persist) are unchanged.
+    const std::string name =
+        i == 0 ? base_name : base_name + ".s" + std::to_string(i);
+    STARFISH_ASSIGN_OR_RETURN(Segment * segment,
+                              engine->OpenOrCreateSegment(name));
+    segments.push_back(segment);
+  }
   return std::unique_ptr<DirectModel>(
-      new DirectModel(std::move(config), segment, options));
+      new DirectModel(std::move(config), std::move(segments), options));
+}
+
+uint64_t DirectModel::object_count() const {
+  uint64_t total = 0;
+  for (const Stripe& stripe : stripes_) total += stripe.live_count;
+  return total;
 }
 
 Status DirectModel::SaveState(std::string* out) const {
-  PutFixed64(out, live_count_);
-  PutFixed32(out, store_.pool_first());
-  PutFixed64(out, static_cast<uint64_t>(address_of_.size()));
-  for (const Tid& tid : address_of_) PutFixed64(out, tid.Pack());
+  PutFixed64(out, object_count());
+  PutFixed32(out, static_cast<uint32_t>(stripes_.size()));
+  for (const Stripe& stripe : stripes_) {
+    PutFixed32(out, stripe.store->pool_first());
+    PutFixed64(out, static_cast<uint64_t>(stripe.address_of.size()));
+    for (const Tid& tid : stripe.address_of) PutFixed64(out, tid.Pack());
+  }
   return Status::OK();
 }
 
 Status DirectModel::CollectLiveTids(std::vector<Tid>* out) const {
-  for (const Tid& tid : address_of_) {
-    if (!tid.valid()) continue;
-    out->push_back(tid);
-    STARFISH_ASSIGN_OR_RETURN(const Tid target, store_.ForwardTarget(tid));
-    if (target.valid()) out->push_back(target);
+  for (const Stripe& stripe : stripes_) {
+    for (const Tid& tid : stripe.address_of) {
+      if (!tid.valid()) continue;
+      out->push_back(tid);
+      STARFISH_ASSIGN_OR_RETURN(const Tid target,
+                                stripe.store->ForwardTarget(tid));
+      if (target.valid()) out->push_back(target);
+    }
   }
   return Status::OK();
 }
 
+void DirectModel::CollectWriteSegments(ObjectRef ref,
+                                       std::vector<Segment*>* out) const {
+  out->push_back(StripeOf(ref).segment);
+}
+
 Status DirectModel::LoadState(std::string_view* in) {
-  uint64_t refs = 0;
-  uint32_t pool_first = kInvalidPageId;
-  if (!GetFixed64(in, &live_count_) || !GetFixed32(in, &pool_first) ||
-      !GetFixed64(in, &refs)) {
+  uint64_t live_total = 0;
+  uint32_t stripe_count = 0;
+  if (!GetFixed64(in, &live_total) || !GetFixed32(in, &stripe_count)) {
     return Status::Corruption("direct model catalog: truncated header");
   }
-  // Bound the on-disk count (8 bytes per entry) before allocating.
-  if (refs > in->size() / 8) {
-    return Status::Corruption("direct model catalog: implausible table size");
+  if (stripe_count != stripes_.size()) {
+    return Status::InvalidArgument(
+        "store was created with write_stripes=" + std::to_string(stripe_count) +
+        "; reopen with the same stripe count (got " +
+        std::to_string(stripes_.size()) + ")");
   }
-  store_.set_pool_first(pool_first);
-  address_of_.assign(refs, kInvalidTid);
-  for (uint64_t i = 0; i < refs; ++i) {
-    uint64_t packed = 0;
-    if (!GetFixed64(in, &packed)) {
-      return Status::Corruption("direct model catalog: truncated object table");
+  uint64_t live_check = 0;
+  for (Stripe& stripe : stripes_) {
+    uint64_t refs = 0;
+    uint32_t pool_first = kInvalidPageId;
+    if (!GetFixed32(in, &pool_first) || !GetFixed64(in, &refs)) {
+      return Status::Corruption("direct model catalog: truncated stripe");
     }
-    address_of_[i] = Tid::Unpack(packed);
+    // Bound the on-disk count (8 bytes per entry) before allocating.
+    if (refs > in->size() / 8) {
+      return Status::Corruption(
+          "direct model catalog: implausible table size");
+    }
+    stripe.store->set_pool_first(pool_first);
+    stripe.address_of.assign(refs, kInvalidTid);
+    stripe.live_count = 0;
+    for (uint64_t i = 0; i < refs; ++i) {
+      uint64_t packed = 0;
+      if (!GetFixed64(in, &packed)) {
+        return Status::Corruption(
+            "direct model catalog: truncated object table");
+      }
+      stripe.address_of[i] = Tid::Unpack(packed);
+      if (stripe.address_of[i].valid()) ++stripe.live_count;
+    }
+    live_check += stripe.live_count;
+  }
+  if (live_check != live_total) {
+    return Status::Corruption("direct model catalog: live count disagrees "
+                              "with object table");
   }
   return Status::OK();
 }
@@ -76,36 +132,43 @@ Status DirectModel::LoadState(std::string_view* in) {
 Status DirectModel::Insert(ObjectRef ref, const Tuple& object) {
   STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
                             serializer_.ToRegions(object));
-  STARFISH_ASSIGN_OR_RETURN(Tid tid, store_.Insert(regions));
-  if (ref >= address_of_.size()) address_of_.resize(ref + 1, kInvalidTid);
-  if (address_of_[ref].valid()) {
+  Stripe& stripe = StripeOf(ref);
+  const size_t slot = SlotOf(ref);
+  if (slot < stripe.address_of.size() && stripe.address_of[slot].valid()) {
     return Status::AlreadyExists("object " + std::to_string(ref) +
                                  " already stored");
   }
-  address_of_[ref] = tid;
-  ++live_count_;
+  STARFISH_ASSIGN_OR_RETURN(Tid tid, stripe.store->Insert(regions));
+  if (slot >= stripe.address_of.size()) {
+    stripe.address_of.resize(slot + 1, kInvalidTid);
+  }
+  stripe.address_of[slot] = tid;
+  ++stripe.live_count;
   return Status::OK();
 }
 
 Result<Tid> DirectModel::AddressOf(ObjectRef ref) const {
-  if (ref >= address_of_.size() || !address_of_[ref].valid()) {
+  const Stripe& stripe = StripeOf(ref);
+  const size_t slot = SlotOf(ref);
+  if (slot >= stripe.address_of.size() || !stripe.address_of[slot].valid()) {
     return Status::NotFound("no object with ref " + std::to_string(ref));
   }
-  return address_of_[ref];
+  return stripe.address_of[slot];
 }
 
 Result<ComplexRecordInfo> DirectModel::RecordInfo(ObjectRef ref) const {
   STARFISH_ASSIGN_OR_RETURN(Tid tid, AddressOf(ref));
-  return store_.GetInfo(tid);
+  return StripeOf(ref).store->GetInfo(tid);
 }
 
 Status DirectModel::ReplaceObject(ObjectRef ref, const Tuple& new_object) {
   STARFISH_ASSIGN_OR_RETURN(Tid tid, AddressOf(ref));
+  Stripe& stripe = StripeOf(ref);
   // Keys are immutable: the root region feeds value scans.
   {
     STARFISH_ASSIGN_OR_RETURN(
         std::vector<RecordRegion> root_regions,
-        store_.ReadPartial(tid, [](uint32_t tag) {
+        stripe.store->ReadPartial(tid, [](uint32_t tag) {
           return ObjectSerializer::TagPath(tag) == kRootPath;
         }));
     if (root_regions.empty()) {
@@ -122,29 +185,31 @@ Status DirectModel::ReplaceObject(ObjectRef ref, const Tuple& new_object) {
   }
   STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
                             serializer_.ToRegions(new_object));
-  STARFISH_ASSIGN_OR_RETURN(Tid new_tid, store_.Replace(tid, regions));
-  address_of_[ref] = new_tid;
+  STARFISH_ASSIGN_OR_RETURN(Tid new_tid, stripe.store->Replace(tid, regions));
+  stripe.address_of[SlotOf(ref)] = new_tid;
   return Status::OK();
 }
 
 Status DirectModel::Remove(ObjectRef ref) {
   STARFISH_ASSIGN_OR_RETURN(Tid tid, AddressOf(ref));
-  STARFISH_RETURN_NOT_OK(store_.Delete(tid));
-  address_of_[ref] = kInvalidTid;
-  --live_count_;
+  Stripe& stripe = StripeOf(ref);
+  STARFISH_RETURN_NOT_OK(stripe.store->Delete(tid));
+  stripe.address_of[SlotOf(ref)] = kInvalidTid;
+  --stripe.live_count;
   return Status::OK();
 }
 
 Result<std::vector<RecordRegion>> DirectModel::ReadRegions(
-    const Tid& tid, const Projection& proj) const {
+    const ComplexRecordStore& store, const Tid& tid,
+    const Projection& proj) const {
   if (options_.partial_reads && !proj.IsAll()) {
     // DASDBS-DSM: the object header routes us to just the needed pages.
-    return store_.ReadPartial(tid, [&proj](uint32_t tag) {
+    return store.ReadPartial(tid, [&proj](uint32_t tag) {
       return proj.Includes(ObjectSerializer::TagPath(tag));
     });
   }
   // DSM: all pages of the object are fetched; projection is logical only.
-  STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> all, store_.ReadAll(tid));
+  STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> all, store.ReadAll(tid));
   if (proj.IsAll()) return all;
   std::vector<RecordRegion> filtered;
   for (auto& region : all) {
@@ -158,7 +223,7 @@ Result<std::vector<RecordRegion>> DirectModel::ReadRegions(
 Result<Tuple> DirectModel::GetByRef(ObjectRef ref, const Projection& proj) {
   STARFISH_ASSIGN_OR_RETURN(Tid tid, AddressOf(ref));
   STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
-                            ReadRegions(tid, proj));
+                            ReadRegions(*StripeOf(ref).store, tid, proj));
   return serializer_.FromRegions(regions, proj);
 }
 
@@ -169,81 +234,98 @@ Result<Tuple> DirectModel::GetByKey(int64_t key, const Projection& proj) {
                                          std::to_string(key));
   if (options_.partial_reads && options_.scan_pushdown) {
     // Pushdown: test the key on root regions only; fetch the one match.
-    Tid match = kInvalidTid;
-    STARFISH_RETURN_NOT_OK(store_.ScanPartial(
-        [](uint32_t tag) {
-          return ObjectSerializer::TagPath(tag) == kRootPath;
-        },
-        [&](Tid tid, const std::vector<RecordRegion>& regions) -> Status {
-          if (regions.empty()) return Status::Corruption("no root region");
+    for (Stripe& stripe : stripes_) {
+      Tid match = kInvalidTid;
+      STARFISH_RETURN_NOT_OK(stripe.store->ScanPartial(
+          [](uint32_t tag) {
+            return ObjectSerializer::TagPath(tag) == kRootPath;
+          },
+          [&](Tid tid, const std::vector<RecordRegion>& regions) -> Status {
+            if (regions.empty()) return Status::Corruption("no root region");
+            STARFISH_ASSIGN_OR_RETURN(
+                Tuple root_flat,
+                ObjectSerializer::DecodeFlat(*config_.schema,
+                                             regions[0].bytes));
+            STARFISH_ASSIGN_OR_RETURN(int64_t k, KeyOf(root_flat));
+            if (k == key) match = tid;
+            return Status::OK();
+          }));
+      if (!match.valid()) continue;
+      STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
+                                ReadRegions(*stripe.store, match, proj));
+      STARFISH_ASSIGN_OR_RETURN(Tuple object,
+                                serializer_.FromRegions(regions, proj));
+      found = std::move(object);
+    }
+    return found;
+  }
+  for (Stripe& stripe : stripes_) {
+    Status scan_status = stripe.store->ScanObjects(
+        [&](Tid, const std::vector<RecordRegion>& regions) -> Status {
+          if (regions.empty()) {
+            return Status::Corruption("object with no regions");
+          }
           STARFISH_ASSIGN_OR_RETURN(
               Tuple root_flat,
               ObjectSerializer::DecodeFlat(*config_.schema, regions[0].bytes));
           STARFISH_ASSIGN_OR_RETURN(int64_t k, KeyOf(root_flat));
-          if (k == key) match = tid;
-          return Status::OK();
-        }));
-    if (!match.valid()) return found;
-    STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
-                              ReadRegions(match, proj));
-    return serializer_.FromRegions(regions, proj);
-  }
-  Status scan_status = store_.ScanObjects(
-      [&](Tid, const std::vector<RecordRegion>& regions) -> Status {
-        if (regions.empty()) return Status::Corruption("object with no regions");
-        STARFISH_ASSIGN_OR_RETURN(
-            Tuple root_flat,
-            ObjectSerializer::DecodeFlat(*config_.schema, regions[0].bytes));
-        STARFISH_ASSIGN_OR_RETURN(int64_t k, KeyOf(root_flat));
-        if (k != key) return Status::OK();
-        std::vector<RecordRegion> kept;
-        for (const auto& region : regions) {
-          if (proj.Includes(ObjectSerializer::TagPath(region.tag))) {
-            kept.push_back(region);
+          if (k != key) return Status::OK();
+          std::vector<RecordRegion> kept;
+          for (const auto& region : regions) {
+            if (proj.Includes(ObjectSerializer::TagPath(region.tag))) {
+              kept.push_back(region);
+            }
           }
-        }
-        STARFISH_ASSIGN_OR_RETURN(Tuple object,
-                                  serializer_.FromRegions(kept, proj));
-        found = std::move(object);
-        return Status::OK();
-      });
-  STARFISH_RETURN_NOT_OK(scan_status);
+          STARFISH_ASSIGN_OR_RETURN(Tuple object,
+                                    serializer_.FromRegions(kept, proj));
+          found = std::move(object);
+          return Status::OK();
+        });
+    STARFISH_RETURN_NOT_OK(scan_status);
+  }
   return found;
 }
 
 Status DirectModel::ScanAll(const Projection& proj, const ScanCallback& fn) {
   if (options_.partial_reads && options_.scan_pushdown && !proj.IsAll()) {
     // Pushdown: data pages holding only unselected sub-tuples are skipped.
-    return store_.ScanPartial(
-        [&proj](uint32_t tag) {
-          return proj.Includes(ObjectSerializer::TagPath(tag));
-        },
+    for (Stripe& stripe : stripes_) {
+      STARFISH_RETURN_NOT_OK(stripe.store->ScanPartial(
+          [&proj](uint32_t tag) {
+            return proj.Includes(ObjectSerializer::TagPath(tag));
+          },
+          [&](Tid, const std::vector<RecordRegion>& regions) -> Status {
+            STARFISH_ASSIGN_OR_RETURN(Tuple object,
+                                      serializer_.FromRegions(regions, proj));
+            STARFISH_ASSIGN_OR_RETURN(int64_t key, KeyOf(object));
+            return fn(key, object);
+          }));
+    }
+    return Status::OK();
+  }
+  for (Stripe& stripe : stripes_) {
+    STARFISH_RETURN_NOT_OK(stripe.store->ScanObjects(
         [&](Tid, const std::vector<RecordRegion>& regions) -> Status {
+          std::vector<RecordRegion> kept;
+          for (const auto& region : regions) {
+            if (proj.Includes(ObjectSerializer::TagPath(region.tag))) {
+              kept.push_back(region);
+            }
+          }
           STARFISH_ASSIGN_OR_RETURN(Tuple object,
-                                    serializer_.FromRegions(regions, proj));
+                                    serializer_.FromRegions(kept, proj));
           STARFISH_ASSIGN_OR_RETURN(int64_t key, KeyOf(object));
           return fn(key, object);
-        });
+        }));
   }
-  return store_.ScanObjects(
-      [&](Tid, const std::vector<RecordRegion>& regions) -> Status {
-        std::vector<RecordRegion> kept;
-        for (const auto& region : regions) {
-          if (proj.Includes(ObjectSerializer::TagPath(region.tag))) {
-            kept.push_back(region);
-          }
-        }
-        STARFISH_ASSIGN_OR_RETURN(Tuple object,
-                                  serializer_.FromRegions(kept, proj));
-        STARFISH_ASSIGN_OR_RETURN(int64_t key, KeyOf(object));
-        return fn(key, object);
-      });
+  return Status::OK();
 }
 
 Result<std::vector<ObjectRef>> DirectModel::GetChildRefs(ObjectRef ref) {
   STARFISH_ASSIGN_OR_RETURN(Tid tid, AddressOf(ref));
-  STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
-                            ReadRegions(tid, link_projection_));
+  STARFISH_ASSIGN_OR_RETURN(
+      std::vector<RecordRegion> regions,
+      ReadRegions(*StripeOf(ref).store, tid, link_projection_));
   STARFISH_ASSIGN_OR_RETURN(Tuple object,
                             serializer_.FromRegions(regions, link_projection_));
   std::vector<ObjectRef> refs;
@@ -255,12 +337,13 @@ Result<Tuple> DirectModel::GetRootRecord(ObjectRef ref) {
   STARFISH_ASSIGN_OR_RETURN(Tid tid, AddressOf(ref));
   const Projection root_only = Projection::RootOnly(*config_.schema);
   STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
-                            ReadRegions(tid, root_only));
+                            ReadRegions(*StripeOf(ref).store, tid, root_only));
   return serializer_.FromRegions(regions, root_only);
 }
 
 Status DirectModel::UpdateRootRecord(ObjectRef ref, const Tuple& new_root) {
   STARFISH_ASSIGN_OR_RETURN(Tid tid, AddressOf(ref));
+  Stripe& stripe = StripeOf(ref);
 
   if (options_.change_attr_updates) {
     // DASDBS-DSM §5.3: the object was only partially retrieved, so a
@@ -268,7 +351,7 @@ Status DirectModel::UpdateRootRecord(ObjectRef ref, const Tuple& new_root) {
     // with a change-attribute operation (page pool written inside).
     STARFISH_ASSIGN_OR_RETURN(
         std::vector<RecordRegion> root_regions,
-        store_.ReadPartial(tid, [](uint32_t tag) {
+        stripe.store->ReadPartial(tid, [](uint32_t tag) {
           return ObjectSerializer::TagPath(tag) == kRootPath;
         }));
     if (root_regions.empty()) {
@@ -286,17 +369,17 @@ Status DirectModel::UpdateRootRecord(ObjectRef ref, const Tuple& new_root) {
     }
     const std::string bytes = ObjectSerializer::EncodeFlatWithCounts(
         *config_.schema, new_root, counts);
-    STARFISH_ASSIGN_OR_RETURN(Tid new_tid,
-                              store_.UpdateRegion(tid, root_regions[0].tag, 0,
-                                                  bytes));
-    address_of_[ref] = new_tid;
+    STARFISH_ASSIGN_OR_RETURN(
+        Tid new_tid,
+        stripe.store->UpdateRegion(tid, root_regions[0].tag, 0, bytes));
+    stripe.address_of[SlotOf(ref)] = new_tid;
     return Status::OK();
   }
 
   // DSM: replace the entire nested tuple (the paper's update protocol for
   // the non-partial models) — read it all, swap the root atomics, rewrite.
   STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> regions,
-                            store_.ReadAll(tid));
+                            stripe.store->ReadAll(tid));
   STARFISH_ASSIGN_OR_RETURN(Tuple object, serializer_.FromRegionsAll(regions));
   STARFISH_ASSIGN_OR_RETURN(int64_t old_key, KeyOf(object));
   STARFISH_ASSIGN_OR_RETURN(int64_t new_key, KeyOf(new_root));
@@ -310,8 +393,8 @@ Status DirectModel::UpdateRootRecord(ObjectRef ref, const Tuple& new_root) {
   }
   STARFISH_ASSIGN_OR_RETURN(std::vector<RecordRegion> new_regions,
                             serializer_.ToRegions(object));
-  STARFISH_ASSIGN_OR_RETURN(Tid new_tid, store_.Replace(tid, new_regions));
-  address_of_[ref] = new_tid;
+  STARFISH_ASSIGN_OR_RETURN(Tid new_tid, stripe.store->Replace(tid, new_regions));
+  stripe.address_of[SlotOf(ref)] = new_tid;
   return Status::OK();
 }
 

@@ -26,6 +26,15 @@
 ///
 /// The object table (ObjectRef -> physical TID) is in-memory and uncounted:
 /// in the paper the OID *is* the physical address.
+///
+/// Write striping (ModelConfig::write_stripes): the relation can be split
+/// into N independent stripes, object `ref` living entirely in stripe
+/// `ref % N`. Each stripe owns its own segment, record store, page pool and
+/// slice of the object table — no state is shared between stripes — so the
+/// store-level per-segment write latching lets ops on different stripes
+/// apply concurrently. N == 1 (default) is byte-identical to the unstriped
+/// paper layout; scans visit stripes in order (stripe-major, so the order
+/// differs from global insertion order when N > 1).
 
 namespace starfish {
 
@@ -53,8 +62,10 @@ struct DirectModelOptions {
 /// DSM / DASDBS-DSM implementation.
 class DirectModel : public StorageModel {
  public:
-  /// Creates the model's segment inside `engine`. The segment name is
-  /// derived from the model name and the schema name (e.g. "DSM_Station").
+  /// Creates the model's segment(s) inside `engine`. The first stripe's
+  /// segment name is derived from the model name and the schema name (e.g.
+  /// "DSM_Station", so single-stripe layouts match the pre-striping ones);
+  /// stripes beyond the first get a ".s<i>" suffix.
   static Result<std::unique_ptr<DirectModel>> Create(StorageEngine* engine,
                                                      ModelConfig config,
                                                      DirectModelOptions options);
@@ -73,10 +84,12 @@ class DirectModel : public StorageModel {
   Status UpdateRootRecord(ObjectRef ref, const Tuple& new_root) override;
   Status ReplaceObject(ObjectRef ref, const Tuple& new_object) override;
   Status Remove(ObjectRef ref) override;
-  uint64_t object_count() const override { return live_count_; }
+  uint64_t object_count() const override;
   Status SaveState(std::string* out) const override;
   Status LoadState(std::string_view* in) override;
   Status CollectLiveTids(std::vector<Tid>* out) const override;
+  void CollectWriteSegments(ObjectRef ref,
+                            std::vector<Segment*>* out) const override;
 
   /// Physical address of an object (for tests/calibration).
   Result<Tid> AddressOf(ObjectRef ref) const;
@@ -84,24 +97,49 @@ class DirectModel : public StorageModel {
   /// Placement info of an object's record (Table 2 calibration).
   Result<ComplexRecordInfo> RecordInfo(ObjectRef ref) const;
 
-  /// The relation's segment (tests/calibration).
-  Segment* segment() { return segment_; }
+  /// The relation's (first stripe's) segment (tests/calibration).
+  Segment* segment() { return stripes_[0].segment; }
+
+  /// Number of write stripes (1 = the paper-exact unstriped layout).
+  uint32_t stripe_count() const {
+    return static_cast<uint32_t>(stripes_.size());
+  }
 
  private:
-  DirectModel(ModelConfig config, Segment* segment, DirectModelOptions options);
+  /// One independent slice of the relation: a segment, its record store
+  /// (page pool included) and the object-table slice of the refs routed
+  /// here. Nothing is shared between stripes.
+  struct Stripe {
+    Segment* segment = nullptr;
+    std::unique_ptr<ComplexRecordStore> store;
+    std::vector<Tid> address_of;  ///< slot = ref / stripe_count
+    uint64_t live_count = 0;
+  };
+
+  DirectModel(ModelConfig config, std::vector<Segment*> segments,
+              DirectModelOptions options);
+
+  uint32_t StripeIndexOf(ObjectRef ref) const {
+    return static_cast<uint32_t>(ref % stripes_.size());
+  }
+  size_t SlotOf(ObjectRef ref) const {
+    return static_cast<size_t>(ref / stripes_.size());
+  }
+  Stripe& StripeOf(ObjectRef ref) { return stripes_[StripeIndexOf(ref)]; }
+  const Stripe& StripeOf(ObjectRef ref) const {
+    return stripes_[StripeIndexOf(ref)];
+  }
 
   /// Reads an object's regions under `proj`: partial for DASDBS-DSM,
   /// everything (then logically filtered) for DSM.
-  Result<std::vector<RecordRegion>> ReadRegions(const Tid& tid,
+  Result<std::vector<RecordRegion>> ReadRegions(const ComplexRecordStore& store,
+                                                const Tid& tid,
                                                 const Projection& proj) const;
 
-  Segment* segment_;
-  ComplexRecordStore store_;
   ObjectSerializer serializer_;
   DirectModelOptions options_;
   Projection link_projection_;
-  std::vector<Tid> address_of_;  // ObjectRef -> TID, in-memory object table
-  uint64_t live_count_ = 0;
+  std::vector<Stripe> stripes_;
 };
 
 }  // namespace starfish

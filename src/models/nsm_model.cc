@@ -157,6 +157,19 @@ Status NsmModel::CollectLiveTids(std::vector<Tid>* out) const {
   return Status::OK();
 }
 
+void NsmModel::CollectWriteSegments(ObjectRef /*ref*/,
+                                    std::vector<Segment*>* out) const {
+  for (Segment* segment : segments_) out->push_back(segment);
+  for (const auto& tree : trees_) {
+    if (tree != nullptr) out->push_back(tree->segment());
+  }
+}
+
+Result<Tuple> NsmModel::ReadObjectForUndo(ObjectRef ref) {
+  STARFISH_ASSIGN_OR_RETURN(int64_t key, RefToKey(ref));
+  return GetByKey(key, Projection::All(*config_.schema));
+}
+
 Result<int64_t> NsmModel::RefToKey(ObjectRef ref) const {
   if (ref >= key_of_ref_.size() || key_of_ref_[ref] == kNoKey) {
     return Status::NotFound("no object with ref " + std::to_string(ref));

@@ -72,6 +72,13 @@ class NsmModel : public StorageModel {
   Status SaveState(std::string* out) const override;
   Status LoadState(std::string_view* in) override;
   Status CollectLiveTids(std::vector<Tid>* out) const override;
+  /// Every write op shreds the object over all path relations (and their
+  /// index trees), so the write-latch set is all of them — NSM ops never
+  /// apply in parallel with each other.
+  void CollectWriteSegments(ObjectRef ref,
+                            std::vector<Segment*>* out) const override;
+  /// Plain NSM has no by-ref access; undo capture goes through the key map.
+  Result<Tuple> ReadObjectForUndo(ObjectRef ref) override;
 
   /// The decomposition in use (tests/calibration).
   const NsmDecomposition& decomposition() const { return decomp_; }

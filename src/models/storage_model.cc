@@ -43,6 +43,10 @@ Result<std::vector<Tuple>> StorageModel::GetRootRecordsBatch(
   return out;
 }
 
+Result<Tuple> StorageModel::ReadObjectForUndo(ObjectRef ref) {
+  return GetByRef(ref, Projection::All(*config_.schema));
+}
+
 Result<int64_t> StorageModel::KeyOf(const Tuple& object) const {
   if (config_.key_attr_index >= object.values.size()) {
     return Status::InvalidArgument("key attribute index out of range");

@@ -59,6 +59,16 @@ struct ModelConfig {
   /// Index of the root attribute holding the (unique) integer object key
   /// (the benchmark's Station.Key).
   size_t key_attr_index = 0;
+
+  /// Number of independent write stripes for the direct models: objects are
+  /// routed to stripe `ref % write_stripes`, each stripe owning its own
+  /// segment (and hence its own write latch), so ops on different stripes
+  /// apply in parallel at the store level. 1 (default) is the paper-exact
+  /// single-segment layout, byte-identical to the unstriped code. Requires
+  /// a thread-safe buffer pool (shard_count != 1) to actually run striped
+  /// ops concurrently. The normalized models ignore this — their ops touch
+  /// every path segment, so striping cannot decouple them.
+  uint32_t write_stripes = 1;
 };
 
 /// Callback for full-database scans: (key, object).
@@ -145,6 +155,20 @@ class StorageModel {
   /// rather than return a partial set — a truncated set would make the
   /// scrub delete live records as phantoms.
   virtual Status CollectLiveTids(std::vector<Tid>* out) const = 0;
+
+  /// Appends every segment a write op on `ref` may touch (pages dirtied,
+  /// allocated or freed) to `*out`. The store locks exactly this set (its
+  /// write-latch set) around the op's apply — ops whose sets are disjoint
+  /// run in parallel. Duplicates are fine; the store dedups. Must be
+  /// correct for refs that do not exist yet (an Insert's target).
+  virtual void CollectWriteSegments(ObjectRef ref,
+                                    std::vector<Segment*>* out) const = 0;
+
+  /// The full current object under `ref`, read for logical-undo capture
+  /// before an in-transaction Replace/Remove/UpdateRoot mutates it.
+  /// Defaults to GetByRef with an all-projection; plain NSM (no by-ref
+  /// access) overrides via its key map.
+  virtual Result<Tuple> ReadObjectForUndo(ObjectRef ref);
 
  protected:
   explicit StorageModel(ModelConfig config) : config_(std::move(config)) {}

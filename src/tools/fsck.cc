@@ -348,31 +348,45 @@ bool CheckTreeState(FsckContext* ctx, std::string_view* in,
   return true;
 }
 
-/// DirectModel (kDsm / kDasdbsDsm): u64 live, u32 pool_first, u64 refs,
-/// refs * u64 packed TIDs.
+/// DirectModel (kDsm / kDasdbsDsm): u64 live total, u32 stripe count, then
+/// per stripe u32 pool_first, u64 slots, slots * u64 packed TIDs. Refs map
+/// to stripes as ref % stripe_count (slot = ref / stripe_count).
 bool CheckDirectModelState(FsckContext* ctx, std::string_view* in) {
-  uint64_t live = 0, refs = 0;
-  uint32_t pool_first = kInvalidPageId;
-  if (!GetFixed64(in, &live) || !GetFixed32(in, &pool_first) ||
-      !GetFixed64(in, &refs) || refs > in->size() / 8) {
+  uint64_t live = 0;
+  uint32_t stripe_count = 0;
+  if (!GetFixed64(in, &live) || !GetFixed32(in, &stripe_count) ||
+      stripe_count == 0 || stripe_count > in->size() / 12) {
     ctx->Error("model state: truncated direct-model header");
     return false;
   }
-  if (pool_first != kInvalidPageId) {
-    CheckTypedPage(ctx, pool_first, PageType::kPool, "page-pool head");
-  }
   uint64_t present = 0;
-  for (uint64_t i = 0; i < refs; ++i) {
-    uint64_t packed = 0;
-    if (!GetFixed64(in, &packed)) {
-      ctx->Error("model state: truncated direct-model object table");
+  for (uint32_t s = 0; s < stripe_count; ++s) {
+    const std::string stripe = "stripe " + std::to_string(s);
+    uint64_t slots = 0;
+    uint32_t pool_first = kInvalidPageId;
+    if (!GetFixed32(in, &pool_first) || !GetFixed64(in, &slots) ||
+        slots > in->size() / 8) {
+      ctx->Error("model state: truncated direct-model " + stripe + " header");
       return false;
     }
-    const Tid tid = Tid::Unpack(packed);
-    if (!tid.valid()) continue;
-    ++present;
-    CheckAddress(ctx, tid.page,
-                 ("object ref " + std::to_string(i)).c_str());
+    if (pool_first != kInvalidPageId) {
+      CheckTypedPage(ctx, pool_first, PageType::kPool,
+                     (stripe + " page-pool head").c_str());
+    }
+    for (uint64_t i = 0; i < slots; ++i) {
+      uint64_t packed = 0;
+      if (!GetFixed64(in, &packed)) {
+        ctx->Error("model state: truncated direct-model object table (" +
+                   stripe + ")");
+        return false;
+      }
+      const Tid tid = Tid::Unpack(packed);
+      if (!tid.valid()) continue;
+      ++present;
+      const uint64_t ref = i * stripe_count + s;
+      CheckAddress(ctx, tid.page,
+                   ("object ref " + std::to_string(ref)).c_str());
+    }
   }
   if (present != live) {
     ctx->Error("model state: live count " + std::to_string(live) +
@@ -624,6 +638,44 @@ void ScanWal(FsckContext* ctx) {
 
 /// The log against the committed catalog: checkpoint LSN coverage, stale
 /// sub-checkpoint records, the truncation checkpoint record's generation.
+// Transaction framing is a log-local property — it needs no committed
+// catalog (a crash image can predate the first checkpoint entirely):
+// marker payloads must decode, and every transaction begun at or past
+// the checkpoint horizon should meet its commit/abort. A dangling begin
+// is a crash artifact, not damage — the next open treats the transaction
+// as aborted (its ops have no commit verdict) — so it warns, never errors.
+void CheckWalTxnFraming(FsckContext* ctx) {
+  if (!ctx->wal.found || !ctx->wal.header_valid) return;
+  const uint64_t horizon = ctx->catalog_has_wal_lsn
+                               ? ctx->report->wal_checkpoint_lsn
+                               : ctx->wal.base_lsn;
+  std::map<uint64_t, uint64_t> open_txns;  // txn id -> begin LSN
+  for (const WalRecord& record : ctx->wal.records) {
+    if (record.lsn < horizon) continue;
+    if (!IsWalTxnMarker(record.kind)) continue;
+    uint64_t txn_id = 0;
+    if (!DecodeWalTxnPayload(record.payload, &txn_id)) {
+      ctx->Error("wal.log: undecodable txn marker payload (lsn " +
+                 std::to_string(record.lsn) + ")");
+      continue;
+    }
+    if (record.kind == WalRecordKind::kTxnBegin) {
+      open_txns.emplace(txn_id, record.lsn);
+    } else if (open_txns.erase(txn_id) == 0) {
+      ctx->Warn("wal.log: " + std::string(ToString(record.kind)) +
+                " for transaction " + std::to_string(txn_id) +
+                " without a begin after the checkpoint horizon (lsn " +
+                std::to_string(record.lsn) + ")");
+    }
+  }
+  for (const auto& [txn_id, begin_lsn] : open_txns) {
+    ctx->Warn("wal.log: transaction " + std::to_string(txn_id) +
+              " begun at LSN " + std::to_string(begin_lsn) +
+              " has no commit or abort (crash artifact; its ops are "
+              "rolled back at next open)");
+  }
+}
+
 void CheckWalAgainstCatalog(FsckContext* ctx) {
   if (!ctx->report->catalog_found || !ctx->catalog_has_wal_lsn) return;
   const uint64_t checkpoint_lsn = ctx->report->wal_checkpoint_lsn;
@@ -751,6 +803,7 @@ Result<FsckReport> RunFsck(const std::string& dir, FsckOptions options) {
   ScanWal(&ctx);
   CheckCatalog(&ctx);
   CheckWalAgainstCatalog(&ctx);
+  CheckWalTxnFraming(&ctx);
   CrossCheck(&ctx);
   return report;
 }

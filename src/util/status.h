@@ -27,6 +27,7 @@ enum class StatusCode : int {
   kCorruption = 7,
   kNotSupported = 8,
   kInternal = 9,
+  kFailedPrecondition = 10,
 };
 
 /// Returns a stable, human-readable name for a status code ("OK", "IOError"...).
@@ -72,6 +73,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
@@ -83,6 +87,9 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -15,6 +15,9 @@ const char* ToString(WalRecordKind kind) {
     case WalRecordKind::kUpdateRoot: return "update-root";
     case WalRecordKind::kReplace: return "replace";
     case WalRecordKind::kRemove: return "remove";
+    case WalRecordKind::kTxnBegin: return "txn-begin";
+    case WalRecordKind::kTxnCommit: return "txn-commit";
+    case WalRecordKind::kTxnAbort: return "txn-abort";
   }
   return "unknown";
 }
@@ -27,9 +30,18 @@ bool IsWalOpKind(WalRecordKind kind) {
     case WalRecordKind::kRemove:
       return true;
     case WalRecordKind::kCheckpoint:
+    case WalRecordKind::kTxnBegin:
+    case WalRecordKind::kTxnCommit:
+    case WalRecordKind::kTxnAbort:
       return false;
   }
   return false;
+}
+
+bool IsWalTxnMarker(WalRecordKind kind) {
+  return kind == WalRecordKind::kTxnBegin ||
+         kind == WalRecordKind::kTxnCommit ||
+         kind == WalRecordKind::kTxnAbort;
 }
 
 std::string EncodeWalHeader(uint64_t base_lsn) {
@@ -67,6 +79,14 @@ std::string EncodeWalOpPayload(const WalOpPayload& op) {
   }
   PutFixed32(&out, static_cast<uint32_t>(op.body.size()));
   out.append(op.body);
+  // Optional transaction trailer: only written when the op carries txn
+  // state, so autonomous ops keep the exact pre-txn encoding.
+  if (op.txn_id != 0 || op.undo_kind != 0) {
+    PutFixed64(&out, op.txn_id);
+    out.push_back(static_cast<char>(op.undo_kind));
+    PutFixed32(&out, static_cast<uint32_t>(op.undo_body.size()));
+    out.append(op.undo_body);
+  }
   return out;
 }
 
@@ -97,8 +117,16 @@ bool DecodeWalOpPayload(std::string_view in, WalOpPayload* op) {
     in.remove_prefix(len);
   }
   uint32_t body_len = 0;
-  if (!GetFixed32(&in, &body_len) || body_len != in.size()) return false;
-  op->body.assign(in.data(), in.size());
+  if (!GetFixed32(&in, &body_len) || body_len > in.size()) return false;
+  op->body.assign(in.data(), body_len);
+  in.remove_prefix(body_len);
+  if (in.empty()) return true;  // pre-txn encoding: no trailer
+  uint32_t undo_len = 0;
+  if (in.size() < 13 || !GetFixed64(&in, &op->txn_id)) return false;
+  op->undo_kind = static_cast<uint8_t>(in.front());
+  in.remove_prefix(1);
+  if (!GetFixed32(&in, &undo_len) || undo_len != in.size()) return false;
+  op->undo_body.assign(in.data(), in.size());
   return true;
 }
 
@@ -110,6 +138,16 @@ std::string EncodeWalCheckpointPayload(uint64_t generation) {
 
 bool DecodeWalCheckpointPayload(std::string_view in, uint64_t* generation) {
   return GetFixed64(&in, generation) && in.empty();
+}
+
+std::string EncodeWalTxnPayload(uint64_t txn_id) {
+  std::string out;
+  PutFixed64(&out, txn_id);
+  return out;
+}
+
+bool DecodeWalTxnPayload(std::string_view in, uint64_t* txn_id) {
+  return GetFixed64(&in, txn_id) && in.empty();
 }
 
 void ScanWalBytes(std::string_view bytes, WalScan* out) {

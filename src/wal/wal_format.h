@@ -44,11 +44,25 @@
 ///                   page per checkpoint interval (first-touch),
 ///                 u32 body_len, body — the op's logical argument
 ///                   (serialized object regions for kPut/kReplace, the flat
-///                   root image for kUpdateRoot, empty for kRemove).
+///                   root image for kUpdateRoot, empty for kRemove),
+///                 then an OPTIONAL transaction trailer (absent on
+///                 autonomous ops, so version-1 logs stay decodable):
+///                 u64 txn_id, u8 undo_kind, u32 undo_len, undo bytes —
+///                   the logical compensation (op kind + body) that
+///                   reverses this op, recorded so an acked-but-uncommitted
+///                   op is auditable and reversible from the log alone.
+///   txn markers (kTxnBegin/kTxnCommit/kTxnAbort):
+///                 u64 txn_id — transaction ids are store-local and reset
+///                 at every open (safe: every open ends with a truncating
+///                 checkpoint, so ids never collide across a log).
 ///
 /// Replay = install every page's FIRST pre-image in the tail (that restores
 /// the committed content of every page the tail touched), then re-run the
-/// non-aborted ops in LSN order through the normal model write path. See
+/// non-aborted ops in LSN order through the normal model write path. Ops
+/// carrying a txn id are re-run only when the tail also holds that txn's
+/// kTxnCommit marker: a transaction whose commit never became durable —
+/// including one that logged kTxnAbort plus compensations — contributes
+/// nothing to redo (its pre-images alone restore committed state). See
 /// docs/WAL.md for why this physiological scheme is exact.
 
 namespace starfish {
@@ -67,6 +81,9 @@ enum class WalRecordKind : uint8_t {
   kUpdateRoot = 3,
   kReplace = 4,
   kRemove = 5,
+  kTxnBegin = 6,
+  kTxnCommit = 7,
+  kTxnAbort = 8,
 };
 
 /// The op failed mid-apply: its pre-images roll the pages back at replay
@@ -75,6 +92,10 @@ inline constexpr uint8_t kWalFlagAborted = 1;
 
 const char* ToString(WalRecordKind kind);
 bool IsWalOpKind(WalRecordKind kind);
+/// True for the kTxnBegin/kTxnCommit/kTxnAbort markers — they carry no
+/// pages, dirty nothing, and are never re-run; they only decide which op
+/// records redo.
+bool IsWalTxnMarker(WalRecordKind kind);
 
 /// One de-framed log record.
 struct WalRecord {
@@ -90,6 +111,13 @@ struct WalOpPayload {
   std::vector<PageId> pages;
   std::vector<std::pair<PageId, std::string>> preimages;
   std::string body;
+  /// Transaction this op belongs to; 0 = autonomous (commits with its own
+  /// record). Encoded as an optional trailer so pre-txn logs still decode.
+  uint64_t txn_id = 0;
+  /// Logical undo: the op kind (as uint8_t; 0 = none) and body that reverse
+  /// this op. Only captured for in-transaction ops.
+  uint8_t undo_kind = 0;
+  std::string undo_body;
 };
 
 /// Frames `bytes` as a log file header.
@@ -104,6 +132,9 @@ bool DecodeWalOpPayload(std::string_view in, WalOpPayload* op);
 
 std::string EncodeWalCheckpointPayload(uint64_t generation);
 bool DecodeWalCheckpointPayload(std::string_view in, uint64_t* generation);
+
+std::string EncodeWalTxnPayload(uint64_t txn_id);
+bool DecodeWalTxnPayload(std::string_view in, uint64_t* txn_id);
 
 /// Result of scanning a log file: the valid prefix and how it ended.
 struct WalScan {

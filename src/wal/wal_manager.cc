@@ -86,10 +86,13 @@ void WalManager::SpillLocked() {
 
 Result<uint64_t> WalManager::AppendOp(WalRecordKind kind, uint8_t flags,
                                       const WalOpPayload& op) {
+  // Encode outside mu_: the payload copy (pre-images + body) is the bulk of
+  // the work, and writers on disjoint latch sets reach here concurrently.
+  const std::string payload = EncodeWalOpPayload(op);
   std::lock_guard<std::mutex> lock(mu_);
   if (!poison_.ok()) return poison_;
   const uint64_t lsn = next_lsn_++;
-  AppendWalRecord(&pending_, kind, flags, lsn, EncodeWalOpPayload(op));
+  AppendWalRecord(&pending_, kind, flags, lsn, payload);
   for (const auto& [id, image] : op.preimages) {
     (void)image;
     imaged_pages_.insert(id);
@@ -97,6 +100,20 @@ Result<uint64_t> WalManager::AppendOp(WalRecordKind kind, uint8_t flags,
   // Bound memory between checkpoints: overflow goes to the file un-synced
   // (durable_lsn_ does not move; the next epoch's fsync covers it). Skipped
   // while a leader holds the file — appends must stay ordered.
+  if (pending_.size() >= options_.spill_bytes && !leader_active_) {
+    SpillLocked();
+    if (!poison_.ok()) return poison_;
+  }
+  return lsn;
+}
+
+Result<uint64_t> WalManager::AppendTxnMarker(WalRecordKind kind,
+                                             uint64_t txn_id) {
+  const std::string payload = EncodeWalTxnPayload(txn_id);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!poison_.ok()) return poison_;
+  const uint64_t lsn = next_lsn_++;
+  AppendWalRecord(&pending_, kind, 0, lsn, payload);
   if (pending_.size() >= options_.spill_bytes && !leader_active_) {
     SpillLocked();
     if (!poison_.ok()) return poison_;

@@ -16,8 +16,12 @@
 ///
 /// Concurrency protocol (the multi-writer story):
 ///
-///   * AppendOp runs under the store's write mutex — LSN order IS apply
-///     order, which is what makes logical redo deterministic.
+///   * AppendOp runs under the op's per-segment write-latch set, held from
+///     apply through LSN stamping — so per segment (and hence per page),
+///     LSN order IS apply order, which is what makes logical redo
+///     deterministic. Ops on disjoint latch sets append concurrently: the
+///     payload is encoded outside mu_ and only the framing runs under it,
+///     keeping the log the single short serialized point of the write path.
 ///   * Commit(lsn) runs OUTSIDE the store mutex: concurrent committers
 ///     overlap in EnsureDurable, where the first arrival becomes the epoch
 ///     leader, snapshots the pending buffer, appends + fsyncs it in one
@@ -101,12 +105,18 @@ class WalManager final : public WalOrderingHook {
   bool NeedsPreimage(PageId id) const;
 
   // ------------------------------------------------------------- append --
-  /// Appends one op record under the store's write mutex: assigns the next
+  /// Appends one op record under the op's write-latch set: assigns the next
   /// LSN, frames the record into the pending buffer, and marks the op's
   /// pre-imaged pages as imaged for this checkpoint interval. Volatile
   /// until EnsureDurable covers the returned LSN.
   Result<uint64_t> AppendOp(WalRecordKind kind, uint8_t flags,
                             const WalOpPayload& op);
+
+  /// Appends a kTxnBegin/kTxnCommit/kTxnAbort marker carrying `txn_id`.
+  /// Same LSN and durability semantics as AppendOp; markers dirty no pages
+  /// and are never re-run — replay only reads them to decide which txn ops
+  /// redo.
+  Result<uint64_t> AppendTxnMarker(WalRecordKind kind, uint64_t txn_id);
 
   /// Commit acknowledgement per the sync policy: kNone returns immediately,
   /// kAlways/kGroup block until `lsn` is durable.

@@ -1,0 +1,263 @@
+// Parallel segment applies: with a striped direct model
+// (StoreOptions::write_stripes > 1) ops on refs in different stripes hold
+// disjoint write-latch sets and run the whole apply + append + stamp path
+// concurrently. These tests drive that path from racing threads — run
+// under TSan by ci/check.sh — and pin the striped layout's persistence
+// rules (reopen with the wrong stripe count must refuse).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchmark/generator.h"
+#include "core/complex_object_store.h"
+#include "tools/fsck.h"
+
+namespace starfish {
+namespace {
+
+constexpr uint32_t kStripes = 4;
+constexpr size_t kPerWriter = 12;
+
+class ParallelApplyMtTest
+    : public ::testing::TestWithParam<StorageModelKind> {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("starfish_papply_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    std::filesystem::remove_all(dir_);
+    bench::GeneratorConfig config;
+    config.n_objects = kStripes * kPerWriter;
+    config.seed = 401;
+    auto db = bench::BenchmarkDatabase::Generate(config);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<bench::BenchmarkDatabase>(std::move(db).value());
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  StoreOptions Options(WalSyncPolicy sync) {
+    StoreOptions options;
+    options.model = GetParam();
+    options.backend = VolumeKind::kMmap;
+    options.path = dir_;
+    options.write_stripes = kStripes;
+    options.buffer_shards = 4;
+    options.wal_sync = sync;
+    return options;
+  }
+
+  /// kStripes threads, writer w owning exactly the refs ≡ w (mod
+  /// kStripes): every pair of concurrent ops holds disjoint latch sets.
+  void RaceWriters(ComplexObjectStore* store) {
+    std::vector<std::thread> writers;
+    writers.reserve(kStripes);
+    for (uint32_t w = 0; w < kStripes; ++w) {
+      writers.emplace_back([&, w] {
+        for (size_t i = 0; i < db_->objects().size(); ++i) {
+          const auto& object = db_->objects()[i];
+          if (object.ref % kStripes != w) continue;
+          ASSERT_TRUE(store->Put(object.ref, object.tuple).ok());
+        }
+      });
+    }
+    for (std::thread& t : writers) t.join();
+  }
+
+  void VerifyAll(ComplexObjectStore* store) {
+    for (const auto& object : db_->objects()) {
+      auto got = store->Get(object.ref);
+      ASSERT_TRUE(got.ok()) << "ref " << object.ref << ": "
+                            << got.status().ToString();
+      EXPECT_EQ(got.value(), object.tuple) << "ref " << object.ref;
+    }
+  }
+
+  std::string dir_;
+  std::unique_ptr<bench::BenchmarkDatabase> db_;
+};
+
+TEST_P(ParallelApplyMtTest, DisjointStripeWritersRaceCleanly) {
+  {
+    auto store_or =
+        ComplexObjectStore::Open(db_->schema(), Options(WalSyncPolicy::kNone));
+    ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+    auto store = std::move(store_or).value();
+    RaceWriters(store.get());
+    VerifyAll(store.get());
+    ASSERT_TRUE(store->Close().ok());
+  }
+  // The parallel applies left a recoverable, checkable image behind.
+  auto store_or =
+      ComplexObjectStore::Open(db_->schema(), Options(WalSyncPolicy::kNone));
+  ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+  auto store = std::move(store_or).value();
+  VerifyAll(store.get());
+  ASSERT_TRUE(store->Close().ok());
+  store.reset();
+  auto report = RunFsck(dir_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().clean()) << report.value().ToString();
+}
+
+// Same race under kAlways: parallel applies feed the shared group-commit
+// log, every ack is a durable record.
+TEST_P(ParallelApplyMtTest, ParallelAppliesShareGroupCommit) {
+  auto store_or =
+      ComplexObjectStore::Open(db_->schema(), Options(WalSyncPolicy::kAlways));
+  ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+  auto store = std::move(store_or).value();
+  RaceWriters(store.get());
+  VerifyAll(store.get());
+  ASSERT_TRUE(store->Close().ok());
+}
+
+// Racing transactions on disjoint stripes: each writer wraps its slice in
+// one transaction; half commit, half roll back. Committed slices survive,
+// rolled-back slices vanish — under full concurrency.
+TEST_P(ParallelApplyMtTest, ConcurrentTransactionsOnDisjointStripes) {
+  auto store_or =
+      ComplexObjectStore::Open(db_->schema(), Options(WalSyncPolicy::kAlways));
+  ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+  auto store = std::move(store_or).value();
+  std::vector<std::thread> writers;
+  for (uint32_t w = 0; w < kStripes; ++w) {
+    writers.emplace_back([&, w] {
+      auto txn_or = store->Begin();
+      ASSERT_TRUE(txn_or.ok());
+      auto txn = std::move(txn_or).value();
+      for (size_t i = 0; i < db_->objects().size(); ++i) {
+        const auto& object = db_->objects()[i];
+        if (object.ref % kStripes != w) continue;
+        ASSERT_TRUE(txn.Put(object.ref, object.tuple).ok());
+      }
+      if (w % 2 == 0) {
+        ASSERT_TRUE(txn.Commit().ok());
+      } else {
+        ASSERT_TRUE(txn.Rollback().ok());
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  for (const auto& object : db_->objects()) {
+    auto got = store->Get(object.ref);
+    if (object.ref % kStripes % 2 == 0) {
+      ASSERT_TRUE(got.ok()) << "committed ref " << object.ref << " lost";
+      EXPECT_EQ(got.value(), object.tuple);
+    } else {
+      EXPECT_FALSE(got.ok())
+          << "rolled-back ref " << object.ref << " survived";
+    }
+  }
+  ASSERT_TRUE(store->Close().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(DirectModels, ParallelApplyMtTest,
+                         ::testing::Values(StorageModelKind::kDsm,
+                                           StorageModelKind::kDasdbsDsm),
+                         [](const ::testing::TestParamInfo<StorageModelKind>&
+                                info) {
+                           return info.param == StorageModelKind::kDsm
+                                      ? "dsm"
+                                      : "dasdbs_dsm";
+                         });
+
+// ------------------------------------------------- striped persistence --
+
+class StripedDirectStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("starfish_striped_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    std::filesystem::remove_all(dir_);
+    bench::GeneratorConfig config;
+    config.n_objects = 16;
+    config.seed = 919;
+    auto db = bench::BenchmarkDatabase::Generate(config);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<bench::BenchmarkDatabase>(std::move(db).value());
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  StoreOptions Options(uint32_t stripes) {
+    StoreOptions options;
+    options.model = StorageModelKind::kDsm;
+    options.backend = VolumeKind::kMmap;
+    options.path = dir_;
+    options.write_stripes = stripes;
+    return options;
+  }
+
+  std::string dir_;
+  std::unique_ptr<bench::BenchmarkDatabase> db_;
+};
+
+TEST_F(StripedDirectStoreTest, ReopenWithTheSameStripeCountRestoresAll) {
+  {
+    auto store_or = ComplexObjectStore::Open(db_->schema(), Options(4));
+    ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+    auto store = std::move(store_or).value();
+    for (const auto& object : db_->objects()) {
+      ASSERT_TRUE(store->Put(object.ref, object.tuple).ok());
+    }
+    ASSERT_TRUE(store->Close().ok());
+  }
+  auto store_or = ComplexObjectStore::Open(db_->schema(), Options(4));
+  ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+  auto store = std::move(store_or).value();
+  for (const auto& object : db_->objects()) {
+    auto got = store->Get(object.ref);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got.value(), object.tuple);
+  }
+  ASSERT_TRUE(store->Close().ok());
+  store.reset();
+  auto report = RunFsck(dir_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().clean()) << report.value().ToString();
+}
+
+TEST_F(StripedDirectStoreTest, ReopenWithADifferentStripeCountRefuses) {
+  {
+    auto store_or = ComplexObjectStore::Open(db_->schema(), Options(4));
+    ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+    auto store = std::move(store_or).value();
+    for (const auto& object : db_->objects()) {
+      ASSERT_TRUE(store->Put(object.ref, object.tuple).ok());
+    }
+    ASSERT_TRUE(store->Close().ok());
+  }
+  for (uint32_t wrong : {1u, 2u}) {
+    auto store_or = ComplexObjectStore::Open(db_->schema(), Options(wrong));
+    ASSERT_FALSE(store_or.ok())
+        << "stripe count " << wrong << " accepted against a 4-stripe store";
+    EXPECT_TRUE(store_or.status().IsInvalidArgument())
+        << store_or.status().ToString();
+  }
+  // The refusals were read-only: the right count still opens clean.
+  auto store_or = ComplexObjectStore::Open(db_->schema(), Options(4));
+  ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+  EXPECT_TRUE(store_or.value()->Get(db_->objects()[0].ref).ok());
+}
+
+}  // namespace
+}  // namespace starfish

@@ -1,0 +1,238 @@
+// Regression tests for three write-path bugs fixed together with the
+// transaction work:
+//
+//   1. the destructor silently swallowed a failed best-effort checkpoint —
+//      Close() now exists to surface it (and the destructor at least
+//      complains on stderr);
+//   2. the mem-backend write path invalidated the object cache even when
+//      the apply failed validation before dirtying a single page, evicting
+//      perfectly good assemblies for nothing;
+//   3. an op whose WAL append failed left its dirtied frames pending
+//      forever — eviction over an all-pending pool must fail fast with
+//      FailedPrecondition instead of deadlocking or spinning.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "benchmark/generator.h"
+#include "buffer/buffer_manager.h"
+#include "core/complex_object_store.h"
+#include "disk/fault_volume.h"
+#include "disk/mem_volume.h"
+
+namespace starfish {
+namespace {
+
+class WritePathBugfixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("starfish_writefix_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    std::filesystem::remove_all(dir_);
+    bench::GeneratorConfig config;
+    config.n_objects = 10;
+    config.seed = 17;
+    auto db = bench::BenchmarkDatabase::Generate(config);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<bench::BenchmarkDatabase>(std::move(db).value());
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string dir_;
+  std::unique_ptr<bench::BenchmarkDatabase> db_;
+};
+
+// --- 1: Close() surfaces the checkpoint failure the destructor can't. ---
+
+TEST_F(WritePathBugfixTest, CloseReportsAFaultedCheckpoint) {
+  FaultVolume* fault = nullptr;
+  StoreOptions options;
+  options.model = StorageModelKind::kDsm;
+  options.backend = VolumeKind::kMmap;
+  options.path = dir_;
+  options.volume_decorator =
+      [&fault](std::unique_ptr<Volume> inner) -> std::unique_ptr<Volume> {
+    auto wrapped = std::make_unique<FaultVolume>(std::move(inner));
+    fault = wrapped.get();
+    return wrapped;
+  };
+  auto store_or = ComplexObjectStore::Open(db_->schema(), options);
+  ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+  auto store = std::move(store_or).value();
+  ASSERT_TRUE(store->Put(db_->objects()[0].ref, db_->objects()[0].tuple).ok());
+
+  FaultPlan plan;
+  plan.fail_sync_call = 1;  // the checkpoint's Volume::Sync dies
+  fault->SetPlan(plan);
+  fault->ResetFaultCounters();
+  Status closed = store->Close();
+  EXPECT_FALSE(closed.ok()) << "Close swallowed the checkpoint failure";
+  // The verdict was delivered: Close is now a no-op, and the destructor
+  // (which runs when `store` leaves scope) must not flush again.
+  EXPECT_TRUE(store->Close().ok());
+}
+
+TEST_F(WritePathBugfixTest, CloseIsIdempotentAndCheckpointsOnce) {
+  StoreOptions options;
+  options.model = StorageModelKind::kDsm;
+  options.backend = VolumeKind::kMmap;
+  options.path = dir_;
+  {
+    auto store_or = ComplexObjectStore::Open(db_->schema(), options);
+    ASSERT_TRUE(store_or.ok());
+    auto store = std::move(store_or).value();
+    for (const auto& object : db_->objects()) {
+      ASSERT_TRUE(store->Put(object.ref, object.tuple).ok());
+    }
+    EXPECT_TRUE(store->Close().ok());
+    EXPECT_TRUE(store->Close().ok());
+  }
+  auto reopened = ComplexObjectStore::Open(db_->schema(), options);
+  ASSERT_TRUE(reopened.ok());
+  for (const auto& object : db_->objects()) {
+    auto got = reopened.value()->Get(object.ref);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), object.tuple);
+  }
+}
+
+// --- 2: a failed validation that moved nothing must not purge the cache. --
+
+TEST_F(WritePathBugfixTest, FailedApplyThatDirtiedNothingKeepsTheObjcache) {
+  StoreOptions options;
+  options.model = StorageModelKind::kDsm;
+  options.backend = VolumeKind::kMem;
+  options.objcache.enabled = true;
+  auto store_or = ComplexObjectStore::Open(db_->schema(), options);
+  ASSERT_TRUE(store_or.ok());
+  auto store = std::move(store_or).value();
+  for (const auto& object : db_->objects()) {
+    ASSERT_TRUE(store->Put(object.ref, object.tuple).ok());
+  }
+  auto first = store->Get(db_->objects()[5].ref);
+  ASSERT_TRUE(first.ok());
+  const auto cached = store->objcache_stats();
+  ASSERT_GT(cached.entries, 0u);
+
+  // Replace of a ref that was never inserted fails inside the model before
+  // a single page is dirtied. The cache must not be touched.
+  const ObjectRef absent = 424242;
+  EXPECT_FALSE(store->Replace(absent, db_->objects()[5].tuple).ok());
+  const auto after = store->objcache_stats();
+  EXPECT_EQ(after.invalidations, cached.invalidations)
+      << "a no-op failure invalidated live assemblies";
+  EXPECT_EQ(after.entries, cached.entries);
+
+  // And the assembly it would have evicted is still byte-equal.
+  const uint64_t hits_before = store->objcache_stats().hits;
+  auto second = store->Get(db_->objects()[5].ref);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), db_->objects()[5].tuple);
+  EXPECT_GT(store->objcache_stats().hits, hits_before)
+      << "the assembly was silently dropped";
+}
+
+// --- 3: an all-pending pool fails eviction fast, with the right status. --
+
+TEST_F(WritePathBugfixTest, AllPendingPoolFailsEvictionWithClearStatus) {
+  MemVolume disk;
+  ASSERT_TRUE(disk.AllocateRun(8).ok());
+  BufferOptions options;
+  options.frame_count = 4;
+  BufferManager bm(&disk, options);
+
+  // Dirty every frame under a write capture and never stamp an LSN —
+  // exactly the state a failed WAL append leaves behind.
+  bm.BeginWriteCapture(0);
+  for (PageId id = 0; id < 4; ++id) {
+    auto guard = bm.Fix(id);
+    ASSERT_TRUE(guard.ok());
+    guard->MarkDirty();
+  }
+  BufferManager::WriteCapture capture = bm.TakeWriteCapture();
+  ASSERT_EQ(capture.dirtied.size(), 4u);
+
+  // Every frame is unevictable (pending): the next miss must fail fast.
+  auto stuck = bm.Fix(5);
+  ASSERT_FALSE(stuck.ok());
+  EXPECT_TRUE(stuck.status().IsFailedPrecondition())
+      << stuck.status().ToString();
+
+  // Clearing the pending marks (what recovery's reopen effectively does)
+  // makes the pool usable again — the frames were stuck, not leaked.
+  bm.StampRecoveryLsn(capture.dirtied, 0);
+  auto unstuck = bm.Fix(5);
+  EXPECT_TRUE(unstuck.ok()) << unstuck.status().ToString();
+}
+
+// The store-level shape of the same bug: after a failed WAL append the op
+// fails, later ops fail fast on the poisoned log (no deadlock, no spin),
+// and a reopen recovers every acknowledged write.
+TEST_F(WritePathBugfixTest, FailedWalAppendPoisonsButNeverWedgesTheStore) {
+  FaultVolume* fault = nullptr;
+  StoreOptions options;
+  options.model = StorageModelKind::kDsm;
+  options.backend = VolumeKind::kMmap;
+  options.path = dir_;
+  options.wal_sync = WalSyncPolicy::kAlways;
+  options.buffer_frames = 64;
+  options.volume_decorator =
+      [&fault](std::unique_ptr<Volume> inner) -> std::unique_ptr<Volume> {
+    auto wrapped = std::make_unique<FaultVolume>(std::move(inner));
+    fault = wrapped.get();
+    return wrapped;
+  };
+  options.wal_log_decorator =
+      [&fault](std::unique_ptr<LogFile> inner) -> std::unique_ptr<LogFile> {
+    return fault->WrapLogFile(std::move(inner));
+  };
+  size_t acked = 0;
+  {
+    auto store_or = ComplexObjectStore::Open(db_->schema(), options);
+    ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+    auto store = std::move(store_or).value();
+    FaultPlan plan;
+    plan.fail_log_append = 4;  // the 4th workload append dies mid-stream
+    fault->SetPlan(plan);
+    fault->ResetFaultCounters();
+    for (const auto& object : db_->objects()) {
+      if (store->Put(object.ref, object.tuple).ok()) {
+        ++acked;
+      } else {
+        break;
+      }
+    }
+    ASSERT_LT(acked, db_->objects().size()) << "the fault never fired";
+    // The log is poisoned: every further op must return, quickly and
+    // unambiguously, rather than wait on frames that can never drain.
+    EXPECT_FALSE(store->Put(db_->objects()[9].ref,
+                            db_->objects()[9].tuple).ok());
+    EXPECT_FALSE(store->Flush().ok());
+  }  // destructor: best-effort flush fails, logs to stderr, must not hang
+  StoreOptions reopen = options;
+  reopen.volume_decorator = nullptr;
+  reopen.wal_log_decorator = nullptr;
+  auto store_or = ComplexObjectStore::Open(db_->schema(), reopen);
+  ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+  auto store = std::move(store_or).value();
+  for (size_t i = 0; i < acked; ++i) {
+    auto got = store->Get(db_->objects()[i].ref);
+    ASSERT_TRUE(got.ok()) << "acked object " << i << " lost: "
+                          << got.status().ToString();
+    EXPECT_EQ(got.value(), db_->objects()[i].tuple);
+  }
+}
+
+}  // namespace
+}  // namespace starfish

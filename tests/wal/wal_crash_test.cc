@@ -382,6 +382,129 @@ TEST_P(WalCrashTest, GroupCommitAcksSurvivePowerLoss) {
   VerifyRecovered(outcome, /*exact=*/true, "group commit");
 }
 
+// The transaction rows of the crash matrix. One run stages all four txn
+// outcomes, then the power fails with one transaction still open — the
+// "crash between kTxnBegin and kTxnCommit" cell:
+//
+//   * a COMMITTED transaction survives byte-for-byte (its commit marker
+//     made the whole unit durable);
+//   * a ROLLED-BACK transaction never resurfaces (compensations + abort
+//     marker share its id, replay skips them all);
+//   * an OPEN transaction's ops are durable in the log but carry no
+//     commit marker — recovery rolls them back wholesale;
+//   * the autonomous put riding alongside replays normally.
+//
+// sf_fsck on the raw crash image reports the dangling kTxnBegin as a
+// warning (a crash artifact), never an error; after recovery it is clean.
+TEST_P(WalCrashTest, TxnCrashBetweenBeginAndCommitRollsBackOnlyThatTxn) {
+  constexpr size_t kTxnSize = 6;
+  const size_t committed_lo = 0;               // txn 1: commits
+  const size_t rolled_lo = kTxnSize;           // txn 2: rolls back
+  const size_t autonomous = 2 * kTxnSize;      // plain put
+  const size_t open_lo = 2 * kTxnSize + 1;     // txn 3: still open at crash
+  ASSERT_GE(db_->objects().size(), open_lo + kTxnSize);
+
+  FaultHandle handle;
+  auto store_or = ComplexObjectStore::Open(
+      db_->schema(), CrashOptions(&handle, WalSyncPolicy::kAlways));
+  ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+  {
+    auto store = std::move(store_or).value();
+    {
+      auto txn_or = store->Begin();
+      ASSERT_TRUE(txn_or.ok());
+      auto txn = std::move(txn_or).value();
+      for (size_t i = committed_lo; i < committed_lo + kTxnSize; ++i) {
+        const auto& object = db_->objects()[i];
+        ASSERT_TRUE(txn.Put(object.ref, object.tuple).ok());
+      }
+      ASSERT_TRUE(txn.Commit().ok());
+    }
+    {
+      auto txn_or = store->Begin();
+      ASSERT_TRUE(txn_or.ok());
+      auto txn = std::move(txn_or).value();
+      for (size_t i = rolled_lo; i < rolled_lo + kTxnSize; ++i) {
+        const auto& object = db_->objects()[i];
+        ASSERT_TRUE(txn.Put(object.ref, object.tuple).ok());
+      }
+      ASSERT_TRUE(txn.Rollback().ok());
+    }
+    auto open_txn_or = store->Begin();
+    ASSERT_TRUE(open_txn_or.ok());
+    auto open_txn = std::move(open_txn_or).value();
+    for (size_t i = open_lo; i < open_lo + kTxnSize; ++i) {
+      const auto& object = db_->objects()[i];
+      ASSERT_TRUE(open_txn.Put(object.ref, object.tuple).ok());
+    }
+    // The autonomous put's kAlways wait drags every earlier record —
+    // including the open txn's ops — onto the medium. The open txn is now
+    // fully durable EXCEPT for its commit marker: the hard case.
+    ASSERT_TRUE(store->Put(db_->objects()[autonomous].ref,
+                           db_->objects()[autonomous].tuple).ok());
+    handle.volume->SimulatePowerLoss();
+    std::filesystem::copy(dir_, crash_dir_,
+                          std::filesystem::copy_options::recursive);
+    // Dropping the open handle auto-rollbacks against a dead volume: it
+    // must fail quietly, not hang — and the crash image is already taken.
+  }
+
+  {
+    auto report_or = RunFsck(crash_dir_);
+    ASSERT_TRUE(report_or.ok()) << report_or.status().ToString();
+    EXPECT_TRUE(report_or.value().clean())
+        << "dangling begin reported as an error\n"
+        << report_or.value().ToString();
+    bool warned = false;
+    for (const std::string& w : report_or.value().warnings) {
+      if (w.find("no commit or abort") != std::string::npos) warned = true;
+    }
+    EXPECT_TRUE(warned) << "no dangling-begin warning\n"
+                        << report_or.value().ToString();
+  }
+
+  StoreOptions options;
+  options.model = Model();
+  options.backend = Backend();
+  options.path = crash_dir_;
+  {
+    auto reopened_or = ComplexObjectStore::Open(db_->schema(), options);
+    ASSERT_TRUE(reopened_or.ok()) << reopened_or.status().ToString();
+    auto reopened = std::move(reopened_or).value();
+    auto read = [&](size_t i) {
+      const auto& object = db_->objects()[i];
+      return ByRef() ? reopened->Get(object.ref)
+                     : reopened->GetByKey(object.key,
+                                          Projection::All(*db_->schema()));
+    };
+    for (size_t i = committed_lo; i < committed_lo + kTxnSize; ++i) {
+      auto got = read(i);
+      ASSERT_TRUE(got.ok()) << "committed-txn object " << i
+                            << " lost: " << got.status().ToString();
+      EXPECT_EQ(got.value(), db_->objects()[i].tuple)
+          << "committed-txn object " << i << " corrupted";
+    }
+    for (size_t i = rolled_lo; i < rolled_lo + kTxnSize; ++i) {
+      EXPECT_FALSE(read(i).ok())
+          << "rolled-back object " << i << " resurfaced";
+    }
+    {
+      auto got = read(autonomous);
+      ASSERT_TRUE(got.ok()) << "autonomous put lost";
+      EXPECT_EQ(got.value(), db_->objects()[autonomous].tuple);
+    }
+    for (size_t i = open_lo; i < open_lo + kTxnSize; ++i) {
+      EXPECT_FALSE(read(i).ok())
+          << "uncommitted object " << i << " surfaced after the crash";
+    }
+  }  // close checkpoints the recovered state
+  auto report_or = RunFsck(crash_dir_);
+  ASSERT_TRUE(report_or.ok());
+  EXPECT_TRUE(report_or.value().clean()) << report_or.value().ToString();
+  EXPECT_TRUE(report_or.value().warnings.empty())
+      << report_or.value().ToString();
+}
+
 std::string ParamName(
     const ::testing::TestParamInfo<std::tuple<StorageModelKind, VolumeKind>>&
         info) {

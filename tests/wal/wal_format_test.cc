@@ -247,6 +247,82 @@ TEST(WalFormatTest, KindPredicatesAndNames) {
   EXPECT_TRUE(IsWalOpKind(WalRecordKind::kRemove));
   EXPECT_STREQ(ToString(WalRecordKind::kCheckpoint), "checkpoint");
   EXPECT_STREQ(ToString(WalRecordKind::kPut), "put");
+  EXPECT_FALSE(IsWalOpKind(WalRecordKind::kTxnBegin));
+  EXPECT_FALSE(IsWalOpKind(WalRecordKind::kTxnCommit));
+  EXPECT_FALSE(IsWalOpKind(WalRecordKind::kTxnAbort));
+  EXPECT_TRUE(IsWalTxnMarker(WalRecordKind::kTxnBegin));
+  EXPECT_TRUE(IsWalTxnMarker(WalRecordKind::kTxnCommit));
+  EXPECT_TRUE(IsWalTxnMarker(WalRecordKind::kTxnAbort));
+  EXPECT_FALSE(IsWalTxnMarker(WalRecordKind::kPut));
+  EXPECT_FALSE(IsWalTxnMarker(WalRecordKind::kCheckpoint));
+}
+
+TEST(WalFormatTest, TxnMarkerPayloadRoundTrips) {
+  uint64_t txn_id = 0;
+  ASSERT_TRUE(DecodeWalTxnPayload(EncodeWalTxnPayload(77), &txn_id));
+  EXPECT_EQ(txn_id, 77u);
+  EXPECT_FALSE(DecodeWalTxnPayload("short", &txn_id));
+  EXPECT_FALSE(DecodeWalTxnPayload(EncodeWalTxnPayload(77) + "x", &txn_id));
+}
+
+TEST(WalFormatTest, OpPayloadTxnTrailerRoundTrips) {
+  WalOpPayload op;
+  op.ref = 21;
+  op.pages = {8, 9};
+  op.preimages.emplace_back(8, std::string("before"));
+  op.body = "regions-v2";
+  op.txn_id = 0xDEADBEEFull;
+  op.undo_kind = static_cast<uint8_t>(WalRecordKind::kReplace);
+  op.undo_body = std::string("regions-v1\x00tail", 15);  // binary-safe
+  WalOpPayload decoded;
+  ASSERT_TRUE(DecodeWalOpPayload(EncodeWalOpPayload(op), &decoded));
+  EXPECT_EQ(decoded.txn_id, op.txn_id);
+  EXPECT_EQ(decoded.undo_kind, op.undo_kind);
+  EXPECT_EQ(decoded.undo_body, op.undo_body);
+  EXPECT_EQ(decoded.ref, op.ref);
+  EXPECT_EQ(decoded.pages, op.pages);
+  EXPECT_EQ(decoded.preimages, op.preimages);
+  EXPECT_EQ(decoded.body, op.body);
+
+  // Truncating anywhere inside the trailer is rejected, not decoded as a
+  // trailer-less record: a record either has a whole trailer or none.
+  const std::string good = EncodeWalOpPayload(op);
+  WalOpPayload plain = op;
+  plain.txn_id = 0;
+  plain.undo_kind = 0;
+  plain.undo_body.clear();
+  const size_t body_end = EncodeWalOpPayload(plain).size();
+  for (size_t len = body_end + 1; len < good.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeWalOpPayload(std::string_view(good).substr(0, len), &decoded))
+        << "trailer prefix " << len;
+  }
+}
+
+TEST(WalFormatTest, AutonomousOpsKeepTheLegacyEncoding) {
+  // A txn-less op must encode byte-identically to the pre-transaction
+  // format (no trailer), and legacy bytes must decode with txn id 0.
+  WalOpPayload op;
+  op.ref = 11;
+  op.pages = {3};
+  op.body = "x";
+  const std::string encoded = EncodeWalOpPayload(op);
+  // Hand-build the legacy layout: ref, pages, preimages, body — nothing
+  // after the body bytes.
+  std::string legacy;
+  legacy.append(std::string(reinterpret_cast<const char*>(&op.ref), 8));
+  const uint32_t one = 1, page = 3, none = 0;
+  legacy.append(reinterpret_cast<const char*>(&one), 4);
+  legacy.append(reinterpret_cast<const char*>(&page), 4);
+  legacy.append(reinterpret_cast<const char*>(&none), 4);
+  legacy.append(reinterpret_cast<const char*>(&one), 4);
+  legacy.push_back('x');
+  EXPECT_EQ(encoded, legacy);
+  WalOpPayload decoded;
+  ASSERT_TRUE(DecodeWalOpPayload(legacy, &decoded));
+  EXPECT_EQ(decoded.txn_id, 0u);
+  EXPECT_EQ(decoded.undo_kind, 0u);
+  EXPECT_TRUE(decoded.undo_body.empty());
 }
 
 }  // namespace
