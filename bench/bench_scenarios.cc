@@ -1,0 +1,245 @@
+// Generated-workload throughput: every scenario family of the workload
+// generator replayed against a config matrix (model x backend x objcache),
+// reporting ops/sec and ns/op per cell. This is the traffic-shaped load
+// source the ROADMAP's server item will reuse — the same seeded traces the
+// differential tests verify, here replayed in bench mode (reads issued,
+// oracle off) so the numbers measure the store, not the comparator.
+//
+// Each cell first does one VERIFIED replay of its trace (fresh store) so a
+// cell that would publish numbers for a diverging configuration fails loudly
+// instead; the timed repetitions then run unverified on fresh stores and
+// the best wall-clock wins.
+//
+// Writes BENCH_scenarios.json.
+//
+// Usage:
+//   bench_scenarios [--tiny] [--seed N]
+//
+//   --tiny   CI-sized run (short traces, one timed repetition)
+//   --seed   base seed for the scenario families (default 20260809)
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/complex_object_store.h"
+#include "workload/replayer.h"
+#include "workload/scenario.h"
+
+namespace starfish::workload {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct BenchConfig {
+  uint64_t seed = 20260809;
+  uint32_t n_ops = 4000;
+  int repetitions = 3;
+};
+
+struct RowResult {
+  std::string name;
+  std::string family;
+  std::string model;
+  std::string backend;
+  bool objcache = false;
+  double ops_per_sec = 0;
+  double ns_per_op = 0;
+  uint64_t ops = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t scans = 0;
+};
+
+void Fatal(const std::string& what, const Status& st) {
+  std::fprintf(stderr, "bench_scenarios: %s: %s\n", what.c_str(),
+               st.ToString().c_str());
+  std::exit(1);
+}
+
+std::string Slug(std::string s) {
+  for (char& c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    if (!ok) c = '_';
+  }
+  return s;
+}
+
+StoreOptions CellOptions(StorageModelKind model, VolumeKind backend,
+                         bool objcache, const std::string& dir) {
+  StoreOptions options;
+  options.model = model;
+  options.backend = backend;
+  if (backend != VolumeKind::kMem) options.path = dir;
+  options.buffer_frames = 96;  // small pool: replays churn pages, as in tests
+  options.objcache.enabled = objcache;
+  return options;
+}
+
+RowResult RunCell(const Scenario& scenario, const Trace& trace,
+                  StorageModelKind model, VolumeKind backend, bool objcache,
+                  const BenchConfig& config,
+                  const std::shared_ptr<const Schema>& schema,
+                  const std::string& dir) {
+  // Guard replay: full oracle on. Numbers for a diverging config are noise.
+  {
+    std::filesystem::remove_all(dir);
+    auto store_or = ComplexObjectStore::Open(
+        schema, CellOptions(model, backend, objcache, dir));
+    if (!store_or.ok()) Fatal("open store", store_or.status());
+    auto store = std::move(store_or).value();
+    TraceReplayer replayer(trace, schema);
+    auto stats_or = replayer.Replay(store.get(), ReplayOptions{});
+    if (!stats_or.ok()) Fatal(scenario.name + " verified replay",
+                              stats_or.status());
+    const Status final_state = replayer.VerifyFinalState(store.get());
+    if (!final_state.ok()) Fatal(scenario.name + " final state", final_state);
+  }
+
+  // Timed repetitions: bench mode, fresh store each time, best run wins.
+  double best_seconds = 1e30;
+  ReplayStats stats;
+  for (int rep = 0; rep < config.repetitions; ++rep) {
+    std::filesystem::remove_all(dir);
+    auto store_or = ComplexObjectStore::Open(
+        schema, CellOptions(model, backend, objcache, dir));
+    if (!store_or.ok()) Fatal("open store", store_or.status());
+    auto store = std::move(store_or).value();
+    TraceReplayer replayer(trace, schema);
+    ReplayOptions options;
+    options.verify_reads = false;
+    const auto start = Clock::now();
+    auto stats_or = replayer.Replay(store.get(), options);
+    const std::chrono::duration<double> elapsed = Clock::now() - start;
+    if (!stats_or.ok()) Fatal(scenario.name + " bench replay",
+                              stats_or.status());
+    stats = stats_or.value();
+    if (elapsed.count() < best_seconds) best_seconds = elapsed.count();
+  }
+  std::filesystem::remove_all(dir);
+
+  RowResult r;
+  r.family = scenario.name;
+  r.model = ToString(model);
+  r.backend = backend == VolumeKind::kMem ? "mem" : "mmap";
+  r.objcache = objcache;
+  r.name = "scenario_" + Slug(r.family) + "_" + Slug(r.model) + "_" +
+           r.backend + "_" + (objcache ? "cache" : "plain");
+  r.ops = stats.ops;
+  r.reads = stats.reads;
+  r.writes = stats.writes;
+  r.scans = stats.scans;
+  r.ops_per_sec = static_cast<double>(stats.ops) / best_seconds;
+  r.ns_per_op = best_seconds * 1e9 / static_cast<double>(stats.ops);
+  return r;
+}
+
+void WriteJson(const std::vector<RowResult>& results, uint64_t seed,
+               const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_scenarios: cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"seed\": %llu,\n  \"benchmarks\": [\n",
+               static_cast<unsigned long long>(seed));
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RowResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"family\": \"%s\", "
+                 "\"model\": \"%s\", \"backend\": \"%s\", \"objcache\": %s, "
+                 "\"ops_per_sec\": %.0f, \"ns_per_op\": %.2f, "
+                 "\"ops\": %llu, \"reads\": %llu, \"writes\": %llu, "
+                 "\"scans\": %llu}%s\n",
+                 r.name.c_str(), r.family.c_str(), r.model.c_str(),
+                 r.backend.c_str(), r.objcache ? "true" : "false",
+                 r.ops_per_sec, r.ns_per_op,
+                 static_cast<unsigned long long>(r.ops),
+                 static_cast<unsigned long long>(r.reads),
+                 static_cast<unsigned long long>(r.writes),
+                 static_cast<unsigned long long>(r.scans),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace starfish::workload
+
+int main(int argc, char** argv) {
+  using namespace starfish;
+  using namespace starfish::workload;
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tiny") {
+      config.n_ops = 300;
+      config.repetitions = 1;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      config.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--tiny] [--seed N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const auto schema = MakeWorkloadSchema();
+  const auto families = ScenarioFamilies(config.seed);
+
+  // The config axis: the paper's recommended NSM variant and the striped
+  // direct model, mem (pure CPU path) and mmap (page I/O path), objcache
+  // off and on. The full five-model sweep lives in the differential tests;
+  // the bench keeps the matrix small enough to read.
+  const StorageModelKind kModels[] = {StorageModelKind::kDasdbsNsm,
+                                      StorageModelKind::kDsm};
+  const VolumeKind kBackends[] = {VolumeKind::kMem, VolumeKind::kMmap};
+
+  std::printf("scenario families: %zu, ops/trace: %u, seed: %llu\n",
+              families.size(), config.n_ops,
+              static_cast<unsigned long long>(config.seed));
+  std::printf("%-52s %12s %10s %7s %7s\n", "benchmark", "ops/sec", "ns/op",
+              "reads", "writes");
+
+  const std::string dir_base =
+      (std::filesystem::temp_directory_path() /
+       ("starfish_bench_scenarios_" +
+        std::to_string(static_cast<uint64_t>(
+            Clock::now().time_since_epoch().count()))))
+          .string();
+  int dir_counter = 0;
+
+  std::vector<RowResult> results;
+  for (const Scenario& family : families) {
+    ScenarioParams params = family.params;
+    params.n_ops = config.n_ops;
+    auto trace_or = GenerateTrace(params);
+    if (!trace_or.ok()) Fatal(family.name + " generate", trace_or.status());
+    const Trace& trace = trace_or.value();
+    for (StorageModelKind model : kModels) {
+      for (VolumeKind backend : kBackends) {
+        for (bool objcache : {false, true}) {
+          const std::string dir =
+              dir_base + "_" + std::to_string(dir_counter++);
+          RowResult r = RunCell(family, trace, model, backend, objcache,
+                                config, schema, dir);
+          std::printf("%-52s %12.0f %10.2f %7llu %7llu\n", r.name.c_str(),
+                      r.ops_per_sec, r.ns_per_op,
+                      static_cast<unsigned long long>(r.reads),
+                      static_cast<unsigned long long>(r.writes));
+          results.push_back(std::move(r));
+        }
+      }
+    }
+  }
+
+  WriteJson(results, config.seed, "BENCH_scenarios.json");
+  std::printf("wrote BENCH_scenarios.json (%zu rows)\n", results.size());
+  return 0;
+}

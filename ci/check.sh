@@ -6,10 +6,11 @@
 # example + a tiny out-of-core bench, all skipping gracefully otherwise),
 # run the hot-path bench over both in-memory-capable backends and the
 # multi-threaded read bench, gating on ns/op regressions, run the object
-# cache tier's tests + tiny bench and diff the paper benches against their
-# committed golden stdout (the cache-off byte-identity contract), then
-# build with ThreadSanitizer and run the buffer-pool and object-cache
-# concurrency stress tests.
+# cache tier's tests + tiny bench, run the generated-workload differential
+# harness (seed-matrix oracle + crash fuzz + tiny scenario bench) and diff
+# the paper benches against their committed golden stdout (the cache-off
+# byte-identity contract), then build with ThreadSanitizer and run the
+# buffer-pool, object-cache and concurrent-replay stress tests.
 #
 # Usage: ci/check.sh [build-dir]     (default: build)
 #
@@ -168,6 +169,19 @@ echo "== object cache =="
 "$BUILD_DIR/starfish_tests" --gtest_filter='*ObjCache*:*ObjectCache*'
 (cd "$BUILD_DIR" && ./bench_objcache --tiny)
 
+echo "== workload: generated-scenario differential harness =="
+# The OCB-style workload subsystem: trace format + generator invariants,
+# the 20-seed differential matrix (every read and the final state byte-
+# compared against the in-memory oracle across all five models x mem/mmap
+# x objcache on/off), the objcache negative-caching/epoch coverage, and
+# the generated-trace crash fuzz. All run in ctest too; the dedicated
+# stage keeps the divergence signal loud, and any failure prints the
+# STARFISH_SEED that reproduces it. Then bench_scenarios replays every
+# scenario family over the config matrix (emits BENCH_scenarios.json,
+# archived ungated — each cell's verified guard replay is the gate).
+"$BUILD_DIR/starfish_tests" --gtest_filter='*ScenarioTrace*:*Workload*'
+(cd "$BUILD_DIR" && ./bench_scenarios --tiny)
+
 echo "== paper benches byte-identical with the cache tier disabled =="
 # The 14 paper benches never construct an object cache (objcache.enabled
 # defaults to false, and they drive the models/engine directly), so their
@@ -250,8 +264,11 @@ else
   # inside the TSan build too when the filesystem has no O_DIRECT.
   # ParallelApplyMt drives concurrent writers over disjoint stripes through
   # the per-segment latch path — the race surface the latch push-down added.
+  # WorkloadMt replays generated traces with 2/4 workers (batched reads
+  # through concurrent sessions, stream-partitioned writes) and must land
+  # byte-identical to the sequential replay.
   "$BUILD_DIR-tsan/starfish_tests" \
-      --gtest_filter='*BufferMt*:*ShardedDeterminism*:*ObjCacheMt*:*DirectRingMt*:*ParallelApplyMt*'
+      --gtest_filter='*BufferMt*:*ShardedDeterminism*:*ObjCacheMt*:*DirectRingMt*:*ParallelApplyMt*:*WorkloadMt*'
 fi
 
 echo "== OK =="

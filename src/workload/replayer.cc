@@ -1,0 +1,509 @@
+#include "workload/replayer.h"
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "nf2/projection.h"
+#include "util/coding.h"
+#include "util/crc32.h"
+#include "workload/scenario.h"
+
+namespace starfish::workload {
+
+namespace {
+
+/// Renders a children list for a divergence message.
+std::string RefsToString(const std::vector<ObjectRef>& refs) {
+  std::string out = "[";
+  for (size_t i = 0; i < refs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(refs[i]);
+  }
+  return out + "]";
+}
+
+/// Executes one read-class op against `reader` (a ComplexObjectStore or a
+/// ReadSession — identical read signatures) and checks the oracle verdict.
+/// `by_ref` is false for plain NSM, whose kGet is served by key instead.
+template <typename Reader>
+Status CheckRead(Reader& reader, const Projection& all, bool by_ref,
+                 const TraceOp& op, const Expected& expected,
+                 const std::string& where) {
+  switch (op.kind) {
+    case TraceOpKind::kScan: {
+      std::map<int64_t, Tuple> image;
+      STARFISH_RETURN_NOT_OK(
+          reader.Scan(all, [&](int64_t key, const Tuple& object) {
+            if (!image.emplace(key, object).second) {
+              return Status::Internal(where + "scan yielded key " +
+                                      std::to_string(key) + " twice");
+            }
+            return Status::OK();
+          }));
+      if (image.size() != expected.scan.size()) {
+        return Status::Internal(
+            where + "scan saw " + std::to_string(image.size()) +
+            " objects, oracle expects " + std::to_string(expected.scan.size()));
+      }
+      for (const auto& [key, tuple] : expected.scan) {
+        const auto it = image.find(key);
+        if (it == image.end()) {
+          return Status::Internal(where + "scan is missing key " +
+                                  std::to_string(key));
+        }
+        if (it->second != tuple) {
+          return Status::Internal(where + "scan object with key " +
+                                  std::to_string(key) +
+                                  " diverges: " + TupleToString(it->second) +
+                                  " != " + TupleToString(tuple));
+        }
+      }
+      return Status::OK();
+    }
+    case TraceOpKind::kGet:
+    case TraceOpKind::kGetByKey: {
+      Result<Tuple> got =
+          (op.kind == TraceOpKind::kGet && by_ref)
+              ? reader.Get(op.ref, all)
+              : reader.GetByKey(WorkloadKeyOf(op.ref), all);
+      if (!expected.present) {
+        if (got.ok()) {
+          return Status::Internal(where + "read succeeded, oracle expects " +
+                                  std::string("NotFound"));
+        }
+        if (!got.status().IsNotFound()) {
+          return Status::Internal(where + "expected NotFound, store says " +
+                                  got.status().ToString());
+        }
+        return Status::OK();
+      }
+      if (!got.ok()) {
+        return Status::Internal(where + "read failed: " +
+                                got.status().ToString());
+      }
+      if (got.value() != expected.tuple) {
+        return Status::Internal(where + "object diverges: " +
+                                TupleToString(got.value()) +
+                                " != " + TupleToString(expected.tuple));
+      }
+      return Status::OK();
+    }
+    case TraceOpKind::kChildren: {
+      Result<std::vector<ObjectRef>> got = reader.Children(op.ref);
+      if (!expected.present) {
+        if (got.ok()) {
+          return Status::Internal(where +
+                                  "Children succeeded, oracle expects "
+                                  "NotFound");
+        }
+        if (!got.status().IsNotFound()) {
+          return Status::Internal(where + "expected NotFound, store says " +
+                                  got.status().ToString());
+        }
+        return Status::OK();
+      }
+      if (!got.ok()) {
+        return Status::Internal(where + "Children failed: " +
+                                got.status().ToString());
+      }
+      if (got.value() != expected.children) {
+        return Status::Internal(where + "children diverge: " +
+                                RefsToString(got.value()) +
+                                " != " + RefsToString(expected.children));
+      }
+      return Status::OK();
+    }
+    case TraceOpKind::kRootRecord: {
+      Result<Tuple> got = reader.RootRecord(op.ref);
+      if (!expected.present) {
+        if (got.ok()) {
+          return Status::Internal(where +
+                                  "RootRecord succeeded, oracle expects "
+                                  "NotFound");
+        }
+        if (!got.status().IsNotFound()) {
+          return Status::Internal(where + "expected NotFound, store says " +
+                                  got.status().ToString());
+        }
+        return Status::OK();
+      }
+      if (!got.ok()) {
+        return Status::Internal(where + "RootRecord failed: " +
+                                got.status().ToString());
+      }
+      if (got.value() != expected.tuple) {
+        return Status::Internal(where + "root record diverges: " +
+                                TupleToString(got.value()) +
+                                " != " + TupleToString(expected.tuple));
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::Internal(where + "not a read-class op");
+  }
+}
+
+/// Bench mode (`verify_reads == false`): issues the read so the store does
+/// all the work a verified replay would trigger, but discards the result —
+/// NotFound on a miss probe is the intended outcome, not an error.
+template <typename Reader>
+void IssueRead(Reader& reader, const Projection& all, bool by_ref,
+               const TraceOp& op) {
+  switch (op.kind) {
+    case TraceOpKind::kScan:
+      reader.Scan(all, [](int64_t, const Tuple&) { return Status::OK(); });
+      return;
+    case TraceOpKind::kGet:
+    case TraceOpKind::kGetByKey:
+      if (op.kind == TraceOpKind::kGet && by_ref) {
+        reader.Get(op.ref, all);
+      } else {
+        reader.GetByKey(WorkloadKeyOf(op.ref), all);
+      }
+      return;
+    case TraceOpKind::kChildren:
+      reader.Children(op.ref);
+      return;
+    case TraceOpKind::kRootRecord:
+      reader.RootRecord(op.ref);
+      return;
+    default:
+      return;
+  }
+}
+
+/// Executes one write-class op (marker or mutation) against the store,
+/// routing through `txn` when one is open.
+Status ApplyWriteOp(ComplexObjectStore* store,
+                    std::optional<StoreTransaction>* txn, const Schema& schema,
+                    const TraceHeader& header, const TraceOp& op) {
+  switch (op.kind) {
+    case TraceOpKind::kBegin: {
+      STARFISH_ASSIGN_OR_RETURN(StoreTransaction t, store->Begin());
+      txn->emplace(std::move(t));
+      return Status::OK();
+    }
+    case TraceOpKind::kCommit: {
+      const Status s = (*txn)->Commit();
+      txn->reset();
+      return s;
+    }
+    case TraceOpKind::kRollback: {
+      const Status s = (*txn)->Rollback();
+      txn->reset();
+      return s;
+    }
+    case TraceOpKind::kPut:
+    case TraceOpKind::kReplace: {
+      const Tuple object =
+          MakeWorkloadObject(schema, op.ref, op.payload_seed, op.fanout,
+                             header.ref_universe, header.string_bytes);
+      if (op.kind == TraceOpKind::kPut) {
+        return txn->has_value() ? (*txn)->Put(op.ref, object)
+                                : store->Put(op.ref, object);
+      }
+      return txn->has_value() ? (*txn)->Replace(op.ref, object)
+                              : store->Replace(op.ref, object);
+    }
+    case TraceOpKind::kUpdateRoot: {
+      const Tuple root = MakeWorkloadRootRecord(schema, op.ref,
+                                                op.payload_seed,
+                                                header.string_bytes);
+      return txn->has_value() ? (*txn)->UpdateRootRecord(op.ref, root)
+                              : store->UpdateRootRecord(op.ref, root);
+    }
+    case TraceOpKind::kRemove:
+      return txn->has_value() ? (*txn)->Remove(op.ref)
+                              : store->Remove(op.ref);
+    default:
+      return Status::Internal("not a write-class op");
+  }
+}
+
+void CountOp(const TraceOp& op, const Expected* expected, ReplayStats* stats) {
+  ++stats->ops;
+  switch (op.kind) {
+    case TraceOpKind::kScan:
+      ++stats->scans;
+      break;
+    case TraceOpKind::kGet:
+    case TraceOpKind::kGetByKey:
+    case TraceOpKind::kChildren:
+    case TraceOpKind::kRootRecord:
+      ++stats->reads;
+      if (expected != nullptr && !expected->present) ++stats->expected_misses;
+      break;
+    case TraceOpKind::kPut:
+    case TraceOpKind::kReplace:
+    case TraceOpKind::kRemove:
+    case TraceOpKind::kUpdateRoot:
+      ++stats->writes;
+      break;
+    case TraceOpKind::kCommit:
+      ++stats->txns_committed;
+      break;
+    case TraceOpKind::kRollback:
+      ++stats->txns_rolled_back;
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+TraceReplayer::TraceReplayer(const Trace& trace,
+                             std::shared_ptr<const Schema> schema)
+    : trace_(trace),
+      schema_(std::move(schema)),
+      shadow_(schema_, trace.header) {}
+
+std::string TraceReplayer::Describe(size_t index) const {
+  const TraceOp& op = trace_.ops[index];
+  return "[STARFISH_SEED=" + std::to_string(trace_.header.seed) + "] op " +
+         std::to_string(index) + " " + ToString(op.kind) + " ref=" +
+         std::to_string(op.ref) + ": ";
+}
+
+Result<ReplayStats> TraceReplayer::Replay(ComplexObjectStore* store,
+                                          const ReplayOptions& options) {
+  if (options.threads == 0) {
+    return Status::InvalidArgument("threads must be >= 1");
+  }
+  if (options.threads > 1 && options.halt_on_store_error) {
+    return Status::InvalidArgument(
+        "halt_on_store_error requires single-threaded replay");
+  }
+  ReplayStats stats;
+  if (options.threads == 1) {
+    STARFISH_RETURN_NOT_OK(ReplaySequential(store, options, &stats));
+  } else {
+    STARFISH_RETURN_NOT_OK(ReplayThreaded(store, options, &stats));
+  }
+  return stats;
+}
+
+Status TraceReplayer::ReplaySequential(ComplexObjectStore* store,
+                                       const ReplayOptions& options,
+                                       ReplayStats* stats) {
+  const Projection all = Projection::All(*schema_);
+  const bool by_ref = store->model()->SupportsGetByRef();
+  std::optional<StoreTransaction> txn;
+  for (size_t i = 0; i < trace_.ops.size(); ++i) {
+    const TraceOp& op = trace_.ops[i];
+    if (IsWriteClass(op.kind)) {
+      const Status applied =
+          ApplyWriteOp(store, &txn, *schema_, trace_.header, op);
+      if (!applied.ok()) {
+        if (!options.halt_on_store_error) {
+          return Status::Internal(Describe(i) +
+                                  "write failed: " + applied.ToString());
+        }
+        // Crash mode: the store just died mid-op. The halting op was never
+        // acknowledged, so the shadow keeps the acked prefix — minus any
+        // open transaction, whose commit marker never became durable.
+        txn.reset();  // handle destructor = best-effort rollback
+        shadow_.AbortOpenTxns();
+        stats->halted = true;
+        stats->halted_at = i;
+        stats->halt_error = applied.ToString();
+        return Status::OK();
+      }
+      shadow_.ApplyWrite(op);
+      CountOp(op, nullptr, stats);
+      continue;
+    }
+    if (!options.verify_reads) {
+      IssueRead(*store, all, by_ref, op);
+      CountOp(op, nullptr, stats);
+      continue;
+    }
+    const Expected expected = shadow_.ExpectRead(op);
+    {
+      const Status checked =
+          CheckRead(*store, all, by_ref, op, expected, Describe(i));
+      if (!checked.ok()) {
+        if (options.halt_on_store_error) {
+          // In crash mode a read can fail because the volume died under
+          // it; that is a halt, not a divergence.
+          shadow_.AbortOpenTxns();
+          txn.reset();
+          stats->halted = true;
+          stats->halted_at = i;
+          stats->halt_error = checked.ToString();
+          return Status::OK();
+        }
+        return checked;
+      }
+    }
+    CountOp(op, &expected, stats);
+  }
+  return Status::OK();
+}
+
+Status TraceReplayer::ReplayThreaded(ComplexObjectStore* store,
+                                     const ReplayOptions& options,
+                                     ReplayStats* stats) {
+  const Projection all = Projection::All(*schema_);
+  const bool by_ref = store->model()->SupportsGetByRef();
+  const uint32_t threads = options.threads;
+
+  // Cut the trace into read-only / write-class batches: reads never run
+  // while a write is in flight (the store's contract).
+  struct Batch {
+    size_t begin = 0, end = 0;
+    bool write = false;
+  };
+  std::vector<Batch> batches;
+  for (size_t i = 0; i < trace_.ops.size();) {
+    const bool write = IsWriteClass(trace_.ops[i].kind);
+    size_t j = i + 1;
+    while (j < trace_.ops.size() && IsWriteClass(trace_.ops[j].kind) == write) {
+      ++j;
+    }
+    batches.push_back(Batch{i, j, write});
+    i = j;
+  }
+
+  for (const Batch& batch : batches) {
+    std::mutex error_mu;
+    Status first_error;
+    const auto record_error = [&](const Status& status) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = status;
+    };
+
+    if (batch.write) {
+      // Deterministic stream partition: a stream's ops stay in trace order
+      // on one worker, and concurrent workers touch disjoint refs (and
+      // whole transaction groups, which are single-stream by construction).
+      std::vector<std::thread> workers;
+      workers.reserve(threads);
+      for (uint32_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+          std::optional<StoreTransaction> txn;
+          for (size_t i = batch.begin; i < batch.end; ++i) {
+            const TraceOp& op = trace_.ops[i];
+            if (op.stream % threads != t) continue;
+            const Status applied =
+                ApplyWriteOp(store, &txn, *schema_, trace_.header, op);
+            if (!applied.ok()) {
+              record_error(Status::Internal(Describe(i) + "write failed: " +
+                                            applied.ToString()));
+              return;
+            }
+          }
+        });
+      }
+      for (std::thread& w : workers) w.join();
+      STARFISH_RETURN_NOT_OK(first_error);
+      // Expectations evolve in trace order — sound because the concurrent
+      // application above commuted (disjoint refs across streams,
+      // trace-ordered within a stream).
+      for (size_t i = batch.begin; i < batch.end; ++i) {
+        shadow_.ApplyWrite(trace_.ops[i]);
+        CountOp(trace_.ops[i], nullptr, stats);
+      }
+      continue;
+    }
+
+    // Read batch: the shadow is static, so expectations can be computed up
+    // front and checked from concurrent sessions. Bench mode skips the
+    // oracle entirely — reads are still issued, results discarded.
+    std::vector<Expected> expected;
+    if (options.verify_reads) {
+      expected.resize(batch.end - batch.begin);
+      for (size_t i = batch.begin; i < batch.end; ++i) {
+        expected[i - batch.begin] = shadow_.ExpectRead(trace_.ops[i]);
+      }
+    }
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        ReadSession session = store->OpenReadSession();
+        for (size_t i = batch.begin; i < batch.end; ++i) {
+          const TraceOp& op = trace_.ops[i];
+          if (op.stream % threads != t) continue;
+          if (!options.verify_reads) {
+            IssueRead(session, all, by_ref, op);
+            continue;
+          }
+          const Status checked = CheckRead(session, all, by_ref, op,
+                                           expected[i - batch.begin],
+                                           Describe(i));
+          if (!checked.ok()) {
+            record_error(checked);
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    STARFISH_RETURN_NOT_OK(first_error);
+    for (size_t i = batch.begin; i < batch.end; ++i) {
+      CountOp(trace_.ops[i],
+              options.verify_reads ? &expected[i - batch.begin] : nullptr,
+              stats);
+    }
+  }
+  return Status::OK();
+}
+
+Status TraceReplayer::VerifyFinalState(ComplexObjectStore* store) const {
+  const Projection all = Projection::All(*schema_);
+  std::map<int64_t, Tuple> image;
+  STARFISH_RETURN_NOT_OK(
+      store->Scan(all, [&](int64_t key, const Tuple& object) {
+        if (!image.emplace(key, object).second) {
+          return Status::Internal("final scan yielded key " +
+                                  std::to_string(key) + " twice");
+        }
+        return Status::OK();
+      }));
+  const std::map<int64_t, Tuple> want = shadow_.ExpectScan();
+  const std::string seed =
+      "[STARFISH_SEED=" + std::to_string(trace_.header.seed) + "] ";
+  if (image.size() != want.size()) {
+    return Status::Internal(seed + "final state has " +
+                            std::to_string(image.size()) +
+                            " objects, oracle expects " +
+                            std::to_string(want.size()));
+  }
+  for (const auto& [key, tuple] : want) {
+    const auto it = image.find(key);
+    if (it == image.end()) {
+      return Status::Internal(seed + "final state is missing key " +
+                              std::to_string(key));
+    }
+    if (it->second != tuple) {
+      return Status::Internal(seed + "final object with key " +
+                              std::to_string(key) +
+                              " diverges: " + TupleToString(it->second) +
+                              " != " + TupleToString(tuple));
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> TraceReplayer::StoreStateDigest(ComplexObjectStore* store) {
+  const Projection all = Projection::All(*store->schema());
+  std::map<int64_t, Tuple> image;
+  STARFISH_RETURN_NOT_OK(
+      store->Scan(all, [&](int64_t key, const Tuple& object) {
+        image.emplace(key, object);
+        return Status::OK();
+      }));
+  std::string bytes;
+  for (const auto& [key, tuple] : image) {
+    PutFixed64(&bytes, static_cast<uint64_t>(key));
+    AppendCanonicalTuple(tuple, &bytes);
+  }
+  return Crc32(bytes);
+}
+
+}  // namespace starfish::workload

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/complex_object_store.h"
+#include "workload/shadow.h"
+#include "workload/trace.h"
+
+/// \file replayer.h
+/// Drives any ComplexObjectStore configuration from a Trace and checks
+/// every result against the differential oracle (shadow.h).
+///
+/// Single-threaded replay executes ops in trace order. Multi-threaded
+/// replay honors the store's concurrency contract (concurrent readers OK,
+/// concurrent writers OK, readers-vs-writers NOT OK) by cutting the trace
+/// into read-only and write-class batches at every IsWriteClass transition
+/// and running each batch on `threads` workers with the deterministic
+/// stream partition (`op.stream % threads` — a transaction group shares one
+/// stream, so it never splits across threads). Expectations are always
+/// computed in trace order, which is sound because concurrently applied
+/// write ops target disjoint refs (distinct streams) and same-stream ops
+/// keep their trace order on one worker.
+///
+/// Every divergence message carries "STARFISH_SEED=<seed>" so a failing
+/// randomized run reproduces with one environment variable.
+
+namespace starfish::workload {
+
+/// Replay knobs.
+struct ReplayOptions {
+  /// Worker threads. 1 = strict trace order on the caller's thread.
+  /// > 1 requires a store opened with buffer_shards != 1; halting mode
+  /// requires 1.
+  uint32_t threads = 1;
+
+  /// Byte-compare every read result against the oracle. When false (bench
+  /// mode) reads are still issued against the store — the full access path
+  /// runs — but results are discarded and `expected_misses` stays 0.
+  bool verify_reads = true;
+
+  /// Crash-fuzz mode: a failing store op stops the replay at that op
+  /// (recorded in ReplayStats) instead of failing, leaving the shadow
+  /// describing exactly the acked prefix — with any open transaction
+  /// aborted, mirroring recovery's crash contract.
+  bool halt_on_store_error = false;
+};
+
+/// What one replay did.
+struct ReplayStats {
+  uint64_t ops = 0;     ///< trace ops executed (markers included)
+  uint64_t reads = 0;
+  uint64_t writes = 0;  ///< Put/Replace/Remove/UpdateRoot applied OK
+  uint64_t scans = 0;
+  uint64_t expected_misses = 0;  ///< reads the oracle predicted NotFound
+  uint64_t txns_committed = 0;
+  uint64_t txns_rolled_back = 0;
+  bool halted = false;      ///< halt_on_store_error stopped the replay
+  uint64_t halted_at = 0;   ///< op index of the halting op
+  std::string halt_error;   ///< the store error that halted the replay
+};
+
+/// One replay of one trace against one store.
+class TraceReplayer {
+ public:
+  /// The schema must be the one the store was opened with
+  /// (MakeWorkloadSchema()).
+  TraceReplayer(const Trace& trace, std::shared_ptr<const Schema> schema);
+
+  /// Replays the trace. Returns the stats on success; any divergence from
+  /// the oracle, or any unexpected store error, is a non-OK status naming
+  /// the op and the seed. On success the shadow describes the expected
+  /// final store state (in halting mode: the acked-prefix state).
+  Result<ReplayStats> Replay(ComplexObjectStore* store,
+                             const ReplayOptions& options);
+
+  /// Compares the store's full scan image against the shadow — run after
+  /// Replay (or after a crash-reopen in halting mode) for end-state
+  /// verification.
+  Status VerifyFinalState(ComplexObjectStore* store) const;
+
+  /// CRC digest of a store's full scan image in canonical encoding —
+  /// comparable across any two configurations replaying the same trace,
+  /// and against ShadowModel::Digest().
+  static Result<uint32_t> StoreStateDigest(ComplexObjectStore* store);
+
+  const ShadowModel& shadow() const { return shadow_; }
+
+ private:
+  Status ReplaySequential(ComplexObjectStore* store,
+                          const ReplayOptions& options, ReplayStats* stats);
+  Status ReplayThreaded(ComplexObjectStore* store,
+                        const ReplayOptions& options, ReplayStats* stats);
+
+  /// Error prefix naming op `index` and the reproduction seed.
+  std::string Describe(size_t index) const;
+
+  const Trace& trace_;
+  std::shared_ptr<const Schema> schema_;
+  ShadowModel shadow_;
+};
+
+}  // namespace starfish::workload

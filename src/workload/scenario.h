@@ -1,0 +1,129 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nf2/schema.h"
+#include "nf2/value.h"
+#include "util/status.h"
+#include "workload/trace.h"
+
+/// \file scenario.h
+/// OCB-style parameterized scenario generation (Darmont's object clustering
+/// benchmark line): a seeded synthetic workload with skewed fan-out, a
+/// Zipf-distributed hot set that drifts, burst phases, a read/write ratio
+/// schedule and multi-op transaction groups — everything the paper's five
+/// hand-written access mixes are not. A ScenarioParams value plus a seed
+/// deterministically produces one Trace; named families
+/// (ScenarioFamilies) cover the corners of the parameter space.
+///
+/// The generator maintains its own model of which refs are live (including
+/// transaction rollback), so every emitted write is valid by construction
+/// and every guaranteed-miss probe really misses — the differential oracle
+/// (shadow.h) then independently recomputes expected outcomes at replay
+/// time.
+
+namespace starfish::workload {
+
+/// Knobs of one scenario. All defaults produce a small mixed workload.
+struct ScenarioParams {
+  /// Master seed: same params + same seed => byte-identical trace.
+  uint64_t seed = 1;
+
+  /// Objects Put during the load phase (refs 0 .. n_objects-1).
+  uint32_t n_objects = 48;
+
+  /// Operations emitted after the load phase.
+  uint32_t n_ops = 400;
+
+  /// New refs the workload may Put after the load (growth).
+  uint32_t max_growth = 24;
+
+  /// Zipf exponent of target selection over live objects (0 = uniform;
+  /// 0.8-1.2 = the classic hot-set skews).
+  double zipf_theta = 0.8;
+
+  /// Ops between hot-set rotations (the Zipf ranks shift over the live
+  /// set, so yesterday's cold objects become hot). 0 = static hot set.
+  uint32_t drift_every = 96;
+
+  /// Fraction of post-load ops that are writes — at the START of the
+  /// trace. The effective fraction interpolates linearly to
+  /// `write_fraction_end` across the trace (a read/write ratio schedule);
+  /// set both equal for a flat mix.
+  double write_fraction = 0.3;
+  double write_fraction_end = 0.3;
+
+  /// Fraction of reads that are full scans.
+  double scan_fraction = 0.01;
+
+  /// Fraction of reads probing refs guaranteed absent (negative-cache
+  /// coverage). Half of these target the next not-yet-Put growth ref, so
+  /// a later Put turns the cached NotFound verdict into the hazard the
+  /// objcache epoch machinery must handle.
+  double miss_fraction = 0.05;
+
+  /// Fraction of write decisions that open a multi-op transaction group
+  /// instead of an autonomous op.
+  double txn_fraction = 0.2;
+
+  /// Fraction of transaction groups sealed by Rollback instead of Commit.
+  double rollback_fraction = 0.3;
+
+  /// Max ops per transaction group (>= 1).
+  uint32_t txn_ops_max = 5;
+
+  /// Burst phases: 0 = fully interleaved mix; N > 0 alternates N-op
+  /// read-only and write-only phases (the multi-threaded replayer turns
+  /// each phase into one parallel batch).
+  uint32_t burst_len = 0;
+
+  /// Skewed per-object fan-out: sub-tuple counts are geometric-ish in
+  /// [1, fanout_max], so a few objects are much larger than most.
+  uint32_t fanout_max = 6;
+
+  /// STR attribute length of generated payloads.
+  uint32_t string_bytes = 24;
+};
+
+/// A named parameter point.
+struct Scenario {
+  std::string name;
+  ScenarioParams params;
+};
+
+/// The named scenario families, re-seeded from `seed`: read-mostly,
+/// write-heavy, hot-drift, bursty, txn-mix, scan-heavy, cooling.
+std::vector<Scenario> ScenarioFamilies(uint64_t seed);
+
+/// The workload object schema:
+///
+///   Doc(Id, Tag, Name,
+///       Items{(Nr, Payload, Ref)},        -- links live here
+///       Notes{(Nr, Text)})
+///
+/// Nested relations exercise every storage model's shredding; Item.Ref
+/// links exercise Children navigation.
+std::shared_ptr<const Schema> MakeWorkloadSchema();
+
+/// The key of `ref` (keys are ref+1, unique and immutable by construction).
+int64_t WorkloadKeyOf(ObjectRef ref);
+
+/// Deterministically builds the object a kPut/kReplace op stores:
+/// schema-conforming, key = WorkloadKeyOf(ref), `fanout` sub-tuples per
+/// relation, links uniform over [0, ref_universe).
+Tuple MakeWorkloadObject(const Schema& schema, ObjectRef ref,
+                         uint64_t payload_seed, uint32_t fanout,
+                         uint64_t ref_universe, uint32_t string_bytes);
+
+/// Deterministically builds the root-record tuple a kUpdateRoot op writes:
+/// full root arity, relation attributes empty, key preserved.
+Tuple MakeWorkloadRootRecord(const Schema& schema, ObjectRef ref,
+                             uint64_t payload_seed, uint32_t string_bytes);
+
+/// Generates the trace of one scenario. Deterministic in `params`
+/// (including the seed); InvalidArgument for degenerate parameters.
+Result<Trace> GenerateTrace(const ScenarioParams& params);
+
+}  // namespace starfish::workload

@@ -1,0 +1,178 @@
+#include "workload/shadow.h"
+
+#include <utility>
+
+#include "util/coding.h"
+#include "util/crc32.h"
+#include "workload/scenario.h"
+
+namespace starfish::workload {
+
+namespace {
+
+void AppendCanonicalValue(const Value& value, std::string* out) {
+  out->push_back(static_cast<char>(value.type()));
+  switch (value.type()) {
+    case AttrType::kInt32:
+      PutFixed32(out, static_cast<uint32_t>(value.as_int32()));
+      break;
+    case AttrType::kString:
+      PutFixed32(out, static_cast<uint32_t>(value.as_string().size()));
+      out->append(value.as_string());
+      break;
+    case AttrType::kLink:
+      PutFixed64(out, value.as_link());
+      break;
+    case AttrType::kRelation:
+      PutFixed32(out, static_cast<uint32_t>(value.as_relation().size()));
+      for (const Tuple& sub : value.as_relation()) {
+        AppendCanonicalTuple(sub, out);
+      }
+      break;
+  }
+}
+
+/// Mirrors StorageModel::CollectLinks: every link attribute in schema DFS
+/// order, descending into relation sub-tuples in stored order.
+void CollectExpectedLinks(const Schema& schema, const Tuple& tuple,
+                          std::vector<ObjectRef>* out) {
+  const auto& attrs = schema.attributes();
+  for (size_t i = 0; i < attrs.size() && i < tuple.values.size(); ++i) {
+    if (attrs[i].type == AttrType::kLink) {
+      out->push_back(tuple.values[i].as_link());
+    } else if (attrs[i].type == AttrType::kRelation) {
+      for (const Tuple& sub : tuple.values[i].as_relation()) {
+        CollectExpectedLinks(*attrs[i].relation, sub, out);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void AppendCanonicalTuple(const Tuple& tuple, std::string* out) {
+  PutFixed32(out, static_cast<uint32_t>(tuple.values.size()));
+  for (const Value& value : tuple.values) AppendCanonicalValue(value, out);
+}
+
+ShadowModel::ShadowModel(std::shared_ptr<const Schema> schema,
+                         TraceHeader header)
+    : schema_(std::move(schema)), header_(header) {}
+
+Tuple ShadowModel::Materialize(ObjectRef ref, const Stored& stored) const {
+  Tuple object =
+      MakeWorkloadObject(*schema_, ref, stored.payload_seed, stored.fanout,
+                         header_.ref_universe, header_.string_bytes);
+  if (stored.has_root_override) {
+    const Tuple root = MakeWorkloadRootRecord(*schema_, ref, stored.root_seed,
+                                              header_.string_bytes);
+    const auto& attrs = schema_->attributes();
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      if (attrs[i].type != AttrType::kRelation) {
+        object.values[i] = root.values[i];
+      }
+    }
+  }
+  return object;
+}
+
+void ShadowModel::ApplyWrite(const TraceOp& op) {
+  switch (op.kind) {
+    case TraceOpKind::kPut:
+      objects_[op.ref] = Stored{op.payload_seed, op.fanout, false, 0};
+      break;
+    case TraceOpKind::kReplace:
+      objects_[op.ref] = Stored{op.payload_seed, op.fanout, false, 0};
+      break;
+    case TraceOpKind::kUpdateRoot: {
+      Stored& stored = objects_[op.ref];
+      stored.has_root_override = true;
+      stored.root_seed = op.payload_seed;
+      break;
+    }
+    case TraceOpKind::kRemove:
+      objects_.erase(op.ref);
+      break;
+    case TraceOpKind::kBegin:
+      txn_stack_.push_back(objects_);
+      break;
+    case TraceOpKind::kCommit:
+      txn_stack_.pop_back();
+      break;
+    case TraceOpKind::kRollback:
+      objects_ = std::move(txn_stack_.back());
+      txn_stack_.pop_back();
+      break;
+    default:
+      break;  // read-class ops do not change state
+  }
+}
+
+Expected ShadowModel::ExpectRead(const TraceOp& op) const {
+  Expected expected;
+  if (op.kind == TraceOpKind::kScan) {
+    expected.present = true;
+    expected.scan = ExpectScan();
+    return expected;
+  }
+  const auto it = objects_.find(op.ref);
+  if (it == objects_.end()) return expected;  // expected NotFound
+  expected.present = true;
+  switch (op.kind) {
+    case TraceOpKind::kGet:
+    case TraceOpKind::kGetByKey:
+      expected.tuple = Materialize(op.ref, it->second);
+      break;
+    case TraceOpKind::kChildren: {
+      const Tuple object = Materialize(op.ref, it->second);
+      CollectExpectedLinks(*schema_, object, &expected.children);
+      break;
+    }
+    case TraceOpKind::kRootRecord: {
+      Tuple object = Materialize(op.ref, it->second);
+      const auto& attrs = schema_->attributes();
+      for (size_t i = 0; i < attrs.size(); ++i) {
+        if (attrs[i].type == AttrType::kRelation) {
+          object.values[i] = Value::Relation({});
+        }
+      }
+      expected.tuple = std::move(object);
+      break;
+    }
+    default:
+      break;
+  }
+  return expected;
+}
+
+std::map<int64_t, Tuple> ShadowModel::ExpectScan() const {
+  std::map<int64_t, Tuple> image;
+  for (const auto& [ref, stored] : objects_) {
+    image.emplace(WorkloadKeyOf(ref), Materialize(ref, stored));
+  }
+  return image;
+}
+
+Tuple ShadowModel::ExpectedObject(ObjectRef ref) const {
+  return Materialize(ref, objects_.at(ref));
+}
+
+void ShadowModel::AbortOpenTxns() {
+  if (txn_stack_.empty()) return;
+  // The outermost snapshot is the state before the first open Begin.
+  objects_ = std::move(txn_stack_.front());
+  txn_stack_.clear();
+}
+
+uint32_t ShadowModel::Digest() const {
+  std::string bytes;
+  for (const auto& [ref, stored] : objects_) {
+    // Keyed by the object key (not the ref) so a store-side scan — which
+    // only sees keys — digests to the same bytes.
+    PutFixed64(&bytes, static_cast<uint64_t>(WorkloadKeyOf(ref)));
+    AppendCanonicalTuple(Materialize(ref, stored), &bytes);
+  }
+  return Crc32(bytes);
+}
+
+}  // namespace starfish::workload

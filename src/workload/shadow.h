@@ -1,0 +1,94 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nf2/schema.h"
+#include "nf2/value.h"
+#include "workload/trace.h"
+
+/// \file shadow.h
+/// The differential oracle: an in-memory shadow of the expected store state.
+///
+/// The shadow is updated in replay order from the trace's write ops (objects
+/// are recipes — payload_seed + fanout — so the shadow regenerates the exact
+/// tuples the replayer wrote) and can answer, for any read op, the outcome
+/// the store MUST produce: present/absent, and the byte-exact tuple /
+/// children list / scan image. Any disagreement is a store bug or a model
+/// divergence, never oracle fuzz — which is what lets the replayer treat
+/// every mismatch as a hard failure with the scenario seed attached.
+///
+/// Transactions mirror the store's: Begin snapshots the object map,
+/// Rollback restores it, Commit discards the snapshot. AbortOpenTxns() is
+/// the crash-mode hook: when a replay halts mid-transaction, the store's
+/// recovery drops the unterminated transaction wholesale, and the shadow
+/// must do the same to describe the surviving state.
+
+namespace starfish::workload {
+
+/// The oracle's verdict on one read-class op.
+struct Expected {
+  bool present = false;              ///< expected to succeed
+  Tuple tuple;                       ///< kGet/kGetByKey/kRootRecord payload
+  std::vector<ObjectRef> children;   ///< kChildren payload
+  std::map<int64_t, Tuple> scan;     ///< kScan payload (key -> object)
+};
+
+/// Appends a canonical, unambiguous byte encoding of `tuple` (type tags +
+/// length-prefixed payloads, recursive). Equal tuples produce equal bytes
+/// and vice versa — the basis of the state digests the differential tests
+/// compare across configurations.
+void AppendCanonicalTuple(const Tuple& tuple, std::string* out);
+
+/// In-memory expected-state model for one trace.
+class ShadowModel {
+ public:
+  ShadowModel(std::shared_ptr<const Schema> schema, TraceHeader header);
+
+  /// Applies one write-class op (including txn markers) in replay order.
+  /// The generator only emits valid writes, so there is no failure mode.
+  void ApplyWrite(const TraceOp& op);
+
+  /// Expected outcome of one read-class op against the current state.
+  Expected ExpectRead(const TraceOp& op) const;
+
+  /// Expected full-scan image of the current state (key -> whole object).
+  std::map<int64_t, Tuple> ExpectScan() const;
+
+  /// The expected whole object under `ref` (requires Contains(ref)).
+  Tuple ExpectedObject(ObjectRef ref) const;
+
+  bool Contains(ObjectRef ref) const { return objects_.count(ref) > 0; }
+  size_t live_count() const { return objects_.size(); }
+  bool in_txn() const { return !txn_stack_.empty(); }
+
+  /// Crash-mode hook: rolls back every open transaction (recovery never
+  /// keeps an unterminated transaction's ops).
+  void AbortOpenTxns();
+
+  /// CRC digest of the canonical encoding of the full expected state.
+  /// Replays of the same trace — any thread count, any store config —
+  /// must land on stores whose digest (TraceReplayer::StoreStateDigest)
+  /// equals this.
+  uint32_t Digest() const;
+
+ private:
+  /// The recipe of one live object.
+  struct Stored {
+    uint64_t payload_seed = 0;
+    uint32_t fanout = 1;
+    bool has_root_override = false;   ///< kUpdateRoot applied since last write
+    uint64_t root_seed = 0;
+  };
+
+  Tuple Materialize(ObjectRef ref, const Stored& stored) const;
+
+  std::shared_ptr<const Schema> schema_;
+  TraceHeader header_;
+  std::map<ObjectRef, Stored> objects_;
+  std::vector<std::map<ObjectRef, Stored>> txn_stack_;
+};
+
+}  // namespace starfish::workload

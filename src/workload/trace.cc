@@ -1,0 +1,135 @@
+#include "workload/trace.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+#include "util/crc32.h"
+#include "util/file_io.h"
+
+namespace starfish::workload {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'F', 'W', 'T', 'R', 'C', '0', '1'};
+constexpr size_t kHeaderBytes = 8 + 4 + 4 + 8 + 8 + 8;
+constexpr size_t kOpBytes = 1 + 1 + 2 + 4 + 8 + 8;
+constexpr uint8_t kMaxOpKind = static_cast<uint8_t>(TraceOpKind::kRollback);
+
+}  // namespace
+
+const char* ToString(TraceOpKind kind) {
+  switch (kind) {
+    case TraceOpKind::kGet: return "Get";
+    case TraceOpKind::kGetByKey: return "GetByKey";
+    case TraceOpKind::kChildren: return "Children";
+    case TraceOpKind::kRootRecord: return "RootRecord";
+    case TraceOpKind::kScan: return "Scan";
+    case TraceOpKind::kPut: return "Put";
+    case TraceOpKind::kReplace: return "Replace";
+    case TraceOpKind::kRemove: return "Remove";
+    case TraceOpKind::kUpdateRoot: return "UpdateRoot";
+    case TraceOpKind::kBegin: return "Begin";
+    case TraceOpKind::kCommit: return "Commit";
+    case TraceOpKind::kRollback: return "Rollback";
+  }
+  return "?";
+}
+
+bool IsWriteClass(TraceOpKind kind) {
+  switch (kind) {
+    case TraceOpKind::kPut:
+    case TraceOpKind::kReplace:
+    case TraceOpKind::kRemove:
+    case TraceOpKind::kUpdateRoot:
+    case TraceOpKind::kBegin:
+    case TraceOpKind::kCommit:
+    case TraceOpKind::kRollback:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string EncodeTrace(const Trace& trace) {
+  std::string out;
+  out.reserve(kHeaderBytes + trace.ops.size() * kOpBytes + 4);
+  out.append(kMagic, sizeof(kMagic));
+  PutFixed32(&out, kTraceVersion);
+  PutFixed32(&out, trace.header.string_bytes);
+  PutFixed64(&out, trace.header.seed);
+  PutFixed64(&out, trace.header.ref_universe);
+  PutFixed64(&out, static_cast<uint64_t>(trace.ops.size()));
+  for (const TraceOp& op : trace.ops) {
+    out.push_back(static_cast<char>(op.kind));
+    out.push_back(static_cast<char>(op.stream));
+    PutFixed16(&out, 0);  // reserved
+    PutFixed32(&out, op.fanout);
+    PutFixed64(&out, op.ref);
+    PutFixed64(&out, op.payload_seed);
+  }
+  PutFixed32(&out, Crc32(out));
+  return out;
+}
+
+Result<Trace> DecodeTrace(std::string_view bytes) {
+  if (bytes.size() < kHeaderBytes + 4) {
+    return Status::Corruption("trace truncated: " +
+                              std::to_string(bytes.size()) + " bytes");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a trace file (bad magic)");
+  }
+  const uint32_t version = DecodeFixed32(bytes.data() + 8);
+  if (version != kTraceVersion) {
+    return Status::NotSupported("trace version " + std::to_string(version) +
+                                " (this build reads version " +
+                                std::to_string(kTraceVersion) + ")");
+  }
+  const uint32_t stored_crc = DecodeFixed32(bytes.data() + bytes.size() - 4);
+  const uint32_t actual_crc =
+      Crc32(std::string_view(bytes.data(), bytes.size() - 4));
+  if (stored_crc != actual_crc) {
+    return Status::Corruption("trace checksum mismatch");
+  }
+
+  Trace trace;
+  trace.header.string_bytes = DecodeFixed32(bytes.data() + 12);
+  trace.header.seed = DecodeFixed64(bytes.data() + 16);
+  trace.header.ref_universe = DecodeFixed64(bytes.data() + 24);
+  const uint64_t op_count = DecodeFixed64(bytes.data() + 32);
+  if (bytes.size() != kHeaderBytes + op_count * kOpBytes + 4) {
+    return Status::Corruption("trace op count disagrees with size");
+  }
+  trace.ops.reserve(op_count);
+  const char* p = bytes.data() + kHeaderBytes;
+  for (uint64_t i = 0; i < op_count; ++i, p += kOpBytes) {
+    const uint8_t raw_kind = static_cast<uint8_t>(p[0]);
+    if (raw_kind > kMaxOpKind) {
+      return Status::Corruption("trace op " + std::to_string(i) +
+                                " has unknown kind " +
+                                std::to_string(raw_kind));
+    }
+    TraceOp op;
+    op.kind = static_cast<TraceOpKind>(raw_kind);
+    op.stream = static_cast<uint8_t>(p[1]);
+    op.fanout = DecodeFixed32(p + 4);
+    op.ref = DecodeFixed64(p + 8);
+    op.payload_seed = DecodeFixed64(p + 16);
+    trace.ops.push_back(op);
+  }
+  return trace;
+}
+
+Status WriteTraceFile(const Trace& trace, const std::string& path) {
+  return WriteFileAtomic(path, EncodeTrace(trace));
+}
+
+Result<Trace> ReadTraceFile(const std::string& path) {
+  std::string bytes;
+  bool found = false;
+  STARFISH_RETURN_NOT_OK(ReadFileToString(path, &bytes, &found));
+  if (!found) return Status::NotFound("no trace file at " + path);
+  return DecodeTrace(bytes);
+}
+
+}  // namespace starfish::workload

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "models/storage_model.h"
+#include "util/status.h"
+
+/// \file trace.h
+/// The versioned operation-trace format of the workload subsystem.
+///
+/// A Trace is a deterministic, replayable recording of a synthetic
+/// workload: a header naming the scenario's generative parameters plus a
+/// flat list of typed operations (reads, writes, transaction markers) over
+/// an object universe. Write operations do not carry their payload bytes —
+/// they carry a *recipe* (payload_seed + fanout) from which the replayer
+/// and the differential oracle regenerate the identical tuple, so traces
+/// stay a few dozen bytes per op no matter how large the objects are.
+///
+/// Wire format (all little-endian, see docs/WORKLOAD.md):
+///
+///   [magic "SFWTRC01" 8B] [version u32] [string_bytes u32]
+///   [seed u64] [ref_universe u64] [op_count u64]
+///   op_count x { kind u8, stream u8, reserved u16, fanout u32,
+///                ref u64, payload_seed u64 }                    (24B each)
+///   [crc32 u32 over everything above]
+///
+/// The CRC makes a truncated or bit-flipped trace a loud Corruption at
+/// decode time instead of a silently different workload; the version field
+/// rejects traces from a future format instead of misparsing them.
+
+namespace starfish::workload {
+
+/// Current wire-format version.
+inline constexpr uint32_t kTraceVersion = 1;
+
+/// Deterministic partition classes: every ref-targeted op belongs to
+/// stream `ref % kTraceStreams`, and a transaction's ops all share one
+/// stream — so a multi-threaded replay can map streams to threads and know
+/// that concurrent write ops never target the same object.
+inline constexpr uint32_t kTraceStreams = 8;
+
+/// Operation kinds. Values are wire format — append only, never renumber.
+enum class TraceOpKind : uint8_t {
+  kGet = 0,         ///< by-ref full-object read
+  kGetByKey = 1,    ///< by-key full-object read (ref field holds the ref; key derives)
+  kChildren = 2,    ///< link navigation
+  kRootRecord = 3,  ///< root-record read
+  kScan = 4,        ///< full scan, compared as a key->tuple set
+  kPut = 5,         ///< insert a generated object
+  kReplace = 6,     ///< whole-object replace (same key)
+  kRemove = 7,      ///< remove
+  kUpdateRoot = 8,  ///< replace the root record's atomic attributes
+  kBegin = 9,       ///< open a transaction on this op's stream
+  kCommit = 10,     ///< seal the open transaction
+  kRollback = 11,   ///< undo the open transaction
+};
+
+/// Human-readable op name ("Get", "Put", ...).
+const char* ToString(TraceOpKind kind);
+
+/// True for ops that can mutate store state (writes + txn markers). The
+/// multi-threaded replayer cuts phase barriers where this classification
+/// changes, so reads never race writes.
+bool IsWriteClass(TraceOpKind kind);
+
+/// One operation.
+struct TraceOp {
+  TraceOpKind kind = TraceOpKind::kGet;
+  /// Partition class (see kTraceStreams). For ref-targeted ops this is
+  /// always ref % kTraceStreams; scans and txn markers carry the stream
+  /// they were generated for.
+  uint8_t stream = 0;
+  /// Payload fanout (kPut/kReplace: sub-tuples per relation).
+  uint32_t fanout = 0;
+  /// Target object ref (0 for kScan and txn markers).
+  ObjectRef ref = 0;
+  /// Payload recipe seed (kPut/kReplace/kUpdateRoot), 0 otherwise.
+  uint64_t payload_seed = 0;
+
+  bool operator==(const TraceOp& other) const {
+    return kind == other.kind && stream == other.stream &&
+           fanout == other.fanout && ref == other.ref &&
+           payload_seed == other.payload_seed;
+  }
+  bool operator!=(const TraceOp& other) const { return !(*this == other); }
+};
+
+/// Generative parameters the replayer needs to reconstruct payloads.
+struct TraceHeader {
+  /// Scenario seed the trace was generated from — printed by every
+  /// divergence message so a failure reproduces with STARFISH_SEED.
+  uint64_t seed = 0;
+  /// Links are drawn from [0, ref_universe); refs at or beyond the range
+  /// the generator ever Puts are guaranteed-missing probe targets.
+  uint64_t ref_universe = 0;
+  /// STR attribute length of generated payloads.
+  uint32_t string_bytes = 0;
+
+  bool operator==(const TraceHeader& other) const {
+    return seed == other.seed && ref_universe == other.ref_universe &&
+           string_bytes == other.string_bytes;
+  }
+};
+
+/// A replayable workload recording.
+struct Trace {
+  TraceHeader header;
+  std::vector<TraceOp> ops;
+
+  bool operator==(const Trace& other) const {
+    return header == other.header && ops == other.ops;
+  }
+};
+
+/// Serializes a trace to the versioned wire format. Deterministic: equal
+/// traces encode to identical bytes (the determinism tests byte-compare
+/// two generations through this).
+std::string EncodeTrace(const Trace& trace);
+
+/// Parses a wire-format trace. Returns Corruption for torn/flipped bytes,
+/// NotSupported for a future version.
+Result<Trace> DecodeTrace(std::string_view bytes);
+
+/// Durably writes `trace` to `path` (atomic replace).
+Status WriteTraceFile(const Trace& trace, const std::string& path);
+
+/// Reads a trace file written by WriteTraceFile. A missing file is
+/// NotFound.
+Result<Trace> ReadTraceFile(const std::string& path);
+
+}  // namespace starfish::workload

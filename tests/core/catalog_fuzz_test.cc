@@ -7,8 +7,10 @@
 // never loses an OLDER committed generation, and never reuses a generation
 // number.
 //
-// Everything is seeded (std::mt19937, fixed base seed); nothing reads the
-// wall clock, so failures replay exactly.
+// Everything is seeded (std::mt19937, base seed from STARFISH_SEED or a
+// fixed default); nothing reads the wall clock, so failures replay exactly:
+//
+//   STARFISH_SEED=<printed seed> ./starfish_tests --gtest_filter='*CatalogFuzz*'
 
 #include <gtest/gtest.h>
 
@@ -18,6 +20,7 @@
 #include <random>
 #include <string>
 
+#include "../support/env_seed.h"
 #include "benchmark/generator.h"
 #include "core/complex_object_store.h"
 #include "core/generations.h"
@@ -26,8 +29,13 @@
 namespace starfish {
 namespace {
 
-constexpr uint32_t kBaseSeed = 20260728;
+constexpr uint32_t kDefaultSeed = 20260728;
 constexpr int kIterations = 20;
+
+/// STARFISH_SEED if set, else the fixed default.
+uint32_t BaseSeed() {
+  return static_cast<uint32_t>(test::TestSeed(kDefaultSeed));
+}
 
 class CatalogFuzzTest : public ::testing::Test {
  protected:
@@ -80,20 +88,21 @@ class CatalogFuzzTest : public ::testing::Test {
 };
 
 TEST_F(CatalogFuzzTest, CorruptNewestGenerationFallsBackOrFailsCleanly) {
+  const uint32_t base = BaseSeed();
   const auto kinds = AllStorageModelKinds();
   for (int iteration = 0; iteration < kIterations; ++iteration) {
-    std::mt19937 rng(kBaseSeed + iteration);
+    std::mt19937 rng(base + iteration);
     const StorageModelKind kind = kinds[iteration % kinds.size()];
     const size_t n1 = 3 + rng() % 6;
     const size_t n2 = 3 + rng() % 6;
-    SCOPED_TRACE("iteration " + std::to_string(iteration) + " model " +
-                 ToString(kind) + " n1=" + std::to_string(n1) +
-                 " n2=" + std::to_string(n2));
+    SCOPED_TRACE("STARFISH_SEED=" + std::to_string(base) + " iteration " +
+                 std::to_string(iteration) + " model " + ToString(kind) +
+                 " n1=" + std::to_string(n1) + " n2=" + std::to_string(n2));
     std::filesystem::remove_all(dir_);
 
     bench::GeneratorConfig config;
     config.n_objects = static_cast<uint32_t>(n1 + n2);
-    config.seed = kBaseSeed + iteration;
+    config.seed = base + iteration;
     auto db_or = bench::BenchmarkDatabase::Generate(config);
     ASSERT_TRUE(db_or.ok());
     const auto db = std::move(db_or).value();
@@ -197,17 +206,18 @@ TEST_F(CatalogFuzzTest, CorruptNewestGenerationFallsBackOrFailsCleanly) {
 }
 
 TEST_F(CatalogFuzzTest, AllGenerationsCorruptFailsCleanlyNeverGarbage) {
+  const uint32_t base = BaseSeed();
   const auto kinds = AllStorageModelKinds();
   for (int iteration = 0; iteration < kIterations; ++iteration) {
-    std::mt19937 rng(kBaseSeed ^ (0x9E3779B9u + iteration));
+    std::mt19937 rng(base ^ (0x9E3779B9u + iteration));
     const StorageModelKind kind = kinds[iteration % kinds.size()];
-    SCOPED_TRACE("iteration " + std::to_string(iteration) + " model " +
-                 ToString(kind));
+    SCOPED_TRACE("STARFISH_SEED=" + std::to_string(base) + " iteration " +
+                 std::to_string(iteration) + " model " + ToString(kind));
     std::filesystem::remove_all(dir_);
 
     bench::GeneratorConfig config;
     config.n_objects = 6;
-    config.seed = kBaseSeed + 1000 + iteration;
+    config.seed = base + 1000 + iteration;
     auto db_or = bench::BenchmarkDatabase::Generate(config);
     ASSERT_TRUE(db_or.ok());
     const auto db = std::move(db_or).value();

@@ -1,9 +1,13 @@
 // Property test: the storage models and the decomposition machinery are
 // schema-generic. Random NF² schemas (random nesting, links anywhere) and
 // random objects must round-trip through every storage model.
+//
+// Reproduce: STARFISH_SEED=<printed seed> overrides every case's seed, so
+// any one gtest filter match replays the failing schema exactly.
 
 #include <gtest/gtest.h>
 
+#include "../support/env_seed.h"
 #include "models/model_factory.h"
 #include "util/random.h"
 
@@ -102,7 +106,9 @@ struct RandomSchemaCase {
 class RandomSchemaTest : public ::testing::TestWithParam<RandomSchemaCase> {};
 
 TEST_P(RandomSchemaTest, AllModelsRoundTripRandomSchemas) {
-  Rng rng(GetParam().seed);
+  const uint64_t seed = test::TestSeed(GetParam().seed);
+  SCOPED_TRACE("STARFISH_SEED=" + std::to_string(seed));
+  Rng rng(seed);
   auto schema = RandomSchema(&rng, 0, GetParam().max_depth, "T");
   constexpr uint64_t kObjects = 12;
   std::vector<Tuple> objects;
@@ -112,8 +118,7 @@ TEST_P(RandomSchemaTest, AllModelsRoundTripRandomSchemas) {
   }
 
   for (StorageModelKind kind : AllStorageModelKinds()) {
-    SCOPED_TRACE("seed " + std::to_string(GetParam().seed) + " model " +
-                 ToString(kind));
+    SCOPED_TRACE("seed " + std::to_string(seed) + " model " + ToString(kind));
     StorageEngine engine;
     ModelConfig mc;
     mc.schema = schema;

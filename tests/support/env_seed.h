@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+/// \file env_seed.h
+/// The randomized-test seed convention: every fuzz/soak test derives its
+/// seed through TestSeed(), so
+///
+///   STARFISH_SEED=12345 ./starfish_tests --gtest_filter=...
+///
+/// reproduces a failing run exactly. Tests print the effective seed in
+/// their failure output (SCOPED_TRACE or the divergence message itself).
+
+namespace starfish::test {
+
+/// The test's base seed: STARFISH_SEED if set (decimal), else `fallback`.
+inline uint64_t TestSeed(uint64_t fallback) {
+  const char* env = std::getenv("STARFISH_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  return std::strtoull(env, nullptr, 10);
+}
+
+/// True when STARFISH_SEED pins the seed — matrix tests then run ONLY the
+/// pinned seed instead of the whole sweep.
+inline bool SeedPinned() {
+  const char* env = std::getenv("STARFISH_SEED");
+  return env != nullptr && *env != '\0';
+}
+
+}  // namespace starfish::test

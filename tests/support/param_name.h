@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+/// \file param_name.h
+/// gtest parameterized-test name sanitizer: model names like "NSM+index"
+/// are not valid gtest identifiers, so every character outside [A-Za-z0-9_]
+/// becomes '_'.
+
+namespace starfish::test {
+
+inline std::string ParamName(std::string name) {
+  for (char& c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  return name;
+}
+
+}  // namespace starfish::test

@@ -1,8 +1,10 @@
 // On-disk WAL format: framing round-trips, payload codecs, and the scan
 // contract — the valid prefix ends at the FIRST frame that fails its
 // length, CRC or LSN-sequence check, no matter which byte went bad. The
-// torn-tail sweep here is exhaustive over byte positions; the store-level
-// consequence (replay stops at the last valid record) is wal_replay_test.cc.
+// torn-tail sweep here is exhaustive over byte positions — deterministic by
+// construction, no RNG, so the STARFISH_SEED convention does not apply; the
+// store-level consequence (replay stops at the last valid record) is
+// wal_replay_test.cc.
 
 #include "wal/wal_format.h"
 

@@ -1,0 +1,250 @@
+// The scenario generator and trace format by themselves (no store):
+// determinism, wire-format round-trip and rejection, and the structural
+// invariants the replayer's multi-threaded partition relies on.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "../support/env_seed.h"
+#include "nf2/value.h"
+#include "workload/scenario.h"
+#include "workload/trace.h"
+
+namespace starfish::workload {
+namespace {
+
+TEST(ScenarioTraceTest, SameSeedIsByteIdentical) {
+  ScenarioParams params;
+  params.seed = test::TestSeed(42);
+  SCOPED_TRACE("STARFISH_SEED=" + std::to_string(params.seed));
+  auto a = GenerateTrace(params);
+  auto b = GenerateTrace(params);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_TRUE(a.value() == b.value());
+  EXPECT_EQ(EncodeTrace(a.value()), EncodeTrace(b.value()));
+}
+
+TEST(ScenarioTraceTest, DifferentSeedsDiffer) {
+  ScenarioParams params;
+  params.seed = 1;
+  auto a = GenerateTrace(params);
+  params.seed = 2;
+  auto b = GenerateTrace(params);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(a.value() == b.value());
+}
+
+TEST(ScenarioTraceTest, RoundTripThroughWireFormat) {
+  ScenarioParams params;
+  params.seed = test::TestSeed(7);
+  SCOPED_TRACE("STARFISH_SEED=" + std::to_string(params.seed));
+  auto trace = GenerateTrace(params);
+  ASSERT_TRUE(trace.ok());
+  const std::string bytes = EncodeTrace(trace.value());
+  auto back = DecodeTrace(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back.value() == trace.value());
+}
+
+TEST(ScenarioTraceTest, DecodeRejectsCorruption) {
+  ScenarioParams params;
+  params.n_ops = 50;
+  auto trace = GenerateTrace(params);
+  ASSERT_TRUE(trace.ok());
+  const std::string bytes = EncodeTrace(trace.value());
+
+  // Truncation.
+  EXPECT_TRUE(DecodeTrace(std::string_view(bytes.data(), 10))
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(DecodeTrace(std::string_view(bytes.data(), bytes.size() - 1))
+                  .status()
+                  .IsCorruption());
+  // Bad magic.
+  std::string magic = bytes;
+  magic[0] ^= 0xFF;
+  EXPECT_TRUE(DecodeTrace(magic).status().IsCorruption());
+  // A flipped byte in the middle trips the CRC.
+  std::string flipped = bytes;
+  flipped[bytes.size() / 2] ^= 0x01;
+  EXPECT_TRUE(DecodeTrace(flipped).status().IsCorruption());
+}
+
+TEST(ScenarioTraceTest, DecodeRejectsFutureVersion) {
+  ScenarioParams params;
+  params.n_ops = 20;
+  auto trace = GenerateTrace(params);
+  ASSERT_TRUE(trace.ok());
+  // Decode validates the version before the checksum, so a future-version
+  // file is NotSupported (not Corruption) even though the CRC no longer
+  // matches this build's expectation of the bytes.
+  std::string bytes = EncodeTrace(trace.value());
+  bytes[8] = static_cast<char>(kTraceVersion + 1);
+  EXPECT_TRUE(DecodeTrace(bytes).status().IsNotSupported());
+}
+
+TEST(ScenarioTraceTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "starfish_trace_rt.sftrace")
+          .string();
+  std::filesystem::remove(path);
+  ScenarioParams params;
+  params.seed = 11;
+  auto trace = GenerateTrace(params);
+  ASSERT_TRUE(trace.ok());
+  ASSERT_TRUE(WriteTraceFile(trace.value(), path).ok());
+  auto back = ReadTraceFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back.value() == trace.value());
+  std::filesystem::remove(path);
+  EXPECT_TRUE(ReadTraceFile(path).status().IsNotFound());
+}
+
+TEST(ScenarioTraceTest, FamiliesAreDeterministicAndDistinct) {
+  const uint64_t seed = test::TestSeed(20260809);
+  SCOPED_TRACE("STARFISH_SEED=" + std::to_string(seed));
+  const auto families = ScenarioFamilies(seed);
+  ASSERT_GE(families.size(), 7u);
+  std::set<std::string> names;
+  std::set<std::string> encodings;
+  for (const auto& scenario : families) {
+    EXPECT_TRUE(names.insert(scenario.name).second)
+        << "duplicate family " << scenario.name;
+    auto once = GenerateTrace(scenario.params);
+    auto twice = GenerateTrace(scenario.params);
+    ASSERT_TRUE(once.ok()) << scenario.name;
+    ASSERT_TRUE(twice.ok()) << scenario.name;
+    EXPECT_EQ(EncodeTrace(once.value()), EncodeTrace(twice.value()))
+        << scenario.name;
+    EXPECT_TRUE(encodings.insert(EncodeTrace(once.value())).second)
+        << "family " << scenario.name << " generated an identical trace";
+  }
+}
+
+// The structural invariants the multi-threaded replayer's partition rests
+// on: stream = ref % kTraceStreams for every ref-targeted op, transaction
+// groups contiguous and single-stream, writes valid by construction, and
+// guaranteed-miss probes really never written.
+TEST(ScenarioTraceTest, GeneratedTracesUpholdPartitionInvariants) {
+  const uint64_t base = test::TestSeed(500);
+  const int seeds = test::SeedPinned() ? 1 : 10;
+  for (int s = 0; s < seeds; ++s) {
+    for (const auto& scenario : ScenarioFamilies(base + s)) {
+      SCOPED_TRACE(scenario.name + " STARFISH_SEED=" +
+                   std::to_string(scenario.params.seed));
+      auto trace_or = GenerateTrace(scenario.params);
+      ASSERT_TRUE(trace_or.ok());
+      const Trace& trace = trace_or.value();
+      ASSERT_GT(trace.ops.size(), 0u);
+
+      std::set<ObjectRef> live;
+      std::set<ObjectRef> live_snapshot;
+      std::set<ObjectRef> ever_put;
+      bool in_txn = false;
+      bool txn_rolls_back = false;
+      uint8_t txn_stream = 0;
+      for (size_t i = 0; i < trace.ops.size(); ++i) {
+        const TraceOp& op = trace.ops[i];
+        switch (op.kind) {
+          case TraceOpKind::kBegin:
+            ASSERT_FALSE(in_txn) << "nested Begin at op " << i;
+            in_txn = true;
+            txn_stream = op.stream;
+            live_snapshot = live;
+            break;
+          case TraceOpKind::kCommit:
+          case TraceOpKind::kRollback:
+            ASSERT_TRUE(in_txn) << "unmatched txn close at op " << i;
+            ASSERT_EQ(op.stream, txn_stream);
+            if (op.kind == TraceOpKind::kRollback) {
+              live = live_snapshot;
+              txn_rolls_back = true;
+            }
+            in_txn = false;
+            break;
+          case TraceOpKind::kPut:
+            ASSERT_EQ(op.stream, op.ref % kTraceStreams);
+            ASSERT_FALSE(in_txn) << "Put inside a txn at op " << i;
+            ASSERT_EQ(live.count(op.ref), 0u)
+                << "Put on live ref " << op.ref << " at op " << i;
+            ASSERT_EQ(ever_put.count(op.ref), 0u)
+                << "ref " << op.ref << " reused at op " << i;
+            live.insert(op.ref);
+            ever_put.insert(op.ref);
+            break;
+          case TraceOpKind::kReplace:
+          case TraceOpKind::kUpdateRoot:
+          case TraceOpKind::kRemove:
+            ASSERT_EQ(op.stream, op.ref % kTraceStreams);
+            if (in_txn) ASSERT_EQ(op.stream, txn_stream);
+            ASSERT_EQ(live.count(op.ref), 1u)
+                << ToString(op.kind) << " on dead ref " << op.ref << " at op "
+                << i;
+            if (op.kind == TraceOpKind::kRemove) live.erase(op.ref);
+            break;
+          case TraceOpKind::kScan:
+            break;
+          default:  // reads
+            ASSERT_EQ(op.stream, op.ref % kTraceStreams);
+            ASSERT_LT(op.ref, trace.header.ref_universe);
+            break;
+        }
+        // Every write op carries a materializable recipe.
+        if (op.kind == TraceOpKind::kPut ||
+            op.kind == TraceOpKind::kReplace) {
+          ASSERT_GE(op.fanout, 1u);
+          ASSERT_LE(op.fanout, scenario.params.fanout_max);
+        }
+      }
+      ASSERT_FALSE(in_txn) << "trace ends inside a transaction";
+      // Guaranteed-miss range stayed untouched.
+      for (ObjectRef ref : ever_put) {
+        ASSERT_LT(ref, static_cast<ObjectRef>(scenario.params.n_objects) +
+                           scenario.params.max_growth);
+      }
+      if (scenario.name == "txn_mix") {
+        EXPECT_TRUE(txn_rolls_back)
+            << "txn_mix generated no rollback — parameter drift?";
+      }
+    }
+  }
+}
+
+TEST(ScenarioTraceTest, GeneratorRejectsDegenerateParams) {
+  ScenarioParams params;
+  params.n_objects = 2;  // < kTraceStreams
+  EXPECT_TRUE(GenerateTrace(params).status().IsInvalidArgument());
+  params = ScenarioParams{};
+  params.txn_ops_max = 0;
+  EXPECT_TRUE(GenerateTrace(params).status().IsInvalidArgument());
+  params = ScenarioParams{};
+  params.fanout_max = 0;
+  EXPECT_TRUE(GenerateTrace(params).status().IsInvalidArgument());
+}
+
+TEST(ScenarioTraceTest, WorkloadObjectsAreSchemaValidAndKeyed) {
+  const auto schema = MakeWorkloadSchema();
+  for (ObjectRef ref : {ObjectRef{0}, ObjectRef{7}, ObjectRef{100}}) {
+    const Tuple object = MakeWorkloadObject(*schema, ref, 99, 4, 128, 24);
+    EXPECT_TRUE(ValidateTuple(*schema, object).ok());
+    EXPECT_EQ(object.values[0].as_int32(),
+              static_cast<int32_t>(WorkloadKeyOf(ref)));
+    const Tuple root = MakeWorkloadRootRecord(*schema, ref, 99, 24);
+    EXPECT_TRUE(ValidateTuple(*schema, root).ok());
+    EXPECT_EQ(root.values[0].as_int32(),
+              static_cast<int32_t>(WorkloadKeyOf(ref)));
+  }
+  // The recipe is the identity: same seed, same bytes.
+  EXPECT_EQ(MakeWorkloadObject(*schema, 3, 1234, 5, 64, 16),
+            MakeWorkloadObject(*schema, 3, 1234, 5, 64, 16));
+  EXPECT_NE(MakeWorkloadObject(*schema, 3, 1234, 5, 64, 16),
+            MakeWorkloadObject(*schema, 3, 1235, 5, 64, 16));
+}
+
+}  // namespace
+}  // namespace starfish::workload

@@ -1,0 +1,153 @@
+// Concurrent replay under the store's threading contract (TSan suite —
+// the CI TSan stage runs every *WorkloadMt* test): the multi-threaded
+// replayer cuts generated traces into read-only / write-class batches,
+// runs each batch on N workers with the deterministic stream partition,
+// and must land on byte-the-same final state as a single-threaded replay
+// of the identical trace.
+//
+// Reproduce any failure with STARFISH_SEED=<printed seed>.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "../support/env_seed.h"
+#include "../support/param_name.h"
+#include "core/complex_object_store.h"
+#include "workload/replayer.h"
+#include "workload/scenario.h"
+
+namespace starfish::workload {
+namespace {
+
+// (model, threads): one striped direct model — concurrent writers on
+// disjoint stripes truly overlap — and the paper's recommended NSM
+// variant, whose writes serialize on the global latch set but whose reads
+// fan out. Both run with 2 and 4 workers.
+using MtParam = std::tuple<StorageModelKind, uint32_t>;
+
+class WorkloadMtTest : public ::testing::TestWithParam<MtParam> {
+ protected:
+  void SetUp() override {
+    schema_ = MakeWorkloadSchema();
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("starfish_workload_mt_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  StoreOptions Options(const std::string& subdir) {
+    StoreOptions options;
+    options.model = std::get<0>(GetParam());
+    options.backend = VolumeKind::kMmap;
+    options.path = dir_ + "/" + subdir;
+    options.buffer_frames = 96;
+    options.buffer_shards = 4;   // thread-safe pool for concurrent readers
+    options.write_stripes = 4;   // parallel applies on the direct models
+    return options;
+  }
+
+  std::shared_ptr<const Schema> schema_;
+  std::string dir_;
+};
+
+TEST_P(WorkloadMtTest, ConcurrentReplayMatchesSequential) {
+  const uint32_t threads = std::get<1>(GetParam());
+  // Bursty scenario: alternating read-only / write-only phases give the
+  // batched replayer real parallel sections of both kinds.
+  ScenarioParams params;
+  params.seed = test::TestSeed(4242);
+  params.burst_len = 32;
+  params.write_fraction = params.write_fraction_end = 0.5;
+  params.n_ops = 260;
+  SCOPED_TRACE("STARFISH_SEED=" + std::to_string(params.seed));
+
+  auto trace_or = GenerateTrace(params);
+  ASSERT_TRUE(trace_or.ok()) << trace_or.status().ToString();
+  const Trace& trace = trace_or.value();
+
+  // Sequential reference replay.
+  uint32_t sequential_digest = 0;
+  {
+    auto store_or = ComplexObjectStore::Open(schema_, Options("seq"));
+    ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+    auto store = std::move(store_or).value();
+    TraceReplayer replayer(trace, schema_);
+    auto stats_or = replayer.Replay(store.get(), ReplayOptions{});
+    ASSERT_TRUE(stats_or.ok()) << stats_or.status().ToString();
+    ASSERT_TRUE(replayer.VerifyFinalState(store.get()).ok());
+    auto digest_or = TraceReplayer::StoreStateDigest(store.get());
+    ASSERT_TRUE(digest_or.ok());
+    sequential_digest = digest_or.value();
+  }
+
+  // Concurrent replay of the identical trace: every read verified from
+  // concurrent sessions, then the end state byte-compared.
+  auto store_or = ComplexObjectStore::Open(schema_, Options("mt"));
+  ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+  auto store = std::move(store_or).value();
+  TraceReplayer replayer(trace, schema_);
+  ReplayOptions options;
+  options.threads = threads;
+  auto stats_or = replayer.Replay(store.get(), options);
+  ASSERT_TRUE(stats_or.ok()) << stats_or.status().ToString();
+  EXPECT_EQ(stats_or->ops, trace.ops.size());
+  const Status final_state = replayer.VerifyFinalState(store.get());
+  EXPECT_TRUE(final_state.ok()) << final_state.ToString();
+  auto digest_or = TraceReplayer::StoreStateDigest(store.get());
+  ASSERT_TRUE(digest_or.ok());
+  EXPECT_EQ(digest_or.value(), sequential_digest)
+      << "concurrent replay diverged from sequential replay";
+  EXPECT_EQ(digest_or.value(), replayer.shadow().Digest());
+}
+
+TEST_P(WorkloadMtTest, InterleavedMixAlsoConverges) {
+  const uint32_t threads = std::get<1>(GetParam());
+  // No burst phases: batches come from natural IsWriteClass transitions,
+  // so this exercises many small parallel sections and txn groups.
+  ScenarioParams params;
+  params.seed = test::TestSeed(9001);
+  params.txn_fraction = 0.4;
+  params.n_ops = 200;
+  SCOPED_TRACE("STARFISH_SEED=" + std::to_string(params.seed));
+
+  auto trace_or = GenerateTrace(params);
+  ASSERT_TRUE(trace_or.ok());
+  auto store_or = ComplexObjectStore::Open(schema_, Options("mix"));
+  ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+  auto store = std::move(store_or).value();
+  TraceReplayer replayer(trace_or.value(), schema_);
+  ReplayOptions options;
+  options.threads = threads;
+  auto stats_or = replayer.Replay(store.get(), options);
+  ASSERT_TRUE(stats_or.ok()) << stats_or.status().ToString();
+  const Status final_state = replayer.VerifyFinalState(store.get());
+  EXPECT_TRUE(final_state.ok()) << final_state.ToString();
+  auto digest_or = TraceReplayer::StoreStateDigest(store.get());
+  ASSERT_TRUE(digest_or.ok());
+  EXPECT_EQ(digest_or.value(), replayer.shadow().Digest());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndThreads, WorkloadMtTest,
+    ::testing::Combine(::testing::Values(StorageModelKind::kDsm,
+                                         StorageModelKind::kDasdbsNsm),
+                       ::testing::Values(2u, 4u)),
+    [](const ::testing::TestParamInfo<MtParam>& info) {
+      return test::ParamName(ToString(std::get<0>(info.param)) + "_t" +
+                             std::to_string(std::get<1>(info.param)));
+    });
+
+}  // namespace
+}  // namespace starfish::workload
